@@ -1,0 +1,49 @@
+// Extension ablation (not in the paper): does a global-attention decoder
+// (DESIGN.md §4.0) change representation quality at a fixed training
+// budget? The paper's architecture compresses the source into the final
+// hidden state only; attention gives the decoder direct access to encoder
+// outputs, which weakens the pressure on v — the interesting question is
+// whether v still improves.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace t2vec;
+  using namespace t2vec::bench;
+
+  const eval::ExperimentData data = PortoData();
+  const size_t num_queries = NumQueries();
+  const size_t distractors = eval::Scaled(2000, 128);
+
+  eval::Table table(
+      "Extension ablation: attention decoder (Porto-like, fixed budget)",
+      {"Decoder", "MR@r1=0.5", "MR@r1=0.6", "train time (s)"});
+
+  for (bool attention : {false, true}) {
+    core::T2VecConfig config = eval::DefaultBenchConfig();
+    config.use_attention = attention;
+    config.max_iterations = AblationIterations();
+    config.validate_every = config.max_iterations + 1;
+
+    core::TrainStats stats;
+    // Attention models cannot be cached (no serialization); train inline.
+    const core::T2Vec model =
+        attention ? core::T2Vec::Train(data.train.trajectories(), config,
+                                       &stats)
+                  : eval::GetOrTrainModel("ablate_plain",
+                                          data.train.trajectories(), config,
+                                          &stats);
+
+    std::vector<double> row;
+    for (double r1 : {0.5, 0.6}) {
+      eval::MssData mss = eval::BuildMss(data.test, num_queries, distractors);
+      Rng rng(11000 + static_cast<uint64_t>(r1 * 100));
+      eval::TransformMss(&mss, r1, 0.0, rng);
+      row.push_back(eval::MeanRankOfT2Vec(model, mss));
+    }
+    row.push_back(stats.train_seconds);
+    table.AddRow(attention ? "attention" : "final-hidden (paper)", row);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,79 @@
+#ifndef T2VEC_BENCH_BENCH_COMMON_H_
+#define T2VEC_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "eval/cache.h"
+#include "eval/experiments.h"
+#include "eval/table.h"
+
+/// \file
+/// Shared setup for the experiment-reproduction bench binaries: canonical
+/// dataset sizes, the shared default models (served from the on-disk cache),
+/// and the scaled experiment dimensions.
+///
+/// Scale note (DESIGN.md §3): the paper evaluates 10,000 queries against up
+/// to 100,000 database trajectories with a GPU-trained model (hidden 256,
+/// ~800k training trips). This suite runs the same protocol scaled so the
+/// whole table set regenerates in under an hour on one CPU core: ~120
+/// queries, databases up to ~4k, hidden 96, ~1.2k training trips. Mean-rank
+/// magnitudes therefore differ from the paper's; the reproduced signal is
+/// the *ordering and shape* of each table (see EXPERIMENTS.md). Multiply
+/// every workload with T2VEC_BENCH_SCALE (e.g. 0.25 for a smoke run).
+
+namespace t2vec::bench {
+
+/// Canonical training-set sizes for the shared default models.
+inline size_t PortoTrainTrips() { return eval::Scaled(1200, 64); }
+inline size_t HarbinTrainTrips() { return eval::Scaled(700, 64); }
+
+/// Test pools: large enough for the biggest database sweep.
+inline size_t PortoTestTrips() { return eval::Scaled(5300, 600); }
+inline size_t HarbinTestTrips() { return eval::Scaled(2300, 400); }
+
+/// Queries per most-similar-search experiment (paper: 10,000).
+inline size_t NumQueries() { return eval::Scaled(120, 32); }
+
+/// Default database distractor count when it is not the swept variable
+/// (paper: 100k total).
+inline size_t DefaultDbDistractors() { return eval::Scaled(3000, 128); }
+
+/// Training iterations for the vRNN baselines.
+inline size_t VRnnIterations() { return eval::Scaled(300, 64); }
+
+/// Training iterations for the per-variant ablation models (Tables VII-IX,
+/// Fig. 7). Kept below the default model's budget: the ablations compare
+/// variants at a fixed, smaller compute budget.
+inline size_t AblationIterations() { return eval::Scaled(180, 60); }
+
+/// The shared default Porto-like model (trained once, then cached).
+inline core::T2Vec PortoModel(const eval::ExperimentData& data) {
+  core::T2VecConfig config = eval::DefaultBenchConfig();
+  config.max_iterations = eval::Scaled(2000, 150);
+  return eval::GetOrTrainModel("porto_default", data.train.trajectories(),
+                               config);
+}
+
+/// The shared default Harbin-like model.
+inline core::T2Vec HarbinModel(const eval::ExperimentData& data) {
+  core::T2VecConfig config = eval::DefaultBenchConfig();
+  config.max_iterations = eval::Scaled(550, 100);  // Longer sequences; more
+  // iterations do not help on this preset (EXPERIMENTS.md, Table III).
+  return eval::GetOrTrainModel("harbin_default", data.train.trajectories(),
+                               config);
+}
+
+/// Canonical datasets for the two presets.
+inline eval::ExperimentData PortoData() {
+  return eval::MakeData(eval::DatasetKind::kPortoLike, PortoTrainTrips(),
+                        PortoTestTrips());
+}
+inline eval::ExperimentData HarbinData() {
+  return eval::MakeData(eval::DatasetKind::kHarbinLike, HarbinTrainTrips(),
+                        HarbinTestTrips());
+}
+
+}  // namespace t2vec::bench
+
+#endif  // T2VEC_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,80 @@
+// Reproduces Figure 5 (a)-(f): k-NN precision versus dropping rate (top
+// row) and distorting rate (bottom row), for k = 20, 30, 40.
+//
+// Paper shape: precision decreases with both rates for every method; EDR
+// and LCSS track each other with EDR collapsing at r1 = 0.6; EDwP clearly
+// better; t2vec consistently on top. Distortion hurts everyone less than
+// downsampling.
+
+#include "bench_common.h"
+#include "dist/classic.h"
+#include "dist/edwp.h"
+
+int main() {
+  using namespace t2vec;
+  using namespace t2vec::bench;
+
+  const eval::ExperimentData data = PortoData();
+  const core::T2Vec model = PortoModel(data);
+  dist::EdrMeasure edr(model.config().cell_size);
+  dist::LcssMeasure lcss(model.config().cell_size);
+  dist::EdwpMeasure edwp;
+
+  // Paper: 1000 queries, 10k database; scaled.
+  const size_t num_queries = eval::Scaled(50, 16);
+  const size_t db_size = eval::Scaled(1200, 128);
+  T2VEC_CHECK(data.test.size() >= num_queries + db_size);
+  std::vector<traj::Trajectory> queries(
+      data.test.trajectories().begin(),
+      data.test.trajectories().begin() + num_queries);
+  std::vector<traj::Trajectory> database(
+      data.test.trajectories().begin() + num_queries,
+      data.test.trajectories().begin() + num_queries + db_size);
+
+  const std::vector<double> rates = {0.2, 0.3, 0.4, 0.5, 0.6};
+
+  for (size_t k : {20u, 30u, 40u}) {
+    eval::Table drop_table(
+        "Fig. 5 (top): k-NN precision vs. dropping rate r1, k = " +
+            std::to_string(k),
+        {"r1", "EDR", "LCSS", "EDwP", "t2vec"});
+    for (double r1 : rates) {
+      Rng rng(300 + static_cast<uint64_t>(100 * r1) + k);
+      drop_table.AddRow(
+          std::to_string(r1).substr(0, 3),
+          {eval::KnnPrecisionOfMeasure(edr, queries, database, k, r1, 0.0,
+                                       rng),
+           eval::KnnPrecisionOfMeasure(lcss, queries, database, k, r1, 0.0,
+                                       rng),
+           eval::KnnPrecisionOfMeasure(edwp, queries, database, k, r1, 0.0,
+                                       rng),
+           eval::KnnPrecisionOfT2Vec(model, queries, database, k, r1, 0.0,
+                                     rng)},
+          3);
+    }
+    drop_table.Print();
+  }
+
+  for (size_t k : {20u, 30u, 40u}) {
+    eval::Table distort_table(
+        "Fig. 5 (bottom): k-NN precision vs. distorting rate r2, k = " +
+            std::to_string(k),
+        {"r2", "EDR", "LCSS", "EDwP", "t2vec"});
+    for (double r2 : rates) {
+      Rng rng(400 + static_cast<uint64_t>(100 * r2) + k);
+      distort_table.AddRow(
+          std::to_string(r2).substr(0, 3),
+          {eval::KnnPrecisionOfMeasure(edr, queries, database, k, 0.0, r2,
+                                       rng),
+           eval::KnnPrecisionOfMeasure(lcss, queries, database, k, 0.0, r2,
+                                       rng),
+           eval::KnnPrecisionOfMeasure(edwp, queries, database, k, 0.0, r2,
+                                       rng),
+           eval::KnnPrecisionOfT2Vec(model, queries, database, k, 0.0, r2,
+                                     rng)},
+          3);
+    }
+    distort_table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Reproduces Figure 6: k-NN query wall-clock time versus database size for
+// EDR, EDwP, and t2vec (k = 50), plus the LSH-accelerated variant from the
+// paper's future-work list (Sec. VI item 3).
+//
+// Paper shape: EDR and EDwP grow linearly in DB size with a large constant
+// (each comparison is an O(n^2) dynamic program); t2vec's linear vector scan
+// is at least one order of magnitude faster, giving near-instantaneous
+// (<200 ms) responses. Encoding is a one-off offline cost, also reported.
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "core/vec_index.h"
+#include "dist/classic.h"
+#include "dist/edwp.h"
+#include "dist/knn.h"
+
+int main() {
+  using namespace t2vec;
+  using namespace t2vec::bench;
+
+  const eval::ExperimentData data = PortoData();
+  const core::T2Vec model = PortoModel(data);
+  dist::EdrMeasure edr(model.config().cell_size);
+  dist::EdwpMeasure edwp;
+
+  const size_t k = 50;
+  const size_t num_queries = eval::Scaled(10, 4);
+  const std::vector<size_t> db_sizes = {
+      eval::Scaled(1000, 64), eval::Scaled(2000, 128),
+      eval::Scaled(3000, 192), eval::Scaled(4000, 256),
+      eval::Scaled(5000, 320)};
+
+  std::vector<traj::Trajectory> queries(
+      data.test.trajectories().begin(),
+      data.test.trajectories().begin() + num_queries);
+
+  eval::Table table(
+      "Fig. 6: mean k-NN query time (ms), k = 50, Porto-like",
+      {"DB size", "EDR", "EDwP", "t2vec scan", "t2vec LSH",
+       "encode (offline)"});
+
+  for (size_t db_size : db_sizes) {
+    T2VEC_CHECK(data.test.size() >= num_queries + db_size);
+    std::vector<traj::Trajectory> database(
+        data.test.trajectories().begin() + num_queries,
+        data.test.trajectories().begin() + num_queries + db_size);
+
+    Stopwatch watch;
+    for (const auto& q : queries) dist::KnnSearch(edr, q, database, k);
+    const double edr_ms = watch.ElapsedMillis() / num_queries;
+
+    watch.Reset();
+    for (const auto& q : queries) dist::KnnSearch(edwp, q, database, k);
+    const double edwp_ms = watch.ElapsedMillis() / num_queries;
+
+    // t2vec: offline encoding of the database, then per-query encode+scan.
+    watch.Reset();
+    const nn::Matrix db_vecs = model.Encode(database);
+    const double encode_ms = watch.ElapsedMillis();
+    core::VectorIndex index{nn::Matrix(db_vecs)};
+    const nn::Matrix query_vecs = model.Encode(queries);
+
+    watch.Reset();
+    for (size_t q = 0; q < num_queries; ++q) {
+      index.Knn(query_vecs.Row(q), k);
+    }
+    const double scan_ms = watch.ElapsedMillis() / num_queries;
+
+    core::LshIndex lsh(db_vecs, /*num_tables=*/6, /*num_bits=*/12,
+                       /*seed=*/9);
+    watch.Reset();
+    for (size_t q = 0; q < num_queries; ++q) {
+      lsh.Knn(query_vecs.Row(q), k);
+    }
+    const double lsh_ms = watch.ElapsedMillis() / num_queries;
+
+    table.AddRow(std::to_string(num_queries + db_size),
+                 {edr_ms, edwp_ms, scan_ms, lsh_ms, encode_ms}, 3);
+  }
+  table.Print();
+  std::printf("\nNote: 'encode (offline)' is the one-off cost of embedding "
+              "the whole database;\nqueries then touch only |v|-dim vectors "
+              "(paper Sec. IV-D / V-D).\n");
+  return 0;
+}

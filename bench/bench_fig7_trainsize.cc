@@ -1,0 +1,50 @@
+// Reproduces Figure 7: effect of the training-set size on the mean rank of
+// the most-similar search at a fixed heavy dropping rate (r1 = 0.6).
+//
+// Paper shape: mean rank drops rapidly as training data grows, then the
+// marginal benefit flattens — more trips expose more of the transition
+// patterns until the model saturates.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace t2vec;
+  using namespace t2vec::bench;
+
+  const eval::ExperimentData data = PortoData();
+  const size_t num_queries = NumQueries();
+  const size_t distractors = eval::Scaled(2000, 128);
+
+  // Paper sweeps 200k..1M trips; scaled to fractions of our training pool.
+  const std::vector<double> fractions = {0.25, 0.5, 1.0};
+
+  eval::Table table("Fig. 7: mean rank vs. training set size (Porto-like, "
+                    "r1 = 0.6)",
+                    {"#Training trips", "mean rank", "train time (s)"});
+
+  for (double fraction : fractions) {
+    const size_t count = std::max<size_t>(
+        32, static_cast<size_t>(fraction *
+                                static_cast<double>(data.train.size())));
+    std::vector<traj::Trajectory> subset(
+        data.train.trajectories().begin(),
+        data.train.trajectories().begin() + count);
+
+    core::T2VecConfig config = eval::DefaultBenchConfig();
+    config.max_iterations = eval::Scaled(600, 100);  // 180 is noise-dominated here.
+    config.validate_every = config.max_iterations + 1;
+
+    core::TrainStats stats;
+    const core::T2Vec model = eval::GetOrTrainModel(
+        "trainsize_" + std::to_string(count), subset, config, &stats);
+
+    eval::MssData mss = eval::BuildMss(data.test, num_queries, distractors);
+    Rng rng(10000 + count);
+    eval::TransformMss(&mss, /*r1=*/0.6, /*r2=*/0.0, rng);
+
+    table.AddRow(std::to_string(count),
+                 {eval::MeanRankOfT2Vec(model, mss), stats.train_seconds});
+  }
+  table.Print();
+  return 0;
+}

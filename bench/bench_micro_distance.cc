@@ -1,0 +1,104 @@
+// Microbenchmarks of the per-pair cost of every similarity measure as the
+// trajectory length grows — the empirical backing of the paper's complexity
+// argument: the DP baselines are O(n^2) (EDwP O((n+m)^2) with a larger
+// constant), while the vector distance is O(|v|) after O(n) encoding.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "dist/classic.h"
+#include "dist/edwp.h"
+#include "geo/point.h"
+
+namespace {
+
+using namespace t2vec;
+
+std::vector<geo::Point> RandomWalk(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<geo::Point> out;
+  geo::Point p{0, 0};
+  for (size_t i = 0; i < n; ++i) {
+    p.x += rng.Uniform(-150, 150);
+    p.y += rng.Uniform(-150, 150);
+    out.push_back(p);
+  }
+  return out;
+}
+
+void BM_Dtw(benchmark::State& state) {
+  const auto a = RandomWalk(static_cast<size_t>(state.range(0)), 1);
+  const auto b = RandomWalk(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) benchmark::DoNotOptimize(dist::Dtw(a, b));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Dtw)->Range(16, 256)->Complexity(benchmark::oNSquared);
+
+void BM_Edr(benchmark::State& state) {
+  const auto a = RandomWalk(static_cast<size_t>(state.range(0)), 3);
+  const auto b = RandomWalk(static_cast<size_t>(state.range(0)), 4);
+  for (auto _ : state) benchmark::DoNotOptimize(dist::Edr(a, b, 100.0));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Edr)->Range(16, 256)->Complexity(benchmark::oNSquared);
+
+void BM_Lcss(benchmark::State& state) {
+  const auto a = RandomWalk(static_cast<size_t>(state.range(0)), 5);
+  const auto b = RandomWalk(static_cast<size_t>(state.range(0)), 6);
+  for (auto _ : state) benchmark::DoNotOptimize(dist::Lcss(a, b, 100.0));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Lcss)->Range(16, 256)->Complexity(benchmark::oNSquared);
+
+void BM_Erp(benchmark::State& state) {
+  const auto a = RandomWalk(static_cast<size_t>(state.range(0)), 7);
+  const auto b = RandomWalk(static_cast<size_t>(state.range(0)), 8);
+  const geo::Point gap{0, 0};
+  for (auto _ : state) benchmark::DoNotOptimize(dist::Erp(a, b, gap));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Erp)->Range(16, 256)->Complexity(benchmark::oNSquared);
+
+void BM_Edwp(benchmark::State& state) {
+  const auto a = RandomWalk(static_cast<size_t>(state.range(0)), 9);
+  const auto b = RandomWalk(static_cast<size_t>(state.range(0)), 10);
+  for (auto _ : state) benchmark::DoNotOptimize(dist::Edwp(a, b));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Edwp)->Range(16, 256)->Complexity(benchmark::oNSquared);
+
+void BM_Frechet(benchmark::State& state) {
+  const auto a = RandomWalk(static_cast<size_t>(state.range(0)), 11);
+  const auto b = RandomWalk(static_cast<size_t>(state.range(0)), 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist::DiscreteFrechet(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Frechet)->Range(16, 256)->Complexity(benchmark::oNSquared);
+
+// The t2vec online cost: Euclidean distance between |v|-dim vectors. This
+// is what a query pays per database entry after offline encoding.
+void BM_VectorDistance(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  Rng rng(13);
+  std::vector<float> a(d), b(d);
+  for (size_t i = 0; i < d; ++i) {
+    a[i] = static_cast<float>(rng.Gaussian());
+    b[i] = static_cast<float>(rng.Gaussian());
+  }
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (size_t i = 0; i < d; ++i) {
+      const double diff = static_cast<double>(a[i]) - b[i];
+      acc += diff * diff;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_VectorDistance)->Range(16, 256)->Complexity(benchmark::oN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+// Reproduces Table II: dataset statistics (#Points, #Trips, mean length)
+// for the two synthetic presets standing in for Porto and Harbin.
+//
+// Paper shape: Harbin trips are roughly twice as long as Porto trips; both
+// datasets are in the millions of points (here scaled down, see
+// bench_common.h).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace t2vec;
+  using namespace t2vec::bench;
+
+  eval::Table table("Table II: dataset statistics (synthetic presets)",
+                    {"Dataset", "#Points", "#Trips", "Mean length"});
+
+  const eval::ExperimentData porto = PortoData();
+  const eval::ExperimentData harbin = HarbinData();
+
+  auto add = [&table](const char* name, const eval::ExperimentData& data) {
+    const int64_t points =
+        data.train.TotalPoints() + data.test.TotalPoints();
+    const size_t trips = data.train.size() + data.test.size();
+    const double mean =
+        static_cast<double>(points) / static_cast<double>(trips);
+    table.AddRow({name, std::to_string(points), std::to_string(trips),
+                  std::to_string(mean).substr(0, 5)});
+  };
+  add("Porto-like", porto);
+  add("Harbin-like", harbin);
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Reproduces Table III: mean rank of the most-similar-trajectory search as
+// the database (distractor set P) grows, on both datasets.
+//
+// Paper shape: every method degrades as the database grows; CMS is worst,
+// LCSS ~ vRNN, EDwP is the best baseline, and t2vec is several times better
+// than EDwP at every size.
+
+#include "bench_common.h"
+#include "core/vrnn.h"
+#include "dist/classic.h"
+#include "dist/cms.h"
+#include "dist/edwp.h"
+
+namespace {
+
+using namespace t2vec;
+using namespace t2vec::bench;
+
+void RunDataset(const char* name, const eval::ExperimentData& data,
+                const core::T2Vec& model, core::VRnn& vrnn,
+                const std::vector<size_t>& db_sizes) {
+  const double cell = model.config().cell_size;
+  dist::EdrMeasure edr(cell);
+  dist::LcssMeasure lcss(cell);
+  dist::CmsMeasure cms(&model.vocab());
+  dist::EdwpMeasure edwp;
+
+  eval::Table table(std::string("Table III: mean rank vs. database size (") +
+                        name + ")",
+                    {"DB size", "EDR", "LCSS", "CMS", "vRNN", "EDwP",
+                     "t2vec"});
+  const size_t num_queries = NumQueries();
+  for (size_t db : db_sizes) {
+    const eval::MssData mss = eval::BuildMss(data.test, num_queries, db);
+    table.AddRow(std::to_string(num_queries + db),
+                 {eval::MeanRankOfMeasure(edr, mss),
+                  eval::MeanRankOfMeasure(lcss, mss),
+                  eval::MeanRankOfMeasure(cms, mss),
+                  eval::MeanRankOfVRnn(vrnn, model.vocab(), mss),
+                  eval::MeanRankOfMeasure(edwp, mss),
+                  eval::MeanRankOfT2Vec(model, mss)});
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  // Paper sweeps P in {20k..100k}; scaled to {1k..5k} (see bench_common.h).
+  const std::vector<size_t> porto_sizes = {
+      eval::Scaled(800, 64), eval::Scaled(1600, 128), eval::Scaled(2400, 192),
+      eval::Scaled(3200, 256), eval::Scaled(4000, 320)};
+
+  {
+    const eval::ExperimentData porto = PortoData();
+    const core::T2Vec model = PortoModel(porto);
+    core::VRnn vrnn =
+        eval::GetOrTrainVRnn("porto_vrnn", porto.train.trajectories(),
+                             model.vocab(), model.config(),
+                             bench::VRnnIterations());
+    RunDataset("Porto-like", porto, model, vrnn, porto_sizes);
+  }
+  {
+    const std::vector<size_t> harbin_sizes = {
+        eval::Scaled(400, 48), eval::Scaled(800, 96),
+        eval::Scaled(1200, 144), eval::Scaled(1600, 192),
+        eval::Scaled(2000, 240)};
+    const eval::ExperimentData harbin = HarbinData();
+    const core::T2Vec model = HarbinModel(harbin);
+    core::VRnn vrnn =
+        eval::GetOrTrainVRnn("harbin_vrnn", harbin.train.trajectories(),
+                             model.vocab(), model.config(),
+                             bench::VRnnIterations());
+    RunDataset("Harbin-like", harbin, model, vrnn, harbin_sizes);
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces Table IV: mean rank of the most-similar-trajectory search as
+// the dropping rate r1 varies in [0.2, 0.6], with a fixed database size.
+//
+// Paper shape: EDR degrades fastest; LCSS/vRNN/CMS are poor throughout;
+// EDwP is clearly better but jumps at r1 = 0.6; t2vec stays lowest by a
+// large margin at every dropping rate.
+
+#include <memory>
+
+#include "bench_common.h"
+#include "core/vrnn.h"
+#include "dist/classic.h"
+#include "dist/cms.h"
+#include "dist/edwp.h"
+#include "traj/tokenizer.h"
+
+int main() {
+  using namespace t2vec;
+  using namespace t2vec::bench;
+
+  const eval::ExperimentData data = PortoData();
+  const core::T2Vec model = PortoModel(data);
+  core::VRnn vrnn =
+      eval::GetOrTrainVRnn("porto_vrnn", data.train.trajectories(),
+                           model.vocab(), model.config(),
+                           bench::VRnnIterations());
+
+  const std::vector<double> r1_values = {0.2, 0.3, 0.4, 0.5, 0.6};
+  const size_t num_queries = NumQueries();
+  const size_t distractors = DefaultDbDistractors();
+
+  const double cell = model.config().cell_size;
+  dist::EdrMeasure edr(cell);
+  dist::LcssMeasure lcss(cell);
+  dist::CmsMeasure cms(&model.vocab());
+  dist::EdwpMeasure edwp;
+
+  eval::Table table("Table IV: mean rank vs. dropping rate r1 (Porto-like, "
+                    "database " + std::to_string(num_queries + distractors) +
+                        ")",
+                    {"r1", "EDR", "LCSS", "CMS", "vRNN", "EDwP", "t2vec"});
+
+  for (double r1 : r1_values) {
+    eval::MssData mss = eval::BuildMss(data.test, num_queries, distractors);
+    Rng rng(1000 + static_cast<uint64_t>(r1 * 100));
+    eval::TransformMss(&mss, r1, /*r2=*/0.0, rng);
+
+    table.AddRow(std::to_string(r1).substr(0, 3),
+                 {eval::MeanRankOfMeasure(edr, mss),
+                  eval::MeanRankOfMeasure(lcss, mss),
+                  eval::MeanRankOfMeasure(cms, mss),
+                  eval::MeanRankOfVRnn(vrnn, model.vocab(), mss),
+                  eval::MeanRankOfMeasure(edwp, mss),
+                  eval::MeanRankOfT2Vec(model, mss)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Table VI: mean cross-distance deviation for varying dropping
+// rate r1 and distorting rate r2 (t2vec, EDwP, EDR).
+//
+// Paper shape: t2vec's deviation stays smallest and grows slowest in r1;
+// EDR's deviation under downsampling explodes (it pays one edit per dropped
+// point); under distortion the three methods stay within the same order of
+// magnitude, with t2vec <= EDwP <= EDR.
+
+#include "bench_common.h"
+#include "dist/classic.h"
+#include "dist/edwp.h"
+
+int main() {
+  using namespace t2vec;
+  using namespace t2vec::bench;
+
+  const eval::ExperimentData data = PortoData();
+  const core::T2Vec model = PortoModel(data);
+  dist::EdrMeasure edr(model.config().cell_size);
+  dist::EdwpMeasure edwp;
+
+  const size_t num_pairs = eval::Scaled(300, 48);  // Paper: 10,000 pairs.
+  Rng pair_rng(31);
+  const auto pairs = eval::MakeCrossPairs(data.test, num_pairs, pair_rng);
+
+  const std::vector<double> rates = {0.1, 0.2, 0.4, 0.6};
+
+  eval::Table drop_table(
+      "Table VI (top): mean cross-distance deviation vs. dropping rate r1",
+      {"r1", "t2vec", "EDwP", "EDR"});
+  for (double r1 : rates) {
+    Rng rng(41);
+    drop_table.AddRow(
+        std::to_string(r1).substr(0, 3),
+        {eval::CrossDeviationOfT2Vec(model, pairs, r1, 0.0, rng),
+         eval::CrossDeviationOfMeasure(edwp, pairs, r1, 0.0, rng),
+         eval::CrossDeviationOfMeasure(edr, pairs, r1, 0.0, rng)},
+        3);
+  }
+  drop_table.Print();
+
+  eval::Table distort_table(
+      "Table VI (bottom): mean cross-distance deviation vs. distorting rate "
+      "r2",
+      {"r2", "t2vec", "EDwP", "EDR"});
+  for (double r2 : rates) {
+    Rng rng(43);
+    distort_table.AddRow(
+        std::to_string(r2).substr(0, 3),
+        {eval::CrossDeviationOfT2Vec(model, pairs, 0.0, r2, rng),
+         eval::CrossDeviationOfMeasure(edwp, pairs, 0.0, r2, rng),
+         eval::CrossDeviationOfMeasure(edr, pairs, 0.0, r2, rng)},
+        3);
+  }
+  distort_table.Print();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces Table VIII: effect of the grid cell size on accuracy and
+// training time. One model is trained per cell size; mean rank is reported
+// under heavy downsampling / distortion.
+//
+// Paper shape: very small cells blow up the vocabulary and are much harder
+// to train (worst accuracy, longest time); a moderate cell (100 m in the
+// paper) is the sweet spot; larger cells train faster with slightly worse
+// or equal accuracy.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace t2vec;
+  using namespace t2vec::bench;
+
+  const eval::ExperimentData data = PortoData();
+  const size_t num_queries = NumQueries();
+  const size_t distractors = eval::Scaled(2000, 128);
+
+  const std::vector<double> cell_sizes = {25.0, 50.0, 100.0, 150.0};
+
+  eval::Table table(
+      "Table VIII: impact of the cell size (Porto-like)",
+      {"Cell size", "#Cells", "MR@r1=0.5", "MR@r1=0.6", "MR@r2=0.5",
+       "MR@r2=0.6", "train time (s)"});
+
+  for (double cell : cell_sizes) {
+    core::T2VecConfig config = eval::DefaultBenchConfig();
+    config.cell_size = cell;
+    config.max_iterations = AblationIterations();
+    config.validate_every = config.max_iterations + 1;
+
+    core::TrainStats stats;
+    const core::T2Vec model = eval::GetOrTrainModel(
+        "cellsize_" + std::to_string(static_cast<int>(cell)),
+        data.train.trajectories(), config, &stats);
+
+    std::vector<double> row;
+    row.push_back(static_cast<double>(model.vocab().num_hot_cells()));
+    for (auto [r1, r2] : {std::pair{0.5, 0.0}, {0.6, 0.0}, {0.0, 0.5},
+                          {0.0, 0.6}}) {
+      eval::MssData mss = eval::BuildMss(data.test, num_queries, distractors);
+      Rng rng(8000 + static_cast<uint64_t>(cell) +
+              static_cast<uint64_t>(100 * (r1 + 2 * r2)));
+      eval::TransformMss(&mss, r1, r2, rng);
+      row.push_back(eval::MeanRankOfT2Vec(model, mss));
+    }
+    row.push_back(stats.train_seconds);
+    table.AddRow(std::to_string(static_cast<int>(cell)) + " m", row);
+  }
+  table.Print();
+  return 0;
+}

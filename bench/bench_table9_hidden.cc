@@ -1,0 +1,50 @@
+// Reproduces Table IX: effect of the encoder hidden size |v| (the
+// representation dimensionality) on most-similar-search accuracy.
+//
+// Paper shape: tiny |v| cannot hold the route information (mean rank
+// hundreds); accuracy improves steeply up to a sweet spot, then flattens or
+// slightly degrades once the model outgrows the training data.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace t2vec;
+  using namespace t2vec::bench;
+
+  const eval::ExperimentData data = PortoData();
+  const size_t num_queries = NumQueries();
+  const size_t distractors = eval::Scaled(2000, 128);
+
+  // Paper sweeps {64, 128, 256, 484, 512} at |v|=256 default; scaled.
+  const std::vector<size_t> hidden_sizes = {16, 32, 64, 96};
+
+  eval::Table table(
+      "Table IX: impact of the hidden size |v| (Porto-like)",
+      {"|v|", "MR@r1=0.5", "MR@r1=0.6", "MR@r2=0.5", "MR@r2=0.6",
+       "train time (s)"});
+
+  for (size_t hidden : hidden_sizes) {
+    core::T2VecConfig config = eval::DefaultBenchConfig();
+    config.hidden = hidden;
+    config.max_iterations = AblationIterations();
+    config.validate_every = config.max_iterations + 1;
+
+    core::TrainStats stats;
+    const core::T2Vec model = eval::GetOrTrainModel(
+        "hidden_" + std::to_string(hidden), data.train.trajectories(), config,
+        &stats);
+
+    std::vector<double> row;
+    for (auto [r1, r2] : {std::pair{0.5, 0.0}, {0.6, 0.0}, {0.0, 0.5},
+                          {0.0, 0.6}}) {
+      eval::MssData mss = eval::BuildMss(data.test, num_queries, distractors);
+      Rng rng(9000 + hidden + static_cast<uint64_t>(100 * (r1 + 2 * r2)));
+      eval::TransformMss(&mss, r1, r2, rng);
+      row.push_back(eval::MeanRankOfT2Vec(model, mss));
+    }
+    row.push_back(stats.train_seconds);
+    table.AddRow(std::to_string(hidden), row);
+  }
+  table.Print();
+  return 0;
+}

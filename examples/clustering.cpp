@@ -1,0 +1,131 @@
+// Trajectory clustering on learned representations — the paper's first
+// future-work item (Sec. VI.1), and the use case its linear-time similarity
+// enables: k-means over vectors costs O(N k |v|) per iteration instead of
+// O(N k n^2) DP evaluations.
+//
+// Trips are generated from a handful of synthetic corridors; k-means over
+// t2vec vectors recovers the corridor structure, which is checked with a
+// simple purity score against the generator's hidden labels.
+//
+// Runtime: ~2 minutes.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/t2vec.h"
+#include "traj/generator.h"
+#include "traj/transforms.h"
+
+namespace {
+
+using namespace t2vec;
+
+// Plain k-means over matrix rows.
+std::vector<int> KMeans(const nn::Matrix& vectors, int k, int iterations,
+                        Rng& rng) {
+  const size_t n = vectors.rows(), d = vectors.cols();
+  nn::Matrix centroids(static_cast<size_t>(k), d);
+  for (int c = 0; c < k; ++c) {
+    const size_t pick = rng.UniformInt(n);
+    std::copy(vectors.Row(pick), vectors.Row(pick) + d,
+              centroids.Row(static_cast<size_t>(c)));
+  }
+  std::vector<int> assignment(n, 0);
+  for (int iter = 0; iter < iterations; ++iter) {
+    for (size_t i = 0; i < n; ++i) {
+      double best = 1e300;
+      for (int c = 0; c < k; ++c) {
+        double dist = 0.0;
+        for (size_t j = 0; j < d; ++j) {
+          const double diff = vectors.At(i, j) -
+                              centroids.At(static_cast<size_t>(c), j);
+          dist += diff * diff;
+        }
+        if (dist < best) {
+          best = dist;
+          assignment[i] = c;
+        }
+      }
+    }
+    centroids.SetZero();
+    std::vector<int> counts(static_cast<size_t>(k), 0);
+    for (size_t i = 0; i < n; ++i) {
+      counts[static_cast<size_t>(assignment[i])]++;
+      for (size_t j = 0; j < d; ++j) {
+        centroids.At(static_cast<size_t>(assignment[i]), j) +=
+            vectors.At(i, j);
+      }
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) continue;
+      for (size_t j = 0; j < d; ++j) {
+        centroids.At(static_cast<size_t>(c), j) /=
+            static_cast<float>(counts[static_cast<size_t>(c)]);
+      }
+    }
+  }
+  return assignment;
+}
+
+}  // namespace
+
+int main() {
+  // Training data: ordinary synthetic trips.
+  traj::SyntheticTrajectoryGenerator generator(
+      traj::GeneratorConfig::PortoLike());
+  traj::Dataset train = generator.Generate(1200);
+
+  core::T2VecConfig config;
+  config.max_iterations = 500;
+  config.validate_every = 250;
+  const core::T2Vec model = core::T2Vec::Train(train.trajectories(), config);
+
+  // Evaluation data with known structure: `kRoutes` fixed routes, each
+  // observed many times at different sampling rates.
+  const int kRoutes = 6, kPerRoute = 30;
+  Rng rng(99);
+  std::vector<traj::Trajectory> trips;
+  std::vector<int> labels;
+  std::vector<geo::Point> route;
+  for (int r = 0; r < kRoutes; ++r) {
+    const traj::Trajectory seed = generator.GenerateOne(r, &route);
+    for (int i = 0; i < kPerRoute; ++i) {
+      // Each observation drops a random fraction of points and jitters.
+      traj::Trajectory obs = traj::Downsample(seed, rng.Uniform(0.0, 0.5),
+                                              rng);
+      obs = traj::Distort(obs, 0.3, rng);
+      trips.push_back(std::move(obs));
+      labels.push_back(r);
+    }
+  }
+
+  const nn::Matrix vectors = model.Encode(trips);
+  Rng km_rng(7);
+  const std::vector<int> clusters = KMeans(vectors, kRoutes, 25, km_rng);
+
+  // Purity: majority label per cluster.
+  std::map<int, std::map<int, int>> contingency;
+  for (size_t i = 0; i < trips.size(); ++i) {
+    contingency[clusters[i]][labels[i]]++;
+  }
+  int majority_total = 0;
+  for (const auto& [cluster, label_counts] : contingency) {
+    int best = 0;
+    for (const auto& [label, count] : label_counts) {
+      best = std::max(best, count);
+    }
+    majority_total += best;
+  }
+  const double purity =
+      static_cast<double>(majority_total) / static_cast<double>(trips.size());
+
+  std::printf("\nclustered %zu trajectory observations of %d routes\n",
+              trips.size(), kRoutes);
+  std::printf("k-means purity on t2vec vectors: %.3f (1.0 = perfect, "
+              "%.3f = chance)\n",
+              purity, 1.0 / kRoutes);
+  return purity > 0.5 ? 0 : 1;
+}

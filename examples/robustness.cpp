@@ -1,0 +1,82 @@
+// Robustness anatomy: how each similarity measure's view of "the same trip"
+// degrades as sampling quality falls — a compact, printable version of the
+// paper's motivation (Fig. 1) and of Tables IV/V.
+//
+// For one trip we build progressively worse observations (dropping rate 0
+// to 0.8, then heavy distortion) and print, for every measure, the distance
+// to the original normalized by the distance to an unrelated trip. Values
+// well below 1 mean the measure still recognizes the trip; values near or
+// above 1 mean it is fooled.
+//
+// Runtime: ~1.5 minutes.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/t2vec.h"
+#include "dist/classic.h"
+#include "dist/edwp.h"
+#include "traj/generator.h"
+#include "traj/transforms.h"
+
+int main() {
+  using namespace t2vec;
+
+  traj::SyntheticTrajectoryGenerator generator(
+      traj::GeneratorConfig::PortoLike());
+  traj::Dataset all = generator.Generate(1300);
+  traj::Dataset train, test;
+  all.Split(1200, &train, &test);
+
+  core::T2VecConfig config;
+  config.max_iterations = 500;
+  config.validate_every = 250;
+  const core::T2Vec model = core::T2Vec::Train(train.trajectories(), config);
+
+  const traj::Trajectory& trip = test[0];
+  const traj::Trajectory& other = test[1];
+
+  dist::EdrMeasure edr(config.cell_size);
+  dist::LcssMeasure lcss(config.cell_size);
+  dist::DtwMeasure dtw;
+  dist::EdwpMeasure edwp;
+  const core::T2VecMeasure t2v(&model);
+  const std::vector<const dist::Measure*> measures = {&t2v, &edwp, &edr,
+                                                      &lcss, &dtw};
+
+  std::printf("\nratio d(trip, degraded trip) / d(trip, unrelated trip)\n");
+  std::printf("(< 1: variant recognized as closer than a random trip; "
+              ">= 1: fooled)\n\n");
+  std::printf("%-26s", "degradation");
+  for (const auto* m : measures) std::printf("%10s", m->Name().c_str());
+  std::printf("\n");
+
+  Rng rng(17);
+  auto report = [&](const char* label, const traj::Trajectory& variant) {
+    std::printf("%-26s", label);
+    for (const auto* m : measures) {
+      const double to_variant = m->Distance(trip, variant);
+      const double to_other = m->Distance(trip, other);
+      std::printf("%10.3f", to_other > 0 ? to_variant / to_other : 0.0);
+    }
+    std::printf("\n");
+  };
+
+  for (double r1 : {0.0, 0.2, 0.4, 0.6, 0.8}) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "drop %.0f%% of points", r1 * 100);
+    report(label, traj::Downsample(trip, r1, rng));
+  }
+  for (double r2 : {0.3, 0.6, 1.0}) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "distort %.0f%% (30 m)", r2 * 100);
+    report(label, traj::Distort(trip, r2, rng));
+  }
+  {
+    // The paper's hardest setting: sparse AND noisy.
+    traj::Trajectory worst = traj::Downsample(trip, 0.6, rng);
+    worst = traj::Distort(worst, 0.6, rng);
+    report("drop 60% + distort 60%", worst);
+  }
+  return 0;
+}

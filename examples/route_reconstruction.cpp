@@ -1,0 +1,85 @@
+// Route reconstruction: the generative side of t2vec.
+//
+// The paper's objective is maximizing P(R|T) — inferring the most likely
+// underlying route R from a sparse, noisy observation T (Sec. IV-A). After
+// training, the decoder can actually be *run*: encode the sparse trajectory,
+// then greedily decode the dense cell sequence. This example drops 70% of a
+// trip's points, reconstructs the route, and scores the reconstruction
+// against the withheld dense trip with Hausdorff and Fréchet distances —
+// compared against straight-line interpolation of the sparse input.
+//
+// Runtime: ~1.5 minutes.
+
+#include <cstdio>
+
+#include "core/t2vec.h"
+#include "dist/classic.h"
+#include "traj/generator.h"
+#include "traj/transforms.h"
+
+namespace {
+
+using namespace t2vec;
+
+// Densifies `sparse` by straight-line interpolation to ~`target` points —
+// the geometric baseline EDwP-style methods implicitly assume.
+traj::Trajectory LinearInterpolate(const traj::Trajectory& sparse,
+                                   size_t target) {
+  traj::Trajectory out;
+  out.id = sparse.id;
+  if (sparse.size() < 2) return sparse;
+  const double total = sparse.Length();
+  const double spacing = total / static_cast<double>(target);
+  out.points = traj::SampleAlongPolyline(sparse.points, spacing);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  traj::SyntheticTrajectoryGenerator generator(
+      traj::GeneratorConfig::PortoLike());
+  traj::Dataset all = generator.Generate(1250);
+  traj::Dataset train, test;
+  all.Split(1200, &train, &test);
+
+  core::T2VecConfig config;
+  config.max_iterations = 500;
+  config.validate_every = 250;
+  const core::T2Vec model = core::T2Vec::Train(train.trajectories(), config);
+
+  std::printf("\n%-8s%14s%14s%16s%16s\n", "trip", "kept points",
+              "hausdorff(nn)", "hausdorff(lin)", "frechet(nn)");
+  Rng rng(3);
+  double nn_total = 0.0, lin_total = 0.0;
+  const int trials = 10;
+  for (int i = 0; i < trials; ++i) {
+    const traj::Trajectory& dense = test[static_cast<size_t>(i)];
+    const traj::Trajectory sparse = traj::Downsample(dense, 0.7, rng);
+
+    const traj::Trajectory reconstructed = model.ReconstructRoute(sparse);
+    const traj::Trajectory interpolated =
+        LinearInterpolate(sparse, dense.size());
+
+    const double h_nn =
+        dist::Hausdorff(reconstructed.points, dense.points);
+    const double h_lin =
+        dist::Hausdorff(interpolated.points, dense.points);
+    const double f_nn =
+        dist::DiscreteFrechet(reconstructed.points, dense.points);
+    nn_total += h_nn;
+    lin_total += h_lin;
+    std::printf("%-8d%8zu/%zu%13.0fm%15.0fm%15.0fm\n", i, sparse.size(),
+                dense.size(), h_nn, h_lin, f_nn);
+  }
+  std::printf("\nmean Hausdorff to the true dense trip: decoder %.0f m, "
+              "linear interpolation %.0f m\n",
+              nn_total / trials, lin_total / trials);
+  std::printf(
+      "(Generation is a much harder task than encoding: at this example's "
+      "small\ntraining budget the decoder usually loses to straight-line "
+      "interpolation on\nnear-linear roads; it needs convergence-level "
+      "training to exploit learned\ntransition patterns. The encoding-side "
+      "robustness results do not depend on it.)\n");
+  return 0;
+}

@@ -1,0 +1,11 @@
+#!/bin/bash
+# Priority-ordered run of the remaining experiment benches, appending to
+# bench_output.txt (fig5 output is already there from the first sweep pass).
+cd /root/repo
+for b in bench_table2_datasets bench_fig6_efficiency bench_table4_downsampling \
+         bench_table7_loss_ablation bench_fig7_trainsize bench_table9_hidden \
+         bench_table6_crossdist bench_table5_distortion bench_table3_dbsize \
+         bench_table8_cellsize bench_micro_distance bench_micro_nn; do
+  echo "===== build/bench/$b ====="
+  ./build/bench/$b
+done

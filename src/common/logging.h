@@ -1,0 +1,40 @@
+#ifndef T2VEC_COMMON_LOGGING_H_
+#define T2VEC_COMMON_LOGGING_H_
+
+#include <cstdarg>
+#include <cstdio>
+
+/// \file
+/// Tiny leveled logger. Training and experiment drivers use it for progress
+/// reporting; it writes to stderr so that table output on stdout stays clean.
+
+namespace t2vec {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Returns the mutable global minimum level (default kInfo).
+inline LogLevel& GlobalLogLevel() {
+  static LogLevel level = LogLevel::kInfo;
+  return level;
+}
+
+/// printf-style logging to stderr, filtered by GlobalLogLevel().
+inline void Logf(LogLevel level, const char* fmt, ...) {
+  if (level < GlobalLogLevel()) return;
+  const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::fprintf(stderr, "[%s] ", names[static_cast<int>(level)]);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "\n");
+}
+
+}  // namespace t2vec
+
+#define T2VEC_LOG_DEBUG(...) ::t2vec::Logf(::t2vec::LogLevel::kDebug, __VA_ARGS__)
+#define T2VEC_LOG_INFO(...) ::t2vec::Logf(::t2vec::LogLevel::kInfo, __VA_ARGS__)
+#define T2VEC_LOG_WARN(...) ::t2vec::Logf(::t2vec::LogLevel::kWarn, __VA_ARGS__)
+#define T2VEC_LOG_ERROR(...) ::t2vec::Logf(::t2vec::LogLevel::kError, __VA_ARGS__)
+
+#endif  // T2VEC_COMMON_LOGGING_H_

@@ -1,0 +1,42 @@
+#ifndef T2VEC_COMMON_MACROS_H_
+#define T2VEC_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Assertion macros used for programming-error checks throughout the library.
+///
+/// CHECK-style macros abort on failure with a source location; they are the
+/// designated mechanism for invariant violations (out-of-range indices,
+/// dimension mismatches). Fallible operations that depend on external input
+/// (file I/O, parsing) return `Status`/`Result<T>` instead — see status.h.
+
+namespace t2vec::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace t2vec::internal
+
+/// Aborts the program if `expr` evaluates to false. Always enabled.
+#define T2VEC_CHECK(expr)                                      \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::t2vec::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                          \
+  } while (0)
+
+/// Like T2VEC_CHECK but compiled out in NDEBUG builds. Use on hot paths.
+#ifdef NDEBUG
+#define T2VEC_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define T2VEC_DCHECK(expr) T2VEC_CHECK(expr)
+#endif
+
+#endif  // T2VEC_COMMON_MACROS_H_

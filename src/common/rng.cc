@@ -1,0 +1,148 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace t2vec {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  T2VEC_DCHECK(n > 0);
+  // Rejection sampling to remove modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+  uint64_t x;
+  do {
+    x = NextU64();
+  } while (x >= limit);
+  return x % n;
+}
+
+double Rng::Uniform() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = Uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    T2VEC_DCHECK(w >= 0.0);
+    total += w;
+  }
+  T2VEC_CHECK(total > 0.0);
+  double target = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // Floating-point edge: return last index.
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+std::vector<double> SmoothedDistribution(const std::vector<double>& counts,
+                                         double power) {
+  std::vector<double> out(counts.size());
+  double total = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    out[i] = std::pow(counts[i], power);
+    total += out[i];
+  }
+  T2VEC_CHECK(total > 0.0);
+  for (double& x : out) x /= total;
+  return out;
+}
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  T2VEC_CHECK(n > 0);
+  double total = 0.0;
+  for (double w : weights) {
+    T2VEC_CHECK(w >= 0.0);
+    total += w;
+  }
+  T2VEC_CHECK(total > 0.0);
+
+  prob_of_.resize(n);
+  accept_.resize(n);
+  alias_.assign(n, 0);
+
+  // Scaled probabilities; Vose's alias method.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    prob_of_[i] = weights[i] / total;
+    scaled[i] = prob_of_[i] * static_cast<double>(n);
+  }
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    large.pop_back();
+    accept_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (uint32_t i : large) accept_[i] = 1.0;
+  for (uint32_t i : small) accept_[i] = 1.0;
+}
+
+size_t AliasSampler::Sample(Rng& rng) const {
+  const size_t i = rng.UniformInt(accept_.size());
+  return rng.Uniform() < accept_[i] ? i : alias_[i];
+}
+
+}  // namespace t2vec

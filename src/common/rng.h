@@ -1,0 +1,107 @@
+#ifndef T2VEC_COMMON_RNG_H_
+#define T2VEC_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+/// \file
+/// Deterministic random number generation.
+///
+/// Every stochastic component of the library (data generation, dropout-style
+/// downsampling, noise sampling, weight init, shuffling) draws from an
+/// explicitly seeded `Rng` so that experiments are bit-reproducible.
+
+namespace t2vec {
+
+/// A small, fast, deterministic PRNG (xoshiro256** with splitmix64 seeding).
+///
+/// Not cryptographically secure; statistically solid for simulation use.
+/// Copyable — copying forks the stream.
+class Rng {
+ public:
+  /// Seeds the generator. Equal seeds yield identical streams on all
+  /// platforms.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit integer.
+  uint64_t NextU64();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Standard normal via Box–Muller (cached second value).
+  double Gaussian();
+
+  /// Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Samples an index from non-negative `weights` proportionally to weight.
+  /// Requires at least one strictly positive weight.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle of [first, last) index order applied to `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = UniformInt(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for parallel or per-component
+  /// streams) without consuming much parent state.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// Utility used to build sampling tables: raises each weight to `power`
+/// (word2vec-style unigram smoothing) and normalizes to a distribution.
+std::vector<double> SmoothedDistribution(const std::vector<double>& counts,
+                                         double power);
+
+/// Alias sampler for O(1) draws from a fixed categorical distribution.
+/// Used by negative sampling in skip-gram pretraining and by the NCE loss,
+/// where millions of draws from the same distribution are needed.
+class AliasSampler {
+ public:
+  /// Builds the alias table from a (not necessarily normalized) weight
+  /// vector. Requires at least one strictly positive weight.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  /// Draws one index.
+  size_t Sample(Rng& rng) const;
+
+  /// Probability of index i under the normalized distribution.
+  double Probability(size_t i) const {
+    T2VEC_DCHECK(i < prob_of_.size());
+    return prob_of_[i];
+  }
+
+  size_t size() const { return prob_of_.size(); }
+
+ private:
+  std::vector<double> accept_;
+  std::vector<uint32_t> alias_;
+  std::vector<double> prob_of_;
+};
+
+}  // namespace t2vec
+
+#endif  // T2VEC_COMMON_RNG_H_

@@ -1,0 +1,102 @@
+#ifndef T2VEC_COMMON_SERIALIZE_H_
+#define T2VEC_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+/// \file
+/// Minimal binary (de)serialization used for model checkpoints and caches.
+///
+/// The format is a flat little-endian stream; each composite type writes a
+/// tag-free fixed layout. Streams are versioned by their owners (the model
+/// writes a magic + version header). Not intended for cross-endian portability.
+
+namespace t2vec {
+
+/// Appends primitive values and vectors to a binary output stream.
+class BinaryWriter {
+ public:
+  /// Opens `path` for writing (truncates). Check `ok()` before use.
+  explicit BinaryWriter(const std::string& path)
+      : out_(path, std::ios::binary | std::ios::trunc) {}
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  template <typename T>
+  void WritePod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  }
+
+  void WriteString(const std::string& s) {
+    WritePod<uint64_t>(s.size());
+    out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+  }
+
+  template <typename T>
+  void WriteVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WritePod<uint64_t>(v.size());
+    out_.write(reinterpret_cast<const char*>(v.data()),
+               static_cast<std::streamsize>(v.size() * sizeof(T)));
+  }
+
+  /// Flushes and reports whether every write succeeded.
+  Status Finish() {
+    out_.flush();
+    if (!out_) return Status::IoError("binary write failed");
+    return Status::Ok();
+  }
+
+ private:
+  std::ofstream out_;
+};
+
+/// Reads values written by BinaryWriter, in the same order.
+class BinaryReader {
+ public:
+  /// Opens `path` for reading. Check `ok()` before use.
+  explicit BinaryReader(const std::string& path)
+      : in_(path, std::ios::binary) {}
+
+  bool ok() const { return static_cast<bool>(in_); }
+
+  template <typename T>
+  bool ReadPod(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    in_.read(reinterpret_cast<char*>(value), sizeof(T));
+    return static_cast<bool>(in_);
+  }
+
+  bool ReadString(std::string* s) {
+    uint64_t n = 0;
+    if (!ReadPod(&n)) return false;
+    if (n > (1ULL << 32)) return false;  // Corruption guard.
+    s->resize(n);
+    in_.read(s->data(), static_cast<std::streamsize>(n));
+    return static_cast<bool>(in_);
+  }
+
+  template <typename T>
+  bool ReadVector(std::vector<T>* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n = 0;
+    if (!ReadPod(&n)) return false;
+    if (n > (1ULL << 32)) return false;  // Corruption guard.
+    v->resize(n);
+    in_.read(reinterpret_cast<char*>(v->data()),
+             static_cast<std::streamsize>(n * sizeof(T)));
+    return static_cast<bool>(in_);
+  }
+
+ private:
+  std::ifstream in_;
+};
+
+}  // namespace t2vec
+
+#endif  // T2VEC_COMMON_SERIALIZE_H_

@@ -1,0 +1,105 @@
+#ifndef T2VEC_COMMON_STATUS_H_
+#define T2VEC_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+
+/// \file
+/// Lightweight Status / Result<T> types for fallible operations.
+///
+/// The library does not throw exceptions across public API boundaries.
+/// Operations that can fail due to external conditions (missing files,
+/// malformed input) return `Status` or `Result<T>`; internal invariant
+/// violations use T2VEC_CHECK.
+
+namespace t2vec {
+
+/// Coarse error categories; enough to make callers' dispatch readable.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Result of a fallible operation: either OK or a code plus message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "IoError: cannot open foo".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Move-friendly.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value — lets functions `return value;`.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status — lets functions `return status;`.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    T2VEC_CHECK(!std::get<Status>(data_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  /// Value accessors; CHECK-fail when not ok().
+  const T& value() const& {
+    T2VEC_CHECK(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    T2VEC_CHECK(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    T2VEC_CHECK(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace t2vec
+
+#endif  // T2VEC_COMMON_STATUS_H_

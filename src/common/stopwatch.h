@@ -1,0 +1,34 @@
+#ifndef T2VEC_COMMON_STOPWATCH_H_
+#define T2VEC_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+/// \file
+/// Wall-clock timing used by the training loop and the efficiency benches.
+
+namespace t2vec {
+
+/// Monotonic wall-clock stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch from zero.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace t2vec
+
+#endif  // T2VEC_COMMON_STOPWATCH_H_

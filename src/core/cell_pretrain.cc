@@ -1,0 +1,97 @@
+#include "core/cell_pretrain.h"
+
+#include <cmath>
+#include <vector>
+
+namespace t2vec::core {
+
+namespace {
+
+// Logistic sigmoid for scalar scores.
+inline float SigmoidScalar(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+// One skip-gram SGD update for (center, context, label): in/out vectors of
+// dimension d; returns nothing, updates both tables in place.
+// The gradient of -log sigmoid(±s) w.r.t. s is (sigmoid(s) - label).
+void SgnsUpdate(float* in_vec, float* out_vec, size_t d, float label,
+                float lr, std::vector<float>& in_grad_accum) {
+  double score = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    score += static_cast<double>(in_vec[j]) * out_vec[j];
+  }
+  const float g = (SigmoidScalar(static_cast<float>(score)) - label) * lr;
+  for (size_t j = 0; j < d; ++j) {
+    in_grad_accum[j] += g * out_vec[j];
+    out_vec[j] -= g * in_vec[j];
+  }
+}
+
+}  // namespace
+
+nn::Matrix PretrainCellEmbeddings(const geo::HotCellVocab& vocab,
+                                  const geo::CellKnnTable& knn,
+                                  const T2VecConfig& config, Rng& rng) {
+  const size_t d = config.embed_dim;
+  const size_t vocab_size = static_cast<size_t>(vocab.vocab_size());
+  const size_t num_cells = vocab.num_hot_cells();
+
+  // Input (returned) and output embedding tables, word2vec-style.
+  nn::Matrix in_table(vocab_size, d);
+  nn::Matrix out_table(vocab_size, d);
+  const float init_scale = 0.5f / static_cast<float>(d);
+  for (size_t i = 0; i < in_table.size(); ++i) {
+    in_table.data()[i] = static_cast<float>(rng.Uniform(-init_scale,
+                                                        init_scale));
+  }
+
+  // Negative-sampling distribution: smoothed hit counts (count^0.75).
+  std::vector<double> counts(num_cells);
+  for (size_t i = 0; i < num_cells; ++i) {
+    counts[i] = static_cast<double>(
+        vocab.HitCount(static_cast<geo::Token>(i) + geo::kNumSpecialTokens));
+  }
+  const AliasSampler noise(SmoothedDistribution(counts, 0.75));
+
+  std::vector<float> in_grad(d);
+  for (int epoch = 0; epoch < config.pretrain_epochs; ++epoch) {
+    for (size_t ci = 0; ci < num_cells; ++ci) {
+      const geo::Token u =
+          static_cast<geo::Token>(ci) + geo::kNumSpecialTokens;
+      const std::vector<geo::Token>& neighbors = knn.Neighbors(u);
+      const std::vector<float>& weights = knn.Weights(u);
+      float* in_vec = in_table.Row(static_cast<size_t>(u));
+
+      // Algorithm 1 lines 2-5: sample context C(u) of size l from the
+      // kernel distribution over NK(u).
+      for (int c = 0; c < config.pretrain_context; ++c) {
+        // Categorical draw from the precomputed kernel weights.
+        double target = rng.Uniform();
+        size_t pick = 0;
+        for (; pick + 1 < weights.size(); ++pick) {
+          target -= weights[pick];
+          if (target < 0.0) break;
+        }
+        const geo::Token context = neighbors[pick];
+        if (context == u) continue;  // Self pairs carry no signal.
+
+        std::fill(in_grad.begin(), in_grad.end(), 0.0f);
+        // Positive pair.
+        SgnsUpdate(in_vec, out_table.Row(static_cast<size_t>(context)), d,
+                   1.0f, config.pretrain_lr, in_grad);
+        // Negative samples.
+        for (int neg = 0; neg < config.pretrain_negatives; ++neg) {
+          const geo::Token sampled =
+              static_cast<geo::Token>(noise.Sample(rng)) +
+              geo::kNumSpecialTokens;
+          if (sampled == context || sampled == u) continue;
+          SgnsUpdate(in_vec, out_table.Row(static_cast<size_t>(sampled)), d,
+                     0.0f, config.pretrain_lr, in_grad);
+        }
+        for (size_t j = 0; j < d; ++j) in_vec[j] -= in_grad[j];
+      }
+    }
+  }
+  return in_table;
+}
+
+}  // namespace t2vec::core

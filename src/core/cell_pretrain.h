@@ -1,0 +1,32 @@
+#ifndef T2VEC_CORE_CELL_PRETRAIN_H_
+#define T2VEC_CORE_CELL_PRETRAIN_H_
+
+#include "common/rng.h"
+#include "core/config.h"
+#include "geo/cell_knn.h"
+#include "geo/vocab.h"
+#include "nn/matrix.h"
+
+/// \file
+/// Cell representation pretraining — the paper's Algorithm 1 ("CL").
+///
+/// For every hot cell u, a context C(u) of size l is sampled from its K
+/// nearest cells with probability proportional to exp(-d/θ) (Eq. 8). The
+/// (cell, context) pairs are then trained with skip-gram + negative sampling
+/// (Mikolov et al. [34]): spatially close cells end up with close embedding
+/// vectors, which seeds the model's embedding layer so that trajectories of
+/// the same route start out close in latent space.
+
+namespace t2vec::core {
+
+/// Runs Algorithm 1 and returns a vocab_size x embed_dim embedding matrix.
+/// Rows of special tokens are small random vectors. The negative-sampling
+/// noise distribution is the smoothed hot-cell hit-count unigram
+/// (count^0.75, the word2vec convention).
+nn::Matrix PretrainCellEmbeddings(const geo::HotCellVocab& vocab,
+                                  const geo::CellKnnTable& knn,
+                                  const T2VecConfig& config, Rng& rng);
+
+}  // namespace t2vec::core
+
+#endif  // T2VEC_CORE_CELL_PRETRAIN_H_

@@ -1,0 +1,73 @@
+#include "core/config.h"
+
+#include <cstdio>
+
+namespace t2vec::core {
+
+namespace {
+
+// FNV-1a style mixing over raw field bytes.
+void MixBytes(uint64_t* h, const void* data, size_t len) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    *h ^= bytes[i];
+    *h *= 0x100000001B3ULL;
+  }
+}
+
+template <typename T>
+void Mix(uint64_t* h, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  MixBytes(h, &value, sizeof(value));
+}
+
+}  // namespace
+
+uint64_t T2VecConfig::Fingerprint() const {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  Mix(&h, cell_size);
+  Mix(&h, hot_cell_min_hits);
+  Mix(&h, knn_k);
+  Mix(&h, nce_noise);
+  Mix(&h, theta);
+  Mix(&h, loss);
+  Mix(&h, nce_variant);
+  Mix(&h, embed_dim);
+  Mix(&h, hidden);
+  Mix(&h, layers);
+  Mix(&h, reverse_source);
+  Mix(&h, use_attention);
+  Mix(&h, pretrain_cells);
+  Mix(&h, pretrain_context);
+  Mix(&h, pretrain_negatives);
+  Mix(&h, pretrain_epochs);
+  Mix(&h, pretrain_lr);
+  Mix(&h, pretrain_theta);
+  for (double r : r1_grid) Mix(&h, r);
+  for (double r : r2_grid) Mix(&h, r);
+  Mix(&h, learning_rate);
+  Mix(&h, grad_clip);
+  Mix(&h, batch_size);
+  Mix(&h, max_iterations);
+  Mix(&h, validate_every);
+  Mix(&h, patience);
+  Mix(&h, validation_pairs);
+  Mix(&h, seed);
+  return h;
+}
+
+std::string T2VecConfig::Summary() const {
+  const char* loss_name =
+      loss == LossKind::kL1 ? "L1" : (loss == LossKind::kL2 ? "L2" : "L3");
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "cell=%.0fm hidden=%zu layers=%zu embed=%zu loss=%s%s K=%d "
+                "noise=%d lr=%.4f batch=%zu iters=%zu",
+                cell_size, hidden, layers, embed_dim, loss_name,
+                pretrain_cells ? "+CL" : "", knn_k, nce_noise,
+                static_cast<double>(learning_rate), batch_size,
+                max_iterations);
+  return buf;
+}
+
+}  // namespace t2vec::core

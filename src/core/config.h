@@ -1,0 +1,92 @@
+#ifndef T2VEC_CORE_CONFIG_H_
+#define T2VEC_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file
+/// Hyperparameters of the t2vec training pipeline. Defaults are the paper's
+/// settings scaled down so every experiment trains on a single CPU core
+/// (paper value in comments); the paper-scale values can be restored field
+/// by field.
+
+namespace t2vec::core {
+
+/// Which training loss drives the decoder (paper Sec. IV-C1, Table VII).
+enum class LossKind {
+  kL1,  ///< Plain NLL over the full vocabulary (Eq. 4).
+  kL2,  ///< Exact spatial proximity aware loss (Eq. 5).
+  kL3,  ///< K-nearest + noise-contrastive approximation (Eq. 7).
+};
+
+/// How L3's noise-contrastive term is computed (DESIGN.md §4.2).
+enum class NceVariant {
+  kSampledSoftmax,  ///< Softmax restricted to NK(y) ∪ O(y). Default.
+  kBinaryNce,       ///< Gutmann & Hyvärinen logistic-regression NCE.
+};
+
+/// All hyperparameters of vocabulary building, pretraining, and training.
+struct T2VecConfig {
+  // --- Spatial discretization (paper Sec. V-B) ---
+  double cell_size = 100.0;   ///< Cell side, meters (paper: 100).
+  int hot_cell_min_hits = 5;  ///< δ: min hits for a hot cell (paper: 50).
+
+  // --- Spatial proximity machinery (paper Sec. IV-C) ---
+  int knn_k = 20;          ///< K nearest cells in L3 / pretraining (paper: 20).
+  int nce_noise = 64;      ///< |O(y_t)| noise cells (paper: 500).
+  double theta = 100.0;    ///< Kernel scale θ, meters (paper: 100).
+  LossKind loss = LossKind::kL3;
+  NceVariant nce_variant = NceVariant::kSampledSoftmax;
+
+  // --- Model architecture ---
+  size_t embed_dim = 64;  ///< Cell representation dim d (paper: 256).
+  size_t hidden = 96;     ///< GRU hidden size |v| (paper: 256).
+  size_t layers = 2;      ///< Stacked GRU layers (paper: 3).
+  /// Feed the encoder the source sequence reversed (Sutskever et al. 2014).
+  /// Shortens the gradient path from the decoder's first steps to the
+  /// source's first tokens; markedly better representations at small
+  /// training budgets. Applied consistently at train and encode time.
+  bool reverse_source = true;
+  /// Decode with global (Luong) attention over the encoder outputs —
+  /// an extension beyond the paper (off by default for faithfulness). The
+  /// trajectory representation stays the encoder's final hidden state; only
+  /// the reconstruction decoder changes. Attention models cannot be
+  /// serialized yet (T2Vec::Save rejects them).
+  bool use_attention = false;
+
+  // --- Cell representation pretraining (Algorithm 1) ---
+  bool pretrain_cells = true;
+  int pretrain_context = 10;    ///< Context window l (paper: 10).
+  int pretrain_negatives = 8;   ///< Negative samples per pair.
+  int pretrain_epochs = 12;     ///< Passes over the vocabulary.
+  float pretrain_lr = 0.05f;
+  double pretrain_theta = 100.0;  ///< θ of the sampling distribution (Eq. 8).
+
+  // --- Training-pair generation (paper Sec. V-A: 4 x 4 = 16 pairs) ---
+  std::vector<double> r1_grid = {0.0, 0.2, 0.4, 0.6};
+  std::vector<double> r2_grid = {0.0, 0.2, 0.4, 0.6};
+
+  // --- Optimization (paper Sec. V-B) ---
+  float learning_rate = 1e-3f;  ///< Adam initial lr (paper: 0.001).
+  double grad_clip = 5.0;       ///< Max global grad norm (paper: 5).
+  size_t batch_size = 64;
+  size_t max_iterations = 4000;    ///< Hard cap on training batches.
+  size_t validate_every = 250;     ///< Iterations between validation passes.
+  size_t patience = 8;             ///< Validation checks without improvement
+                                   ///< before early stop (paper: 20k iters).
+  size_t validation_pairs = 512;   ///< Pairs held out for validation.
+
+  uint64_t seed = 42;
+
+  /// Stable hash of every field, used as the on-disk cache key for trained
+  /// models (eval/cache.h).
+  uint64_t Fingerprint() const;
+
+  /// Human-readable one-line summary for logs.
+  std::string Summary() const;
+};
+
+}  // namespace t2vec::core
+
+#endif  // T2VEC_CORE_CONFIG_H_

@@ -1,0 +1,157 @@
+#include "core/decoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/ops.h"
+
+namespace t2vec::core {
+
+namespace {
+
+// Encodes `src`, returning the encoder's per-layer final states (the
+// decoder's initial state) and its per-step top-layer outputs (consumed by
+// attention when the model has it). Returns false for an empty source.
+bool EncodeSource(const EncoderDecoder& model, const traj::TokenSeq& src,
+                  nn::GruState* state, std::vector<nn::Matrix>* enc_outputs) {
+  if (src.empty()) return false;
+  std::vector<nn::Matrix> xs(src.size());
+  for (size_t t = 0; t < src.size(); ++t) {
+    model.embedding().Forward({src[t]}, &xs[t]);
+  }
+  nn::Gru::ForwardResult result;
+  model.encoder().Forward(xs, nullptr, {}, &result);
+  *enc_outputs = result.TopOutputs();
+  *state = std::move(result.final_state);
+  return true;
+}
+
+// One decoder step: feeds `token`, advances `state`, writes the top-layer
+// hidden's log-softmax over the vocabulary into `log_probs` (1 x V).
+// With attention, the attentional hidden replaces the raw GRU output.
+void DecoderStep(const EncoderDecoder& model, geo::Token token,
+                 const std::vector<nn::Matrix>& enc_outputs,
+                 nn::GruState* state, nn::Matrix* log_probs) {
+  nn::Matrix x;
+  model.embedding().Forward({token}, &x);
+  nn::Gru::ForwardResult result;
+  const std::vector<nn::Matrix> xs = {std::move(x)};
+  model.decoder().Forward(xs, state, {}, &result);
+  *state = std::move(result.final_state);
+
+  nn::Matrix logits;
+  if (model.has_attention()) {
+    nn::AttentionCache cache;
+    model.attention()->Forward({state->h.back()}, enc_outputs, {}, &cache);
+    model.projection().FullLogits(cache.output.front(), &logits);
+  } else {
+    model.projection().FullLogits(state->h.back(), &logits);
+  }
+  nn::LogSoftmaxRows(logits, log_probs);
+}
+
+// Top-k (token, log-prob) pairs, excluding the non-emittable specials
+// (PAD/BOS/UNK stay internal; EOS is a legal output).
+std::vector<std::pair<double, geo::Token>> TopK(const nn::Matrix& log_probs,
+                                                size_t k) {
+  std::vector<std::pair<double, geo::Token>> scored;
+  scored.reserve(log_probs.cols());
+  for (size_t u = 0; u < log_probs.cols(); ++u) {
+    const auto token = static_cast<geo::Token>(u);
+    if (token == geo::kPadToken || token == geo::kBosToken ||
+        token == geo::kUnkToken) {
+      continue;
+    }
+    scored.emplace_back(-log_probs.At(0, u), token);
+  }
+  k = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
+                    scored.end());
+  scored.resize(k);
+  for (auto& [neg_lp, token] : scored) neg_lp = -neg_lp;  // Back to log-prob.
+  return scored;
+}
+
+}  // namespace
+
+traj::TokenSeq SequenceDecoder::DecodeGreedy(const traj::TokenSeq& src,
+                                             size_t max_len) const {
+  traj::TokenSeq out;
+  nn::GruState state;
+  std::vector<nn::Matrix> enc_outputs;
+  if (!EncodeSource(*model_, src, &state, &enc_outputs)) return out;
+
+  geo::Token token = geo::kBosToken;
+  nn::Matrix log_probs;
+  for (size_t step = 0; step < max_len; ++step) {
+    DecoderStep(*model_, token, enc_outputs, &state, &log_probs);
+    const auto best = TopK(log_probs, 1);
+    T2VEC_CHECK(!best.empty());
+    token = best[0].second;
+    if (token == geo::kEosToken) break;
+    out.push_back(token);
+  }
+  return out;
+}
+
+std::vector<Hypothesis> SequenceDecoder::DecodeBeam(const traj::TokenSeq& src,
+                                                    size_t beam_width,
+                                                    size_t max_len) const {
+  T2VEC_CHECK(beam_width >= 1);
+  std::vector<Hypothesis> finished;
+  nn::GruState init;
+  std::vector<nn::Matrix> enc_outputs;
+  if (!EncodeSource(*model_, src, &init, &enc_outputs)) return finished;
+
+  struct Beam {
+    Hypothesis hyp;
+    nn::GruState state;
+    geo::Token last = geo::kBosToken;
+  };
+  std::vector<Beam> beams = {{Hypothesis{}, std::move(init), geo::kBosToken}};
+
+  nn::Matrix log_probs;
+  for (size_t step = 0; step < max_len && !beams.empty(); ++step) {
+    std::vector<Beam> expanded;
+    for (Beam& beam : beams) {
+      DecoderStep(*model_, beam.last, enc_outputs, &beam.state, &log_probs);
+      for (const auto& [lp, token] : TopK(log_probs, beam_width)) {
+        if (token == geo::kEosToken) {
+          Hypothesis done = beam.hyp;
+          done.log_prob += lp;
+          finished.push_back(std::move(done));
+          continue;
+        }
+        Beam next;
+        next.hyp = beam.hyp;
+        next.hyp.tokens.push_back(token);
+        next.hyp.log_prob = beam.hyp.log_prob + lp;
+        next.state = beam.state;
+        next.last = token;
+        expanded.push_back(std::move(next));
+      }
+    }
+    std::sort(expanded.begin(), expanded.end(),
+              [](const Beam& a, const Beam& b) {
+                return a.hyp.log_prob > b.hyp.log_prob;
+              });
+    if (expanded.size() > beam_width) expanded.resize(beam_width);
+    beams = std::move(expanded);
+  }
+  // Surviving unfinished beams count as hypotheses too (hit max_len).
+  for (Beam& beam : beams) finished.push_back(std::move(beam.hyp));
+
+  // Length-normalized ranking avoids the short-sequence bias.
+  std::sort(finished.begin(), finished.end(),
+            [](const Hypothesis& a, const Hypothesis& b) {
+              const double na =
+                  a.log_prob / static_cast<double>(a.tokens.size() + 1);
+              const double nb =
+                  b.log_prob / static_cast<double>(b.tokens.size() + 1);
+              return na > nb;
+            });
+  if (finished.size() > beam_width) finished.resize(beam_width);
+  return finished;
+}
+
+}  // namespace t2vec::core

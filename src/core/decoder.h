@@ -1,0 +1,50 @@
+#ifndef T2VEC_CORE_DECODER_H_
+#define T2VEC_CORE_DECODER_H_
+
+#include <vector>
+
+#include "core/model.h"
+
+/// \file
+/// Sequence decoding: reconstruct the most likely *dense* token sequence
+/// from a sparse/noisy trajectory.
+///
+/// The paper's objective is maximizing P(R|T) — inferring the underlying
+/// route from a degraded observation (Sec. IV-A). Training optimizes this
+/// through reconstruction pairs; this header exposes the generative side of
+/// the trained model: greedy and beam-search decoding of
+/// argmax_y P(y | v(T)). It powers the route-reconstruction API
+/// (T2Vec::ReconstructRoute) and demonstrates that the learned model really
+/// does recover dense routes from sparse inputs.
+
+namespace t2vec::core {
+
+/// A decoded candidate sequence with its cumulative log-probability.
+struct Hypothesis {
+  traj::TokenSeq tokens;  ///< Decoded cell tokens (BOS/EOS stripped).
+  double log_prob = 0.0;  ///< Sum of per-token log P.
+};
+
+/// Greedy / beam-search decoder over a trained EncoderDecoder.
+/// The model must outlive the decoder.
+class SequenceDecoder {
+ public:
+  explicit SequenceDecoder(const EncoderDecoder* model) : model_(model) {}
+
+  /// Greedy argmax decoding conditioned on the encoded `src`. Stops at EOS
+  /// or after `max_len` tokens.
+  traj::TokenSeq DecodeGreedy(const traj::TokenSeq& src,
+                              size_t max_len) const;
+
+  /// Beam search with `beam_width` beams; returns completed hypotheses
+  /// sorted by descending length-normalized log-probability (best first).
+  std::vector<Hypothesis> DecodeBeam(const traj::TokenSeq& src,
+                                     size_t beam_width, size_t max_len) const;
+
+ private:
+  const EncoderDecoder* model_;
+};
+
+}  // namespace t2vec::core
+
+#endif  // T2VEC_CORE_DECODER_H_

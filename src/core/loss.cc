@@ -1,0 +1,308 @@
+#include "core/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/loss.h"
+#include "nn/matrix.h"
+
+namespace t2vec::core {
+
+OutputProjection::OutputProjection(size_t vocab_size, size_t hidden, Rng& rng)
+    : weight_("proj.weight", vocab_size, hidden) {
+  nn::InitXavier(&weight_.value, rng);
+}
+
+void OutputProjection::FullLogits(const nn::Matrix& h,
+                                  nn::Matrix* logits) const {
+  logits->Resize(h.rows(), vocab_size());
+  nn::GemmTransB(h, weight_.value, logits);
+}
+
+void OutputProjection::FullBackward(const nn::Matrix& h,
+                                    const nn::Matrix& d_logits,
+                                    bool accumulate, nn::Matrix* d_h) {
+  if (accumulate) {
+    // dW (V x H) += d_logits^T (V x B) · h (B x H).
+    nn::GemmTransA(d_logits, h, &weight_.grad, 1.0f, 1.0f);
+  }
+  d_h->Resize(h.rows(), hidden());
+  nn::Gemm(d_logits, weight_.value, d_h);
+}
+
+void OutputProjection::SampledScores(const float* h,
+                                     const std::vector<geo::Token>& candidates,
+                                     std::vector<float>* scores) const {
+  const size_t dim = hidden();
+  scores->resize(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const float* __restrict w =
+        weight_.value.Row(static_cast<size_t>(candidates[i]));
+    double acc = 0.0;
+    for (size_t j = 0; j < dim; ++j) acc += static_cast<double>(w[j]) * h[j];
+    (*scores)[i] = static_cast<float>(acc);
+  }
+}
+
+void OutputProjection::SampledBackward(
+    const float* h, const std::vector<geo::Token>& candidates,
+    const std::vector<float>& d_scores, bool accumulate, float* d_h) {
+  const size_t dim = hidden();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const float g = d_scores[i];
+    if (g == 0.0f) continue;
+    const size_t row = static_cast<size_t>(candidates[i]);
+    const float* __restrict w = weight_.value.Row(row);
+    for (size_t j = 0; j < dim; ++j) d_h[j] += g * w[j];
+    if (accumulate) {
+      float* __restrict gw = weight_.grad.Row(row);
+      for (size_t j = 0; j < dim; ++j) gw[j] += g * h[j];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// L1
+// ---------------------------------------------------------------------------
+
+double NllLoss::StepLossAndGrad(const nn::Matrix& h,
+                                const std::vector<geo::Token>& targets,
+                                bool accumulate_grads, nn::Matrix* d_h) {
+  proj_->FullLogits(h, &logits_);
+  const double loss =
+      nn::SoftmaxCrossEntropy(logits_, targets, geo::kPadToken, &d_logits_);
+  if (grad_scale_ != 1.0f) nn::Scale(&d_logits_, grad_scale_);
+  proj_->FullBackward(h, d_logits_, accumulate_grads, d_h);
+  return loss;
+}
+
+// ---------------------------------------------------------------------------
+// L2
+// ---------------------------------------------------------------------------
+
+SpatialLoss::SpatialLoss(OutputProjection* proj,
+                         const geo::HotCellVocab* vocab, double theta)
+    : proj_(proj), vocab_(vocab), theta_(theta) {
+  T2VEC_CHECK(theta > 0.0);
+}
+
+double SpatialLoss::StepLossAndGrad(const nn::Matrix& h,
+                                    const std::vector<geo::Token>& targets,
+                                    bool accumulate_grads, nn::Matrix* d_h) {
+  const size_t batch = h.rows();
+  const size_t vocab_size = proj_->vocab_size();
+  const geo::Token num_tokens = vocab_->vocab_size();
+  T2VEC_CHECK(vocab_size == static_cast<size_t>(num_tokens));
+
+  target_dist_.Resize(batch, vocab_size);
+  target_dist_.SetZero();
+  std::vector<uint8_t> active(batch, 0);
+
+  for (size_t b = 0; b < batch; ++b) {
+    const geo::Token y = targets[b];
+    if (y == geo::kPadToken) continue;
+    active[b] = 1;
+    float* __restrict row = target_dist_.Row(b);
+    if (geo::HotCellVocab::IsSpecial(y)) {
+      row[static_cast<size_t>(y)] = 1.0f;  // One-hot for EOS.
+      continue;
+    }
+    // Eq. 5: w_u ∝ exp(-||u - y||_2 / θ) over every hot cell u.
+    const geo::Point target_center = vocab_->CenterOf(y);
+    double total = 0.0;
+    for (geo::Token u = geo::kNumSpecialTokens; u < num_tokens; ++u) {
+      const double dist = geo::Distance(vocab_->CenterOf(u), target_center);
+      const double w = std::exp(-dist / theta_);
+      if (w > 1e-12) {
+        row[static_cast<size_t>(u)] = static_cast<float>(w);
+        total += w;
+      }
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    for (size_t u = geo::kNumSpecialTokens; u < vocab_size; ++u) {
+      row[u] *= inv;
+    }
+  }
+
+  proj_->FullLogits(h, &logits_);
+  const double loss =
+      nn::SoftCrossEntropy(logits_, target_dist_, active, &d_logits_);
+  if (grad_scale_ != 1.0f) nn::Scale(&d_logits_, grad_scale_);
+  proj_->FullBackward(h, d_logits_, accumulate_grads, d_h);
+  return loss;
+}
+
+// ---------------------------------------------------------------------------
+// L3
+// ---------------------------------------------------------------------------
+
+ApproxSpatialLoss::ApproxSpatialLoss(OutputProjection* proj,
+                                     const geo::HotCellVocab* vocab,
+                                     const geo::CellKnnTable* knn,
+                                     const T2VecConfig& config, Rng rng)
+    : proj_(proj),
+      vocab_(vocab),
+      knn_(knn),
+      num_noise_(config.nce_noise),
+      variant_(config.nce_variant),
+      rng_(rng) {
+  // Noise distribution O(y_t): smoothed hit-count unigram over hot cells.
+  const size_t num_cells = vocab_->num_hot_cells();
+  std::vector<double> counts(num_cells);
+  for (size_t i = 0; i < num_cells; ++i) {
+    counts[i] = static_cast<double>(vocab_->HitCount(
+        static_cast<geo::Token>(i) + geo::kNumSpecialTokens));
+  }
+  noise_dist_ =
+      std::make_unique<AliasSampler>(SmoothedDistribution(counts, 0.75));
+}
+
+double ApproxSpatialLoss::StepLossAndGrad(
+    const nn::Matrix& h, const std::vector<geo::Token>& targets,
+    bool accumulate_grads, nn::Matrix* d_h) {
+  const size_t batch = h.rows();
+  d_h->Resize(batch, h.cols());
+  d_h->SetZero();
+
+  double total_loss = 0.0;
+  for (size_t b = 0; b < batch; ++b) {
+    const geo::Token y = targets[b];
+    if (y == geo::kPadToken) continue;
+    if (variant_ == NceVariant::kSampledSoftmax) {
+      total_loss += RowSampledSoftmax(h.Row(b), y, accumulate_grads,
+                                      d_h->Row(b));
+    } else {
+      total_loss += RowBinaryNce(h.Row(b), y, accumulate_grads, d_h->Row(b));
+    }
+  }
+  return total_loss;
+}
+
+double ApproxSpatialLoss::RowSampledSoftmax(const float* h, geo::Token target,
+                                            bool accumulate_grads,
+                                            float* d_h) {
+  // Positive set NK(y_t) with kernel weights (one-hot for EOS targets).
+  candidates_.clear();
+  pos_weights_.clear();
+  if (geo::HotCellVocab::IsSpecial(target)) {
+    candidates_.push_back(target);
+    pos_weights_.push_back(1.0f);
+  } else {
+    const std::vector<geo::Token>& nk = knn_->Neighbors(target);
+    const std::vector<float>& w = knn_->Weights(target);
+    candidates_.assign(nk.begin(), nk.end());
+    pos_weights_.assign(w.begin(), w.end());
+  }
+  const size_t num_pos = candidates_.size();
+
+  // Noise set O(y_t), drawn from V \ NK(y_t) (collisions are re-drawn once
+  // and then skipped; the distribution tail makes double collisions rare).
+  for (int i = 0; i < num_noise_; ++i) {
+    geo::Token sampled = static_cast<geo::Token>(noise_dist_->Sample(rng_)) +
+                         geo::kNumSpecialTokens;
+    if (std::find(candidates_.begin(), candidates_.begin() + num_pos,
+                  sampled) != candidates_.begin() + num_pos) {
+      sampled = static_cast<geo::Token>(noise_dist_->Sample(rng_)) +
+                geo::kNumSpecialTokens;
+      if (std::find(candidates_.begin(), candidates_.begin() + num_pos,
+                    sampled) != candidates_.begin() + num_pos) {
+        continue;
+      }
+    }
+    candidates_.push_back(sampled);
+  }
+
+  proj_->SampledScores(h, candidates_, &scores_);
+
+  // Softmax restricted to NO = NK ∪ O.
+  float max_score = scores_[0];
+  for (float s : scores_) max_score = std::max(max_score, s);
+  double z = 0.0;
+  for (float s : scores_) z += std::exp(s - max_score);
+  const double log_z = max_score + std::log(z);
+
+  double loss = 0.0;
+  d_scores_.resize(candidates_.size());
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    const double p = std::exp(scores_[i] - log_z);
+    const float w = (i < num_pos) ? pos_weights_[i] : 0.0f;
+    if (w > 0.0f) loss += static_cast<double>(w) * (log_z - scores_[i]);
+    d_scores_[i] = grad_scale_ * (static_cast<float>(p) - w);
+  }
+  proj_->SampledBackward(h, candidates_, d_scores_, accumulate_grads, d_h);
+  return loss;
+}
+
+double ApproxSpatialLoss::RowBinaryNce(const float* h, geo::Token target,
+                                       bool accumulate_grads, float* d_h) {
+  // Positives as in the sampled-softmax variant.
+  candidates_.clear();
+  pos_weights_.clear();
+  if (geo::HotCellVocab::IsSpecial(target)) {
+    candidates_.push_back(target);
+    pos_weights_.push_back(1.0f);
+  } else {
+    const std::vector<geo::Token>& nk = knn_->Neighbors(target);
+    const std::vector<float>& w = knn_->Weights(target);
+    candidates_.assign(nk.begin(), nk.end());
+    pos_weights_.assign(w.begin(), w.end());
+  }
+  const size_t num_pos = candidates_.size();
+  for (int i = 0; i < num_noise_; ++i) {
+    candidates_.push_back(static_cast<geo::Token>(noise_dist_->Sample(rng_)) +
+                          geo::kNumSpecialTokens);
+  }
+
+  proj_->SampledScores(h, candidates_, &scores_);
+
+  // NCE score correction: s' = s - log(m * q(token)); q from the noise
+  // distribution (special tokens get a uniform fallback).
+  auto log_mq = [&](geo::Token t) {
+    double q;
+    if (geo::HotCellVocab::IsSpecial(t)) {
+      q = 1.0 / static_cast<double>(proj_->vocab_size());
+    } else {
+      q = noise_dist_->Probability(static_cast<size_t>(t) -
+                                   geo::kNumSpecialTokens);
+    }
+    return std::log(std::max(1e-12, static_cast<double>(num_noise_) * q));
+  };
+
+  double loss = 0.0;
+  d_scores_.resize(candidates_.size());
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    const double s = scores_[i] - log_mq(candidates_[i]);
+    const double sigma = 1.0 / (1.0 + std::exp(-s));
+    if (i < num_pos) {
+      // Data term, weighted by the kernel weight.
+      const double w = pos_weights_[i];
+      loss += -w * std::log(std::max(sigma, 1e-12));
+      d_scores_[i] = grad_scale_ * static_cast<float>(w * (sigma - 1.0));
+    } else {
+      // Noise term.
+      loss += -std::log(std::max(1.0 - sigma, 1e-12));
+      d_scores_[i] = grad_scale_ * static_cast<float>(sigma);
+    }
+  }
+  proj_->SampledBackward(h, candidates_, d_scores_, accumulate_grads, d_h);
+  return loss;
+}
+
+std::unique_ptr<SeqLoss> MakeLoss(const T2VecConfig& config,
+                                  OutputProjection* proj,
+                                  const geo::HotCellVocab* vocab,
+                                  const geo::CellKnnTable* knn, Rng rng) {
+  switch (config.loss) {
+    case LossKind::kL1:
+      return std::make_unique<NllLoss>(proj);
+    case LossKind::kL2:
+      return std::make_unique<SpatialLoss>(proj, vocab, config.theta);
+    case LossKind::kL3:
+      return std::make_unique<ApproxSpatialLoss>(proj, vocab, knn, config,
+                                                 rng);
+  }
+  T2VEC_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace t2vec::core

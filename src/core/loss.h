@@ -1,0 +1,165 @@
+#ifndef T2VEC_CORE_LOSS_H_
+#define T2VEC_CORE_LOSS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/config.h"
+#include "geo/cell_knn.h"
+#include "geo/vocab.h"
+#include "nn/parameter.h"
+
+/// \file
+/// The decoder's output projection and the paper's three training losses.
+///
+///  - L1: plain negative log likelihood over the vocabulary (Eq. 4) — the
+///    NMT default, spatially blind.
+///  - L2: exact spatial proximity aware loss (Eq. 5) — the target becomes a
+///    soft distribution w_{u,y_t} ∝ exp(-||u - y_t||/θ) over all cells, so
+///    decoding a nearby cell is penalized less than a distant one. O(|V|)
+///    per decoded position: accurate but expensive (paper Table VII).
+///  - L3: approximate loss (Eq. 7) — positives restricted to the K nearest
+///    cells NK(y_t); the normalizer estimated over NK(y_t) plus a small
+///    random noise set O(y_t), either as a sampled softmax or as true binary
+///    NCE (Gutmann & Hyvärinen). O(K + |O|) per position.
+
+namespace t2vec::core {
+
+/// The decoder's projection into vocabulary space: score(u) = W_u · h
+/// (the paper's formulation, Eq. at end of Sec. III-B, has no bias term).
+class OutputProjection {
+ public:
+  OutputProjection(size_t vocab_size, size_t hidden, Rng& rng);
+
+  /// logits (B x V) = h (B x H) · W^T.
+  void FullLogits(const nn::Matrix& h, nn::Matrix* logits) const;
+
+  /// Writes d_h = d_logits · W and, when `accumulate` is true, adds
+  /// dW += d_logits^T · h.
+  void FullBackward(const nn::Matrix& h, const nn::Matrix& d_logits,
+                    bool accumulate, nn::Matrix* d_h);
+
+  /// Scores of the candidate tokens for a single hidden row `h` (length H).
+  void SampledScores(const float* h, const std::vector<geo::Token>& candidates,
+                     std::vector<float>* scores) const;
+
+  /// Sparse backward for one row: dW[c] += d_scores[c] * h and
+  /// d_h += Σ d_scores[c] * W[c]. Skips weight grads if `accumulate` false.
+  void SampledBackward(const float* h,
+                       const std::vector<geo::Token>& candidates,
+                       const std::vector<float>& d_scores, bool accumulate,
+                       float* d_h);
+
+  size_t vocab_size() const { return weight_.value.rows(); }
+  size_t hidden() const { return weight_.value.cols(); }
+
+  nn::Parameter& weight() { return weight_; }
+  nn::ParamList Params() { return {&weight_}; }
+
+ private:
+  nn::Parameter weight_;  // V x H
+};
+
+/// Interface of a per-decoding-step loss.
+class SeqLoss {
+ public:
+  virtual ~SeqLoss() = default;
+
+  /// Computes the summed loss of one decoder step. `h` holds the top-layer
+  /// hidden states (B x H); `targets[b]` is the target token of row b, with
+  /// geo::kPadToken marking inactive rows. Writes d_h (B x H, zeros for
+  /// inactive rows); accumulates projection-weight gradients unless
+  /// `accumulate_grads` is false (validation passes).
+  virtual double StepLossAndGrad(const nn::Matrix& h,
+                                 const std::vector<geo::Token>& targets,
+                                 bool accumulate_grads, nn::Matrix* d_h) = 0;
+
+  /// Display name for logs/tables.
+  virtual const char* Name() const = 0;
+
+  /// Scale applied to every gradient this loss produces; the model sets it
+  /// to 1/batch_size so the objective is the mean per-sequence loss.
+  void set_grad_scale(float s) { grad_scale_ = s; }
+
+ protected:
+  float grad_scale_ = 1.0f;
+};
+
+/// L1: full-softmax NLL (paper Eq. 4).
+class NllLoss : public SeqLoss {
+ public:
+  explicit NllLoss(OutputProjection* proj) : proj_(proj) {}
+  double StepLossAndGrad(const nn::Matrix& h,
+                         const std::vector<geo::Token>& targets,
+                         bool accumulate_grads, nn::Matrix* d_h) override;
+  const char* Name() const override { return "L1"; }
+
+ private:
+  OutputProjection* proj_;
+  nn::Matrix logits_, d_logits_;  // Reused buffers.
+};
+
+/// L2: exact spatial proximity aware loss (paper Eq. 5). The soft target
+/// distribution for each hot-cell target is materialized over the entire
+/// vocabulary; kernel values below 1e-12 are dropped (they are zero in
+/// float anyway), special-token targets (EOS) use a one-hot target.
+class SpatialLoss : public SeqLoss {
+ public:
+  SpatialLoss(OutputProjection* proj, const geo::HotCellVocab* vocab,
+              double theta);
+  double StepLossAndGrad(const nn::Matrix& h,
+                         const std::vector<geo::Token>& targets,
+                         bool accumulate_grads, nn::Matrix* d_h) override;
+  const char* Name() const override { return "L2"; }
+
+ private:
+  OutputProjection* proj_;
+  const geo::HotCellVocab* vocab_;
+  double theta_;
+  nn::Matrix logits_, d_logits_, target_dist_;
+};
+
+/// L3: approximate spatial proximity aware loss (paper Eq. 7) with a
+/// noise-contrastive normalizer. O(K + |O|) work per decoded position.
+class ApproxSpatialLoss : public SeqLoss {
+ public:
+  /// `knn` supplies NK(y_t) and the kernel weights w_{u,y_t}; the noise set
+  /// O(y_t) is drawn from the smoothed hit-count unigram of `vocab`.
+  ApproxSpatialLoss(OutputProjection* proj, const geo::HotCellVocab* vocab,
+                    const geo::CellKnnTable* knn, const T2VecConfig& config,
+                    Rng rng);
+  double StepLossAndGrad(const nn::Matrix& h,
+                         const std::vector<geo::Token>& targets,
+                         bool accumulate_grads, nn::Matrix* d_h) override;
+  const char* Name() const override { return "L3"; }
+
+ private:
+  double RowSampledSoftmax(const float* h, geo::Token target,
+                           bool accumulate_grads, float* d_h);
+  double RowBinaryNce(const float* h, geo::Token target,
+                      bool accumulate_grads, float* d_h);
+
+  OutputProjection* proj_;
+  const geo::HotCellVocab* vocab_;
+  const geo::CellKnnTable* knn_;
+  int num_noise_;
+  NceVariant variant_;
+  Rng rng_;
+  std::unique_ptr<AliasSampler> noise_dist_;
+  // Reused per-row buffers.
+  std::vector<geo::Token> candidates_;
+  std::vector<float> pos_weights_;
+  std::vector<float> scores_;
+  std::vector<float> d_scores_;
+};
+
+/// Factory: builds the loss selected by `config.loss`.
+std::unique_ptr<SeqLoss> MakeLoss(const T2VecConfig& config,
+                                  OutputProjection* proj,
+                                  const geo::HotCellVocab* vocab,
+                                  const geo::CellKnnTable* knn, Rng rng);
+
+}  // namespace t2vec::core
+
+#endif  // T2VEC_CORE_LOSS_H_

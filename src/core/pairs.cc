@@ -1,0 +1,31 @@
+#include "core/pairs.h"
+
+#include <algorithm>
+
+#include "traj/transforms.h"
+
+namespace t2vec::core {
+
+std::vector<TokenPair> BuildTrainingPairs(
+    const std::vector<traj::Trajectory>& trips,
+    const geo::HotCellVocab& vocab, const T2VecConfig& config, Rng& rng) {
+  std::vector<TokenPair> pairs;
+  pairs.reserve(trips.size() * config.r1_grid.size() *
+                config.r2_grid.size());
+  for (const traj::Trajectory& trip : trips) {
+    if (trip.size() < 2) continue;
+    const traj::TokenSeq tgt = traj::Tokenize(vocab, trip);
+    for (double r1 : config.r1_grid) {
+      const traj::Trajectory down = traj::Downsample(trip, r1, rng);
+      for (double r2 : config.r2_grid) {
+        const traj::Trajectory variant = traj::Distort(down, r2, rng);
+        traj::TokenSeq src = traj::Tokenize(vocab, variant);
+        if (config.reverse_source) std::reverse(src.begin(), src.end());
+        pairs.push_back({std::move(src), tgt});
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace t2vec::core

@@ -1,0 +1,35 @@
+#ifndef T2VEC_CORE_PAIRS_H_
+#define T2VEC_CORE_PAIRS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/config.h"
+#include "geo/vocab.h"
+#include "traj/dataset.h"
+#include "traj/tokenizer.h"
+
+/// \file
+/// Training-pair construction (paper Sec. IV-B, V-A). For every original
+/// trajectory T_b and every (r1, r2) in the configured grid, one variant
+/// T_a = Distort(Downsample(T_b, r1), r2) is created; the model learns to
+/// reconstruct T_b's token sequence from T_a's. At the paper's default
+/// 4 x 4 grid this yields 16 pairs per trajectory.
+
+namespace t2vec::core {
+
+/// One (source variant, original target) token-sequence pair.
+struct TokenPair {
+  traj::TokenSeq src;  ///< Downsampled + distorted variant T_a.
+  traj::TokenSeq tgt;  ///< Original trajectory T_b (no EOS; the batch
+                       ///< builder appends it).
+};
+
+/// Builds the full r1 x r2 grid of training pairs for every trajectory.
+std::vector<TokenPair> BuildTrainingPairs(
+    const std::vector<traj::Trajectory>& trips, const geo::HotCellVocab& vocab,
+    const T2VecConfig& config, Rng& rng);
+
+}  // namespace t2vec::core
+
+#endif  // T2VEC_CORE_PAIRS_H_

@@ -1,0 +1,278 @@
+#include "core/t2vec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/serialize.h"
+#include "core/decoder.h"
+#include "core/cell_pretrain.h"
+#include "core/pairs.h"
+#include "geo/cell_knn.h"
+#include "nn/checkpoint.h"
+
+namespace t2vec::core {
+
+namespace {
+
+constexpr uint32_t kModelMagic = 0x54325631;  // "T2V1"
+constexpr uint32_t kModelVersion = 1;
+
+// Bounding box of all points, expanded by one cell so boundary clamping
+// never moves a real point.
+void BoundingBox(const std::vector<geo::Point>& points, double margin,
+                 geo::Point* min_corner, geo::Point* max_corner) {
+  T2VEC_CHECK(!points.empty());
+  *min_corner = points.front();
+  *max_corner = points.front();
+  for (const geo::Point& p : points) {
+    min_corner->x = std::min(min_corner->x, p.x);
+    min_corner->y = std::min(min_corner->y, p.y);
+    max_corner->x = std::max(max_corner->x, p.x);
+    max_corner->y = std::max(max_corner->y, p.y);
+  }
+  min_corner->x -= margin;
+  min_corner->y -= margin;
+  max_corner->x += margin;
+  max_corner->y += margin;
+}
+
+}  // namespace
+
+T2Vec T2Vec::Train(const std::vector<traj::Trajectory>& trips,
+                   const T2VecConfig& config, TrainStats* stats) {
+  T2VEC_CHECK(!trips.empty());
+  Rng rng(config.seed);
+
+  // 1. Hot-cell vocabulary over the training points.
+  std::vector<geo::Point> all_points;
+  for (const traj::Trajectory& t : trips) {
+    all_points.insert(all_points.end(), t.points.begin(), t.points.end());
+  }
+  geo::Point min_corner, max_corner;
+  BoundingBox(all_points, config.cell_size, &min_corner, &max_corner);
+  geo::SpatialGrid grid(min_corner, max_corner, config.cell_size);
+  auto vocab = std::make_unique<geo::HotCellVocab>(grid, all_points,
+                                                   config.hot_cell_min_hits);
+  T2VEC_LOG_INFO("vocab: %zu hot cells (grid %lld x %lld)",
+                 vocab->num_hot_cells(),
+                 static_cast<long long>(grid.rows()),
+                 static_cast<long long>(grid.cols()));
+
+  // 2. K-nearest-cell kernel table.
+  geo::CellKnnTable knn(*vocab, config.knn_k, config.theta);
+
+  // 3. Model; optionally seed the embedding with Algorithm 1.
+  auto model =
+      std::make_unique<EncoderDecoder>(config, vocab->vocab_size(), rng);
+  if (config.pretrain_cells) {
+    Rng pretrain_rng = rng.Fork();
+    // The pretraining kernel (Eq. 8) may use its own θ.
+    const geo::CellKnnTable* context_knn = &knn;
+    std::unique_ptr<geo::CellKnnTable> alt_knn;
+    if (config.pretrain_theta != config.theta) {
+      alt_knn = std::make_unique<geo::CellKnnTable>(*vocab, config.knn_k,
+                                                    config.pretrain_theta);
+      context_knn = alt_knn.get();
+    }
+    model->embedding().table().value = PretrainCellEmbeddings(
+        *vocab, *context_knn, config, pretrain_rng);
+    T2VEC_LOG_INFO("cell pretraining done");
+  }
+
+  // 4. Training pairs (r1 x r2 grid of variants).
+  Rng pair_rng = rng.Fork();
+  std::vector<TokenPair> pairs =
+      BuildTrainingPairs(trips, *vocab, config, pair_rng);
+  T2VEC_LOG_INFO("training pairs: %zu", pairs.size());
+
+  // 5. Train.
+  Rng loss_rng = rng.Fork();
+  std::unique_ptr<SeqLoss> loss =
+      MakeLoss(config, &model->projection(), vocab.get(), &knn, loss_rng);
+  Trainer trainer(model.get(), loss.get(), config);
+  Rng train_rng = rng.Fork();
+  TrainStats local_stats = trainer.Train(std::move(pairs), train_rng);
+  if (stats != nullptr) *stats = local_stats;
+  T2VEC_LOG_INFO("training done: %zu iters, best val %.4f, %.0fs",
+                 local_stats.iterations, local_stats.best_val_loss,
+                 local_stats.train_seconds);
+
+  return T2Vec(config, std::move(vocab), std::move(model));
+}
+
+traj::TokenSeq T2Vec::TokenizeForEncoder(const traj::Trajectory& trip) const {
+  traj::TokenSeq seq = traj::Tokenize(*vocab_, trip);
+  if (config_.reverse_source) std::reverse(seq.begin(), seq.end());
+  return seq;
+}
+
+nn::Matrix T2Vec::Encode(const std::vector<traj::Trajectory>& trips) const {
+  // Encode in slices to bound the padded batch size.
+  constexpr size_t kSlice = 256;
+  nn::Matrix out(trips.size(), model_->hidden());
+  std::vector<traj::TokenSeq> seqs;
+  for (size_t start = 0; start < trips.size(); start += kSlice) {
+    const size_t end = std::min(start + kSlice, trips.size());
+    seqs.clear();
+    for (size_t i = start; i < end; ++i) {
+      seqs.push_back(TokenizeForEncoder(trips[i]));
+    }
+    const nn::Matrix block = model_->EncodeBatch(seqs);
+    for (size_t i = start; i < end; ++i) {
+      std::copy(block.Row(i - start), block.Row(i - start) + block.cols(),
+                out.Row(i));
+    }
+  }
+  return out;
+}
+
+std::vector<float> T2Vec::EncodeOne(const traj::Trajectory& trip) const {
+  const nn::Matrix m = model_->EncodeBatch({TokenizeForEncoder(trip)});
+  return {m.Row(0), m.Row(0) + m.cols()};
+}
+
+double T2Vec::Distance(const traj::Trajectory& a,
+                       const traj::Trajectory& b) const {
+  const nn::Matrix m = model_->EncodeBatch(
+      {TokenizeForEncoder(a), TokenizeForEncoder(b)});
+  double acc = 0.0;
+  for (size_t j = 0; j < m.cols(); ++j) {
+    const double diff = static_cast<double>(m.At(0, j)) - m.At(1, j);
+    acc += diff * diff;
+  }
+  return std::sqrt(acc);
+}
+
+traj::Trajectory T2Vec::ReconstructRoute(const traj::Trajectory& sparse,
+                                         size_t max_len) const {
+  if (max_len == 0) max_len = 4 * std::max<size_t>(sparse.size(), 8);
+  SequenceDecoder decoder(model_.get());
+  const traj::TokenSeq decoded =
+      decoder.DecodeGreedy(TokenizeForEncoder(sparse), max_len);
+  traj::Trajectory route;
+  route.id = sparse.id;
+  route.points.reserve(decoded.size());
+  for (geo::Token token : decoded) {
+    if (!geo::HotCellVocab::IsSpecial(token)) {
+      route.points.push_back(vocab_->CenterOf(token));
+    }
+  }
+  return route;
+}
+
+Status T2Vec::Save(const std::string& path) const {
+  if (config_.use_attention) {
+    return Status::InvalidArgument(
+        "attention models cannot be serialized yet");
+  }
+  BinaryWriter writer(path);
+  if (!writer.ok()) return Status::IoError("cannot open for write: " + path);
+  writer.WritePod(kModelMagic);
+  writer.WritePod(kModelVersion);
+
+  // Architecture fields needed to reconstruct the model.
+  writer.WritePod<uint64_t>(config_.embed_dim);
+  writer.WritePod<uint64_t>(config_.hidden);
+  writer.WritePod<uint64_t>(config_.layers);
+  writer.WritePod<uint8_t>(config_.reverse_source ? 1 : 0);
+  writer.WritePod<double>(config_.cell_size);
+
+  // Vocabulary: grid + hot cells + counts.
+  const geo::SpatialGrid& grid = vocab_->grid();
+  writer.WritePod<double>(grid.min_corner().x);
+  writer.WritePod<double>(grid.min_corner().y);
+  writer.WritePod<double>(grid.cell_size());
+  writer.WritePod<int64_t>(grid.rows());
+  writer.WritePod<int64_t>(grid.cols());
+  writer.WriteVector(vocab_->hot_cells());
+  std::vector<int64_t> counts(vocab_->num_hot_cells());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = vocab_->HitCount(static_cast<geo::Token>(i) +
+                                 geo::kNumSpecialTokens);
+  }
+  writer.WriteVector(counts);
+
+  // Weights, in Params() order (stable by construction).
+  nn::ParamList params = const_cast<EncoderDecoder*>(model_.get())->Params();
+  writer.WritePod<uint64_t>(params.size());
+  for (const nn::Parameter* p : params) {
+    writer.WriteString(p->name);
+    writer.WritePod<uint64_t>(p->value.rows());
+    writer.WritePod<uint64_t>(p->value.cols());
+    writer.WriteVector(p->value.storage());
+  }
+  return writer.Finish();
+}
+
+Result<T2Vec> T2Vec::Load(const std::string& path) {
+  BinaryReader reader(path);
+  if (!reader.ok()) return Status::IoError("cannot open for read: " + path);
+  uint32_t magic = 0, version = 0;
+  if (!reader.ReadPod(&magic) || magic != kModelMagic) {
+    return Status::IoError("bad model magic in " + path);
+  }
+  if (!reader.ReadPod(&version) || version != kModelVersion) {
+    return Status::IoError("unsupported model version in " + path);
+  }
+
+  T2VecConfig config;
+  uint64_t embed_dim = 0, hidden = 0, layers = 0;
+  uint8_t reverse_source = 0;
+  if (!reader.ReadPod(&embed_dim) || !reader.ReadPod(&hidden) ||
+      !reader.ReadPod(&layers) || !reader.ReadPod(&reverse_source) ||
+      !reader.ReadPod(&config.cell_size)) {
+    return Status::IoError("truncated model header");
+  }
+  config.embed_dim = embed_dim;
+  config.hidden = hidden;
+  config.layers = layers;
+  config.reverse_source = (reverse_source != 0);
+
+  double min_x = 0, min_y = 0, cell_size = 0;
+  int64_t rows = 0, cols = 0;
+  std::vector<geo::CellId> hot_cells;
+  std::vector<int64_t> counts;
+  if (!reader.ReadPod(&min_x) || !reader.ReadPod(&min_y) ||
+      !reader.ReadPod(&cell_size) || !reader.ReadPod(&rows) ||
+      !reader.ReadPod(&cols) || !reader.ReadVector(&hot_cells) ||
+      !reader.ReadVector(&counts)) {
+    return Status::IoError("truncated vocabulary section");
+  }
+  const geo::Point min_corner{min_x, min_y};
+  const geo::Point max_corner{
+      min_x + static_cast<double>(cols) * cell_size,
+      min_y + static_cast<double>(rows) * cell_size};
+  geo::SpatialGrid grid(min_corner, max_corner, cell_size);
+  if (grid.rows() != rows || grid.cols() != cols) {
+    return Status::Internal("grid reconstruction mismatch");
+  }
+  auto vocab = std::make_unique<geo::HotCellVocab>(grid, std::move(hot_cells),
+                                                   std::move(counts));
+
+  Rng rng(0);  // Weights are overwritten below.
+  auto model =
+      std::make_unique<EncoderDecoder>(config, vocab->vocab_size(), rng);
+  nn::ParamList params = model->Params();
+  uint64_t param_count = 0;
+  if (!reader.ReadPod(&param_count) || param_count != params.size()) {
+    return Status::IoError("parameter count mismatch");
+  }
+  for (nn::Parameter* p : params) {
+    std::string name;
+    uint64_t prows = 0, pcols = 0;
+    std::vector<float> values;
+    if (!reader.ReadString(&name) || !reader.ReadPod(&prows) ||
+        !reader.ReadPod(&pcols) || !reader.ReadVector(&values)) {
+      return Status::IoError("truncated parameter section");
+    }
+    if (name != p->name || prows != p->value.rows() ||
+        pcols != p->value.cols() || values.size() != prows * pcols) {
+      return Status::InvalidArgument("parameter mismatch for " + name);
+    }
+    p->value.storage() = std::move(values);
+  }
+  return T2Vec(config, std::move(vocab), std::move(model));
+}
+
+}  // namespace t2vec::core

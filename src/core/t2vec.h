@@ -1,0 +1,104 @@
+#ifndef T2VEC_CORE_T2VEC_H_
+#define T2VEC_CORE_T2VEC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/config.h"
+#include "core/model.h"
+#include "core/trainer.h"
+#include "dist/measure.h"
+#include "geo/vocab.h"
+#include "traj/dataset.h"
+
+/// \file
+/// The library's main entry point: the end-to-end t2vec pipeline.
+///
+/// Training (T2Vec::Train) runs the paper's full recipe:
+///   1. build the hot-cell vocabulary over the training trips (Sec. IV-B),
+///   2. precompute the K-nearest-cell kernel table (Sec. IV-C),
+///   3. pretrain cell embeddings with Algorithm 1 (unless disabled),
+///   4. generate the r1 x r2 grid of (variant, original) pairs,
+///   5. train the seq2seq model with the configured loss (L1/L2/L3),
+///      Adam, gradient clipping, and validation early stopping.
+///
+/// A trained model encodes any trajectory into a |v|-dimensional vector in
+/// O(n) and measures similarity as the Euclidean distance between vectors in
+/// O(|v|) (Sec. IV-D).
+
+namespace t2vec::core {
+
+/// A trained t2vec model: vocabulary + encoder-decoder weights.
+class T2Vec {
+ public:
+  /// Runs the full training pipeline on `trips`. `stats`, if non-null,
+  /// receives the training run summary.
+  static T2Vec Train(const std::vector<traj::Trajectory>& trips,
+                     const T2VecConfig& config, TrainStats* stats = nullptr);
+
+  /// Encodes trajectories into an N x hidden matrix of representations.
+  nn::Matrix Encode(const std::vector<traj::Trajectory>& trips) const;
+
+  /// Encodes a single trajectory.
+  std::vector<float> EncodeOne(const traj::Trajectory& trip) const;
+
+  /// Euclidean distance between the two trajectories' representations.
+  /// O(n + |v|) total (paper Sec. IV-D).
+  double Distance(const traj::Trajectory& a, const traj::Trajectory& b) const;
+
+  /// Reconstructs the most likely dense route of a sparse/noisy trajectory
+  /// by greedy decoding (the paper's P(R|T) objective, Sec. IV-A): returns
+  /// the decoded hot-cell centers. `max_len` bounds the decoded length
+  /// (0 = 4x the input length).
+  traj::Trajectory ReconstructRoute(const traj::Trajectory& sparse,
+                                    size_t max_len = 0) const;
+
+  /// Serializes config, vocabulary, and weights into one file.
+  Status Save(const std::string& path) const;
+
+  /// Restores a model written by Save().
+  static Result<T2Vec> Load(const std::string& path);
+
+  const T2VecConfig& config() const { return config_; }
+  const geo::HotCellVocab& vocab() const { return *vocab_; }
+  EncoderDecoder& model() { return *model_; }
+  const EncoderDecoder& model() const { return *model_; }
+
+  T2Vec(T2Vec&&) = default;
+  T2Vec& operator=(T2Vec&&) = default;
+
+ private:
+  /// Tokenizes a trajectory the way the encoder expects (reversed when
+  /// config_.reverse_source is set).
+  traj::TokenSeq TokenizeForEncoder(const traj::Trajectory& trip) const;
+
+  T2Vec(T2VecConfig config, std::unique_ptr<geo::HotCellVocab> vocab,
+        std::unique_ptr<EncoderDecoder> model)
+      : config_(config), vocab_(std::move(vocab)), model_(std::move(model)) {}
+
+  T2VecConfig config_;
+  std::unique_ptr<geo::HotCellVocab> vocab_;
+  std::unique_ptr<EncoderDecoder> model_;
+};
+
+/// Adapter exposing a trained T2Vec as a dist::Measure so the evaluation
+/// harness can rank it alongside the classical baselines. Encodes per call;
+/// batch experiments should precompute vectors via T2Vec::Encode instead.
+class T2VecMeasure : public dist::Measure {
+ public:
+  explicit T2VecMeasure(const T2Vec* model) : model_(model) {}
+  double Distance(const traj::Trajectory& a,
+                  const traj::Trajectory& b) const override {
+    return model_->Distance(a, b);
+  }
+  std::string Name() const override { return "t2vec"; }
+
+ private:
+  const T2Vec* model_;
+};
+
+}  // namespace t2vec::core
+
+#endif  // T2VEC_CORE_T2VEC_H_

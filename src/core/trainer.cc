@@ -1,0 +1,136 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "nn/optimizer.h"
+
+namespace t2vec::core {
+
+namespace {
+
+// Groups pair indices into batches of similar target length (cuts padding
+// waste): sort by target length, then slice.
+std::vector<std::vector<size_t>> MakeBatches(
+    const std::vector<TokenPair>& pairs, size_t batch_size) {
+  std::vector<size_t> order(pairs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return pairs[a].tgt.size() < pairs[b].tgt.size();
+  });
+  std::vector<std::vector<size_t>> batches;
+  for (size_t start = 0; start < order.size(); start += batch_size) {
+    const size_t end = std::min(start + batch_size, order.size());
+    batches.emplace_back(order.begin() + static_cast<long>(start),
+                         order.begin() + static_cast<long>(end));
+  }
+  return batches;
+}
+
+Batch BuildBatchFromIndices(const std::vector<TokenPair>& pairs,
+                            const std::vector<size_t>& indices) {
+  std::vector<const TokenPair*> selected;
+  selected.reserve(indices.size());
+  for (size_t i : indices) selected.push_back(&pairs[i]);
+  return BuildBatch(selected);
+}
+
+}  // namespace
+
+Trainer::Trainer(EncoderDecoder* model, SeqLoss* loss,
+                 const T2VecConfig& config)
+    : model_(model), loss_(loss), config_(config) {}
+
+double Trainer::ValidationLoss(const std::vector<TokenPair>& val_pairs) {
+  if (val_pairs.empty()) return 0.0;
+  double total_loss = 0.0;
+  size_t total_tokens = 0;
+  std::vector<size_t> indices;
+  for (size_t start = 0; start < val_pairs.size();
+       start += config_.batch_size) {
+    const size_t end =
+        std::min(start + config_.batch_size, val_pairs.size());
+    indices.clear();
+    for (size_t i = start; i < end; ++i) indices.push_back(i);
+    const Batch batch = BuildBatchFromIndices(val_pairs, indices);
+    total_loss += model_->RunBatch(batch, loss_, /*accumulate_grads=*/false);
+    total_tokens += batch.target_tokens;
+  }
+  return total_loss / static_cast<double>(std::max<size_t>(total_tokens, 1));
+}
+
+TrainStats Trainer::Train(std::vector<TokenPair> pairs, Rng& rng) {
+  T2VEC_CHECK(!pairs.empty());
+  TrainStats stats;
+  Stopwatch watch;
+
+  // Hold out the validation split (paper: 10k trajectories; scaled).
+  rng.Shuffle(pairs);
+  const size_t val_count =
+      std::min(config_.validation_pairs, pairs.size() / 5);
+  std::vector<TokenPair> val_pairs(pairs.end() - static_cast<long>(val_count),
+                                   pairs.end());
+  pairs.resize(pairs.size() - val_count);
+  T2VEC_CHECK(!pairs.empty());
+
+  std::vector<std::vector<size_t>> batches =
+      MakeBatches(pairs, config_.batch_size);
+  std::vector<size_t> batch_order(batches.size());
+  std::iota(batch_order.begin(), batch_order.end(), 0);
+  rng.Shuffle(batch_order);
+
+  nn::Adam adam(model_->Params(), config_.learning_rate);
+  adam.ZeroGrad();
+
+  double best_val = std::numeric_limits<double>::infinity();
+  size_t checks_since_best = 0;
+  double smoothed_loss = 0.0;
+  bool has_smoothed = false;
+  size_t cursor = 0;
+
+  for (size_t iter = 1; iter <= config_.max_iterations; ++iter) {
+    if (cursor >= batch_order.size()) {
+      cursor = 0;
+      rng.Shuffle(batch_order);
+    }
+    const Batch batch =
+        BuildBatchFromIndices(pairs, batches[batch_order[cursor++]]);
+    const double loss =
+        model_->RunBatch(batch, loss_, /*accumulate_grads=*/true);
+    const double per_token =
+        loss / static_cast<double>(std::max<size_t>(batch.target_tokens, 1));
+    smoothed_loss = has_smoothed ? 0.98 * smoothed_loss + 0.02 * per_token
+                                 : per_token;
+    has_smoothed = true;
+
+    nn::ClipGradNorm(model_->Params(), config_.grad_clip);
+    adam.Step();
+    adam.ZeroGrad();
+    stats.iterations = iter;
+
+    if (iter % config_.validate_every == 0 && !val_pairs.empty()) {
+      const double val_loss = ValidationLoss(val_pairs);
+      stats.val_curve.emplace_back(iter, val_loss);
+      T2VEC_LOG_INFO("iter %zu: train %.4f, val %.4f (%.0fs)", iter,
+                     smoothed_loss, val_loss, watch.ElapsedSeconds());
+      if (val_loss < best_val - 1e-5) {
+        best_val = val_loss;
+        checks_since_best = 0;
+      } else if (++checks_since_best >= config_.patience) {
+        stats.early_stopped = true;
+        break;
+      }
+    }
+  }
+
+  stats.train_seconds = watch.ElapsedSeconds();
+  stats.best_val_loss =
+      std::isfinite(best_val) ? best_val : ValidationLoss(val_pairs);
+  stats.final_train_loss = smoothed_loss;
+  return stats;
+}
+
+}  // namespace t2vec::core

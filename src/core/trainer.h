@@ -1,0 +1,53 @@
+#ifndef T2VEC_CORE_TRAINER_H_
+#define T2VEC_CORE_TRAINER_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/config.h"
+#include "core/model.h"
+#include "core/pairs.h"
+
+/// \file
+/// The training loop (paper Sec. V-B): Adam with gradient-norm clipping,
+/// length-bucketed batching, and early stopping on a held-out validation
+/// split when the validation loss stops decreasing.
+
+namespace t2vec::core {
+
+/// Summary of a completed training run.
+struct TrainStats {
+  size_t iterations = 0;           ///< Batches processed.
+  double train_seconds = 0.0;      ///< Wall-clock training time.
+  double best_val_loss = 0.0;      ///< Best per-token validation loss.
+  double final_train_loss = 0.0;   ///< Smoothed per-token training loss.
+  bool early_stopped = false;      ///< True if patience ran out before the
+                                   ///< iteration cap.
+  /// (iteration, per-token validation loss) curve.
+  std::vector<std::pair<size_t, double>> val_curve;
+};
+
+/// Trains an EncoderDecoder on (variant, original) token pairs.
+class Trainer {
+ public:
+  /// `model` and `loss` must outlive the trainer; the loss must wrap the
+  /// model's own OutputProjection.
+  Trainer(EncoderDecoder* model, SeqLoss* loss, const T2VecConfig& config);
+
+  /// Runs the full loop over `pairs` (the last `validation_pairs` entries,
+  /// after shuffling, become the validation set). Returns run statistics.
+  TrainStats Train(std::vector<TokenPair> pairs, Rng& rng);
+
+ private:
+  /// Mean per-token loss over the validation set (no gradient updates).
+  double ValidationLoss(const std::vector<TokenPair>& val_pairs);
+
+  EncoderDecoder* model_;
+  SeqLoss* loss_;
+  T2VecConfig config_;
+};
+
+}  // namespace t2vec::core
+
+#endif  // T2VEC_CORE_TRAINER_H_

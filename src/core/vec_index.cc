@@ -1,0 +1,144 @@
+#include "core/vec_index.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace t2vec::core {
+
+VectorIndex::VectorIndex(nn::Matrix vectors) : vectors_(std::move(vectors)) {}
+
+double VectorIndex::Distance(const float* query, size_t i) const {
+  const float* __restrict row = vectors_.Row(i);
+  const size_t d = vectors_.cols();
+  double acc = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    const double diff = static_cast<double>(query[j]) - row[j];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+std::vector<size_t> VectorIndex::Knn(const float* query, size_t k) const {
+  T2VEC_CHECK(k > 0 && k <= size());
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(size());
+  for (size_t i = 0; i < size(); ++i) {
+    scored.emplace_back(Distance(query, i), i);
+  }
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
+                    scored.end());
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+size_t VectorIndex::RankOf(const float* query, size_t target) const {
+  T2VEC_CHECK(target < size());
+  const double target_dist = Distance(query, target);
+  size_t closer = 0;
+  for (size_t i = 0; i < size(); ++i) {
+    if (i != target && Distance(query, i) < target_dist) ++closer;
+  }
+  return closer + 1;
+}
+
+LshIndex::LshIndex(const nn::Matrix& vectors, int num_tables, int num_bits,
+                   uint64_t seed)
+    : vectors_(&vectors), num_tables_(num_tables), num_bits_(num_bits) {
+  T2VEC_CHECK(num_tables >= 1);
+  T2VEC_CHECK(num_bits >= 1 && num_bits <= 24);
+  Rng rng(seed);
+  hyperplanes_.Resize(
+      static_cast<size_t>(num_tables) * static_cast<size_t>(num_bits),
+      vectors.cols());
+  for (size_t i = 0; i < hyperplanes_.size(); ++i) {
+    hyperplanes_.data()[i] = static_cast<float>(rng.Gaussian());
+  }
+  tables_.resize(static_cast<size_t>(num_tables));
+  for (size_t i = 0; i < vectors.rows(); ++i) {
+    for (int t = 0; t < num_tables; ++t) {
+      tables_[static_cast<size_t>(t)][Signature(vectors.Row(i), t)].push_back(
+          static_cast<uint32_t>(i));
+    }
+  }
+}
+
+uint32_t LshIndex::Signature(const float* vec, int table) const {
+  uint32_t sig = 0;
+  const size_t d = vectors_->cols();
+  for (int b = 0; b < num_bits_; ++b) {
+    const float* __restrict plane = hyperplanes_.Row(
+        static_cast<size_t>(table) * static_cast<size_t>(num_bits_) +
+        static_cast<size_t>(b));
+    double dot = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      dot += static_cast<double>(plane[j]) * vec[j];
+    }
+    sig = (sig << 1) | (dot >= 0.0 ? 1u : 0u);
+  }
+  return sig;
+}
+
+std::vector<size_t> LshIndex::Knn(const float* query, size_t k) const {
+  T2VEC_CHECK(k > 0 && k <= vectors_->rows());
+  std::vector<uint8_t> seen(vectors_->rows(), 0);
+  std::vector<size_t> candidates;
+
+  auto gather = [&](int table, uint32_t sig) {
+    auto it = tables_[static_cast<size_t>(table)].find(sig);
+    if (it == tables_[static_cast<size_t>(table)].end()) return;
+    for (uint32_t idx : it->second) {
+      if (!seen[idx]) {
+        seen[idx] = 1;
+        candidates.push_back(idx);
+      }
+    }
+  };
+
+  for (int t = 0; t < num_tables_; ++t) {
+    const uint32_t sig = Signature(query, t);
+    gather(t, sig);
+    // Multi-probe: all 1-bit flips of the signature.
+    for (int b = 0; b < num_bits_; ++b) gather(t, sig ^ (1u << b));
+  }
+
+  probe_count_++;
+  candidate_count_ += static_cast<int64_t>(candidates.size());
+
+  if (candidates.size() < k) {
+    // Recall fallback: widen to a full scan.
+    candidates.resize(vectors_->rows());
+    for (size_t i = 0; i < candidates.size(); ++i) candidates[i] = i;
+  }
+
+  // Exact re-ranking of the candidate set.
+  const size_t d = vectors_->cols();
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(candidates.size());
+  for (size_t idx : candidates) {
+    const float* __restrict row = vectors_->Row(idx);
+    double acc = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      const double diff = static_cast<double>(query[j]) - row[j];
+      acc += diff * diff;
+    }
+    scored.emplace_back(acc, idx);
+  }
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
+                    scored.end());
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+double LshIndex::MeanCandidates() const {
+  if (probe_count_ == 0) return 0.0;
+  return static_cast<double>(candidate_count_) /
+         static_cast<double>(probe_count_);
+}
+
+}  // namespace t2vec::core

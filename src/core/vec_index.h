@@ -1,0 +1,74 @@
+#ifndef T2VEC_CORE_VEC_INDEX_H_
+#define T2VEC_CORE_VEC_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/matrix.h"
+
+/// \file
+/// Nearest-neighbor search over trajectory representation vectors.
+///
+/// `VectorIndex` is the exact linear scan: O(N · |v|) per query — already at
+/// least an order of magnitude faster than the O(N · n²) DP baselines
+/// (paper Fig. 6). `LshIndex` implements the paper's future-work item 3
+/// (Sec. VI): random-hyperplane locality-sensitive hashing to push below
+/// linear scan; candidates from matching buckets are re-ranked exactly.
+
+namespace t2vec::core {
+
+/// Exact k-NN by linear scan over an N x D vector matrix.
+class VectorIndex {
+ public:
+  explicit VectorIndex(nn::Matrix vectors);
+
+  /// Squared Euclidean distance from `query` (length dim()) to row i.
+  double Distance(const float* query, size_t i) const;
+
+  /// Indices of the k nearest rows, ascending by distance.
+  std::vector<size_t> Knn(const float* query, size_t k) const;
+
+  /// 1-based rank of `target` in the distance ordering from `query`
+  /// (strictly-closer count + 1, so ties favor the target).
+  size_t RankOf(const float* query, size_t target) const;
+
+  size_t size() const { return vectors_.rows(); }
+  size_t dim() const { return vectors_.cols(); }
+  const nn::Matrix& vectors() const { return vectors_; }
+
+ private:
+  nn::Matrix vectors_;
+};
+
+/// Approximate k-NN via random-hyperplane LSH with multi-probe.
+class LshIndex {
+ public:
+  /// `num_tables` hash tables of `num_bits`-bit signatures over `vectors`
+  /// (N x D). More tables -> higher recall, more memory.
+  LshIndex(const nn::Matrix& vectors, int num_tables, int num_bits,
+           uint64_t seed);
+
+  /// Approximate k nearest rows: candidates are gathered from the query's
+  /// bucket in every table plus all 1-bit-flip probes, then ranked exactly.
+  /// Falls back to a full scan when fewer than k candidates surface.
+  std::vector<size_t> Knn(const float* query, size_t k) const;
+
+  /// Mean number of candidates examined per query so far (diagnostics).
+  double MeanCandidates() const;
+
+ private:
+  uint32_t Signature(const float* vec, int table) const;
+
+  const nn::Matrix* vectors_;
+  int num_tables_;
+  int num_bits_;
+  nn::Matrix hyperplanes_;  // (num_tables * num_bits) x D
+  std::vector<std::unordered_map<uint32_t, std::vector<uint32_t>>> tables_;
+  mutable int64_t probe_count_ = 0;
+  mutable int64_t candidate_count_ = 0;
+};
+
+}  // namespace t2vec::core
+
+#endif  // T2VEC_CORE_VEC_INDEX_H_

@@ -1,0 +1,144 @@
+#include "dist/classic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace t2vec::dist {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+double Dtw(const std::vector<geo::Point>& a,
+           const std::vector<geo::Point>& b) {
+  T2VEC_CHECK(!a.empty() && !b.empty());
+  const size_t n = a.size(), m = b.size();
+  // Rolling rows: prev[j] = D(i-1, j), curr[j] = D(i, j).
+  std::vector<double> prev(m + 1, kInf), curr(m + 1, kInf);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = kInf;
+    for (size_t j = 1; j <= m; ++j) {
+      const double cost = geo::Distance(a[i - 1], b[j - 1]);
+      curr[j] = cost + std::min({prev[j], curr[j - 1], prev[j - 1]});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+int Lcss(const std::vector<geo::Point>& a, const std::vector<geo::Point>& b,
+         double eps) {
+  const size_t n = a.size(), m = b.size();
+  if (n == 0 || m == 0) return 0;
+  const double eps_sq = eps * eps;
+  std::vector<int> prev(m + 1, 0), curr(m + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      if (geo::SquaredDistance(a[i - 1], b[j - 1]) <= eps_sq) {
+        curr[j] = prev[j - 1] + 1;
+      } else {
+        curr[j] = std::max(prev[j], curr[j - 1]);
+      }
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+double LcssDistance(const std::vector<geo::Point>& a,
+                    const std::vector<geo::Point>& b, double eps) {
+  if (a.empty() || b.empty()) return 1.0;
+  const double common = Lcss(a, b, eps);
+  return 1.0 - common / static_cast<double>(std::min(a.size(), b.size()));
+}
+
+int Edr(const std::vector<geo::Point>& a, const std::vector<geo::Point>& b,
+        double eps) {
+  const size_t n = a.size(), m = b.size();
+  if (n == 0) return static_cast<int>(m);
+  if (m == 0) return static_cast<int>(n);
+  std::vector<int> prev(m + 1), curr(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      // EDR's match predicate: within eps in each coordinate.
+      const bool match = std::fabs(a[i - 1].x - b[j - 1].x) <= eps &&
+                         std::fabs(a[i - 1].y - b[j - 1].y) <= eps;
+      const int subcost = match ? 0 : 1;
+      curr[j] = std::min({prev[j - 1] + subcost, prev[j] + 1, curr[j - 1] + 1});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+double Erp(const std::vector<geo::Point>& a, const std::vector<geo::Point>& b,
+           const geo::Point& gap) {
+  const size_t n = a.size(), m = b.size();
+  std::vector<double> prev(m + 1, 0.0), curr(m + 1, 0.0);
+  // Deleting all of b's prefix: pay distance to the gap element.
+  for (size_t j = 1; j <= m; ++j) {
+    prev[j] = prev[j - 1] + geo::Distance(b[j - 1], gap);
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = prev[0] + geo::Distance(a[i - 1], gap);
+    for (size_t j = 1; j <= m; ++j) {
+      const double match = prev[j - 1] + geo::Distance(a[i - 1], b[j - 1]);
+      const double del_a = prev[j] + geo::Distance(a[i - 1], gap);
+      const double del_b = curr[j - 1] + geo::Distance(b[j - 1], gap);
+      curr[j] = std::min({match, del_a, del_b});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+double DiscreteFrechet(const std::vector<geo::Point>& a,
+                       const std::vector<geo::Point>& b) {
+  T2VEC_CHECK(!a.empty() && !b.empty());
+  const size_t n = a.size(), m = b.size();
+  std::vector<double> prev(m), curr(m);
+  for (size_t j = 0; j < m; ++j) {
+    const double d = geo::Distance(a[0], b[j]);
+    prev[j] = (j == 0) ? d : std::max(prev[j - 1], d);
+  }
+  for (size_t i = 1; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      const double d = geo::Distance(a[i], b[j]);
+      double reach;
+      if (j == 0) {
+        reach = prev[0];
+      } else {
+        reach = std::min({prev[j], prev[j - 1], curr[j - 1]});
+      }
+      curr[j] = std::max(reach, d);
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m - 1];
+}
+
+double Hausdorff(const std::vector<geo::Point>& a,
+                 const std::vector<geo::Point>& b) {
+  T2VEC_CHECK(!a.empty() && !b.empty());
+  auto directed = [](const std::vector<geo::Point>& from,
+                     const std::vector<geo::Point>& to) {
+    double worst = 0.0;
+    for (const geo::Point& p : from) {
+      double best = kInf;
+      for (const geo::Point& q : to) {
+        best = std::min(best, geo::SquaredDistance(p, q));
+      }
+      worst = std::max(worst, best);
+    }
+    return std::sqrt(worst);
+  };
+  return std::max(directed(a, b), directed(b, a));
+}
+
+}  // namespace t2vec::dist

@@ -1,0 +1,126 @@
+#ifndef T2VEC_DIST_CLASSIC_H_
+#define T2VEC_DIST_CLASSIC_H_
+
+#include <string>
+#include <vector>
+
+#include "dist/measure.h"
+#include "geo/point.h"
+
+/// \file
+/// Classical pairwise point-matching measures (the paper's baselines plus
+/// the standard measures its related work discusses). All are O(n·m)
+/// dynamic programs over the two point sequences — the quadratic complexity
+/// the paper's linear-time representation replaces.
+///
+/// Free functions compute the raw values; Measure wrappers adapt them to the
+/// common ranking interface.
+
+namespace t2vec::dist {
+
+/// Dynamic Time Warping: sum of matched Euclidean distances under the
+/// cheapest monotone alignment (Yi et al. 1998).
+double Dtw(const std::vector<geo::Point>& a, const std::vector<geo::Point>& b);
+
+/// Longest Common SubSequence length with spatial threshold `eps`: points
+/// match when within Euclidean distance eps (Vlachos et al. 2002).
+int Lcss(const std::vector<geo::Point>& a, const std::vector<geo::Point>& b,
+         double eps);
+
+/// LCSS turned into a distance in [0, 1]: 1 - LCSS / min(|a|, |b|).
+double LcssDistance(const std::vector<geo::Point>& a,
+                    const std::vector<geo::Point>& b, double eps);
+
+/// Edit Distance on Real sequences (Chen et al. 2005): unit cost per
+/// unmatched point, match when within eps in both coordinates.
+int Edr(const std::vector<geo::Point>& a, const std::vector<geo::Point>& b,
+        double eps);
+
+/// Edit distance with Real Penalty (Chen & Ng 2004): metric edit distance
+/// with gap element `gap`.
+double Erp(const std::vector<geo::Point>& a, const std::vector<geo::Point>& b,
+           const geo::Point& gap);
+
+/// Discrete Fréchet distance (coupling distance).
+double DiscreteFrechet(const std::vector<geo::Point>& a,
+                       const std::vector<geo::Point>& b);
+
+/// Symmetric Hausdorff distance between the point sets.
+double Hausdorff(const std::vector<geo::Point>& a,
+                 const std::vector<geo::Point>& b);
+
+// ---------------------------------------------------------------------------
+// Measure adapters.
+// ---------------------------------------------------------------------------
+
+class DtwMeasure : public Measure {
+ public:
+  double Distance(const traj::Trajectory& a,
+                  const traj::Trajectory& b) const override {
+    return Dtw(a.points, b.points);
+  }
+  std::string Name() const override { return "DTW"; }
+};
+
+class LcssMeasure : public Measure {
+ public:
+  /// `eps`: spatial matching threshold in meters. The original papers set it
+  /// relative to the data scale; we default to the grid cell size.
+  explicit LcssMeasure(double eps) : eps_(eps) {}
+  double Distance(const traj::Trajectory& a,
+                  const traj::Trajectory& b) const override {
+    return LcssDistance(a.points, b.points, eps_);
+  }
+  std::string Name() const override { return "LCSS"; }
+
+ private:
+  double eps_;
+};
+
+class EdrMeasure : public Measure {
+ public:
+  explicit EdrMeasure(double eps) : eps_(eps) {}
+  double Distance(const traj::Trajectory& a,
+                  const traj::Trajectory& b) const override {
+    return Edr(a.points, b.points, eps_);
+  }
+  std::string Name() const override { return "EDR"; }
+
+ private:
+  double eps_;
+};
+
+class ErpMeasure : public Measure {
+ public:
+  explicit ErpMeasure(geo::Point gap) : gap_(gap) {}
+  double Distance(const traj::Trajectory& a,
+                  const traj::Trajectory& b) const override {
+    return Erp(a.points, b.points, gap_);
+  }
+  std::string Name() const override { return "ERP"; }
+
+ private:
+  geo::Point gap_;
+};
+
+class FrechetMeasure : public Measure {
+ public:
+  double Distance(const traj::Trajectory& a,
+                  const traj::Trajectory& b) const override {
+    return DiscreteFrechet(a.points, b.points);
+  }
+  std::string Name() const override { return "Frechet"; }
+};
+
+class HausdorffMeasure : public Measure {
+ public:
+  double Distance(const traj::Trajectory& a,
+                  const traj::Trajectory& b) const override {
+    return Hausdorff(a.points, b.points);
+  }
+  std::string Name() const override { return "Hausdorff"; }
+};
+
+}  // namespace t2vec::dist
+
+#endif  // T2VEC_DIST_CLASSIC_H_

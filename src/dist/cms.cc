@@ -1,0 +1,42 @@
+#include "dist/cms.h"
+
+#include <algorithm>
+
+namespace t2vec::dist {
+
+double CellJaccardDistance(std::vector<geo::Token> a,
+                           std::vector<geo::Token> b) {
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  std::sort(b.begin(), b.end());
+  b.erase(std::unique(b.begin(), b.end()), b.end());
+  if (a.empty() && b.empty()) return 0.0;
+
+  size_t common = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const size_t uni = a.size() + b.size() - common;
+  return 1.0 - static_cast<double>(common) / static_cast<double>(uni);
+}
+
+double CmsMeasure::Distance(const traj::Trajectory& a,
+                            const traj::Trajectory& b) const {
+  std::vector<geo::Token> ta, tb;
+  ta.reserve(a.size());
+  tb.reserve(b.size());
+  for (const geo::Point& p : a.points) ta.push_back(vocab_->TokenOf(p));
+  for (const geo::Point& p : b.points) tb.push_back(vocab_->TokenOf(p));
+  return CellJaccardDistance(std::move(ta), std::move(tb));
+}
+
+}  // namespace t2vec::dist

@@ -1,0 +1,39 @@
+#ifndef T2VEC_DIST_CMS_H_
+#define T2VEC_DIST_CMS_H_
+
+#include <vector>
+
+#include "dist/measure.h"
+#include "geo/vocab.h"
+
+/// \file
+/// Common-set (CMS) baseline: trajectories are mapped to their hot-cell
+/// token *sets* and compared by Jaccard distance. The paper includes CMS to
+/// test whether the encoder merely counts shared cells; CMS ignores order,
+/// which is why it performs worst in the most-similar-search experiments.
+
+namespace t2vec::dist {
+
+class CmsMeasure : public Measure {
+ public:
+  /// The vocabulary must outlive the measure.
+  explicit CmsMeasure(const geo::HotCellVocab* vocab) : vocab_(vocab) {}
+
+  /// 1 - |cells(a) ∩ cells(b)| / |cells(a) ∪ cells(b)|.
+  double Distance(const traj::Trajectory& a,
+                  const traj::Trajectory& b) const override;
+
+  std::string Name() const override { return "CMS"; }
+
+ private:
+  const geo::HotCellVocab* vocab_;
+};
+
+/// Jaccard distance between two token multiset-collapsed sets; exposed for
+/// tests and for precomputed-token callers.
+double CellJaccardDistance(std::vector<geo::Token> a,
+                           std::vector<geo::Token> b);
+
+}  // namespace t2vec::dist
+
+#endif  // T2VEC_DIST_CMS_H_

@@ -1,0 +1,95 @@
+#include "dist/edwp.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace t2vec::dist {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// A DP cell: cheapest cost of explaining the prefixes, plus the *current
+// aligned positions* on each trajectory. After an insertion the current
+// position is a projection point interior to a segment (the insertion
+// split the segment there); subsequent operations continue from it. The
+// positions follow the argmin path, which is how the published EDwP
+// implementation keeps its quadratic DP despite virtual split points.
+struct Cell {
+  double cost = kInf;
+  geo::Point pa;  // Current position on trajectory a.
+  geo::Point pb;  // Current position on trajectory b.
+};
+
+// Coverage-weighted cost of one edit operation that moves the alignment
+// from (from_a, from_b) to (to_a, to_b):
+//   Replacement(e1, e2) * Coverage(e1, e2)
+//     = (d(e1.start, e2.start) + d(e1.end, e2.end)) * (|e1| + |e2|).
+double OpCost(const geo::Point& from_a, const geo::Point& from_b,
+              const geo::Point& to_a, const geo::Point& to_b) {
+  const double rep =
+      geo::Distance(from_a, from_b) + geo::Distance(to_a, to_b);
+  const double coverage =
+      geo::Distance(from_a, to_a) + geo::Distance(from_b, to_b);
+  return rep * coverage;
+}
+
+}  // namespace
+
+double Edwp(const std::vector<geo::Point>& a,
+            const std::vector<geo::Point>& b) {
+  T2VEC_CHECK(!a.empty() && !b.empty());
+  const size_t n = a.size(), m = b.size();
+  if (n == 1 && m == 1) return geo::Distance(a[0], b[0]);
+
+  std::vector<Cell> prev(m), curr(m);
+
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      Cell best;
+      if (i == 0 && j == 0) {
+        best = {0.0, a[0], b[0]};
+        curr[0] = best;
+        continue;
+      }
+
+      // Replacement: segments (pa -> a[i]) and (pb -> b[j]) match.
+      if (i > 0 && j > 0 && prev[j - 1].cost < kInf) {
+        const Cell& s = prev[j - 1];
+        const double c = s.cost + OpCost(s.pa, s.pb, a[i], b[j]);
+        if (c < best.cost) best = {c, a[i], b[j]};
+      }
+
+      // Insertion into b: a advances to a[i]; b inserts the projection of
+      // a[i] onto its upcoming segment (pb -> b[j+1]), splitting it there.
+      if (i > 0 && prev[j].cost < kInf) {
+        const Cell& s = prev[j];
+        const geo::Point p =
+            (j + 1 < m) ? geo::ProjectOntoSegment(a[i], s.pb, b[j + 1])
+                        : b[j];
+        const double c = s.cost + OpCost(s.pa, s.pb, a[i], p);
+        if (c < best.cost) best = {c, a[i], p};
+      }
+
+      // Insertion into a: symmetric.
+      if (j > 0 && curr[j - 1].cost < kInf) {
+        const Cell& s = curr[j - 1];
+        const geo::Point p =
+            (i + 1 < n) ? geo::ProjectOntoSegment(b[j], s.pa, a[i + 1])
+                        : a[i];
+        const double c = s.cost + OpCost(s.pa, s.pb, p, b[j]);
+        if (c < best.cost) best = {c, p, b[j]};
+      }
+
+      curr[j] = best;
+    }
+    std::swap(prev, curr);
+    for (Cell& c : curr) c.cost = kInf;
+  }
+  return prev[m - 1].cost;
+}
+
+}  // namespace t2vec::dist

@@ -1,0 +1,41 @@
+#include "dist/knn.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace t2vec::dist {
+
+std::vector<size_t> KnnSearch(const Measure& measure,
+                              const traj::Trajectory& query,
+                              const std::vector<traj::Trajectory>& database,
+                              size_t k) {
+  T2VEC_CHECK(k > 0 && k <= database.size());
+  std::vector<std::pair<double, size_t>> scored;
+  scored.reserve(database.size());
+  for (size_t i = 0; i < database.size(); ++i) {
+    scored.emplace_back(measure.Distance(query, database[i]), i);
+  }
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
+                    scored.end());
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+size_t RankOf(const Measure& measure, const traj::Trajectory& query,
+              const std::vector<traj::Trajectory>& database,
+              size_t target_index) {
+  T2VEC_CHECK(target_index < database.size());
+  const double target_dist =
+      measure.Distance(query, database[target_index]);
+  size_t closer = 0;
+  for (size_t i = 0; i < database.size(); ++i) {
+    if (i == target_index) continue;
+    if (measure.Distance(query, database[i]) < target_dist) ++closer;
+  }
+  return closer + 1;
+}
+
+}  // namespace t2vec::dist

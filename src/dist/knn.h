@@ -1,0 +1,34 @@
+#ifndef T2VEC_DIST_KNN_H_
+#define T2VEC_DIST_KNN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dist/measure.h"
+#include "traj/trajectory.h"
+
+/// \file
+/// Brute-force k-nearest-neighbor search over a trajectory database under
+/// any Measure. This is the O(DB · n²) query path the paper's Fig. 6
+/// compares t2vec's linear scan of vectors against.
+
+namespace t2vec::dist {
+
+/// Indices of the k database trajectories closest to `query` under
+/// `measure`, ordered by ascending distance (ties broken by index).
+std::vector<size_t> KnnSearch(const Measure& measure,
+                              const traj::Trajectory& query,
+                              const std::vector<traj::Trajectory>& database,
+                              size_t k);
+
+/// 1-based rank of `target_index` in the ordering of `database` by distance
+/// to `query` (rank 1 = nearest). Counts strictly closer entries plus one;
+/// among equal distances the target wins, which makes the most-similar-
+/// search evaluation insensitive to tie order.
+size_t RankOf(const Measure& measure, const traj::Trajectory& query,
+              const std::vector<traj::Trajectory>& database,
+              size_t target_index);
+
+}  // namespace t2vec::dist
+
+#endif  // T2VEC_DIST_KNN_H_

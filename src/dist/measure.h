@@ -1,0 +1,32 @@
+#ifndef T2VEC_DIST_MEASURE_H_
+#define T2VEC_DIST_MEASURE_H_
+
+#include <memory>
+#include <string>
+
+#include "traj/trajectory.h"
+
+/// \file
+/// Common interface for trajectory distance measures. Lower = more similar.
+/// The evaluation harness ranks and searches through this interface so every
+/// baseline and t2vec itself are interchangeable.
+
+namespace t2vec::dist {
+
+/// A (dis)similarity measure between two trajectories.
+class Measure {
+ public:
+  virtual ~Measure() = default;
+
+  /// Distance between `a` and `b`; lower means more similar. Must be
+  /// symmetric and non-negative, and 0 for identical inputs.
+  virtual double Distance(const traj::Trajectory& a,
+                          const traj::Trajectory& b) const = 0;
+
+  /// Short display name ("EDR", "t2vec", ...).
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace t2vec::dist
+
+#endif  // T2VEC_DIST_MEASURE_H_

@@ -1,0 +1,52 @@
+#include "eval/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace t2vec::eval {
+
+IntervalEstimate BootstrapMean(const std::vector<double>& samples,
+                               int resamples, double alpha, Rng& rng) {
+  T2VEC_CHECK(!samples.empty());
+  T2VEC_CHECK(resamples >= 2);
+  T2VEC_CHECK(alpha > 0.0 && alpha < 1.0);
+
+  const size_t n = samples.size();
+  double total = 0.0;
+  for (double s : samples) total += s;
+
+  std::vector<double> means;
+  means.reserve(static_cast<size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) acc += samples[rng.UniformInt(n)];
+    means.push_back(acc / static_cast<double>(n));
+  }
+  std::sort(means.begin(), means.end());
+
+  auto percentile = [&](double q) {
+    const double pos = q * static_cast<double>(means.size() - 1);
+    const size_t lo = static_cast<size_t>(std::floor(pos));
+    const size_t hi = std::min(lo + 1, means.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return means[lo] * (1.0 - frac) + means[hi] * frac;
+  };
+
+  IntervalEstimate out;
+  out.mean = total / static_cast<double>(n);
+  out.lower = percentile(alpha / 2.0);
+  out.upper = percentile(1.0 - alpha / 2.0);
+  return out;
+}
+
+IntervalEstimate BootstrapMeanRank(const std::vector<size_t>& ranks,
+                                   int resamples, double alpha, Rng& rng) {
+  std::vector<double> samples;
+  samples.reserve(ranks.size());
+  for (size_t r : ranks) samples.push_back(static_cast<double>(r));
+  return BootstrapMean(samples, resamples, alpha, rng);
+}
+
+}  // namespace t2vec::eval

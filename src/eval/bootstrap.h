@@ -1,0 +1,36 @@
+#ifndef T2VEC_EVAL_BOOTSTRAP_H_
+#define T2VEC_EVAL_BOOTSTRAP_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+/// \file
+/// Bootstrap confidence intervals for experiment statistics. The paper
+/// reports point estimates only; for a scaled-down reproduction with ~120
+/// queries the sampling noise matters, so the harness can attach a
+/// percentile-bootstrap interval to any per-query statistic (mean rank,
+/// precision).
+
+namespace t2vec::eval {
+
+/// A point estimate with a (lower, upper) confidence interval.
+struct IntervalEstimate {
+  double mean = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// Percentile bootstrap of the mean of `samples`: draws `resamples`
+/// with-replacement resamples and returns the mean plus the
+/// [alpha/2, 1-alpha/2] percentile interval. Requires non-empty samples.
+IntervalEstimate BootstrapMean(const std::vector<double>& samples,
+                               int resamples, double alpha, Rng& rng);
+
+/// Convenience overload for integer ranks.
+IntervalEstimate BootstrapMeanRank(const std::vector<size_t>& ranks,
+                                   int resamples, double alpha, Rng& rng);
+
+}  // namespace t2vec::eval
+
+#endif  // T2VEC_EVAL_BOOTSTRAP_H_

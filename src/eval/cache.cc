@@ -1,0 +1,111 @@
+#include "eval/cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/logging.h"
+#include "nn/checkpoint.h"
+#include "traj/tokenizer.h"
+
+namespace t2vec::eval {
+
+std::string CacheDir() {
+  const char* env = std::getenv("T2VEC_CACHE_DIR");
+  return env != nullptr ? env : ".t2vec_cache";
+}
+
+namespace {
+
+// Cheap structural fingerprint of the training data: size plus a few probe
+// points, enough to invalidate the cache when the generator setup changes.
+uint64_t DataFingerprint(const std::vector<traj::Trajectory>& trips) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001B3ULL;
+  };
+  mix(trips.size());
+  for (size_t i = 0; i < trips.size(); i += std::max<size_t>(1, trips.size() / 16)) {
+    const traj::Trajectory& t = trips[i];
+    mix(static_cast<uint64_t>(t.size()));
+    if (!t.empty()) {
+      mix(static_cast<uint64_t>(t.points.front().x * 1000.0));
+      mix(static_cast<uint64_t>(t.points.back().y * 1000.0));
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+core::T2Vec GetOrTrainModel(const std::string& tag,
+                            const std::vector<traj::Trajectory>& train_trips,
+                            const core::T2VecConfig& config,
+                            core::TrainStats* stats) {
+  if (stats != nullptr) *stats = core::TrainStats{};
+  std::filesystem::create_directories(CacheDir());
+  char name[256];
+  std::snprintf(name, sizeof(name), "%s/%s_%016llx_%016llx.t2vec",
+                CacheDir().c_str(), tag.c_str(),
+                static_cast<unsigned long long>(config.Fingerprint()),
+                static_cast<unsigned long long>(DataFingerprint(train_trips)));
+
+  if (std::filesystem::exists(name)) {
+    Result<core::T2Vec> loaded = core::T2Vec::Load(name);
+    if (loaded.ok()) {
+      T2VEC_LOG_INFO("model cache hit: %s", name);
+      return std::move(loaded).value();
+    }
+    T2VEC_LOG_WARN("corrupt cache entry %s: %s; retraining", name,
+                   loaded.status().ToString().c_str());
+  }
+
+  T2VEC_LOG_INFO("training model [%s] (%s)", tag.c_str(),
+                 config.Summary().c_str());
+  core::T2Vec model = core::T2Vec::Train(train_trips, config, stats);
+  const Status save_status = model.Save(name);
+  if (!save_status.ok()) {
+    T2VEC_LOG_WARN("cannot cache model: %s", save_status.ToString().c_str());
+  }
+  return model;
+}
+
+core::VRnn GetOrTrainVRnn(const std::string& tag,
+                          const std::vector<traj::Trajectory>& train_trips,
+                          const geo::HotCellVocab& vocab,
+                          const core::T2VecConfig& config, size_t iterations) {
+  std::filesystem::create_directories(CacheDir());
+  char name[256];
+  std::snprintf(name, sizeof(name), "%s/%s_%016llx_%016llx_%zu.vrnn",
+                CacheDir().c_str(), tag.c_str(),
+                static_cast<unsigned long long>(config.Fingerprint()),
+                static_cast<unsigned long long>(DataFingerprint(train_trips)),
+                iterations);
+
+  Rng rng(config.seed + 17);
+  core::VRnn vrnn(config, vocab.vocab_size(), rng);
+  if (std::filesystem::exists(name) &&
+      nn::LoadParams(vrnn.Params(), name).ok()) {
+    T2VEC_LOG_INFO("vRNN cache hit: %s", name);
+    return vrnn;
+  }
+
+  T2VEC_LOG_INFO("training vRNN [%s] for %zu iterations", tag.c_str(),
+                 iterations);
+  std::vector<traj::TokenSeq> seqs;
+  seqs.reserve(train_trips.size());
+  for (const traj::Trajectory& t : train_trips) {
+    seqs.push_back(traj::Tokenize(vocab, t));
+  }
+  Rng train_rng(config.seed + 29);
+  const double loss = vrnn.Train(seqs, iterations, train_rng);
+  T2VEC_LOG_INFO("vRNN final loss %.4f", loss);
+  const Status save_status = nn::SaveParams(vrnn.Params(), name);
+  if (!save_status.ok()) {
+    T2VEC_LOG_WARN("cannot cache vRNN: %s", save_status.ToString().c_str());
+  }
+  return vrnn;
+}
+
+}  // namespace t2vec::eval

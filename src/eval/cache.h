@@ -1,0 +1,41 @@
+#ifndef T2VEC_EVAL_CACHE_H_
+#define T2VEC_EVAL_CACHE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/t2vec.h"
+#include "core/trainer.h"
+#include "core/vrnn.h"
+#include "traj/trajectory.h"
+
+/// \file
+/// On-disk cache of trained models, keyed by (tag, config fingerprint,
+/// training-set fingerprint). The bench binaries share one default model
+/// this way: the first bench trains it (~minutes), the rest load it.
+
+namespace t2vec::eval {
+
+/// Default cache directory, overridable via $T2VEC_CACHE_DIR.
+std::string CacheDir();
+
+/// Loads the cached model for this (tag, config, data) key, or trains one
+/// and stores it. `stats`, if non-null, is filled only on a fresh training
+/// run (stats->iterations == 0 signals a cache hit).
+core::T2Vec GetOrTrainModel(const std::string& tag,
+                            const std::vector<traj::Trajectory>& train_trips,
+                            const core::T2VecConfig& config,
+                            core::TrainStats* stats = nullptr);
+
+/// Loads or trains the vRNN baseline over `vocab` (architecture fields are
+/// taken from `config`, matching the paper's "same parameters as our
+/// encoder-RNN"). Only the weights are cached; the vocabulary comes from the
+/// accompanying t2vec model.
+core::VRnn GetOrTrainVRnn(const std::string& tag,
+                          const std::vector<traj::Trajectory>& train_trips,
+                          const geo::HotCellVocab& vocab,
+                          const core::T2VecConfig& config, size_t iterations);
+
+}  // namespace t2vec::eval
+
+#endif  // T2VEC_EVAL_CACHE_H_

@@ -1,0 +1,36 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace t2vec::eval {
+
+double MeanRank(const std::vector<size_t>& ranks) {
+  T2VEC_CHECK(!ranks.empty());
+  double total = 0.0;
+  for (size_t r : ranks) total += static_cast<double>(r);
+  return total / static_cast<double>(ranks.size());
+}
+
+double KnnPrecision(const std::vector<size_t>& truth,
+                    const std::vector<size_t>& retrieved) {
+  T2VEC_CHECK(!truth.empty());
+  std::vector<size_t> a = truth, b = retrieved;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::vector<size_t> common;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(common));
+  return static_cast<double>(common.size()) / static_cast<double>(a.size());
+}
+
+double CrossDistanceDeviation(double transformed_distance,
+                              double original_distance) {
+  if (original_distance == 0.0) return 0.0;
+  return std::fabs(transformed_distance - original_distance) /
+         original_distance;
+}
+
+}  // namespace t2vec::eval

@@ -1,0 +1,30 @@
+#ifndef T2VEC_EVAL_METRICS_H_
+#define T2VEC_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+/// \file
+/// Scalar evaluation metrics of the paper's Sec. V protocol.
+
+namespace t2vec::eval {
+
+/// Mean of 1-based ranks.
+double MeanRank(const std::vector<size_t>& ranks);
+
+/// Precision of a retrieved k-NN list against a ground-truth k-NN list:
+/// |retrieved ∩ truth| / |truth| (paper Sec. V-C3, "proportion of true k-nn
+/// trajectories"). Both lists are index sets; order is ignored.
+double KnnPrecision(const std::vector<size_t>& truth,
+                    const std::vector<size_t>& retrieved);
+
+/// Cross-distance deviation (paper Sec. V-C2):
+/// |d(Ta(r), Ta'(r)) - d(Tb, Tb')| / d(Tb, Tb'). Guarded against a zero
+/// denominator (identical originals are skipped by the caller by contract;
+/// this returns 0 for 0/0).
+double CrossDistanceDeviation(double transformed_distance,
+                              double original_distance);
+
+}  // namespace t2vec::eval
+
+#endif  // T2VEC_EVAL_METRICS_H_

@@ -1,0 +1,53 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace t2vec::eval {
+
+Table::Table(std::string title, std::vector<std::string> header)
+    : title_(std::move(title)), header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  T2VEC_CHECK(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::AddRow(const std::string& label, const std::vector<double>& values,
+                   int precision) {
+  std::vector<std::string> cells;
+  cells.push_back(label);
+  char buf[64];
+  for (double v : values) {
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    cells.emplace_back(buf);
+  }
+  AddRow(std::move(cells));
+}
+
+void Table::Print() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::printf("\n== %s ==\n", title_.c_str());
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      std::printf("%-*s", static_cast<int>(widths[c] + 2), cells[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace t2vec::eval

@@ -1,0 +1,37 @@
+#ifndef T2VEC_EVAL_TABLE_H_
+#define T2VEC_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+/// \file
+/// Fixed-width table printer so every bench emits paper-style tables.
+
+namespace t2vec::eval {
+
+/// Accumulates rows and prints an aligned table to stdout.
+class Table {
+ public:
+  /// `title` is printed above the table; `header` names the columns.
+  Table(std::string title, std::vector<std::string> header);
+
+  /// Adds a row of preformatted cells (must match the header width).
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: first cell is a label, remaining cells are numbers
+  /// formatted with `precision` decimals.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 2);
+
+  /// Renders to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace t2vec::eval
+
+#endif  // T2VEC_EVAL_TABLE_H_

@@ -1,0 +1,109 @@
+#include "geo/cell_knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace t2vec::geo {
+
+CellKnnTable::CellKnnTable(const HotCellVocab& vocab, int k, double theta)
+    : k_(k), theta_(theta), vocab_size_(vocab.vocab_size()) {
+  T2VEC_CHECK(k >= 1);
+  T2VEC_CHECK(theta > 0.0);
+  const size_t n = vocab.num_hot_cells();
+  const int effective_k =
+      static_cast<int>(std::min<size_t>(static_cast<size_t>(k), n));
+  const SpatialGrid& grid = vocab.grid();
+
+  // Dense grid-cell -> token lookup for the ring search.
+  std::vector<Token> cell_token_lut(static_cast<size_t>(grid.num_cells()),
+                                    -1);
+  for (size_t j = 0; j < n; ++j) {
+    cell_token_lut[static_cast<size_t>(vocab.hot_cells()[j])] =
+        static_cast<Token>(j) + kNumSpecialTokens;
+  }
+
+  neighbors_.resize(n);
+  weights_.resize(n);
+  distances_.resize(n);
+
+  // Hot cells live on a lattice; candidates are gathered ring by ring around
+  // each cell until the k-th best cannot be improved by farther rings.
+  std::vector<std::pair<double, Token>> candidates;
+  for (size_t i = 0; i < n; ++i) {
+    const Token token = static_cast<Token>(i) + kNumSpecialTokens;
+    const Point center = vocab.CenterOf(token);
+    const CellId cell = vocab.hot_cells()[i];
+    const int64_t row0 = grid.RowOf(cell);
+    const int64_t col0 = grid.ColOf(cell);
+    const int64_t max_ring = std::max(grid.rows(), grid.cols());
+
+    candidates.clear();
+    candidates.emplace_back(0.0, token);  // The cell itself (distance 0).
+
+    auto visit = [&](int64_t row, int64_t col) {
+      if (!grid.InBounds(row, col)) return;
+      const Token t =
+          cell_token_lut[static_cast<size_t>(grid.CellAt(row, col))];
+      if (t < 0 || t == token) return;
+      candidates.emplace_back(Distance(center, vocab.CenterOf(t)), t);
+    };
+
+    for (int64_t ring = 1; ring <= max_ring; ++ring) {
+      if (static_cast<int>(candidates.size()) >= effective_k) {
+        std::nth_element(candidates.begin(),
+                         candidates.begin() + effective_k - 1,
+                         candidates.end());
+        const double kth = candidates[effective_k - 1].first;
+        // Cells on this ring are at least (ring - 1) * cell_size away.
+        const double ring_min_dist =
+            (static_cast<double>(ring) - 1.0) * grid.cell_size();
+        if (ring_min_dist > kth) break;
+      }
+      for (int64_t c = col0 - ring; c <= col0 + ring; ++c) {
+        visit(row0 - ring, c);
+        visit(row0 + ring, c);
+      }
+      for (int64_t r = row0 - ring + 1; r <= row0 + ring - 1; ++r) {
+        visit(r, col0 - ring);
+        visit(r, col0 + ring);
+      }
+    }
+
+    std::sort(candidates.begin(), candidates.end());
+    const size_t take =
+        std::min<size_t>(candidates.size(), static_cast<size_t>(effective_k));
+    neighbors_[i].reserve(take);
+    distances_[i].reserve(take);
+    weights_[i].reserve(take);
+    double weight_sum = 0.0;
+    for (size_t j = 0; j < take; ++j) {
+      neighbors_[i].push_back(candidates[j].second);
+      distances_[i].push_back(static_cast<float>(candidates[j].first));
+      const double w = std::exp(-candidates[j].first / theta_);
+      weights_[i].push_back(static_cast<float>(w));
+      weight_sum += w;
+    }
+    for (float& w : weights_[i]) {
+      w = static_cast<float>(w / weight_sum);
+    }
+  }
+}
+
+size_t CellKnnTable::IndexOf(Token token) const {
+  T2VEC_CHECK(token >= kNumSpecialTokens && token < vocab_size_);
+  return static_cast<size_t>(token) - kNumSpecialTokens;
+}
+
+const std::vector<Token>& CellKnnTable::Neighbors(Token token) const {
+  return neighbors_[IndexOf(token)];
+}
+
+const std::vector<float>& CellKnnTable::Weights(Token token) const {
+  return weights_[IndexOf(token)];
+}
+
+const std::vector<float>& CellKnnTable::Distances(Token token) const {
+  return distances_[IndexOf(token)];
+}
+
+}  // namespace t2vec::geo

@@ -1,0 +1,57 @@
+#ifndef T2VEC_GEO_CELL_KNN_H_
+#define T2VEC_GEO_CELL_KNN_H_
+
+#include <vector>
+
+#include "geo/vocab.h"
+
+/// \file
+/// Precomputed K-nearest-neighbor table over hot cells.
+///
+/// Three components of the paper consume this table:
+///  - the approximate loss L3 restricts the positive set to NK(y_t), the K
+///    nearest cells of the target (Sec. IV-C1);
+///  - the spatial proximity weights w_{u,y_t} use an exponential kernel over
+///    cell center distances with scale θ;
+///  - cell pretraining samples skip-gram contexts from NK(u) with the same
+///    kernel (Eq. 8).
+
+namespace t2vec::geo {
+
+/// K nearest hot cells (the cell itself is included as its own 0-distance
+/// neighbor) plus distance-kernel weights for every hot-cell token.
+class CellKnnTable {
+ public:
+  /// Builds the table for all hot cells in `vocab`. `k` neighbors per cell;
+  /// `theta` is the spatial scale (meters) of exp(-d/θ). Weights are
+  /// normalized to sum to 1 within each neighbor list, matching the
+  /// truncated normalization of the paper's L3.
+  CellKnnTable(const HotCellVocab& vocab, int k, double theta);
+
+  /// Neighbor tokens of `token` (size k, sorted by ascending distance,
+  /// first entry is `token` itself). Token must be a hot cell.
+  const std::vector<Token>& Neighbors(Token token) const;
+
+  /// Kernel weights aligned with Neighbors(); they sum to 1.
+  const std::vector<float>& Weights(Token token) const;
+
+  /// Center distances (meters) aligned with Neighbors().
+  const std::vector<float>& Distances(Token token) const;
+
+  int k() const { return k_; }
+  double theta() const { return theta_; }
+
+ private:
+  size_t IndexOf(Token token) const;
+
+  int k_;
+  double theta_;
+  Token vocab_size_;
+  std::vector<std::vector<Token>> neighbors_;
+  std::vector<std::vector<float>> weights_;
+  std::vector<std::vector<float>> distances_;
+};
+
+}  // namespace t2vec::geo
+
+#endif  // T2VEC_GEO_CELL_KNN_H_

@@ -1,0 +1,38 @@
+#include "geo/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace t2vec::geo {
+
+SpatialGrid::SpatialGrid(Point min_corner, Point max_corner, double cell_size)
+    : min_corner_(min_corner), cell_size_(cell_size) {
+  T2VEC_CHECK(cell_size > 0.0);
+  T2VEC_CHECK(max_corner.x > min_corner.x && max_corner.y > min_corner.y);
+  cols_ = static_cast<int64_t>(
+      std::ceil((max_corner.x - min_corner.x) / cell_size));
+  rows_ = static_cast<int64_t>(
+      std::ceil((max_corner.y - min_corner.y) / cell_size));
+  cols_ = std::max<int64_t>(cols_, 1);
+  rows_ = std::max<int64_t>(rows_, 1);
+}
+
+CellId SpatialGrid::CellOf(const Point& p) const {
+  int64_t col = static_cast<int64_t>(
+      std::floor((p.x - min_corner_.x) / cell_size_));
+  int64_t row = static_cast<int64_t>(
+      std::floor((p.y - min_corner_.y) / cell_size_));
+  col = std::clamp<int64_t>(col, 0, cols_ - 1);
+  row = std::clamp<int64_t>(row, 0, rows_ - 1);
+  return row * cols_ + col;
+}
+
+Point SpatialGrid::CenterOf(CellId cell) const {
+  T2VEC_DCHECK(cell >= 0 && cell < num_cells());
+  const int64_t row = RowOf(cell);
+  const int64_t col = ColOf(cell);
+  return {min_corner_.x + (static_cast<double>(col) + 0.5) * cell_size_,
+          min_corner_.y + (static_cast<double>(row) + 0.5) * cell_size_};
+}
+
+}  // namespace t2vec::geo

@@ -1,0 +1,58 @@
+#ifndef T2VEC_GEO_GRID_H_
+#define T2VEC_GEO_GRID_H_
+
+#include <cstdint>
+
+#include "common/macros.h"
+#include "geo/point.h"
+
+/// \file
+/// Uniform spatial grid over a rectangular region in the local planar frame.
+/// The paper partitions space into equal-size cells (default 100 m) and
+/// treats each cell as a token; this class provides the cell indexing.
+
+namespace t2vec::geo {
+
+/// Index of a cell inside a SpatialGrid, in [0, num_cells()).
+using CellId = int64_t;
+
+/// Uniform grid with square cells of side `cell_size` meters.
+class SpatialGrid {
+ public:
+  /// Covers [min_corner, max_corner] with ceil-sized rows/cols. Points
+  /// outside the region are clamped onto the boundary cells.
+  SpatialGrid(Point min_corner, Point max_corner, double cell_size);
+
+  /// Cell containing (after clamping) the given point.
+  CellId CellOf(const Point& p) const;
+
+  /// Center point of a cell.
+  Point CenterOf(CellId cell) const;
+
+  /// Row/column decomposition.
+  int64_t RowOf(CellId cell) const { return cell / cols_; }
+  int64_t ColOf(CellId cell) const { return cell % cols_; }
+  CellId CellAt(int64_t row, int64_t col) const {
+    T2VEC_DCHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+    return row * cols_ + col;
+  }
+  bool InBounds(int64_t row, int64_t col) const {
+    return row >= 0 && row < rows_ && col >= 0 && col < cols_;
+  }
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t num_cells() const { return rows_ * cols_; }
+  double cell_size() const { return cell_size_; }
+  const Point& min_corner() const { return min_corner_; }
+
+ private:
+  Point min_corner_;
+  double cell_size_;
+  int64_t rows_;
+  int64_t cols_;
+};
+
+}  // namespace t2vec::geo
+
+#endif  // T2VEC_GEO_GRID_H_

@@ -1,0 +1,21 @@
+#include "geo/point.h"
+
+#include <algorithm>
+
+namespace t2vec::geo {
+
+Point ProjectOntoSegment(const Point& p, const Point& a, const Point& b) {
+  const double abx = b.x - a.x;
+  const double aby = b.y - a.y;
+  const double len_sq = abx * abx + aby * aby;
+  if (len_sq <= 0.0) return a;
+  const double t =
+      std::clamp(((p.x - a.x) * abx + (p.y - a.y) * aby) / len_sq, 0.0, 1.0);
+  return {a.x + t * abx, a.y + t * aby};
+}
+
+double DistanceToSegment(const Point& p, const Point& a, const Point& b) {
+  return Distance(p, ProjectOntoSegment(p, a, b));
+}
+
+}  // namespace t2vec::geo

@@ -1,0 +1,58 @@
+#ifndef T2VEC_GEO_POINT_H_
+#define T2VEC_GEO_POINT_H_
+
+#include <cmath>
+
+/// \file
+/// Geographic (lon/lat) and planar (meters) point types.
+///
+/// All similarity measures and the spatial grid operate in a local planar
+/// frame in meters (see projection.h); GeoPoint is only used at the data
+/// boundary (generation, I/O).
+
+namespace t2vec::geo {
+
+/// A WGS84 longitude/latitude pair in degrees.
+struct GeoPoint {
+  double lon = 0.0;
+  double lat = 0.0;
+
+  friend bool operator==(const GeoPoint&, const GeoPoint&) = default;
+};
+
+/// A point in a local planar frame, in meters.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Euclidean distance between planar points, meters.
+inline double Distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Squared Euclidean distance (avoids the sqrt on hot paths).
+inline double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Linear interpolation between a and b at fraction t in [0, 1].
+inline Point Lerp(const Point& a, const Point& b, double t) {
+  return {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+/// Closest point to `p` on the segment [a, b].
+Point ProjectOntoSegment(const Point& p, const Point& a, const Point& b);
+
+/// Distance from `p` to the segment [a, b].
+double DistanceToSegment(const Point& p, const Point& a, const Point& b);
+
+}  // namespace t2vec::geo
+
+#endif  // T2VEC_GEO_POINT_H_

@@ -1,0 +1,30 @@
+#include "geo/projection.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace t2vec::geo {
+
+namespace {
+// WGS84 mean Earth radius, meters.
+constexpr double kEarthRadius = 6371008.8;
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+}  // namespace
+
+LocalProjection::LocalProjection(GeoPoint origin) : origin_(origin) {
+  meters_per_deg_lat_ = kEarthRadius * kDegToRad;
+  meters_per_deg_lon_ =
+      kEarthRadius * kDegToRad * std::cos(origin.lat * kDegToRad);
+}
+
+Point LocalProjection::Forward(const GeoPoint& g) const {
+  return {(g.lon - origin_.lon) * meters_per_deg_lon_,
+          (g.lat - origin_.lat) * meters_per_deg_lat_};
+}
+
+GeoPoint LocalProjection::Inverse(const Point& p) const {
+  return {origin_.lon + p.x / meters_per_deg_lon_,
+          origin_.lat + p.y / meters_per_deg_lat_};
+}
+
+}  // namespace t2vec::geo

@@ -1,0 +1,36 @@
+#ifndef T2VEC_GEO_PROJECTION_H_
+#define T2VEC_GEO_PROJECTION_H_
+
+#include "geo/point.h"
+
+/// \file
+/// Local equirectangular projection between lon/lat degrees and a planar
+/// frame in meters. Accurate to well under a meter across a metropolitan
+/// region (tens of kilometers), which is all the paper's setting requires —
+/// cells are 100 m and GPS noise is 30 m.
+
+namespace t2vec::geo {
+
+/// Projects lon/lat to meters relative to a fixed reference point.
+class LocalProjection {
+ public:
+  /// Builds a projection centered at `origin` (its image is (0, 0)).
+  explicit LocalProjection(GeoPoint origin);
+
+  /// lon/lat -> local meters.
+  Point Forward(const GeoPoint& g) const;
+
+  /// local meters -> lon/lat.
+  GeoPoint Inverse(const Point& p) const;
+
+  const GeoPoint& origin() const { return origin_; }
+
+ private:
+  GeoPoint origin_;
+  double meters_per_deg_lon_;
+  double meters_per_deg_lat_;
+};
+
+}  // namespace t2vec::geo
+
+#endif  // T2VEC_GEO_PROJECTION_H_

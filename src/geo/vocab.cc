@@ -1,0 +1,114 @@
+#include "geo/vocab.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace t2vec::geo {
+
+HotCellVocab::HotCellVocab(const SpatialGrid& grid,
+                           const std::vector<Point>& points, int min_hits)
+    : grid_(grid) {
+  std::unordered_map<CellId, int64_t> counts;
+  counts.reserve(points.size() / 4 + 1);
+  for (const Point& p : points) counts[grid_.CellOf(p)]++;
+
+  // Keep cells with >= min_hits hits; deterministic order by cell id.
+  std::vector<std::pair<CellId, int64_t>> kept;
+  kept.reserve(counts.size());
+  for (const auto& [cell, count] : counts) {
+    if (count >= min_hits) kept.emplace_back(cell, count);
+  }
+  T2VEC_CHECK(!kept.empty());
+  std::sort(kept.begin(), kept.end());
+
+  hot_cells_.reserve(kept.size());
+  centers_.reserve(kept.size());
+  hit_counts_.reserve(kept.size());
+  cell_to_token_.reserve(kept.size());
+  for (size_t i = 0; i < kept.size(); ++i) {
+    hot_cells_.push_back(kept[i].first);
+    centers_.push_back(grid_.CenterOf(kept[i].first));
+    hit_counts_.push_back(kept[i].second);
+    cell_to_token_[kept[i].first] =
+        static_cast<Token>(i) + kNumSpecialTokens;
+  }
+}
+
+HotCellVocab::HotCellVocab(const SpatialGrid& grid,
+                           std::vector<CellId> hot_cells,
+                           std::vector<int64_t> hit_counts)
+    : grid_(grid),
+      hot_cells_(std::move(hot_cells)),
+      hit_counts_(std::move(hit_counts)) {
+  T2VEC_CHECK(!hot_cells_.empty());
+  T2VEC_CHECK(hot_cells_.size() == hit_counts_.size());
+  T2VEC_CHECK(std::is_sorted(hot_cells_.begin(), hot_cells_.end()));
+  centers_.reserve(hot_cells_.size());
+  cell_to_token_.reserve(hot_cells_.size());
+  for (size_t i = 0; i < hot_cells_.size(); ++i) {
+    centers_.push_back(grid_.CenterOf(hot_cells_[i]));
+    cell_to_token_[hot_cells_[i]] = static_cast<Token>(i) + kNumSpecialTokens;
+  }
+}
+
+Token HotCellVocab::TokenOf(const Point& p) const {
+  // Fast path: the point's own cell is hot.
+  const CellId own = grid_.CellOf(p);
+  if (auto it = cell_to_token_.find(own); it != cell_to_token_.end()) {
+    return it->second;
+  }
+
+  // Ring search: expand square rings around the point's cell. A candidate
+  // found at ring r can only be beaten by candidates up to ring
+  // ceil(best_dist / cell_size) + 1, so we keep expanding until that bound.
+  const int64_t row0 = grid_.RowOf(own);
+  const int64_t col0 = grid_.ColOf(own);
+  const int64_t max_ring = std::max(grid_.rows(), grid_.cols());
+
+  Token best = -1;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (int64_t ring = 1; ring <= max_ring; ++ring) {
+    if (best >= 0) {
+      // Cells in this ring are at least (ring - 1) * cell_size away.
+      const double ring_min_dist =
+          (static_cast<double>(ring) - 1.0) * grid_.cell_size();
+      if (ring_min_dist > best_dist) break;
+    }
+    auto visit = [&](int64_t row, int64_t col) {
+      if (!grid_.InBounds(row, col)) return;
+      const CellId cell = grid_.CellAt(row, col);
+      auto it = cell_to_token_.find(cell);
+      if (it == cell_to_token_.end()) return;
+      const double d =
+          Distance(p, centers_[static_cast<size_t>(it->second) -
+                               kNumSpecialTokens]);
+      if (d < best_dist) {
+        best_dist = d;
+        best = it->second;
+      }
+    };
+    for (int64_t c = col0 - ring; c <= col0 + ring; ++c) {
+      visit(row0 - ring, c);
+      visit(row0 + ring, c);
+    }
+    for (int64_t r = row0 - ring + 1; r <= row0 + ring - 1; ++r) {
+      visit(r, col0 - ring);
+      visit(r, col0 + ring);
+    }
+  }
+  T2VEC_CHECK(best >= 0);  // Vocabulary is non-empty by construction.
+  return best;
+}
+
+const Point& HotCellVocab::CenterOf(Token token) const {
+  T2VEC_CHECK(!IsSpecial(token) && token < vocab_size());
+  return centers_[static_cast<size_t>(token) - kNumSpecialTokens];
+}
+
+int64_t HotCellVocab::HitCount(Token token) const {
+  T2VEC_CHECK(!IsSpecial(token) && token < vocab_size());
+  return hit_counts_[static_cast<size_t>(token) - kNumSpecialTokens];
+}
+
+}  // namespace t2vec::geo

@@ -1,0 +1,81 @@
+#ifndef T2VEC_GEO_VOCAB_H_
+#define T2VEC_GEO_VOCAB_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/grid.h"
+#include "geo/point.h"
+
+/// \file
+/// Hot-cell vocabulary (paper Sec. IV-B). Only cells hit by more than δ
+/// sample points become tokens ("hot cells"); every sample point maps to its
+/// *nearest* hot cell. This filters GPS noise in sparsely visited areas and
+/// bounds the vocabulary size.
+///
+/// Token ids: 0..3 are the special tokens PAD/BOS/EOS/UNK; hot cells follow.
+
+namespace t2vec::geo {
+
+/// Integer token id in the model vocabulary.
+using Token = int32_t;
+
+/// Special token ids (fixed positions at the front of the vocabulary).
+inline constexpr Token kPadToken = 0;  ///< Batch padding.
+inline constexpr Token kBosToken = 1;  ///< Decoder start-of-sequence.
+inline constexpr Token kEosToken = 2;  ///< End-of-sequence.
+inline constexpr Token kUnkToken = 3;  ///< Unused fallback (kept for safety).
+inline constexpr Token kNumSpecialTokens = 4;
+
+/// Maps planar points to hot-cell tokens and back.
+class HotCellVocab {
+ public:
+  /// Builds the vocabulary: counts hits of `points` per grid cell and keeps
+  /// cells with at least `min_hits` (the paper's δ; it keeps cells "hit by
+  /// more than δ points" with δ = 50 at full scale).
+  HotCellVocab(const SpatialGrid& grid, const std::vector<Point>& points,
+               int min_hits);
+
+  /// Reconstructs a vocabulary from its components (model deserialization).
+  /// `hot_cells` must be sorted ascending; `hit_counts` aligned with it.
+  HotCellVocab(const SpatialGrid& grid, std::vector<CellId> hot_cells,
+               std::vector<int64_t> hit_counts);
+
+  /// Total vocabulary size including special tokens.
+  Token vocab_size() const {
+    return static_cast<Token>(hot_cells_.size()) + kNumSpecialTokens;
+  }
+
+  /// Number of hot cells (excludes special tokens).
+  size_t num_hot_cells() const { return hot_cells_.size(); }
+
+  /// Token of the nearest hot cell to `p` (ring search over the grid).
+  Token TokenOf(const Point& p) const;
+
+  /// Center coordinates of a hot-cell token. Must not be a special token.
+  const Point& CenterOf(Token token) const;
+
+  /// Number of training points that hit this hot cell (frequency used by the
+  /// NCE noise distribution). Must not be a special token.
+  int64_t HitCount(Token token) const;
+
+  /// Whether `token` is one of the reserved special tokens.
+  static bool IsSpecial(Token token) { return token < kNumSpecialTokens; }
+
+  const SpatialGrid& grid() const { return grid_; }
+
+  /// Hot-cell grid ids, indexed by (token - kNumSpecialTokens).
+  const std::vector<CellId>& hot_cells() const { return hot_cells_; }
+
+ private:
+  SpatialGrid grid_;
+  std::vector<CellId> hot_cells_;       // token index -> grid cell
+  std::vector<Point> centers_;          // token index -> cell center
+  std::vector<int64_t> hit_counts_;     // token index -> #points
+  std::unordered_map<CellId, Token> cell_to_token_;
+};
+
+}  // namespace t2vec::geo
+
+#endif  // T2VEC_GEO_VOCAB_H_

@@ -1,0 +1,184 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "nn/ops.h"
+
+namespace t2vec::nn {
+
+Attention::Attention(const std::string& name, size_t hidden, Rng& rng)
+    : wa_(name + ".Wa", hidden, hidden),
+      wc_(name + ".Wc", 2 * hidden, hidden) {
+  InitXavier(&wa_.value, rng);
+  InitXavier(&wc_.value, rng);
+}
+
+void Attention::Forward(const std::vector<Matrix>& dec_hs,
+                        const std::vector<Matrix>& enc_hs,
+                        const std::vector<std::vector<float>>& src_masks,
+                        AttentionCache* cache) const {
+  T2VEC_CHECK(!dec_hs.empty() && !enc_hs.empty());
+  const size_t batch = dec_hs.front().rows();
+  const size_t dim = hidden();
+  const size_t src_steps = enc_hs.size();
+  T2VEC_CHECK(src_masks.empty() || src_masks.size() == src_steps);
+
+  // Keys: k_s = e_s W_a, shared across decoder steps.
+  cache->keys.resize(src_steps);
+  for (size_t s = 0; s < src_steps; ++s) {
+    cache->keys[s].Resize(batch, dim);
+    Gemm(enc_hs[s], wa_.value, &cache->keys[s]);
+  }
+
+  const size_t dec_steps = dec_hs.size();
+  cache->alphas.resize(dec_steps);
+  cache->concat.resize(dec_steps);
+  cache->output.resize(dec_steps);
+
+  Matrix scores(batch, src_steps);
+  for (size_t t = 0; t < dec_steps; ++t) {
+    const Matrix& h = dec_hs[t];
+    // score[b][s] = h[b] · k_s[b]; masked positions get -inf equivalent.
+    scores.Resize(batch, src_steps);
+    for (size_t s = 0; s < src_steps; ++s) {
+      const Matrix& key = cache->keys[s];
+      for (size_t b = 0; b < batch; ++b) {
+        const float* __restrict hb = h.Row(b);
+        const float* __restrict kb = key.Row(b);
+        float acc = 0.0f;
+        for (size_t j = 0; j < dim; ++j) acc += hb[j] * kb[j];
+        const bool masked = !src_masks.empty() && src_masks[s][b] == 0.0f;
+        scores(b, s) = masked ? -1e30f : acc;
+      }
+    }
+    SoftmaxRows(scores, &cache->alphas[t]);
+
+    // Context and concat [h ; c].
+    Matrix& z = cache->concat[t];
+    z.Resize(batch, 2 * dim);
+    const Matrix& alpha = cache->alphas[t];
+    for (size_t b = 0; b < batch; ++b) {
+      float* __restrict zb = z.Row(b);
+      const float* __restrict hb = h.Row(b);
+      for (size_t j = 0; j < dim; ++j) {
+        zb[j] = hb[j];
+        zb[dim + j] = 0.0f;
+      }
+      for (size_t s = 0; s < src_steps; ++s) {
+        const float a = alpha(b, s);
+        if (a == 0.0f) continue;
+        const float* __restrict eb = enc_hs[s].Row(b);
+        for (size_t j = 0; j < dim; ++j) zb[dim + j] += a * eb[j];
+      }
+    }
+
+    // ĥ = tanh(z Wc).
+    Matrix pre(batch, dim);
+    Gemm(z, wc_.value, &pre);
+    Tanh(pre, &cache->output[t]);
+  }
+}
+
+void Attention::Backward(const std::vector<Matrix>& dec_hs,
+                         const std::vector<Matrix>& enc_hs,
+                         const std::vector<std::vector<float>>& src_masks,
+                         const AttentionCache& cache,
+                         const std::vector<Matrix>& d_output,
+                         std::vector<Matrix>* d_dec_hs,
+                         std::vector<Matrix>* d_enc_hs) {
+  const size_t batch = dec_hs.front().rows();
+  const size_t dim = hidden();
+  const size_t src_steps = enc_hs.size();
+  const size_t dec_steps = dec_hs.size();
+
+  d_dec_hs->assign(dec_steps, Matrix());
+  d_enc_hs->assign(src_steps, Matrix(batch, dim));
+  // Gradient on the keys, accumulated over all decoder steps; converted to
+  // W_a / encoder-output gradients at the end.
+  std::vector<Matrix> d_keys(src_steps, Matrix(batch, dim));
+
+  Matrix dz_pre(batch, dim);
+  Matrix dz(batch, 2 * dim);
+  Matrix d_alpha(batch, src_steps);
+  Matrix d_scores(batch, src_steps);
+
+  for (size_t t = 0; t < dec_steps; ++t) {
+    const Matrix& alpha = cache.alphas[t];
+    const Matrix& h = dec_hs[t];
+
+    // Through ĥ = tanh(z Wc).
+    TanhBackward(cache.output[t], d_output[t], &dz_pre);
+    GemmTransA(cache.concat[t], dz_pre, &wc_.grad, 1.0f, 1.0f);
+    dz.Resize(batch, 2 * dim);
+    GemmTransB(dz_pre, wc_.value, &dz);
+
+    // Split dz into dh (direct) and dc (context).
+    Matrix& dh = (*d_dec_hs)[t];
+    dh.Resize(batch, dim);
+    for (size_t b = 0; b < batch; ++b) {
+      const float* __restrict dzb = dz.Row(b);
+      float* __restrict dhb = dh.Row(b);
+      for (size_t j = 0; j < dim; ++j) dhb[j] = dzb[j];
+    }
+
+    // dc -> dα and d e_s (context path): c = Σ α_s e_s.
+    d_alpha.Resize(batch, src_steps);
+    for (size_t s = 0; s < src_steps; ++s) {
+      const Matrix& e = enc_hs[s];
+      Matrix& de = (*d_enc_hs)[s];
+      for (size_t b = 0; b < batch; ++b) {
+        const float* __restrict dcb = dz.Row(b) + dim;
+        const float* __restrict eb = e.Row(b);
+        float* __restrict deb = de.Row(b);
+        const float a = alpha(b, s);
+        float acc = 0.0f;
+        for (size_t j = 0; j < dim; ++j) {
+          acc += dcb[j] * eb[j];
+          deb[j] += a * dcb[j];
+        }
+        d_alpha(b, s) = acc;
+      }
+    }
+
+    // Softmax backward: ds = α ⊙ (dα - Σ_u α_u dα_u). Masked positions have
+    // α = 0, so they produce no gradient automatically.
+    d_scores.Resize(batch, src_steps);
+    for (size_t b = 0; b < batch; ++b) {
+      double inner = 0.0;
+      for (size_t s = 0; s < src_steps; ++s) {
+        inner += static_cast<double>(alpha(b, s)) * d_alpha(b, s);
+      }
+      for (size_t s = 0; s < src_steps; ++s) {
+        d_scores(b, s) = alpha(b, s) *
+                         (d_alpha(b, s) - static_cast<float>(inner));
+      }
+    }
+
+    // score_s = h · k_s: dh += ds_s k_s; dk_s += ds_s h.
+    for (size_t s = 0; s < src_steps; ++s) {
+      const Matrix& key = cache.keys[s];
+      Matrix& dk = d_keys[s];
+      for (size_t b = 0; b < batch; ++b) {
+        const float ds = d_scores(b, s);
+        if (ds == 0.0f) continue;
+        const float* __restrict kb = key.Row(b);
+        const float* __restrict hb = h.Row(b);
+        float* __restrict dhb = dh.Row(b);
+        float* __restrict dkb = dk.Row(b);
+        for (size_t j = 0; j < dim; ++j) {
+          dhb[j] += ds * kb[j];
+          dkb[j] += ds * hb[j];
+        }
+      }
+    }
+  }
+
+  // Keys: k_s = e_s W_a -> dW_a += e_s^T dk_s; d e_s += dk_s W_a^T.
+  (void)src_masks;
+  for (size_t s = 0; s < src_steps; ++s) {
+    GemmTransA(enc_hs[s], d_keys[s], &wa_.grad, 1.0f, 1.0f);
+    GemmTransB(d_keys[s], wa_.value, &(*d_enc_hs)[s], 1.0f, 1.0f);
+  }
+}
+
+}  // namespace t2vec::nn

@@ -1,0 +1,73 @@
+#ifndef T2VEC_NN_ATTENTION_H_
+#define T2VEC_NN_ATTENTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/parameter.h"
+
+/// \file
+/// Global (Luong-style) attention over encoder outputs — an extension
+/// beyond the paper's plain seq2seq (its related work cites Bahdanau et
+/// al.; t2vec itself compresses everything into the final hidden state).
+///
+/// For each decoder step t with hidden h_t and encoder outputs e_1..e_S:
+///   score_ts = h_t · (W_a e_s)                     (general bilinear score)
+///   α_t      = masked-softmax_s(score_t)           (source padding excluded)
+///   c_t      = Σ_s α_ts e_s                        (context vector)
+///   ĥ_t      = tanh([h_t ; c_t] W_c)               (attentional hidden)
+///
+/// ĥ_t replaces h_t as the input to the output projection/loss. The layer
+/// is stateless across steps, so forward/backward run over whole sequences.
+
+namespace t2vec::nn {
+
+/// Per-batch activations cached by the attention forward pass.
+struct AttentionCache {
+  std::vector<Matrix> keys;    ///< W_a-projected encoder outputs, per source
+                               ///< step (B x H).
+  std::vector<Matrix> alphas;  ///< Attention weights per decoder step
+                               ///< (B x S).
+  std::vector<Matrix> concat;  ///< [h_t ; c_t] per decoder step (B x 2H).
+  std::vector<Matrix> output;  ///< ĥ_t per decoder step (B x H).
+};
+
+/// Batched global-attention layer.
+class Attention {
+ public:
+  /// Both encoder and decoder hidden sizes are `hidden`.
+  Attention(const std::string& name, size_t hidden, Rng& rng);
+
+  /// Runs attention for every decoder step. `dec_hs` has T matrices (B x H),
+  /// `enc_hs` has S matrices (B x H); `src_masks[s][b]` ∈ {0,1} marks valid
+  /// source positions (empty = all valid). Results land in `cache`
+  /// (cache->output is ĥ).
+  void Forward(const std::vector<Matrix>& dec_hs,
+               const std::vector<Matrix>& enc_hs,
+               const std::vector<std::vector<float>>& src_masks,
+               AttentionCache* cache) const;
+
+  /// Backward pass: given d ĥ per decoder step, accumulates weight
+  /// gradients and writes gradients for the decoder hiddens (`d_dec_hs`)
+  /// and the encoder outputs (`d_enc_hs`).
+  void Backward(const std::vector<Matrix>& dec_hs,
+                const std::vector<Matrix>& enc_hs,
+                const std::vector<std::vector<float>>& src_masks,
+                const AttentionCache& cache,
+                const std::vector<Matrix>& d_output,
+                std::vector<Matrix>* d_dec_hs,
+                std::vector<Matrix>* d_enc_hs);
+
+  size_t hidden() const { return wa_.value.rows(); }
+
+  ParamList Params() { return {&wa_, &wc_}; }
+
+ private:
+  Parameter wa_;  ///< H x H bilinear score matrix.
+  Parameter wc_;  ///< 2H x H output combination.
+};
+
+}  // namespace t2vec::nn
+
+#endif  // T2VEC_NN_ATTENTION_H_

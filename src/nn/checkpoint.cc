@@ -1,0 +1,75 @@
+#include "nn/checkpoint.h"
+
+#include <map>
+
+#include "common/serialize.h"
+
+namespace t2vec::nn {
+
+namespace {
+constexpr uint32_t kMagic = 0x54325643;  // "T2VC"
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+Status SaveParams(const ParamList& params, const std::string& path) {
+  BinaryWriter writer(path);
+  if (!writer.ok()) return Status::IoError("cannot open for write: " + path);
+  writer.WritePod(kMagic);
+  writer.WritePod(kVersion);
+  writer.WritePod<uint64_t>(params.size());
+  for (const Parameter* p : params) {
+    writer.WriteString(p->name);
+    writer.WritePod<uint64_t>(p->value.rows());
+    writer.WritePod<uint64_t>(p->value.cols());
+    writer.WriteVector(p->value.storage());
+  }
+  return writer.Finish();
+}
+
+Status LoadParams(const ParamList& params, const std::string& path) {
+  BinaryReader reader(path);
+  if (!reader.ok()) return Status::IoError("cannot open for read: " + path);
+  uint32_t magic = 0, version = 0;
+  if (!reader.ReadPod(&magic) || magic != kMagic) {
+    return Status::IoError("bad checkpoint magic in " + path);
+  }
+  if (!reader.ReadPod(&version) || version != kVersion) {
+    return Status::IoError("unsupported checkpoint version in " + path);
+  }
+  uint64_t count = 0;
+  if (!reader.ReadPod(&count)) return Status::IoError("truncated checkpoint");
+
+  std::map<std::string, Parameter*> by_name;
+  for (Parameter* p : params) by_name[p->name] = p;
+  if (by_name.size() != params.size()) {
+    return Status::InvalidArgument("duplicate parameter names");
+  }
+  if (count != params.size()) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(count) + " params, model has " +
+        std::to_string(params.size()));
+  }
+
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string name;
+    uint64_t rows = 0, cols = 0;
+    std::vector<float> values;
+    if (!reader.ReadString(&name) || !reader.ReadPod(&rows) ||
+        !reader.ReadPod(&cols) || !reader.ReadVector(&values)) {
+      return Status::IoError("truncated checkpoint entry");
+    }
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return Status::NotFound("parameter not in model: " + name);
+    }
+    Parameter* p = it->second;
+    if (p->value.rows() != rows || p->value.cols() != cols ||
+        values.size() != rows * cols) {
+      return Status::InvalidArgument("shape mismatch for " + name);
+    }
+    p->value.storage() = std::move(values);
+  }
+  return Status::Ok();
+}
+
+}  // namespace t2vec::nn

@@ -1,0 +1,27 @@
+#ifndef T2VEC_NN_CHECKPOINT_H_
+#define T2VEC_NN_CHECKPOINT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/parameter.h"
+
+/// \file
+/// Checkpoint (de)serialization for a parameter list. Parameters are matched
+/// by name and shape on load, so a checkpoint written by one model instance
+/// can be restored into a freshly constructed instance with identical
+/// hyperparameters.
+
+namespace t2vec::nn {
+
+/// Writes every parameter's name, shape, and values to `path`.
+Status SaveParams(const ParamList& params, const std::string& path);
+
+/// Restores parameter values from `path`. Fails if any stored parameter is
+/// missing from `params` or has a mismatched shape, or if `params` contains
+/// parameters absent from the file.
+Status LoadParams(const ParamList& params, const std::string& path);
+
+}  // namespace t2vec::nn
+
+#endif  // T2VEC_NN_CHECKPOINT_H_

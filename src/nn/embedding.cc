@@ -1,0 +1,36 @@
+#include "nn/embedding.h"
+
+#include <cstring>
+
+namespace t2vec::nn {
+
+Embedding::Embedding(size_t vocab_size, size_t dim, Rng& rng)
+    : table_("embedding", vocab_size, dim) {
+  InitUniform(&table_.value, 0.1f, rng);
+}
+
+void Embedding::Forward(const std::vector<int32_t>& ids, Matrix* out) const {
+  const size_t d = dim();
+  out->Resize(ids.size(), d);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const int32_t id = ids[i];
+    T2VEC_DCHECK(id >= 0 && static_cast<size_t>(id) < vocab_size());
+    std::memcpy(out->Row(i), table_.value.Row(static_cast<size_t>(id)),
+                d * sizeof(float));
+  }
+}
+
+void Embedding::Backward(const std::vector<int32_t>& ids,
+                         const Matrix& d_out) {
+  T2VEC_CHECK(d_out.rows() == ids.size() && d_out.cols() == dim());
+  const size_t d = dim();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const int32_t id = ids[i];
+    T2VEC_DCHECK(id >= 0 && static_cast<size_t>(id) < vocab_size());
+    float* __restrict g = table_.grad.Row(static_cast<size_t>(id));
+    const float* __restrict src = d_out.Row(i);
+    for (size_t j = 0; j < d; ++j) g[j] += src[j];
+  }
+}
+
+}  // namespace t2vec::nn

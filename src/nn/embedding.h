@@ -1,0 +1,44 @@
+#ifndef T2VEC_NN_EMBEDDING_H_
+#define T2VEC_NN_EMBEDDING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/parameter.h"
+
+/// \file
+/// Token embedding layer: a |V| x d table, looked up by integer token id.
+/// This is the layer the paper's cell-representation pretraining
+/// (Algorithm 1) initializes; the trainer then continues to fine-tune it.
+
+namespace t2vec::nn {
+
+/// Embedding lookup table with sparse gradient accumulation.
+class Embedding {
+ public:
+  /// Creates a vocab_size x dim table initialized U(-0.1, 0.1).
+  Embedding(size_t vocab_size, size_t dim, Rng& rng);
+
+  /// Forward: out (B x dim) = rows of the table selected by `ids` (size B).
+  void Forward(const std::vector<int32_t>& ids, Matrix* out) const;
+
+  /// Backward: accumulates d_out (B x dim) into the gradient rows of `ids`.
+  void Backward(const std::vector<int32_t>& ids, const Matrix& d_out);
+
+  size_t vocab_size() const { return table_.value.rows(); }
+  size_t dim() const { return table_.value.cols(); }
+
+  /// The underlying table parameter (e.g. to load pretrained vectors).
+  Parameter& table() { return table_; }
+  const Parameter& table() const { return table_; }
+
+  ParamList Params() { return {&table_}; }
+
+ private:
+  Parameter table_;
+};
+
+}  // namespace t2vec::nn
+
+#endif  // T2VEC_NN_EMBEDDING_H_

@@ -1,0 +1,302 @@
+#include "nn/gru.h"
+
+#include "nn/ops.h"
+
+namespace t2vec::nn {
+
+namespace {
+
+// h_out = m ⊙ h_new + (1 - m) ⊙ h_prev, mask broadcast across columns.
+void ApplyMask(const std::vector<float>& mask, const Matrix& h_new,
+               const Matrix& h_prev, Matrix* h_out) {
+  h_out->Resize(h_new.rows(), h_new.cols());
+  const size_t n = h_new.cols();
+  for (size_t b = 0; b < h_new.rows(); ++b) {
+    const float m = mask[b];
+    const float* __restrict hn = h_new.Row(b);
+    const float* __restrict hp = h_prev.Row(b);
+    float* __restrict ho = h_out->Row(b);
+    for (size_t j = 0; j < n; ++j) ho[j] = m * hn[j] + (1.0f - m) * hp[j];
+  }
+}
+
+}  // namespace
+
+GruLayer::GruLayer(const std::string& name, size_t in_dim, size_t hidden,
+                   Rng& rng)
+    : wz_(name + ".Wz", in_dim, hidden),
+      wr_(name + ".Wr", in_dim, hidden),
+      wc_(name + ".Wc", in_dim, hidden),
+      uz_(name + ".Uz", hidden, hidden),
+      ur_(name + ".Ur", hidden, hidden),
+      uc_(name + ".Uc", hidden, hidden),
+      bz_(name + ".bz", 1, hidden),
+      br_(name + ".br", 1, hidden),
+      bc_(name + ".bc", 1, hidden) {
+  InitXavier(&wz_.value, rng);
+  InitXavier(&wr_.value, rng);
+  InitXavier(&wc_.value, rng);
+  InitXavier(&uz_.value, rng);
+  InitXavier(&ur_.value, rng);
+  InitXavier(&uc_.value, rng);
+}
+
+void GruLayer::Forward(const std::vector<Matrix>& xs, const Matrix& h0,
+                       const std::vector<std::vector<float>>& masks,
+                       GruCache* cache) const {
+  const size_t steps = xs.size();
+  const size_t batch = h0.rows();
+  const size_t dim = hidden();
+  T2VEC_CHECK(h0.cols() == dim);
+  T2VEC_CHECK(masks.empty() || masks.size() == steps);
+
+  cache->z.resize(steps);
+  cache->r.resize(steps);
+  cache->c.resize(steps);
+  cache->rh.resize(steps);
+  cache->h.resize(steps);
+
+  Matrix pre(batch, dim);     // Reused pre-activation buffer.
+  Matrix h_raw(batch, dim);   // Pre-mask new hidden.
+
+  for (size_t t = 0; t < steps; ++t) {
+    const Matrix& x = xs[t];
+    const Matrix& h_prev = (t == 0) ? h0 : cache->h[t - 1];
+    T2VEC_CHECK(x.rows() == batch && x.cols() == in_dim());
+
+    // z = sigmoid(x Wz + h_prev Uz + bz)
+    Gemm(x, wz_.value, &pre);
+    Gemm(h_prev, uz_.value, &pre, 1.0f, 1.0f);
+    AddRowBroadcast(&pre, bz_.value);
+    Sigmoid(pre, &cache->z[t]);
+
+    // r = sigmoid(x Wr + h_prev Ur + br)
+    Gemm(x, wr_.value, &pre);
+    Gemm(h_prev, ur_.value, &pre, 1.0f, 1.0f);
+    AddRowBroadcast(&pre, br_.value);
+    Sigmoid(pre, &cache->r[t]);
+
+    // c = tanh(x Wc + (r ⊙ h_prev) Uc + bc)
+    Hadamard(cache->r[t], h_prev, &cache->rh[t]);
+    Gemm(x, wc_.value, &pre);
+    Gemm(cache->rh[t], uc_.value, &pre, 1.0f, 1.0f);
+    AddRowBroadcast(&pre, bc_.value);
+    Tanh(pre, &cache->c[t]);
+
+    // h_raw = (1 - z) ⊙ h_prev + z ⊙ c
+    const Matrix& z = cache->z[t];
+    const Matrix& c = cache->c[t];
+    h_raw.Resize(batch, dim);
+    for (size_t b = 0; b < batch; ++b) {
+      const float* __restrict zv = z.Row(b);
+      const float* __restrict cv = c.Row(b);
+      const float* __restrict hp = h_prev.Row(b);
+      float* __restrict hr = h_raw.Row(b);
+      for (size_t j = 0; j < dim; ++j) {
+        hr[j] = (1.0f - zv[j]) * hp[j] + zv[j] * cv[j];
+      }
+    }
+
+    if (masks.empty()) {
+      cache->h[t] = h_raw;
+    } else {
+      ApplyMask(masks[t], h_raw, h_prev, &cache->h[t]);
+    }
+  }
+}
+
+void GruLayer::Backward(const std::vector<Matrix>& xs, const Matrix& h0,
+                        const std::vector<std::vector<float>>& masks,
+                        const GruCache& cache, const std::vector<Matrix>* d_hs,
+                        const Matrix* d_h_last, std::vector<Matrix>* d_xs,
+                        Matrix* d_h0) {
+  const size_t steps = xs.size();
+  const size_t batch = h0.rows();
+  const size_t dim = hidden();
+  T2VEC_CHECK(cache.steps() == steps);
+
+  d_xs->resize(steps);
+
+  Matrix dh(batch, dim);        // Running gradient on h_t.
+  Matrix dh_prev(batch, dim);   // Gradient flowing to h_{t-1}.
+  Matrix dh_raw(batch, dim);    // Gradient on the pre-mask hidden.
+  Matrix dz(batch, dim), dc(batch, dim), dr(batch, dim);
+  Matrix dz_pre(batch, dim), dc_pre(batch, dim), dr_pre(batch, dim);
+  Matrix drh(batch, dim);
+
+  if (d_h_last != nullptr) {
+    T2VEC_CHECK(SameShape(*d_h_last, dh));
+    dh = *d_h_last;
+  }
+
+  for (size_t t = steps; t-- > 0;) {
+    if (d_hs != nullptr && !(*d_hs)[t].empty()) {
+      AddInPlace(&dh, (*d_hs)[t]);
+    }
+    const Matrix& h_prev = (t == 0) ? h0 : cache.h[t - 1];
+    const Matrix& z = cache.z[t];
+    const Matrix& r = cache.r[t];
+    const Matrix& c = cache.c[t];
+    const Matrix& x = xs[t];
+
+    dh_prev.SetZero();
+
+    // Undo the mask: gradient on h_raw is dh ⊙ m; the carried part dh ⊙
+    // (1 - m) flows straight to h_prev.
+    if (masks.empty()) {
+      dh_raw = dh;
+    } else {
+      const std::vector<float>& m = masks[t];
+      dh_raw.Resize(batch, dim);
+      for (size_t b = 0; b < batch; ++b) {
+        const float mb = m[b];
+        const float* __restrict g = dh.Row(b);
+        float* __restrict gr = dh_raw.Row(b);
+        float* __restrict gp = dh_prev.Row(b);
+        for (size_t j = 0; j < dim; ++j) {
+          gr[j] = g[j] * mb;
+          gp[j] += g[j] * (1.0f - mb);
+        }
+      }
+    }
+
+    // h_raw = (1 - z) ⊙ h_prev + z ⊙ c
+    //   dz = dh_raw ⊙ (c - h_prev); dc = dh_raw ⊙ z;
+    //   dh_prev += dh_raw ⊙ (1 - z)
+    dz.Resize(batch, dim);
+    dc.Resize(batch, dim);
+    for (size_t b = 0; b < batch; ++b) {
+      const float* __restrict g = dh_raw.Row(b);
+      const float* __restrict zv = z.Row(b);
+      const float* __restrict cv = c.Row(b);
+      const float* __restrict hp = h_prev.Row(b);
+      float* __restrict dzv = dz.Row(b);
+      float* __restrict dcv = dc.Row(b);
+      float* __restrict gp = dh_prev.Row(b);
+      for (size_t j = 0; j < dim; ++j) {
+        dzv[j] = g[j] * (cv[j] - hp[j]);
+        dcv[j] = g[j] * zv[j];
+        gp[j] += g[j] * (1.0f - zv[j]);
+      }
+    }
+
+    // Through the candidate tanh.
+    TanhBackward(c, dc, &dc_pre);
+    // dWc += x^T dc_pre; dUc += rh^T dc_pre; dbc += colsum(dc_pre).
+    GemmTransA(x, dc_pre, &wc_.grad, 1.0f, 1.0f);
+    GemmTransA(cache.rh[t], dc_pre, &uc_.grad, 1.0f, 1.0f);
+    SumRowsInto(dc_pre, &bc_.grad);
+    // dx = dc_pre Wc^T (first contribution); drh = dc_pre Uc^T.
+    Matrix& dx = (*d_xs)[t];
+    dx.Resize(batch, in_dim());
+    GemmTransB(dc_pre, wc_.value, &dx);
+    drh.Resize(batch, dim);
+    GemmTransB(dc_pre, uc_.value, &drh);
+
+    // rh = r ⊙ h_prev: dr = drh ⊙ h_prev; dh_prev += drh ⊙ r.
+    Hadamard(drh, h_prev, &dr);
+    HadamardAccum(drh, r, &dh_prev);
+
+    // Through the gate sigmoids.
+    SigmoidBackward(z, dz, &dz_pre);
+    SigmoidBackward(r, dr, &dr_pre);
+
+    // Update-gate path.
+    GemmTransA(x, dz_pre, &wz_.grad, 1.0f, 1.0f);
+    GemmTransA(h_prev, dz_pre, &uz_.grad, 1.0f, 1.0f);
+    SumRowsInto(dz_pre, &bz_.grad);
+    GemmTransB(dz_pre, wz_.value, &dx, 1.0f, 1.0f);
+    GemmTransB(dz_pre, uz_.value, &dh_prev, 1.0f, 1.0f);
+
+    // Reset-gate path.
+    GemmTransA(x, dr_pre, &wr_.grad, 1.0f, 1.0f);
+    GemmTransA(h_prev, dr_pre, &ur_.grad, 1.0f, 1.0f);
+    SumRowsInto(dr_pre, &br_.grad);
+    GemmTransB(dr_pre, wr_.value, &dx, 1.0f, 1.0f);
+    GemmTransB(dr_pre, ur_.value, &dh_prev, 1.0f, 1.0f);
+
+    dh = dh_prev;
+  }
+
+  if (d_h0 != nullptr) *d_h0 = dh;
+}
+
+ParamList GruLayer::Params() {
+  return {&wz_, &wr_, &wc_, &uz_, &ur_, &uc_, &bz_, &br_, &bc_};
+}
+
+Gru::Gru(const std::string& name, size_t in_dim, size_t hidden, size_t layers,
+         Rng& rng) {
+  T2VEC_CHECK(layers >= 1);
+  layers_.reserve(layers);
+  for (size_t l = 0; l < layers; ++l) {
+    layers_.emplace_back(name + ".l" + std::to_string(l),
+                         l == 0 ? in_dim : hidden, hidden, rng);
+  }
+}
+
+void Gru::Forward(const std::vector<Matrix>& xs, const GruState* init,
+                  const std::vector<std::vector<float>>& masks,
+                  ForwardResult* result) const {
+  T2VEC_CHECK(!xs.empty());
+  const size_t batch = xs.front().rows();
+  const size_t dim = hidden();
+  if (init != nullptr) T2VEC_CHECK(init->layers() == layers());
+
+  result->caches.assign(layers(), GruCache{});
+  result->final_state.h.assign(layers(), Matrix());
+
+  const Matrix zero_h0(batch, dim);
+  const std::vector<Matrix>* layer_input = &xs;
+  for (size_t l = 0; l < layers(); ++l) {
+    const Matrix& h0 = (init != nullptr) ? init->h[l] : zero_h0;
+    layers_[l].Forward(*layer_input, h0, masks, &result->caches[l]);
+    result->final_state.h[l] = result->caches[l].h.back();
+    layer_input = &result->caches[l].h;
+  }
+}
+
+void Gru::Backward(const std::vector<Matrix>& xs, const GruState* init,
+                   const std::vector<std::vector<float>>& masks,
+                   const ForwardResult& result,
+                   const std::vector<Matrix>* d_top, const GruState* d_final,
+                   std::vector<Matrix>* d_xs, GruState* d_init) {
+  const size_t batch = xs.front().rows();
+  const size_t dim = hidden();
+  const Matrix zero_h0(batch, dim);
+
+  if (d_init != nullptr) d_init->h.assign(layers(), Matrix());
+
+  // Gradient on the current layer's per-step outputs; starts as d_top for the
+  // top layer and becomes the d_xs of the layer above for lower layers.
+  std::vector<Matrix> d_out_storage;
+  const std::vector<Matrix>* d_out = d_top;
+
+  for (size_t l = layers(); l-- > 0;) {
+    const std::vector<Matrix>& layer_input =
+        (l == 0) ? xs : result.caches[l - 1].h;
+    const Matrix& h0 = (init != nullptr) ? init->h[l] : zero_h0;
+    const Matrix* d_h_last =
+        (d_final != nullptr && !d_final->h[l].empty()) ? &d_final->h[l]
+                                                       : nullptr;
+    std::vector<Matrix> d_in;
+    Matrix d_h0;
+    layers_[l].Backward(layer_input, h0, masks, result.caches[l], d_out,
+                        d_h_last, &d_in, &d_h0);
+    if (d_init != nullptr) d_init->h[l] = std::move(d_h0);
+    d_out_storage = std::move(d_in);
+    d_out = &d_out_storage;
+  }
+
+  if (d_xs != nullptr) *d_xs = std::move(d_out_storage);
+}
+
+ParamList Gru::Params() {
+  ParamList out;
+  for (GruLayer& layer : layers_) {
+    for (Parameter* p : layer.Params()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace t2vec::nn

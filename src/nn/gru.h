@@ -1,0 +1,129 @@
+#ifndef T2VEC_NN_GRU_H_
+#define T2VEC_NN_GRU_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/parameter.h"
+
+/// \file
+/// Batched multi-layer GRU with hand-derived backpropagation through time.
+///
+/// Conventions:
+///  - Sequences are batch-major per step: the input is a vector of T matrices,
+///    each B x in_dim (step t holds the t-th token of every sequence).
+///  - Variable lengths are handled with per-step masks (B floats, 1 = active):
+///    at a masked-out step the hidden state is carried through unchanged, so
+///    the state at the last step is each sequence's state at its own final
+///    valid token. This mirrors packed sequences in mainstream frameworks.
+///  - Gate equations (Cho et al. 2014):
+///        z = σ(x·Wz + h⁻·Uz + bz)          update gate
+///        r = σ(x·Wr + h⁻·Ur + br)          reset gate
+///        c = tanh(x·Wc + (r ⊙ h⁻)·Uc + bc) candidate
+///        h = (1 − z) ⊙ h⁻ + z ⊙ c
+///
+/// The paper uses a 3-layer GRU with hidden size 256; both are configurable.
+
+namespace t2vec::nn {
+
+/// Per-step activations saved by the forward pass for BPTT.
+struct GruCache {
+  std::vector<Matrix> z;   ///< update gate, per step, B x H
+  std::vector<Matrix> r;   ///< reset gate
+  std::vector<Matrix> c;   ///< candidate state
+  std::vector<Matrix> rh;  ///< r ⊙ h_prev (input to the Uc product)
+  std::vector<Matrix> h;   ///< post-mask hidden output
+
+  size_t steps() const { return h.size(); }
+};
+
+/// One GRU layer operating on a full batched sequence.
+class GruLayer {
+ public:
+  /// Creates a layer with Xavier-initialized weights.
+  GruLayer(const std::string& name, size_t in_dim, size_t hidden, Rng& rng);
+
+  /// Runs the layer over the sequence `xs` ([T] of B x in_dim) starting from
+  /// `h0` (B x H). `masks[t]` has B entries in {0,1}; pass an empty vector for
+  /// an all-active batch. Fills `cache` (also the output: cache->h).
+  void Forward(const std::vector<Matrix>& xs, const Matrix& h0,
+               const std::vector<std::vector<float>>& masks,
+               GruCache* cache) const;
+
+  /// Backward through time. `d_hs` is the gradient w.r.t. each step's output
+  /// (nullptr = zeros); `d_h_last` is an extra gradient flowing into the
+  /// final hidden state (nullptr = none). Accumulates weight gradients and
+  /// writes `d_xs` ([T] of B x in_dim) and `d_h0` (B x H).
+  void Backward(const std::vector<Matrix>& xs, const Matrix& h0,
+                const std::vector<std::vector<float>>& masks,
+                const GruCache& cache, const std::vector<Matrix>* d_hs,
+                const Matrix* d_h_last, std::vector<Matrix>* d_xs,
+                Matrix* d_h0);
+
+  size_t in_dim() const { return wz_.value.rows(); }
+  size_t hidden() const { return uz_.value.rows(); }
+
+  ParamList Params();
+
+ private:
+  Parameter wz_, wr_, wc_;  // in_dim x H
+  Parameter uz_, ur_, uc_;  // H x H
+  Parameter bz_, br_, bc_;  // 1 x H
+};
+
+/// Per-layer hidden states (the seq2seq handoff between encoder and decoder).
+struct GruState {
+  std::vector<Matrix> h;  ///< one B x H matrix per layer
+
+  size_t layers() const { return h.size(); }
+};
+
+/// Multi-layer GRU stack.
+class Gru {
+ public:
+  /// Everything the forward pass computed; needed by Backward.
+  struct ForwardResult {
+    std::vector<GruCache> caches;  ///< per layer
+    GruState final_state;          ///< h at the last step, per layer
+
+    /// Output sequence of the top layer ([T] of B x H).
+    const std::vector<Matrix>& TopOutputs() const {
+      return caches.back().h;
+    }
+  };
+
+  /// `layers` stacked GRU layers; layer 0 consumes `in_dim`, the rest consume
+  /// `hidden`.
+  Gru(const std::string& name, size_t in_dim, size_t hidden, size_t layers,
+      Rng& rng);
+
+  /// Runs the stack. `init` supplies per-layer initial states (nullptr =
+  /// zeros).
+  void Forward(const std::vector<Matrix>& xs, const GruState* init,
+               const std::vector<std::vector<float>>& masks,
+               ForwardResult* result) const;
+
+  /// Backward through the stack. `d_top` is the gradient on the top layer's
+  /// per-step outputs (nullptr = zeros); `d_final` on each layer's final
+  /// state (nullptr = none). Writes `d_xs` and, if `d_init` is non-null, the
+  /// gradient on the initial states.
+  void Backward(const std::vector<Matrix>& xs, const GruState* init,
+                const std::vector<std::vector<float>>& masks,
+                const ForwardResult& result, const std::vector<Matrix>* d_top,
+                const GruState* d_final, std::vector<Matrix>* d_xs,
+                GruState* d_init);
+
+  size_t layers() const { return layers_.size(); }
+  size_t hidden() const { return layers_.front().hidden(); }
+  size_t in_dim() const { return layers_.front().in_dim(); }
+
+  ParamList Params();
+
+ private:
+  std::vector<GruLayer> layers_;
+};
+
+}  // namespace t2vec::nn
+
+#endif  // T2VEC_NN_GRU_H_

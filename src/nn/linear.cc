@@ -1,0 +1,26 @@
+#include "nn/linear.h"
+
+namespace t2vec::nn {
+
+Linear::Linear(std::string name, size_t in_dim, size_t out_dim, Rng& rng)
+    : weight_(name + ".weight", in_dim, out_dim),
+      bias_(name + ".bias", 1, out_dim) {
+  InitXavier(&weight_.value, rng);
+}
+
+void Linear::Forward(const Matrix& x, Matrix* out) const {
+  out->Resize(x.rows(), out_dim());
+  Gemm(x, weight_.value, out);
+  AddRowBroadcast(out, bias_.value);
+}
+
+void Linear::Backward(const Matrix& x, const Matrix& d_out, Matrix* d_x) {
+  T2VEC_CHECK(d_out.rows() == x.rows() && d_out.cols() == out_dim());
+  // dW += x^T d_out; db += colsum(d_out); dx = d_out W^T.
+  GemmTransA(x, d_out, &weight_.grad, 1.0f, 1.0f);
+  SumRowsInto(d_out, &bias_.grad);
+  d_x->Resize(x.rows(), in_dim());
+  GemmTransB(d_out, weight_.value, d_x);
+}
+
+}  // namespace t2vec::nn

@@ -1,0 +1,44 @@
+#ifndef T2VEC_NN_LINEAR_H_
+#define T2VEC_NN_LINEAR_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "nn/parameter.h"
+
+/// \file
+/// Fully-connected layer y = x W + b with row-vector inputs (batch rows).
+/// Serves as the decoder's output projection into vocabulary space.
+
+namespace t2vec::nn {
+
+/// Affine layer: input B x in_dim, output B x out_dim.
+class Linear {
+ public:
+  Linear(std::string name, size_t in_dim, size_t out_dim, Rng& rng);
+
+  /// out = x · W + b.
+  void Forward(const Matrix& x, Matrix* out) const;
+
+  /// Accumulates dW, db; writes dx (B x in_dim). `x` must be the forward
+  /// input that produced this call's d_out.
+  void Backward(const Matrix& x, const Matrix& d_out, Matrix* d_x);
+
+  size_t in_dim() const { return weight_.value.rows(); }
+  size_t out_dim() const { return weight_.value.cols(); }
+
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+  const Parameter& weight() const { return weight_; }
+  const Parameter& bias() const { return bias_; }
+
+  ParamList Params() { return {&weight_, &bias_}; }
+
+ private:
+  Parameter weight_;  // in_dim x out_dim
+  Parameter bias_;    // 1 x out_dim
+};
+
+}  // namespace t2vec::nn
+
+#endif  // T2VEC_NN_LINEAR_H_

@@ -1,0 +1,75 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "nn/ops.h"
+
+namespace t2vec::nn {
+
+double SoftmaxCrossEntropy(const Matrix& logits,
+                           const std::vector<int32_t>& targets,
+                           int32_t ignore_index, Matrix* d_logits) {
+  T2VEC_CHECK(targets.size() == logits.rows());
+  const size_t vocab = logits.cols();
+  d_logits->Resize(logits.rows(), vocab);
+
+  double total_loss = 0.0;
+  for (size_t b = 0; b < logits.rows(); ++b) {
+    float* __restrict dl = d_logits->Row(b);
+    const int32_t target = targets[b];
+    if (target == ignore_index) {
+      for (size_t j = 0; j < vocab; ++j) dl[j] = 0.0f;
+      continue;
+    }
+    T2VEC_DCHECK(target >= 0 && static_cast<size_t>(target) < vocab);
+    const float* __restrict x = logits.Row(b);
+    float max_val = x[0];
+    for (size_t j = 1; j < vocab; ++j) max_val = std::max(max_val, x[j]);
+    double z = 0.0;
+    for (size_t j = 0; j < vocab; ++j) z += std::exp(x[j] - max_val);
+    const double log_z = max_val + std::log(z);
+    total_loss += log_z - x[static_cast<size_t>(target)];
+    const float inv_z = static_cast<float>(1.0 / z);
+    for (size_t j = 0; j < vocab; ++j) {
+      dl[j] = std::exp(x[j] - max_val) * inv_z;
+    }
+    dl[static_cast<size_t>(target)] -= 1.0f;
+  }
+  return total_loss;
+}
+
+double SoftCrossEntropy(const Matrix& logits, const Matrix& target_dist,
+                        const std::vector<uint8_t>& row_active,
+                        Matrix* d_logits) {
+  T2VEC_CHECK(SameShape(logits, target_dist));
+  T2VEC_CHECK(row_active.size() == logits.rows());
+  const size_t vocab = logits.cols();
+  d_logits->Resize(logits.rows(), vocab);
+
+  double total_loss = 0.0;
+  for (size_t b = 0; b < logits.rows(); ++b) {
+    float* __restrict dl = d_logits->Row(b);
+    if (!row_active[b]) {
+      for (size_t j = 0; j < vocab; ++j) dl[j] = 0.0f;
+      continue;
+    }
+    const float* __restrict x = logits.Row(b);
+    const float* __restrict w = target_dist.Row(b);
+    float max_val = x[0];
+    for (size_t j = 1; j < vocab; ++j) max_val = std::max(max_val, x[j]);
+    double z = 0.0;
+    for (size_t j = 0; j < vocab; ++j) z += std::exp(x[j] - max_val);
+    const double log_z = max_val + std::log(z);
+    const float inv_z = static_cast<float>(1.0 / z);
+    for (size_t j = 0; j < vocab; ++j) {
+      const float p = std::exp(x[j] - max_val) * inv_z;
+      if (w[j] > 0.0f) {
+        total_loss += static_cast<double>(w[j]) * (log_z - x[j]);
+      }
+      dl[j] = p - w[j];
+    }
+  }
+  return total_loss;
+}
+
+}  // namespace t2vec::nn

@@ -1,0 +1,38 @@
+#ifndef T2VEC_NN_LOSS_H_
+#define T2VEC_NN_LOSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.h"
+
+/// \file
+/// Generic classification losses over logits. The t2vec-specific spatial
+/// proximity aware losses (L2, L3 of the paper) live in core/loss.h; this
+/// file provides the shared full-softmax machinery used by the paper's L1
+/// (plain NLL) and by the vRNN baseline.
+
+namespace t2vec::nn {
+
+/// Full softmax cross-entropy against integer targets.
+///
+/// `logits` is B x |V|; `targets` has B entries; entries equal to
+/// `ignore_index` contribute neither loss nor gradient (used for padding).
+/// Returns the summed loss; `d_logits` (same shape as logits) receives
+/// p - onehot(target) per active row, zeros for ignored rows.
+double SoftmaxCrossEntropy(const Matrix& logits,
+                           const std::vector<int32_t>& targets,
+                           int32_t ignore_index, Matrix* d_logits);
+
+/// Cross-entropy against a full target *distribution* per row (soft labels).
+/// Rows whose `row_active` entry is false are skipped. Returns the summed
+/// loss -Σ_u w_u log p_u; writes d_logits = p - w for active rows.
+/// This is the gradient form of the paper's exact L2 loss once the spatial
+/// kernel weights have been materialized as `target_dist`.
+double SoftCrossEntropy(const Matrix& logits, const Matrix& target_dist,
+                        const std::vector<uint8_t>& row_active,
+                        Matrix* d_logits);
+
+}  // namespace t2vec::nn
+
+#endif  // T2VEC_NN_LOSS_H_

@@ -1,0 +1,214 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace t2vec::nn {
+
+double Matrix::SquaredNorm() const {
+  double total = 0.0;
+  for (float x : data_) total += static_cast<double>(x) * x;
+  return total;
+}
+
+std::string Matrix::ToString(size_t max_rows, size_t max_cols) const {
+  std::string out = "[" + std::to_string(rows_) + " x " +
+                    std::to_string(cols_) + "]\n";
+  char buf[32];
+  for (size_t r = 0; r < std::min(rows_, max_rows); ++r) {
+    for (size_t c = 0; c < std::min(cols_, max_cols); ++c) {
+      std::snprintf(buf, sizeof(buf), "%9.4f ", At(r, c));
+      out += buf;
+    }
+    if (cols_ > max_cols) out += "...";
+    out += "\n";
+  }
+  if (rows_ > max_rows) out += "...\n";
+  return out;
+}
+
+namespace {
+
+// Inner kernel: out_row (n) += a_val * b_row (n). The compiler vectorizes
+// this loop; keeping it tiny and restrict-qualified is what makes the
+// single-core training loop feasible.
+inline void AxpyRow(float a_val, const float* __restrict b_row,
+                    float* __restrict out_row, size_t n) {
+  for (size_t j = 0; j < n; ++j) out_row[j] += a_val * b_row[j];
+}
+
+}  // namespace
+
+void Gemm(const Matrix& a, const Matrix& b, Matrix* out, float alpha,
+          float beta) {
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  T2VEC_CHECK(b.rows() == k);
+  T2VEC_CHECK(out->rows() == m && out->cols() == n);
+  if (beta == 0.0f) {
+    out->SetZero();
+  } else if (beta != 1.0f) {
+    Scale(out, beta);
+  }
+  // i-k-j loop order: streams through b and out rows contiguously.
+  for (size_t i = 0; i < m; ++i) {
+    const float* a_row = a.Row(i);
+    float* out_row = out->Row(i);
+    for (size_t p = 0; p < k; ++p) {
+      const float scaled = alpha * a_row[p];
+      if (scaled != 0.0f) AxpyRow(scaled, b.Row(p), out_row, n);
+    }
+  }
+}
+
+void GemmTransA(const Matrix& a, const Matrix& b, Matrix* out, float alpha,
+                float beta) {
+  // out (m x n) = a^T (m x k_rows) ... a: k x m, b: k x n.
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  T2VEC_CHECK(b.rows() == k);
+  T2VEC_CHECK(out->rows() == m && out->cols() == n);
+  if (beta == 0.0f) {
+    out->SetZero();
+  } else if (beta != 1.0f) {
+    Scale(out, beta);
+  }
+  // For each shared row p of a and b: out[i, :] += a[p, i] * b[p, :].
+  for (size_t p = 0; p < k; ++p) {
+    const float* a_row = a.Row(p);
+    const float* b_row = b.Row(p);
+    for (size_t i = 0; i < m; ++i) {
+      const float scaled = alpha * a_row[i];
+      if (scaled != 0.0f) AxpyRow(scaled, b_row, out->Row(i), n);
+    }
+  }
+}
+
+namespace {
+
+// Dot product with 8 independent accumulator lanes so the compiler can
+// vectorize the reduction without reassociation flags.
+inline float DotLanes(const float* __restrict x, const float* __restrict y,
+                      size_t k) {
+  float lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  size_t p = 0;
+  for (; p + 8 <= k; p += 8) {
+    for (size_t l = 0; l < 8; ++l) lanes[l] += x[p + l] * y[p + l];
+  }
+  float acc = 0.0f;
+  for (; p < k; ++p) acc += x[p] * y[p];
+  return acc + ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+         ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+}
+
+}  // namespace
+
+void GemmTransB(const Matrix& a, const Matrix& b, Matrix* out, float alpha,
+                float beta) {
+  // out (m x n) = a (m x k) * b^T, b: n x k.
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  T2VEC_CHECK(b.cols() == k);
+  T2VEC_CHECK(out->rows() == m && out->cols() == n);
+  for (size_t i = 0; i < m; ++i) {
+    const float* a_row = a.Row(i);
+    float* out_row = out->Row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const float acc = DotLanes(a_row, b.Row(j), k);
+      out_row[j] =
+          alpha * acc + (beta == 0.0f ? 0.0f : beta * out_row[j]);
+    }
+  }
+}
+
+void AddInPlace(Matrix* out, const Matrix& a) {
+  T2VEC_CHECK(SameShape(*out, a));
+  float* __restrict o = out->data();
+  const float* __restrict x = a.data();
+  const size_t n = a.size();
+  for (size_t i = 0; i < n; ++i) o[i] += x[i];
+}
+
+void Add(const Matrix& a, const Matrix& b, Matrix* out) {
+  T2VEC_CHECK(SameShape(a, b));
+  out->Resize(a.rows(), a.cols());
+  const float* __restrict x = a.data();
+  const float* __restrict y = b.data();
+  float* __restrict o = out->data();
+  const size_t n = a.size();
+  for (size_t i = 0; i < n; ++i) o[i] = x[i] + y[i];
+}
+
+void Axpy(float scale, const Matrix& a, Matrix* out) {
+  T2VEC_CHECK(SameShape(*out, a));
+  float* __restrict o = out->data();
+  const float* __restrict x = a.data();
+  const size_t n = a.size();
+  for (size_t i = 0; i < n; ++i) o[i] += scale * x[i];
+}
+
+void Scale(Matrix* out, float scale) {
+  float* __restrict o = out->data();
+  const size_t n = out->size();
+  for (size_t i = 0; i < n; ++i) o[i] *= scale;
+}
+
+void AddRowBroadcast(Matrix* out, const Matrix& bias) {
+  T2VEC_CHECK(bias.rows() == 1 && bias.cols() == out->cols());
+  const float* __restrict b = bias.data();
+  const size_t n = out->cols();
+  for (size_t r = 0; r < out->rows(); ++r) {
+    float* __restrict o = out->Row(r);
+    for (size_t j = 0; j < n; ++j) o[j] += b[j];
+  }
+}
+
+void SumRowsInto(const Matrix& grad, Matrix* bias_grad) {
+  T2VEC_CHECK(bias_grad->rows() == 1 && bias_grad->cols() == grad.cols());
+  float* __restrict b = bias_grad->data();
+  const size_t n = grad.cols();
+  for (size_t r = 0; r < grad.rows(); ++r) {
+    const float* __restrict g = grad.Row(r);
+    for (size_t j = 0; j < n; ++j) b[j] += g[j];
+  }
+}
+
+void Hadamard(const Matrix& a, const Matrix& b, Matrix* out) {
+  T2VEC_CHECK(SameShape(a, b));
+  out->Resize(a.rows(), a.cols());
+  const float* __restrict x = a.data();
+  const float* __restrict y = b.data();
+  float* __restrict o = out->data();
+  const size_t n = a.size();
+  for (size_t i = 0; i < n; ++i) o[i] = x[i] * y[i];
+}
+
+void HadamardAccum(const Matrix& a, const Matrix& b, Matrix* out) {
+  T2VEC_CHECK(SameShape(a, b));
+  T2VEC_CHECK(SameShape(a, *out));
+  const float* __restrict x = a.data();
+  const float* __restrict y = b.data();
+  float* __restrict o = out->data();
+  const size_t n = a.size();
+  for (size_t i = 0; i < n; ++i) o[i] += x[i] * y[i];
+}
+
+double Dot(const Matrix& a, const Matrix& b) {
+  T2VEC_CHECK(SameShape(a, b));
+  double acc = 0.0;
+  const float* x = a.data();
+  const float* y = b.data();
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(x[i]) * y[i];
+  }
+  return acc;
+}
+
+float MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  T2VEC_CHECK(SameShape(a, b));
+  float max_diff = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return max_diff;
+}
+
+}  // namespace t2vec::nn

@@ -1,0 +1,163 @@
+#ifndef T2VEC_NN_MATRIX_H_
+#define T2VEC_NN_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+
+/// \file
+/// Dense row-major float matrix and the linear-algebra kernels the network
+/// training loop is built on. This is the compute substrate replacing the
+/// paper's PyTorch/GPU stack (see DESIGN.md §1).
+///
+/// Design notes:
+///  - `float` storage: training at this scale is well conditioned in fp32 and
+///    halves memory traffic versus double.
+///  - All kernels are free functions with explicit output parameters so the
+///    training loop can reuse buffers across steps without reallocation.
+///  - Accumulating variants (`beta = 1`) are provided because backprop sums
+///    gradient contributions in place.
+
+namespace t2vec::nn {
+
+/// Dense row-major float matrix. A 1 x n matrix doubles as a row vector.
+class Matrix {
+ public:
+  /// Creates an empty 0 x 0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// Creates a zero-initialized rows x cols matrix.
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  /// Creates a matrix filled with `value`.
+  Matrix(size_t rows, size_t cols, float value)
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Pointer to the start of row r.
+  float* Row(size_t r) {
+    T2VEC_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const float* Row(size_t r) const {
+    T2VEC_DCHECK(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  float& At(size_t r, size_t c) {
+    T2VEC_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float At(size_t r, size_t c) const {
+    T2VEC_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  float& operator()(size_t r, size_t c) { return At(r, c); }
+  float operator()(size_t r, size_t c) const { return At(r, c); }
+
+  /// Resizes to rows x cols; contents become unspecified unless the shape is
+  /// unchanged. Use SetZero() afterwards when a fresh accumulator is needed.
+  void Resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
+  /// Sets every element to zero.
+  void SetZero() { std::fill(data_.begin(), data_.end(), 0.0f); }
+
+  /// Sets every element to `value`.
+  void Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Underlying storage (for serialization).
+  const std::vector<float>& storage() const { return data_; }
+  std::vector<float>& storage() { return data_; }
+
+  /// Frobenius norm squared.
+  double SquaredNorm() const;
+
+  /// Debug rendering (small matrices only).
+  std::string ToString(size_t max_rows = 6, size_t max_cols = 8) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<float> data_;
+};
+
+/// Whether `a` and `b` have identical shapes.
+inline bool SameShape(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols();
+}
+
+// ---------------------------------------------------------------------------
+// GEMM kernels. out = alpha * op(a) * op(b) + beta * out.
+// ---------------------------------------------------------------------------
+
+/// out = alpha * a * b + beta * out, a: m x k, b: k x n.
+void Gemm(const Matrix& a, const Matrix& b, Matrix* out, float alpha = 1.0f,
+          float beta = 0.0f);
+
+/// out = alpha * a^T * b + beta * out, a: k x m, b: k x n. Used for weight
+/// gradients (dW = x^T dy).
+void GemmTransA(const Matrix& a, const Matrix& b, Matrix* out,
+                float alpha = 1.0f, float beta = 0.0f);
+
+/// out = alpha * a * b^T + beta * out, a: m x k, b: n x k. Used for input
+/// gradients (dx = dy W^T) and for scoring against embedding tables.
+void GemmTransB(const Matrix& a, const Matrix& b, Matrix* out,
+                float alpha = 1.0f, float beta = 0.0f);
+
+// ---------------------------------------------------------------------------
+// Elementwise / rowwise helpers.
+// ---------------------------------------------------------------------------
+
+/// out += a (shapes must match).
+void AddInPlace(Matrix* out, const Matrix& a);
+
+/// out = a + b.
+void Add(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out += scale * a.
+void Axpy(float scale, const Matrix& a, Matrix* out);
+
+/// out *= scale.
+void Scale(Matrix* out, float scale);
+
+/// Adds row vector `bias` (1 x n) to every row of `out` (m x n).
+void AddRowBroadcast(Matrix* out, const Matrix& bias);
+
+/// bias_grad (1 x n) += column sums of `grad` (m x n).
+void SumRowsInto(const Matrix& grad, Matrix* bias_grad);
+
+/// out = a ⊙ b (Hadamard product).
+void Hadamard(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out += a ⊙ b.
+void HadamardAccum(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// Dot product of the flattened matrices.
+double Dot(const Matrix& a, const Matrix& b);
+
+/// Max |a - b| over all elements (shapes must match). For tests.
+float MaxAbsDiff(const Matrix& a, const Matrix& b);
+
+}  // namespace t2vec::nn
+
+#endif  // T2VEC_NN_MATRIX_H_

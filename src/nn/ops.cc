@@ -1,0 +1,76 @@
+#include "nn/ops.h"
+
+#include <cmath>
+
+namespace t2vec::nn {
+
+void Sigmoid(const Matrix& in, Matrix* out) {
+  out->Resize(in.rows(), in.cols());
+  const float* __restrict x = in.data();
+  float* __restrict y = out->data();
+  const size_t n = in.size();
+  for (size_t i = 0; i < n; ++i) y[i] = 1.0f / (1.0f + std::exp(-x[i]));
+}
+
+void Tanh(const Matrix& in, Matrix* out) {
+  out->Resize(in.rows(), in.cols());
+  const float* __restrict x = in.data();
+  float* __restrict y = out->data();
+  const size_t n = in.size();
+  for (size_t i = 0; i < n; ++i) y[i] = std::tanh(x[i]);
+}
+
+void SigmoidBackward(const Matrix& y, const Matrix& d_out, Matrix* d_in) {
+  T2VEC_CHECK(SameShape(y, d_out));
+  d_in->Resize(y.rows(), y.cols());
+  const float* __restrict yv = y.data();
+  const float* __restrict g = d_out.data();
+  float* __restrict o = d_in->data();
+  const size_t n = y.size();
+  for (size_t i = 0; i < n; ++i) o[i] = g[i] * yv[i] * (1.0f - yv[i]);
+}
+
+void TanhBackward(const Matrix& y, const Matrix& d_out, Matrix* d_in) {
+  T2VEC_CHECK(SameShape(y, d_out));
+  d_in->Resize(y.rows(), y.cols());
+  const float* __restrict yv = y.data();
+  const float* __restrict g = d_out.data();
+  float* __restrict o = d_in->data();
+  const size_t n = y.size();
+  for (size_t i = 0; i < n; ++i) o[i] = g[i] * (1.0f - yv[i] * yv[i]);
+}
+
+void SoftmaxRows(const Matrix& in, Matrix* out) {
+  out->Resize(in.rows(), in.cols());
+  const size_t n = in.cols();
+  for (size_t r = 0; r < in.rows(); ++r) {
+    const float* __restrict x = in.Row(r);
+    float* __restrict y = out->Row(r);
+    float max_val = x[0];
+    for (size_t j = 1; j < n; ++j) max_val = std::max(max_val, x[j]);
+    double total = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      y[j] = std::exp(x[j] - max_val);
+      total += y[j];
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    for (size_t j = 0; j < n; ++j) y[j] *= inv;
+  }
+}
+
+void LogSoftmaxRows(const Matrix& in, Matrix* out) {
+  out->Resize(in.rows(), in.cols());
+  const size_t n = in.cols();
+  for (size_t r = 0; r < in.rows(); ++r) {
+    const float* __restrict x = in.Row(r);
+    float* __restrict y = out->Row(r);
+    float max_val = x[0];
+    for (size_t j = 1; j < n; ++j) max_val = std::max(max_val, x[j]);
+    double total = 0.0;
+    for (size_t j = 0; j < n; ++j) total += std::exp(x[j] - max_val);
+    const float log_z = max_val + static_cast<float>(std::log(total));
+    for (size_t j = 0; j < n; ++j) y[j] = x[j] - log_z;
+  }
+}
+
+}  // namespace t2vec::nn

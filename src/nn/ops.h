@@ -1,0 +1,36 @@
+#ifndef T2VEC_NN_OPS_H_
+#define T2VEC_NN_OPS_H_
+
+#include "nn/matrix.h"
+
+/// \file
+/// Elementwise activations and softmax, with the backward helpers the GRU and
+/// loss layers need. Backward functions follow the convention
+/// `dX = dY ⊙ f'(...)` expressed in terms of the *outputs* of the forward
+/// pass (σ' = y(1-y), tanh' = 1-y²) so no pre-activations need to be stored.
+
+namespace t2vec::nn {
+
+/// out = σ(in), elementwise logistic sigmoid. `out` may alias `in`.
+void Sigmoid(const Matrix& in, Matrix* out);
+
+/// out = tanh(in), elementwise. `out` may alias `in`.
+void Tanh(const Matrix& in, Matrix* out);
+
+/// d_in = d_out ⊙ y ⊙ (1 - y) where y = σ(pre-activation).
+/// `d_in` may alias `d_out`.
+void SigmoidBackward(const Matrix& y, const Matrix& d_out, Matrix* d_in);
+
+/// d_in = d_out ⊙ (1 - y²) where y = tanh(pre-activation).
+void TanhBackward(const Matrix& y, const Matrix& d_out, Matrix* d_in);
+
+/// Row-wise softmax: every row of `out` is the softmax of the matching row of
+/// `in`. Numerically stabilized by max subtraction. May alias.
+void SoftmaxRows(const Matrix& in, Matrix* out);
+
+/// Row-wise log-softmax. May alias.
+void LogSoftmaxRows(const Matrix& in, Matrix* out);
+
+}  // namespace t2vec::nn
+
+#endif  // T2VEC_NN_OPS_H_

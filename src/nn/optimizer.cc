@@ -1,0 +1,76 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace t2vec::nn {
+
+void Optimizer::ZeroGrad() {
+  for (Parameter* p : params_) p->ZeroGrad();
+}
+
+Sgd::Sgd(ParamList params, float lr, float momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  if (momentum_ != 0.0f) {
+    velocity_.reserve(params_.size());
+    for (Parameter* p : params_) {
+      velocity_.emplace_back(p->value.rows(), p->value.cols());
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    if (momentum_ != 0.0f) {
+      Matrix& vel = velocity_[i];
+      float* __restrict v = vel.data();
+      const float* __restrict g = p->grad.data();
+      float* __restrict w = p->value.data();
+      const size_t n = vel.size();
+      for (size_t j = 0; j < n; ++j) {
+        v[j] = momentum_ * v[j] - lr_ * g[j];
+        w[j] += v[j];
+      }
+    } else {
+      Axpy(-lr_, p->grad, &p->value);
+    }
+  }
+}
+
+Adam::Adam(ParamList params, float lr, float beta1, float beta2, float eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ++step_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step_));
+  const float alpha =
+      static_cast<float>(lr_ * std::sqrt(bc2) / bc1);
+
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    float* __restrict m = m_[i].data();
+    float* __restrict v = v_[i].data();
+    const float* __restrict g = p->grad.data();
+    float* __restrict w = p->value.data();
+    const size_t n = p->value.size();
+    for (size_t j = 0; j < n; ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      w[j] -= alpha * m[j] / (std::sqrt(v[j]) + eps_);
+    }
+  }
+}
+
+}  // namespace t2vec::nn

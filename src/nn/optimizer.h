@@ -1,0 +1,69 @@
+#ifndef T2VEC_NN_OPTIMIZER_H_
+#define T2VEC_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/parameter.h"
+
+/// \file
+/// First-order optimizers. The paper trains with Adam (lr = 0.001) plus
+/// global gradient-norm clipping at 5; both are implemented here, with plain
+/// SGD kept as a baseline and for the skip-gram pretrainer.
+
+namespace t2vec::nn {
+
+/// Interface for optimizers that update a fixed parameter list in place.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the parameters' current gradients, then the
+  /// caller is expected to zero the gradients (or call ZeroGrad()).
+  virtual void Step() = 0;
+
+  /// Zeroes every parameter's gradient accumulator.
+  void ZeroGrad();
+
+ protected:
+  explicit Optimizer(ParamList params) : params_(std::move(params)) {}
+  ParamList params_;
+};
+
+/// Stochastic gradient descent with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(ParamList params, float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba, 2014) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(ParamList params, float lr = 1e-3f, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+  int64_t step_count() const { return step_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  int64_t step_ = 0;
+  std::vector<Matrix> m_;  // First-moment estimates.
+  std::vector<Matrix> v_;  // Second-moment estimates.
+};
+
+}  // namespace t2vec::nn
+
+#endif  // T2VEC_NN_OPTIMIZER_H_

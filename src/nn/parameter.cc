@@ -1,0 +1,37 @@
+#include "nn/parameter.h"
+
+#include <cmath>
+
+namespace t2vec::nn {
+
+void InitUniform(Matrix* m, float scale, Rng& rng) {
+  for (size_t i = 0; i < m->size(); ++i) {
+    m->data()[i] = static_cast<float>(rng.Uniform(-scale, scale));
+  }
+}
+
+void InitXavier(Matrix* m, Rng& rng) {
+  const double fan_in = static_cast<double>(m->rows());
+  const double fan_out = static_cast<double>(m->cols());
+  const float scale = static_cast<float>(std::sqrt(6.0 / (fan_in + fan_out)));
+  InitUniform(m, scale, rng);
+}
+
+size_t TotalParamCount(const ParamList& params) {
+  size_t total = 0;
+  for (const Parameter* p : params) total += p->value.size();
+  return total;
+}
+
+double ClipGradNorm(const ParamList& params, double max_norm) {
+  double sq = 0.0;
+  for (const Parameter* p : params) sq += p->grad.SquaredNorm();
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (Parameter* p : params) Scale(&p->grad, scale);
+  }
+  return norm;
+}
+
+}  // namespace t2vec::nn

@@ -1,0 +1,112 @@
+#include "traj/csv.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace t2vec::traj {
+
+namespace {
+
+// Splits a CSV line into exactly three fields; no quoting support (the
+// format carries only ids and numbers).
+bool SplitRow(const std::string& line, std::string* id, std::string* lon,
+              std::string* lat) {
+  const size_t c1 = line.find(',');
+  if (c1 == std::string::npos) return false;
+  const size_t c2 = line.find(',', c1 + 1);
+  if (c2 == std::string::npos) return false;
+  if (line.find(',', c2 + 1) != std::string::npos) return false;
+  *id = line.substr(0, c1);
+  *lon = line.substr(c1 + 1, c2 - c1 - 1);
+  *lat = line.substr(c2 + 1);
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  std::istringstream stream(s);
+  return static_cast<bool>(stream >> *out) && stream.eof();
+}
+
+}  // namespace
+
+Result<Dataset> LoadLonLatCsv(const std::string& path,
+                              const geo::LocalProjection& projection,
+                              int min_points) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+
+  Dataset dataset;
+  Trajectory current;
+  bool has_current = false;
+  std::string previous_id;
+
+  auto flush = [&]() {
+    if (has_current &&
+        static_cast<int>(current.size()) >= min_points) {
+      dataset.Add(std::move(current));
+    }
+    current = Trajectory{};
+  };
+
+  std::string line;
+  size_t row = 0;
+  while (std::getline(in, line)) {
+    ++row;
+    if (line.empty()) continue;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+
+    std::string id_field, lon_field, lat_field;
+    if (!SplitRow(line, &id_field, &lon_field, &lat_field)) {
+      return Status::IoError("malformed CSV row " + std::to_string(row) +
+                             " in " + path);
+    }
+    double lon = 0.0, lat = 0.0;
+    if (!ParseDouble(lon_field, &lon) || !ParseDouble(lat_field, &lat)) {
+      if (row == 1) continue;  // Header row.
+      return Status::IoError("non-numeric coordinates at row " +
+                             std::to_string(row) + " in " + path);
+    }
+    if (lon < -180.0 || lon > 180.0 || lat < -90.0 || lat > 90.0) {
+      return Status::InvalidArgument("out-of-range lon/lat at row " +
+                                     std::to_string(row) + " in " + path);
+    }
+
+    if (!has_current || id_field != previous_id) {
+      flush();
+      has_current = true;
+      previous_id = id_field;
+      // Numeric ids are preserved; others get a sequential id.
+      std::istringstream id_stream(id_field);
+      if (!(id_stream >> current.id)) {
+        current.id = static_cast<int64_t>(dataset.size());
+      }
+    }
+    current.points.push_back(projection.Forward({lon, lat}));
+  }
+  flush();
+  if (dataset.empty()) {
+    return Status::InvalidArgument("no usable trajectories in " + path);
+  }
+  return dataset;
+}
+
+Status SaveLonLatCsv(const Dataset& dataset,
+                     const geo::LocalProjection& projection,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out.precision(10);
+  out << "trip_id,lon,lat\n";
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    for (const geo::Point& p : dataset[i].points) {
+      const geo::GeoPoint g = projection.Inverse(p);
+      out << dataset[i].id << "," << g.lon << "," << g.lat << "\n";
+    }
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace t2vec::traj

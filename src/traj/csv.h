@@ -1,0 +1,35 @@
+#ifndef T2VEC_TRAJ_CSV_H_
+#define T2VEC_TRAJ_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "geo/projection.h"
+#include "traj/dataset.h"
+
+/// \file
+/// Import/export of lon/lat trajectory CSV — the boundary for real datasets
+/// such as the ECML/PKDD Porto taxi release. Rows are
+/// `trip_id,lon,lat` (header optional); consecutive rows with the same
+/// trip_id form one trajectory, ordered as they appear. Coordinates are
+/// projected into the local planar frame on load so the rest of the library
+/// operates in meters.
+
+namespace t2vec::traj {
+
+/// Loads `trip_id,lon,lat` rows and projects them with `projection`.
+/// Skips a leading header row if the first field is not numeric. Fails on
+/// malformed rows; trajectories shorter than `min_points` are dropped
+/// (paper Sec. V-A filters trips shorter than 30 points).
+Result<Dataset> LoadLonLatCsv(const std::string& path,
+                              const geo::LocalProjection& projection,
+                              int min_points = 2);
+
+/// Writes a dataset back as `trip_id,lon,lat` rows (inverse projection).
+Status SaveLonLatCsv(const Dataset& dataset,
+                     const geo::LocalProjection& projection,
+                     const std::string& path);
+
+}  // namespace t2vec::traj
+
+#endif  // T2VEC_TRAJ_CSV_H_

@@ -1,0 +1,88 @@
+#include "traj/dataset.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace t2vec::traj {
+
+std::vector<geo::Point> Dataset::AllPoints() const {
+  std::vector<geo::Point> out;
+  out.reserve(static_cast<size_t>(TotalPoints()));
+  for (const Trajectory& t : trajectories_) {
+    out.insert(out.end(), t.points.begin(), t.points.end());
+  }
+  return out;
+}
+
+double Dataset::MeanLength() const {
+  if (trajectories_.empty()) return 0.0;
+  return static_cast<double>(TotalPoints()) /
+         static_cast<double>(trajectories_.size());
+}
+
+int64_t Dataset::TotalPoints() const {
+  int64_t total = 0;
+  for (const Trajectory& t : trajectories_) {
+    total += static_cast<int64_t>(t.size());
+  }
+  return total;
+}
+
+void Dataset::Split(size_t train_count, Dataset* train, Dataset* test) const {
+  T2VEC_CHECK(train_count <= trajectories_.size());
+  train->trajectories_.assign(trajectories_.begin(),
+                              trajectories_.begin() + train_count);
+  test->trajectories_.assign(trajectories_.begin() + train_count,
+                             trajectories_.end());
+}
+
+Status Dataset::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out.precision(15);  // Sub-micrometer for metropolitan-scale coordinates.
+  for (const Trajectory& t : trajectories_) {
+    out << "# " << t.id << "\n";
+    for (const geo::Point& p : t.points) {
+      out << p.x << " " << p.y << "\n";
+    }
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<Dataset> Dataset::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  Dataset dataset;
+  Trajectory current;
+  bool has_current = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (has_current) dataset.Add(std::move(current));
+      current = Trajectory{};
+      has_current = true;
+      std::istringstream header(line.substr(1));
+      if (!(header >> current.id)) {
+        return Status::IoError("malformed trajectory header: " + line);
+      }
+      continue;
+    }
+    if (!has_current) {
+      return Status::IoError("point before trajectory header in " + path);
+    }
+    std::istringstream fields(line);
+    geo::Point p;
+    if (!(fields >> p.x >> p.y)) {
+      return Status::IoError("malformed point line: " + line);
+    }
+    current.points.push_back(p);
+  }
+  if (has_current) dataset.Add(std::move(current));
+  return dataset;
+}
+
+}  // namespace t2vec::traj

@@ -1,0 +1,60 @@
+#ifndef T2VEC_TRAJ_DATASET_H_
+#define T2VEC_TRAJ_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "traj/trajectory.h"
+
+/// \file
+/// Container for a trajectory collection, with train/test splitting (the
+/// paper splits by trip start time; our generator emits trips in temporal
+/// order, so a prefix split is equivalent) and a simple text serialization.
+
+namespace t2vec::traj {
+
+/// An ordered collection of trajectories.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<Trajectory> trajectories)
+      : trajectories_(std::move(trajectories)) {}
+
+  size_t size() const { return trajectories_.size(); }
+  bool empty() const { return trajectories_.empty(); }
+
+  const Trajectory& operator[](size_t i) const { return trajectories_[i]; }
+  Trajectory& operator[](size_t i) { return trajectories_[i]; }
+
+  const std::vector<Trajectory>& trajectories() const { return trajectories_; }
+
+  void Add(Trajectory t) { trajectories_.push_back(std::move(t)); }
+
+  /// All sample points across all trajectories (feeds vocabulary building).
+  std::vector<geo::Point> AllPoints() const;
+
+  /// Mean trajectory length in points (Table II's "mean length").
+  double MeanLength() const;
+
+  /// Total number of sample points (Table II's "#Points").
+  int64_t TotalPoints() const;
+
+  /// Splits by position: the first `train_count` trajectories become the
+  /// training set, the rest the test set (temporal split).
+  void Split(size_t train_count, Dataset* train, Dataset* test) const;
+
+  /// Writes the dataset to a text file (one line per point, blank line
+  /// between trajectories).
+  Status Save(const std::string& path) const;
+
+  /// Reads a dataset written by Save().
+  static Result<Dataset> Load(const std::string& path);
+
+ private:
+  std::vector<Trajectory> trajectories_;
+};
+
+}  // namespace t2vec::traj
+
+#endif  // T2VEC_TRAJ_DATASET_H_

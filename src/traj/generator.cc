@@ -1,0 +1,101 @@
+#include "traj/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace t2vec::traj {
+
+GeneratorConfig GeneratorConfig::PortoLike() {
+  GeneratorConfig config;
+  config.network.region_width = 8000.0;
+  config.network.region_height = 8000.0;
+  config.network.node_spacing = 250.0;
+  config.network.seed = 11;
+  config.report_interval_s = 15.0;
+  config.min_trip_points = 30;
+  config.max_trip_points = 90;
+  config.seed = 101;
+  return config;
+}
+
+GeneratorConfig GeneratorConfig::HarbinLike() {
+  GeneratorConfig config;
+  config.network.region_width = 12000.0;
+  config.network.region_height = 12000.0;
+  config.network.node_spacing = 300.0;
+  config.network.seed = 13;
+  config.report_interval_s = 10.0;
+  config.min_trip_points = 60;
+  config.max_trip_points = 130;
+  config.seed = 103;
+  return config;
+}
+
+SyntheticTrajectoryGenerator::SyntheticTrajectoryGenerator(
+    const GeneratorConfig& config)
+    : config_(config), network_(config.network), rng_(config.seed) {}
+
+std::vector<geo::Point> SampleAlongPolyline(
+    const std::vector<geo::Point>& route, double spacing_m) {
+  T2VEC_CHECK(route.size() >= 2);
+  T2VEC_CHECK(spacing_m > 0.0);
+  std::vector<geo::Point> points;
+  points.push_back(route.front());
+  double carry = spacing_m;  // Distance until the next sample point.
+  for (size_t i = 1; i < route.size(); ++i) {
+    const geo::Point& a = route[i - 1];
+    const geo::Point& b = route[i];
+    const double seg_len = geo::Distance(a, b);
+    double offset = carry;
+    while (offset <= seg_len) {
+      points.push_back(geo::Lerp(a, b, offset / seg_len));
+      offset += spacing_m;
+    }
+    carry = offset - seg_len;
+  }
+  return points;
+}
+
+Trajectory SyntheticTrajectoryGenerator::GenerateOne(
+    int64_t id, std::vector<geo::Point>* route_out) {
+  Trajectory trip;
+  trip.id = id;
+  // Rejection loop: regenerate until the trip is long enough (short walks
+  // near the region border can terminate early).
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    const double speed =
+        rng_.Uniform(config_.min_speed_mps, config_.max_speed_mps);
+    const double spacing = speed * config_.report_interval_s;
+    const int target_points = static_cast<int>(rng_.Uniform(
+        config_.min_trip_points, config_.max_trip_points));
+    const double target_length = spacing * target_points;
+
+    std::vector<geo::Point> route = network_.SampleRoute(target_length, rng_);
+    std::vector<geo::Point> samples = SampleAlongPolyline(route, spacing);
+    if (static_cast<int>(samples.size()) < config_.min_trip_points) continue;
+    if (static_cast<int>(samples.size()) > config_.max_trip_points) {
+      samples.resize(static_cast<size_t>(config_.max_trip_points));
+    }
+
+    trip.points.clear();
+    trip.points.reserve(samples.size());
+    for (const geo::Point& p : samples) {
+      trip.points.push_back({p.x + rng_.Gaussian(0.0, config_.gps_noise_m),
+                             p.y + rng_.Gaussian(0.0, config_.gps_noise_m)});
+    }
+    if (route_out != nullptr) *route_out = std::move(route);
+    return trip;
+  }
+  T2VEC_CHECK(false && "generator failed to produce a valid trip");
+  return trip;
+}
+
+Dataset SyntheticTrajectoryGenerator::Generate(size_t count) {
+  Dataset dataset;
+  for (size_t i = 0; i < count; ++i) {
+    dataset.Add(GenerateOne(static_cast<int64_t>(i), nullptr));
+  }
+  return dataset;
+}
+
+}  // namespace t2vec::traj

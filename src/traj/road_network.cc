@@ -1,0 +1,115 @@
+#include "traj/road_network.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace t2vec::traj {
+
+RoadNetwork::RoadNetwork(const RoadNetworkConfig& config) : config_(config) {
+  Rng rng(config.seed);
+  const int32_t cols = std::max(
+      2, static_cast<int32_t>(config.region_width / config.node_spacing) + 1);
+  const int32_t rows = std::max(
+      2, static_cast<int32_t>(config.region_height / config.node_spacing) + 1);
+
+  positions_.reserve(static_cast<size_t>(rows) * cols);
+  for (int32_t r = 0; r < rows; ++r) {
+    for (int32_t c = 0; c < cols; ++c) {
+      const double jx = rng.Uniform(-config.position_jitter,
+                                    config.position_jitter);
+      const double jy = rng.Uniform(-config.position_jitter,
+                                    config.position_jitter);
+      positions_.push_back(
+          {c * config.node_spacing + jx, r * config.node_spacing + jy});
+    }
+  }
+
+  adjacency_.resize(positions_.size());
+  auto node_at = [cols](int32_t r, int32_t c) { return r * cols + c; };
+
+  // Heavy-tailed popularity: pareto-like via inverse-CDF of U^(-1/alpha).
+  auto draw_popularity = [&rng, &config]() {
+    const double u = std::max(rng.Uniform(), 1e-9);
+    return std::pow(u, -1.0 / config.popularity_alpha);
+  };
+
+  // Streets are bidirectional but each direction gets its own popularity
+  // (one-way-like asymmetry of real traffic).
+  auto connect = [&](int32_t a, int32_t b) {
+    const double len = geo::Distance(positions_[static_cast<size_t>(a)],
+                                     positions_[static_cast<size_t>(b)]);
+    adjacency_[static_cast<size_t>(a)].push_back({b, draw_popularity(), len});
+    adjacency_[static_cast<size_t>(b)].push_back({a, draw_popularity(), len});
+  };
+
+  for (int32_t r = 0; r < rows; ++r) {
+    for (int32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) connect(node_at(r, c), node_at(r, c + 1));
+      if (r + 1 < rows) connect(node_at(r, c), node_at(r + 1, c));
+      if (r + 1 < rows && c + 1 < cols &&
+          rng.Bernoulli(config.diagonal_fraction)) {
+        // One random diagonal per lattice cell (either orientation).
+        if (rng.Bernoulli(0.5)) {
+          connect(node_at(r, c), node_at(r + 1, c + 1));
+        } else {
+          connect(node_at(r, c + 1), node_at(r + 1, c));
+        }
+      }
+    }
+  }
+
+  node_popularity_.resize(positions_.size(), 0.0);
+  for (size_t i = 0; i < adjacency_.size(); ++i) {
+    for (const Edge& e : adjacency_[i]) node_popularity_[i] += e.popularity;
+  }
+}
+
+size_t RoadNetwork::num_edges() const {
+  size_t total = 0;
+  for (const auto& edges : adjacency_) total += edges.size();
+  return total;
+}
+
+int32_t RoadNetwork::SampleStartNode(Rng& rng) const {
+  // Squaring the popularity sharpens the hub structure: a few nodes dominate
+  // trip origins, as taxi stands do.
+  std::vector<double> weights(node_popularity_.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = node_popularity_[i] * node_popularity_[i];
+  }
+  return static_cast<int32_t>(rng.Categorical(weights));
+}
+
+std::vector<geo::Point> RoadNetwork::SampleRoute(double target_length_m,
+                                                 Rng& rng) const {
+  int32_t current = SampleStartNode(rng);
+  int32_t previous = -1;
+  std::vector<geo::Point> route;
+  route.push_back(positions_[static_cast<size_t>(current)]);
+  double length = 0.0;
+
+  std::vector<double> weights;
+  while (length < target_length_m) {
+    const auto& edges = adjacency_[static_cast<size_t>(current)];
+    T2VEC_CHECK(!edges.empty());
+    weights.clear();
+    weights.reserve(edges.size());
+    for (const Edge& e : edges) {
+      // No immediate backtracking unless it is the only option.
+      weights.push_back(e.to == previous ? 0.0 : e.popularity);
+    }
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (total <= 0.0) {
+      weights.assign(edges.size(), 1.0);  // Dead end: allow turning back.
+    }
+    const Edge& chosen = edges[rng.Categorical(weights)];
+    previous = current;
+    current = chosen.to;
+    route.push_back(positions_[static_cast<size_t>(current)]);
+    length += chosen.length;
+  }
+  return route;
+}
+
+}  // namespace t2vec::traj

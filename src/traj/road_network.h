@@ -1,0 +1,74 @@
+#ifndef T2VEC_TRAJ_ROAD_NETWORK_H_
+#define T2VEC_TRAJ_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/point.h"
+
+/// \file
+/// Synthetic road network (dataset substitution, DESIGN.md §1).
+///
+/// The network is a perturbed lattice: intersections sit near lattice
+/// positions with random jitter, connected by 4-neighbor streets plus a
+/// fraction of diagonal shortcuts. Each directed edge carries a popularity
+/// weight drawn from a heavy-tailed distribution, mimicking the skewed
+/// transition patterns between urban locations that t2vec exploits
+/// (paper Sec. IV-A, citing [10], [12]). Routes are popularity-biased walks,
+/// so popular corridors emerge and are shared across many trips — exactly
+/// the structure the encoder-decoder learns from historical data.
+
+namespace t2vec::traj {
+
+/// Parameters for the synthetic road network.
+struct RoadNetworkConfig {
+  double region_width = 10000.0;    ///< meters
+  double region_height = 10000.0;   ///< meters
+  double node_spacing = 250.0;      ///< lattice spacing, meters
+  double position_jitter = 50.0;    ///< max node displacement, meters
+  double diagonal_fraction = 0.15;  ///< fraction of cells with a diagonal
+  double popularity_alpha = 1.0;    ///< Pareto tail index for edge weights
+  uint64_t seed = 1;
+};
+
+/// A random planar road graph with popularity-weighted directed edges.
+class RoadNetwork {
+ public:
+  explicit RoadNetwork(const RoadNetworkConfig& config);
+
+  /// Node position in meters.
+  const geo::Point& NodePosition(int32_t node) const {
+    return positions_[static_cast<size_t>(node)];
+  }
+
+  size_t num_nodes() const { return positions_.size(); }
+  size_t num_edges() const;
+
+  /// Samples a route of roughly `target_length_m` meters as a
+  /// popularity-biased walk without immediate backtracking. Returns node
+  /// positions (at least two nodes).
+  std::vector<geo::Point> SampleRoute(double target_length_m, Rng& rng) const;
+
+  /// Samples a start node, biased toward high-popularity "hub" nodes
+  /// (taxi stands, stations); exposed for tests.
+  int32_t SampleStartNode(Rng& rng) const;
+
+  const RoadNetworkConfig& config() const { return config_; }
+
+ private:
+  struct Edge {
+    int32_t to;
+    double popularity;
+    double length;
+  };
+
+  RoadNetworkConfig config_;
+  std::vector<geo::Point> positions_;
+  std::vector<std::vector<Edge>> adjacency_;
+  std::vector<double> node_popularity_;  // Sum of outgoing edge popularity.
+};
+
+}  // namespace t2vec::traj
+
+#endif  // T2VEC_TRAJ_ROAD_NETWORK_H_

@@ -1,0 +1,74 @@
+#include "traj/simplify.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace t2vec::traj {
+
+namespace {
+
+// Marks the points to keep in [first, last] (iterative stack to avoid deep
+// recursion on long trajectories).
+void MarkKeepers(const std::vector<geo::Point>& points, double epsilon,
+                 std::vector<uint8_t>* keep) {
+  std::vector<std::pair<size_t, size_t>> stack = {{0, points.size() - 1}};
+  while (!stack.empty()) {
+    const auto [first, last] = stack.back();
+    stack.pop_back();
+    if (last <= first + 1) continue;
+    double worst = -1.0;
+    size_t worst_index = first;
+    for (size_t i = first + 1; i < last; ++i) {
+      const double d =
+          geo::DistanceToSegment(points[i], points[first], points[last]);
+      if (d > worst) {
+        worst = d;
+        worst_index = i;
+      }
+    }
+    if (worst > epsilon) {
+      (*keep)[worst_index] = 1;
+      stack.emplace_back(first, worst_index);
+      stack.emplace_back(worst_index, last);
+    }
+  }
+}
+
+}  // namespace
+
+Trajectory DouglasPeucker(const Trajectory& t, double epsilon_m) {
+  T2VEC_CHECK(epsilon_m >= 0.0);
+  Trajectory out;
+  out.id = t.id;
+  if (t.size() <= 2) {
+    out.points = t.points;
+    return out;
+  }
+  std::vector<uint8_t> keep(t.size(), 0);
+  keep.front() = 1;
+  keep.back() = 1;
+  MarkKeepers(t.points, epsilon_m, &keep);
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (keep[i]) out.points.push_back(t.points[i]);
+  }
+  return out;
+}
+
+double MaxDeviation(const Trajectory& t, const Trajectory& simplified) {
+  T2VEC_CHECK(simplified.size() >= 2);
+  double worst = 0.0;
+  for (const geo::Point& p : t.points) {
+    double best = 1e300;
+    for (size_t i = 1; i < simplified.size(); ++i) {
+      best = std::min(best,
+                      geo::DistanceToSegment(p, simplified.points[i - 1],
+                                             simplified.points[i]));
+    }
+    worst = std::max(worst, best);
+  }
+  return worst;
+}
+
+}  // namespace t2vec::traj

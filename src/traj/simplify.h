@@ -1,0 +1,27 @@
+#ifndef T2VEC_TRAJ_SIMPLIFY_H_
+#define T2VEC_TRAJ_SIMPLIFY_H_
+
+#include "traj/trajectory.h"
+
+/// \file
+/// Trajectory simplification utilities. Douglas–Peucker is the standard
+/// preprocessing step in trajectory pipelines (compression before storage,
+/// noise-robust shape extraction); it also provides a *structured*
+/// downsampling contrast to the uniform random dropping of the paper's
+/// protocol — simplification keeps shape-defining points, random dropping
+/// does not.
+
+namespace t2vec::traj {
+
+/// Douglas–Peucker simplification: returns the sub-trajectory whose
+/// deviation from `t` never exceeds `epsilon_m` meters. Endpoints are
+/// always retained; point order is preserved.
+Trajectory DouglasPeucker(const Trajectory& t, double epsilon_m);
+
+/// Maximum perpendicular deviation of `t`'s points from the polyline
+/// `simplified` (validation metric for simplification).
+double MaxDeviation(const Trajectory& t, const Trajectory& simplified);
+
+}  // namespace t2vec::traj
+
+#endif  // T2VEC_TRAJ_SIMPLIFY_H_

@@ -1,0 +1,20 @@
+#include "traj/tokenizer.h"
+
+namespace t2vec::traj {
+
+TokenSeq Tokenize(const geo::HotCellVocab& vocab, const Trajectory& t) {
+  TokenSeq seq;
+  seq.reserve(t.points.size());
+  for (const geo::Point& p : t.points) seq.push_back(vocab.TokenOf(p));
+  return seq;
+}
+
+std::vector<TokenSeq> TokenizeAll(const geo::HotCellVocab& vocab,
+                                  const std::vector<Trajectory>& trips) {
+  std::vector<TokenSeq> out;
+  out.reserve(trips.size());
+  for (const Trajectory& t : trips) out.push_back(Tokenize(vocab, t));
+  return out;
+}
+
+}  // namespace t2vec::traj

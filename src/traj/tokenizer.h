@@ -1,0 +1,28 @@
+#ifndef T2VEC_TRAJ_TOKENIZER_H_
+#define T2VEC_TRAJ_TOKENIZER_H_
+
+#include <vector>
+
+#include "geo/vocab.h"
+#include "traj/trajectory.h"
+
+/// \file
+/// Trajectory -> token-sequence conversion. Each sample point is mapped to
+/// its nearest hot cell (paper Sec. IV-B); the resulting token sequence is
+/// what the sequence encoder-decoder consumes.
+
+namespace t2vec::traj {
+
+/// A trajectory rendered as a sequence of hot-cell tokens.
+using TokenSeq = std::vector<geo::Token>;
+
+/// Maps every point of `t` to its nearest hot-cell token.
+TokenSeq Tokenize(const geo::HotCellVocab& vocab, const Trajectory& t);
+
+/// Tokenizes every trajectory of a collection.
+std::vector<TokenSeq> TokenizeAll(const geo::HotCellVocab& vocab,
+                                  const std::vector<Trajectory>& trips);
+
+}  // namespace t2vec::traj
+
+#endif  // T2VEC_TRAJ_TOKENIZER_H_

@@ -1,0 +1,36 @@
+#ifndef T2VEC_TRAJ_TRAJECTORY_H_
+#define T2VEC_TRAJ_TRAJECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+
+/// \file
+/// The trajectory type (paper Def. 2): a sequence of sample points from the
+/// underlying route of a moving object. Points are in the local planar frame
+/// (meters); see geo/projection.h for the lon/lat boundary.
+
+namespace t2vec::traj {
+
+/// A trajectory: ordered sample points plus a stable id.
+struct Trajectory {
+  int64_t id = -1;
+  std::vector<geo::Point> points;
+
+  size_t size() const { return points.size(); }
+  bool empty() const { return points.empty(); }
+
+  /// Total polyline length in meters.
+  double Length() const {
+    double total = 0.0;
+    for (size_t i = 1; i < points.size(); ++i) {
+      total += geo::Distance(points[i - 1], points[i]);
+    }
+    return total;
+  }
+};
+
+}  // namespace t2vec::traj
+
+#endif  // T2VEC_TRAJ_TRAJECTORY_H_

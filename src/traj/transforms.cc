@@ -1,0 +1,51 @@
+#include "traj/transforms.h"
+
+namespace t2vec::traj {
+
+Trajectory Downsample(const Trajectory& t, double dropping_rate, Rng& rng) {
+  T2VEC_CHECK(dropping_rate >= 0.0 && dropping_rate < 1.0);
+  Trajectory out;
+  out.id = t.id;
+  if (t.points.size() <= 2 || dropping_rate == 0.0) {
+    out.points = t.points;
+    return out;
+  }
+  out.points.reserve(t.points.size());
+  out.points.push_back(t.points.front());
+  for (size_t i = 1; i + 1 < t.points.size(); ++i) {
+    if (!rng.Bernoulli(dropping_rate)) out.points.push_back(t.points[i]);
+  }
+  out.points.push_back(t.points.back());
+  return out;
+}
+
+Trajectory Distort(const Trajectory& t, double distorting_rate, Rng& rng,
+                   double radius_m) {
+  T2VEC_CHECK(distorting_rate >= 0.0 && distorting_rate <= 1.0);
+  Trajectory out;
+  out.id = t.id;
+  out.points.reserve(t.points.size());
+  for (const geo::Point& p : t.points) {
+    if (rng.Bernoulli(distorting_rate)) {
+      out.points.push_back({p.x + radius_m * rng.Gaussian(),
+                            p.y + radius_m * rng.Gaussian()});
+    } else {
+      out.points.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::pair<Trajectory, Trajectory> AlternatingSplit(const Trajectory& t) {
+  Trajectory odd, even;
+  odd.id = t.id;
+  even.id = t.id;
+  odd.points.reserve((t.points.size() + 1) / 2);
+  even.points.reserve(t.points.size() / 2);
+  for (size_t i = 0; i < t.points.size(); ++i) {
+    ((i % 2 == 0) ? odd : even).points.push_back(t.points[i]);
+  }
+  return {std::move(odd), std::move(even)};
+}
+
+}  // namespace t2vec::traj

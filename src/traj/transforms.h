@@ -1,0 +1,37 @@
+#ifndef T2VEC_TRAJ_TRANSFORMS_H_
+#define T2VEC_TRAJ_TRANSFORMS_H_
+
+#include <utility>
+
+#include "common/rng.h"
+#include "traj/trajectory.h"
+
+/// \file
+/// The trajectory transformations of the paper's experimental protocol:
+/// random downsampling at dropping rate r1 (Sec. IV-B), point distortion at
+/// distorting rate r2 with 30 m Gaussian noise (Eq. 3), and the alternating
+/// odd/even split used to build query/database pairs (Fig. 4).
+
+namespace t2vec::traj {
+
+/// Distortion radius of Eq. 3: p += 30 * N(0, 1) meters per coordinate.
+inline constexpr double kDistortRadiusM = 30.0;
+
+/// Randomly drops interior points with probability `dropping_rate`; the
+/// start and end points are always preserved (the paper keeps them to avoid
+/// changing the underlying route).
+Trajectory Downsample(const Trajectory& t, double dropping_rate, Rng& rng);
+
+/// Distorts a random fraction `distorting_rate` of the points by adding
+/// Gaussian noise with radius `radius_m` per coordinate (paper Eq. 3).
+Trajectory Distort(const Trajectory& t, double distorting_rate, Rng& rng,
+                   double radius_m = kDistortRadiusM);
+
+/// Splits `t` into two sub-trajectories by alternately assigning points
+/// (indices 0, 2, 4, ... and 1, 3, 5, ...), as in the paper's Fig. 4. Both
+/// halves inherit the source id.
+std::pair<Trajectory, Trajectory> AlternatingSplit(const Trajectory& t);
+
+}  // namespace t2vec::traj
+
+#endif  // T2VEC_TRAJ_TRANSFORMS_H_

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "gradcheck.h"
+#include "nn/attention.h"
+#include "nn/matrix.h"
+
+namespace t2vec::nn {
+namespace {
+
+using ::t2vec::nn::testing::ExpectGradientsMatch;
+
+std::vector<Matrix> RandomSeq(size_t steps, size_t batch, size_t dim,
+                              Rng& rng) {
+  std::vector<Matrix> out(steps);
+  for (Matrix& m : out) {
+    m.Resize(batch, dim);
+    for (size_t i = 0; i < m.size(); ++i) {
+      m.data()[i] = static_cast<float>(rng.Uniform(-0.8, 0.8));
+    }
+  }
+  return out;
+}
+
+// Scalar objective: pseudo-random weighted sum of all attention outputs.
+double WeightedSum(const Attention& attn, const std::vector<Matrix>& dec,
+                   const std::vector<Matrix>& enc,
+                   const std::vector<std::vector<float>>& masks) {
+  AttentionCache cache;
+  attn.Forward(dec, enc, masks, &cache);
+  double loss = 0.0;
+  double w = 0.9;
+  for (const Matrix& out : cache.output) {
+    for (size_t i = 0; i < out.size(); ++i) {
+      loss += w * out.data()[i];
+      w = -w * 0.95;
+    }
+  }
+  return loss;
+}
+
+void BuildUpstream(const AttentionCache& cache, std::vector<Matrix>* d_out) {
+  d_out->clear();
+  double w = 0.9;
+  for (const Matrix& out : cache.output) {
+    Matrix g(out.rows(), out.cols());
+    for (size_t i = 0; i < g.size(); ++i) {
+      g.data()[i] = static_cast<float>(w);
+      w = -w * 0.95;
+    }
+    d_out->push_back(std::move(g));
+  }
+}
+
+TEST(AttentionTest, AlphasAreMaskedDistributions) {
+  Rng rng(1);
+  Attention attn("attn", 5, rng);
+  auto dec = RandomSeq(3, 2, 5, rng);
+  auto enc = RandomSeq(4, 2, 5, rng);
+  // Source lengths: 4 for row 0, 2 for row 1.
+  std::vector<std::vector<float>> masks = {
+      {1, 1}, {1, 1}, {1, 0}, {1, 0}};
+  AttentionCache cache;
+  attn.Forward(dec, enc, masks, &cache);
+  for (const Matrix& alpha : cache.alphas) {
+    for (size_t b = 0; b < 2; ++b) {
+      double total = 0.0;
+      for (size_t s = 0; s < 4; ++s) total += alpha(b, s);
+      EXPECT_NEAR(total, 1.0, 1e-5);
+    }
+    // Masked positions get zero weight.
+    EXPECT_NEAR(alpha(1, 2), 0.0f, 1e-12f);
+    EXPECT_NEAR(alpha(1, 3), 0.0f, 1e-12f);
+  }
+}
+
+TEST(AttentionTest, OutputInTanhRange) {
+  Rng rng(2);
+  Attention attn("attn", 6, rng);
+  auto dec = RandomSeq(2, 3, 6, rng);
+  auto enc = RandomSeq(5, 3, 6, rng);
+  AttentionCache cache;
+  attn.Forward(dec, enc, {}, &cache);
+  ASSERT_EQ(cache.output.size(), 2u);
+  for (const Matrix& out : cache.output) {
+    for (size_t i = 0; i < out.size(); ++i) {
+      EXPECT_LT(std::fabs(out.data()[i]), 1.0f);
+    }
+  }
+}
+
+struct AttnCase {
+  size_t dec_steps, src_steps, batch, dim;
+  bool masked;
+};
+
+class AttentionGradTest : public ::testing::TestWithParam<AttnCase> {};
+
+TEST_P(AttentionGradTest, GradCheckAllPaths) {
+  const AttnCase& tc = GetParam();
+  Rng rng(7);
+  Attention attn("attn", tc.dim, rng);
+  auto dec = RandomSeq(tc.dec_steps, tc.batch, tc.dim, rng);
+  auto enc = RandomSeq(tc.src_steps, tc.batch, tc.dim, rng);
+  std::vector<std::vector<float>> masks;
+  if (tc.masked) {
+    for (size_t s = 0; s < tc.src_steps; ++s) {
+      std::vector<float> m(tc.batch, 1.0f);
+      for (size_t b = 0; b < tc.batch; ++b) {
+        if (s >= tc.src_steps - b % 2) m[b] = 0.0f;
+      }
+      masks.push_back(std::move(m));
+    }
+  }
+
+  auto loss_fn = [&]() { return WeightedSum(attn, dec, enc, masks); };
+
+  AttentionCache cache;
+  attn.Forward(dec, enc, masks, &cache);
+  std::vector<Matrix> d_out;
+  BuildUpstream(cache, &d_out);
+
+  for (Parameter* p : attn.Params()) p->ZeroGrad();
+  std::vector<Matrix> d_dec, d_enc;
+  attn.Backward(dec, enc, masks, cache, d_out, &d_dec, &d_enc);
+
+  for (Parameter* p : attn.Params()) {
+    ExpectGradientsMatch(&p->value, p->grad, loss_fn, 1e-2f, 3e-2, 16);
+  }
+  for (size_t t = 0; t < tc.dec_steps; ++t) {
+    ExpectGradientsMatch(&dec[t], d_dec[t], loss_fn, 1e-2f, 3e-2, 10);
+  }
+  for (size_t s = 0; s < tc.src_steps; ++s) {
+    ExpectGradientsMatch(&enc[s], d_enc[s], loss_fn, 1e-2f, 3e-2, 10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, AttentionGradTest,
+    ::testing::Values(AttnCase{1, 1, 1, 3, false},
+                      AttnCase{2, 3, 2, 4, false},
+                      AttnCase{3, 4, 2, 4, true},
+                      AttnCase{2, 5, 3, 5, true}));
+
+}  // namespace
+}  // namespace t2vec::nn

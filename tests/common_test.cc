@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace t2vec {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::IoError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(s.ToString(), "IoError: disk on fire");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) differing += (a.NextU64() != b.NextU64());
+  EXPECT_GT(differing, 0);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) counts[rng.UniformInt(10)]++;
+  // Each bucket should get roughly 5000 hits.
+  for (int c : counts) EXPECT_NEAR(c, 5000, 500);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(13);
+  std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 100000; ++i) counts[rng.Categorical(weights)]++;
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / 100000.0, 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / 100000.0, 0.3, 0.015);
+  EXPECT_NEAR(counts[3] / 100000.0, 0.6, 0.015);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, orig);  // Astronomically unlikely to be identity.
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkIndependent) {
+  Rng parent(23);
+  Rng child = parent.Fork();
+  EXPECT_NE(parent.NextU64(), child.NextU64());
+}
+
+TEST(AliasSamplerTest, MatchesDistribution) {
+  std::vector<double> weights = {5.0, 1.0, 4.0};
+  AliasSampler sampler(weights);
+  EXPECT_NEAR(sampler.Probability(0), 0.5, 1e-12);
+  EXPECT_NEAR(sampler.Probability(1), 0.1, 1e-12);
+  EXPECT_NEAR(sampler.Probability(2), 0.4, 1e-12);
+
+  Rng rng(29);
+  std::vector<int> counts(3, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) counts[sampler.Sample(rng)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.5, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.4, 0.01);
+}
+
+TEST(AliasSamplerTest, SingleElement) {
+  AliasSampler sampler({3.0});
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sampler.Sample(rng), 0u);
+}
+
+TEST(AliasSamplerTest, ZeroWeightNeverSampled) {
+  AliasSampler sampler({0.0, 1.0, 0.0, 1.0});
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    const size_t s = sampler.Sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(SmoothedDistributionTest, PowerSmoothing) {
+  std::vector<double> counts = {16.0, 1.0};
+  std::vector<double> dist = SmoothedDistribution(counts, 0.5);
+  // sqrt(16)=4, sqrt(1)=1 -> 0.8 / 0.2.
+  EXPECT_NEAR(dist[0], 0.8, 1e-12);
+  EXPECT_NEAR(dist[1], 0.2, 1e-12);
+}
+
+TEST(SerializeTest, RoundTrip) {
+  const std::string path = ::testing::TempDir() + "/serialize_test.bin";
+  {
+    BinaryWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    writer.WritePod<uint32_t>(0xDEADBEEF);
+    writer.WritePod<double>(3.25);
+    writer.WriteString("hello world");
+    writer.WriteVector(std::vector<float>{1.0f, -2.0f, 3.5f});
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  {
+    BinaryReader reader(path);
+    ASSERT_TRUE(reader.ok());
+    uint32_t magic = 0;
+    double d = 0.0;
+    std::string s;
+    std::vector<float> v;
+    ASSERT_TRUE(reader.ReadPod(&magic));
+    ASSERT_TRUE(reader.ReadPod(&d));
+    ASSERT_TRUE(reader.ReadString(&s));
+    ASSERT_TRUE(reader.ReadVector(&v));
+    EXPECT_EQ(magic, 0xDEADBEEF);
+    EXPECT_EQ(d, 3.25);
+    EXPECT_EQ(s, "hello world");
+    EXPECT_EQ(v, (std::vector<float>{1.0f, -2.0f, 3.5f}));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, TruncatedReadFails) {
+  const std::string path = ::testing::TempDir() + "/serialize_trunc.bin";
+  {
+    BinaryWriter writer(path);
+    writer.WritePod<uint32_t>(1);
+    ASSERT_TRUE(writer.Finish().ok());
+  }
+  BinaryReader reader(path);
+  uint32_t x = 0;
+  uint64_t y = 0;
+  EXPECT_TRUE(reader.ReadPod(&x));
+  EXPECT_FALSE(reader.ReadPod(&y));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace t2vec

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/rng.h"
+#include "eval/bootstrap.h"
+#include "traj/csv.h"
+
+namespace t2vec {
+namespace {
+
+const geo::GeoPoint kPortoOrigin{-8.6, 41.15};
+
+std::string WriteTemp(const std::string& name, const std::string& content) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << content;
+  return path;
+}
+
+TEST(CsvTest, LoadsGroupedTrips) {
+  const std::string path = WriteTemp("trips.csv",
+                                     "trip_id,lon,lat\n"
+                                     "1,-8.600,41.150\n"
+                                     "1,-8.601,41.151\n"
+                                     "1,-8.602,41.152\n"
+                                     "2,-8.610,41.160\n"
+                                     "2,-8.611,41.161\n");
+  geo::LocalProjection projection(kPortoOrigin);
+  Result<traj::Dataset> r = traj::LoadLonLatCsv(path, projection);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().size(), 2u);
+  EXPECT_EQ(r.value()[0].id, 1);
+  EXPECT_EQ(r.value()[0].size(), 3u);
+  EXPECT_EQ(r.value()[1].id, 2);
+  EXPECT_EQ(r.value()[1].size(), 2u);
+  // The first point is the origin: projects to ~(0, 0).
+  EXPECT_NEAR(r.value()[0].points[0].x, 0.0, 1e-6);
+  EXPECT_NEAR(r.value()[0].points[0].y, 0.0, 1e-6);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MinPointsFilter) {
+  const std::string path = WriteTemp("short.csv",
+                                     "1,-8.600,41.150\n"
+                                     "2,-8.601,41.151\n"
+                                     "2,-8.602,41.152\n"
+                                     "2,-8.603,41.153\n");
+  geo::LocalProjection projection(kPortoOrigin);
+  Result<traj::Dataset> r = traj::LoadLonLatCsv(path, projection, 3);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 1u);  // Trip 1 (one point) dropped.
+  EXPECT_EQ(r.value()[0].id, 2);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RejectsMalformedRows) {
+  geo::LocalProjection projection(kPortoOrigin);
+  const std::string bad1 = WriteTemp("bad1.csv", "1,-8.6\n");
+  EXPECT_FALSE(traj::LoadLonLatCsv(bad1, projection).ok());
+  const std::string bad2 =
+      WriteTemp("bad2.csv", "1,-8.6,41.1\n1,notanumber,41.2\n");
+  EXPECT_FALSE(traj::LoadLonLatCsv(bad2, projection).ok());
+  const std::string bad3 = WriteTemp("bad3.csv", "1,-200.0,41.1\n");
+  EXPECT_FALSE(traj::LoadLonLatCsv(bad3, projection).ok());
+  std::remove(bad1.c_str());
+  std::remove(bad2.c_str());
+  std::remove(bad3.c_str());
+}
+
+TEST(CsvTest, MissingFile) {
+  geo::LocalProjection projection(kPortoOrigin);
+  Result<traj::Dataset> r =
+      traj::LoadLonLatCsv("/nonexistent.csv", projection);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvTest, RoundTrip) {
+  geo::LocalProjection projection(kPortoOrigin);
+  traj::Dataset original;
+  Rng rng(5);
+  for (int t = 0; t < 3; ++t) {
+    traj::Trajectory trip;
+    trip.id = 10 + t;
+    for (int i = 0; i < 6; ++i) {
+      trip.points.push_back(
+          {rng.Uniform(-4000, 4000), rng.Uniform(-4000, 4000)});
+    }
+    original.Add(std::move(trip));
+  }
+  const std::string path = ::testing::TempDir() + "/roundtrip.csv";
+  ASSERT_TRUE(traj::SaveLonLatCsv(original, projection, path).ok());
+  Result<traj::Dataset> loaded = traj::LoadLonLatCsv(path, projection);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), original.size());
+  for (size_t t = 0; t < original.size(); ++t) {
+    ASSERT_EQ(loaded.value()[t].size(), original[t].size());
+    for (size_t i = 0; i < original[t].size(); ++i) {
+      // Sub-meter round trip through lon/lat at 10 significant digits.
+      EXPECT_NEAR(loaded.value()[t].points[i].x, original[t].points[i].x,
+                  0.5);
+      EXPECT_NEAR(loaded.value()[t].points[i].y, original[t].points[i].y,
+                  0.5);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BootstrapTest, DegenerateSamples) {
+  Rng rng(1);
+  const eval::IntervalEstimate e =
+      eval::BootstrapMean({5.0, 5.0, 5.0, 5.0}, 100, 0.05, rng);
+  EXPECT_DOUBLE_EQ(e.mean, 5.0);
+  EXPECT_DOUBLE_EQ(e.lower, 5.0);
+  EXPECT_DOUBLE_EQ(e.upper, 5.0);
+}
+
+TEST(BootstrapTest, IntervalContainsMeanAndShrinksWithN) {
+  Rng data_rng(2);
+  auto make_samples = [&](size_t n) {
+    std::vector<double> s;
+    for (size_t i = 0; i < n; ++i) s.push_back(data_rng.Gaussian(10.0, 2.0));
+    return s;
+  };
+  Rng rng(3);
+  const auto small = eval::BootstrapMean(make_samples(30), 500, 0.05, rng);
+  const auto large = eval::BootstrapMean(make_samples(3000), 500, 0.05, rng);
+  EXPECT_LE(small.lower, small.mean);
+  EXPECT_GE(small.upper, small.mean);
+  EXPECT_LT(large.upper - large.lower, small.upper - small.lower);
+  EXPECT_NEAR(large.mean, 10.0, 0.3);
+}
+
+TEST(BootstrapTest, CoverageSpotCheck) {
+  // ~95% of intervals over repeated experiments should contain the true
+  // mean; check it is at least loosely calibrated (>= 80% on 50 trials).
+  Rng rng(4);
+  int covered = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> samples;
+    for (int i = 0; i < 40; ++i) samples.push_back(rng.Gaussian(3.0, 1.0));
+    const auto e = eval::BootstrapMean(samples, 300, 0.05, rng);
+    covered += (e.lower <= 3.0 && 3.0 <= e.upper);
+  }
+  EXPECT_GE(covered, 40);
+}
+
+TEST(BootstrapTest, RankOverload) {
+  Rng rng(5);
+  const auto e = eval::BootstrapMeanRank({1, 2, 3, 4, 5}, 200, 0.1, rng);
+  EXPECT_DOUBLE_EQ(e.mean, 3.0);
+  EXPECT_GE(e.lower, 1.0);
+  EXPECT_LE(e.upper, 5.0);
+}
+
+}  // namespace
+}  // namespace t2vec

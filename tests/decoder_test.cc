@@ -1,0 +1,124 @@
+// Tests of the greedy/beam sequence decoder. A tiny seq2seq model is
+// trained to reproduce short, deterministic token patterns; decoding must
+// recover them.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/decoder.h"
+#include "core/model.h"
+#include "core/pairs.h"
+#include "nn/optimizer.h"
+
+namespace t2vec::core {
+namespace {
+
+// Trains a small model on a fixed set of (src, tgt) pairs until it can
+// reproduce them, shared across the tests below.
+class DecoderTest : public ::testing::Test {
+ protected:
+  static constexpr geo::Token kVocab = 16;
+
+  static T2VecConfig Config() {
+    T2VecConfig config;
+    config.embed_dim = 16;
+    config.hidden = 24;
+    config.layers = 2;
+    return config;
+  }
+
+  static const std::vector<TokenPair>& Pairs() {
+    // Three distinguishable patterns; src is a sparse subset of tgt.
+    static const std::vector<TokenPair>* pairs = new std::vector<TokenPair>{
+        {{4, 6, 8}, {4, 5, 6, 7, 8}},
+        {{9, 11, 13}, {9, 10, 11, 12, 13}},
+        {{14, 4, 9}, {14, 4, 9}},
+    };
+    return *pairs;
+  }
+
+  static EncoderDecoder& Model() {
+    static EncoderDecoder* model = [] {
+      Rng rng(21);
+      auto* m = new EncoderDecoder(Config(), kVocab, rng);
+      NllLoss loss(&m->projection());
+      nn::Adam adam(m->Params(), 5e-3f);
+      std::vector<const TokenPair*> ptrs;
+      for (const TokenPair& p : Pairs()) ptrs.push_back(&p);
+      const Batch batch = BuildBatch(ptrs);
+      for (int step = 0; step < 600; ++step) {
+        adam.ZeroGrad();
+        m->RunBatch(batch, &loss, true);
+        adam.Step();
+      }
+      return m;
+    }();
+    return *model;
+  }
+};
+
+TEST_F(DecoderTest, GreedyReproducesTrainedTargets) {
+  SequenceDecoder decoder(&Model());
+  for (const TokenPair& pair : Pairs()) {
+    const traj::TokenSeq decoded = decoder.DecodeGreedy(pair.src, 12);
+    EXPECT_EQ(decoded, pair.tgt);
+  }
+}
+
+TEST_F(DecoderTest, GreedyRespectsMaxLen) {
+  SequenceDecoder decoder(&Model());
+  const traj::TokenSeq decoded = decoder.DecodeGreedy(Pairs()[0].src, 2);
+  EXPECT_LE(decoded.size(), 2u);
+}
+
+TEST_F(DecoderTest, EmptySourceDecodesEmpty) {
+  SequenceDecoder decoder(&Model());
+  EXPECT_TRUE(decoder.DecodeGreedy({}, 8).empty());
+  EXPECT_TRUE(decoder.DecodeBeam({}, 3, 8).empty());
+}
+
+TEST_F(DecoderTest, BeamContainsGreedyResult) {
+  SequenceDecoder decoder(&Model());
+  for (const TokenPair& pair : Pairs()) {
+    const traj::TokenSeq greedy = decoder.DecodeGreedy(pair.src, 12);
+    const std::vector<Hypothesis> beams = decoder.DecodeBeam(pair.src, 4, 12);
+    ASSERT_FALSE(beams.empty());
+    bool found = false;
+    for (const Hypothesis& h : beams) found |= (h.tokens == greedy);
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_F(DecoderTest, BeamScoresAreFiniteAndOrdered) {
+  SequenceDecoder decoder(&Model());
+  const std::vector<Hypothesis> beams =
+      decoder.DecodeBeam(Pairs()[1].src, 4, 12);
+  ASSERT_GE(beams.size(), 2u);
+  for (const Hypothesis& h : beams) {
+    EXPECT_TRUE(std::isfinite(h.log_prob));
+    EXPECT_LE(h.log_prob, 0.0);  // Log-probabilities.
+  }
+  // Length-normalized ordering, best first.
+  auto norm = [](const Hypothesis& h) {
+    return h.log_prob / static_cast<double>(h.tokens.size() + 1);
+  };
+  for (size_t i = 1; i < beams.size(); ++i) {
+    EXPECT_GE(norm(beams[i - 1]), norm(beams[i]) - 1e-12);
+  }
+}
+
+TEST_F(DecoderTest, NeverEmitsSpecialTokens) {
+  SequenceDecoder decoder(&Model());
+  for (const TokenPair& pair : Pairs()) {
+    for (const Hypothesis& h : decoder.DecodeBeam(pair.src, 3, 12)) {
+      for (geo::Token t : h.tokens) {
+        EXPECT_GE(t, geo::kNumSpecialTokens);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace t2vec::core

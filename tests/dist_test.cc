@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dist/classic.h"
+#include "dist/cms.h"
+#include "dist/edwp.h"
+#include "dist/knn.h"
+#include "traj/transforms.h"
+
+namespace t2vec::dist {
+namespace {
+
+using geo::Point;
+
+std::vector<Point> Line(int n, double step = 100.0, double y = 0.0) {
+  std::vector<Point> out;
+  for (int i = 0; i < n; ++i) out.push_back({i * step, y});
+  return out;
+}
+
+traj::Trajectory AsTraj(std::vector<Point> points, int64_t id = 0) {
+  traj::Trajectory t;
+  t.id = id;
+  t.points = std::move(points);
+  return t;
+}
+
+// --- Identity / symmetry properties over every measure -------------------
+
+class MeasurePropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<Measure> MakeMeasure() {
+    switch (GetParam()) {
+      case 0:
+        return std::make_unique<DtwMeasure>();
+      case 1:
+        return std::make_unique<LcssMeasure>(100.0);
+      case 2:
+        return std::make_unique<EdrMeasure>(100.0);
+      case 3:
+        return std::make_unique<ErpMeasure>(Point{0, 0});
+      case 4:
+        return std::make_unique<FrechetMeasure>();
+      case 5:
+        return std::make_unique<HausdorffMeasure>();
+      case 6:
+        return std::make_unique<EdwpMeasure>();
+    }
+    return nullptr;
+  }
+};
+
+TEST_P(MeasurePropertyTest, IdentityIsZero) {
+  auto m = MakeMeasure();
+  Rng rng(GetParam() + 1);
+  traj::Trajectory t;
+  for (int i = 0; i < 20; ++i) {
+    t.points.push_back({rng.Uniform(0, 5000), rng.Uniform(0, 5000)});
+  }
+  EXPECT_NEAR(m->Distance(t, t), 0.0, 1e-9);
+}
+
+TEST_P(MeasurePropertyTest, Symmetric) {
+  auto m = MakeMeasure();
+  Rng rng(GetParam() + 100);
+  traj::Trajectory a, b;
+  for (int i = 0; i < 15; ++i) {
+    a.points.push_back({rng.Uniform(0, 5000), rng.Uniform(0, 5000)});
+    b.points.push_back({rng.Uniform(0, 5000), rng.Uniform(0, 5000)});
+  }
+  EXPECT_NEAR(m->Distance(a, b), m->Distance(b, a), 1e-6);
+}
+
+TEST_P(MeasurePropertyTest, NonNegative) {
+  auto m = MakeMeasure();
+  Rng rng(GetParam() + 200);
+  traj::Trajectory a, b;
+  for (int i = 0; i < 10; ++i) {
+    a.points.push_back({rng.Uniform(0, 1000), rng.Uniform(0, 1000)});
+    b.points.push_back({rng.Uniform(0, 1000), rng.Uniform(0, 1000)});
+  }
+  EXPECT_GE(m->Distance(a, b), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMeasures, MeasurePropertyTest,
+                         ::testing::Range(0, 7));
+
+// --- DTW ------------------------------------------------------------------
+
+TEST(DtwTest, KnownSmallCase) {
+  // a = single point at origin; b = two points at distance 3 and 4.
+  const std::vector<Point> a = {{0, 0}};
+  const std::vector<Point> b = {{3, 0}, {0, 4}};
+  // Both of b's points align with a's single point: cost 3 + 4.
+  EXPECT_DOUBLE_EQ(Dtw(a, b), 7.0);
+}
+
+TEST(DtwTest, HandlesTimeShift) {
+  // The same path sampled with a stutter should be almost free under DTW.
+  const std::vector<Point> a = {{0, 0}, {100, 0}, {200, 0}};
+  const std::vector<Point> b = {{0, 0}, {0, 0}, {100, 0}, {200, 0}};
+  EXPECT_DOUBLE_EQ(Dtw(a, b), 0.0);
+}
+
+// --- LCSS -------------------------------------------------------------------
+
+TEST(LcssTest, ExactMatch) {
+  const auto a = Line(10);
+  EXPECT_EQ(Lcss(a, a, 50.0), 10);
+  EXPECT_DOUBLE_EQ(LcssDistance(a, a, 50.0), 0.0);
+}
+
+TEST(LcssTest, NoMatchWhenFar) {
+  const auto a = Line(5);
+  const auto b = Line(5, 100.0, 1e6);
+  EXPECT_EQ(Lcss(a, b, 50.0), 0);
+  EXPECT_DOUBLE_EQ(LcssDistance(a, b, 50.0), 1.0);
+}
+
+TEST(LcssTest, PartialMatch) {
+  // b shares the first 3 of a's 6 points.
+  const auto a = Line(6);
+  std::vector<Point> b = {a[0], a[1], a[2], {1e6, 0}, {1e6, 100}, {1e6, 200}};
+  EXPECT_EQ(Lcss(a, b, 10.0), 3);
+  EXPECT_DOUBLE_EQ(LcssDistance(a, b, 10.0), 0.5);
+}
+
+// --- EDR --------------------------------------------------------------------
+
+TEST(EdrTest, PaperFigure1aExample) {
+  // Fig. 1a: Ta has 3 points, Tb has 6 points along the same route; with
+  // cell threshold matching only the shared endpoints, EDR = 5 even though
+  // the trajectories share the underlying route. (Reconstruction of the
+  // motivating example: endpoints match, interior points do not.)
+  const std::vector<Point> ta = {{0, 0}, {500, 40}, {1000, 0}};
+  const std::vector<Point> tb = {{0, 0},   {200, 90}, {400, 95},
+                                 {600, 95}, {800, 90}, {1000, 0}};
+  // eps = 50: matches (a1, b1) and (a3, b6) only.
+  EXPECT_EQ(Edr(ta, tb, 50.0), 4);  // 6-2 alignment: 3 insertions + 1 subst.
+  // The key qualitative point: the distance is large relative to |ta|
+  // although both represent the same route.
+  EXPECT_GE(Edr(ta, tb, 50.0), 3);
+}
+
+TEST(EdrTest, EmptyAndIdentity) {
+  const auto a = Line(4);
+  EXPECT_EQ(Edr(a, {}, 10.0), 4);
+  EXPECT_EQ(Edr({}, a, 10.0), 4);
+  EXPECT_EQ(Edr(a, a, 10.0), 0);
+}
+
+TEST(EdrTest, UnitCostPerUnmatchedPoint) {
+  const auto a = Line(5);
+  auto b = a;
+  b.push_back({1e6, 0.0});  // One extra far point.
+  EXPECT_EQ(Edr(a, b, 10.0), 1);
+}
+
+// --- ERP --------------------------------------------------------------------
+
+TEST(ErpTest, GapPenalty) {
+  // Deleting one point costs its distance to the gap element.
+  const std::vector<Point> a = {{100, 0}};
+  const std::vector<Point> b = {};
+  EXPECT_DOUBLE_EQ(Erp(a, b, {0, 0}), 100.0);
+}
+
+TEST(ErpTest, TriangleInequalitySpotCheck) {
+  // ERP is a metric; check the triangle inequality on random triples.
+  Rng rng(9);
+  const Point gap{0, 0};
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Point> a, b, c;
+    for (int i = 0; i < 6; ++i) {
+      a.push_back({rng.Uniform(0, 1000), rng.Uniform(0, 1000)});
+      b.push_back({rng.Uniform(0, 1000), rng.Uniform(0, 1000)});
+      c.push_back({rng.Uniform(0, 1000), rng.Uniform(0, 1000)});
+    }
+    const double ab = Erp(a, b, gap);
+    const double bc = Erp(b, c, gap);
+    const double ac = Erp(a, c, gap);
+    EXPECT_LE(ac, ab + bc + 1e-6);
+  }
+}
+
+// --- Frechet / Hausdorff ------------------------------------------------------
+
+TEST(FrechetTest, ParallelLines) {
+  const auto a = Line(10, 100.0, 0.0);
+  const auto b = Line(10, 100.0, 70.0);
+  EXPECT_DOUBLE_EQ(DiscreteFrechet(a, b), 70.0);
+}
+
+TEST(HausdorffTest, ParallelLines) {
+  const auto a = Line(10, 100.0, 0.0);
+  const auto b = Line(10, 100.0, 70.0);
+  EXPECT_DOUBLE_EQ(Hausdorff(a, b), 70.0);
+}
+
+TEST(HausdorffTest, SubsetDirectionality) {
+  // b covers a's range plus an excursion; symmetric Hausdorff sees it.
+  const auto a = Line(5);
+  auto b = a;
+  b.push_back({200.0, 500.0});
+  EXPECT_DOUBLE_EQ(Hausdorff(a, b), 500.0);
+}
+
+// --- EDwP ---------------------------------------------------------------------
+
+TEST(EdwpTest, InsertedCollinearPointsAreNearlyFree) {
+  // The defining property: a trajectory densified with points on the same
+  // line costs almost nothing, while EDR pays per extra point.
+  const std::vector<Point> sparse = {{0, 0}, {1000, 0}};
+  std::vector<Point> dense;
+  for (int i = 0; i <= 10; ++i) dense.push_back({i * 100.0, 0.0});
+
+  EXPECT_NEAR(Edwp(sparse, dense), 0.0, 1e-6);
+  EXPECT_EQ(Edr(sparse, dense, 50.0), 9);  // EDR pays for all insertions.
+}
+
+TEST(EdwpTest, SeparatedLinesCost) {
+  const auto a = Line(5);
+  const auto b = Line(5, 100.0, 200.0);
+  EXPECT_GT(Edwp(a, b), 0.0);
+}
+
+TEST(EdwpTest, FartherTrajectoriesCostMore) {
+  const auto a = Line(8);
+  const auto near = Line(8, 100.0, 50.0);
+  const auto far = Line(8, 100.0, 400.0);
+  EXPECT_LT(Edwp(a, near), Edwp(a, far));
+}
+
+TEST(EdwpTest, RobustToDownsamplingComparedToEdr) {
+  // Downsampling a trajectory should move it less (relatively) under EDwP
+  // than under EDR: rank a downsampled variant vs. a parallel offset copy.
+  Rng rng(13);
+  traj::Trajectory original = AsTraj(Line(40, 50.0));
+  traj::Trajectory down = traj::Downsample(original, 0.5, rng);
+  traj::Trajectory offset = AsTraj(Line(40, 50.0, 120.0));
+
+  // EDwP must consider the downsampled variant closer than the offset copy.
+  EXPECT_LT(Edwp(down.points, original.points),
+            Edwp(offset.points, original.points));
+}
+
+TEST(EdwpTest, SinglePoints) {
+  EXPECT_DOUBLE_EQ(Edwp({{0, 0}}, {{3, 4}}), 5.0);
+}
+
+// --- CMS ------------------------------------------------------------------------
+
+TEST(CmsTest, JaccardValues) {
+  EXPECT_DOUBLE_EQ(CellJaccardDistance({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(CellJaccardDistance({1, 2}, {3, 4}), 1.0);
+  EXPECT_DOUBLE_EQ(CellJaccardDistance({1, 2, 3}, {2, 3, 4}), 0.5);
+  // Duplicates collapse.
+  EXPECT_DOUBLE_EQ(CellJaccardDistance({1, 1, 2}, {2, 2, 1}), 0.0);
+}
+
+TEST(CmsTest, IgnoresOrder) {
+  geo::SpatialGrid grid({0, 0}, {1000, 100}, 100.0);
+  std::vector<Point> pts;
+  for (int c = 0; c < 10; ++c) {
+    pts.push_back(grid.CenterOf(grid.CellAt(0, c)));
+    pts.push_back(grid.CenterOf(grid.CellAt(0, c)));
+  }
+  geo::HotCellVocab vocab(grid, pts, 2);
+  CmsMeasure cms(&vocab);
+
+  traj::Trajectory forward = AsTraj(Line(10));
+  traj::Trajectory backward = forward;
+  std::reverse(backward.points.begin(), backward.points.end());
+  // CMS cannot distinguish a route from its reverse — the weakness the
+  // paper calls out.
+  EXPECT_DOUBLE_EQ(cms.Distance(forward, backward), 0.0);
+}
+
+// --- k-NN ------------------------------------------------------------------------
+
+TEST(KnnTest, FindsNearestByConstruction) {
+  std::vector<traj::Trajectory> db;
+  for (int i = 0; i < 10; ++i) {
+    db.push_back(AsTraj(Line(5, 100.0, i * 100.0), i));
+  }
+  const traj::Trajectory query = AsTraj(Line(5, 100.0, 250.0));
+  DtwMeasure dtw;
+  const auto knn = KnnSearch(dtw, query, db, 3);
+  ASSERT_EQ(knn.size(), 3u);
+  // Nearest rows are y = 200 and y = 300 (indices 2, 3), then 1 or 4.
+  EXPECT_TRUE(knn[0] == 2 || knn[0] == 3);
+  EXPECT_TRUE(knn[1] == 2 || knn[1] == 3);
+  EXPECT_NE(knn[0], knn[1]);
+}
+
+TEST(KnnTest, RankOfSelfIsOne) {
+  std::vector<traj::Trajectory> db;
+  for (int i = 0; i < 8; ++i) db.push_back(AsTraj(Line(6, 100.0, i * 50.0)));
+  DtwMeasure dtw;
+  for (size_t i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(RankOf(dtw, db[i], db, i), 1u);
+  }
+}
+
+TEST(KnnTest, RankOrdering) {
+  std::vector<traj::Trajectory> db;
+  for (int i = 0; i < 8; ++i) db.push_back(AsTraj(Line(6, 100.0, i * 50.0)));
+  const traj::Trajectory query = AsTraj(Line(6, 100.0, 10.0));
+  DtwMeasure dtw;
+  // db[0] (y=0) is nearest; rank grows with index.
+  EXPECT_EQ(RankOf(dtw, query, db, 0), 1u);
+  EXPECT_EQ(RankOf(dtw, query, db, 3), 4u);
+  EXPECT_EQ(RankOf(dtw, query, db, 7), 8u);
+}
+
+}  // namespace
+}  // namespace t2vec::dist

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dist/classic.h"
+#include "eval/experiments.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "traj/transforms.h"
+
+namespace t2vec::eval {
+namespace {
+
+TEST(MetricsTest, MeanRank) {
+  EXPECT_DOUBLE_EQ(MeanRank({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(MeanRank({5}), 5.0);
+}
+
+TEST(MetricsTest, KnnPrecision) {
+  EXPECT_DOUBLE_EQ(KnnPrecision({1, 2, 3, 4}, {1, 2, 3, 4}), 1.0);
+  EXPECT_DOUBLE_EQ(KnnPrecision({1, 2, 3, 4}, {5, 6, 7, 8}), 0.0);
+  EXPECT_DOUBLE_EQ(KnnPrecision({1, 2, 3, 4}, {4, 3, 9, 10}), 0.5);
+  // Order-insensitive.
+  EXPECT_DOUBLE_EQ(KnnPrecision({1, 2}, {2, 1}), 1.0);
+}
+
+TEST(MetricsTest, CrossDistanceDeviation) {
+  EXPECT_DOUBLE_EQ(CrossDistanceDeviation(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(CrossDistanceDeviation(90.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(CrossDistanceDeviation(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(CrossDistanceDeviation(5.0, 0.0), 0.0);  // Guarded.
+}
+
+TEST(ExperimentsTest, MakeDataSplits) {
+  const ExperimentData data = MakeData(DatasetKind::kPortoLike, 30, 20);
+  EXPECT_EQ(data.train.size(), 30u);
+  EXPECT_EQ(data.test.size(), 20u);
+  // Porto-like trips satisfy the length filter.
+  for (size_t i = 0; i < data.train.size(); ++i) {
+    EXPECT_GE(data.train[i].size(), 30u);
+  }
+}
+
+TEST(ExperimentsTest, BuildMssStructure) {
+  const ExperimentData data = MakeData(DatasetKind::kPortoLike, 5, 30);
+  const MssData mss = BuildMss(data.test, 10, 15);
+  EXPECT_EQ(mss.queries.size(), 10u);
+  EXPECT_EQ(mss.database.size(), 25u);
+  EXPECT_EQ(mss.num_queries, 10u);
+  // queries[i] and database[i] are interleaved halves of the same trip:
+  // same id, roughly half length each.
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(mss.queries[i].id, mss.database[i].id);
+    const size_t total = mss.queries[i].size() + mss.database[i].size();
+    EXPECT_EQ(total, data.test[i].size());
+  }
+}
+
+TEST(ExperimentsTest, TwinRankIsTopUnderGoodMeasure) {
+  // On untransformed interleaved halves, EDwP should rank the twin near the
+  // top — a consistency check of the whole harness.
+  const ExperimentData data = MakeData(DatasetKind::kPortoLike, 5, 60);
+  const MssData mss = BuildMss(data.test, 15, 40);
+  dist::DtwMeasure dtw;
+  const double rank = MeanRankOfMeasure(dtw, mss);
+  EXPECT_LT(rank, 4.0);
+}
+
+TEST(ExperimentsTest, TransformMssChangesTrajectories) {
+  const ExperimentData data = MakeData(DatasetKind::kPortoLike, 5, 30);
+  MssData mss = BuildMss(data.test, 5, 10);
+  const size_t before = mss.queries[0].size();
+  Rng rng(3);
+  TransformMss(&mss, 0.5, 0.0, rng);
+  EXPECT_LT(mss.queries[0].size(), before);
+  // Endpoints preserved by downsampling.
+  EXPECT_EQ(mss.queries[0].points.front().x,
+            traj::AlternatingSplit(data.test[0]).first.points.front().x);
+}
+
+TEST(ExperimentsTest, MeanRankOfVectorsIdentity) {
+  // Query vectors identical to their targets: every rank is 1.
+  nn::Matrix db(6, 4);
+  Rng rng(4);
+  for (size_t i = 0; i < db.size(); ++i) {
+    db.data()[i] = static_cast<float>(rng.Gaussian());
+  }
+  nn::Matrix queries(3, 4);
+  for (size_t i = 0; i < 3; ++i) {
+    std::copy(db.Row(i), db.Row(i) + 4, queries.Row(i));
+  }
+  EXPECT_DOUBLE_EQ(MeanRankOfVectors(queries, db), 1.0);
+}
+
+TEST(ExperimentsTest, CrossPairsAreDistinct) {
+  const ExperimentData data = MakeData(DatasetKind::kPortoLike, 5, 20);
+  Rng rng(5);
+  const auto pairs = MakeCrossPairs(data.test, 15, rng);
+  EXPECT_EQ(pairs.size(), 15u);
+  for (const auto& [a, b] : pairs) {
+    EXPECT_NE(a.id, b.id);
+  }
+}
+
+TEST(ExperimentsTest, CrossDeviationZeroWithoutTransform) {
+  const ExperimentData data = MakeData(DatasetKind::kPortoLike, 5, 20);
+  Rng rng(6);
+  const auto pairs = MakeCrossPairs(data.test, 10, rng);
+  dist::DtwMeasure dtw;
+  EXPECT_DOUBLE_EQ(CrossDeviationOfMeasure(dtw, pairs, 0.0, 0.0, rng), 0.0);
+}
+
+TEST(ExperimentsTest, KnnPrecisionPerfectWithoutTransform) {
+  const ExperimentData data = MakeData(DatasetKind::kPortoLike, 5, 40);
+  std::vector<traj::Trajectory> queries(data.test.trajectories().begin(),
+                                        data.test.trajectories().begin() + 5);
+  std::vector<traj::Trajectory> database(data.test.trajectories().begin() + 5,
+                                         data.test.trajectories().end());
+  dist::DtwMeasure dtw;
+  Rng rng(7);
+  EXPECT_DOUBLE_EQ(
+      KnnPrecisionOfMeasure(dtw, queries, database, 5, 0.0, 0.0, rng), 1.0);
+}
+
+TEST(ExperimentsTest, ScaledRespectsFloor) {
+  // Without the env var the factor is 1.0.
+  EXPECT_EQ(Scaled(100, 8), 100u);
+  EXPECT_EQ(Scaled(4, 8), 8u);
+}
+
+TEST(TableTest, PrintsAllRows) {
+  // Smoke: printing must not crash and row arity is enforced.
+  Table table("Demo", {"a", "b"});
+  table.AddRow({"x", "1"});
+  table.AddRow("y", {2.5}, 1);
+  table.Print();
+}
+
+}  // namespace
+}  // namespace t2vec::eval

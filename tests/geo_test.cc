@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geo/cell_knn.h"
+#include "geo/grid.h"
+#include "geo/point.h"
+#include "geo/projection.h"
+#include "geo/vocab.h"
+
+namespace t2vec::geo {
+namespace {
+
+TEST(PointTest, DistanceBasics) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(PointTest, Lerp) {
+  const Point mid = Lerp({0, 0}, {10, 20}, 0.5);
+  EXPECT_DOUBLE_EQ(mid.x, 5.0);
+  EXPECT_DOUBLE_EQ(mid.y, 10.0);
+  EXPECT_EQ(Lerp({0, 0}, {10, 20}, 0.0), (Point{0, 0}));
+  EXPECT_EQ(Lerp({0, 0}, {10, 20}, 1.0), (Point{10, 20}));
+}
+
+TEST(PointTest, ProjectOntoSegment) {
+  // Interior projection.
+  const Point p = ProjectOntoSegment({5, 5}, {0, 0}, {10, 0});
+  EXPECT_DOUBLE_EQ(p.x, 5.0);
+  EXPECT_DOUBLE_EQ(p.y, 0.0);
+  // Clamped to segment ends.
+  EXPECT_EQ(ProjectOntoSegment({-3, 7}, {0, 0}, {10, 0}), (Point{0, 0}));
+  EXPECT_EQ(ProjectOntoSegment({15, 7}, {0, 0}, {10, 0}), (Point{10, 0}));
+  // Degenerate segment.
+  EXPECT_EQ(ProjectOntoSegment({5, 5}, {1, 1}, {1, 1}), (Point{1, 1}));
+}
+
+TEST(PointTest, DistanceToSegment) {
+  EXPECT_DOUBLE_EQ(DistanceToSegment({5, 3}, {0, 0}, {10, 0}), 3.0);
+  EXPECT_DOUBLE_EQ(DistanceToSegment({-4, 3}, {0, 0}, {10, 0}), 5.0);
+}
+
+TEST(ProjectionTest, OriginMapsToZero) {
+  LocalProjection proj({-8.6, 41.15});  // Porto.
+  const Point p = proj.Forward({-8.6, 41.15});
+  EXPECT_NEAR(p.x, 0.0, 1e-9);
+  EXPECT_NEAR(p.y, 0.0, 1e-9);
+}
+
+TEST(ProjectionTest, RoundTrip) {
+  LocalProjection proj({-8.6, 41.15});
+  const GeoPoint g{-8.58, 41.17};
+  const GeoPoint back = proj.Inverse(proj.Forward(g));
+  EXPECT_NEAR(back.lon, g.lon, 1e-12);
+  EXPECT_NEAR(back.lat, g.lat, 1e-12);
+}
+
+TEST(ProjectionTest, MetricScaleReasonable) {
+  // One degree of latitude is ~111 km everywhere.
+  LocalProjection proj({0.0, 45.0});
+  const Point p = proj.Forward({0.0, 46.0});
+  EXPECT_NEAR(p.y, 111.2e3, 1e3);
+  // One degree of longitude at 45N is ~78.6 km.
+  const Point q = proj.Forward({1.0, 45.0});
+  EXPECT_NEAR(q.x, 78.6e3, 1e3);
+}
+
+TEST(GridTest, Dimensions) {
+  SpatialGrid grid({0, 0}, {1000, 500}, 100.0);
+  EXPECT_EQ(grid.cols(), 10);
+  EXPECT_EQ(grid.rows(), 5);
+  EXPECT_EQ(grid.num_cells(), 50);
+}
+
+TEST(GridTest, CeilSizing) {
+  SpatialGrid grid({0, 0}, {1001, 499}, 100.0);
+  EXPECT_EQ(grid.cols(), 11);
+  EXPECT_EQ(grid.rows(), 5);
+}
+
+TEST(GridTest, CellOfAndCenter) {
+  SpatialGrid grid({0, 0}, {1000, 1000}, 100.0);
+  const CellId c = grid.CellOf({250, 730});
+  EXPECT_EQ(grid.ColOf(c), 2);
+  EXPECT_EQ(grid.RowOf(c), 7);
+  const Point center = grid.CenterOf(c);
+  EXPECT_DOUBLE_EQ(center.x, 250.0);
+  EXPECT_DOUBLE_EQ(center.y, 750.0);
+}
+
+TEST(GridTest, ClampsOutOfRange) {
+  SpatialGrid grid({0, 0}, {1000, 1000}, 100.0);
+  EXPECT_EQ(grid.CellOf({-50, -50}), grid.CellAt(0, 0));
+  EXPECT_EQ(grid.CellOf({5000, 5000}), grid.CellAt(9, 9));
+}
+
+TEST(GridTest, RoundTripCellCenters) {
+  SpatialGrid grid({-500, -500}, {500, 500}, 50.0);
+  for (CellId c = 0; c < grid.num_cells(); c += 7) {
+    EXPECT_EQ(grid.CellOf(grid.CenterOf(c)), c);
+  }
+}
+
+// Vocabulary fixture: a 10x10 grid of 100 m cells where only a diagonal
+// band of cells receives enough points to become hot.
+class VocabTest : public ::testing::Test {
+ protected:
+  VocabTest() : grid_({0, 0}, {1000, 1000}, 100.0) {
+    // Cells (i, i) for i in 0..9 get 5 hits each; cell (0, 9) gets 1 hit
+    // (stays cold).
+    for (int i = 0; i < 10; ++i) {
+      const Point center = grid_.CenterOf(grid_.CellAt(i, i));
+      for (int hit = 0; hit < 5; ++hit) points_.push_back(center);
+    }
+    points_.push_back(grid_.CenterOf(grid_.CellAt(9, 0)));
+  }
+
+  SpatialGrid grid_;
+  std::vector<Point> points_;
+};
+
+TEST_F(VocabTest, HotCellSelection) {
+  HotCellVocab vocab(grid_, points_, 5);
+  EXPECT_EQ(vocab.num_hot_cells(), 10u);
+  EXPECT_EQ(vocab.vocab_size(), 10 + kNumSpecialTokens);
+}
+
+TEST_F(VocabTest, ThresholdOne_KeepsAll) {
+  HotCellVocab vocab(grid_, points_, 1);
+  EXPECT_EQ(vocab.num_hot_cells(), 11u);
+}
+
+TEST_F(VocabTest, TokenOfOwnHotCell) {
+  HotCellVocab vocab(grid_, points_, 5);
+  const Point in_cell_3 = {350.0, 340.0};
+  const Token t = vocab.TokenOf(in_cell_3);
+  EXPECT_FALSE(HotCellVocab::IsSpecial(t));
+  EXPECT_EQ(vocab.CenterOf(t), grid_.CenterOf(grid_.CellAt(3, 3)));
+}
+
+TEST_F(VocabTest, NearestHotCellForColdPoint) {
+  HotCellVocab vocab(grid_, points_, 5);
+  // A point in the cold cell (2, 3) is closest to hot cell (3, 3)
+  // (its own cell is not hot). Cell (2,3) center is (350, 250); nearest
+  // hot centers: (2,2)->(250,250) at 100m and (3,3)->(350,350) at 100m.
+  // Use an off-center point to break the tie decisively.
+  const Point p = {360.0, 255.0};  // In cell (2, 3), nearer to (2, 2)? No:
+  // distance to (250,250) = sqrt(110^2+5^2)=110.1; to (350,350)=95.05.
+  const Token t = vocab.TokenOf(p);
+  EXPECT_EQ(vocab.CenterOf(t), grid_.CenterOf(grid_.CellAt(3, 3)));
+}
+
+TEST_F(VocabTest, HitCounts) {
+  HotCellVocab vocab(grid_, points_, 5);
+  const Token t = vocab.TokenOf(grid_.CenterOf(grid_.CellAt(4, 4)));
+  EXPECT_EQ(vocab.HitCount(t), 5);
+}
+
+TEST_F(VocabTest, ReconstructionMatches) {
+  HotCellVocab original(grid_, points_, 5);
+  std::vector<int64_t> counts;
+  for (size_t i = 0; i < original.num_hot_cells(); ++i) {
+    counts.push_back(original.HitCount(static_cast<Token>(i) +
+                                       kNumSpecialTokens));
+  }
+  HotCellVocab rebuilt(grid_, original.hot_cells(), counts);
+  EXPECT_EQ(rebuilt.vocab_size(), original.vocab_size());
+  for (const Point& p : points_) {
+    EXPECT_EQ(rebuilt.TokenOf(p), original.TokenOf(p));
+  }
+}
+
+TEST(CellKnnTest, SelfIsFirstNeighbor) {
+  SpatialGrid grid({0, 0}, {1000, 1000}, 100.0);
+  std::vector<Point> points;
+  for (int r = 0; r < 10; ++r) {
+    for (int c = 0; c < 10; ++c) {
+      points.push_back(grid.CenterOf(grid.CellAt(r, c)));
+    }
+  }
+  HotCellVocab vocab(grid, points, 1);
+  CellKnnTable knn(vocab, 5, 100.0);
+  for (Token t = kNumSpecialTokens; t < vocab.vocab_size(); ++t) {
+    const auto& neighbors = knn.Neighbors(t);
+    ASSERT_EQ(neighbors.size(), 5u);
+    EXPECT_EQ(neighbors[0], t);
+    EXPECT_EQ(knn.Distances(t)[0], 0.0f);
+  }
+}
+
+TEST(CellKnnTest, DistancesSortedWeightsNormalized) {
+  SpatialGrid grid({0, 0}, {800, 800}, 100.0);
+  std::vector<Point> points;
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      points.push_back(grid.CenterOf(grid.CellAt(r, c)));
+    }
+  }
+  HotCellVocab vocab(grid, points, 1);
+  CellKnnTable knn(vocab, 9, 100.0);
+  for (Token t = kNumSpecialTokens; t < vocab.vocab_size(); ++t) {
+    const auto& dists = knn.Distances(t);
+    const auto& weights = knn.Weights(t);
+    double weight_sum = 0.0;
+    for (size_t i = 0; i < dists.size(); ++i) {
+      if (i > 0) EXPECT_GE(dists[i], dists[i - 1]);
+      weight_sum += weights[i];
+      // Closer cells never get smaller weight.
+      if (i > 0 && dists[i] > dists[i - 1]) {
+        EXPECT_LT(weights[i], weights[i - 1]);
+      }
+    }
+    EXPECT_NEAR(weight_sum, 1.0, 1e-5);
+  }
+}
+
+TEST(CellKnnTest, MatchesBruteForce) {
+  SpatialGrid grid({0, 0}, {700, 700}, 100.0);
+  // Sparse, irregular hot set.
+  Rng rng(5);
+  std::vector<Point> points;
+  for (int i = 0; i < 25; ++i) {
+    const Point p{rng.Uniform(0, 700), rng.Uniform(0, 700)};
+    for (int hit = 0; hit < 3; ++hit) points.push_back(p);
+  }
+  HotCellVocab vocab(grid, points, 3);
+  const int k = 6;
+  CellKnnTable knn(vocab, k, 100.0);
+
+  for (Token t = kNumSpecialTokens; t < vocab.vocab_size(); ++t) {
+    // Brute-force k nearest by center distance.
+    std::vector<std::pair<double, Token>> all;
+    for (Token u = kNumSpecialTokens; u < vocab.vocab_size(); ++u) {
+      all.emplace_back(Distance(vocab.CenterOf(t), vocab.CenterOf(u)), u);
+    }
+    std::sort(all.begin(), all.end());
+    const auto& got = knn.Neighbors(t);
+    const size_t expect_n =
+        std::min<size_t>(static_cast<size_t>(k), all.size());
+    ASSERT_EQ(got.size(), expect_n);
+    for (size_t i = 0; i < expect_n; ++i) {
+      // Compare by distance (ties may reorder tokens).
+      EXPECT_NEAR(knn.Distances(t)[i], all[i].first, 1e-3);
+    }
+  }
+}
+
+TEST(CellKnnTest, KLargerThanVocabClamped) {
+  SpatialGrid grid({0, 0}, {300, 300}, 100.0);
+  std::vector<Point> points = {grid.CenterOf(0), grid.CenterOf(4),
+                               grid.CenterOf(8)};
+  HotCellVocab vocab(grid, points, 1);
+  CellKnnTable knn(vocab, 20, 100.0);
+  EXPECT_EQ(knn.Neighbors(kNumSpecialTokens).size(), 3u);
+}
+
+}  // namespace
+}  // namespace t2vec::geo

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "gradcheck.h"
+#include "nn/gru.h"
+#include "nn/matrix.h"
+
+namespace t2vec::nn {
+namespace {
+
+using ::t2vec::nn::testing::ExpectGradientsMatch;
+
+std::vector<Matrix> RandomSequence(size_t steps, size_t batch, size_t dim,
+                                   Rng& rng, float scale = 0.8f) {
+  std::vector<Matrix> xs(steps);
+  for (Matrix& x : xs) {
+    x.Resize(batch, dim);
+    for (size_t i = 0; i < x.size(); ++i) {
+      x.data()[i] = static_cast<float>(rng.Uniform(-scale, scale));
+    }
+  }
+  return xs;
+}
+
+// Scalar objective used by the gradient checks: weighted sum of all per-step
+// outputs plus the final state, with fixed pseudo-random weights so the
+// gradient is nontrivial in every coordinate.
+double WeightedOutputSum(const Gru& gru, const std::vector<Matrix>& xs,
+                         const GruState* init,
+                         const std::vector<std::vector<float>>& masks) {
+  Gru::ForwardResult result;
+  gru.Forward(xs, init, masks, &result);
+  double loss = 0.0;
+  double w = 0.7;
+  for (const Matrix& h : result.TopOutputs()) {
+    for (size_t i = 0; i < h.size(); ++i) {
+      loss += w * h.data()[i];
+      w = -w * 0.97;
+    }
+  }
+  for (const Matrix& h : result.final_state.h) {
+    for (size_t i = 0; i < h.size(); ++i) {
+      loss += 0.31 * h.data()[i];
+    }
+  }
+  return loss;
+}
+
+// Builds the matching d_top / d_final gradients for WeightedOutputSum.
+void BuildUpstreamGrads(const Gru::ForwardResult& result,
+                        std::vector<Matrix>* d_top, GruState* d_final) {
+  d_top->clear();
+  double w = 0.7;
+  for (const Matrix& h : result.TopOutputs()) {
+    Matrix g(h.rows(), h.cols());
+    for (size_t i = 0; i < g.size(); ++i) {
+      g.data()[i] = static_cast<float>(w);
+      w = -w * 0.97;
+    }
+    d_top->push_back(std::move(g));
+  }
+  d_final->h.clear();
+  for (const Matrix& h : result.final_state.h) {
+    d_final->h.emplace_back(h.rows(), h.cols());
+    d_final->h.back().Fill(0.31f);
+  }
+}
+
+TEST(GruLayerTest, OutputShapeAndRange) {
+  Rng rng(1);
+  GruLayer layer("gru", 3, 5, rng);
+  auto xs = RandomSequence(4, 2, 3, rng);
+  Matrix h0(2, 5);
+  GruCache cache;
+  layer.Forward(xs, h0, {}, &cache);
+  ASSERT_EQ(cache.steps(), 4u);
+  for (const Matrix& h : cache.h) {
+    ASSERT_EQ(h.rows(), 2u);
+    ASSERT_EQ(h.cols(), 5u);
+    for (size_t i = 0; i < h.size(); ++i) {
+      // GRU hidden states are convex mixes of tanh outputs: within (-1, 1).
+      EXPECT_LT(std::fabs(h.data()[i]), 1.0f);
+    }
+  }
+}
+
+TEST(GruLayerTest, ZeroInputZeroStateStaysNearBias) {
+  Rng rng(2);
+  GruLayer layer("gru", 3, 4, rng);
+  std::vector<Matrix> xs(1, Matrix(1, 3));
+  Matrix h0(1, 4);
+  GruCache cache;
+  layer.Forward(xs, h0, {}, &cache);
+  // h1 = z * tanh(bc) with z = sigmoid(bz); biases start at zero -> h1 = 0.
+  for (size_t i = 0; i < cache.h[0].size(); ++i) {
+    EXPECT_NEAR(cache.h[0].data()[i], 0.0f, 1e-6f);
+  }
+}
+
+TEST(GruLayerTest, MaskCarriesHiddenState) {
+  Rng rng(3);
+  GruLayer layer("gru", 2, 4, rng);
+  auto xs = RandomSequence(3, 2, 2, rng);
+  Matrix h0(2, 4);
+  // Sequence 0 is active for all 3 steps, sequence 1 only for step 0.
+  std::vector<std::vector<float>> masks = {
+      {1.0f, 1.0f}, {1.0f, 0.0f}, {1.0f, 0.0f}};
+  GruCache cache;
+  layer.Forward(xs, h0, masks, &cache);
+  // Row 1 of the hidden state must be frozen after step 0.
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(cache.h[1](1, j), cache.h[0](1, j));
+    EXPECT_EQ(cache.h[2](1, j), cache.h[0](1, j));
+  }
+  // Row 0 keeps evolving (with overwhelming probability).
+  float diff = 0.0f;
+  for (size_t j = 0; j < 4; ++j) {
+    diff += std::fabs(cache.h[2](0, j) - cache.h[0](0, j));
+  }
+  EXPECT_GT(diff, 1e-6f);
+}
+
+struct GruGradCase {
+  size_t steps, batch, in_dim, hidden, layers;
+  bool with_masks;
+  bool with_init;
+};
+
+class GruGradTest : public ::testing::TestWithParam<GruGradCase> {};
+
+TEST_P(GruGradTest, GradCheckAllPaths) {
+  const GruGradCase& tc = GetParam();
+  Rng rng(42);
+  Gru gru("gru", tc.in_dim, tc.hidden, tc.layers, rng);
+  auto xs = RandomSequence(tc.steps, tc.batch, tc.in_dim, rng);
+
+  GruState init;
+  if (tc.with_init) {
+    for (size_t l = 0; l < tc.layers; ++l) {
+      Matrix h(tc.batch, tc.hidden);
+      for (size_t i = 0; i < h.size(); ++i) {
+        h.data()[i] = static_cast<float>(rng.Uniform(-0.5, 0.5));
+      }
+      init.h.push_back(std::move(h));
+    }
+  }
+  const GruState* init_ptr = tc.with_init ? &init : nullptr;
+
+  std::vector<std::vector<float>> masks;
+  if (tc.with_masks) {
+    // Staggered lengths across the batch.
+    for (size_t t = 0; t < tc.steps; ++t) {
+      std::vector<float> m(tc.batch, 1.0f);
+      for (size_t b = 0; b < tc.batch; ++b) {
+        const size_t len = tc.steps - b % 2;  // Alternate full/short.
+        if (t >= len) m[b] = 0.0f;
+      }
+      masks.push_back(std::move(m));
+    }
+  }
+
+  auto loss_fn = [&]() { return WeightedOutputSum(gru, xs, init_ptr, masks); };
+
+  Gru::ForwardResult result;
+  gru.Forward(xs, init_ptr, masks, &result);
+  std::vector<Matrix> d_top;
+  GruState d_final;
+  BuildUpstreamGrads(result, &d_top, &d_final);
+
+  for (Parameter* p : gru.Params()) p->ZeroGrad();
+  std::vector<Matrix> d_xs;
+  GruState d_init;
+  gru.Backward(xs, init_ptr, masks, result, &d_top, &d_final, &d_xs,
+               tc.with_init ? &d_init : nullptr);
+
+  // Weight gradients.
+  for (Parameter* p : gru.Params()) {
+    ExpectGradientsMatch(&p->value, p->grad, loss_fn, 1e-2f, 3e-2, 12);
+  }
+  // Input gradients.
+  for (size_t t = 0; t < tc.steps; ++t) {
+    ExpectGradientsMatch(&xs[t], d_xs[t], loss_fn, 1e-2f, 3e-2, 8);
+  }
+  // Initial-state gradients.
+  if (tc.with_init) {
+    for (size_t l = 0; l < tc.layers; ++l) {
+      ExpectGradientsMatch(&init.h[l], d_init.h[l], loss_fn, 1e-2f, 3e-2, 8);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, GruGradTest,
+    ::testing::Values(GruGradCase{1, 1, 2, 3, 1, false, false},
+                      GruGradCase{3, 2, 2, 3, 1, false, false},
+                      GruGradCase{3, 2, 2, 3, 2, false, true},
+                      GruGradCase{4, 3, 2, 3, 1, true, false},
+                      GruGradCase{4, 2, 3, 4, 3, true, true}));
+
+TEST(GruTest, FinalStateEqualsLastMaskedHidden) {
+  Rng rng(5);
+  Gru gru("gru", 2, 3, 2, rng);
+  auto xs = RandomSequence(4, 2, 2, rng);
+  std::vector<std::vector<float>> masks = {
+      {1, 1}, {1, 1}, {1, 0}, {0, 0}};  // Lengths 3 and 2.
+  Gru::ForwardResult result;
+  gru.Forward(xs, nullptr, masks, &result);
+  // With carry-through masking, the state at the last step equals each
+  // sequence's state at its own final valid step.
+  for (size_t l = 0; l < 2; ++l) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(result.final_state.h[l](0, j), result.caches[l].h[2](0, j));
+      EXPECT_EQ(result.final_state.h[l](1, j), result.caches[l].h[1](1, j));
+    }
+  }
+}
+
+TEST(GruTest, DeterministicForward) {
+  Rng rng1(6), rng2(6);
+  Gru a("gru", 2, 3, 2, rng1);
+  Gru b("gru", 2, 3, 2, rng2);
+  Rng data_rng(7);
+  auto xs = RandomSequence(3, 2, 2, data_rng);
+  Gru::ForwardResult ra, rb;
+  a.Forward(xs, nullptr, {}, &ra);
+  b.Forward(xs, nullptr, {}, &rb);
+  for (size_t l = 0; l < 2; ++l) {
+    EXPECT_EQ(MaxAbsDiff(ra.final_state.h[l], rb.final_state.h[l]), 0.0f);
+  }
+}
+
+TEST(GruTest, StepwiseEqualsFullSequence) {
+  // Feeding the sequence one step at a time through Forward with the carried
+  // state must equal a single full-sequence Forward (this is how inference
+  // time encoding/decoding reuses the training code path).
+  Rng rng(8);
+  Gru gru("gru", 2, 3, 2, rng);
+  Rng data_rng(9);
+  auto xs = RandomSequence(5, 1, 2, data_rng);
+
+  Gru::ForwardResult full;
+  gru.Forward(xs, nullptr, {}, &full);
+
+  GruState state;
+  for (size_t t = 0; t < xs.size(); ++t) {
+    std::vector<Matrix> one = {xs[t]};
+    Gru::ForwardResult step;
+    gru.Forward(one, t == 0 ? nullptr : &state, {}, &step);
+    state = step.final_state;
+  }
+  for (size_t l = 0; l < 2; ++l) {
+    EXPECT_LT(MaxAbsDiff(state.h[l], full.final_state.h[l]), 1e-5f);
+  }
+}
+
+}  // namespace
+}  // namespace t2vec::nn

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "gradcheck.h"
+#include "nn/checkpoint.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/matrix.h"
+#include "nn/ops.h"
+
+namespace t2vec::nn {
+namespace {
+
+using ::t2vec::nn::testing::ExpectGradientsMatch;
+
+Matrix RandomMatrix(size_t rows, size_t cols, Rng& rng, float scale = 1.0f) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.Uniform(-scale, scale));
+  }
+  return m;
+}
+
+TEST(EmbeddingTest, ForwardLooksUpRows) {
+  Rng rng(1);
+  Embedding emb(5, 3, rng);
+  std::vector<int32_t> ids = {2, 0, 2};
+  Matrix out;
+  emb.Forward(ids, &out);
+  ASSERT_EQ(out.rows(), 3u);
+  ASSERT_EQ(out.cols(), 3u);
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(out(0, j), emb.table().value(2, j));
+    EXPECT_EQ(out(1, j), emb.table().value(0, j));
+    EXPECT_EQ(out(2, j), out(0, j));  // Same token -> same row.
+  }
+}
+
+TEST(EmbeddingTest, BackwardAccumulatesDuplicates) {
+  Rng rng(2);
+  Embedding emb(4, 2, rng);
+  std::vector<int32_t> ids = {1, 1, 3};
+  Matrix d_out(3, 2, 1.0f);
+  d_out(2, 0) = 5.0f;
+  emb.Backward(ids, d_out);
+  EXPECT_FLOAT_EQ(emb.table().grad(1, 0), 2.0f);  // Two hits on row 1.
+  EXPECT_FLOAT_EQ(emb.table().grad(1, 1), 2.0f);
+  EXPECT_FLOAT_EQ(emb.table().grad(3, 0), 5.0f);
+  EXPECT_FLOAT_EQ(emb.table().grad(0, 0), 0.0f);
+}
+
+TEST(LinearTest, ForwardMatchesManual) {
+  Rng rng(3);
+  Linear lin("lin", 2, 3, rng);
+  Matrix x(1, 2);
+  x(0, 0) = 1.0f;
+  x(0, 1) = -2.0f;
+  Matrix out;
+  lin.Forward(x, &out);
+  for (size_t j = 0; j < 3; ++j) {
+    const float expected = x(0, 0) * lin.weight().value(0, j) +
+                           x(0, 1) * lin.weight().value(1, j) +
+                           lin.bias().value(0, j);
+    EXPECT_NEAR(out(0, j), expected, 1e-6f);
+  }
+}
+
+// Gradient check: loss = sum of squares of the linear output.
+TEST(LinearTest, GradCheck) {
+  Rng rng(4);
+  Linear lin("lin", 3, 4, rng);
+  Matrix x = RandomMatrix(5, 3, rng);
+
+  auto loss_fn = [&]() {
+    Matrix out;
+    lin.Forward(x, &out);
+    double loss = 0.0;
+    for (size_t i = 0; i < out.size(); ++i) {
+      loss += 0.5 * static_cast<double>(out.data()[i]) * out.data()[i];
+    }
+    return loss;
+  };
+
+  Matrix out;
+  lin.Forward(x, &out);
+  Matrix d_out = out;  // d(0.5*y^2)/dy = y
+  Matrix d_x;
+  for (Parameter* p : lin.Params()) p->ZeroGrad();
+  lin.Backward(x, d_out, &d_x);
+
+  ExpectGradientsMatch(&lin.weight().value, lin.weight().grad, loss_fn);
+  ExpectGradientsMatch(&lin.bias().value, lin.bias().grad, loss_fn);
+  // Check input gradient too.
+  Matrix x_grad_holder = d_x;
+  ExpectGradientsMatch(&x, x_grad_holder, loss_fn);
+}
+
+TEST(SoftmaxCrossEntropyTest, KnownValue) {
+  // Two classes with equal logits: loss = log 2, grad = p - onehot.
+  Matrix logits(1, 2);
+  std::vector<int32_t> targets = {1};
+  Matrix d_logits;
+  const double loss = SoftmaxCrossEntropy(logits, targets, -1, &d_logits);
+  EXPECT_NEAR(loss, std::log(2.0), 1e-6);
+  EXPECT_NEAR(d_logits(0, 0), 0.5f, 1e-6f);
+  EXPECT_NEAR(d_logits(0, 1), -0.5f, 1e-6f);
+}
+
+TEST(SoftmaxCrossEntropyTest, IgnoredRowsContributeNothing) {
+  Rng rng(5);
+  Matrix logits = RandomMatrix(3, 4, rng);
+  std::vector<int32_t> targets = {2, -1, 0};
+  Matrix d_logits;
+  const double loss = SoftmaxCrossEntropy(logits, targets, -1, &d_logits);
+  EXPECT_GT(loss, 0.0);
+  for (size_t j = 0; j < 4; ++j) EXPECT_EQ(d_logits(1, j), 0.0f);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradCheck) {
+  Rng rng(6);
+  Matrix logits = RandomMatrix(4, 7, rng, 2.0f);
+  std::vector<int32_t> targets = {0, 3, -1, 6};
+
+  auto loss_fn = [&]() {
+    Matrix d;
+    return SoftmaxCrossEntropy(logits, targets, -1, &d);
+  };
+  Matrix d_logits;
+  SoftmaxCrossEntropy(logits, targets, -1, &d_logits);
+  ExpectGradientsMatch(&logits, d_logits, loss_fn, 1e-2f, 2e-2, 28);
+}
+
+TEST(SoftCrossEntropyTest, MatchesHardWhenOneHot) {
+  Rng rng(7);
+  Matrix logits = RandomMatrix(2, 5, rng, 2.0f);
+  std::vector<int32_t> targets = {3, 1};
+  Matrix hard_grad;
+  const double hard_loss =
+      SoftmaxCrossEntropy(logits, targets, -1, &hard_grad);
+
+  Matrix dist(2, 5);
+  dist(0, 3) = 1.0f;
+  dist(1, 1) = 1.0f;
+  std::vector<uint8_t> active = {1, 1};
+  Matrix soft_grad;
+  const double soft_loss = SoftCrossEntropy(logits, dist, active, &soft_grad);
+
+  EXPECT_NEAR(hard_loss, soft_loss, 1e-5);
+  EXPECT_LT(MaxAbsDiff(hard_grad, soft_grad), 1e-6f);
+}
+
+TEST(SoftCrossEntropyTest, GradCheck) {
+  Rng rng(8);
+  Matrix logits = RandomMatrix(3, 6, rng, 2.0f);
+  // Random normalized target distributions.
+  Matrix dist(3, 6);
+  for (size_t r = 0; r < 3; ++r) {
+    double total = 0.0;
+    for (size_t c = 0; c < 6; ++c) {
+      dist(r, c) = static_cast<float>(rng.Uniform());
+      total += dist(r, c);
+    }
+    for (size_t c = 0; c < 6; ++c) {
+      dist(r, c) = static_cast<float>(dist(r, c) / total);
+    }
+  }
+  std::vector<uint8_t> active = {1, 0, 1};
+
+  auto loss_fn = [&]() {
+    Matrix d;
+    return SoftCrossEntropy(logits, dist, active, &d);
+  };
+  Matrix d_logits;
+  SoftCrossEntropy(logits, dist, active, &d_logits);
+  ExpectGradientsMatch(&logits, d_logits, loss_fn, 1e-2f, 2e-2, 18);
+  // Inactive row has zero gradient.
+  for (size_t j = 0; j < 6; ++j) EXPECT_EQ(d_logits(1, j), 0.0f);
+}
+
+TEST(CheckpointTest, SaveLoadRoundTrip) {
+  Rng rng(9);
+  Linear a("layer", 3, 4, rng);
+  Embedding e(6, 3, rng);
+  ParamList params = a.Params();
+  for (Parameter* p : e.Params()) params.push_back(p);
+
+  const std::string path = ::testing::TempDir() + "/ckpt_test.bin";
+  ASSERT_TRUE(SaveParams(params, path).ok());
+
+  // Fresh instances with different random init.
+  Rng rng2(99);
+  Linear a2("layer", 3, 4, rng2);
+  Embedding e2(6, 3, rng2);
+  ParamList params2 = a2.Params();
+  for (Parameter* p : e2.Params()) params2.push_back(p);
+  ASSERT_GT(MaxAbsDiff(a.weight().value, a2.weight().value), 0.0f);
+
+  ASSERT_TRUE(LoadParams(params2, path).ok());
+  EXPECT_EQ(MaxAbsDiff(a.weight().value, a2.weight().value), 0.0f);
+  EXPECT_EQ(MaxAbsDiff(a.bias().value, a2.bias().value), 0.0f);
+  EXPECT_EQ(MaxAbsDiff(e.table().value, e2.table().value), 0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, ShapeMismatchRejected) {
+  Rng rng(10);
+  Linear a("layer", 3, 4, rng);
+  const std::string path = ::testing::TempDir() + "/ckpt_mismatch.bin";
+  ASSERT_TRUE(SaveParams(a.Params(), path).ok());
+
+  Linear b("layer", 3, 5, rng);  // Different out_dim.
+  Status s = LoadParams(b.Params(), path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MissingFileFails) {
+  Rng rng(11);
+  Linear a("layer", 2, 2, rng);
+  Status s = LoadParams(a.Params(), "/nonexistent/path/ckpt.bin");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace t2vec::nn

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/optimizer.h"
+#include "nn/parameter.h"
+
+namespace t2vec::nn {
+namespace {
+
+// Minimizes f(w) = 0.5 * ||w - target||^2 whose gradient is (w - target).
+void FillGradTowards(Parameter* p, const Matrix& target) {
+  for (size_t i = 0; i < p->value.size(); ++i) {
+    p->grad.data()[i] = p->value.data()[i] - target.data()[i];
+  }
+}
+
+double DistanceTo(const Parameter& p, const Matrix& target) {
+  double acc = 0.0;
+  for (size_t i = 0; i < p.value.size(); ++i) {
+    const double d = p.value.data()[i] - target.data()[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+TEST(SgdTest, SingleStepIsGradientDescent) {
+  Parameter p("p", 1, 2);
+  p.value(0, 0) = 1.0f;
+  p.value(0, 1) = -2.0f;
+  p.grad(0, 0) = 0.5f;
+  p.grad(0, 1) = -1.0f;
+  Sgd sgd({&p}, 0.1f);
+  sgd.Step();
+  EXPECT_FLOAT_EQ(p.value(0, 0), 1.0f - 0.1f * 0.5f);
+  EXPECT_FLOAT_EQ(p.value(0, 1), -2.0f + 0.1f * 1.0f);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Rng rng(1);
+  Parameter p("p", 2, 3);
+  InitUniform(&p.value, 1.0f, rng);
+  Matrix target(2, 3, 0.7f);
+  Sgd sgd({&p}, 0.2f);
+  for (int iter = 0; iter < 200; ++iter) {
+    FillGradTowards(&p, target);
+    sgd.Step();
+  }
+  EXPECT_LT(DistanceTo(p, target), 1e-4);
+}
+
+TEST(SgdTest, MomentumAcceleratesConvergence) {
+  Rng rng(2);
+  Parameter a("a", 2, 2), b("b", 2, 2);
+  InitUniform(&a.value, 1.0f, rng);
+  b.value = a.value;
+  Matrix target(2, 2, -0.3f);
+  Sgd plain({&a}, 0.05f);
+  Sgd momentum({&b}, 0.05f, 0.9f);
+  for (int iter = 0; iter < 30; ++iter) {
+    FillGradTowards(&a, target);
+    plain.Step();
+    FillGradTowards(&b, target);
+    momentum.Step();
+  }
+  EXPECT_LT(DistanceTo(b, target), DistanceTo(a, target));
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Rng rng(3);
+  Parameter p("p", 3, 3);
+  InitUniform(&p.value, 2.0f, rng);
+  Matrix target(3, 3, 1.5f);
+  Adam adam({&p}, 0.05f);
+  for (int iter = 0; iter < 500; ++iter) {
+    FillGradTowards(&p, target);
+    adam.Step();
+  }
+  EXPECT_LT(DistanceTo(p, target), 1e-2);
+}
+
+TEST(AdamTest, FirstStepSizeIsLearningRate) {
+  // With bias correction, the first Adam update has magnitude ~lr regardless
+  // of gradient scale.
+  Parameter p("p", 1, 1);
+  p.value(0, 0) = 0.0f;
+  p.grad(0, 0) = 123.0f;
+  Adam adam({&p}, 0.01f);
+  adam.Step();
+  EXPECT_NEAR(p.value(0, 0), -0.01f, 1e-4f);
+}
+
+TEST(AdamTest, HandlesSparseStyleGradients) {
+  // Rows updated rarely should not be destroyed by stale moments.
+  Parameter p("p", 2, 1);
+  Adam adam({&p}, 0.1f);
+  for (int iter = 0; iter < 10; ++iter) {
+    adam.ZeroGrad();
+    p.grad(0, 0) = 1.0f;  // Row 0 always has gradient, row 1 never.
+    adam.Step();
+  }
+  EXPECT_LT(p.value(0, 0), -0.5f);
+  EXPECT_FLOAT_EQ(p.value(1, 0), 0.0f);
+}
+
+TEST(OptimizerTest, ZeroGradClearsAll) {
+  Parameter a("a", 2, 2), b("b", 1, 3);
+  a.grad.Fill(1.0f);
+  b.grad.Fill(2.0f);
+  Sgd sgd({&a, &b}, 0.1f);
+  sgd.ZeroGrad();
+  EXPECT_EQ(a.grad.SquaredNorm(), 0.0);
+  EXPECT_EQ(b.grad.SquaredNorm(), 0.0);
+}
+
+}  // namespace
+}  // namespace t2vec::nn

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "traj/simplify.h"
+
+namespace t2vec::traj {
+namespace {
+
+TEST(DouglasPeuckerTest, CollinearCollapsesToEndpoints) {
+  Trajectory t;
+  for (int i = 0; i < 20; ++i) t.points.push_back({i * 50.0, 0.0});
+  const Trajectory s = DouglasPeucker(t, 1.0);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.points.front(), t.points.front());
+  EXPECT_EQ(s.points.back(), t.points.back());
+}
+
+TEST(DouglasPeuckerTest, KeepsCorner) {
+  Trajectory t;
+  for (int i = 0; i <= 10; ++i) t.points.push_back({i * 100.0, 0.0});
+  for (int i = 1; i <= 10; ++i) t.points.push_back({1000.0, i * 100.0});
+  const Trajectory s = DouglasPeucker(t, 5.0);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.points[1], (geo::Point{1000.0, 0.0}));
+}
+
+TEST(DouglasPeuckerTest, ZeroEpsilonKeepsAllNonCollinear) {
+  Rng rng(1);
+  Trajectory t;
+  geo::Point p{0, 0};
+  for (int i = 0; i < 30; ++i) {
+    p.x += rng.Uniform(20, 120);
+    p.y += rng.Uniform(-100, 100);
+    t.points.push_back(p);
+  }
+  const Trajectory s = DouglasPeucker(t, 0.0);
+  EXPECT_EQ(s.size(), t.size());
+}
+
+TEST(DouglasPeuckerTest, ShortInputsUntouched) {
+  Trajectory two;
+  two.points = {{0, 0}, {100, 100}};
+  EXPECT_EQ(DouglasPeucker(two, 10.0).points, two.points);
+  Trajectory one;
+  one.points = {{5, 5}};
+  EXPECT_EQ(DouglasPeucker(one, 10.0).points, one.points);
+}
+
+class DeviationBoundTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DeviationBoundTest, DeviationNeverExceedsEpsilon) {
+  // The defining Douglas-Peucker guarantee, checked over random walks for a
+  // sweep of epsilon values.
+  const double epsilon = GetParam();
+  Rng rng(static_cast<uint64_t>(epsilon * 10) + 3);
+  for (int trial = 0; trial < 10; ++trial) {
+    Trajectory t;
+    geo::Point p{0, 0};
+    for (int i = 0; i < 80; ++i) {
+      p.x += rng.Uniform(-80, 150);
+      p.y += rng.Uniform(-120, 120);
+      t.points.push_back(p);
+    }
+    const Trajectory s = DouglasPeucker(t, epsilon);
+    EXPECT_LE(MaxDeviation(t, s), epsilon + 1e-9);
+    EXPECT_GE(s.size(), 2u);
+    EXPECT_LE(s.size(), t.size());
+    // Monotonic: larger epsilon, no more points.
+    const Trajectory s2 = DouglasPeucker(t, epsilon * 2.0 + 1.0);
+    EXPECT_LE(s2.size(), s.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, DeviationBoundTest,
+                         ::testing::Values(5.0, 20.0, 50.0, 150.0, 400.0));
+
+TEST(MaxDeviationTest, ZeroForIdentical) {
+  Trajectory t;
+  for (int i = 0; i < 5; ++i) t.points.push_back({i * 10.0, i * 5.0});
+  EXPECT_DOUBLE_EQ(MaxDeviation(t, t), 0.0);
+}
+
+}  // namespace
+}  // namespace t2vec::traj

@@ -1,0 +1,107 @@
+// API-contract tests of the high-level T2Vec type that do not need a
+// converged model (training is capped at a handful of iterations): measure
+// axioms, route-reconstruction output validity, encode shapes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/t2vec.h"
+#include "eval/experiments.h"
+#include "traj/generator.h"
+
+namespace t2vec::core {
+namespace {
+
+class T2VecApiTest : public ::testing::Test {
+ protected:
+  static const T2Vec& Model() {
+    static T2Vec* model = [] {
+      const eval::ExperimentData data =
+          eval::MakeData(eval::DatasetKind::kPortoLike, 120, 0);
+      T2VecConfig config;
+      config.hidden = 24;
+      config.embed_dim = 16;
+      config.layers = 1;
+      config.max_iterations = 8;
+      config.validate_every = 100;
+      config.pretrain_epochs = 1;
+      config.r1_grid = {0.0, 0.4};
+      config.r2_grid = {0.0};
+      return new T2Vec(T2Vec::Train(data.train.trajectories(), config));
+    }();
+    return *model;
+  }
+
+  static const traj::Dataset& Trips() {
+    static traj::Dataset* trips = [] {
+      traj::SyntheticTrajectoryGenerator generator(
+          traj::GeneratorConfig::PortoLike());
+      return new traj::Dataset(generator.Generate(12));
+    }();
+    return *trips;
+  }
+};
+
+TEST_F(T2VecApiTest, DistanceAxioms) {
+  const traj::Trajectory& a = Trips()[0];
+  const traj::Trajectory& b = Trips()[1];
+  EXPECT_NEAR(Model().Distance(a, a), 0.0, 1e-5);
+  EXPECT_NEAR(Model().Distance(a, b), Model().Distance(b, a), 1e-5);
+  EXPECT_GE(Model().Distance(a, b), 0.0);
+}
+
+TEST_F(T2VecApiTest, MeasureWrapperConsistent) {
+  const T2VecMeasure measure(&Model());
+  EXPECT_EQ(measure.Name(), "t2vec");
+  const traj::Trajectory& a = Trips()[2];
+  const traj::Trajectory& b = Trips()[3];
+  EXPECT_DOUBLE_EQ(measure.Distance(a, b), Model().Distance(a, b));
+}
+
+TEST_F(T2VecApiTest, EncodeShapes) {
+  const nn::Matrix vectors = Model().Encode(Trips().trajectories());
+  EXPECT_EQ(vectors.rows(), Trips().size());
+  EXPECT_EQ(vectors.cols(), Model().config().hidden);
+  for (size_t i = 0; i < vectors.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(vectors.data()[i]));
+  }
+  EXPECT_TRUE(Model().Encode({}).empty());
+}
+
+TEST_F(T2VecApiTest, EncodeOneMatchesBatchRow) {
+  const std::vector<float> one = Model().EncodeOne(Trips()[4]);
+  const nn::Matrix batch = Model().Encode({Trips()[4]});
+  ASSERT_EQ(one.size(), batch.cols());
+  for (size_t j = 0; j < one.size(); ++j) {
+    EXPECT_NEAR(one[j], batch.At(0, j), 1e-6f);
+  }
+}
+
+TEST_F(T2VecApiTest, ReconstructRouteYieldsHotCellCenters) {
+  const traj::Trajectory route = Model().ReconstructRoute(Trips()[5]);
+  const geo::HotCellVocab& vocab = Model().vocab();
+  for (const geo::Point& p : route.points) {
+    // Every decoded point is exactly the center of its own hot cell.
+    const geo::Token token = vocab.TokenOf(p);
+    EXPECT_EQ(vocab.CenterOf(token), p);
+  }
+}
+
+TEST_F(T2VecApiTest, ReconstructRouteRespectsMaxLen) {
+  const traj::Trajectory route = Model().ReconstructRoute(Trips()[6], 5);
+  EXPECT_LE(route.size(), 5u);
+}
+
+TEST_F(T2VecApiTest, LoadRejectsGarbageFile) {
+  const std::string path = ::testing::TempDir() + "/garbage.t2vec";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("this is not a model", f);
+  std::fclose(f);
+  Result<T2Vec> r = T2Vec::Load(path);
+  EXPECT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace t2vec::core

@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "common/rng.h"
+#include "traj/dataset.h"
+#include "traj/generator.h"
+#include "traj/road_network.h"
+#include "traj/tokenizer.h"
+#include "traj/trajectory.h"
+#include "traj/transforms.h"
+
+namespace t2vec::traj {
+namespace {
+
+Trajectory MakeLine(int n, double step = 100.0) {
+  Trajectory t;
+  t.id = 1;
+  for (int i = 0; i < n; ++i) {
+    t.points.push_back({i * step, 0.0});
+  }
+  return t;
+}
+
+TEST(TrajectoryTest, Length) {
+  const Trajectory t = MakeLine(5, 100.0);
+  EXPECT_DOUBLE_EQ(t.Length(), 400.0);
+  EXPECT_EQ(t.size(), 5u);
+  Trajectory empty;
+  EXPECT_DOUBLE_EQ(empty.Length(), 0.0);
+}
+
+TEST(DatasetTest, Stats) {
+  Dataset d;
+  d.Add(MakeLine(10));
+  d.Add(MakeLine(20));
+  EXPECT_EQ(d.TotalPoints(), 30);
+  EXPECT_DOUBLE_EQ(d.MeanLength(), 15.0);
+}
+
+TEST(DatasetTest, Split) {
+  Dataset d;
+  for (int i = 0; i < 10; ++i) {
+    Trajectory t = MakeLine(3);
+    t.id = i;
+    d.Add(std::move(t));
+  }
+  Dataset train, test;
+  d.Split(7, &train, &test);
+  EXPECT_EQ(train.size(), 7u);
+  EXPECT_EQ(test.size(), 3u);
+  EXPECT_EQ(train[0].id, 0);
+  EXPECT_EQ(test[0].id, 7);
+}
+
+TEST(DatasetTest, SaveLoadRoundTrip) {
+  Dataset d;
+  Rng rng(3);
+  for (int i = 0; i < 5; ++i) {
+    Trajectory t;
+    t.id = 100 + i;
+    for (int j = 0; j < 8; ++j) {
+      t.points.push_back({rng.Uniform(-1e4, 1e4), rng.Uniform(-1e4, 1e4)});
+    }
+    d.Add(std::move(t));
+  }
+  const std::string path = ::testing::TempDir() + "/dataset_test.txt";
+  ASSERT_TRUE(d.Save(path).ok());
+  Result<Dataset> loaded = Dataset::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), d.size());
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(loaded.value()[i].id, d[i].id);
+    ASSERT_EQ(loaded.value()[i].size(), d[i].size());
+    for (size_t j = 0; j < d[i].size(); ++j) {
+      EXPECT_NEAR(loaded.value()[i].points[j].x, d[i].points[j].x, 1e-6);
+      EXPECT_NEAR(loaded.value()[i].points[j].y, d[i].points[j].y, 1e-6);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, LoadMissingFileFails) {
+  Result<Dataset> r = Dataset::Load("/nonexistent/file.txt");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(RoadNetworkTest, BasicStructure) {
+  RoadNetworkConfig config;
+  config.region_width = 2000;
+  config.region_height = 2000;
+  config.node_spacing = 500;
+  RoadNetwork network(config);
+  EXPECT_EQ(network.num_nodes(), 25u);  // 5 x 5 lattice.
+  EXPECT_GT(network.num_edges(), 0u);
+}
+
+TEST(RoadNetworkTest, RoutesFollowEdges) {
+  RoadNetworkConfig config;
+  config.region_width = 3000;
+  config.region_height = 3000;
+  config.node_spacing = 500;
+  config.position_jitter = 50;
+  RoadNetwork network(config);
+  Rng rng(7);
+  const auto route = network.SampleRoute(2000.0, rng);
+  ASSERT_GE(route.size(), 2u);
+  // Consecutive route nodes are graph neighbors: within ~1.5 lattice steps
+  // (diagonals + jitter).
+  for (size_t i = 1; i < route.size(); ++i) {
+    EXPECT_LT(geo::Distance(route[i - 1], route[i]), 500.0 * 1.7);
+    EXPECT_GT(geo::Distance(route[i - 1], route[i]), 0.0);
+  }
+  // Total length reaches the target.
+  double total = 0.0;
+  for (size_t i = 1; i < route.size(); ++i) {
+    total += geo::Distance(route[i - 1], route[i]);
+  }
+  EXPECT_GE(total, 2000.0);
+}
+
+TEST(RoadNetworkTest, StartNodesAreSkewed) {
+  RoadNetworkConfig config;
+  config.region_width = 3000;
+  config.region_height = 3000;
+  config.node_spacing = 500;
+  RoadNetwork network(config);
+  Rng rng(11);
+  std::vector<int> counts(network.num_nodes(), 0);
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) counts[network.SampleStartNode(rng)]++;
+  // Heavy-tailed hubs: the most popular node should receive far more than
+  // the uniform share.
+  const int max_count = *std::max_element(counts.begin(), counts.end());
+  EXPECT_GT(max_count, 3 * draws / static_cast<int>(network.num_nodes()));
+}
+
+TEST(SampleAlongPolylineTest, SpacingRespected) {
+  const std::vector<geo::Point> route = {{0, 0}, {1000, 0}};
+  const auto samples = SampleAlongPolyline(route, 100.0);
+  ASSERT_EQ(samples.size(), 11u);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_NEAR(samples[i].x, 100.0 * static_cast<double>(i), 1e-9);
+  }
+}
+
+TEST(SampleAlongPolylineTest, SpacingAcrossVertices) {
+  // Spacing carries over polyline vertices.
+  const std::vector<geo::Point> route = {{0, 0}, {150, 0}, {150, 150}};
+  const auto samples = SampleAlongPolyline(route, 100.0);
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_NEAR(samples[1].x, 100.0, 1e-9);
+  EXPECT_NEAR(samples[2].x, 150.0, 1e-9);
+  EXPECT_NEAR(samples[2].y, 50.0, 1e-9);
+  EXPECT_NEAR(samples[3].y, 150.0, 1e-9);
+}
+
+TEST(GeneratorTest, TripLengthBounds) {
+  traj::GeneratorConfig config = traj::GeneratorConfig::PortoLike();
+  SyntheticTrajectoryGenerator generator(config);
+  Dataset trips = generator.Generate(50);
+  ASSERT_EQ(trips.size(), 50u);
+  for (size_t i = 0; i < trips.size(); ++i) {
+    EXPECT_GE(static_cast<int>(trips[i].size()), config.min_trip_points);
+    EXPECT_LE(static_cast<int>(trips[i].size()), config.max_trip_points);
+    EXPECT_EQ(trips[i].id, static_cast<int64_t>(i));
+  }
+}
+
+TEST(GeneratorTest, Deterministic) {
+  traj::GeneratorConfig config = traj::GeneratorConfig::PortoLike();
+  SyntheticTrajectoryGenerator a(config), b(config);
+  Dataset da = a.Generate(5), db = b.Generate(5);
+  for (size_t i = 0; i < 5; ++i) {
+    ASSERT_EQ(da[i].size(), db[i].size());
+    for (size_t j = 0; j < da[i].size(); ++j) {
+      EXPECT_EQ(da[i].points[j], db[i].points[j]);
+    }
+  }
+}
+
+TEST(GeneratorTest, ConsecutiveSpacingMatchesSpeedModel) {
+  traj::GeneratorConfig config = traj::GeneratorConfig::PortoLike();
+  config.gps_noise_m = 0.0;
+  SyntheticTrajectoryGenerator generator(config);
+  std::vector<geo::Point> route;
+  const Trajectory trip = generator.GenerateOne(0, &route);
+  // Consecutive points are at most interval * max_speed apart (route turns
+  // can only shorten the straight-line distance).
+  const double max_gap = config.report_interval_s * config.max_speed_mps;
+  for (size_t i = 1; i < trip.size(); ++i) {
+    EXPECT_LE(geo::Distance(trip.points[i - 1], trip.points[i]),
+              max_gap + 1e-6);
+  }
+}
+
+TEST(GeneratorTest, RouteIsReturnedAndCoversTrip) {
+  traj::GeneratorConfig config = traj::GeneratorConfig::PortoLike();
+  config.gps_noise_m = 0.0;
+  SyntheticTrajectoryGenerator generator(config);
+  std::vector<geo::Point> route;
+  const Trajectory trip = generator.GenerateOne(0, &route);
+  ASSERT_GE(route.size(), 2u);
+  // Every noise-free sample lies on the route polyline.
+  for (const geo::Point& p : trip.points) {
+    double best = 1e18;
+    for (size_t i = 1; i < route.size(); ++i) {
+      best = std::min(best,
+                      geo::DistanceToSegment(p, route[i - 1], route[i]));
+    }
+    EXPECT_LT(best, 1e-6);
+  }
+}
+
+TEST(DownsampleTest, KeepsEndpoints) {
+  const Trajectory t = MakeLine(50);
+  Rng rng(1);
+  const Trajectory d = Downsample(t, 0.9, rng);
+  ASSERT_GE(d.size(), 2u);
+  EXPECT_EQ(d.points.front(), t.points.front());
+  EXPECT_EQ(d.points.back(), t.points.back());
+  EXPECT_EQ(d.id, t.id);
+}
+
+TEST(DownsampleTest, RateZeroIsIdentity) {
+  const Trajectory t = MakeLine(20);
+  Rng rng(2);
+  const Trajectory d = Downsample(t, 0.0, rng);
+  EXPECT_EQ(d.points, t.points);
+}
+
+TEST(DownsampleTest, DropFractionApproximatesRate) {
+  const Trajectory t = MakeLine(2000);
+  Rng rng(3);
+  const Trajectory d = Downsample(t, 0.4, rng);
+  // Interior points: 1998, expect ~60% kept.
+  const double kept =
+      static_cast<double>(d.size() - 2) / static_cast<double>(t.size() - 2);
+  EXPECT_NEAR(kept, 0.6, 0.05);
+}
+
+TEST(DownsampleTest, PreservesOrder) {
+  const Trajectory t = MakeLine(100);
+  Rng rng(4);
+  const Trajectory d = Downsample(t, 0.5, rng);
+  for (size_t i = 1; i < d.size(); ++i) {
+    EXPECT_GT(d.points[i].x, d.points[i - 1].x);
+  }
+}
+
+TEST(DistortTest, FractionAndMagnitude) {
+  const Trajectory t = MakeLine(5000);
+  Rng rng(5);
+  const Trajectory d = Distort(t, 0.3, rng);
+  ASSERT_EQ(d.size(), t.size());
+  int moved = 0;
+  double max_shift = 0.0;
+  for (size_t i = 0; i < t.size(); ++i) {
+    const double shift = geo::Distance(t.points[i], d.points[i]);
+    if (shift > 0.0) ++moved;
+    max_shift = std::max(max_shift, shift);
+  }
+  EXPECT_NEAR(moved / 5000.0, 0.3, 0.03);
+  // Gaussian with radius 30 m per axis: shifts of several tens of meters.
+  EXPECT_GT(max_shift, 30.0);
+  EXPECT_LT(max_shift, 30.0 * 12.0);  // Far tail is astronomically unlikely.
+}
+
+TEST(DistortTest, RateZeroIsIdentity) {
+  const Trajectory t = MakeLine(10);
+  Rng rng(6);
+  EXPECT_EQ(Distort(t, 0.0, rng).points, t.points);
+}
+
+TEST(AlternatingSplitTest, InterleavesExactly) {
+  const Trajectory t = MakeLine(7);
+  auto [odd, even] = AlternatingSplit(t);
+  EXPECT_EQ(odd.size(), 4u);
+  EXPECT_EQ(even.size(), 3u);
+  EXPECT_EQ(odd.points[0].x, 0.0);
+  EXPECT_EQ(odd.points[1].x, 200.0);
+  EXPECT_EQ(even.points[0].x, 100.0);
+  EXPECT_EQ(even.points[2].x, 500.0);
+  EXPECT_EQ(odd.id, t.id);
+  EXPECT_EQ(even.id, t.id);
+}
+
+TEST(TokenizerTest, MapsPointsToHotCells) {
+  geo::SpatialGrid grid({0, 0}, {1000, 100}, 100.0);
+  std::vector<geo::Point> points;
+  for (int c = 0; c < 10; ++c) {
+    const geo::Point center = grid.CenterOf(grid.CellAt(0, c));
+    points.push_back(center);
+    points.push_back(center);
+  }
+  geo::HotCellVocab vocab(grid, points, 2);
+  const Trajectory t = MakeLine(10, 100.0);  // One point per cell.
+  const TokenSeq seq = Tokenize(vocab, t);
+  ASSERT_EQ(seq.size(), 10u);
+  std::set<geo::Token> unique(seq.begin(), seq.end());
+  EXPECT_EQ(unique.size(), 10u);  // All distinct cells.
+  for (geo::Token tok : seq) {
+    EXPECT_FALSE(geo::HotCellVocab::IsSpecial(tok));
+  }
+}
+
+}  // namespace
+}  // namespace t2vec::traj

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "core/vec_index.h"
+
+namespace t2vec::core {
+namespace {
+
+nn::Matrix RandomVectors(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  nn::Matrix m(n, d);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.Gaussian());
+  }
+  return m;
+}
+
+TEST(VectorIndexTest, DistanceIsSquaredEuclidean) {
+  nn::Matrix vecs(2, 2);
+  vecs(0, 0) = 3.0f;
+  vecs(0, 1) = 4.0f;
+  VectorIndex index(std::move(vecs));
+  const float query[2] = {0.0f, 0.0f};
+  EXPECT_DOUBLE_EQ(index.Distance(query, 0), 25.0);
+  EXPECT_DOUBLE_EQ(index.Distance(query, 1), 0.0);
+}
+
+TEST(VectorIndexTest, KnnMatchesExhaustive) {
+  const nn::Matrix vecs = RandomVectors(200, 16, 1);
+  VectorIndex index{nn::Matrix(vecs)};
+  const nn::Matrix queries = RandomVectors(10, 16, 2);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const auto knn = index.Knn(queries.Row(q), 5);
+    ASSERT_EQ(knn.size(), 5u);
+    // Verify ordering and optimality.
+    std::vector<std::pair<double, size_t>> all;
+    for (size_t i = 0; i < 200; ++i) {
+      all.emplace_back(index.Distance(queries.Row(q), i), i);
+    }
+    std::sort(all.begin(), all.end());
+    for (size_t i = 0; i < 5; ++i) {
+      EXPECT_DOUBLE_EQ(index.Distance(queries.Row(q), knn[i]), all[i].first);
+    }
+  }
+}
+
+TEST(VectorIndexTest, RankOfSelf) {
+  const nn::Matrix vecs = RandomVectors(50, 8, 3);
+  VectorIndex index{nn::Matrix(vecs)};
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(index.RankOf(vecs.Row(i), i), 1u);
+  }
+}
+
+TEST(VectorIndexTest, RankCountsStrictlyCloser) {
+  nn::Matrix vecs(3, 1);
+  vecs(0, 0) = 0.0f;
+  vecs(1, 0) = 1.0f;
+  vecs(2, 0) = 2.0f;
+  VectorIndex index(std::move(vecs));
+  const float query[1] = {0.1f};
+  EXPECT_EQ(index.RankOf(query, 0), 1u);
+  EXPECT_EQ(index.RankOf(query, 1), 2u);
+  EXPECT_EQ(index.RankOf(query, 2), 3u);
+}
+
+TEST(LshIndexTest, HighRecallOnClusteredData) {
+  // Clustered vectors: queries near cluster centers must retrieve their
+  // cluster under LSH with high recall.
+  Rng rng(4);
+  const size_t clusters = 8, per_cluster = 40, d = 16;
+  nn::Matrix vecs(clusters * per_cluster, d);
+  nn::Matrix centers(clusters, d);
+  for (size_t i = 0; i < centers.size(); ++i) {
+    centers.data()[i] = static_cast<float>(rng.Gaussian() * 5.0);
+  }
+  for (size_t c = 0; c < clusters; ++c) {
+    for (size_t i = 0; i < per_cluster; ++i) {
+      float* row = vecs.Row(c * per_cluster + i);
+      for (size_t j = 0; j < d; ++j) {
+        row[j] = centers(c, j) + static_cast<float>(rng.Gaussian() * 0.3);
+      }
+    }
+  }
+  VectorIndex exact{nn::Matrix(vecs)};
+  LshIndex lsh(vecs, /*num_tables=*/8, /*num_bits=*/10, /*seed=*/7);
+
+  double recall = 0.0;
+  const size_t k = 10;
+  for (size_t c = 0; c < clusters; ++c) {
+    const float* query = centers.Row(c);
+    const auto truth = exact.Knn(query, k);
+    const auto approx = lsh.Knn(query, k);
+    std::set<size_t> truth_set(truth.begin(), truth.end());
+    size_t hits = 0;
+    for (size_t idx : approx) hits += truth_set.count(idx);
+    recall += static_cast<double>(hits) / static_cast<double>(k);
+  }
+  recall /= static_cast<double>(clusters);
+  EXPECT_GT(recall, 0.8);
+}
+
+TEST(LshIndexTest, FallsBackWhenBucketsEmpty) {
+  // A query far from all data hits empty buckets; the index must still
+  // return k results via the full-scan fallback.
+  const nn::Matrix vecs = RandomVectors(30, 8, 5);
+  LshIndex lsh(vecs, 2, 12, 11);
+  std::vector<float> query(8, 100.0f);
+  const auto result = lsh.Knn(query.data(), 5);
+  EXPECT_EQ(result.size(), 5u);
+  std::set<size_t> unique(result.begin(), result.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(LshIndexTest, ApproxResultsAreGenuineVectors) {
+  const nn::Matrix vecs = RandomVectors(100, 8, 6);
+  LshIndex lsh(vecs, 4, 8, 13);
+  const nn::Matrix queries = RandomVectors(5, 8, 7);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    for (size_t idx : lsh.Knn(queries.Row(q), 3)) {
+      EXPECT_LT(idx, 100u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace t2vec::core

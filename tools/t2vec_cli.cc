@@ -1,0 +1,231 @@
+// t2vec command-line tool: train, encode, search, and reconstruct over
+// trajectory dataset files (the text format of traj::Dataset).
+//
+// Subcommands:
+//   generate --out data.txt [--count N] [--preset porto|harbin]
+//   train    --data data.txt --model out.t2vec [--iters N] [--hidden H]
+//            [--loss l1|l2|l3] [--no-pretrain]
+//   encode   --model m.t2vec --data data.txt --out vectors.txt
+//   knn      --model m.t2vec --data db.txt --query-index I [--k K]
+//   reconstruct --model m.t2vec --data db.txt --query-index I [--drop R]
+//
+// Exit status is non-zero on any error; diagnostics go to stderr.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/t2vec.h"
+#include "core/vec_index.h"
+#include "traj/generator.h"
+#include "traj/transforms.h"
+
+namespace {
+
+using namespace t2vec;
+
+// Minimal --key value parser; flags must come in pairs.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) continue;
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+    // Boolean flags (no value).
+    for (int i = first; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--no-pretrain") == 0) {
+        values_["no-pretrain"] = "1";
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atol(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const char* message) {
+  std::fprintf(stderr, "error: %s\n", message);
+  return 1;
+}
+
+int CmdGenerate(const Flags& flags) {
+  if (!flags.Has("out")) return Fail("generate requires --out");
+  const std::string preset = flags.Get("preset", "porto");
+  traj::GeneratorConfig config = (preset == "harbin")
+                                     ? traj::GeneratorConfig::HarbinLike()
+                                     : traj::GeneratorConfig::PortoLike();
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 101));
+  traj::SyntheticTrajectoryGenerator generator(config);
+  const traj::Dataset data =
+      generator.Generate(static_cast<size_t>(flags.GetInt("count", 1000)));
+  const Status status = data.Save(flags.Get("out", ""));
+  if (!status.ok()) return Fail(status.ToString().c_str());
+  std::printf("wrote %zu trips (%lld points, mean length %.1f) to %s\n",
+              data.size(), static_cast<long long>(data.TotalPoints()),
+              data.MeanLength(), flags.Get("out", "").c_str());
+  return 0;
+}
+
+int CmdTrain(const Flags& flags) {
+  if (!flags.Has("data") || !flags.Has("model")) {
+    return Fail("train requires --data and --model");
+  }
+  Result<traj::Dataset> data = traj::Dataset::Load(flags.Get("data", ""));
+  if (!data.ok()) return Fail(data.status().ToString().c_str());
+
+  core::T2VecConfig config;
+  config.max_iterations =
+      static_cast<size_t>(flags.GetInt("iters", 1000));
+  config.hidden = static_cast<size_t>(flags.GetInt("hidden", 96));
+  config.cell_size = flags.GetDouble("cell-size", 100.0);
+  config.pretrain_cells = !flags.Has("no-pretrain");
+  const std::string loss = flags.Get("loss", "l3");
+  if (loss == "l1") {
+    config.loss = core::LossKind::kL1;
+  } else if (loss == "l2") {
+    config.loss = core::LossKind::kL2;
+  } else if (loss == "l3") {
+    config.loss = core::LossKind::kL3;
+  } else {
+    return Fail("--loss must be l1, l2, or l3");
+  }
+
+  core::TrainStats stats;
+  const core::T2Vec model =
+      core::T2Vec::Train(data.value().trajectories(), config, &stats);
+  const Status status = model.Save(flags.Get("model", ""));
+  if (!status.ok()) return Fail(status.ToString().c_str());
+  std::printf("trained %zu iterations in %.0f s (best val %.4f); model "
+              "saved to %s\n",
+              stats.iterations, stats.train_seconds, stats.best_val_loss,
+              flags.Get("model", "").c_str());
+  return 0;
+}
+
+int CmdEncode(const Flags& flags) {
+  if (!flags.Has("model") || !flags.Has("data") || !flags.Has("out")) {
+    return Fail("encode requires --model, --data, --out");
+  }
+  Result<core::T2Vec> model = core::T2Vec::Load(flags.Get("model", ""));
+  if (!model.ok()) return Fail(model.status().ToString().c_str());
+  Result<traj::Dataset> data = traj::Dataset::Load(flags.Get("data", ""));
+  if (!data.ok()) return Fail(data.status().ToString().c_str());
+
+  const nn::Matrix vectors =
+      model.value().Encode(data.value().trajectories());
+  std::FILE* out = std::fopen(flags.Get("out", "").c_str(), "w");
+  if (out == nullptr) return Fail("cannot open output file");
+  for (size_t i = 0; i < vectors.rows(); ++i) {
+    std::fprintf(out, "%lld", static_cast<long long>(data.value()[i].id));
+    for (size_t j = 0; j < vectors.cols(); ++j) {
+      std::fprintf(out, " %.6g", vectors.At(i, j));
+    }
+    std::fprintf(out, "\n");
+  }
+  std::fclose(out);
+  std::printf("encoded %zu trajectories into %zu-dim vectors -> %s\n",
+              vectors.rows(), vectors.cols(),
+              flags.Get("out", "").c_str());
+  return 0;
+}
+
+int CmdKnn(const Flags& flags) {
+  if (!flags.Has("model") || !flags.Has("data")) {
+    return Fail("knn requires --model and --data");
+  }
+  Result<core::T2Vec> model = core::T2Vec::Load(flags.Get("model", ""));
+  if (!model.ok()) return Fail(model.status().ToString().c_str());
+  Result<traj::Dataset> data = traj::Dataset::Load(flags.Get("data", ""));
+  if (!data.ok()) return Fail(data.status().ToString().c_str());
+
+  const size_t query = static_cast<size_t>(flags.GetInt("query-index", 0));
+  const size_t k = static_cast<size_t>(flags.GetInt("k", 5));
+  if (query >= data.value().size()) return Fail("query index out of range");
+  if (k > data.value().size()) return Fail("k larger than the database");
+
+  const nn::Matrix vectors =
+      model.value().Encode(data.value().trajectories());
+  core::VectorIndex index{nn::Matrix(vectors)};
+  const std::vector<size_t> result = index.Knn(vectors.Row(query), k);
+  std::printf("%zu nearest trajectories to #%zu (id %lld):\n", k, query,
+              static_cast<long long>(data.value()[query].id));
+  for (size_t idx : result) {
+    std::printf("  #%zu (id %lld), distance %.4f\n", idx,
+                static_cast<long long>(data.value()[idx].id),
+                std::sqrt(index.Distance(vectors.Row(query), idx)));
+  }
+  return 0;
+}
+
+int CmdReconstruct(const Flags& flags) {
+  if (!flags.Has("model") || !flags.Has("data")) {
+    return Fail("reconstruct requires --model and --data");
+  }
+  Result<core::T2Vec> model = core::T2Vec::Load(flags.Get("model", ""));
+  if (!model.ok()) return Fail(model.status().ToString().c_str());
+  Result<traj::Dataset> data = traj::Dataset::Load(flags.Get("data", ""));
+  if (!data.ok()) return Fail(data.status().ToString().c_str());
+
+  const size_t query = static_cast<size_t>(flags.GetInt("query-index", 0));
+  if (query >= data.value().size()) return Fail("query index out of range");
+  const double drop = flags.GetDouble("drop", 0.6);
+
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 7)));
+  const traj::Trajectory& dense = data.value()[query];
+  const traj::Trajectory sparse = traj::Downsample(dense, drop, rng);
+  const traj::Trajectory route = model.value().ReconstructRoute(sparse);
+
+  std::printf("# original %zu points, kept %zu, reconstructed %zu cells\n",
+              dense.size(), sparse.size(), route.size());
+  for (const geo::Point& p : route.points) {
+    std::printf("%.1f %.1f\n", p.x, p.y);
+  }
+  return 0;
+}
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: t2vec_cli <generate|train|encode|knn|reconstruct> [--flags]\n"
+      "  generate    --out F [--count N] [--preset porto|harbin] [--seed S]\n"
+      "  train       --data F --model F [--iters N] [--hidden H]\n"
+      "              [--cell-size M] [--loss l1|l2|l3] [--no-pretrain]\n"
+      "  encode      --model F --data F --out F\n"
+      "  knn         --model F --data F [--query-index I] [--k K]\n"
+      "  reconstruct --model F --data F [--query-index I] [--drop R]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "train") return CmdTrain(flags);
+  if (command == "encode") return CmdEncode(flags);
+  if (command == "knn") return CmdKnn(flags);
+  if (command == "reconstruct") return CmdReconstruct(flags);
+  PrintUsage();
+  return 1;
+}
