@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_attention.dir/bench_ablate_attention.cc.o"
+  "CMakeFiles/bench_ablate_attention.dir/bench_ablate_attention.cc.o.d"
+  "bench_ablate_attention"
+  "bench_ablate_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

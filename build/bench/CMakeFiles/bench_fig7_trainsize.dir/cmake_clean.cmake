@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_trainsize.dir/bench_fig7_trainsize.cc.o"
+  "CMakeFiles/bench_fig7_trainsize.dir/bench_fig7_trainsize.cc.o.d"
+  "bench_fig7_trainsize"
+  "bench_fig7_trainsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_trainsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_downsampling.dir/bench_table4_downsampling.cc.o"
+  "CMakeFiles/bench_table4_downsampling.dir/bench_table4_downsampling.cc.o.d"
+  "bench_table4_downsampling"
+  "bench_table4_downsampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_downsampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_distortion.dir/bench_table5_distortion.cc.o"
+  "CMakeFiles/bench_table5_distortion.dir/bench_table5_distortion.cc.o.d"
+  "bench_table5_distortion"
+  "bench_table5_distortion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_distortion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_crossdist.dir/bench_table6_crossdist.cc.o"
+  "CMakeFiles/bench_table6_crossdist.dir/bench_table6_crossdist.cc.o.d"
+  "bench_table6_crossdist"
+  "bench_table6_crossdist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_crossdist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

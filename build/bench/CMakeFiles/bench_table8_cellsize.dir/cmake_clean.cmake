@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_cellsize.dir/bench_table8_cellsize.cc.o"
+  "CMakeFiles/bench_table8_cellsize.dir/bench_table8_cellsize.cc.o.d"
+  "bench_table8_cellsize"
+  "bench_table8_cellsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_cellsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

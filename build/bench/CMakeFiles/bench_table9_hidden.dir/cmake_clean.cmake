@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_hidden.dir/bench_table9_hidden.cc.o"
+  "CMakeFiles/bench_table9_hidden.dir/bench_table9_hidden.cc.o.d"
+  "bench_table9_hidden"
+  "bench_table9_hidden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_hidden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_reconstruction.dir/route_reconstruction.cpp.o"
+  "CMakeFiles/route_reconstruction.dir/route_reconstruction.cpp.o.d"
+  "route_reconstruction"
+  "route_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t2vec_common.dir/rng.cc.o"
+  "CMakeFiles/t2vec_common.dir/rng.cc.o.d"
+  "CMakeFiles/t2vec_common.dir/status.cc.o"
+  "CMakeFiles/t2vec_common.dir/status.cc.o.d"
+  "libt2vec_common.a"
+  "libt2vec_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t2vec_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

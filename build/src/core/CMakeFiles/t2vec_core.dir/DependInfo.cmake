@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cell_pretrain.cc" "src/core/CMakeFiles/t2vec_core.dir/cell_pretrain.cc.o" "gcc" "src/core/CMakeFiles/t2vec_core.dir/cell_pretrain.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/t2vec_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/t2vec_core.dir/config.cc.o.d"
+  "/root/repo/src/core/decoder.cc" "src/core/CMakeFiles/t2vec_core.dir/decoder.cc.o" "gcc" "src/core/CMakeFiles/t2vec_core.dir/decoder.cc.o.d"
+  "/root/repo/src/core/loss.cc" "src/core/CMakeFiles/t2vec_core.dir/loss.cc.o" "gcc" "src/core/CMakeFiles/t2vec_core.dir/loss.cc.o.d"
+  "/root/repo/src/core/model.cc" "src/core/CMakeFiles/t2vec_core.dir/model.cc.o" "gcc" "src/core/CMakeFiles/t2vec_core.dir/model.cc.o.d"
+  "/root/repo/src/core/pairs.cc" "src/core/CMakeFiles/t2vec_core.dir/pairs.cc.o" "gcc" "src/core/CMakeFiles/t2vec_core.dir/pairs.cc.o.d"
+  "/root/repo/src/core/t2vec.cc" "src/core/CMakeFiles/t2vec_core.dir/t2vec.cc.o" "gcc" "src/core/CMakeFiles/t2vec_core.dir/t2vec.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/t2vec_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/t2vec_core.dir/trainer.cc.o.d"
+  "/root/repo/src/core/vec_index.cc" "src/core/CMakeFiles/t2vec_core.dir/vec_index.cc.o" "gcc" "src/core/CMakeFiles/t2vec_core.dir/vec_index.cc.o.d"
+  "/root/repo/src/core/vrnn.cc" "src/core/CMakeFiles/t2vec_core.dir/vrnn.cc.o" "gcc" "src/core/CMakeFiles/t2vec_core.dir/vrnn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/t2vec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/t2vec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/t2vec_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/t2vec_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/t2vec_dist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

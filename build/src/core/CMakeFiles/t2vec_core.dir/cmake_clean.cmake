@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t2vec_core.dir/cell_pretrain.cc.o"
+  "CMakeFiles/t2vec_core.dir/cell_pretrain.cc.o.d"
+  "CMakeFiles/t2vec_core.dir/config.cc.o"
+  "CMakeFiles/t2vec_core.dir/config.cc.o.d"
+  "CMakeFiles/t2vec_core.dir/decoder.cc.o"
+  "CMakeFiles/t2vec_core.dir/decoder.cc.o.d"
+  "CMakeFiles/t2vec_core.dir/loss.cc.o"
+  "CMakeFiles/t2vec_core.dir/loss.cc.o.d"
+  "CMakeFiles/t2vec_core.dir/model.cc.o"
+  "CMakeFiles/t2vec_core.dir/model.cc.o.d"
+  "CMakeFiles/t2vec_core.dir/pairs.cc.o"
+  "CMakeFiles/t2vec_core.dir/pairs.cc.o.d"
+  "CMakeFiles/t2vec_core.dir/t2vec.cc.o"
+  "CMakeFiles/t2vec_core.dir/t2vec.cc.o.d"
+  "CMakeFiles/t2vec_core.dir/trainer.cc.o"
+  "CMakeFiles/t2vec_core.dir/trainer.cc.o.d"
+  "CMakeFiles/t2vec_core.dir/vec_index.cc.o"
+  "CMakeFiles/t2vec_core.dir/vec_index.cc.o.d"
+  "CMakeFiles/t2vec_core.dir/vrnn.cc.o"
+  "CMakeFiles/t2vec_core.dir/vrnn.cc.o.d"
+  "libt2vec_core.a"
+  "libt2vec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t2vec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/classic.cc" "src/dist/CMakeFiles/t2vec_dist.dir/classic.cc.o" "gcc" "src/dist/CMakeFiles/t2vec_dist.dir/classic.cc.o.d"
+  "/root/repo/src/dist/cms.cc" "src/dist/CMakeFiles/t2vec_dist.dir/cms.cc.o" "gcc" "src/dist/CMakeFiles/t2vec_dist.dir/cms.cc.o.d"
+  "/root/repo/src/dist/edwp.cc" "src/dist/CMakeFiles/t2vec_dist.dir/edwp.cc.o" "gcc" "src/dist/CMakeFiles/t2vec_dist.dir/edwp.cc.o.d"
+  "/root/repo/src/dist/knn.cc" "src/dist/CMakeFiles/t2vec_dist.dir/knn.cc.o" "gcc" "src/dist/CMakeFiles/t2vec_dist.dir/knn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/t2vec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/t2vec_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/t2vec_traj.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t2vec_dist.dir/classic.cc.o"
+  "CMakeFiles/t2vec_dist.dir/classic.cc.o.d"
+  "CMakeFiles/t2vec_dist.dir/cms.cc.o"
+  "CMakeFiles/t2vec_dist.dir/cms.cc.o.d"
+  "CMakeFiles/t2vec_dist.dir/edwp.cc.o"
+  "CMakeFiles/t2vec_dist.dir/edwp.cc.o.d"
+  "CMakeFiles/t2vec_dist.dir/knn.cc.o"
+  "CMakeFiles/t2vec_dist.dir/knn.cc.o.d"
+  "libt2vec_dist.a"
+  "libt2vec_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t2vec_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

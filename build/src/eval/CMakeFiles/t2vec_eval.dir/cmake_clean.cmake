@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t2vec_eval.dir/bootstrap.cc.o"
+  "CMakeFiles/t2vec_eval.dir/bootstrap.cc.o.d"
+  "CMakeFiles/t2vec_eval.dir/cache.cc.o"
+  "CMakeFiles/t2vec_eval.dir/cache.cc.o.d"
+  "CMakeFiles/t2vec_eval.dir/experiments.cc.o"
+  "CMakeFiles/t2vec_eval.dir/experiments.cc.o.d"
+  "CMakeFiles/t2vec_eval.dir/metrics.cc.o"
+  "CMakeFiles/t2vec_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/t2vec_eval.dir/table.cc.o"
+  "CMakeFiles/t2vec_eval.dir/table.cc.o.d"
+  "libt2vec_eval.a"
+  "libt2vec_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t2vec_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

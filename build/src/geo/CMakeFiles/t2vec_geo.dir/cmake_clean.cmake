@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t2vec_geo.dir/cell_knn.cc.o"
+  "CMakeFiles/t2vec_geo.dir/cell_knn.cc.o.d"
+  "CMakeFiles/t2vec_geo.dir/grid.cc.o"
+  "CMakeFiles/t2vec_geo.dir/grid.cc.o.d"
+  "CMakeFiles/t2vec_geo.dir/point.cc.o"
+  "CMakeFiles/t2vec_geo.dir/point.cc.o.d"
+  "CMakeFiles/t2vec_geo.dir/projection.cc.o"
+  "CMakeFiles/t2vec_geo.dir/projection.cc.o.d"
+  "CMakeFiles/t2vec_geo.dir/vocab.cc.o"
+  "CMakeFiles/t2vec_geo.dir/vocab.cc.o.d"
+  "libt2vec_geo.a"
+  "libt2vec_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t2vec_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/t2vec_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/t2vec_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/checkpoint.cc" "src/nn/CMakeFiles/t2vec_nn.dir/checkpoint.cc.o" "gcc" "src/nn/CMakeFiles/t2vec_nn.dir/checkpoint.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/nn/CMakeFiles/t2vec_nn.dir/embedding.cc.o" "gcc" "src/nn/CMakeFiles/t2vec_nn.dir/embedding.cc.o.d"
+  "/root/repo/src/nn/gru.cc" "src/nn/CMakeFiles/t2vec_nn.dir/gru.cc.o" "gcc" "src/nn/CMakeFiles/t2vec_nn.dir/gru.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/t2vec_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/t2vec_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/t2vec_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/t2vec_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/matrix.cc" "src/nn/CMakeFiles/t2vec_nn.dir/matrix.cc.o" "gcc" "src/nn/CMakeFiles/t2vec_nn.dir/matrix.cc.o.d"
+  "/root/repo/src/nn/ops.cc" "src/nn/CMakeFiles/t2vec_nn.dir/ops.cc.o" "gcc" "src/nn/CMakeFiles/t2vec_nn.dir/ops.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/t2vec_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/t2vec_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/parameter.cc" "src/nn/CMakeFiles/t2vec_nn.dir/parameter.cc.o" "gcc" "src/nn/CMakeFiles/t2vec_nn.dir/parameter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/t2vec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

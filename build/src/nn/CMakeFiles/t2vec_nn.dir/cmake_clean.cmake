@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t2vec_nn.dir/attention.cc.o"
+  "CMakeFiles/t2vec_nn.dir/attention.cc.o.d"
+  "CMakeFiles/t2vec_nn.dir/checkpoint.cc.o"
+  "CMakeFiles/t2vec_nn.dir/checkpoint.cc.o.d"
+  "CMakeFiles/t2vec_nn.dir/embedding.cc.o"
+  "CMakeFiles/t2vec_nn.dir/embedding.cc.o.d"
+  "CMakeFiles/t2vec_nn.dir/gru.cc.o"
+  "CMakeFiles/t2vec_nn.dir/gru.cc.o.d"
+  "CMakeFiles/t2vec_nn.dir/linear.cc.o"
+  "CMakeFiles/t2vec_nn.dir/linear.cc.o.d"
+  "CMakeFiles/t2vec_nn.dir/loss.cc.o"
+  "CMakeFiles/t2vec_nn.dir/loss.cc.o.d"
+  "CMakeFiles/t2vec_nn.dir/matrix.cc.o"
+  "CMakeFiles/t2vec_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/t2vec_nn.dir/ops.cc.o"
+  "CMakeFiles/t2vec_nn.dir/ops.cc.o.d"
+  "CMakeFiles/t2vec_nn.dir/optimizer.cc.o"
+  "CMakeFiles/t2vec_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/t2vec_nn.dir/parameter.cc.o"
+  "CMakeFiles/t2vec_nn.dir/parameter.cc.o.d"
+  "libt2vec_nn.a"
+  "libt2vec_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t2vec_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traj/csv.cc" "src/traj/CMakeFiles/t2vec_traj.dir/csv.cc.o" "gcc" "src/traj/CMakeFiles/t2vec_traj.dir/csv.cc.o.d"
+  "/root/repo/src/traj/dataset.cc" "src/traj/CMakeFiles/t2vec_traj.dir/dataset.cc.o" "gcc" "src/traj/CMakeFiles/t2vec_traj.dir/dataset.cc.o.d"
+  "/root/repo/src/traj/generator.cc" "src/traj/CMakeFiles/t2vec_traj.dir/generator.cc.o" "gcc" "src/traj/CMakeFiles/t2vec_traj.dir/generator.cc.o.d"
+  "/root/repo/src/traj/road_network.cc" "src/traj/CMakeFiles/t2vec_traj.dir/road_network.cc.o" "gcc" "src/traj/CMakeFiles/t2vec_traj.dir/road_network.cc.o.d"
+  "/root/repo/src/traj/simplify.cc" "src/traj/CMakeFiles/t2vec_traj.dir/simplify.cc.o" "gcc" "src/traj/CMakeFiles/t2vec_traj.dir/simplify.cc.o.d"
+  "/root/repo/src/traj/tokenizer.cc" "src/traj/CMakeFiles/t2vec_traj.dir/tokenizer.cc.o" "gcc" "src/traj/CMakeFiles/t2vec_traj.dir/tokenizer.cc.o.d"
+  "/root/repo/src/traj/transforms.cc" "src/traj/CMakeFiles/t2vec_traj.dir/transforms.cc.o" "gcc" "src/traj/CMakeFiles/t2vec_traj.dir/transforms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/t2vec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/t2vec_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

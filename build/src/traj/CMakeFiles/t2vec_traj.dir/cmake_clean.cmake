@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t2vec_traj.dir/csv.cc.o"
+  "CMakeFiles/t2vec_traj.dir/csv.cc.o.d"
+  "CMakeFiles/t2vec_traj.dir/dataset.cc.o"
+  "CMakeFiles/t2vec_traj.dir/dataset.cc.o.d"
+  "CMakeFiles/t2vec_traj.dir/generator.cc.o"
+  "CMakeFiles/t2vec_traj.dir/generator.cc.o.d"
+  "CMakeFiles/t2vec_traj.dir/road_network.cc.o"
+  "CMakeFiles/t2vec_traj.dir/road_network.cc.o.d"
+  "CMakeFiles/t2vec_traj.dir/simplify.cc.o"
+  "CMakeFiles/t2vec_traj.dir/simplify.cc.o.d"
+  "CMakeFiles/t2vec_traj.dir/tokenizer.cc.o"
+  "CMakeFiles/t2vec_traj.dir/tokenizer.cc.o.d"
+  "CMakeFiles/t2vec_traj.dir/transforms.cc.o"
+  "CMakeFiles/t2vec_traj.dir/transforms.cc.o.d"
+  "libt2vec_traj.a"
+  "libt2vec_traj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t2vec_traj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

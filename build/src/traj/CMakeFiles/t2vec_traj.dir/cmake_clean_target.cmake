@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libt2vec_traj.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_loss_test.dir/core_loss_test.cc.o"
+  "CMakeFiles/core_loss_test.dir/core_loss_test.cc.o.d"
+  "core_loss_test"
+  "core_loss_test.pdb"
+  "core_loss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_loss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/decoder_test.cc" "tests/CMakeFiles/decoder_test.dir/decoder_test.cc.o" "gcc" "tests/CMakeFiles/decoder_test.dir/decoder_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/t2vec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/t2vec_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/t2vec_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/t2vec_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/t2vec_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/t2vec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

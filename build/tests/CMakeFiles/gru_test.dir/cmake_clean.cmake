@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gru_test.dir/gru_test.cc.o"
+  "CMakeFiles/gru_test.dir/gru_test.cc.o.d"
+  "gru_test"
+  "gru_test.pdb"
+  "gru_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gru_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

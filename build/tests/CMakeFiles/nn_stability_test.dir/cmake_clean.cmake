@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_stability_test.dir/nn_stability_test.cc.o"
+  "CMakeFiles/nn_stability_test.dir/nn_stability_test.cc.o.d"
+  "nn_stability_test"
+  "nn_stability_test.pdb"
+  "nn_stability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_stability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t2vec_api_test.dir/t2vec_api_test.cc.o"
+  "CMakeFiles/t2vec_api_test.dir/t2vec_api_test.cc.o.d"
+  "t2vec_api_test"
+  "t2vec_api_test.pdb"
+  "t2vec_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t2vec_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vec_index_test.dir/vec_index_test.cc.o"
+  "CMakeFiles/vec_index_test.dir/vec_index_test.cc.o.d"
+  "vec_index_test"
+  "vec_index_test.pdb"
+  "vec_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vec_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_layers_test[1]_include.cmake")
+include("/root/repo/build/tests/gru_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/geo_test[1]_include.cmake")
+include("/root/repo/build/tests/traj_test[1]_include.cmake")
+include("/root/repo/build/tests/dist_test[1]_include.cmake")
+include("/root/repo/build/tests/core_loss_test[1]_include.cmake")
+include("/root/repo/build/tests/core_model_test[1]_include.cmake")
+include("/root/repo/build/tests/vec_index_test[1]_include.cmake")
+include("/root/repo/build/tests/core_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/decoder_test[1]_include.cmake")
+include("/root/repo/build/tests/simplify_test[1]_include.cmake")
+include("/root/repo/build/tests/t2vec_api_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_stability_test[1]_include.cmake")
+include("/root/repo/build/tests/csv_bootstrap_test[1]_include.cmake")
+include("/root/repo/build/tests/attention_test[1]_include.cmake")

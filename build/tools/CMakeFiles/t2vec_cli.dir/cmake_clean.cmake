@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t2vec_cli.dir/t2vec_cli.cc.o"
+  "CMakeFiles/t2vec_cli.dir/t2vec_cli.cc.o.d"
+  "t2vec_cli"
+  "t2vec_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t2vec_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
