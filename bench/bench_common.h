@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "eval/cache.h"
 #include "eval/experiments.h"
 #include "eval/table.h"
@@ -23,6 +24,15 @@
 /// every workload with T2VEC_BENCH_SCALE (e.g. 0.25 for a smoke run).
 
 namespace t2vec::bench {
+
+/// Prints the thread count the hot paths will use (set via T2VEC_THREADS);
+/// timings are only comparable across runs at the same count, while results
+/// are bit-identical at any count (common/thread_pool.h).
+inline void PrintThreadSetup() {
+  std::printf("threads: %d (T2VEC_THREADS to override; results are "
+              "thread-count independent)\n",
+              GetNumThreads());
+}
 
 /// Canonical training-set sizes for the shared default models.
 inline size_t PortoTrainTrips() { return eval::Scaled(1200, 64); }

@@ -18,6 +18,7 @@ int main() {
   using namespace t2vec;
   using namespace t2vec::bench;
 
+  PrintThreadSetup();
   const eval::ExperimentData data = PortoData();
   const core::T2Vec model = PortoModel(data);
   dist::EdrMeasure edr(model.config().cell_size);

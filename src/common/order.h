@@ -1,0 +1,37 @@
+#ifndef T2VEC_COMMON_ORDER_H_
+#define T2VEC_COMMON_ORDER_H_
+
+#include <cmath>
+#include <cstddef>
+#include <utility>
+
+/// \file
+/// NaN-safe comparators for (distance, index) scoring pairs.
+///
+/// `std::partial_sort` requires a strict weak ordering. The default
+/// `std::pair` comparator uses `operator<` on the distance, and every
+/// comparison involving a NaN distance is false — NaN then compares
+/// "equivalent" to every number while those numbers are not equivalent to
+/// each other, which breaks transitivity-of-equivalence and is undefined
+/// behavior (in practice: garbage neighbor lists). Classical measures can
+/// produce NaN from degenerate inputs, so the kNN sites order through this
+/// comparator instead: finite distances first (ties broken by index, which
+/// keeps results deterministic), all NaNs last as one equivalence class.
+
+namespace t2vec {
+
+/// Strict weak ordering over (distance, index) pairs with NaN distances
+/// ordered after every non-NaN distance.
+struct NanLastLess {
+  bool operator()(const std::pair<double, size_t>& a,
+                  const std::pair<double, size_t>& b) const {
+    const bool a_nan = std::isnan(a.first);
+    const bool b_nan = std::isnan(b.first);
+    if (a_nan || b_nan) return b_nan && !a_nan;
+    return a < b;
+  }
+};
+
+}  // namespace t2vec
+
+#endif  // T2VEC_COMMON_ORDER_H_

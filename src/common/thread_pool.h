@@ -1,0 +1,102 @@
+#ifndef T2VEC_COMMON_THREAD_POOL_H_
+#define T2VEC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file
+/// Deterministic data parallelism for the read-side hot paths.
+///
+/// The design goal is *bit-identical results at every thread count*. That is
+/// achieved by restricting parallelism to loops whose iterations are
+/// independent and write to disjoint outputs: `ParallelFor` splits the index
+/// range into contiguous chunks by **static partitioning** (a pure function
+/// of the range and the thread count, never of scheduling order), and all
+/// cross-iteration combining — sorts, reductions over floating-point values —
+/// stays serial at the call site. Under that contract the outputs of a
+/// parallel run and a serial run are the same bytes, which keeps the model
+/// cache, the benchmark tables, and every test reproducible regardless of
+/// `T2VEC_THREADS`.
+///
+/// Thread-count resolution, in decreasing priority:
+///   1. an explicit `num_threads` argument to `ParallelFor` (> 0),
+///   2. the process-wide value set by `SetNumThreads` (tests, config wiring),
+///   3. the `T2VEC_THREADS` environment variable,
+///   4. `std::thread::hardware_concurrency()`.
+///
+/// Nested `ParallelFor` calls run inline on the calling worker: the inner
+/// loop's work is already covered by the outer partitioning, and running it
+/// inline makes nesting deadlock-free by construction.
+
+namespace t2vec {
+
+/// A fixed set of worker threads executing submitted closures. Construction
+/// is cheap relative to the loops it serves; most code should use the
+/// process-wide instance behind `ParallelFor` rather than building pools.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  /// Number of worker threads.
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs every task to completion before returning. The caller participates
+  /// (it executes queued tasks too), so a pool of W workers gives W + 1
+  /// concurrent lanes and `Run` never blocks on an idle queue.
+  void Run(std::vector<std::function<void()>> tasks);
+
+  /// Lazily constructed process-wide pool sized by `T2VEC_THREADS` (or
+  /// hardware concurrency). Never destroyed before process exit.
+  static ThreadPool& Global();
+
+  /// True when called from inside a `Run` task (worker or participating
+  /// caller); used to run nested parallel loops inline.
+  static bool InParallelRegion();
+
+ private:
+  void WorkerLoop();
+  /// Pops and runs queued tasks until the queue drains; returns when empty.
+  void DrainQueue(std::unique_lock<std::mutex>& lock);
+
+  std::vector<std::thread> workers_;
+  std::mutex run_mu_;  // Serializes concurrent Run() callers.
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // Signals workers: task queued or stop.
+  std::condition_variable done_cv_;  // Signals Run(): all tasks finished.
+  std::vector<std::function<void()>> queue_;
+  size_t next_task_ = 0;    // Queue front (tasks are popped in order).
+  size_t in_flight_ = 0;    // Queued but not yet finished tasks.
+  bool stop_ = false;
+};
+
+/// Sets the process-wide thread count used when no explicit override is
+/// given. `n <= 0` restores the default (`T2VEC_THREADS` env, then hardware
+/// concurrency). Thread-safe; mainly for tests and benchmark harnesses.
+void SetNumThreads(int n);
+
+/// The thread count `ParallelFor` resolves to when `num_threads <= 0`.
+int GetNumThreads();
+
+/// Applies `fn(i)` for every i in [begin, end), in parallel over at most
+/// `num_threads` statically partitioned contiguous chunks.
+///
+/// Determinism contract: `fn` must write only to outputs owned by iteration
+/// i (disjoint across iterations) and must not read outputs of other
+/// iterations; under that contract the result is bit-identical to the serial
+/// loop for every thread count. `grain` is the minimum chunk size — ranges
+/// of at most `grain` iterations (and nested calls) run inline serially.
+/// `num_threads <= 0` uses `GetNumThreads()`.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t)>& fn, int num_threads = 0);
+
+}  // namespace t2vec
+
+#endif  // T2VEC_COMMON_THREAD_POOL_H_

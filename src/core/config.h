@@ -79,8 +79,15 @@ struct T2VecConfig {
 
   uint64_t seed = 42;
 
-  /// Stable hash of every field, used as the on-disk cache key for trained
-  /// models (eval/cache.h).
+  // --- Execution (no effect on results; see common/thread_pool.h) ---
+  /// Threads for the read-side hot paths (Encode, kNN). 0 = use the global
+  /// default (`T2VEC_THREADS` env, then hardware concurrency). Parallel
+  /// execution is bit-identical to serial at any thread count.
+  int num_threads = 0;
+
+  /// Stable hash of every result-affecting field, used as the on-disk cache
+  /// key for trained models (eval/cache.h). Execution knobs such as
+  /// `num_threads` are excluded: they never change the trained weights.
   uint64_t Fingerprint() const;
 
   /// Human-readable one-line summary for logs.

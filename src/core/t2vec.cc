@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/serialize.h"
+#include "common/thread_pool.h"
 #include "core/decoder.h"
 #include "core/cell_pretrain.h"
 #include "core/pairs.h"
@@ -108,22 +109,29 @@ traj::TokenSeq T2Vec::TokenizeForEncoder(const traj::Trajectory& trip) const {
 }
 
 nn::Matrix T2Vec::Encode(const std::vector<traj::Trajectory>& trips) const {
-  // Encode in slices to bound the padded batch size.
+  // Encode in slices to bound the padded batch size. Slices are independent
+  // (the forward pass is const and each slice writes a disjoint row range of
+  // `out`), so they parallelize with results bit-identical to a serial run.
   constexpr size_t kSlice = 256;
   nn::Matrix out(trips.size(), model_->hidden());
-  std::vector<traj::TokenSeq> seqs;
-  for (size_t start = 0; start < trips.size(); start += kSlice) {
-    const size_t end = std::min(start + kSlice, trips.size());
-    seqs.clear();
-    for (size_t i = start; i < end; ++i) {
-      seqs.push_back(TokenizeForEncoder(trips[i]));
-    }
-    const nn::Matrix block = model_->EncodeBatch(seqs);
-    for (size_t i = start; i < end; ++i) {
-      std::copy(block.Row(i - start), block.Row(i - start) + block.cols(),
-                out.Row(i));
-    }
-  }
+  const size_t num_slices = (trips.size() + kSlice - 1) / kSlice;
+  ParallelFor(
+      0, num_slices, 1,
+      [&](size_t s) {
+        const size_t start = s * kSlice;
+        const size_t end = std::min(start + kSlice, trips.size());
+        std::vector<traj::TokenSeq> seqs;
+        seqs.reserve(end - start);
+        for (size_t i = start; i < end; ++i) {
+          seqs.push_back(TokenizeForEncoder(trips[i]));
+        }
+        const nn::Matrix block = model_->EncodeBatch(seqs);
+        for (size_t i = start; i < end; ++i) {
+          std::copy(block.Row(i - start), block.Row(i - start) + block.cols(),
+                    out.Row(i));
+        }
+      },
+      config_.num_threads);
   return out;
 }
 

@@ -3,9 +3,19 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "common/order.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace t2vec::core {
+
+namespace {
+
+// Chunk size for parallel per-row distance scans: small enough to split a
+// few-thousand-row database across cores, large enough to amortize dispatch.
+constexpr size_t kScanGrain = 256;
+
+}  // namespace
 
 VectorIndex::VectorIndex(nn::Matrix vectors) : vectors_(std::move(vectors)) {}
 
@@ -22,13 +32,14 @@ double VectorIndex::Distance(const float* query, size_t i) const {
 
 std::vector<size_t> VectorIndex::Knn(const float* query, size_t k) const {
   T2VEC_CHECK(k > 0 && k <= size());
-  std::vector<std::pair<double, size_t>> scored;
-  scored.reserve(size());
-  for (size_t i = 0; i < size(); ++i) {
-    scored.emplace_back(Distance(query, i), i);
-  }
+  // Each iteration writes only scored[i], so the parallel fill is
+  // bit-identical to the serial one; the sort stays serial.
+  std::vector<std::pair<double, size_t>> scored(size());
+  ParallelFor(0, size(), kScanGrain, [&](size_t i) {
+    scored[i] = {Distance(query, i), i};
+  });
   std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
-                    scored.end());
+                    scored.end(), NanLastLess{});
   std::vector<size_t> out;
   out.reserve(k);
   for (size_t i = 0; i < k; ++i) out.push_back(scored[i].second);
@@ -38,9 +49,12 @@ std::vector<size_t> VectorIndex::Knn(const float* query, size_t k) const {
 size_t VectorIndex::RankOf(const float* query, size_t target) const {
   T2VEC_CHECK(target < size());
   const double target_dist = Distance(query, target);
+  std::vector<double> dists(size());
+  ParallelFor(0, size(), kScanGrain,
+              [&](size_t i) { dists[i] = Distance(query, i); });
   size_t closer = 0;
   for (size_t i = 0; i < size(); ++i) {
-    if (i != target && Distance(query, i) < target_dist) ++closer;
+    if (i != target && dists[i] < target_dist) ++closer;
   }
   return closer + 1;
 }
@@ -57,11 +71,23 @@ LshIndex::LshIndex(const nn::Matrix& vectors, int num_tables, int num_bits,
   for (size_t i = 0; i < hyperplanes_.size(); ++i) {
     hyperplanes_.data()[i] = static_cast<float>(rng.Gaussian());
   }
+  // Signatures are independent per row; bucket insertion stays serial so
+  // bucket contents keep the ascending-row order the serial build produced.
+  std::vector<uint32_t> signatures(vectors.rows() *
+                                   static_cast<size_t>(num_tables));
+  ParallelFor(0, vectors.rows(), 64, [&](size_t i) {
+    for (int t = 0; t < num_tables; ++t) {
+      signatures[i * static_cast<size_t>(num_tables) +
+                 static_cast<size_t>(t)] = Signature(vectors.Row(i), t);
+    }
+  });
   tables_.resize(static_cast<size_t>(num_tables));
   for (size_t i = 0; i < vectors.rows(); ++i) {
     for (int t = 0; t < num_tables; ++t) {
-      tables_[static_cast<size_t>(t)][Signature(vectors.Row(i), t)].push_back(
-          static_cast<uint32_t>(i));
+      tables_[static_cast<size_t>(t)]
+             [signatures[i * static_cast<size_t>(num_tables) +
+                         static_cast<size_t>(t)]]
+                 .push_back(static_cast<uint32_t>(i));
     }
   }
 }
@@ -116,19 +142,19 @@ std::vector<size_t> LshIndex::Knn(const float* query, size_t k) const {
 
   // Exact re-ranking of the candidate set.
   const size_t d = vectors_->cols();
-  std::vector<std::pair<double, size_t>> scored;
-  scored.reserve(candidates.size());
-  for (size_t idx : candidates) {
+  std::vector<std::pair<double, size_t>> scored(candidates.size());
+  ParallelFor(0, candidates.size(), kScanGrain, [&](size_t c) {
+    const size_t idx = candidates[c];
     const float* __restrict row = vectors_->Row(idx);
     double acc = 0.0;
     for (size_t j = 0; j < d; ++j) {
       const double diff = static_cast<double>(query[j]) - row[j];
       acc += diff * diff;
     }
-    scored.emplace_back(acc, idx);
-  }
+    scored[c] = {acc, idx};
+  });
   std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
-                    scored.end());
+                    scored.end(), NanLastLess{});
   std::vector<size_t> out;
   out.reserve(k);
   for (size_t i = 0; i < k; ++i) out.push_back(scored[i].second);

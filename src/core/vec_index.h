@@ -1,6 +1,7 @@
 #ifndef T2VEC_CORE_VEC_INDEX_H_
 #define T2VEC_CORE_VEC_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -65,8 +66,10 @@ class LshIndex {
   int num_bits_;
   nn::Matrix hyperplanes_;  // (num_tables * num_bits) x D
   std::vector<std::unordered_map<uint32_t, std::vector<uint32_t>>> tables_;
-  mutable int64_t probe_count_ = 0;
-  mutable int64_t candidate_count_ = 0;
+  // Atomic so concurrent Knn calls (e.g. from a parallel query loop) keep
+  // the diagnostics race-free; the neighbor results themselves are pure.
+  mutable std::atomic<int64_t> probe_count_{0};
+  mutable std::atomic<int64_t> candidate_count_{0};
 };
 
 }  // namespace t2vec::core

@@ -3,21 +3,33 @@
 #include <algorithm>
 
 #include "common/macros.h"
+#include "common/order.h"
+#include "common/thread_pool.h"
 
 namespace t2vec::dist {
+
+namespace {
+
+// The classical measures are O(n^2) dynamic programs, so even a handful of
+// comparisons is worth splitting across cores.
+constexpr size_t kDistanceGrain = 4;
+
+}  // namespace
 
 std::vector<size_t> KnnSearch(const Measure& measure,
                               const traj::Trajectory& query,
                               const std::vector<traj::Trajectory>& database,
                               size_t k) {
   T2VEC_CHECK(k > 0 && k <= database.size());
-  std::vector<std::pair<double, size_t>> scored;
-  scored.reserve(database.size());
-  for (size_t i = 0; i < database.size(); ++i) {
-    scored.emplace_back(measure.Distance(query, database[i]), i);
-  }
+  // Distances are computed in parallel (scored[i] is iteration-private);
+  // the selection sort stays serial, so results match the serial scan
+  // bit for bit at any thread count.
+  std::vector<std::pair<double, size_t>> scored(database.size());
+  ParallelFor(0, database.size(), kDistanceGrain, [&](size_t i) {
+    scored[i] = {measure.Distance(query, database[i]), i};
+  });
   std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
-                    scored.end());
+                    scored.end(), NanLastLess{});
   std::vector<size_t> out;
   out.reserve(k);
   for (size_t i = 0; i < k; ++i) out.push_back(scored[i].second);
@@ -30,10 +42,14 @@ size_t RankOf(const Measure& measure, const traj::Trajectory& query,
   T2VEC_CHECK(target_index < database.size());
   const double target_dist =
       measure.Distance(query, database[target_index]);
+  std::vector<double> dists(database.size());
+  ParallelFor(0, database.size(), kDistanceGrain, [&](size_t i) {
+    dists[i] = measure.Distance(query, database[i]);
+  });
   size_t closer = 0;
   for (size_t i = 0; i < database.size(); ++i) {
     if (i == target_index) continue;
-    if (measure.Distance(query, database[i]) < target_dist) ++closer;
+    if (dists[i] < target_dist) ++closer;
   }
   return closer + 1;
 }

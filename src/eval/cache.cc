@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 
 #include "common/logging.h"
@@ -15,29 +16,47 @@ std::string CacheDir() {
   return env != nullptr ? env : ".t2vec_cache";
 }
 
-namespace {
-
 // Cheap structural fingerprint of the training data: size plus a few probe
 // points, enough to invalidate the cache when the generator setup changes.
+// Coordinates are hashed by bit pattern: the previous float-to-uint64_t cast
+// was undefined behavior for negative values (PortoLike longitudes are
+// negative), which collapsed distinct datasets onto unstable fingerprints
+// and silently served stale cached models.
 uint64_t DataFingerprint(const std::vector<traj::Trajectory>& trips) {
   uint64_t h = 0xCBF29CE484222325ULL;
   auto mix = [&h](uint64_t v) {
     h ^= v;
     h *= 0x100000001B3ULL;
   };
+  auto mix_point = [&mix](const geo::Point& p) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(p.x));
+    std::memcpy(&bits, &p.x, sizeof(bits));
+    mix(bits);
+    std::memcpy(&bits, &p.y, sizeof(bits));
+    mix(bits);
+  };
   mix(trips.size());
   for (size_t i = 0; i < trips.size(); i += std::max<size_t>(1, trips.size() / 16)) {
     const traj::Trajectory& t = trips[i];
     mix(static_cast<uint64_t>(t.size()));
     if (!t.empty()) {
-      mix(static_cast<uint64_t>(t.points.front().x * 1000.0));
-      mix(static_cast<uint64_t>(t.points.back().y * 1000.0));
+      mix_point(t.points.front());
+      mix_point(t.points[t.size() / 2]);
+      mix_point(t.points.back());
     }
   }
   return h;
 }
 
-}  // namespace
+std::string CachePath(const std::string& tag, uint64_t config_fingerprint,
+                      uint64_t data_fingerprint, const std::string& suffix) {
+  char key[64];
+  std::snprintf(key, sizeof(key), "_%016llx_%016llx",
+                static_cast<unsigned long long>(config_fingerprint),
+                static_cast<unsigned long long>(data_fingerprint));
+  return CacheDir() + "/" + tag + key + suffix;
+}
 
 core::T2Vec GetOrTrainModel(const std::string& tag,
                             const std::vector<traj::Trajectory>& train_trips,
@@ -45,19 +64,16 @@ core::T2Vec GetOrTrainModel(const std::string& tag,
                             core::TrainStats* stats) {
   if (stats != nullptr) *stats = core::TrainStats{};
   std::filesystem::create_directories(CacheDir());
-  char name[256];
-  std::snprintf(name, sizeof(name), "%s/%s_%016llx_%016llx.t2vec",
-                CacheDir().c_str(), tag.c_str(),
-                static_cast<unsigned long long>(config.Fingerprint()),
-                static_cast<unsigned long long>(DataFingerprint(train_trips)));
+  const std::string name = CachePath(tag, config.Fingerprint(),
+                                     DataFingerprint(train_trips), ".t2vec");
 
   if (std::filesystem::exists(name)) {
     Result<core::T2Vec> loaded = core::T2Vec::Load(name);
     if (loaded.ok()) {
-      T2VEC_LOG_INFO("model cache hit: %s", name);
+      T2VEC_LOG_INFO("model cache hit: %s", name.c_str());
       return std::move(loaded).value();
     }
-    T2VEC_LOG_WARN("corrupt cache entry %s: %s; retraining", name,
+    T2VEC_LOG_WARN("corrupt cache entry %s: %s; retraining", name.c_str(),
                    loaded.status().ToString().c_str());
   }
 
@@ -76,18 +92,15 @@ core::VRnn GetOrTrainVRnn(const std::string& tag,
                           const geo::HotCellVocab& vocab,
                           const core::T2VecConfig& config, size_t iterations) {
   std::filesystem::create_directories(CacheDir());
-  char name[256];
-  std::snprintf(name, sizeof(name), "%s/%s_%016llx_%016llx_%zu.vrnn",
-                CacheDir().c_str(), tag.c_str(),
-                static_cast<unsigned long long>(config.Fingerprint()),
-                static_cast<unsigned long long>(DataFingerprint(train_trips)),
-                iterations);
+  const std::string name =
+      CachePath(tag, config.Fingerprint(), DataFingerprint(train_trips),
+                "_" + std::to_string(iterations) + ".vrnn");
 
   Rng rng(config.seed + 17);
   core::VRnn vrnn(config, vocab.vocab_size(), rng);
   if (std::filesystem::exists(name) &&
       nn::LoadParams(vrnn.Params(), name).ok()) {
-    T2VEC_LOG_INFO("vRNN cache hit: %s", name);
+    T2VEC_LOG_INFO("vRNN cache hit: %s", name.c_str());
     return vrnn;
   }
 

@@ -19,6 +19,17 @@ namespace t2vec::eval {
 /// Default cache directory, overridable via $T2VEC_CACHE_DIR.
 std::string CacheDir();
 
+/// Structural fingerprint of a training set: size plus probe points (first,
+/// middle, last of sampled trips), hashed by floating-point bit pattern so
+/// negative coordinates and sub-millimeter differences both distinguish
+/// datasets. Exposed for the cache-collision regression tests.
+uint64_t DataFingerprint(const std::vector<traj::Trajectory>& trips);
+
+/// Cache file path for a (tag, config, data) key: never truncates, however
+/// long $T2VEC_CACHE_DIR is. `suffix` is the extension including the dot.
+std::string CachePath(const std::string& tag, uint64_t config_fingerprint,
+                      uint64_t data_fingerprint, const std::string& suffix);
+
 /// Loads the cached model for this (tag, config, data) key, or trains one
 /// and stores it. `stats`, if non-null, is filled only on a fresh training
 /// run (stats->iterations == 0 signals a cache hit).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/thread_pool.h"
 #include "core/vec_index.h"
 #include "dist/knn.h"
 #include "eval/metrics.h"
@@ -75,11 +76,13 @@ void TransformMss(MssData* mss, double r1, double r2, Rng& rng) {
 }
 
 double MeanRankOfMeasure(const dist::Measure& measure, const MssData& mss) {
-  std::vector<size_t> ranks;
-  ranks.reserve(mss.queries.size());
-  for (size_t i = 0; i < mss.queries.size(); ++i) {
-    ranks.push_back(dist::RankOf(measure, mss.queries[i], mss.database, i));
-  }
+  // Queries are independent; rank i is written by iteration i only. The
+  // nested parallel loop inside dist::RankOf runs inline on pool workers,
+  // so parallelism lives at the query level where it amortizes best.
+  std::vector<size_t> ranks(mss.queries.size());
+  ParallelFor(0, mss.queries.size(), 1, [&](size_t i) {
+    ranks[i] = dist::RankOf(measure, mss.queries[i], mss.database, i);
+  });
   return MeanRank(ranks);
 }
 
@@ -87,11 +90,10 @@ double MeanRankOfVectors(const nn::Matrix& query_vecs,
                          const nn::Matrix& db_vecs) {
   T2VEC_CHECK(query_vecs.rows() <= db_vecs.rows());
   core::VectorIndex index{nn::Matrix(db_vecs)};
-  std::vector<size_t> ranks;
-  ranks.reserve(query_vecs.rows());
-  for (size_t i = 0; i < query_vecs.rows(); ++i) {
-    ranks.push_back(index.RankOf(query_vecs.Row(i), i));
-  }
+  std::vector<size_t> ranks(query_vecs.rows());
+  ParallelFor(0, query_vecs.rows(), 1, [&](size_t i) {
+    ranks[i] = index.RankOf(query_vecs.Row(i), i);
+  });
   return MeanRank(ranks);
 }
 
@@ -141,14 +143,27 @@ double CrossDeviationOfMeasure(
     const std::vector<std::pair<traj::Trajectory, traj::Trajectory>>& pairs,
     double r1, double r2, Rng& rng) {
   T2VEC_CHECK(!pairs.empty());
-  double total = 0.0;
+  // Transforms consume the shared rng and stay serial (the stream order is
+  // part of the experiment's reproducibility); the O(n^2) distance programs
+  // dominate and run per-pair in parallel. Deviations are accumulated
+  // serially in index order so the floating-point sum matches a serial run.
+  std::vector<std::pair<traj::Trajectory, traj::Trajectory>> transformed;
+  transformed.reserve(pairs.size());
   for (const auto& [tb, tb_prime] : pairs) {
-    const double original = measure.Distance(tb, tb_prime);
-    const traj::Trajectory ta = TransformOne(tb, r1, r2, rng);
-    const traj::Trajectory ta_prime = TransformOne(tb_prime, r1, r2, rng);
-    const double transformed = measure.Distance(ta, ta_prime);
-    total += CrossDistanceDeviation(transformed, original);
+    traj::Trajectory ta = TransformOne(tb, r1, r2, rng);
+    traj::Trajectory ta_prime = TransformOne(tb_prime, r1, r2, rng);
+    transformed.emplace_back(std::move(ta), std::move(ta_prime));
   }
+  std::vector<double> deviations(pairs.size());
+  ParallelFor(0, pairs.size(), 1, [&](size_t i) {
+    const double original =
+        measure.Distance(pairs[i].first, pairs[i].second);
+    const double after =
+        measure.Distance(transformed[i].first, transformed[i].second);
+    deviations[i] = CrossDistanceDeviation(after, original);
+  });
+  double total = 0.0;
+  for (double d : deviations) total += d;
   return total / static_cast<double>(pairs.size());
 }
 
@@ -199,14 +214,16 @@ double KnnPrecisionOfMeasure(const dist::Measure& measure,
   for (const auto& q : queries) tq.push_back(TransformOne(q, r1, r2, rng));
   for (const auto& d : database) tdb.push_back(TransformOne(d, r1, r2, rng));
 
-  double total = 0.0;
-  for (size_t i = 0; i < queries.size(); ++i) {
+  std::vector<double> precisions(queries.size());
+  ParallelFor(0, queries.size(), 1, [&](size_t i) {
     const std::vector<size_t> truth =
         dist::KnnSearch(measure, queries[i], database, k);
     const std::vector<size_t> retrieved =
         dist::KnnSearch(measure, tq[i], tdb, k);
-    total += KnnPrecision(truth, retrieved);
-  }
+    precisions[i] = KnnPrecision(truth, retrieved);
+  });
+  double total = 0.0;
+  for (double p : precisions) total += p;
   return total / static_cast<double>(queries.size());
 }
 
@@ -226,12 +243,14 @@ double KnnPrecisionOfT2Vec(const core::T2Vec& model,
   const nn::Matrix query_vecs = model.Encode(queries);
   const nn::Matrix tq_vecs = model.Encode(tq);
 
-  double total = 0.0;
-  for (size_t i = 0; i < queries.size(); ++i) {
+  std::vector<double> precisions(queries.size());
+  ParallelFor(0, queries.size(), 1, [&](size_t i) {
     const std::vector<size_t> truth = truth_index.Knn(query_vecs.Row(i), k);
     const std::vector<size_t> retrieved = trans_index.Knn(tq_vecs.Row(i), k);
-    total += KnnPrecision(truth, retrieved);
-  }
+    precisions[i] = KnnPrecision(truth, retrieved);
+  });
+  double total = 0.0;
+  for (double p : precisions) total += p;
   return total / static_cast<double>(queries.size());
 }
 

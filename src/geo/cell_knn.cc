@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace t2vec::geo {
 
 CellKnnTable::CellKnnTable(const HotCellVocab& vocab, int k, double theta)
@@ -27,9 +29,11 @@ CellKnnTable::CellKnnTable(const HotCellVocab& vocab, int k, double theta)
   distances_.resize(n);
 
   // Hot cells live on a lattice; candidates are gathered ring by ring around
-  // each cell until the k-th best cannot be improved by farther rings.
-  std::vector<std::pair<double, Token>> candidates;
-  for (size_t i = 0; i < n; ++i) {
+  // each cell until the k-th best cannot be improved by farther rings. Cells
+  // are independent (cell i writes only neighbors_/weights_/distances_[i]),
+  // so the precompute parallelizes with bit-identical results.
+  ParallelFor(0, n, 16, [&](size_t i) {
+    std::vector<std::pair<double, Token>> candidates;
     const Token token = static_cast<Token>(i) + kNumSpecialTokens;
     const Point center = vocab.CenterOf(token);
     const CellId cell = vocab.hot_cells()[i];
@@ -37,7 +41,6 @@ CellKnnTable::CellKnnTable(const HotCellVocab& vocab, int k, double theta)
     const int64_t col0 = grid.ColOf(cell);
     const int64_t max_ring = std::max(grid.rows(), grid.cols());
 
-    candidates.clear();
     candidates.emplace_back(0.0, token);  // The cell itself (distance 0).
 
     auto visit = [&](int64_t row, int64_t col) {
@@ -86,7 +89,7 @@ CellKnnTable::CellKnnTable(const HotCellVocab& vocab, int k, double theta)
     for (float& w : weights_[i]) {
       w = static_cast<float>(w / weight_sum);
     }
-  }
+  });
 }
 
 size_t CellKnnTable::IndexOf(Token token) const {

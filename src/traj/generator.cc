@@ -3,7 +3,24 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace t2vec::traj {
+
+namespace {
+
+// splitmix64-style derivation of an independent per-trip RNG seed from the
+// generator seed and the trip id. Decorrelating trips this way (instead of
+// one shared stream) is what makes trip i a pure function of (config, i).
+uint64_t TripSeed(uint64_t base_seed, int64_t id) {
+  uint64_t z = base_seed + 0x9E3779B97F4A7C15ULL *
+                               (static_cast<uint64_t>(id) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
 
 GeneratorConfig GeneratorConfig::PortoLike() {
   GeneratorConfig config;
@@ -33,7 +50,7 @@ GeneratorConfig GeneratorConfig::HarbinLike() {
 
 SyntheticTrajectoryGenerator::SyntheticTrajectoryGenerator(
     const GeneratorConfig& config)
-    : config_(config), network_(config.network), rng_(config.seed) {}
+    : config_(config), network_(config.network) {}
 
 std::vector<geo::Point> SampleAlongPolyline(
     const std::vector<geo::Point>& route, double spacing_m) {
@@ -57,20 +74,21 @@ std::vector<geo::Point> SampleAlongPolyline(
 }
 
 Trajectory SyntheticTrajectoryGenerator::GenerateOne(
-    int64_t id, std::vector<geo::Point>* route_out) {
+    int64_t id, std::vector<geo::Point>* route_out) const {
+  Rng rng(TripSeed(config_.seed, id));
   Trajectory trip;
   trip.id = id;
   // Rejection loop: regenerate until the trip is long enough (short walks
   // near the region border can terminate early).
   for (int attempt = 0; attempt < 100; ++attempt) {
     const double speed =
-        rng_.Uniform(config_.min_speed_mps, config_.max_speed_mps);
+        rng.Uniform(config_.min_speed_mps, config_.max_speed_mps);
     const double spacing = speed * config_.report_interval_s;
-    const int target_points = static_cast<int>(rng_.Uniform(
+    const int target_points = static_cast<int>(rng.Uniform(
         config_.min_trip_points, config_.max_trip_points));
     const double target_length = spacing * target_points;
 
-    std::vector<geo::Point> route = network_.SampleRoute(target_length, rng_);
+    std::vector<geo::Point> route = network_.SampleRoute(target_length, rng);
     std::vector<geo::Point> samples = SampleAlongPolyline(route, spacing);
     if (static_cast<int>(samples.size()) < config_.min_trip_points) continue;
     if (static_cast<int>(samples.size()) > config_.max_trip_points) {
@@ -80,8 +98,8 @@ Trajectory SyntheticTrajectoryGenerator::GenerateOne(
     trip.points.clear();
     trip.points.reserve(samples.size());
     for (const geo::Point& p : samples) {
-      trip.points.push_back({p.x + rng_.Gaussian(0.0, config_.gps_noise_m),
-                             p.y + rng_.Gaussian(0.0, config_.gps_noise_m)});
+      trip.points.push_back({p.x + rng.Gaussian(0.0, config_.gps_noise_m),
+                             p.y + rng.Gaussian(0.0, config_.gps_noise_m)});
     }
     if (route_out != nullptr) *route_out = std::move(route);
     return trip;
@@ -90,12 +108,12 @@ Trajectory SyntheticTrajectoryGenerator::GenerateOne(
   return trip;
 }
 
-Dataset SyntheticTrajectoryGenerator::Generate(size_t count) {
-  Dataset dataset;
-  for (size_t i = 0; i < count; ++i) {
-    dataset.Add(GenerateOne(static_cast<int64_t>(i), nullptr));
-  }
-  return dataset;
+Dataset SyntheticTrajectoryGenerator::Generate(size_t count) const {
+  std::vector<Trajectory> trips(count);
+  ParallelFor(0, count, 8, [&](size_t i) {
+    trips[i] = GenerateOne(static_cast<int64_t>(i), nullptr);
+  });
+  return Dataset(std::move(trips));
 }
 
 }  // namespace t2vec::traj

@@ -315,5 +315,42 @@ TEST(KnnTest, RankOrdering) {
   EXPECT_EQ(RankOf(dtw, query, db, 7), 8u);
 }
 
+// Regression: a measure yielding NaN used to hand std::partial_sort a
+// comparator violating strict weak ordering (UB, garbage neighbor lists).
+// NaN distances must now sort after every finite distance.
+class NanOnEvenIdMeasure : public Measure {
+ public:
+  double Distance(const traj::Trajectory& a,
+                  const traj::Trajectory& b) const override {
+    if (b.id % 2 == 0) return std::nan("");
+    return std::abs(static_cast<double>(a.id - b.id));
+  }
+  std::string Name() const override { return "nan_on_even"; }
+};
+
+TEST(KnnTest, NanDistancesOrderLast) {
+  std::vector<traj::Trajectory> db;
+  for (int i = 0; i < 10; ++i) {
+    db.push_back(AsTraj(Line(4), /*id=*/i));
+  }
+  const traj::Trajectory query = AsTraj(Line(4), /*id=*/0);
+  NanOnEvenIdMeasure measure;
+
+  // All ten requested: the five finite-distance trajectories (odd ids,
+  // ascending |id|) must come first, the five NaN ones last.
+  const std::vector<size_t> all = KnnSearch(measure, query, db, 10);
+  ASSERT_EQ(all.size(), 10u);
+  const std::vector<size_t> expected_finite = {1, 3, 5, 7, 9};
+  std::vector<size_t> head(all.begin(), all.begin() + 5);
+  EXPECT_EQ(head, expected_finite);
+  for (size_t i = 5; i < 10; ++i) {
+    EXPECT_EQ(all[i] % 2, 0u) << "finite neighbor displaced by NaN";
+  }
+
+  // k smaller than the finite count: no NaN in the result at all.
+  const std::vector<size_t> top3 = KnnSearch(measure, query, db, 3);
+  EXPECT_EQ(top3, (std::vector<size_t>{1, 3, 5}));
+}
+
 }  // namespace
 }  // namespace t2vec::dist

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "common/rng.h"
 #include "dist/classic.h"
+#include "eval/cache.h"
 #include "eval/experiments.h"
 #include "eval/metrics.h"
 #include "eval/table.h"
@@ -9,6 +12,62 @@
 
 namespace t2vec::eval {
 namespace {
+
+traj::Trajectory TrajOf(std::vector<geo::Point> points) {
+  traj::Trajectory t;
+  t.points = std::move(points);
+  return t;
+}
+
+TEST(CacheTest, FingerprintDistinguishesNegativeCoordinates) {
+  // Regression: casting a negative double straight to uint64_t is UB and
+  // collapsed distinct datasets (PortoLike longitudes are negative) onto
+  // unstable fingerprints, silently serving stale cached models.
+  const std::vector<traj::Trajectory> negative = {
+      TrajOf({{-8.61, 41.14}, {-8.60, 41.15}, {-8.59, 41.16}})};
+  const std::vector<traj::Trajectory> shifted = {
+      TrajOf({{-8.62, 41.14}, {-8.60, 41.15}, {-8.59, 41.16}})};
+  const std::vector<traj::Trajectory> positive = {
+      TrajOf({{8.61, 41.14}, {8.60, 41.15}, {8.59, 41.16}})};
+  EXPECT_NE(DataFingerprint(negative), DataFingerprint(shifted));
+  EXPECT_NE(DataFingerprint(negative), DataFingerprint(positive));
+  // Same data always maps to the same key.
+  EXPECT_EQ(DataFingerprint(negative), DataFingerprint(negative));
+}
+
+TEST(CacheTest, FingerprintSeesMorePointsThanEndpoints) {
+  // The old fingerprint probed only front().x and back().y; datasets
+  // differing in the middle (or in the other coordinate of an endpoint)
+  // collided.
+  const std::vector<traj::Trajectory> base = {
+      TrajOf({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}})};
+  const std::vector<traj::Trajectory> mid_differs = {
+      TrajOf({{1.0, 2.0}, {3.5, 4.0}, {5.0, 6.0}})};
+  const std::vector<traj::Trajectory> front_y_differs = {
+      TrajOf({{1.0, 2.5}, {3.0, 4.0}, {5.0, 6.0}})};
+  EXPECT_NE(DataFingerprint(base), DataFingerprint(mid_differs));
+  EXPECT_NE(DataFingerprint(base), DataFingerprint(front_y_differs));
+}
+
+TEST(CacheTest, CachePathNeverTruncatesLongCacheDir) {
+  // Regression: the path used to go through a 256-byte snprintf buffer, so
+  // a long $T2VEC_CACHE_DIR silently truncated — distinct configs then
+  // collided on the truncated file name.
+  const std::string long_dir(300, 'd');
+  ASSERT_EQ(setenv("T2VEC_CACHE_DIR", long_dir.c_str(), 1), 0);
+  const std::string path = CachePath("tag", 0x1111222233334444ULL,
+                                     0x5555666677778888ULL, ".t2vec");
+  unsetenv("T2VEC_CACHE_DIR");
+  EXPECT_EQ(path.rfind(long_dir, 0), 0u) << "directory prefix lost";
+  EXPECT_NE(path.find("tag_1111222233334444_5555666677778888.t2vec"),
+            std::string::npos);
+  // Distinct fingerprints stay distinct however long the prefix is.
+  ASSERT_EQ(setenv("T2VEC_CACHE_DIR", long_dir.c_str(), 1), 0);
+  const std::string other = CachePath("tag", 0x1111222233334444ULL,
+                                      0x5555666677778889ULL, ".t2vec");
+  unsetenv("T2VEC_CACHE_DIR");
+  EXPECT_NE(path, other);
+}
 
 TEST(MetricsTest, MeanRank) {
   EXPECT_DOUBLE_EQ(MeanRank({1, 2, 3}), 2.0);

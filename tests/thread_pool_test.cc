@@ -1,0 +1,225 @@
+// Tests of the deterministic parallelism subsystem (common/thread_pool.h):
+// ParallelFor correctness under every partitioning, nesting and concurrent
+// callers (the interesting cases under TSan — this binary is the designated
+// thread-pool exercise when configured with -DT2VEC_SANITIZE=thread), and
+// the headline guarantee: Encode, VectorIndex::Knn, dist::KnnSearch, and
+// trajectory generation produce bit-identical results at 1, 2, and 8
+// threads.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/t2vec.h"
+#include "core/vec_index.h"
+#include "dist/classic.h"
+#include "dist/knn.h"
+#include "traj/generator.h"
+
+namespace t2vec {
+namespace {
+
+// Restores the process-wide thread count on scope exit so tests compose.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { SetNumThreads(0); }
+};
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexOnce) {
+  ThreadCountGuard guard;
+  for (int threads : {1, 2, 3, 8}) {
+    for (size_t n : {0u, 1u, 7u, 64u, 1000u}) {
+      for (size_t grain : {1u, 4u, 300u}) {
+        std::vector<int> visits(n, 0);
+        ParallelFor(0, n, grain, [&](size_t i) { visits[i]++; }, threads);
+        for (size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(visits[i], 1) << "threads=" << threads << " n=" << n
+                                  << " grain=" << grain << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHonorsSubrange) {
+  std::vector<int> visits(100, 0);
+  ParallelFor(10, 90, 1, [&](size_t i) { visits[i]++; }, 4);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(visits[i], (i >= 10 && i < 90) ? 1 : 0);
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineAndStaysCorrect) {
+  constexpr size_t kOuter = 16, kInner = 32;
+  std::vector<uint64_t> sums(kOuter, 0);
+  ParallelFor(0, kOuter, 1, [&](size_t i) {
+    // The nested loop must run inline on the worker (deadlock-free) and
+    // still cover its whole range.
+    ParallelFor(0, kInner, 1, [&](size_t j) { sums[i] += j + i; }, 8);
+  }, 8);
+  for (size_t i = 0; i < kOuter; ++i) {
+    EXPECT_EQ(sums[i], kInner * i + kInner * (kInner - 1) / 2);
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersFromDistinctThreads) {
+  // Two user threads issuing ParallelFor simultaneously must serialize on
+  // the pool without corrupting either result.
+  constexpr size_t kN = 4096;
+  std::vector<uint32_t> a(kN, 0), b(kN, 0);
+  std::thread ta([&] {
+    ParallelFor(0, kN, 16, [&](size_t i) { a[i] = static_cast<uint32_t>(i); },
+                4);
+  });
+  std::thread tb([&] {
+    ParallelFor(0, kN, 16,
+                [&](size_t i) { b[i] = static_cast<uint32_t>(2 * i); }, 4);
+  });
+  ta.join();
+  tb.join();
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(a[i], i);
+    ASSERT_EQ(b[i], 2 * i);
+  }
+}
+
+TEST(ThreadPoolTest, SetNumThreadsOverridesAndRestores) {
+  ThreadCountGuard guard;
+  SetNumThreads(3);
+  EXPECT_EQ(GetNumThreads(), 3);
+  SetNumThreads(0);
+  EXPECT_GE(GetNumThreads(), 1);
+}
+
+// --- Bit-identical results across thread counts --------------------------
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  static const traj::Dataset& Trips() {
+    static traj::Dataset* trips = [] {
+      traj::SyntheticTrajectoryGenerator generator(
+          traj::GeneratorConfig::PortoLike());
+      // > 256 trips so Encode spans multiple parallel slices.
+      return new traj::Dataset(generator.Generate(300));
+    }();
+    return *trips;
+  }
+
+  static const core::T2Vec& Model() {
+    static core::T2Vec* model = [] {
+      core::T2VecConfig config;
+      config.hidden = 24;
+      config.embed_dim = 16;
+      config.layers = 1;
+      config.max_iterations = 8;
+      config.validate_every = 100;
+      config.pretrain_epochs = 1;
+      config.r1_grid = {0.0, 0.4};
+      config.r2_grid = {0.0};
+      std::vector<traj::Trajectory> train(
+          Trips().trajectories().begin(),
+          Trips().trajectories().begin() + 120);
+      return new core::T2Vec(core::T2Vec::Train(train, config));
+    }();
+    return *model;
+  }
+
+  template <typename Fn>
+  static void ExpectIdenticalAcrossThreadCounts(const Fn& fn) {
+    ThreadCountGuard guard;
+    SetNumThreads(1);
+    const auto serial = fn();
+    for (int threads : {2, 8}) {
+      SetNumThreads(threads);
+      const auto parallel = fn();
+      ASSERT_EQ(serial, parallel) << "at " << threads << " threads";
+    }
+  }
+};
+
+TEST_F(DeterminismTest, EncodeIsBitIdentical) {
+  ThreadCountGuard guard;
+  SetNumThreads(1);
+  const nn::Matrix serial = Model().Encode(Trips().trajectories());
+  for (int threads : {2, 8}) {
+    SetNumThreads(threads);
+    const nn::Matrix parallel = Model().Encode(Trips().trajectories());
+    ASSERT_EQ(serial.rows(), parallel.rows());
+    ASSERT_EQ(serial.cols(), parallel.cols());
+    ASSERT_EQ(std::memcmp(serial.data(), parallel.data(),
+                          serial.size() * sizeof(float)),
+              0)
+        << "Encode diverged at " << threads << " threads";
+  }
+}
+
+TEST_F(DeterminismTest, VectorIndexKnnAndRankAreBitIdentical) {
+  const nn::Matrix vecs = Model().Encode(Trips().trajectories());
+  const core::VectorIndex index{nn::Matrix(vecs)};
+  ExpectIdenticalAcrossThreadCounts([&] {
+    std::vector<size_t> out;
+    for (size_t q = 0; q < 8; ++q) {
+      const auto knn = index.Knn(vecs.Row(q), 10);
+      out.insert(out.end(), knn.begin(), knn.end());
+      out.push_back(index.RankOf(vecs.Row(q), q));
+    }
+    return out;
+  });
+}
+
+TEST_F(DeterminismTest, LshKnnIsBitIdentical) {
+  const nn::Matrix vecs = Model().Encode(Trips().trajectories());
+  ExpectIdenticalAcrossThreadCounts([&] {
+    core::LshIndex lsh(vecs, /*num_tables=*/4, /*num_bits=*/8, /*seed=*/3);
+    std::vector<size_t> out;
+    for (size_t q = 0; q < 8; ++q) {
+      const auto knn = lsh.Knn(vecs.Row(q), 10);
+      out.insert(out.end(), knn.begin(), knn.end());
+    }
+    return out;
+  });
+}
+
+TEST_F(DeterminismTest, ClassicalKnnSearchIsBitIdentical) {
+  const std::vector<traj::Trajectory>& db = Trips().trajectories();
+  const dist::DtwMeasure dtw;
+  ExpectIdenticalAcrossThreadCounts([&] {
+    std::vector<size_t> out;
+    for (size_t q = 0; q < 4; ++q) {
+      const auto knn = dist::KnnSearch(dtw, db[q], db, 5);
+      out.insert(out.end(), knn.begin(), knn.end());
+      out.push_back(dist::RankOf(dtw, db[q], db, q));
+    }
+    return out;
+  });
+}
+
+TEST_F(DeterminismTest, GeneratorIsBitIdenticalAndOrderIndependent) {
+  const traj::SyntheticTrajectoryGenerator generator(
+      traj::GeneratorConfig::PortoLike());
+  ThreadCountGuard guard;
+  SetNumThreads(1);
+  const traj::Dataset serial = generator.Generate(40);
+  for (int threads : {2, 8}) {
+    SetNumThreads(threads);
+    const traj::Dataset parallel = generator.Generate(40);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(serial[i].points, parallel[i].points)
+          << "trip " << i << " at " << threads << " threads";
+    }
+  }
+  // Trip i is a pure function of (config, i): single-trip generation
+  // reproduces the batch exactly.
+  for (size_t i : {0u, 7u, 39u}) {
+    const traj::Trajectory one =
+        generator.GenerateOne(static_cast<int64_t>(i), nullptr);
+    EXPECT_EQ(one.points, serial[i].points);
+  }
+}
+
+}  // namespace
+}  // namespace t2vec

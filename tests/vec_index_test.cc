@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <set>
 
 #include "common/rng.h"
@@ -113,6 +114,31 @@ TEST(LshIndexTest, FallsBackWhenBucketsEmpty) {
   EXPECT_EQ(result.size(), 5u);
   std::set<size_t> unique(result.begin(), result.end());
   EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(VectorIndexTest, NanVectorsOrderLast) {
+  // Regression: rows containing NaN produce NaN distances, which used to
+  // break the partial_sort comparator's strict weak ordering (UB). NaN rows
+  // must now sort after every finite-distance row.
+  nn::Matrix vecs(6, 2);
+  for (size_t i = 0; i < 6; ++i) {
+    vecs(i, 0) = static_cast<float>(i);
+    vecs(i, 1) = 0.0f;
+  }
+  vecs(1, 1) = std::numeric_limits<float>::quiet_NaN();
+  vecs(4, 0) = std::numeric_limits<float>::quiet_NaN();
+  VectorIndex index(std::move(vecs));
+  const float query[2] = {0.0f, 0.0f};
+
+  const auto all = index.Knn(query, 6);
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ((std::vector<size_t>{all.begin(), all.begin() + 4}),
+            (std::vector<size_t>{0, 2, 3, 5}));
+  // Both NaN rows land at the tail (their mutual order is unspecified).
+  EXPECT_TRUE((all[4] == 1 && all[5] == 4) || (all[4] == 4 && all[5] == 1));
+
+  // k below the finite count never surfaces a NaN row.
+  EXPECT_EQ(index.Knn(query, 3), (std::vector<size_t>{0, 2, 3}));
 }
 
 TEST(LshIndexTest, ApproxResultsAreGenuineVectors) {
