@@ -3,6 +3,8 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/thread_pool.h"
 #include "eval/cache.h"
@@ -32,6 +34,26 @@ inline void PrintThreadSetup() {
   std::printf("threads: %d (T2VEC_THREADS to override; results are "
               "thread-count independent)\n",
               GetNumThreads());
+}
+
+/// Writes a flat {"metric": value} JSON map — the stable artifact format the
+/// microbenches emit for before/after comparisons (e.g. BENCH_gemm.json,
+/// tracked in EXPERIMENTS.md).
+inline void WriteBenchJson(
+    const std::string& path,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "WriteBenchJson: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    std::fprintf(f, "  \"%s\": %.6g%s\n", metrics[i].first.c_str(),
+                 metrics[i].second, i + 1 < metrics.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
 }
 
 /// Canonical training-set sizes for the shared default models.

@@ -1,0 +1,175 @@
+#ifndef T2VEC_COMMON_SORT_H_
+#define T2VEC_COMMON_SORT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+/// \file
+/// Pinned introsort for orderings that feed model-visible decisions.
+///
+/// `std::sort` guarantees a sorted result but not a specific permutation:
+/// with comparators that have equivalence classes (ties), the placement of
+/// tied elements is implementation-defined and differs across standard
+/// libraries (and can change between releases). Code that slices a sorted
+/// order into training batches would therefore train a different model per
+/// toolchain. `DeterministicSort` pins the whole algorithm — classic
+/// median-of-3 introsort (Musser): a depth-limited quicksort loop with an
+/// insertion-sort finish below a fixed threshold and a heapsort fallback —
+/// so the output permutation, tie placement included, is a pure function of
+/// the input everywhere.
+///
+/// The quicksort/insertion parameterization matches the widespread GNU
+/// implementation, which keeps historical batch compositions (and thus
+/// trained models) unchanged on the reference toolchain; the heapsort
+/// fallback only triggers on adversarial inputs deeper than 2*log2(n).
+
+namespace t2vec {
+
+namespace sort_internal {
+
+inline constexpr std::ptrdiff_t kInsertionThreshold = 16;
+
+template <typename It, typename Comp>
+void MoveMedianToFirst(It result, It a, It b, It c, Comp comp) {
+  if (comp(*a, *b)) {
+    if (comp(*b, *c)) {
+      std::iter_swap(result, b);
+    } else if (comp(*a, *c)) {
+      std::iter_swap(result, c);
+    } else {
+      std::iter_swap(result, a);
+    }
+  } else if (comp(*a, *c)) {
+    std::iter_swap(result, a);
+  } else if (comp(*b, *c)) {
+    std::iter_swap(result, c);
+  } else {
+    std::iter_swap(result, b);
+  }
+}
+
+// Hoare partition; callers guarantee the pivot is a median of sampled
+// elements, so the inner loops need no bounds checks.
+template <typename It, typename Comp>
+It UnguardedPartition(It first, It last, It pivot, Comp comp) {
+  while (true) {
+    while (comp(*first, *pivot)) ++first;
+    --last;
+    while (comp(*pivot, *last)) --last;
+    if (!(first < last)) return first;
+    std::iter_swap(first, last);
+    ++first;
+  }
+}
+
+template <typename It, typename Comp>
+It PartitionPivot(It first, It last, Comp comp) {
+  It mid = first + (last - first) / 2;
+  MoveMedianToFirst(first, first + 1, mid, last - 1, comp);
+  return UnguardedPartition(first + 1, last, first, comp);
+}
+
+// Insert *last into the sorted run ending just before it; the caller
+// guarantees an element <= *last exists below, so no bounds check.
+template <typename It, typename Comp>
+void UnguardedLinearInsert(It last, Comp comp) {
+  auto val = std::move(*last);
+  It next = last;
+  --next;
+  while (comp(val, *next)) {
+    *last = std::move(*next);
+    last = next;
+    --next;
+  }
+  *last = std::move(val);
+}
+
+template <typename It, typename Comp>
+void InsertionSort(It first, It last, Comp comp) {
+  if (first == last) return;
+  for (It i = first + 1; i != last; ++i) {
+    if (comp(*i, *first)) {
+      auto val = std::move(*i);
+      std::move_backward(first, i, i + 1);
+      *first = std::move(val);
+    } else {
+      UnguardedLinearInsert(i, comp);
+    }
+  }
+}
+
+// Bottom-up heapsort; only reached past the recursion depth limit. Any
+// fixed heapsort works here — what matters is that it is pinned.
+template <typename It, typename Comp>
+void SiftDown(It first, std::ptrdiff_t root, std::ptrdiff_t end, Comp comp) {
+  while (2 * root + 1 < end) {
+    std::ptrdiff_t child = 2 * root + 1;
+    if (child + 1 < end && comp(first[child], first[child + 1])) ++child;
+    if (!comp(first[root], first[child])) return;
+    std::iter_swap(first + root, first + child);
+    root = child;
+  }
+}
+
+template <typename It, typename Comp>
+void HeapSort(It first, It last, Comp comp) {
+  const std::ptrdiff_t n = last - first;
+  for (std::ptrdiff_t start = n / 2 - 1; start >= 0; --start) {
+    SiftDown(first, start, n, comp);
+  }
+  for (std::ptrdiff_t end = n - 1; end > 0; --end) {
+    std::iter_swap(first, first + end);
+    SiftDown(first, 0, end, comp);
+  }
+}
+
+template <typename It, typename Comp>
+void IntrosortLoop(It first, It last, int depth_limit, Comp comp) {
+  while (last - first > kInsertionThreshold) {
+    if (depth_limit == 0) {
+      HeapSort(first, last, comp);
+      return;
+    }
+    --depth_limit;
+    It cut = PartitionPivot(first, last, comp);
+    IntrosortLoop(cut, last, depth_limit, comp);
+    last = cut;
+  }
+}
+
+inline int FloorLog2(std::ptrdiff_t n) {
+  int k = 0;
+  while (n > 1) {
+    n >>= 1;
+    ++k;
+  }
+  return k;
+}
+
+}  // namespace sort_internal
+
+/// Sorts [first, last) with a pinned algorithm: the resulting permutation
+/// (including the placement of comparator-equivalent elements) is identical
+/// on every platform and toolchain. Use wherever the sorted order feeds a
+/// reproducibility-sensitive decision; `comp` must be a strict weak
+/// ordering, as for `std::sort`.
+template <typename It, typename Comp>
+void DeterministicSort(It first, It last, Comp comp) {
+  namespace si = sort_internal;
+  const std::ptrdiff_t n = last - first;
+  if (n <= 1) return;
+  si::IntrosortLoop(first, last, 2 * si::FloorLog2(n), comp);
+  if (n > si::kInsertionThreshold) {
+    si::InsertionSort(first, first + si::kInsertionThreshold, comp);
+    for (It i = first + si::kInsertionThreshold; i != last; ++i) {
+      si::UnguardedLinearInsert(i, comp);
+    }
+  } else {
+    si::InsertionSort(first, last, comp);
+  }
+}
+
+}  // namespace t2vec
+
+#endif  // T2VEC_COMMON_SORT_H_

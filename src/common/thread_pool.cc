@@ -97,6 +97,10 @@ bool ThreadPool::InParallelRegion() { return tls_in_parallel_region; }
 
 void SetNumThreads(int n) { g_num_threads.store(n > 0 ? n : 0); }
 
+int ExchangeNumThreads(int n) {
+  return g_num_threads.exchange(n > 0 ? n : 0);
+}
+
 int GetNumThreads() {
   const int n = g_num_threads.load();
   return n > 0 ? n : DefaultNumThreads();

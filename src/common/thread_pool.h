@@ -85,6 +85,29 @@ void SetNumThreads(int n);
 /// The thread count `ParallelFor` resolves to when `num_threads <= 0`.
 int GetNumThreads();
 
+/// Sets the process-wide thread count and returns the previous raw setting
+/// (0 = default resolution). The returned value round-trips through
+/// `SetNumThreads` to restore the prior state.
+int ExchangeNumThreads(int n);
+
+/// RAII override of the process-wide thread count (restores the previous
+/// setting on destruction). `n <= 0` leaves the current setting untouched.
+/// Used by the trainer to scope `T2VecConfig::num_threads` to RunBatch.
+class ScopedNumThreads {
+ public:
+  explicit ScopedNumThreads(int n)
+      : active_(n > 0), prev_(active_ ? ExchangeNumThreads(n) : 0) {}
+  ~ScopedNumThreads() {
+    if (active_) SetNumThreads(prev_);
+  }
+  ScopedNumThreads(const ScopedNumThreads&) = delete;
+  ScopedNumThreads& operator=(const ScopedNumThreads&) = delete;
+
+ private:
+  bool active_;
+  int prev_;
+};
+
 /// Applies `fn(i)` for every i in [begin, end), in parallel over at most
 /// `num_threads` statically partitioned contiguous chunks.
 ///

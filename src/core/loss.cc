@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "nn/loss.h"
 #include "nn/matrix.h"
@@ -34,28 +35,45 @@ void OutputProjection::SampledScores(const float* h,
                                      const std::vector<geo::Token>& candidates,
                                      std::vector<float>* scores) const {
   const size_t dim = hidden();
-  scores->resize(candidates.size());
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    const float* __restrict w =
-        weight_.value.Row(static_cast<size_t>(candidates[i]));
-    double acc = 0.0;
-    for (size_t j = 0; j < dim; ++j) acc += static_cast<double>(w[j]) * h[j];
-    (*scores)[i] = static_cast<float>(acc);
+  const size_t n = candidates.size();
+  scores->resize(n);
+  if (n == 0) return;
+  // Gather the candidate rows so scoring is one GEMM through the same
+  // DotLanes kernel as FullLogits: a sampled score equals the matching full
+  // logit bit-for-bit.
+  gather_.Resize(n, dim);
+  for (size_t i = 0; i < n; ++i) {
+    std::memcpy(gather_.Row(i),
+                weight_.value.Row(static_cast<size_t>(candidates[i])),
+                dim * sizeof(float));
   }
+  nn::GemmTransBV(nn::ConstMatrixView(h, 1, dim, dim), gather_,
+                  nn::MatrixView(scores->data(), 1, n, n));
 }
 
 void OutputProjection::SampledBackward(
     const float* h, const std::vector<geo::Token>& candidates,
     const std::vector<float>& d_scores, bool accumulate, float* d_h) {
   const size_t dim = hidden();
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    const float g = d_scores[i];
-    if (g == 0.0f) continue;
-    const size_t row = static_cast<size_t>(candidates[i]);
-    const float* __restrict w = weight_.value.Row(row);
-    for (size_t j = 0; j < dim; ++j) d_h[j] += g * w[j];
-    if (accumulate) {
-      float* __restrict gw = weight_.grad.Row(row);
+  const size_t n = candidates.size();
+  if (n == 0) return;
+  gather_.Resize(n, dim);
+  for (size_t i = 0; i < n; ++i) {
+    std::memcpy(gather_.Row(i),
+                weight_.value.Row(static_cast<size_t>(candidates[i])),
+                dim * sizeof(float));
+  }
+  // d_h (1 x H) += d_scores (1 x C) · gathered W rows (C x H).
+  nn::GemmV(nn::ConstMatrixView(d_scores.data(), 1, n, n), gather_,
+            nn::MatrixView(d_h, 1, dim, dim), 1.0f, 1.0f);
+  if (accumulate) {
+    // Weight-gradient scatter stays scalar: candidate lists may repeat a
+    // row, so the updates must stay serialized per candidate.
+    for (size_t i = 0; i < n; ++i) {
+      const float g = d_scores[i];
+      if (g == 0.0f) continue;
+      float* __restrict gw =
+          weight_.grad.Row(static_cast<size_t>(candidates[i]));
       for (size_t j = 0; j < dim; ++j) gw[j] += g * h[j];
     }
   }

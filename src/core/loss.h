@@ -41,6 +41,9 @@ class OutputProjection {
                     bool accumulate, nn::Matrix* d_h);
 
   /// Scores of the candidate tokens for a single hidden row `h` (length H).
+  /// Candidate weight rows are gathered and scored through the same GEMM
+  /// kernel as FullLogits, so sampled scores equal the corresponding full
+  /// logits bit-for-bit. Uses internal scratch: not thread-safe.
   void SampledScores(const float* h, const std::vector<geo::Token>& candidates,
                      std::vector<float>* scores) const;
 
@@ -58,7 +61,8 @@ class OutputProjection {
   nn::ParamList Params() { return {&weight_}; }
 
  private:
-  nn::Parameter weight_;  // V x H
+  nn::Parameter weight_;       // V x H
+  mutable nn::Matrix gather_;  // Candidate-row scratch for the sampled path.
 };
 
 /// Interface of a per-decoding-step loss.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
 #include "core/pairs.h"
 
 namespace t2vec::core {
@@ -56,7 +57,8 @@ EncoderDecoder::EncoderDecoder(const T2VecConfig& config,
                rng),
       decoder_("decoder", config.embed_dim, config.hidden, config.layers,
                rng),
-      proj_(static_cast<size_t>(vocab_size), config.hidden, rng) {
+      proj_(static_cast<size_t>(vocab_size), config.hidden, rng),
+      num_threads_(config.num_threads) {
   if (config.use_attention) {
     attention_ = std::make_unique<nn::Attention>("attn", config.hidden, rng);
   }
@@ -70,6 +72,7 @@ void EncoderDecoder::EmbedStep(const std::vector<geo::Token>& ids,
 double EncoderDecoder::RunBatch(const Batch& batch, SeqLoss* loss,
                                 bool accumulate_grads) {
   T2VEC_CHECK(batch.batch_size > 0);
+  const ScopedNumThreads thread_scope(num_threads_);
   loss->set_grad_scale(1.0f / static_cast<float>(batch.batch_size));
 
   // ---- Encoder forward ----

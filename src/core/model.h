@@ -87,6 +87,10 @@ class EncoderDecoder {
   /// Optional global attention over encoder outputs (config.use_attention).
   std::unique_ptr<nn::Attention> attention_;
   OutputProjection proj_;
+  /// Thread-count override scoped to RunBatch (T2VecConfig::num_threads);
+  /// the GEMM kernels partition output rows over the pool, bit-identically
+  /// to serial at any count (nn/matrix.h).
+  int num_threads_ = 0;
 };
 
 }  // namespace t2vec::core

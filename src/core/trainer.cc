@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/sort.h"
 #include "common/stopwatch.h"
 #include "nn/optimizer.h"
 
@@ -13,12 +14,17 @@ namespace t2vec::core {
 namespace {
 
 // Groups pair indices into batches of similar target length (cuts padding
-// waste): sort by target length, then slice.
+// waste): sort by target length, then slice. Equal-length ties are common
+// (every augmented variant of a trip shares the clean target's length), so
+// the sort runs through the pinned algorithm in common/sort.h: `std::sort`
+// places ties in an implementation-defined order, which would make batch
+// composition — and hence the trained model — differ across standard
+// libraries.
 std::vector<std::vector<size_t>> MakeBatches(
     const std::vector<TokenPair>& pairs, size_t batch_size) {
   std::vector<size_t> order(pairs.size());
   std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+  DeterministicSort(order.begin(), order.end(), [&](size_t a, size_t b) {
     return pairs[a].tgt.size() < pairs[b].tgt.size();
   });
   std::vector<std::vector<size_t>> batches;

@@ -1,6 +1,7 @@
 #include "nn/attention.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "nn/ops.h"
 
@@ -22,17 +23,33 @@ void Attention::Forward(const std::vector<Matrix>& dec_hs,
   const size_t dim = hidden();
   const size_t src_steps = enc_hs.size();
   T2VEC_CHECK(src_masks.empty() || src_masks.size() == src_steps);
+  const bool fused = FusedKernelsEnabled();
 
-  // Keys: k_s = e_s W_a, shared across decoder steps.
-  cache->keys.resize(src_steps);
+  // Pack the encoder outputs step-major so keys (and later the weight
+  // gradients) are single GEMMs over the whole source sequence.
+  cache->enc_packed.Resize(src_steps * batch, dim);
   for (size_t s = 0; s < src_steps; ++s) {
-    cache->keys[s].Resize(batch, dim);
-    Gemm(enc_hs[s], wa_.value, &cache->keys[s]);
+    T2VEC_CHECK(enc_hs[s].rows() == batch && enc_hs[s].cols() == dim);
+    std::memcpy(cache->enc_packed.Row(s * batch), enc_hs[s].data(),
+                batch * dim * sizeof(float));
+  }
+
+  // Keys: k_s = e_s W_a, shared across decoder steps. Rows are independent
+  // in a non-transposed GEMM, so one fused call over the packed rows equals
+  // the per-step calls bit-for-bit.
+  cache->keys.Resize(src_steps * batch, dim);
+  if (fused) {
+    GemmV(cache->enc_packed, wa_.value, cache->keys);
+  } else {
+    for (size_t s = 0; s < src_steps; ++s) {
+      GemmV(RowBlock(cache->enc_packed, s * batch, batch), wa_.value,
+            RowBlock(&cache->keys, s * batch, batch));
+    }
   }
 
   const size_t dec_steps = dec_hs.size();
   cache->alphas.resize(dec_steps);
-  cache->concat.resize(dec_steps);
+  cache->concat.Resize(dec_steps * batch, 2 * dim);
   cache->output.resize(dec_steps);
 
   Matrix scores(batch, src_steps);
@@ -41,10 +58,10 @@ void Attention::Forward(const std::vector<Matrix>& dec_hs,
     // score[b][s] = h[b] · k_s[b]; masked positions get -inf equivalent.
     scores.Resize(batch, src_steps);
     for (size_t s = 0; s < src_steps; ++s) {
-      const Matrix& key = cache->keys[s];
+      const float* key = cache->keys.Row(s * batch);
       for (size_t b = 0; b < batch; ++b) {
         const float* __restrict hb = h.Row(b);
-        const float* __restrict kb = key.Row(b);
+        const float* __restrict kb = key + b * dim;
         float acc = 0.0f;
         for (size_t j = 0; j < dim; ++j) acc += hb[j] * kb[j];
         const bool masked = !src_masks.empty() && src_masks[s][b] == 0.0f;
@@ -53,12 +70,10 @@ void Attention::Forward(const std::vector<Matrix>& dec_hs,
     }
     SoftmaxRows(scores, &cache->alphas[t]);
 
-    // Context and concat [h ; c].
-    Matrix& z = cache->concat[t];
-    z.Resize(batch, 2 * dim);
+    // Context and concat [h ; c], written into the packed row block.
     const Matrix& alpha = cache->alphas[t];
     for (size_t b = 0; b < batch; ++b) {
-      float* __restrict zb = z.Row(b);
+      float* __restrict zb = cache->concat.Row(t * batch + b);
       const float* __restrict hb = h.Row(b);
       for (size_t j = 0; j < dim; ++j) {
         zb[j] = hb[j];
@@ -67,15 +82,25 @@ void Attention::Forward(const std::vector<Matrix>& dec_hs,
       for (size_t s = 0; s < src_steps; ++s) {
         const float a = alpha(b, s);
         if (a == 0.0f) continue;
-        const float* __restrict eb = enc_hs[s].Row(b);
+        const float* __restrict eb = cache->enc_packed.Row(s * batch + b);
         for (size_t j = 0; j < dim; ++j) zb[dim + j] += a * eb[j];
       }
     }
+  }
 
-    // ĥ = tanh(z Wc).
-    Matrix pre(batch, dim);
-    Gemm(z, wc_.value, &pre);
-    Tanh(pre, &cache->output[t]);
+  // ĥ = tanh(z Wc): one GEMM over every decoder step when fused.
+  Matrix pre(dec_steps * batch, dim);
+  if (fused) {
+    GemmV(cache->concat, wc_.value, pre);
+  } else {
+    for (size_t t = 0; t < dec_steps; ++t) {
+      GemmV(RowBlock(cache->concat, t * batch, batch), wc_.value,
+            RowBlock(&pre, t * batch, batch));
+    }
+  }
+  for (size_t t = 0; t < dec_steps; ++t) {
+    cache->output[t].Resize(batch, dim);
+    TanhV(RowBlock(pre, t * batch, batch), cache->output[t]);
   }
 }
 
@@ -90,15 +115,35 @@ void Attention::Backward(const std::vector<Matrix>& dec_hs,
   const size_t dim = hidden();
   const size_t src_steps = enc_hs.size();
   const size_t dec_steps = dec_hs.size();
+  const bool fused = FusedKernelsEnabled();
 
   d_dec_hs->assign(dec_steps, Matrix());
-  d_enc_hs->assign(src_steps, Matrix(batch, dim));
-  // Gradient on the keys, accumulated over all decoder steps; converted to
-  // W_a / encoder-output gradients at the end.
-  std::vector<Matrix> d_keys(src_steps, Matrix(batch, dim));
+  // Packed accumulators over the whole source sequence; unpacked into the
+  // per-step outputs at the end (bitwise copies).
+  Matrix d_enc(src_steps * batch, dim);
+  Matrix d_keys(src_steps * batch, dim);
 
-  Matrix dz_pre(batch, dim);
-  Matrix dz(batch, 2 * dim);
+  // Through ĥ = tanh(z Wc), all decoder steps at once.
+  Matrix d_pre(dec_steps * batch, dim);
+  for (size_t t = 0; t < dec_steps; ++t) {
+    TanhBackwardV(cache.output[t], d_output[t],
+                  RowBlock(&d_pre, t * batch, batch));
+  }
+  // dWc += z^T d_pre. The fused call reduces rows in step-major ascending
+  // order — the same chain as consecutive per-step beta=1 calls.
+  Matrix dz(dec_steps * batch, 2 * dim);
+  if (fused) {
+    GemmTransAV(cache.concat, d_pre, wc_.grad, 1.0f, 1.0f);
+    GemmTransBV(d_pre, wc_.value, dz);
+  } else {
+    for (size_t t = 0; t < dec_steps; ++t) {
+      GemmTransAV(RowBlock(cache.concat, t * batch, batch),
+                  RowBlock(d_pre, t * batch, batch), wc_.grad, 1.0f, 1.0f);
+      GemmTransBV(RowBlock(d_pre, t * batch, batch), wc_.value,
+                  RowBlock(&dz, t * batch, batch));
+    }
+  }
+
   Matrix d_alpha(batch, src_steps);
   Matrix d_scores(batch, src_steps);
 
@@ -106,17 +151,11 @@ void Attention::Backward(const std::vector<Matrix>& dec_hs,
     const Matrix& alpha = cache.alphas[t];
     const Matrix& h = dec_hs[t];
 
-    // Through ĥ = tanh(z Wc).
-    TanhBackward(cache.output[t], d_output[t], &dz_pre);
-    GemmTransA(cache.concat[t], dz_pre, &wc_.grad, 1.0f, 1.0f);
-    dz.Resize(batch, 2 * dim);
-    GemmTransB(dz_pre, wc_.value, &dz);
-
     // Split dz into dh (direct) and dc (context).
     Matrix& dh = (*d_dec_hs)[t];
     dh.Resize(batch, dim);
     for (size_t b = 0; b < batch; ++b) {
-      const float* __restrict dzb = dz.Row(b);
+      const float* __restrict dzb = dz.Row(t * batch + b);
       float* __restrict dhb = dh.Row(b);
       for (size_t j = 0; j < dim; ++j) dhb[j] = dzb[j];
     }
@@ -124,12 +163,10 @@ void Attention::Backward(const std::vector<Matrix>& dec_hs,
     // dc -> dα and d e_s (context path): c = Σ α_s e_s.
     d_alpha.Resize(batch, src_steps);
     for (size_t s = 0; s < src_steps; ++s) {
-      const Matrix& e = enc_hs[s];
-      Matrix& de = (*d_enc_hs)[s];
       for (size_t b = 0; b < batch; ++b) {
-        const float* __restrict dcb = dz.Row(b) + dim;
-        const float* __restrict eb = e.Row(b);
-        float* __restrict deb = de.Row(b);
+        const float* __restrict dcb = dz.Row(t * batch + b) + dim;
+        const float* __restrict eb = cache.enc_packed.Row(s * batch + b);
+        float* __restrict deb = d_enc.Row(s * batch + b);
         const float a = alpha(b, s);
         float acc = 0.0f;
         for (size_t j = 0; j < dim; ++j) {
@@ -156,15 +193,13 @@ void Attention::Backward(const std::vector<Matrix>& dec_hs,
 
     // score_s = h · k_s: dh += ds_s k_s; dk_s += ds_s h.
     for (size_t s = 0; s < src_steps; ++s) {
-      const Matrix& key = cache.keys[s];
-      Matrix& dk = d_keys[s];
       for (size_t b = 0; b < batch; ++b) {
         const float ds = d_scores(b, s);
         if (ds == 0.0f) continue;
-        const float* __restrict kb = key.Row(b);
+        const float* __restrict kb = cache.keys.Row(s * batch + b);
         const float* __restrict hb = h.Row(b);
         float* __restrict dhb = dh.Row(b);
-        float* __restrict dkb = dk.Row(b);
+        float* __restrict dkb = d_keys.Row(s * batch + b);
         for (size_t j = 0; j < dim; ++j) {
           dhb[j] += ds * kb[j];
           dkb[j] += ds * hb[j];
@@ -173,11 +208,25 @@ void Attention::Backward(const std::vector<Matrix>& dec_hs,
     }
   }
 
-  // Keys: k_s = e_s W_a -> dW_a += e_s^T dk_s; d e_s += dk_s W_a^T.
+  // Keys: k_s = e_s W_a -> dW_a += e_s^T dk_s; d e_s += dk_s W_a^T, fused
+  // over the packed source sequence.
   (void)src_masks;
+  if (fused) {
+    GemmTransAV(cache.enc_packed, d_keys, wa_.grad, 1.0f, 1.0f);
+    GemmTransBV(d_keys, wa_.value, d_enc, 1.0f, 1.0f);
+  } else {
+    for (size_t s = 0; s < src_steps; ++s) {
+      GemmTransAV(RowBlock(cache.enc_packed, s * batch, batch),
+                  RowBlock(d_keys, s * batch, batch), wa_.grad, 1.0f, 1.0f);
+      GemmTransBV(RowBlock(d_keys, s * batch, batch), wa_.value,
+                  RowBlock(&d_enc, s * batch, batch), 1.0f, 1.0f);
+    }
+  }
+
+  d_enc_hs->assign(src_steps, Matrix(batch, dim));
   for (size_t s = 0; s < src_steps; ++s) {
-    GemmTransA(enc_hs[s], d_keys[s], &wa_.grad, 1.0f, 1.0f);
-    GemmTransB(d_keys[s], wa_.value, &(*d_enc_hs)[s], 1.0f, 1.0f);
+    std::memcpy((*d_enc_hs)[s].data(), d_enc.Row(s * batch),
+                batch * dim * sizeof(float));
   }
 }
 

@@ -23,13 +23,15 @@
 
 namespace t2vec::nn {
 
-/// Per-batch activations cached by the attention forward pass.
+/// Per-batch activations cached by the attention forward pass. Sequence-long
+/// intermediates are stored packed (step-major row blocks: row s*B + b is
+/// batch row b of step s) so the whole sequence runs through single GEMMs.
 struct AttentionCache {
-  std::vector<Matrix> keys;    ///< W_a-projected encoder outputs, per source
-                               ///< step (B x H).
+  Matrix enc_packed;           ///< Encoder outputs, (S*B) x H.
+  Matrix keys;                 ///< W_a-projected encoder outputs, (S*B) x H.
   std::vector<Matrix> alphas;  ///< Attention weights per decoder step
                                ///< (B x S).
-  std::vector<Matrix> concat;  ///< [h_t ; c_t] per decoder step (B x 2H).
+  Matrix concat;               ///< [h_t ; c_t], (T*B) x 2H.
   std::vector<Matrix> output;  ///< ĥ_t per decoder step (B x H).
 };
 

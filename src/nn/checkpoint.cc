@@ -69,6 +69,7 @@ Status LoadParams(const ParamList& params, const std::string& path) {
     }
     p->value.storage() = std::move(values);
   }
+  BumpParamVersion();
   return Status::Ok();
 }
 

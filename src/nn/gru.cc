@@ -1,5 +1,7 @@
 #include "nn/gru.h"
 
+#include <cstring>
+
 #include "nn/ops.h"
 
 namespace t2vec::nn {
@@ -20,6 +22,33 @@ void ApplyMask(const std::vector<float>& mask, const Matrix& h_new,
   }
 }
 
+// Copies the columns of each source side by side into `dst`
+// (rows x sum-of-cols). Bitwise copies: packing/unpacking never rounds.
+void PackColumns(std::initializer_list<const Matrix*> srcs, Matrix* dst) {
+  size_t total = 0;
+  const size_t rows = (*srcs.begin())->rows();
+  for (const Matrix* s : srcs) total += s->cols();
+  dst->Resize(rows, total);
+  for (size_t r = 0; r < rows; ++r) {
+    float* out = dst->Row(r);
+    for (const Matrix* s : srcs) {
+      std::memcpy(out, s->Row(r), s->cols() * sizeof(float));
+      out += s->cols();
+    }
+  }
+}
+
+// Inverse of PackColumns.
+void UnpackColumns(const Matrix& src, std::initializer_list<Matrix*> dsts) {
+  for (size_t r = 0; r < src.rows(); ++r) {
+    const float* in = src.Row(r);
+    for (Matrix* d : dsts) {
+      std::memcpy(d->Row(r), in, d->cols() * sizeof(float));
+      in += d->cols();
+    }
+  }
+}
+
 }  // namespace
 
 GruLayer::GruLayer(const std::string& name, size_t in_dim, size_t hidden,
@@ -32,13 +61,25 @@ GruLayer::GruLayer(const std::string& name, size_t in_dim, size_t hidden,
       uc_(name + ".Uc", hidden, hidden),
       bz_(name + ".bz", 1, hidden),
       br_(name + ".br", 1, hidden),
-      bc_(name + ".bc", 1, hidden) {
+      bc_(name + ".bc", 1, hidden),
+      packs_(std::make_unique<PackCache>()) {
   InitXavier(&wz_.value, rng);
   InitXavier(&wr_.value, rng);
   InitXavier(&wc_.value, rng);
   InitXavier(&uz_.value, rng);
   InitXavier(&ur_.value, rng);
   InitXavier(&uc_.value, rng);
+}
+
+void GruLayer::RefreshPacks() const {
+  PackCache& pc = *packs_;
+  const uint64_t version = ParamVersion();
+  if (pc.version.load(std::memory_order_acquire) == version) return;
+  std::lock_guard<std::mutex> lock(pc.mu);
+  if (pc.version.load(std::memory_order_relaxed) == version) return;
+  PackColumns({&wc_.value, &wz_.value, &wr_.value}, &pc.w_pack);
+  PackColumns({&uz_.value, &ur_.value}, &pc.u_pack);
+  pc.version.store(version, std::memory_order_release);
 }
 
 void GruLayer::Forward(const std::vector<Matrix>& xs, const Matrix& h0,
@@ -56,32 +97,60 @@ void GruLayer::Forward(const std::vector<Matrix>& xs, const Matrix& h0,
   cache->rh.resize(steps);
   cache->h.resize(steps);
 
-  Matrix pre(batch, dim);     // Reused pre-activation buffer.
+  const bool fused = FusedKernelsEnabled();
+  if (fused) RefreshPacks();
+  const PackCache& pc = *packs_;
+
+  Matrix pre3;                // Fused: all three pre-activations, B x 3H.
+  Matrix pre(batch, dim);     // Unfused: reused per-gate buffer.
   Matrix h_raw(batch, dim);   // Pre-mask new hidden.
+  if (fused) pre3.Resize(batch, 3 * dim);
 
   for (size_t t = 0; t < steps; ++t) {
     const Matrix& x = xs[t];
     const Matrix& h_prev = (t == 0) ? h0 : cache->h[t - 1];
     T2VEC_CHECK(x.rows() == batch && x.cols() == in_dim());
 
-    // z = sigmoid(x Wz + h_prev Uz + bz)
-    Gemm(x, wz_.value, &pre);
-    Gemm(h_prev, uz_.value, &pre, 1.0f, 1.0f);
-    AddRowBroadcast(&pre, bz_.value);
-    Sigmoid(pre, &cache->z[t]);
+    if (fused) {
+      // [pre_c | pre_z | pre_r] = x [Wc|Wz|Wr]; then the z/r blocks get the
+      // hidden-state term in one GEMM over [Uz|Ur]. Identical per-element
+      // accumulation chains as the per-gate calls below (nn/matrix.h).
+      GemmV(x, pc.w_pack, pre3);
+      GemmV(h_prev, pc.u_pack, ColBlock(&pre3, dim, 2 * dim), 1.0f, 1.0f);
 
-    // r = sigmoid(x Wr + h_prev Ur + br)
-    Gemm(x, wr_.value, &pre);
-    Gemm(h_prev, ur_.value, &pre, 1.0f, 1.0f);
-    AddRowBroadcast(&pre, br_.value);
-    Sigmoid(pre, &cache->r[t]);
+      AddRowBroadcastV(ColBlock(&pre3, dim, dim), bz_.value);
+      cache->z[t].Resize(batch, dim);
+      SigmoidV(ColBlock(pre3, dim, dim), cache->z[t]);
 
-    // c = tanh(x Wc + (r ⊙ h_prev) Uc + bc)
-    Hadamard(cache->r[t], h_prev, &cache->rh[t]);
-    Gemm(x, wc_.value, &pre);
-    Gemm(cache->rh[t], uc_.value, &pre, 1.0f, 1.0f);
-    AddRowBroadcast(&pre, bc_.value);
-    Tanh(pre, &cache->c[t]);
+      AddRowBroadcastV(ColBlock(&pre3, 2 * dim, dim), br_.value);
+      cache->r[t].Resize(batch, dim);
+      SigmoidV(ColBlock(pre3, 2 * dim, dim), cache->r[t]);
+
+      Hadamard(cache->r[t], h_prev, &cache->rh[t]);
+      GemmV(cache->rh[t], uc_.value, ColBlock(&pre3, 0, dim), 1.0f, 1.0f);
+      AddRowBroadcastV(ColBlock(&pre3, 0, dim), bc_.value);
+      cache->c[t].Resize(batch, dim);
+      TanhV(ColBlock(pre3, 0, dim), cache->c[t]);
+    } else {
+      // z = sigmoid(x Wz + h_prev Uz + bz)
+      Gemm(x, wz_.value, &pre);
+      Gemm(h_prev, uz_.value, &pre, 1.0f, 1.0f);
+      AddRowBroadcast(&pre, bz_.value);
+      Sigmoid(pre, &cache->z[t]);
+
+      // r = sigmoid(x Wr + h_prev Ur + br)
+      Gemm(x, wr_.value, &pre);
+      Gemm(h_prev, ur_.value, &pre, 1.0f, 1.0f);
+      AddRowBroadcast(&pre, br_.value);
+      Sigmoid(pre, &cache->r[t]);
+
+      // c = tanh(x Wc + (r ⊙ h_prev) Uc + bc)
+      Hadamard(cache->r[t], h_prev, &cache->rh[t]);
+      Gemm(x, wc_.value, &pre);
+      Gemm(cache->rh[t], uc_.value, &pre, 1.0f, 1.0f);
+      AddRowBroadcast(&pre, bc_.value);
+      Tanh(pre, &cache->c[t]);
+    }
 
     // h_raw = (1 - z) ⊙ h_prev + z ⊙ c
     const Matrix& z = cache->z[t];
@@ -117,12 +186,31 @@ void GruLayer::Backward(const std::vector<Matrix>& xs, const Matrix& h0,
 
   d_xs->resize(steps);
 
+  const bool fused = FusedKernelsEnabled();
+  if (fused) RefreshPacks();
+  const PackCache& pc = *packs_;
+
   Matrix dh(batch, dim);        // Running gradient on h_t.
   Matrix dh_prev(batch, dim);   // Gradient flowing to h_{t-1}.
   Matrix dh_raw(batch, dim);    // Gradient on the pre-mask hidden.
   Matrix dz(batch, dim), dc(batch, dim), dr(batch, dim);
-  Matrix dz_pre(batch, dim), dc_pre(batch, dim), dr_pre(batch, dim);
+  Matrix dz_pre, dc_pre, dr_pre;  // Unfused per-gate buffers.
   Matrix drh(batch, dim);
+  Matrix d3;                    // Fused: [dc_pre | dz_pre | dr_pre], B x 3H.
+  Matrix wg_pack, ug_pack;      // Fused gradient accumulators.
+
+  if (fused) {
+    d3.Resize(batch, 3 * dim);
+    // Seed the packed accumulators from the named gradients so fused
+    // accumulation continues the exact same per-element chains; copied back
+    // (bitwise) after the loop.
+    PackColumns({&wc_.grad, &wz_.grad, &wr_.grad}, &wg_pack);
+    PackColumns({&uz_.grad, &ur_.grad}, &ug_pack);
+  } else {
+    dz_pre.Resize(batch, dim);
+    dc_pre.Resize(batch, dim);
+    dr_pre.Resize(batch, dim);
+  }
 
   if (d_h_last != nullptr) {
     T2VEC_CHECK(SameShape(*d_h_last, dh));
@@ -180,42 +268,77 @@ void GruLayer::Backward(const std::vector<Matrix>& xs, const Matrix& h0,
       }
     }
 
-    // Through the candidate tanh.
-    TanhBackward(c, dc, &dc_pre);
-    // dWc += x^T dc_pre; dUc += rh^T dc_pre; dbc += colsum(dc_pre).
-    GemmTransA(x, dc_pre, &wc_.grad, 1.0f, 1.0f);
-    GemmTransA(cache.rh[t], dc_pre, &uc_.grad, 1.0f, 1.0f);
-    SumRowsInto(dc_pre, &bc_.grad);
-    // dx = dc_pre Wc^T (first contribution); drh = dc_pre Uc^T.
     Matrix& dx = (*d_xs)[t];
     dx.Resize(batch, in_dim());
-    GemmTransB(dc_pre, wc_.value, &dx);
-    drh.Resize(batch, dim);
-    GemmTransB(dc_pre, uc_.value, &drh);
 
-    // rh = r ⊙ h_prev: dr = drh ⊙ h_prev; dh_prev += drh ⊙ r.
-    Hadamard(drh, h_prev, &dr);
-    HadamardAccum(drh, r, &dh_prev);
+    if (fused) {
+      // Pre-activation gradients land directly in the packed d3 blocks.
+      TanhBackwardV(c, dc, ColBlock(&d3, 0, dim));
+      const ConstMatrixView dc_pre_v = ColBlock(d3, 0, dim);
+      drh.Resize(batch, dim);
+      GemmTransBV(dc_pre_v, uc_.value, drh);
+      Hadamard(drh, h_prev, &dr);
+      HadamardAccum(drh, r, &dh_prev);
+      SigmoidBackwardV(z, dz, ColBlock(&d3, dim, dim));
+      SigmoidBackwardV(r, dr, ColBlock(&d3, 2 * dim, dim));
 
-    // Through the gate sigmoids.
-    SigmoidBackward(z, dz, &dz_pre);
-    SigmoidBackward(r, dr, &dr_pre);
+      // One TransA per operand: dW_pack += x^T d3, dU_pack += h⁻^T [dz|dr],
+      // dUc += rh^T dc_pre.
+      GemmTransAV(x, d3, wg_pack, 1.0f, 1.0f);
+      GemmTransAV(h_prev, ColBlock(d3, dim, 2 * dim), ug_pack, 1.0f, 1.0f);
+      GemmTransAV(cache.rh[t], dc_pre_v, uc_.grad, 1.0f, 1.0f);
+      SumRowsIntoV(dc_pre_v, &bc_.grad);
+      SumRowsIntoV(ColBlock(d3, dim, dim), &bz_.grad);
+      SumRowsIntoV(ColBlock(d3, 2 * dim, dim), &br_.grad);
 
-    // Update-gate path.
-    GemmTransA(x, dz_pre, &wz_.grad, 1.0f, 1.0f);
-    GemmTransA(h_prev, dz_pre, &uz_.grad, 1.0f, 1.0f);
-    SumRowsInto(dz_pre, &bz_.grad);
-    GemmTransB(dz_pre, wz_.value, &dx, 1.0f, 1.0f);
-    GemmTransB(dz_pre, uz_.value, &dh_prev, 1.0f, 1.0f);
+      // dx = d3 [Wc|Wz|Wr]^T and dh_prev += [dz|dr] [Uz|Ur]^T, each as one
+      // segmented GEMM whose per-segment chain equals the three (two)
+      // separate beta=1 calls in the unfused branch — the pack keeps the
+      // historical candidate-first accumulation order.
+      GemmTransBV(d3, pc.w_pack, dx, 1.0f, 0.0f, dim);
+      GemmTransBV(ColBlock(d3, dim, 2 * dim), pc.u_pack, dh_prev, 1.0f, 1.0f,
+                  dim);
+    } else {
+      // Through the candidate tanh.
+      TanhBackward(c, dc, &dc_pre);
+      // dWc += x^T dc_pre; dUc += rh^T dc_pre; dbc += colsum(dc_pre).
+      GemmTransA(x, dc_pre, &wc_.grad, 1.0f, 1.0f);
+      GemmTransA(cache.rh[t], dc_pre, &uc_.grad, 1.0f, 1.0f);
+      SumRowsInto(dc_pre, &bc_.grad);
+      // dx = dc_pre Wc^T (first contribution); drh = dc_pre Uc^T.
+      GemmTransB(dc_pre, wc_.value, &dx);
+      drh.Resize(batch, dim);
+      GemmTransB(dc_pre, uc_.value, &drh);
 
-    // Reset-gate path.
-    GemmTransA(x, dr_pre, &wr_.grad, 1.0f, 1.0f);
-    GemmTransA(h_prev, dr_pre, &ur_.grad, 1.0f, 1.0f);
-    SumRowsInto(dr_pre, &br_.grad);
-    GemmTransB(dr_pre, wr_.value, &dx, 1.0f, 1.0f);
-    GemmTransB(dr_pre, ur_.value, &dh_prev, 1.0f, 1.0f);
+      // rh = r ⊙ h_prev: dr = drh ⊙ h_prev; dh_prev += drh ⊙ r.
+      Hadamard(drh, h_prev, &dr);
+      HadamardAccum(drh, r, &dh_prev);
+
+      // Through the gate sigmoids.
+      SigmoidBackward(z, dz, &dz_pre);
+      SigmoidBackward(r, dr, &dr_pre);
+
+      // Update-gate path.
+      GemmTransA(x, dz_pre, &wz_.grad, 1.0f, 1.0f);
+      GemmTransA(h_prev, dz_pre, &uz_.grad, 1.0f, 1.0f);
+      SumRowsInto(dz_pre, &bz_.grad);
+      GemmTransB(dz_pre, wz_.value, &dx, 1.0f, 1.0f);
+      GemmTransB(dz_pre, uz_.value, &dh_prev, 1.0f, 1.0f);
+
+      // Reset-gate path.
+      GemmTransA(x, dr_pre, &wr_.grad, 1.0f, 1.0f);
+      GemmTransA(h_prev, dr_pre, &ur_.grad, 1.0f, 1.0f);
+      SumRowsInto(dr_pre, &br_.grad);
+      GemmTransB(dr_pre, wr_.value, &dx, 1.0f, 1.0f);
+      GemmTransB(dr_pre, ur_.value, &dh_prev, 1.0f, 1.0f);
+    }
 
     dh = dh_prev;
+  }
+
+  if (fused) {
+    UnpackColumns(wg_pack, {&wc_.grad, &wz_.grad, &wr_.grad});
+    UnpackColumns(ug_pack, {&uz_.grad, &ur_.grad});
   }
 
   if (d_h0 != nullptr) *d_h0 = dh;

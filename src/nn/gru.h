@@ -1,6 +1,9 @@
 #ifndef T2VEC_NN_GRU_H_
 #define T2VEC_NN_GRU_H_
 
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -67,9 +70,28 @@ class GruLayer {
   ParamList Params();
 
  private:
+  /// Cached fused weight packs (`[Wc|Wz|Wr]` and `[Uz|Ur]`; candidate first
+  /// to preserve the historical dx accumulation order). The named
+  /// parameters stay the checkpoint format; the packs are a derived layout
+  /// that lets Forward/Backward issue one GEMM per input and one per hidden
+  /// state instead of three. Stamped with the global ParamVersion() they
+  /// were built at and rebuilt lazily after any optimizer step / checkpoint
+  /// load (nn/parameter.h). Guarded by a mutex because T2Vec::Encode runs
+  /// Forward concurrently from pool workers.
+  struct PackCache {
+    std::mutex mu;
+    std::atomic<uint64_t> version{0};
+    Matrix w_pack;  ///< in_dim x 3H: [Wc | Wz | Wr]
+    Matrix u_pack;  ///< H x 2H: [Uz | Ur] (Uc consumes r ⊙ h⁻, stays apart)
+  };
+
+  /// Rebuilds the packs if any parameter changed since they were built.
+  void RefreshPacks() const;
+
   Parameter wz_, wr_, wc_;  // in_dim x H
   Parameter uz_, ur_, uc_;  // H x H
   Parameter bz_, br_, bc_;  // 1 x H
+  mutable std::unique_ptr<PackCache> packs_;
 };
 
 /// Per-layer hidden states (the seq2seq handoff between encoder and decoder).

@@ -1,6 +1,24 @@
 #include "nn/linear.h"
 
+#include <cstring>
+
 namespace t2vec::nn {
+
+namespace {
+
+// Stacks the per-step matrices into one (T*B) x cols matrix (bitwise).
+void PackSteps(const std::vector<Matrix>& steps, Matrix* packed) {
+  const size_t batch = steps.front().rows();
+  const size_t cols = steps.front().cols();
+  packed->Resize(steps.size() * batch, cols);
+  for (size_t t = 0; t < steps.size(); ++t) {
+    T2VEC_CHECK(steps[t].rows() == batch && steps[t].cols() == cols);
+    std::memcpy(packed->Row(t * batch), steps[t].data(),
+                batch * cols * sizeof(float));
+  }
+}
+
+}  // namespace
 
 Linear::Linear(std::string name, size_t in_dim, size_t out_dim, Rng& rng)
     : weight_(name + ".weight", in_dim, out_dim),
@@ -21,6 +39,63 @@ void Linear::Backward(const Matrix& x, const Matrix& d_out, Matrix* d_x) {
   SumRowsInto(d_out, &bias_.grad);
   d_x->Resize(x.rows(), in_dim());
   GemmTransB(d_out, weight_.value, d_x);
+}
+
+void Linear::ForwardSeq(const std::vector<Matrix>& xs,
+                        std::vector<Matrix>* outs) const {
+  T2VEC_CHECK(!xs.empty());
+  const size_t batch = xs.front().rows();
+  Matrix x_packed;
+  PackSteps(xs, &x_packed);
+  Matrix out_packed(xs.size() * batch, out_dim());
+  if (FusedKernelsEnabled()) {
+    GemmV(x_packed, weight_.value, out_packed);
+  } else {
+    for (size_t t = 0; t < xs.size(); ++t) {
+      GemmV(RowBlock(x_packed, t * batch, batch), weight_.value,
+            RowBlock(&out_packed, t * batch, batch));
+    }
+  }
+  AddRowBroadcast(&out_packed, bias_.value);
+  outs->resize(xs.size());
+  for (size_t t = 0; t < xs.size(); ++t) {
+    (*outs)[t].Resize(batch, out_dim());
+    std::memcpy((*outs)[t].data(), out_packed.Row(t * batch),
+                batch * out_dim() * sizeof(float));
+  }
+}
+
+void Linear::BackwardSeq(const std::vector<Matrix>& xs,
+                         const std::vector<Matrix>& d_outs,
+                         std::vector<Matrix>* d_xs) {
+  T2VEC_CHECK(!xs.empty() && d_outs.size() == xs.size());
+  const size_t batch = xs.front().rows();
+  Matrix x_packed, d_out_packed;
+  PackSteps(xs, &x_packed);
+  PackSteps(d_outs, &d_out_packed);
+  Matrix d_x_packed(xs.size() * batch, in_dim());
+  if (FusedKernelsEnabled()) {
+    // One reduction over all T*B rows: the same ascending-row chain as the
+    // per-step beta=1 calls below.
+    GemmTransAV(x_packed, d_out_packed, weight_.grad, 1.0f, 1.0f);
+    SumRowsIntoV(d_out_packed, &bias_.grad);
+    GemmTransBV(d_out_packed, weight_.value, d_x_packed);
+  } else {
+    for (size_t t = 0; t < xs.size(); ++t) {
+      GemmTransAV(RowBlock(x_packed, t * batch, batch),
+                  RowBlock(d_out_packed, t * batch, batch), weight_.grad,
+                  1.0f, 1.0f);
+      SumRowsIntoV(RowBlock(d_out_packed, t * batch, batch), &bias_.grad);
+      GemmTransBV(RowBlock(d_out_packed, t * batch, batch), weight_.value,
+                  RowBlock(&d_x_packed, t * batch, batch));
+    }
+  }
+  d_xs->resize(xs.size());
+  for (size_t t = 0; t < xs.size(); ++t) {
+    (*d_xs)[t].Resize(batch, in_dim());
+    std::memcpy((*d_xs)[t].data(), d_x_packed.Row(t * batch),
+                batch * in_dim() * sizeof(float));
+  }
 }
 
 }  // namespace t2vec::nn

@@ -24,6 +24,20 @@ class Linear {
   /// input that produced this call's d_out.
   void Backward(const Matrix& x, const Matrix& d_out, Matrix* d_x);
 
+  /// Sequence variants: `xs` ([T] of B x in_dim) is packed step-major and the
+  /// whole sequence runs through one GEMM when fused kernels are enabled
+  /// (one GEMM per step on row blocks otherwise — bit-identical either way,
+  /// see nn/matrix.h). Outputs land per step in `outs`.
+  void ForwardSeq(const std::vector<Matrix>& xs,
+                  std::vector<Matrix>* outs) const;
+
+  /// Backward for ForwardSeq: accumulates dW/db over the whole sequence and
+  /// writes per-step input gradients. Produces the same gradient bits as T
+  /// separate Backward calls in step order.
+  void BackwardSeq(const std::vector<Matrix>& xs,
+                   const std::vector<Matrix>& d_outs,
+                   std::vector<Matrix>* d_xs);
+
   size_t in_dim() const { return weight_.value.rows(); }
   size_t out_dim() const { return weight_.value.cols(); }
 

@@ -1,25 +1,45 @@
 #include "nn/matrix.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+
+#include "common/thread_pool.h"
 
 namespace t2vec::nn {
 
 double Matrix::SquaredNorm() const {
-  double total = 0.0;
-  for (float x : data_) total += static_cast<double>(x) * x;
-  return total;
+  // 8 independent double lanes so the reduction vectorizes without
+  // reassociation flags; same trick as the GEMM dot kernels.
+  double lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  const float* __restrict x = data_.data();
+  const size_t n = data_.size();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (size_t l = 0; l < 8; ++l) {
+      const double v = static_cast<double>(x[i + l]);
+      lanes[l] += v * v;
+    }
+  }
+  double acc = 0.0;
+  for (; i < n; ++i) acc += static_cast<double>(x[i]) * x[i];
+  return acc + ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+         ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
 }
 
 std::string Matrix::ToString(size_t max_rows, size_t max_cols) const {
-  std::string out = "[" + std::to_string(rows_) + " x " +
-                    std::to_string(cols_) + "]\n";
+  const size_t shown_rows = std::min(rows_, max_rows);
+  const size_t shown_cols = std::min(cols_, max_cols);
+  std::string out;
+  // Header + 10 bytes per rendered cell + row decorations; one allocation.
+  out.reserve(32 + shown_rows * (10 * shown_cols + 8));
+  out += "[" + std::to_string(rows_) + " x " + std::to_string(cols_) + "]\n";
   char buf[32];
-  for (size_t r = 0; r < std::min(rows_, max_rows); ++r) {
-    for (size_t c = 0; c < std::min(cols_, max_cols); ++c) {
-      std::snprintf(buf, sizeof(buf), "%9.4f ", At(r, c));
-      out += buf;
+  for (size_t r = 0; r < shown_rows; ++r) {
+    for (size_t c = 0; c < shown_cols; ++c) {
+      const int len = std::snprintf(buf, sizeof(buf), "%9.4f ", At(r, c));
+      out.append(buf, static_cast<size_t>(len));
     }
     if (cols_ > max_cols) out += "...";
     out += "\n";
@@ -30,94 +50,371 @@ std::string Matrix::ToString(size_t max_rows, size_t max_cols) const {
 
 namespace {
 
-// Inner kernel: out_row (n) += a_val * b_row (n). The compiler vectorizes
-// this loop; keeping it tiny and restrict-qualified is what makes the
-// single-core training loop feasible.
-inline void AxpyRow(float a_val, const float* __restrict b_row,
-                    float* __restrict out_row, size_t n) {
-  for (size_t j = 0; j < n; ++j) out_row[j] += a_val * b_row[j];
+std::atomic<bool> g_fused_kernels{true};
+
+// ---------------------------------------------------------------------------
+// Blocked GEMM kernels.
+//
+// Tiling scheme (DESIGN.md "Kernels"): the output is walked in MR x NR
+// register tiles accumulated with std::fma; panels of KC reduction steps and
+// NC output columns keep the streamed operand resident in L2. Output rows
+// are partitioned across the deterministic thread pool; each worker owns a
+// disjoint contiguous row range, and every output element is accumulated in
+// a fixed order regardless of blocking or thread count, so results are
+// bit-identical to the serial kernel (enforced by matrix_test /
+// fused_kernels_test).
+// ---------------------------------------------------------------------------
+
+constexpr size_t kMR = 8;    // Micro-tile rows (accumulator rows).
+constexpr size_t kNR = 32;   // Micro-tile cols (two AVX-512 vectors).
+constexpr size_t kKC = 256;  // Reduction panel length.
+constexpr size_t kNC = 256;  // Output-column panel width.
+
+// Engage the pool only when a GEMM has enough arithmetic to amortize the
+// wake-up; below this it runs inline on the caller.
+constexpr double kParallelMinFlops = 1.5e6;
+
+// MR x nr output tile: acc = beta-term (first panel) or the partial result
+// already stored in c, then acc = fma(alpha * a_elem, b_elem, acc) for
+// p in [p0, p1) ascending; stores acc back to c. `kTransA` selects whether
+// the a element for (row r, step p) is a[p * lda + r] (a^T) or
+// a[r * lda + p]. fp32 stores between panels do not round, so panel splits
+// never change the per-element chain.
+template <size_t MR, bool kTransA>
+void MicroTile(const float* __restrict a, size_t lda,
+               const float* __restrict b, size_t ldb, float* __restrict c,
+               size_t ldc, size_t nr, size_t p0, size_t p1, float alpha,
+               float beta, bool first_panel) {
+  float acc[MR][kNR];
+  if (first_panel && beta == 0.0f) {
+    for (size_t r = 0; r < MR; ++r) {
+      for (size_t j = 0; j < nr; ++j) acc[r][j] = 0.0f;
+    }
+  } else if (first_panel && beta != 1.0f) {
+    for (size_t r = 0; r < MR; ++r) {
+      for (size_t j = 0; j < nr; ++j) acc[r][j] = beta * c[r * ldc + j];
+    }
+  } else {
+    for (size_t r = 0; r < MR; ++r) {
+      for (size_t j = 0; j < nr; ++j) acc[r][j] = c[r * ldc + j];
+    }
+  }
+
+  if (nr == kNR) {
+    // Full-width tile: constant trip count so the j loops vectorize cleanly.
+    for (size_t p = p0; p < p1; ++p) {
+      const float* __restrict brow = b + p * ldb;
+      float av[MR];
+      for (size_t r = 0; r < MR; ++r) {
+        av[r] = alpha * (kTransA ? a[p * lda + r] : a[r * lda + p]);
+      }
+      for (size_t r = 0; r < MR; ++r) {
+        for (size_t j = 0; j < kNR; ++j) {
+          acc[r][j] = std::fma(av[r], brow[j], acc[r][j]);
+        }
+      }
+    }
+  } else {
+    for (size_t p = p0; p < p1; ++p) {
+      const float* __restrict brow = b + p * ldb;
+      float av[MR];
+      for (size_t r = 0; r < MR; ++r) {
+        av[r] = alpha * (kTransA ? a[p * lda + r] : a[r * lda + p]);
+      }
+      for (size_t r = 0; r < MR; ++r) {
+        for (size_t j = 0; j < nr; ++j) {
+          acc[r][j] = std::fma(av[r], brow[j], acc[r][j]);
+        }
+      }
+    }
+  }
+
+  for (size_t r = 0; r < MR; ++r) {
+    for (size_t j = 0; j < nr; ++j) c[r * ldc + j] = acc[r][j];
+  }
+}
+
+// Runs the blocked kernel over output rows [i0, i1). `a_row_stride` /
+// `a_step_stride` express the a-element address as
+// a[row * a_row_stride + p * a_step_stride].
+template <bool kTransA>
+void GemmRowRange(const float* a, size_t lda, const float* b, size_t ldb,
+                  float* c, size_t ldc, size_t i0, size_t i1, size_t k,
+                  size_t n, float alpha, float beta) {
+  for (size_t jc = 0; jc < n; jc += kNC) {
+    const size_t jc_end = std::min(jc + kNC, n);
+    for (size_t pc = 0; pc < k; pc += kKC) {
+      const size_t pc_end = std::min(pc + kKC, k);
+      const bool first_panel = (pc == 0);
+      size_t i = i0;
+      while (i < i1) {
+        const size_t left = i1 - i;
+        const size_t mr = left >= 8 ? 8 : left >= 4 ? 4 : left >= 2 ? 2 : 1;
+        const float* a_tile = kTransA ? a + i : a + i * lda;
+        for (size_t j = jc; j < jc_end; j += kNR) {
+          const size_t nr = std::min(kNR, jc_end - j);
+          float* c_tile = c + i * ldc + j;
+          const float* b_tile = b + j;
+          switch (mr) {
+            case 8:
+              MicroTile<8, kTransA>(a_tile, lda, b_tile, ldb, c_tile, ldc, nr,
+                                    pc, pc_end, alpha, beta, first_panel);
+              break;
+            case 4:
+              MicroTile<4, kTransA>(a_tile, lda, b_tile, ldb, c_tile, ldc, nr,
+                                    pc, pc_end, alpha, beta, first_panel);
+              break;
+            case 2:
+              MicroTile<2, kTransA>(a_tile, lda, b_tile, ldb, c_tile, ldc, nr,
+                                    pc, pc_end, alpha, beta, first_panel);
+              break;
+            default:
+              MicroTile<1, kTransA>(a_tile, lda, b_tile, ldb, c_tile, ldc, nr,
+                                    pc, pc_end, alpha, beta, first_panel);
+          }
+        }
+        i += mr;
+      }
+    }
+  }
+}
+
+// Partitions output rows [0, m) across the pool when the problem is big
+// enough; each chunk is a pure function of (m, chunks), and chunks only
+// bound how work is split — per-element accumulation order never depends on
+// the partition.
+template <bool kTransA>
+void GemmBlocked(const float* a, size_t lda, const float* b, size_t ldb,
+                 float* c, size_t ldc, size_t m, size_t k, size_t n,
+                 float alpha, float beta) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    // Pure beta scaling; no reduction panels to run.
+    for (size_t i = 0; i < m; ++i) {
+      float* row = c + i * ldc;
+      for (size_t j = 0; j < n; ++j) {
+        row[j] = beta == 0.0f ? 0.0f : beta * row[j];
+      }
+    }
+    return;
+  }
+  const double flops = 2.0 * static_cast<double>(m) * k * n;
+  const int threads = GetNumThreads();
+  if (flops < kParallelMinFlops || threads <= 1 || m < 2 * kMR ||
+      ThreadPool::InParallelRegion()) {
+    GemmRowRange<kTransA>(a, lda, b, ldb, c, ldc, 0, m, k, n, alpha, beta);
+    return;
+  }
+  const size_t chunks =
+      std::min<size_t>(static_cast<size_t>(threads), (m + kMR - 1) / kMR);
+  ParallelFor(0, chunks, 1, [&](size_t chunk) {
+    const size_t i0 = (m * chunk) / chunks;
+    const size_t i1 = (m * (chunk + 1)) / chunks;
+    GemmRowRange<kTransA>(a, lda, b, ldb, c, ldc, i0, i1, k, n, alpha, beta);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// GemmTransB: out(i, j) = dot(a row i, b row j) — both contiguous — so the
+// reduction runs along the fast dimension and is lane-split 8 ways with a
+// fixed in-order lane reduction, making every TransB path (tiled or not,
+// any thread count) produce identical bits. Tiles of `kIT` a-rows share
+// each streamed b row.
+// ---------------------------------------------------------------------------
+
+constexpr size_t kDotLanes = 8;  // 8 fp32 partial-sum lanes (one AVX2 vector).
+constexpr size_t kIT = 4;         // a-rows sharing one b-row stream.
+
+// The canonical lane-split dot product every TransB path reduces with; the
+// tiled variant below must (and does) produce bit-identical per-element
+// results because each lane chain and the combine tree are fixed in source.
+inline float DotLanesFma(const float* __restrict x, const float* __restrict y,
+                         size_t k) {
+  float lanes[kDotLanes] = {0};
+  size_t p = 0;
+  for (; p + kDotLanes <= k; p += kDotLanes) {
+    for (size_t l = 0; l < kDotLanes; ++l) {
+      lanes[l] = std::fma(x[p + l], y[p + l], lanes[l]);
+    }
+  }
+  float acc = 0.0f;
+  for (; p < k; ++p) acc = std::fma(x[p], y[p], acc);
+  for (size_t l = 0; l < kDotLanes; ++l) acc += lanes[l];
+  return acc;
+}
+
+// Reduces one element's lane array with the fixed combine tree.
+inline float ReduceLanes(const float* __restrict lanes, float tail) {
+  for (size_t l = 0; l < kDotLanes; ++l) tail += lanes[l];
+  return tail;
+}
+
+// Dots of four a-rows against one b-row; each element is reduced exactly
+// like DotLanesFma (independent accumulator lanes per element), so tiling
+// rows cannot change bits. Explicit restrict pointers (not an array of
+// pointers) so the lane loops vectorize.
+void DotLanesFma4(const float* __restrict x0, const float* __restrict x1,
+                  const float* __restrict x2, const float* __restrict x3,
+                  const float* __restrict y, size_t k, float* __restrict out) {
+  float l0[kDotLanes] = {}, l1[kDotLanes] = {}, l2[kDotLanes] = {},
+        l3[kDotLanes] = {};
+  size_t p = 0;
+  for (; p + kDotLanes <= k; p += kDotLanes) {
+    for (size_t l = 0; l < kDotLanes; ++l) {
+      const float yv = y[p + l];
+      l0[l] = std::fma(x0[p + l], yv, l0[l]);
+      l1[l] = std::fma(x1[p + l], yv, l1[l]);
+      l2[l] = std::fma(x2[p + l], yv, l2[l]);
+      l3[l] = std::fma(x3[p + l], yv, l3[l]);
+    }
+  }
+  float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
+  for (; p < k; ++p) {
+    const float yv = y[p];
+    a0 = std::fma(x0[p], yv, a0);
+    a1 = std::fma(x1[p], yv, a1);
+    a2 = std::fma(x2[p], yv, a2);
+    a3 = std::fma(x3[p], yv, a3);
+  }
+  out[0] = ReduceLanes(l0, a0);
+  out[1] = ReduceLanes(l1, a1);
+  out[2] = ReduceLanes(l2, a2);
+  out[3] = ReduceLanes(l3, a3);
+}
+
+// Segment chain shared by every TransB path: v = beta-term, then
+// v = fma(alpha, dot_segment, v) per consecutive k-segment — exactly the
+// chain produced by separate beta=1 calls, which is what makes fused packed
+// matmuls bit-identical to per-gate ones.
+void TransBRange(const float* a, size_t lda, const float* b, size_t ldb,
+                 float* c, size_t ldc, size_t i0, size_t i1, size_t j0,
+                 size_t j1, size_t k, float alpha, float beta,
+                 size_t segment) {
+  const size_t nseg = k / segment;
+  size_t i = i0;
+  while (i < i1) {
+    const size_t it = std::min<size_t>(kIT, i1 - i);
+    const float* xs[kIT];
+    for (size_t t = 0; t < it; ++t) xs[t] = a + (i + t) * lda;
+    for (size_t j = j0; j < j1; ++j) {
+      const float* brow = b + j * ldb;
+      float v[kIT];
+      for (size_t t = 0; t < it; ++t) {
+        float* cv = c + (i + t) * ldc + j;
+        v[t] = beta == 0.0f ? 0.0f : beta * *cv;
+      }
+      for (size_t s = 0; s < nseg; ++s) {
+        const size_t off = s * segment;
+        float dots[kIT];
+        if (it == kIT) {
+          DotLanesFma4(xs[0] + off, xs[1] + off, xs[2] + off, xs[3] + off,
+                       brow + off, segment, dots);
+        } else {
+          for (size_t t = 0; t < it; ++t) {
+            dots[t] = DotLanesFma(xs[t] + off, brow + off, segment);
+          }
+        }
+        for (size_t t = 0; t < it; ++t) {
+          v[t] = std::fma(alpha, dots[t], v[t]);
+        }
+      }
+      for (size_t t = 0; t < it; ++t) c[(i + t) * ldc + j] = v[t];
+    }
+    i += it;
+  }
 }
 
 }  // namespace
 
+void GemmV(ConstMatrixView a, ConstMatrixView b, MatrixView out, float alpha,
+           float beta) {
+  const size_t m = a.rows, k = a.cols, n = b.cols;
+  T2VEC_CHECK(b.rows == k);
+  T2VEC_CHECK(out.rows == m && out.cols == n);
+  GemmBlocked<false>(a.data, a.ld, b.data, b.ld, out.data, out.ld, m, k, n,
+                     alpha, beta);
+}
+
+void GemmTransAV(ConstMatrixView a, ConstMatrixView b, MatrixView out,
+                 float alpha, float beta) {
+  // out (m x n) = a^T * b, a: k x m, b: k x n.
+  const size_t k = a.rows, m = a.cols, n = b.cols;
+  T2VEC_CHECK(b.rows == k);
+  T2VEC_CHECK(out.rows == m && out.cols == n);
+  GemmBlocked<true>(a.data, a.ld, b.data, b.ld, out.data, out.ld, m, k, n,
+                    alpha, beta);
+}
+
+void GemmTransBV(ConstMatrixView a, ConstMatrixView b, MatrixView out,
+                 float alpha, float beta, size_t segment) {
+  // out (m x n) = a * b^T, a: m x k, b: n x k.
+  const size_t m = a.rows, k = a.cols, n = b.rows;
+  T2VEC_CHECK(b.cols == k);
+  T2VEC_CHECK(out.rows == m && out.cols == n);
+  if (m == 0 || n == 0) return;
+  if (segment == 0 || segment >= k) {
+    segment = std::max<size_t>(k, 1);
+  } else {
+    T2VEC_CHECK(k % segment == 0);
+  }
+  if (k == 0) {
+    for (size_t i = 0; i < m; ++i) {
+      float* row = out.data + i * out.ld;
+      for (size_t j = 0; j < n; ++j) {
+        row[j] = beta == 0.0f ? 0.0f : beta * row[j];
+      }
+    }
+    return;
+  }
+
+  const double flops = 2.0 * static_cast<double>(m) * k * n;
+  const int threads = GetNumThreads();
+  if (flops < kParallelMinFlops || threads <= 1 ||
+      ThreadPool::InParallelRegion()) {
+    TransBRange(a.data, a.ld, b.data, b.ld, out.data, out.ld, 0, m, 0, n,
+                k, alpha, beta, segment);
+    return;
+  }
+  // Split whichever output dimension is larger; either way each element is
+  // computed entirely by one worker, so the partition cannot change bits.
+  if (m >= n) {
+    const size_t chunks =
+        std::min<size_t>(static_cast<size_t>(threads), (m + kIT - 1) / kIT);
+    ParallelFor(0, chunks, 1, [&](size_t chunk) {
+      const size_t i0 = (m * chunk) / chunks;
+      const size_t i1 = (m * (chunk + 1)) / chunks;
+      TransBRange(a.data, a.ld, b.data, b.ld, out.data, out.ld, i0, i1, 0, n,
+                  k, alpha, beta, segment);
+    });
+  } else {
+    const size_t chunks = std::min<size_t>(static_cast<size_t>(threads), n);
+    ParallelFor(0, chunks, 1, [&](size_t chunk) {
+      const size_t j0 = (n * chunk) / chunks;
+      const size_t j1 = (n * (chunk + 1)) / chunks;
+      TransBRange(a.data, a.ld, b.data, b.ld, out.data, out.ld, 0, m, j0, j1,
+                  k, alpha, beta, segment);
+    });
+  }
+}
+
 void Gemm(const Matrix& a, const Matrix& b, Matrix* out, float alpha,
           float beta) {
-  const size_t m = a.rows(), k = a.cols(), n = b.cols();
-  T2VEC_CHECK(b.rows() == k);
-  T2VEC_CHECK(out->rows() == m && out->cols() == n);
-  if (beta == 0.0f) {
-    out->SetZero();
-  } else if (beta != 1.0f) {
-    Scale(out, beta);
-  }
-  // i-k-j loop order: streams through b and out rows contiguously.
-  for (size_t i = 0; i < m; ++i) {
-    const float* a_row = a.Row(i);
-    float* out_row = out->Row(i);
-    for (size_t p = 0; p < k; ++p) {
-      const float scaled = alpha * a_row[p];
-      if (scaled != 0.0f) AxpyRow(scaled, b.Row(p), out_row, n);
-    }
-  }
+  GemmV(a, b, MatrixView(*out), alpha, beta);
 }
 
 void GemmTransA(const Matrix& a, const Matrix& b, Matrix* out, float alpha,
                 float beta) {
-  // out (m x n) = a^T (m x k_rows) ... a: k x m, b: k x n.
-  const size_t k = a.rows(), m = a.cols(), n = b.cols();
-  T2VEC_CHECK(b.rows() == k);
-  T2VEC_CHECK(out->rows() == m && out->cols() == n);
-  if (beta == 0.0f) {
-    out->SetZero();
-  } else if (beta != 1.0f) {
-    Scale(out, beta);
-  }
-  // For each shared row p of a and b: out[i, :] += a[p, i] * b[p, :].
-  for (size_t p = 0; p < k; ++p) {
-    const float* a_row = a.Row(p);
-    const float* b_row = b.Row(p);
-    for (size_t i = 0; i < m; ++i) {
-      const float scaled = alpha * a_row[i];
-      if (scaled != 0.0f) AxpyRow(scaled, b_row, out->Row(i), n);
-    }
-  }
+  GemmTransAV(a, b, MatrixView(*out), alpha, beta);
 }
-
-namespace {
-
-// Dot product with 8 independent accumulator lanes so the compiler can
-// vectorize the reduction without reassociation flags.
-inline float DotLanes(const float* __restrict x, const float* __restrict y,
-                      size_t k) {
-  float lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
-  size_t p = 0;
-  for (; p + 8 <= k; p += 8) {
-    for (size_t l = 0; l < 8; ++l) lanes[l] += x[p + l] * y[p + l];
-  }
-  float acc = 0.0f;
-  for (; p < k; ++p) acc += x[p] * y[p];
-  return acc + ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
-         ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
-}
-
-}  // namespace
 
 void GemmTransB(const Matrix& a, const Matrix& b, Matrix* out, float alpha,
                 float beta) {
-  // out (m x n) = a (m x k) * b^T, b: n x k.
-  const size_t m = a.rows(), k = a.cols(), n = b.rows();
-  T2VEC_CHECK(b.cols() == k);
-  T2VEC_CHECK(out->rows() == m && out->cols() == n);
-  for (size_t i = 0; i < m; ++i) {
-    const float* a_row = a.Row(i);
-    float* out_row = out->Row(i);
-    for (size_t j = 0; j < n; ++j) {
-      const float acc = DotLanes(a_row, b.Row(j), k);
-      out_row[j] =
-          alpha * acc + (beta == 0.0f ? 0.0f : beta * out_row[j]);
-    }
-  }
+  GemmTransBV(a, b, MatrixView(*out), alpha, beta);
 }
+
+void SetFusedKernels(bool on) { g_fused_kernels.store(on); }
+
+bool FusedKernelsEnabled() { return g_fused_kernels.load(); }
 
 void AddInPlace(Matrix* out, const Matrix& a) {
   T2VEC_CHECK(SameShape(*out, a));
@@ -161,14 +458,18 @@ void AddRowBroadcast(Matrix* out, const Matrix& bias) {
   }
 }
 
-void SumRowsInto(const Matrix& grad, Matrix* bias_grad) {
-  T2VEC_CHECK(bias_grad->rows() == 1 && bias_grad->cols() == grad.cols());
+void SumRowsIntoV(ConstMatrixView grad, Matrix* bias_grad) {
+  T2VEC_CHECK(bias_grad->rows() == 1 && bias_grad->cols() == grad.cols);
   float* __restrict b = bias_grad->data();
-  const size_t n = grad.cols();
-  for (size_t r = 0; r < grad.rows(); ++r) {
+  const size_t n = grad.cols;
+  for (size_t r = 0; r < grad.rows; ++r) {
     const float* __restrict g = grad.Row(r);
     for (size_t j = 0; j < n; ++j) b[j] += g[j];
   }
+}
+
+void SumRowsInto(const Matrix& grad, Matrix* bias_grad) {
+  SumRowsIntoV(grad, bias_grad);
 }
 
 void Hadamard(const Matrix& a, const Matrix& b, Matrix* out) {
@@ -193,13 +494,20 @@ void HadamardAccum(const Matrix& a, const Matrix& b, Matrix* out) {
 
 double Dot(const Matrix& a, const Matrix& b) {
   T2VEC_CHECK(SameShape(a, b));
-  double acc = 0.0;
-  const float* x = a.data();
-  const float* y = b.data();
-  for (size_t i = 0; i < a.size(); ++i) {
-    acc += static_cast<double>(x[i]) * y[i];
+  double lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  const float* __restrict x = a.data();
+  const float* __restrict y = b.data();
+  const size_t n = a.size();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (size_t l = 0; l < 8; ++l) {
+      lanes[l] += static_cast<double>(x[i + l]) * y[i + l];
+    }
   }
-  return acc;
+  double acc = 0.0;
+  for (; i < n; ++i) acc += static_cast<double>(x[i]) * y[i];
+  return acc + ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+         ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
 }
 
 float MaxAbsDiff(const Matrix& a, const Matrix& b) {

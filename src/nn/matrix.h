@@ -19,6 +19,30 @@
 ///    training loop can reuse buffers across steps without reallocation.
 ///  - Accumulating variants (`beta = 1`) are provided because backprop sums
 ///    gradient contributions in place.
+///  - The GEMM kernels are cache-blocked, register-tiled, and partition
+///    output rows across the deterministic thread pool. Every output element
+///    is accumulated in a fixed order (see "Determinism" below), so results
+///    are bit-identical to a serial run at any thread count and identical
+///    whether gate matrices are fused into packed buffers or multiplied one
+///    by one (DESIGN.md "Kernels").
+///
+/// Determinism contract of the kernel layer:
+///  - `Gemm`/`GemmTransA`: element (i, j) is the fp32 chain
+///    `acc = beta-term; for p ascending: acc = fma(alpha * a_ip, b_pj, acc)`.
+///    The reduction dimension is never split across SIMD lanes or threads,
+///    so blocking, tiling, and row partitioning cannot change the result.
+///  - `GemmTransB`: element (i, j) reduces along the contiguous dimension
+///    with a fixed 8-lane split (`DotLanes`), again identical across block
+///    sizes and thread counts. The `segments` parameter chains several
+///    consecutive k-segments exactly like back-to-back `beta = 1` calls, so
+///    a fused matmul over packed `[Wz|Wr|Wc]` reproduces the three separate
+///    per-gate calls bit-for-bit.
+///  - All accumulations use `std::fma`, so results do not depend on whether
+///    the compiler contracts a particular loop.
+/// Caveat: unlike the pre-blocking kernels, zero entries of `a` are no
+/// longer skipped, so non-finite inputs (inf/NaN) propagate into products
+/// where they previously multiplied with a skipped zero. Finite inputs are
+/// unaffected.
 
 namespace t2vec::nn {
 
@@ -89,7 +113,7 @@ class Matrix {
   const std::vector<float>& storage() const { return data_; }
   std::vector<float>& storage() { return data_; }
 
-  /// Frobenius norm squared.
+  /// Frobenius norm squared (8-lane double accumulation).
   double SquaredNorm() const;
 
   /// Debug rendering (small matrices only).
@@ -107,22 +131,106 @@ inline bool SameShape(const Matrix& a, const Matrix& b) {
 }
 
 // ---------------------------------------------------------------------------
+// Strided views. A view is a non-owning rows x cols window whose consecutive
+// rows are `ld` floats apart; they let the fused GRU/attention paths run
+// GEMMs directly on column blocks of packed buffers without copies.
+// ---------------------------------------------------------------------------
+
+/// Mutable view of a row-major block with leading dimension `ld`.
+struct MatrixView {
+  float* data;
+  size_t rows;
+  size_t cols;
+  size_t ld;
+
+  MatrixView(float* d, size_t r, size_t c, size_t l)
+      : data(d), rows(r), cols(c), ld(l) {}
+  /// Whole-matrix view.
+  MatrixView(Matrix& m)  // NOLINT(google-explicit-constructor)
+      : data(m.data()), rows(m.rows()), cols(m.cols()), ld(m.cols()) {}
+
+  float* Row(size_t r) const { return data + r * ld; }
+};
+
+/// Read-only view of a row-major block with leading dimension `ld`.
+struct ConstMatrixView {
+  const float* data;
+  size_t rows;
+  size_t cols;
+  size_t ld;
+
+  ConstMatrixView(const float* d, size_t r, size_t c, size_t l)
+      : data(d), rows(r), cols(c), ld(l) {}
+  ConstMatrixView(const Matrix& m)  // NOLINT(google-explicit-constructor)
+      : data(m.data()), rows(m.rows()), cols(m.cols()), ld(m.cols()) {}
+  ConstMatrixView(const MatrixView& v)  // NOLINT(google-explicit-constructor)
+      : data(v.data), rows(v.rows), cols(v.cols), ld(v.ld) {}
+
+  const float* Row(size_t r) const { return data + r * ld; }
+};
+
+/// Columns [c0, c0 + cols) of `m` as a strided view.
+inline MatrixView ColBlock(Matrix* m, size_t c0, size_t cols) {
+  T2VEC_DCHECK(c0 + cols <= m->cols());
+  return MatrixView(m->data() + c0, m->rows(), cols, m->cols());
+}
+inline ConstMatrixView ColBlock(const Matrix& m, size_t c0, size_t cols) {
+  T2VEC_DCHECK(c0 + cols <= m.cols());
+  return ConstMatrixView(m.data() + c0, m.rows(), cols, m.cols());
+}
+
+/// Rows [r0, r0 + rows) of `m` (contiguous, same leading dimension).
+inline MatrixView RowBlock(Matrix* m, size_t r0, size_t rows) {
+  T2VEC_DCHECK(r0 + rows <= m->rows());
+  return MatrixView(m->Row(r0), rows, m->cols(), m->cols());
+}
+inline ConstMatrixView RowBlock(const Matrix& m, size_t r0, size_t rows) {
+  T2VEC_DCHECK(r0 + rows <= m.rows());
+  return ConstMatrixView(m.Row(r0), rows, m.cols(), m.cols());
+}
+
+// ---------------------------------------------------------------------------
 // GEMM kernels. out = alpha * op(a) * op(b) + beta * out.
 // ---------------------------------------------------------------------------
 
 /// out = alpha * a * b + beta * out, a: m x k, b: k x n.
-void Gemm(const Matrix& a, const Matrix& b, Matrix* out, float alpha = 1.0f,
-          float beta = 0.0f);
+void GemmV(ConstMatrixView a, ConstMatrixView b, MatrixView out,
+           float alpha = 1.0f, float beta = 0.0f);
 
 /// out = alpha * a^T * b + beta * out, a: k x m, b: k x n. Used for weight
 /// gradients (dW = x^T dy).
-void GemmTransA(const Matrix& a, const Matrix& b, Matrix* out,
-                float alpha = 1.0f, float beta = 0.0f);
+void GemmTransAV(ConstMatrixView a, ConstMatrixView b, MatrixView out,
+                 float alpha = 1.0f, float beta = 0.0f);
 
 /// out = alpha * a * b^T + beta * out, a: m x k, b: n x k. Used for input
 /// gradients (dx = dy W^T) and for scoring against embedding tables.
+///
+/// `segment` (0 = whole k) splits the reduction into consecutive segments of
+/// that length, chained exactly like separate `beta = 1` calls per segment:
+/// `v = beta-term; for each segment s: v = fma(alpha, dot_s, v)`. The fused
+/// gate path uses `segment = hidden` over packed `[Wz|Wr|Wc]` so it matches
+/// the per-gate calls bit-for-bit.
+void GemmTransBV(ConstMatrixView a, ConstMatrixView b, MatrixView out,
+                 float alpha = 1.0f, float beta = 0.0f, size_t segment = 0);
+
+/// Matrix-shaped convenience wrappers (the historical API).
+void Gemm(const Matrix& a, const Matrix& b, Matrix* out, float alpha = 1.0f,
+          float beta = 0.0f);
+void GemmTransA(const Matrix& a, const Matrix& b, Matrix* out,
+                float alpha = 1.0f, float beta = 0.0f);
 void GemmTransB(const Matrix& a, const Matrix& b, Matrix* out,
                 float alpha = 1.0f, float beta = 0.0f);
+
+// ---------------------------------------------------------------------------
+// Kernel configuration.
+// ---------------------------------------------------------------------------
+
+/// Enables/disables the fused packed-weight matmul paths (GRU gates,
+/// attention batching, packed linear/NCE scoring). On by default; the off
+/// position issues the same kernels once per gate/step and exists so tests
+/// can assert the two paths are bit-identical. Thread-safe.
+void SetFusedKernels(bool on);
+bool FusedKernelsEnabled();
 
 // ---------------------------------------------------------------------------
 // Elementwise / rowwise helpers.
@@ -145,6 +253,7 @@ void AddRowBroadcast(Matrix* out, const Matrix& bias);
 
 /// bias_grad (1 x n) += column sums of `grad` (m x n).
 void SumRowsInto(const Matrix& grad, Matrix* bias_grad);
+void SumRowsIntoV(ConstMatrixView grad, Matrix* bias_grad);
 
 /// out = a ⊙ b (Hadamard product).
 void Hadamard(const Matrix& a, const Matrix& b, Matrix* out);
@@ -152,7 +261,7 @@ void Hadamard(const Matrix& a, const Matrix& b, Matrix* out);
 /// out += a ⊙ b.
 void HadamardAccum(const Matrix& a, const Matrix& b, Matrix* out);
 
-/// Dot product of the flattened matrices.
+/// Dot product of the flattened matrices (8-lane double accumulation).
 double Dot(const Matrix& a, const Matrix& b);
 
 /// Max |a - b| over all elements (shapes must match). For tests.

@@ -4,40 +4,80 @@
 
 namespace t2vec::nn {
 
+void SigmoidV(ConstMatrixView in, MatrixView out) {
+  T2VEC_CHECK(in.rows == out.rows && in.cols == out.cols);
+  for (size_t r = 0; r < in.rows; ++r) {
+    const float* __restrict x = in.Row(r);
+    float* __restrict y = out.Row(r);
+    for (size_t j = 0; j < in.cols; ++j) {
+      y[j] = 1.0f / (1.0f + std::exp(-x[j]));
+    }
+  }
+}
+
+void TanhV(ConstMatrixView in, MatrixView out) {
+  T2VEC_CHECK(in.rows == out.rows && in.cols == out.cols);
+  for (size_t r = 0; r < in.rows; ++r) {
+    const float* __restrict x = in.Row(r);
+    float* __restrict y = out.Row(r);
+    for (size_t j = 0; j < in.cols; ++j) y[j] = std::tanh(x[j]);
+  }
+}
+
+void SigmoidBackwardV(ConstMatrixView y, ConstMatrixView d_out,
+                      MatrixView d_in) {
+  T2VEC_CHECK(y.rows == d_out.rows && y.cols == d_out.cols);
+  T2VEC_CHECK(y.rows == d_in.rows && y.cols == d_in.cols);
+  for (size_t r = 0; r < y.rows; ++r) {
+    const float* __restrict yv = y.Row(r);
+    const float* __restrict g = d_out.Row(r);
+    float* __restrict o = d_in.Row(r);
+    for (size_t j = 0; j < y.cols; ++j) {
+      o[j] = g[j] * yv[j] * (1.0f - yv[j]);
+    }
+  }
+}
+
+void TanhBackwardV(ConstMatrixView y, ConstMatrixView d_out, MatrixView d_in) {
+  T2VEC_CHECK(y.rows == d_out.rows && y.cols == d_out.cols);
+  T2VEC_CHECK(y.rows == d_in.rows && y.cols == d_in.cols);
+  for (size_t r = 0; r < y.rows; ++r) {
+    const float* __restrict yv = y.Row(r);
+    const float* __restrict g = d_out.Row(r);
+    float* __restrict o = d_in.Row(r);
+    for (size_t j = 0; j < y.cols; ++j) {
+      o[j] = g[j] * (1.0f - yv[j] * yv[j]);
+    }
+  }
+}
+
+void AddRowBroadcastV(MatrixView out, const Matrix& bias) {
+  T2VEC_CHECK(bias.rows() == 1 && bias.cols() == out.cols);
+  const float* __restrict b = bias.data();
+  for (size_t r = 0; r < out.rows; ++r) {
+    float* __restrict o = out.Row(r);
+    for (size_t j = 0; j < out.cols; ++j) o[j] += b[j];
+  }
+}
+
 void Sigmoid(const Matrix& in, Matrix* out) {
-  out->Resize(in.rows(), in.cols());
-  const float* __restrict x = in.data();
-  float* __restrict y = out->data();
-  const size_t n = in.size();
-  for (size_t i = 0; i < n; ++i) y[i] = 1.0f / (1.0f + std::exp(-x[i]));
+  if (out != &in) out->Resize(in.rows(), in.cols());
+  SigmoidV(in, *out);
 }
 
 void Tanh(const Matrix& in, Matrix* out) {
-  out->Resize(in.rows(), in.cols());
-  const float* __restrict x = in.data();
-  float* __restrict y = out->data();
-  const size_t n = in.size();
-  for (size_t i = 0; i < n; ++i) y[i] = std::tanh(x[i]);
+  if (out != &in) out->Resize(in.rows(), in.cols());
+  TanhV(in, *out);
 }
 
 void SigmoidBackward(const Matrix& y, const Matrix& d_out, Matrix* d_in) {
-  T2VEC_CHECK(SameShape(y, d_out));
-  d_in->Resize(y.rows(), y.cols());
-  const float* __restrict yv = y.data();
-  const float* __restrict g = d_out.data();
-  float* __restrict o = d_in->data();
-  const size_t n = y.size();
-  for (size_t i = 0; i < n; ++i) o[i] = g[i] * yv[i] * (1.0f - yv[i]);
+  if (d_in != &y && d_in != &d_out) d_in->Resize(y.rows(), y.cols());
+  SigmoidBackwardV(y, d_out, MatrixView(*d_in));
 }
 
 void TanhBackward(const Matrix& y, const Matrix& d_out, Matrix* d_in) {
-  T2VEC_CHECK(SameShape(y, d_out));
-  d_in->Resize(y.rows(), y.cols());
-  const float* __restrict yv = y.data();
-  const float* __restrict g = d_out.data();
-  float* __restrict o = d_in->data();
-  const size_t n = y.size();
-  for (size_t i = 0; i < n; ++i) o[i] = g[i] * (1.0f - yv[i] * yv[i]);
+  if (d_in != &y && d_in != &d_out) d_in->Resize(y.rows(), y.cols());
+  TanhBackwardV(y, d_out, MatrixView(*d_in));
 }
 
 void SoftmaxRows(const Matrix& in, Matrix* out) {

@@ -24,6 +24,20 @@ void SigmoidBackward(const Matrix& y, const Matrix& d_out, Matrix* d_in);
 /// d_in = d_out ⊙ (1 - y²) where y = tanh(pre-activation).
 void TanhBackward(const Matrix& y, const Matrix& d_out, Matrix* d_in);
 
+// Strided-view variants. Shapes must already match (views cannot resize).
+// The per-element expressions are shared with the Matrix overloads above, so
+// running an activation on a column block of a packed buffer produces the
+// same bits as running it on a separate per-gate matrix (the fused-kernel
+// determinism contract in nn/matrix.h).
+void SigmoidV(ConstMatrixView in, MatrixView out);
+void TanhV(ConstMatrixView in, MatrixView out);
+void SigmoidBackwardV(ConstMatrixView y, ConstMatrixView d_out,
+                      MatrixView d_in);
+void TanhBackwardV(ConstMatrixView y, ConstMatrixView d_out, MatrixView d_in);
+
+/// Adds row vector `bias` (1 x n) to every row of `out` (m x n).
+void AddRowBroadcastV(MatrixView out, const Matrix& bias);
+
 /// Row-wise softmax: every row of `out` is the softmax of the matching row of
 /// `in`. Numerically stabilized by max subtraction. May alias.
 void SoftmaxRows(const Matrix& in, Matrix* out);

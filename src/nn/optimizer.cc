@@ -35,6 +35,7 @@ void Sgd::Step() {
       Axpy(-lr_, p->grad, &p->value);
     }
   }
+  BumpParamVersion();
 }
 
 Adam::Adam(ParamList params, float lr, float beta1, float beta2, float eps)
@@ -71,6 +72,7 @@ void Adam::Step() {
       w[j] -= alpha * m[j] / (std::sqrt(v[j]) + eps_);
     }
   }
+  BumpParamVersion();
 }
 
 }  // namespace t2vec::nn

@@ -1,13 +1,25 @@
 #include "nn/parameter.h"
 
+#include <atomic>
 #include <cmath>
 
 namespace t2vec::nn {
+
+namespace {
+std::atomic<uint64_t> g_param_version{1};
+}  // namespace
+
+uint64_t ParamVersion() { return g_param_version.load(std::memory_order_acquire); }
+
+void BumpParamVersion() {
+  g_param_version.fetch_add(1, std::memory_order_acq_rel);
+}
 
 void InitUniform(Matrix* m, float scale, Rng& rng) {
   for (size_t i = 0; i < m->size(); ++i) {
     m->data()[i] = static_cast<float>(rng.Uniform(-scale, scale));
   }
+  BumpParamVersion();
 }
 
 void InitXavier(Matrix* m, Rng& rng) {

@@ -32,6 +32,15 @@ struct Parameter {
 /// A flat list of parameter pointers; the unit optimizers operate on.
 using ParamList = std::vector<Parameter*>;
 
+/// Global parameter-version counter backing the fused-weight pack caches
+/// (nn/gru.h, nn/attention.h): layers stamp their packed `[Wz|Wr|Wc]`
+/// buffers with the version they were built at and rebuild lazily when it
+/// moves. Anything that mutates parameter values outside a layer's own
+/// methods — optimizer steps, checkpoint loads, init helpers, gradcheck
+/// perturbations — must call BumpParamVersion(). Thread-safe.
+uint64_t ParamVersion();
+void BumpParamVersion();
+
 /// Fills `m` with U(-scale, scale).
 void InitUniform(Matrix* m, float scale, Rng& rng);
 

@@ -9,6 +9,7 @@
 
 #include "common/rng.h"
 #include "common/serialize.h"
+#include "common/sort.h"
 #include "common/status.h"
 
 namespace t2vec {
@@ -193,6 +194,59 @@ TEST(SerializeTest, TruncatedReadFails) {
   EXPECT_FALSE(reader.ReadPod(&y));
   std::remove(path.c_str());
 }
+
+TEST(DeterministicSortTest, SortsAndPermutes) {
+  Rng rng(7);
+  for (size_t n : {0u, 1u, 2u, 15u, 16u, 17u, 100u, 1500u}) {
+    std::vector<int> v(n);
+    for (auto& x : v) x = static_cast<int>(rng.UniformInt(40));
+    std::vector<int> sorted = v;
+    DeterministicSort(sorted.begin(), sorted.end(), std::less<int>());
+    EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end())) << "n=" << n;
+    EXPECT_TRUE(std::is_permutation(sorted.begin(), sorted.end(), v.begin(),
+                                    v.end()))
+        << "n=" << n;
+  }
+}
+
+TEST(DeterministicSortTest, TiePlacementIsAFixedPermutation) {
+  // Batch composition depends on where comparator-equivalent elements land,
+  // so the full permutation — not just sortedness — must be reproducible.
+  // Golden tie order for a fixed tie-heavy input, locked on the reference
+  // toolchain; any platform or algorithm change that moves ties breaks this.
+  std::vector<int> keys = {3, 1, 3, 2, 1, 3, 2, 1, 3, 2, 1, 3, 2, 1, 3,
+                           2, 1, 3, 2, 1, 3, 2, 1, 3, 2, 1, 3, 2, 1, 3};
+  std::vector<size_t> order(keys.size());
+  std::iota(order.begin(), order.end(), 0);
+  DeterministicSort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return keys[a] < keys[b];
+  });
+  const std::vector<size_t> golden = {1,  28, 4,  25, 7,  22, 10, 19, 13, 16,
+                                      15, 27, 24, 21, 18, 12, 9,  6,  3,  0,
+                                      14, 17, 11, 20, 8,  23, 5,  26, 2,  29};
+  EXPECT_EQ(order, golden);
+}
+
+#ifdef __GLIBCXX__
+TEST(DeterministicSortTest, MatchesReferenceToolchainSort) {
+  // On libstdc++ the pinned algorithm must reproduce std::sort exactly —
+  // this is what keeps historical batch compositions (and trained models)
+  // unchanged on the reference toolchain.
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = rng.UniformInt(3000);
+    std::vector<int> lens(n);
+    for (auto& l : lens) l = static_cast<int>(rng.UniformInt(40));
+    std::vector<size_t> a(n), b(n);
+    std::iota(a.begin(), a.end(), 0);
+    b = a;
+    auto comp = [&](size_t x, size_t y) { return lens[x] < lens[y]; };
+    std::sort(a.begin(), a.end(), comp);
+    DeterministicSort(b.begin(), b.end(), comp);
+    ASSERT_EQ(a, b) << "trial " << trial << " n=" << n;
+  }
+}
+#endif
 
 }  // namespace
 }  // namespace t2vec

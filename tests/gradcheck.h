@@ -7,6 +7,7 @@
 #include <functional>
 
 #include "nn/matrix.h"
+#include "nn/parameter.h"
 
 /// \file
 /// Finite-difference gradient checking shared by the nn/core tests.
@@ -33,11 +34,16 @@ inline void ExpectGradientsMatch(Matrix* target, const Matrix& analytic_grad,
     const size_t i = (n <= max_checks) ? pick : (state >> 16) % n;
     const float original = target->data()[i];
 
+    // Perturbations write parameter storage directly, so invalidate the
+    // fused weight-pack caches the same way an optimizer step would.
     target->data()[i] = original + eps;
+    BumpParamVersion();
     const double loss_plus = loss_fn();
     target->data()[i] = original - eps;
+    BumpParamVersion();
     const double loss_minus = loss_fn();
     target->data()[i] = original;
+    BumpParamVersion();
 
     const double numeric = (loss_plus - loss_minus) / (2.0 * eps);
     const double analytic = analytic_grad.data()[i];

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "nn/matrix.h"
 #include "nn/ops.h"
 #include "nn/parameter.h"
@@ -103,6 +104,154 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(7, 5, 3), std::make_tuple(16, 16, 16),
                       std::make_tuple(1, 64, 33), std::make_tuple(33, 1, 17),
                       std::make_tuple(31, 37, 41)));
+
+// Exhaustive kernel sweep over every m, k, n in {1, 7, 8, 9, 64, 65}: the
+// values straddle the micro-tile (8), vector (8/16), and panel boundaries,
+// so every edge path in the blocked kernels runs. Each kernel is checked
+// against the double-accumulation reference, including alpha/beta outside
+// {0, 1}.
+TEST(GemmKernelSweep, AllShapesAllKernels) {
+  const size_t dims[] = {1, 7, 8, 9, 64, 65};
+  const struct {
+    float alpha, beta;
+  } scales[] = {{1.0f, 0.0f}, {2.0f, 1.0f}, {0.5f, -1.5f}};
+  Rng rng(99);
+  for (size_t m : dims) {
+    for (size_t k : dims) {
+      for (size_t n : dims) {
+        const Matrix a = RandomMatrix(m, k, rng);
+        const Matrix b = RandomMatrix(k, n, rng);
+        const Matrix at = RandomMatrix(k, m, rng);  // a^T layout for TransA.
+        const Matrix bt = RandomMatrix(n, k, rng);  // b^T layout for TransB.
+        const Matrix base = RandomMatrix(m, n, rng);
+        // Accumulated rounding grows with k; 1e-4 covers k = 65 comfortably.
+        const float tol = 1e-4f;
+        for (const auto& s : scales) {
+          auto expect = [&](const Matrix& naive) {
+            Matrix e = base;
+            for (size_t i = 0; i < e.size(); ++i) {
+              e.data()[i] =
+                  s.alpha * naive.data()[i] + s.beta * base.data()[i];
+            }
+            return e;
+          };
+          Matrix out = base;
+          Gemm(a, b, &out, s.alpha, s.beta);
+          EXPECT_LT(MaxAbsDiff(out, expect(NaiveGemm(a, b, false, false))),
+                    tol)
+              << "Gemm " << m << "x" << k << "x" << n << " alpha=" << s.alpha
+              << " beta=" << s.beta;
+          out = base;
+          GemmTransA(at, b, &out, s.alpha, s.beta);
+          EXPECT_LT(MaxAbsDiff(out, expect(NaiveGemm(at, b, true, false))),
+                    tol)
+              << "GemmTransA " << m << "x" << k << "x" << n;
+          out = base;
+          GemmTransB(a, bt, &out, s.alpha, s.beta);
+          EXPECT_LT(MaxAbsDiff(out, expect(NaiveGemm(a, bt, false, true))),
+                    tol)
+              << "GemmTransB " << m << "x" << k << "x" << n;
+        }
+      }
+    }
+  }
+}
+
+// The determinism contract (nn/matrix.h): a parallel run partitions output
+// rows only, so it must produce the same bits as the serial run at any
+// thread count. The shape is chosen to clear the parallelism thresholds
+// (flops and row count).
+TEST(GemmKernelSweep, ParallelBitIdenticalToSerial) {
+  Rng rng(123);
+  const size_t m = 97, k = 130, n = 67;  // 2*m*k*n ≈ 1.7e6 flops.
+  const Matrix a = RandomMatrix(m, k, rng);
+  const Matrix b = RandomMatrix(k, n, rng);
+  const Matrix at = RandomMatrix(k, m, rng);
+  const Matrix bt = RandomMatrix(n, k, rng);
+  const Matrix base = RandomMatrix(m, n, rng);
+
+  Matrix ref_gemm, ref_ta, ref_tb;
+  {
+    ScopedNumThreads serial(1);
+    ref_gemm = base;
+    Gemm(a, b, &ref_gemm, 1.3f, 0.7f);
+    ref_ta = base;
+    GemmTransA(at, b, &ref_ta, 1.3f, 0.7f);
+    ref_tb = base;
+    GemmTransB(a, bt, &ref_tb, 1.3f, 0.7f);
+  }
+  for (int threads : {2, 3, 8}) {
+    ScopedNumThreads scope(threads);
+    Matrix out = base;
+    Gemm(a, b, &out, 1.3f, 0.7f);
+    for (size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out.data()[i], ref_gemm.data()[i]) << "Gemm threads=" << threads;
+    }
+    out = base;
+    GemmTransA(at, b, &out, 1.3f, 0.7f);
+    for (size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out.data()[i], ref_ta.data()[i])
+          << "GemmTransA threads=" << threads;
+    }
+    out = base;
+    GemmTransB(a, bt, &out, 1.3f, 0.7f);
+    for (size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out.data()[i], ref_tb.data()[i])
+          << "GemmTransB threads=" << threads;
+    }
+  }
+}
+
+// A segmented GemmTransBV call must equal chaining one beta=1 call per
+// k-segment bit-for-bit — this is the property that makes the fused packed
+// backward GEMMs reproduce the per-gate ones exactly.
+TEST(GemmKernelSweep, SegmentedTransBEqualsChainedCalls) {
+  Rng rng(7);
+  const size_t m = 9, n = 11, seg = 16, nseg = 3, k = seg * nseg;
+  const Matrix a = RandomMatrix(m, k, rng);
+  const Matrix bt = RandomMatrix(n, k, rng);
+  const Matrix base = RandomMatrix(m, n, rng);
+
+  Matrix chained = base;
+  for (size_t s = 0; s < nseg; ++s) {
+    GemmTransBV(ColBlock(a, s * seg, seg), ColBlock(bt, s * seg, seg),
+                chained, 1.3f, s == 0 ? 0.7f : 1.0f);
+  }
+  Matrix fused = base;
+  GemmTransBV(a, bt, fused, 1.3f, 0.7f, seg);
+  for (size_t i = 0; i < fused.size(); ++i) {
+    ASSERT_EQ(fused.data()[i], chained.data()[i]) << "index " << i;
+  }
+}
+
+TEST(MatrixTest, DotAndSquaredNormMatchDoubleReference) {
+  Rng rng(31);
+  const Matrix a = RandomMatrix(5, 103, rng);
+  const Matrix b = RandomMatrix(5, 103, rng);
+  double norm = 0.0, dot = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    norm += static_cast<double>(a.data()[i]) * a.data()[i];
+    dot += static_cast<double>(a.data()[i]) * b.data()[i];
+  }
+  EXPECT_NEAR(a.SquaredNorm(), norm, 1e-9 * std::max(1.0, norm));
+  EXPECT_NEAR(Dot(a, b), dot, 1e-9 * std::max(1.0, std::fabs(dot)));
+}
+
+TEST(MatrixTest, ToStringTruncatesAndFormats) {
+  Matrix m(5, 7);
+  m(0, 0) = 1.5f;
+  m(4, 6) = -2.25f;
+  const std::string full = m.ToString(5, 7);
+  EXPECT_NE(full.find("[5 x 7]"), std::string::npos);
+  EXPECT_NE(full.find("1.5000"), std::string::npos);
+  EXPECT_NE(full.find("-2.2500"), std::string::npos);
+  EXPECT_EQ(full.find("..."), std::string::npos);
+
+  const std::string clipped = m.ToString(2, 3);
+  EXPECT_NE(clipped.find("[5 x 7]"), std::string::npos);
+  EXPECT_NE(clipped.find("..."), std::string::npos);
+  EXPECT_EQ(clipped.find("-2.2500"), std::string::npos);
+}
 
 TEST(GemmTest, AlphaBetaAccumulate) {
   Rng rng(5);

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the kernel determinism contract under TSan.
+#
+# Usage: tools/check.sh [build-dir]
+#
+# 1. Configure + build + full ctest in <build-dir> (default: build).
+# 2. Configure a second tree with -DT2VEC_SANITIZE=thread and run the
+#    kernel / thread-pool tests — the tests that exercise the blocked GEMM
+#    row partitioning and the fused-pack double-checked locking — so data
+#    races in the hot path fail CI rather than corrupting training runs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+TSAN_DIR="${BUILD_DIR}-tsan"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== tier-1: configure/build/ctest (${BUILD_DIR}) =="
+cmake -B "${BUILD_DIR}" -S . >/dev/null
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "== tsan: kernel + thread-pool tests (${TSAN_DIR}) =="
+cmake -B "${TSAN_DIR}" -S . -DT2VEC_SANITIZE=thread >/dev/null
+cmake --build "${TSAN_DIR}" -j "${JOBS}" \
+  --target matrix_test fused_kernels_test thread_pool_test
+"${TSAN_DIR}/tests/matrix_test"
+"${TSAN_DIR}/tests/fused_kernels_test"
+"${TSAN_DIR}/tests/thread_pool_test"
+
+echo "== all checks passed =="
