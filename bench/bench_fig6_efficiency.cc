@@ -47,11 +47,11 @@ int main() {
         data.test.trajectories().begin() + num_queries + db_size);
 
     Stopwatch watch;
-    for (const auto& q : queries) dist::KnnSearch(edr, q, database, k);
+    for (const auto& q : queries) dist::KnnQuery(edr, q, database, k);
     const double edr_ms = watch.ElapsedMillis() / num_queries;
 
     watch.Reset();
-    for (const auto& q : queries) dist::KnnSearch(edwp, q, database, k);
+    for (const auto& q : queries) dist::KnnQuery(edwp, q, database, k);
     const double edwp_ms = watch.ElapsedMillis() / num_queries;
 
     // t2vec: offline encoding of the database, then per-query encode+scan.
@@ -63,7 +63,7 @@ int main() {
 
     watch.Reset();
     for (size_t q = 0; q < num_queries; ++q) {
-      index.Knn(query_vecs.Row(q), k);
+      index.Query({query_vecs.Row(q), query_vecs.cols()}, k);
     }
     const double scan_ms = watch.ElapsedMillis() / num_queries;
 
@@ -71,7 +71,7 @@ int main() {
                        /*seed=*/9);
     watch.Reset();
     for (size_t q = 0; q < num_queries; ++q) {
-      lsh.Knn(query_vecs.Row(q), k);
+      lsh.Query({query_vecs.Row(q), query_vecs.cols()}, k);
     }
     const double lsh_ms = watch.ElapsedMillis() / num_queries;
 

@@ -1,0 +1,130 @@
+// Serving-path benchmark: closed-loop clients drive EmbeddingService while
+// the batch window sweeps, measuring how micro-batching trades per-request
+// latency for throughput. Emits BENCH_serve.json (tracked in EXPERIMENTS.md)
+// with throughput and request-latency quantiles per window setting.
+//
+// Protocol: C clients each keep exactly one request outstanding (submit,
+// wait, repeat over a shuffled trajectory set), so the attainable batch size
+// is bounded by C and the dispatcher's window decides how much coalescing
+// actually happens. Results are bit-identical across all settings (the
+// service's determinism contract); only the timing varies.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/t2vec.h"
+#include "serve/embedding_service.h"
+
+namespace t2vec::bench {
+namespace {
+
+struct WindowResult {
+  int window_us = 0;
+  double seconds = 0.0;
+  size_t requests = 0;
+  double mean_batch = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+WindowResult RunClosedLoop(const core::T2Vec& model,
+                           const std::vector<traj::Trajectory>& trips,
+                           size_t num_clients, size_t requests_per_client,
+                           int window_us) {
+  serve::ServiceOptions options;
+  options.batch_window = std::chrono::microseconds(window_us);
+  options.max_batch = num_clients;
+  options.queue_capacity = 4 * num_clients;
+  serve::EmbeddingService service(&model, options);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      std::mt19937 rng(static_cast<unsigned>(17 + c));
+      std::vector<size_t> order(trips.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::shuffle(order.begin(), order.end(), rng);
+      for (size_t r = 0; r < requests_per_client; ++r) {
+        const traj::Trajectory& trip = trips[order[r % order.size()]];
+        serve::EmbeddingService::EncodeResult result =
+            service.Submit(trip).get();
+        if (!result.ok()) {
+          std::fprintf(stderr, "client %zu: %s\n", c,
+                       result.status().ToString().c_str());
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  service.Shutdown();
+
+  const serve::ServeMetrics& m = service.metrics();
+  WindowResult out;
+  out.window_us = window_us;
+  out.seconds = seconds;
+  out.requests = static_cast<size_t>(m.completed.value());
+  out.mean_batch =
+      m.flushes.value() > 0
+          ? static_cast<double>(m.completed.value()) /
+                static_cast<double>(m.flushes.value())
+          : 0.0;
+  out.p50_us = m.request_latency_us.Quantile(0.5);
+  out.p99_us = m.request_latency_us.Quantile(0.99);
+  return out;
+}
+
+}  // namespace
+}  // namespace t2vec::bench
+
+int main() {
+  using namespace t2vec;
+  using namespace t2vec::bench;
+
+  PrintThreadSetup();
+
+  // A compact model keeps the encode cost realistic relative to the
+  // dispatch overhead without minutes of training.
+  const eval::ExperimentData data = eval::MakeData(
+      eval::DatasetKind::kPortoLike, eval::Scaled(300, 64), 0);
+  core::T2VecConfig config = eval::DefaultBenchConfig();
+  config.hidden = 48;
+  config.max_iterations = eval::Scaled(120, 40);
+  const core::T2Vec model = eval::GetOrTrainModel(
+      "serve_bench", data.train.trajectories(), config);
+
+  const std::vector<traj::Trajectory>& trips = data.train.trajectories();
+  const size_t clients = 8;
+  const size_t requests_per_client = eval::Scaled(150, 30);
+
+  std::printf("\nclosed loop: %zu clients x %zu requests, max_batch %zu\n",
+              clients, requests_per_client, clients);
+  std::printf("%-10s %12s %12s %12s %12s\n", "window_us", "req/s",
+              "mean_batch", "p50_us", "p99_us");
+
+  std::vector<std::pair<std::string, double>> metrics;
+  for (const int window_us : {0, 100, 500, 2000}) {
+    const WindowResult r = RunClosedLoop(model, trips, clients,
+                                         requests_per_client, window_us);
+    const double rps = static_cast<double>(r.requests) / r.seconds;
+    std::printf("%-10d %12.1f %12.2f %12.1f %12.1f\n", r.window_us, rps,
+                r.mean_batch, r.p50_us, r.p99_us);
+    const std::string prefix = "win" + std::to_string(window_us) + "us_";
+    metrics.emplace_back(prefix + "throughput_rps", rps);
+    metrics.emplace_back(prefix + "mean_batch", r.mean_batch);
+    metrics.emplace_back(prefix + "p50_us", r.p50_us);
+    metrics.emplace_back(prefix + "p99_us", r.p99_us);
+  }
+  WriteBenchJson("BENCH_serve.json", metrics);
+  std::printf("\nwrote BENCH_serve.json\n");
+  return 0;
+}

@@ -48,21 +48,21 @@ int main() {
   const std::vector<float> qv = model.EncodeOne(query);
 
   watch.Reset();
-  const auto scan_result = index.Knn(qv.data(), k);
+  const auto scan_result = index.Query(qv, k).ids;
   const double scan_ms = watch.ElapsedMillis();
 
   watch.Reset();
-  const auto lsh_result = lsh.Knn(qv.data(), k);
+  const auto lsh_result = lsh.Query(qv, k).ids;
   const double lsh_ms = watch.ElapsedMillis();
 
   dist::EdwpMeasure edwp;
   watch.Reset();
-  const auto edwp_result = dist::KnnSearch(edwp, query, database, k);
+  const auto edwp_result = dist::KnnQuery(edwp, query, database, k).ids;
   const double edwp_ms = watch.ElapsedMillis();
 
   dist::EdrMeasure edr(config.cell_size);
   watch.Reset();
-  const auto edr_result = dist::KnnSearch(edr, query, database, k);
+  const auto edr_result = dist::KnnQuery(edr, query, database, k).ids;
   const double edr_ms = watch.ElapsedMillis();
 
   std::printf("\nk-NN query over %zu trajectories (k = %zu):\n",

@@ -25,6 +25,8 @@ enum class StatusCode {
   kIoError,
   kFailedPrecondition,
   kInternal,
+  kUnavailable,       ///< Transient overload; retrying later may succeed.
+  kDeadlineExceeded,  ///< The request's deadline passed before completion.
 };
 
 /// Result of a fallible operation: either OK or a code plus message.
@@ -50,6 +52,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -23,6 +23,44 @@ void Mix(uint64_t* h, const T& value) {
 
 }  // namespace
 
+Status T2VecConfig::Validate() const {
+  auto bad = [](const std::string& msg) {
+    return Status::InvalidArgument("T2VecConfig: " + msg);
+  };
+  if (!(cell_size > 0.0)) return bad("cell_size must be > 0");
+  if (hot_cell_min_hits < 1) return bad("hot_cell_min_hits must be >= 1");
+  if (knn_k < 1) return bad("knn_k must be >= 1");
+  if (nce_noise < 1) return bad("nce_noise must be >= 1");
+  if (!(theta > 0.0)) return bad("theta must be > 0");
+  if (embed_dim == 0) return bad("embed_dim must be >= 1");
+  if (hidden == 0) return bad("hidden must be >= 1");
+  if (layers == 0) return bad("layers must be >= 1");
+  if (pretrain_cells) {
+    if (pretrain_context < 1) return bad("pretrain_context must be >= 1");
+    if (pretrain_negatives < 1) return bad("pretrain_negatives must be >= 1");
+    if (pretrain_epochs < 1) return bad("pretrain_epochs must be >= 1");
+    if (!(pretrain_lr > 0.0f)) return bad("pretrain_lr must be > 0");
+    if (!(pretrain_theta > 0.0)) return bad("pretrain_theta must be > 0");
+  }
+  if (r1_grid.empty()) return bad("r1_grid must be non-empty");
+  if (r2_grid.empty()) return bad("r2_grid must be non-empty");
+  for (double r : r1_grid) {
+    if (!(r >= 0.0 && r < 1.0)) return bad("r1_grid rates must be in [0, 1)");
+  }
+  for (double r : r2_grid) {
+    if (!(r >= 0.0 && r < 1.0)) return bad("r2_grid rates must be in [0, 1)");
+  }
+  if (!(learning_rate > 0.0f)) return bad("learning_rate must be > 0");
+  if (!(grad_clip > 0.0)) return bad("grad_clip must be > 0");
+  if (batch_size == 0) return bad("batch_size must be >= 1");
+  if (max_iterations == 0) return bad("max_iterations must be >= 1");
+  if (validate_every == 0) return bad("validate_every must be >= 1");
+  if (patience == 0) return bad("patience must be >= 1");
+  if (validation_pairs == 0) return bad("validation_pairs must be >= 1");
+  if (num_threads < 0) return bad("num_threads must be >= 0");
+  return Status::Ok();
+}
+
 uint64_t T2VecConfig::Fingerprint() const {
   uint64_t h = 0xCBF29CE484222325ULL;
   Mix(&h, cell_size);

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 /// \file
 /// Hyperparameters of the t2vec training pipeline. Defaults are the paper's
 /// settings scaled down so every experiment trains on a single CPU core
@@ -84,6 +86,13 @@ struct T2VecConfig {
   /// default (`T2VEC_THREADS` env, then hardware concurrency). Parallel
   /// execution is bit-identical to serial at any thread count.
   int num_threads = 0;
+
+  /// Checks every field for internal consistency. Returns OK when the config
+  /// can drive a training run; otherwise an InvalidArgument status naming
+  /// the first offending field. `T2Vec::TrainChecked` validates before
+  /// touching any data, so malformed configs surface as `Status` instead of
+  /// aborting mid-pipeline via CHECK.
+  Status Validate() const;
 
   /// Stable hash of every result-affecting field, used as the on-disk cache
   /// key for trained models (eval/cache.h). Execution knobs such as

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
 
 #include "common/logging.h"
 #include "common/serialize.h"
@@ -40,9 +44,18 @@ void BoundingBox(const std::vector<geo::Point>& points, double margin,
 
 }  // namespace
 
-T2Vec T2Vec::Train(const std::vector<traj::Trajectory>& trips,
-                   const T2VecConfig& config, TrainStats* stats) {
-  T2VEC_CHECK(!trips.empty());
+Result<T2Vec> T2Vec::TrainChecked(const std::vector<traj::Trajectory>& trips,
+                                  const T2VecConfig& config,
+                                  TrainStats* stats) {
+  if (Status status = config.Validate(); !status.ok()) return status;
+  if (trips.empty()) {
+    return Status::InvalidArgument("training set is empty");
+  }
+  bool any_points = false;
+  for (const traj::Trajectory& t : trips) any_points |= !t.empty();
+  if (!any_points) {
+    return Status::InvalidArgument("no trajectory has any points");
+  }
   Rng rng(config.seed);
 
   // 1. Hot-cell vocabulary over the training points.
@@ -102,6 +115,16 @@ T2Vec T2Vec::Train(const std::vector<traj::Trajectory>& trips,
   return T2Vec(config, std::move(vocab), std::move(model));
 }
 
+T2Vec T2Vec::Train(const std::vector<traj::Trajectory>& trips,
+                   const T2VecConfig& config, TrainStats* stats) {
+  Result<T2Vec> result = TrainChecked(trips, config, stats);
+  if (!result.ok()) {
+    T2VEC_LOG_ERROR("T2Vec::Train: %s", result.status().ToString().c_str());
+  }
+  T2VEC_CHECK(result.ok());
+  return std::move(result).value();
+}
+
 traj::TokenSeq T2Vec::TokenizeForEncoder(const traj::Trajectory& trip) const {
   traj::TokenSeq seq = traj::Tokenize(*vocab_, trip);
   if (config_.reverse_source) std::reverse(seq.begin(), seq.end());
@@ -138,6 +161,11 @@ nn::Matrix T2Vec::Encode(const std::vector<traj::Trajectory>& trips) const {
 std::vector<float> T2Vec::EncodeOne(const traj::Trajectory& trip) const {
   const nn::Matrix m = model_->EncodeBatch({TokenizeForEncoder(trip)});
   return {m.Row(0), m.Row(0) + m.cols()};
+}
+
+nn::Matrix T2Vec::EncodeTokenized(
+    const std::vector<traj::TokenSeq>& seqs) const {
+  return model_->EncodeBatch(seqs);
 }
 
 double T2Vec::Distance(const traj::Trajectory& a,
@@ -281,6 +309,107 @@ Result<T2Vec> T2Vec::Load(const std::string& path) {
     p->value.storage() = std::move(values);
   }
   return T2Vec(config, std::move(vocab), std::move(model));
+}
+
+namespace {
+
+/// Content fingerprint for the measure's memo cache: id, length, and the
+/// bit patterns of the first/middle/last points (bit-pattern hashed so
+/// negative coordinates and -0.0 are well-defined, as in eval's
+/// DataFingerprint). Cheap, and collisions require equal id, length, and
+/// three identical probe points.
+uint64_t TrajFingerprint(const traj::Trajectory& t) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001B3ULL;
+    }
+  };
+  mix(static_cast<uint64_t>(t.id));
+  mix(t.size());
+  auto mix_point = [&](const geo::Point& p) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &p.x, sizeof(bits));
+    mix(bits);
+    std::memcpy(&bits, &p.y, sizeof(bits));
+    mix(bits);
+  };
+  if (!t.empty()) {
+    mix_point(t.points.front());
+    mix_point(t.points[t.size() / 2]);
+    mix_point(t.points.back());
+  }
+  return h;
+}
+
+}  // namespace
+
+/// Memo cache state: a bounded fingerprint -> representation map with FIFO
+/// eviction. Guarded by a mutex because the evaluation harness calls
+/// Distance from parallel query loops; on a miss the encode itself runs
+/// outside the lock (it is pure), so concurrent misses at worst encode the
+/// same trajectory twice — with identical results.
+struct T2VecMeasure::Memo {
+  std::mutex mu;
+  size_t capacity;
+  std::unordered_map<uint64_t, std::vector<float>> entries;
+  std::deque<uint64_t> order;  // Insertion order, for eviction.
+  size_t hits = 0;
+  size_t misses = 0;
+
+  explicit Memo(size_t cap) : capacity(cap) {}
+};
+
+T2VecMeasure::T2VecMeasure(const T2Vec* model, size_t capacity)
+    : model_(model), memo_(std::make_unique<Memo>(capacity)) {}
+
+T2VecMeasure::~T2VecMeasure() = default;
+
+std::vector<float> T2VecMeasure::Encoded(const traj::Trajectory& t) const {
+  if (memo_->capacity == 0) return model_->EncodeOne(t);
+  const uint64_t key = TrajFingerprint(t);
+  {
+    std::lock_guard<std::mutex> lock(memo_->mu);
+    auto it = memo_->entries.find(key);
+    if (it != memo_->entries.end()) {
+      ++memo_->hits;
+      return it->second;
+    }
+    ++memo_->misses;
+  }
+  std::vector<float> vec = model_->EncodeOne(t);
+  std::lock_guard<std::mutex> lock(memo_->mu);
+  if (memo_->entries.emplace(key, vec).second) {
+    memo_->order.push_back(key);
+    while (memo_->order.size() > memo_->capacity) {
+      memo_->entries.erase(memo_->order.front());
+      memo_->order.pop_front();
+    }
+  }
+  return vec;
+}
+
+double T2VecMeasure::Distance(const traj::Trajectory& a,
+                              const traj::Trajectory& b) const {
+  const std::vector<float> va = Encoded(a);
+  const std::vector<float> vb = Encoded(b);
+  double acc = 0.0;
+  for (size_t j = 0; j < va.size(); ++j) {
+    const double diff = static_cast<double>(va[j]) - vb[j];
+    acc += diff * diff;
+  }
+  return std::sqrt(acc);
+}
+
+size_t T2VecMeasure::cache_hits() const {
+  std::lock_guard<std::mutex> lock(memo_->mu);
+  return memo_->hits;
+}
+
+size_t T2VecMeasure::cache_misses() const {
+  std::lock_guard<std::mutex> lock(memo_->mu);
+  return memo_->misses;
 }
 
 }  // namespace t2vec::core

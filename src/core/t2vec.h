@@ -33,8 +33,16 @@ namespace t2vec::core {
 /// A trained t2vec model: vocabulary + encoder-decoder weights.
 class T2Vec {
  public:
-  /// Runs the full training pipeline on `trips`. `stats`, if non-null,
+  /// Runs the full training pipeline on `trips` after validating the config
+  /// and the inputs; invalid configs and empty training sets surface as an
+  /// InvalidArgument status instead of aborting. `stats`, if non-null,
   /// receives the training run summary.
+  static Result<T2Vec> TrainChecked(const std::vector<traj::Trajectory>& trips,
+                                    const T2VecConfig& config,
+                                    TrainStats* stats = nullptr);
+
+  /// CHECK-failing convenience wrapper around TrainChecked for callers that
+  /// treat a bad config as a programming error.
   static T2Vec Train(const std::vector<traj::Trajectory>& trips,
                      const T2VecConfig& config, TrainStats* stats = nullptr);
 
@@ -43,6 +51,21 @@ class T2Vec {
 
   /// Encodes a single trajectory.
   std::vector<float> EncodeOne(const traj::Trajectory& trip) const;
+
+  /// Tokenizes a trajectory exactly the way the encoder consumes it
+  /// (reversed when config().reverse_source). Tokenize once, then batch
+  /// with EncodeTokenized — the serving layer buckets requests by token
+  /// length this way without re-tokenizing.
+  traj::TokenSeq EncoderTokens(const traj::Trajectory& trip) const {
+    return TokenizeForEncoder(trip);
+  }
+
+  /// Batch-encodes pre-tokenized sequences (one padded forward pass):
+  /// returns an N x hidden matrix whose row i is the representation of
+  /// seqs[i]. Row i depends only on seqs[i] — per-row results are
+  /// bit-identical across batch compositions of equal-length sequences,
+  /// which is the contract the serving layer's micro-batching relies on.
+  nn::Matrix EncodeTokenized(const std::vector<traj::TokenSeq>& seqs) const;
 
   /// Euclidean distance between the two trajectories' representations.
   /// O(n + |v|) total (paper Sec. IV-D).
@@ -84,19 +107,34 @@ class T2Vec {
 };
 
 /// Adapter exposing a trained T2Vec as a dist::Measure so the evaluation
-/// harness can rank it alongside the classical baselines. Encodes per call;
-/// batch experiments should precompute vectors via T2Vec::Encode instead.
+/// harness can rank it alongside the classical baselines. A bounded memo
+/// cache keyed by a trajectory fingerprint stores recent representations,
+/// so ranking loops that compare a query against a whole database encode
+/// each trajectory once instead of O(n) times per pair. Thread-safe (the
+/// harness calls Distance from parallel query loops); batch experiments
+/// should still precompute vectors via T2Vec::Encode.
 class T2VecMeasure : public dist::Measure {
  public:
-  explicit T2VecMeasure(const T2Vec* model) : model_(model) {}
+  /// `capacity` bounds the memo cache (entries, FIFO eviction; 0 disables
+  /// caching entirely).
+  explicit T2VecMeasure(const T2Vec* model, size_t capacity = 1024);
+  ~T2VecMeasure() override;
+
   double Distance(const traj::Trajectory& a,
-                  const traj::Trajectory& b) const override {
-    return model_->Distance(a, b);
-  }
+                  const traj::Trajectory& b) const override;
   std::string Name() const override { return "t2vec"; }
 
+  /// Cache diagnostics (for tests and tuning).
+  size_t cache_hits() const;
+  size_t cache_misses() const;
+
  private:
+  struct Memo;
+  /// The representation of `t`, from the memo cache when present.
+  std::vector<float> Encoded(const traj::Trajectory& t) const;
+
   const T2Vec* model_;
+  std::unique_ptr<Memo> memo_;
 };
 
 }  // namespace t2vec::core

@@ -19,6 +19,20 @@ constexpr size_t kScanGrain = 256;
 
 VectorIndex::VectorIndex(nn::Matrix vectors) : vectors_(std::move(vectors)) {}
 
+VectorIndex::VectorIndex(size_t dim) : vectors_(0, dim) {
+  T2VEC_CHECK(dim > 0);
+}
+
+void VectorIndex::Add(std::span<const float> vec) {
+  T2VEC_CHECK(vec.size() == dim());
+  // Row-major append: growing the row count extends the flat storage while
+  // std::vector::resize preserves the existing prefix, so prior rows keep
+  // their bytes.
+  const size_t row = vectors_.rows();
+  vectors_.Resize(row + 1, dim());
+  std::copy(vec.begin(), vec.end(), vectors_.Row(row));
+}
+
 double VectorIndex::Distance(const float* query, size_t i) const {
   const float* __restrict row = vectors_.Row(i);
   const size_t d = vectors_.cols();
@@ -30,20 +44,30 @@ double VectorIndex::Distance(const float* query, size_t i) const {
   return acc;
 }
 
-std::vector<size_t> VectorIndex::Knn(const float* query, size_t k) const {
+KnnResult VectorIndex::Query(std::span<const float> query, size_t k) const {
+  T2VEC_CHECK(query.size() == dim());
   T2VEC_CHECK(k > 0 && k <= size());
   // Each iteration writes only scored[i], so the parallel fill is
   // bit-identical to the serial one; the sort stays serial.
   std::vector<std::pair<double, size_t>> scored(size());
+  const float* q = query.data();
   ParallelFor(0, size(), kScanGrain, [&](size_t i) {
-    scored[i] = {Distance(query, i), i};
+    scored[i] = {Distance(q, i), i};
   });
   std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
                     scored.end(), NanLastLess{});
-  std::vector<size_t> out;
-  out.reserve(k);
-  for (size_t i = 0; i < k; ++i) out.push_back(scored[i].second);
+  KnnResult out;
+  out.ids.reserve(k);
+  out.distances.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    out.ids.push_back(scored[i].second);
+    out.distances.push_back(scored[i].first);
+  }
   return out;
+}
+
+std::vector<size_t> VectorIndex::Knn(const float* query, size_t k) const {
+  return Query(std::span<const float>(query, dim()), k).ids;
 }
 
 size_t VectorIndex::RankOf(const float* query, size_t target) const {
@@ -72,7 +96,8 @@ LshIndex::LshIndex(const nn::Matrix& vectors, int num_tables, int num_bits,
     hyperplanes_.data()[i] = static_cast<float>(rng.Gaussian());
   }
   // Signatures are independent per row; bucket insertion stays serial so
-  // bucket contents keep the ascending-row order the serial build produced.
+  // bucket contents keep the ascending-row order the serial build produced
+  // — the same order an incremental Add()-at-a-time build yields.
   std::vector<uint32_t> signatures(vectors.rows() *
                                    static_cast<size_t>(num_tables));
   ParallelFor(0, vectors.rows(), 64, [&](size_t i) {
@@ -90,6 +115,17 @@ LshIndex::LshIndex(const nn::Matrix& vectors, int num_tables, int num_bits,
                  .push_back(static_cast<uint32_t>(i));
     }
   }
+  indexed_rows_ = vectors.rows();
+}
+
+void LshIndex::Add(size_t row) {
+  T2VEC_CHECK(row == indexed_rows_);
+  T2VEC_CHECK(row < vectors_->rows());
+  for (int t = 0; t < num_tables_; ++t) {
+    tables_[static_cast<size_t>(t)][Signature(vectors_->Row(row), t)]
+        .push_back(static_cast<uint32_t>(row));
+  }
+  indexed_rows_ = row + 1;
 }
 
 uint32_t LshIndex::Signature(const float* vec, int table) const {
@@ -108,9 +144,10 @@ uint32_t LshIndex::Signature(const float* vec, int table) const {
   return sig;
 }
 
-std::vector<size_t> LshIndex::Knn(const float* query, size_t k) const {
-  T2VEC_CHECK(k > 0 && k <= vectors_->rows());
-  std::vector<uint8_t> seen(vectors_->rows(), 0);
+KnnResult LshIndex::Query(std::span<const float> query, size_t k) const {
+  T2VEC_CHECK(query.size() == vectors_->cols());
+  T2VEC_CHECK(k > 0 && k <= indexed_rows_);
+  std::vector<uint8_t> seen(indexed_rows_, 0);
   std::vector<size_t> candidates;
 
   auto gather = [&](int table, uint32_t sig) {
@@ -125,7 +162,7 @@ std::vector<size_t> LshIndex::Knn(const float* query, size_t k) const {
   };
 
   for (int t = 0; t < num_tables_; ++t) {
-    const uint32_t sig = Signature(query, t);
+    const uint32_t sig = Signature(query.data(), t);
     gather(t, sig);
     // Multi-probe: all 1-bit flips of the signature.
     for (int b = 0; b < num_bits_; ++b) gather(t, sig ^ (1u << b));
@@ -136,7 +173,7 @@ std::vector<size_t> LshIndex::Knn(const float* query, size_t k) const {
 
   if (candidates.size() < k) {
     // Recall fallback: widen to a full scan.
-    candidates.resize(vectors_->rows());
+    candidates.resize(indexed_rows_);
     for (size_t i = 0; i < candidates.size(); ++i) candidates[i] = i;
   }
 
@@ -155,10 +192,18 @@ std::vector<size_t> LshIndex::Knn(const float* query, size_t k) const {
   });
   std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
                     scored.end(), NanLastLess{});
-  std::vector<size_t> out;
-  out.reserve(k);
-  for (size_t i = 0; i < k; ++i) out.push_back(scored[i].second);
+  KnnResult out;
+  out.ids.reserve(k);
+  out.distances.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    out.ids.push_back(scored[i].second);
+    out.distances.push_back(scored[i].first);
+  }
   return out;
+}
+
+std::vector<size_t> LshIndex::Knn(const float* query, size_t k) const {
+  return Query(std::span<const float>(query, vectors_->cols()), k).ids;
 }
 
 double LshIndex::MeanCandidates() const {

@@ -3,9 +3,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "dist/knn.h"
 #include "nn/matrix.h"
 
 /// \file
@@ -16,18 +18,44 @@
 /// (paper Fig. 6). `LshIndex` implements the paper's future-work item 3
 /// (Sec. VI): random-hyperplane locality-sensitive hashing to push below
 /// linear scan; candidates from matching buckets are re-ranked exactly.
+///
+/// Both indexes support incremental growth for the online serving path
+/// (serve/embedding_store.h): `VectorIndex::Add` appends a vector,
+/// `LshIndex::Add` hashes a newly appended row into its buckets. An index
+/// grown one vector at a time answers queries identically to one built from
+/// the full matrix up front.
+///
+/// Queries return `dist::KnnResult` (ids + distances, ascending); the raw
+/// `Knn` id-only signatures survive as deprecated forwarders.
 
 namespace t2vec::core {
+
+using dist::KnnResult;
 
 /// Exact k-NN by linear scan over an N x D vector matrix.
 class VectorIndex {
  public:
+  /// An index over a prebuilt vector matrix.
   explicit VectorIndex(nn::Matrix vectors);
+
+  /// An empty, growable index for D-dimensional vectors (Add() appends).
+  explicit VectorIndex(size_t dim);
+
+  /// Appends one vector (length dim()) as row size(). Queries immediately
+  /// see the new row; an index grown by Add answers identically to one
+  /// constructed from the final matrix.
+  void Add(std::span<const float> vec);
 
   /// Squared Euclidean distance from `query` (length dim()) to row i.
   double Distance(const float* query, size_t i) const;
 
-  /// Indices of the k nearest rows, ascending by distance.
+  /// The k nearest rows with their squared Euclidean distances, ascending
+  /// (NaN distances order last).
+  KnnResult Query(std::span<const float> query, size_t k) const;
+
+  /// \deprecated Id-only forwarder; use Query(), which also returns the
+  /// distances the scan computed.
+  [[deprecated("use Query(), which returns distances with the ranking")]]
   std::vector<size_t> Knn(const float* query, size_t k) const;
 
   /// 1-based rank of `target` in the distance ordering from `query`
@@ -46,14 +74,32 @@ class VectorIndex {
 class LshIndex {
  public:
   /// `num_tables` hash tables of `num_bits`-bit signatures over `vectors`
-  /// (N x D). More tables -> higher recall, more memory.
+  /// (N x D). More tables -> higher recall, more memory. The matrix must
+  /// outlive the index; rows appended to it later become visible to queries
+  /// once registered via Add().
   LshIndex(const nn::Matrix& vectors, int num_tables, int num_bits,
            uint64_t seed);
 
-  /// Approximate k nearest rows: candidates are gathered from the query's
-  /// bucket in every table plus all 1-bit-flip probes, then ranked exactly.
-  /// Falls back to a full scan when fewer than k candidates surface.
+  /// Registers row `row` of the backing matrix in every hash table. Rows
+  /// must be added in order (row == indexed_rows()); the constructor has
+  /// already added every row present at build time. Incremental adds yield
+  /// exactly the buckets a build-once construction over the same matrix
+  /// produces.
+  void Add(size_t row);
+
+  /// Approximate k nearest rows and their squared Euclidean distances:
+  /// candidates are gathered from the query's bucket in every table plus
+  /// all 1-bit-flip probes, then ranked exactly. Falls back to a full scan
+  /// when fewer than k candidates surface.
+  KnnResult Query(std::span<const float> query, size_t k) const;
+
+  /// \deprecated Id-only forwarder; use Query().
+  [[deprecated("use Query(), which returns distances with the ranking")]]
   std::vector<size_t> Knn(const float* query, size_t k) const;
+
+  /// Rows registered so far (== backing matrix rows unless the matrix grew
+  /// without a matching Add()).
+  size_t indexed_rows() const { return indexed_rows_; }
 
   /// Mean number of candidates examined per query so far (diagnostics).
   double MeanCandidates() const;
@@ -64,9 +110,10 @@ class LshIndex {
   const nn::Matrix* vectors_;
   int num_tables_;
   int num_bits_;
+  size_t indexed_rows_ = 0;
   nn::Matrix hyperplanes_;  // (num_tables * num_bits) x D
   std::vector<std::unordered_map<uint32_t, std::vector<uint32_t>>> tables_;
-  // Atomic so concurrent Knn calls (e.g. from a parallel query loop) keep
+  // Atomic so concurrent Query calls (e.g. from a parallel query loop) keep
   // the diagnostics race-free; the neighbor results themselves are pure.
   mutable std::atomic<int64_t> probe_count_{0};
   mutable std::atomic<int64_t> candidate_count_{0};

@@ -16,10 +16,8 @@ constexpr size_t kDistanceGrain = 4;
 
 }  // namespace
 
-std::vector<size_t> KnnSearch(const Measure& measure,
-                              const traj::Trajectory& query,
-                              const std::vector<traj::Trajectory>& database,
-                              size_t k) {
+KnnResult KnnQuery(const Measure& measure, const traj::Trajectory& query,
+                   const std::vector<traj::Trajectory>& database, size_t k) {
   T2VEC_CHECK(k > 0 && k <= database.size());
   // Distances are computed in parallel (scored[i] is iteration-private);
   // the selection sort stays serial, so results match the serial scan
@@ -30,10 +28,21 @@ std::vector<size_t> KnnSearch(const Measure& measure,
   });
   std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
                     scored.end(), NanLastLess{});
-  std::vector<size_t> out;
-  out.reserve(k);
-  for (size_t i = 0; i < k; ++i) out.push_back(scored[i].second);
+  KnnResult out;
+  out.ids.reserve(k);
+  out.distances.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    out.ids.push_back(scored[i].second);
+    out.distances.push_back(scored[i].first);
+  }
   return out;
+}
+
+std::vector<size_t> KnnSearch(const Measure& measure,
+                              const traj::Trajectory& query,
+                              const std::vector<traj::Trajectory>& database,
+                              size_t k) {
+  return KnnQuery(measure, query, database, k).ids;
 }
 
 size_t RankOf(const Measure& measure, const traj::Trajectory& query,

@@ -14,8 +14,26 @@
 
 namespace t2vec::dist {
 
-/// Indices of the k database trajectories closest to `query` under
-/// `measure`, ordered by ascending distance (ties broken by index).
+/// A ranked k-NN answer: `ids[i]` is the i-th nearest entry, `distances[i]`
+/// its distance, both ascending by distance. Returning the distances with
+/// the ranking lets callers stop recomputing them after the search (the
+/// sorted scan already paid for every one of them).
+struct KnnResult {
+  std::vector<size_t> ids;
+  std::vector<double> distances;
+
+  size_t size() const { return ids.size(); }
+  bool empty() const { return ids.empty(); }
+};
+
+/// The k database trajectories closest to `query` under `measure`, ordered
+/// by ascending distance (NaN distances order last, ties by index).
+KnnResult KnnQuery(const Measure& measure, const traj::Trajectory& query,
+                   const std::vector<traj::Trajectory>& database, size_t k);
+
+/// \deprecated Forwarder for the pre-KnnResult surface; use KnnQuery, which
+/// also returns the distances the scan computed.
+[[deprecated("use KnnQuery(), which returns distances with the ranking")]]
 std::vector<size_t> KnnSearch(const Measure& measure,
                               const traj::Trajectory& query,
                               const std::vector<traj::Trajectory>& database,

@@ -216,11 +216,10 @@ double KnnPrecisionOfMeasure(const dist::Measure& measure,
 
   std::vector<double> precisions(queries.size());
   ParallelFor(0, queries.size(), 1, [&](size_t i) {
-    const std::vector<size_t> truth =
-        dist::KnnSearch(measure, queries[i], database, k);
-    const std::vector<size_t> retrieved =
-        dist::KnnSearch(measure, tq[i], tdb, k);
-    precisions[i] = KnnPrecision(truth, retrieved);
+    const dist::KnnResult truth = dist::KnnQuery(measure, queries[i],
+                                                 database, k);
+    const dist::KnnResult retrieved = dist::KnnQuery(measure, tq[i], tdb, k);
+    precisions[i] = KnnPrecision(truth.ids, retrieved.ids);
   });
   double total = 0.0;
   for (double p : precisions) total += p;
@@ -245,9 +244,11 @@ double KnnPrecisionOfT2Vec(const core::T2Vec& model,
 
   std::vector<double> precisions(queries.size());
   ParallelFor(0, queries.size(), 1, [&](size_t i) {
-    const std::vector<size_t> truth = truth_index.Knn(query_vecs.Row(i), k);
-    const std::vector<size_t> retrieved = trans_index.Knn(tq_vecs.Row(i), k);
-    precisions[i] = KnnPrecision(truth, retrieved);
+    const core::KnnResult truth = truth_index.Query(
+        {query_vecs.Row(i), query_vecs.cols()}, k);
+    const core::KnnResult retrieved = trans_index.Query(
+        {tq_vecs.Row(i), tq_vecs.cols()}, k);
+    precisions[i] = KnnPrecision(truth.ids, retrieved.ids);
   });
   double total = 0.0;
   for (double p : precisions) total += p;

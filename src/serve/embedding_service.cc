@@ -1,0 +1,176 @@
+#include "serve/embedding_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/thread_pool.h"
+#include "nn/matrix.h"
+
+namespace t2vec::serve {
+
+namespace {
+
+double ElapsedUs(EmbeddingService::Clock::time_point from,
+                 EmbeddingService::Clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+}  // namespace
+
+EmbeddingService::EmbeddingService(const core::T2Vec* model,
+                                   ServiceOptions options)
+    : model_(model), options_(options) {
+  T2VEC_CHECK(model_ != nullptr);
+  T2VEC_CHECK(options_.queue_capacity >= 1);
+  T2VEC_CHECK(options_.max_batch >= 1);
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+EmbeddingService::~EmbeddingService() { Shutdown(); }
+
+std::future<EmbeddingService::EncodeResult> EmbeddingService::Submit(
+    const traj::Trajectory& trip) {
+  return SubmitInternal(trip, Clock::time_point{}, /*has_deadline=*/false);
+}
+
+std::future<EmbeddingService::EncodeResult> EmbeddingService::Submit(
+    const traj::Trajectory& trip, Clock::time_point deadline) {
+  return SubmitInternal(trip, deadline, /*has_deadline=*/true);
+}
+
+std::future<EmbeddingService::EncodeResult> EmbeddingService::SubmitInternal(
+    const traj::Trajectory& trip, Clock::time_point deadline,
+    bool has_deadline) {
+  Request request;
+  // Tokenize on the caller's thread: it is cheap relative to the encode and
+  // keeps the dispatcher's critical path free of per-request work.
+  request.tokens = model_->EncoderTokens(trip);
+  request.enqueue_time = Clock::now();
+  request.deadline = deadline;
+  request.has_deadline = has_deadline;
+  std::future<EncodeResult> future = request.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      metrics_.rejected_shutdown.Increment();
+      request.promise.set_value(
+          Status::Unavailable("EmbeddingService is shut down"));
+      return future;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      metrics_.rejected_queue_full.Increment();
+      request.promise.set_value(Status::Unavailable(
+          "EmbeddingService queue full (" +
+          std::to_string(options_.queue_capacity) + " pending)"));
+      return future;
+    }
+    queue_.push_back(std::move(request));
+    metrics_.submitted.Increment();
+    metrics_.queue_depth.Observe(static_cast<double>(queue_.size()));
+  }
+  work_cv_.notify_one();
+  return future;
+}
+
+void EmbeddingService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  // joinable() flips to false under join_mu_, making Shutdown idempotent
+  // and safe to race with itself (and with the destructor).
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+std::vector<EmbeddingService::Request> EmbeddingService::TakeBatchLocked() {
+  std::vector<Request> batch;
+  if (queue_.empty()) return batch;
+  const size_t want = queue_.front().tokens.size();
+  batch.reserve(std::min(options_.max_batch, queue_.size()));
+  // One pass, oldest first: take up to max_batch requests whose token
+  // length matches the head's; every other request keeps its place.
+  for (auto it = queue_.begin();
+       it != queue_.end() && batch.size() < options_.max_batch;) {
+    if (it->tokens.size() == want) {
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return batch;
+}
+
+void EmbeddingService::Flush(std::vector<Request> batch) {
+  const Clock::time_point now = Clock::now();
+  // Expire overdue requests before paying for the encode. Deadlines are
+  // checked here, at batch assembly — an expired request never reaches the
+  // encoder and can never wedge the Shutdown() drain.
+  std::vector<Request> live;
+  live.reserve(batch.size());
+  for (Request& request : batch) {
+    if (request.has_deadline && request.deadline < now) {
+      metrics_.deadline_expired.Increment();
+      request.promise.set_value(
+          Status::DeadlineExceeded("deadline passed before encoding"));
+    } else {
+      live.push_back(std::move(request));
+    }
+  }
+  if (live.empty()) return;
+
+  std::vector<traj::TokenSeq> seqs;
+  seqs.reserve(live.size());
+  for (const Request& request : live) seqs.push_back(request.tokens);
+
+  const Clock::time_point flush_start = Clock::now();
+  nn::Matrix vectors;
+  {
+    ScopedNumThreads scoped(options_.num_threads);
+    vectors = model_->EncodeTokenized(seqs);
+  }
+  const Clock::time_point flush_end = Clock::now();
+
+  metrics_.flushes.Increment();
+  metrics_.batch_size.Observe(static_cast<double>(live.size()));
+  metrics_.flush_latency_us.Observe(ElapsedUs(flush_start, flush_end));
+  for (size_t i = 0; i < live.size(); ++i) {
+    std::vector<float> vec(vectors.Row(i), vectors.Row(i) + vectors.cols());
+    metrics_.request_latency_us.Observe(
+        ElapsedUs(live[i].enqueue_time, flush_end));
+    metrics_.completed.Increment();
+    live[i].promise.set_value(std::move(vec));
+  }
+}
+
+void EmbeddingService::DispatchLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    // Let a micro-batch accumulate: flush when the queue could fill one, or
+    // when the head request has waited out the batch window, or on stop
+    // (drain mode never waits).
+    if (!stop_ && options_.batch_window.count() > 0) {
+      const Clock::time_point flush_at =
+          queue_.front().enqueue_time + options_.batch_window;
+      work_cv_.wait_until(lock, flush_at, [this] {
+        return stop_ || queue_.size() >= options_.max_batch;
+      });
+      if (queue_.empty()) continue;  // Drained by a racing state change.
+    }
+    std::vector<Request> batch = TakeBatchLocked();
+    lock.unlock();
+    Flush(std::move(batch));
+    lock.lock();
+  }
+}
+
+}  // namespace t2vec::serve

@@ -1,0 +1,123 @@
+#ifndef T2VEC_SERVE_EMBEDDING_SERVICE_H_
+#define T2VEC_SERVE_EMBEDDING_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/t2vec.h"
+#include "serve/metrics.h"
+#include "traj/trajectory.h"
+
+/// \file
+/// Online embedding service: the paper's encode-once/query-many deployment
+/// shape (Sec. IV-D). A long-lived encoder is fronted by a bounded request
+/// queue; a dispatcher thread coalesces concurrent Submit() calls into
+/// length-bucketed micro-batches and flushes each bucket through the
+/// encoder's padded batch forward on the deterministic thread pool.
+///
+/// Determinism contract (DESIGN.md "Serving"): a micro-batch only ever
+/// contains token sequences of one length, and the encoder's per-row
+/// floating-point chains never cross rows, so the vector returned for a
+/// request is bit-identical to `T2Vec::EncodeOne` on the same trajectory —
+/// at any thread count, any arrival order, and any batch composition.
+///
+/// Overload and cancellation are explicit:
+///  - a full queue rejects new work immediately with kUnavailable,
+///  - a Submit() after Shutdown() rejects with kUnavailable,
+///  - a request whose deadline has passed when its batch is assembled is
+///    completed with kDeadlineExceeded instead of being encoded (expired
+///    requests can therefore never wedge Shutdown's drain).
+
+namespace t2vec::serve {
+
+/// Tuning knobs for the micro-batcher.
+struct ServiceOptions {
+  /// Max requests waiting to be encoded; Submit() beyond this rejects with
+  /// kUnavailable (backpressure, never blocking the caller).
+  size_t queue_capacity = 256;
+  /// Max requests per micro-batch flush.
+  size_t max_batch = 32;
+  /// How long the dispatcher waits for more arrivals after the oldest
+  /// pending request, before flushing a partial batch. 0 = flush eagerly.
+  std::chrono::microseconds batch_window{1000};
+  /// Thread-count override for the encoder flush (0 = global default).
+  /// Results are bit-identical at any setting (common/thread_pool.h).
+  int num_threads = 0;
+};
+
+/// A single-model online encoder with micro-batching.
+class EmbeddingService {
+ public:
+  using Clock = std::chrono::steady_clock;
+  /// Every submitted request resolves to a representation vector or an
+  /// error status (kUnavailable / kDeadlineExceeded).
+  using EncodeResult = Result<std::vector<float>>;
+
+  /// `model` must outlive the service.
+  EmbeddingService(const core::T2Vec* model, ServiceOptions options = {});
+  /// Drains in-flight work (equivalent to Shutdown()).
+  ~EmbeddingService();
+
+  EmbeddingService(const EmbeddingService&) = delete;
+  EmbeddingService& operator=(const EmbeddingService&) = delete;
+
+  /// Enqueues one trajectory for encoding. Never blocks: when the queue is
+  /// full or the service is shut down, the returned future is immediately
+  /// ready with a kUnavailable status.
+  std::future<EncodeResult> Submit(const traj::Trajectory& trip);
+
+  /// Like Submit, but the request is abandoned with kDeadlineExceeded if
+  /// its micro-batch has not been assembled by `deadline`.
+  std::future<EncodeResult> Submit(const traj::Trajectory& trip,
+                                   Clock::time_point deadline);
+
+  /// Stops accepting work, drains every queued request (encoding the live
+  /// ones, expiring the late ones), and joins the dispatcher. Idempotent.
+  void Shutdown();
+
+  /// Serving metrics (live; snapshot with metrics().ToJson()).
+  const ServeMetrics& metrics() const { return metrics_; }
+
+  size_t queue_capacity() const { return options_.queue_capacity; }
+
+ private:
+  struct Request {
+    traj::TokenSeq tokens;
+    std::promise<EncodeResult> promise;
+    Clock::time_point enqueue_time;
+    Clock::time_point deadline;
+    bool has_deadline = false;
+  };
+
+  std::future<EncodeResult> SubmitInternal(const traj::Trajectory& trip,
+                                           Clock::time_point deadline,
+                                           bool has_deadline);
+  void DispatchLoop();
+  /// Pops the oldest request plus up to max_batch - 1 more with the same
+  /// token length (FIFO among equals). Caller holds mu_.
+  std::vector<Request> TakeBatchLocked();
+  /// Encodes `batch` and fulfills its promises (no locks held).
+  void Flush(std::vector<Request> batch);
+
+  const core::T2Vec* model_;
+  const ServiceOptions options_;
+  ServeMetrics metrics_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // Dispatcher: work queued or stop.
+  std::deque<Request> queue_;
+  bool stop_ = false;
+  std::mutex join_mu_;  // Serializes the dispatcher join in Shutdown().
+  std::thread dispatcher_;
+};
+
+}  // namespace t2vec::serve
+
+#endif  // T2VEC_SERVE_EMBEDDING_SERVICE_H_

@@ -1,0 +1,101 @@
+#include "serve/embedding_store.h"
+
+#include <utility>
+
+#include "common/serialize.h"
+
+namespace t2vec::serve {
+
+namespace {
+
+// "t2vS" little-endian: distinguishes store snapshots from model files.
+constexpr uint32_t kStoreMagic = 0x5376'3274;
+constexpr uint32_t kStoreVersion = 1;
+
+}  // namespace
+
+EmbeddingStore::EmbeddingStore(size_t dim) : index_(dim) {}
+
+Status EmbeddingStore::Add(int64_t id, std::span<const float> vec) {
+  if (vec.size() != dim()) {
+    return Status::InvalidArgument(
+        "EmbeddingStore::Add: vector has dimension " +
+        std::to_string(vec.size()) + ", store holds " + std::to_string(dim()));
+  }
+  if (Contains(id)) {
+    return Status::InvalidArgument("EmbeddingStore::Add: duplicate id " +
+                                   std::to_string(id));
+  }
+  row_of_.emplace(id, ids_.size());
+  ids_.push_back(id);
+  index_.Add(vec);
+  return Status::Ok();
+}
+
+const float* EmbeddingStore::Find(int64_t id) const {
+  const auto it = row_of_.find(id);
+  if (it == row_of_.end()) return nullptr;
+  return index_.vectors().Row(it->second);
+}
+
+EmbeddingStore::Neighbors EmbeddingStore::Knn(std::span<const float> query,
+                                              size_t k) const {
+  const core::KnnResult rows = index_.Query(query, k);
+  Neighbors out;
+  out.ids.reserve(rows.size());
+  for (const size_t row : rows.ids) out.ids.push_back(ids_[row]);
+  out.distances = rows.distances;
+  return out;
+}
+
+Status EmbeddingStore::Save(const std::string& path) const {
+  BinaryWriter writer(path);
+  if (!writer.ok()) {
+    return Status::IoError("EmbeddingStore::Save: cannot open " + path);
+  }
+  writer.WritePod(kStoreMagic);
+  writer.WritePod(kStoreVersion);
+  writer.WritePod<uint64_t>(dim());
+  writer.WriteVector(ids_);
+  // Row-major vector block; rows() == ids_.size() by construction.
+  const nn::Matrix& vectors = index_.vectors();
+  std::vector<float> flat(vectors.data(),
+                          vectors.data() + vectors.rows() * vectors.cols());
+  writer.WriteVector(flat);
+  return writer.Finish();
+}
+
+Result<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
+  BinaryReader reader(path);
+  if (!reader.ok()) {
+    return Status::IoError("EmbeddingStore::Load: cannot open " + path);
+  }
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t dim = 0;
+  if (!reader.ReadPod(&magic) || magic != kStoreMagic) {
+    return Status::IoError("EmbeddingStore::Load: bad magic in " + path);
+  }
+  if (!reader.ReadPod(&version) || version != kStoreVersion) {
+    return Status::IoError("EmbeddingStore::Load: unsupported version in " +
+                           path);
+  }
+  if (!reader.ReadPod(&dim) || dim == 0) {
+    return Status::IoError("EmbeddingStore::Load: bad dimension in " + path);
+  }
+  std::vector<int64_t> ids;
+  std::vector<float> flat;
+  if (!reader.ReadVector(&ids) || !reader.ReadVector(&flat) ||
+      flat.size() != ids.size() * dim) {
+    return Status::IoError("EmbeddingStore::Load: truncated store in " + path);
+  }
+  EmbeddingStore store(static_cast<size_t>(dim));
+  for (size_t row = 0; row < ids.size(); ++row) {
+    const Status status = store.Add(
+        ids[row], {flat.data() + row * dim, static_cast<size_t>(dim)});
+    if (!status.ok()) return status;
+  }
+  return store;
+}
+
+}  // namespace t2vec::serve

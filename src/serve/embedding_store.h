@@ -1,0 +1,69 @@
+#ifndef T2VEC_SERVE_EMBEDDING_STORE_H_
+#define T2VEC_SERVE_EMBEDDING_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/vec_index.h"
+
+/// \file
+/// Durable id -> embedding storage for the serving path: vectors produced by
+/// EmbeddingService are registered under their stable trajectory ids, the
+/// backing VectorIndex grows incrementally (core/vec_index.h Add), and the
+/// whole store snapshots to disk via common/serialize.h.
+///
+/// Thread-compatibility: single writer, concurrent readers — Add/Save and
+/// Knn/Find may not overlap. The service's typical shape (one ingest thread,
+/// query threads gated by an external RW lock or epoch) satisfies this.
+
+namespace t2vec::serve {
+
+/// Maps stable trajectory ids to representation vectors with kNN retrieval.
+class EmbeddingStore {
+ public:
+  /// Neighbor ids (stable trajectory ids, not row indices) with their
+  /// squared Euclidean distances, ascending.
+  struct Neighbors {
+    std::vector<int64_t> ids;
+    std::vector<double> distances;
+    size_t size() const { return ids.size(); }
+  };
+
+  /// An empty store for `dim`-dimensional vectors.
+  explicit EmbeddingStore(size_t dim);
+
+  /// Registers `vec` under `id`. Fails with kInvalidArgument when the
+  /// dimension mismatches or the id is already present.
+  Status Add(int64_t id, std::span<const float> vec);
+
+  bool Contains(int64_t id) const { return row_of_.count(id) > 0; }
+
+  /// The stored vector for `id` (length dim()), or nullptr if absent.
+  /// Valid until the next Add().
+  const float* Find(int64_t id) const;
+
+  /// The k nearest stored vectors to `query` (length dim()), by exact scan.
+  Neighbors Knn(std::span<const float> query, size_t k) const;
+
+  size_t size() const { return ids_.size(); }
+  size_t dim() const { return index_.dim(); }
+
+  /// Snapshots the store (magic + version + ids + vectors).
+  Status Save(const std::string& path) const;
+
+  /// Restores a store written by Save().
+  static Result<EmbeddingStore> Load(const std::string& path);
+
+ private:
+  core::VectorIndex index_;
+  std::vector<int64_t> ids_;                  // Row -> trajectory id.
+  std::unordered_map<int64_t, size_t> row_of_;  // Trajectory id -> row.
+};
+
+}  // namespace t2vec::serve
+
+#endif  // T2VEC_SERVE_EMBEDDING_STORE_H_

@@ -1,0 +1,178 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace t2vec::serve {
+
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *out += buf;
+}
+
+void AppendInt(std::string* out, int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  *out += buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {
+  T2VEC_CHECK(!bounds_.empty());
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    T2VEC_CHECK(bounds_[i - 1] < bounds_[i]);
+  }
+}
+
+void Histogram::Observe(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // lower_bound keeps the inclusive-upper-bound ("le") semantics: a value
+  // equal to a bound counts in that bound's bucket.
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  ++counts_[bucket];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::QuantileLocked(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const int64_t next = cumulative + counts_[b];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate within this bucket; the observed min/max tighten the
+      // edge buckets (notably the +inf overflow bucket).
+      const double lo =
+          std::max(b == 0 ? min_ : bounds_[b - 1], min_);
+      const double hi = std::min(b < bounds_.size() ? bounds_[b] : max_, max_);
+      if (hi <= lo) return lo;
+      const double frac =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(counts_[b]);
+      return lo + frac * (hi - lo);
+    }
+    cumulative = next;
+  }
+  return max_;
+}
+
+double Histogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return QuantileLocked(q);
+}
+
+std::string Histogram::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"count\": ";
+  AppendInt(&out, count_);
+  out += ", \"sum\": ";
+  AppendDouble(&out, sum_);
+  out += ", \"min\": ";
+  AppendDouble(&out, min_);
+  out += ", \"max\": ";
+  AppendDouble(&out, max_);
+  out += ", \"p50\": ";
+  AppendDouble(&out, QuantileLocked(0.5));
+  out += ", \"p90\": ";
+  AppendDouble(&out, QuantileLocked(0.9));
+  out += ", \"p99\": ";
+  AppendDouble(&out, QuantileLocked(0.99));
+  out += ", \"buckets\": [";
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    if (b > 0) out += ", ";
+    out += "{\"le\": ";
+    if (b < bounds_.size()) {
+      AppendDouble(&out, bounds_[b]);
+    } else {
+      out += "\"inf\"";
+    }
+    out += ", \"count\": ";
+    AppendInt(&out, counts_[b]);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::vector<double> LatencyBucketsUs() {
+  // 50us, 100us, 200us, ... doubling to ~13s: 19 buckets.
+  std::vector<double> bounds;
+  for (double b = 50.0; b <= 13.0e6; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+std::vector<double> SizeBuckets(size_t max_expected) {
+  std::vector<double> bounds = {1, 2, 4, 8};
+  double b = 16;
+  while (b < static_cast<double>(max_expected)) {
+    bounds.push_back(b);
+    b *= 2.0;
+  }
+  bounds.push_back(static_cast<double>(max_expected));
+  return bounds;
+}
+
+std::string ServeMetrics::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  const std::pair<const char*, const Counter*> counters[] = {
+      {"submitted", &submitted},
+      {"completed", &completed},
+      {"rejected_queue_full", &rejected_queue_full},
+      {"rejected_shutdown", &rejected_shutdown},
+      {"deadline_expired", &deadline_expired},
+      {"flushes", &flushes},
+  };
+  for (size_t i = 0; i < std::size(counters); ++i) {
+    if (i > 0) out += ",";
+    out += "\n    \"";
+    out += counters[i].first;
+    out += "\": ";
+    AppendInt(&out, counters[i].second->value());
+  }
+  out += "\n  },\n  \"histograms\": {";
+  const std::pair<const char*, const Histogram*> histograms[] = {
+      {"queue_depth", &queue_depth},
+      {"batch_size", &batch_size},
+      {"flush_latency_us", &flush_latency_us},
+      {"request_latency_us", &request_latency_us},
+  };
+  for (size_t i = 0; i < std::size(histograms); ++i) {
+    if (i > 0) out += ",";
+    out += "\n    \"";
+    out += histograms[i].first;
+    out += "\": ";
+    out += histograms[i].second->ToJson();
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace t2vec::serve

@@ -1,0 +1,100 @@
+#ifndef T2VEC_SERVE_METRICS_H_
+#define T2VEC_SERVE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+/// \file
+/// Lightweight serving metrics: counters and fixed-bucket histograms, with a
+/// JSON snapshot export so the serving path is observable without pulling in
+/// an external metrics stack. Writers are the service's submit path and its
+/// dispatcher thread; readers may snapshot concurrently (counters are
+/// atomic, histograms take a short lock).
+///
+/// JSON schema (DESIGN.md "Serving"):
+///   {
+///     "counters":   { "<name>": <int>, ... },
+///     "histograms": {
+///       "<name>": {
+///         "count": <int>, "sum": <double>, "min": <double>, "max": <double>,
+///         "p50": <double>, "p90": <double>, "p99": <double>,
+///         "buckets": [ { "le": <double|"inf">, "count": <int> }, ... ]
+///       }, ...
+///     }
+///   }
+
+namespace t2vec::serve {
+
+/// A monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(int64_t by = 1) {
+    value_.fetch_add(by, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A histogram over fixed, ascending bucket upper bounds (plus an implicit
+/// +inf overflow bucket). Quantiles are estimated by linear interpolation
+/// inside the bucket containing the target rank — exact enough for p50/p99
+/// dashboards, bounded memory regardless of observation count.
+class Histogram {
+ public:
+  /// `bounds` are inclusive upper bounds, strictly ascending.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  int64_t count() const;
+  double sum() const;
+  /// Estimated q-quantile (q in [0, 1]); 0 when empty.
+  double Quantile(double q) const;
+
+  /// The histogram's JSON object (see file comment for the schema).
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> bounds_;    // Upper bounds; counts_ has one extra slot.
+  std::vector<int64_t> counts_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+
+  double QuantileLocked(double q) const;
+};
+
+/// Default bucket bounds for microsecond latencies (50us .. ~10s).
+std::vector<double> LatencyBucketsUs();
+
+/// Default bucket bounds for small cardinalities (queue depth, batch size).
+std::vector<double> SizeBuckets(size_t max_expected);
+
+/// The serving path's metric set. Counter/histogram members are updated by
+/// EmbeddingService; ToJson() snapshots everything.
+struct ServeMetrics {
+  Counter submitted;            ///< Requests accepted into the queue.
+  Counter completed;            ///< Requests fulfilled with a vector.
+  Counter rejected_queue_full;  ///< Submissions refused by backpressure.
+  Counter rejected_shutdown;    ///< Submissions refused after Shutdown().
+  Counter deadline_expired;     ///< Requests expired before encoding.
+  Counter flushes;              ///< Micro-batches pushed through the encoder.
+
+  Histogram queue_depth{SizeBuckets(256)};     ///< Depth after each enqueue.
+  Histogram batch_size{SizeBuckets(64)};       ///< Requests per flush.
+  Histogram flush_latency_us{LatencyBucketsUs()};    ///< Encode wall time.
+  Histogram request_latency_us{LatencyBucketsUs()};  ///< Submit -> fulfill.
+
+  std::string ToJson() const;
+};
+
+}  // namespace t2vec::serve
+
+#endif  // T2VEC_SERVE_METRICS_H_

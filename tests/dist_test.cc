@@ -287,7 +287,7 @@ TEST(KnnTest, FindsNearestByConstruction) {
   }
   const traj::Trajectory query = AsTraj(Line(5, 100.0, 250.0));
   DtwMeasure dtw;
-  const auto knn = KnnSearch(dtw, query, db, 3);
+  const auto knn = KnnQuery(dtw, query, db, 3).ids;
   ASSERT_EQ(knn.size(), 3u);
   // Nearest rows are y = 200 and y = 300 (indices 2, 3), then 1 or 4.
   EXPECT_TRUE(knn[0] == 2 || knn[0] == 3);
@@ -338,7 +338,7 @@ TEST(KnnTest, NanDistancesOrderLast) {
 
   // All ten requested: the five finite-distance trajectories (odd ids,
   // ascending |id|) must come first, the five NaN ones last.
-  const std::vector<size_t> all = KnnSearch(measure, query, db, 10);
+  const std::vector<size_t> all = KnnQuery(measure, query, db, 10).ids;
   ASSERT_EQ(all.size(), 10u);
   const std::vector<size_t> expected_finite = {1, 3, 5, 7, 9};
   std::vector<size_t> head(all.begin(), all.begin() + 5);
@@ -348,7 +348,7 @@ TEST(KnnTest, NanDistancesOrderLast) {
   }
 
   // k smaller than the finite count: no NaN in the result at all.
-  const std::vector<size_t> top3 = KnnSearch(measure, query, db, 3);
+  const std::vector<size_t> top3 = KnnQuery(measure, query, db, 3).ids;
   EXPECT_EQ(top3, (std::vector<size_t>{1, 3, 5}));
 }
 

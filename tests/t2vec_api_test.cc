@@ -93,6 +93,81 @@ TEST_F(T2VecApiTest, ReconstructRouteRespectsMaxLen) {
   EXPECT_LE(route.size(), 5u);
 }
 
+TEST_F(T2VecApiTest, ConfigValidateAcceptsDefaults) {
+  EXPECT_TRUE(T2VecConfig{}.Validate().ok());
+  EXPECT_TRUE(Model().config().Validate().ok());
+}
+
+TEST_F(T2VecApiTest, ConfigValidateRejectsBadFields) {
+  const auto expect_invalid = [](T2VecConfig config) {
+    const Status status = config.Validate();
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  };
+  T2VecConfig c;
+  c.hidden = 0;
+  expect_invalid(c);
+  c = {};
+  c.learning_rate = 0.0;
+  expect_invalid(c);
+  c = {};
+  c.cell_size = -10.0;
+  expect_invalid(c);
+  c = {};
+  c.r1_grid = {0.5, 1.0};  // Rates must stay below 1.
+  expect_invalid(c);
+  c = {};
+  c.batch_size = 0;
+  expect_invalid(c);
+}
+
+TEST_F(T2VecApiTest, TrainCheckedRejectsInvalidInputsWithStatus) {
+  T2VecConfig config;
+  config.hidden = 0;
+  Result<T2Vec> bad_config = T2Vec::TrainChecked(Trips().trajectories(),
+                                                 config);
+  ASSERT_FALSE(bad_config.ok());
+  EXPECT_EQ(bad_config.status().code(), StatusCode::kInvalidArgument);
+
+  Result<T2Vec> no_trips = T2Vec::TrainChecked({}, T2VecConfig{});
+  ASSERT_FALSE(no_trips.ok());
+  EXPECT_EQ(no_trips.status().code(), StatusCode::kInvalidArgument);
+
+  Result<T2Vec> empty_trips =
+      T2Vec::TrainChecked({traj::Trajectory{}, traj::Trajectory{}},
+                          T2VecConfig{});
+  ASSERT_FALSE(empty_trips.ok());
+  EXPECT_EQ(empty_trips.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(T2VecApiTest, MeasureMemoizesEncodings) {
+  const T2VecMeasure measure(&Model());
+  const traj::Trajectory& a = Trips()[7];
+  const traj::Trajectory& b = Trips()[8];
+  const double first = measure.Distance(a, b);
+  EXPECT_EQ(measure.cache_misses(), 2u);
+  EXPECT_EQ(measure.cache_hits(), 0u);
+  // Repeats hit the memo; the value stays bit-stable.
+  const double second = measure.Distance(a, b);
+  EXPECT_EQ(measure.cache_misses(), 2u);
+  EXPECT_EQ(measure.cache_hits(), 2u);
+  EXPECT_EQ(first, second);
+  measure.Distance(b, a);
+  EXPECT_EQ(measure.cache_misses(), 2u);
+  EXPECT_EQ(measure.cache_hits(), 4u);
+}
+
+TEST_F(T2VecApiTest, MeasureMemoEvictsAtCapacity) {
+  const T2VecMeasure measure(&Model(), /*capacity=*/2);
+  measure.Distance(Trips()[0], Trips()[1]);  // Memo: {0, 1}.
+  EXPECT_EQ(measure.cache_misses(), 2u);
+  measure.Distance(Trips()[2], Trips()[3]);  // Evicts 0 and 1.
+  EXPECT_EQ(measure.cache_misses(), 4u);
+  measure.Distance(Trips()[0], Trips()[1]);  // Re-encodes both.
+  EXPECT_EQ(measure.cache_misses(), 6u);
+  EXPECT_EQ(measure.cache_hits(), 0u);
+}
+
 TEST_F(T2VecApiTest, LoadRejectsGarbageFile) {
   const std::string path = ::testing::TempDir() + "/garbage.t2vec";
   std::FILE* f = std::fopen(path.c_str(), "wb");

@@ -2,7 +2,7 @@
 // ParallelFor correctness under every partitioning, nesting and concurrent
 // callers (the interesting cases under TSan — this binary is the designated
 // thread-pool exercise when configured with -DT2VEC_SANITIZE=thread), and
-// the headline guarantee: Encode, VectorIndex::Knn, dist::KnnSearch, and
+// the headline guarantee: Encode, VectorIndex::Query, dist::KnnQuery, and
 // trajectory generation produce bit-identical results at 1, 2, and 8
 // threads.
 
@@ -162,8 +162,8 @@ TEST_F(DeterminismTest, VectorIndexKnnAndRankAreBitIdentical) {
   ExpectIdenticalAcrossThreadCounts([&] {
     std::vector<size_t> out;
     for (size_t q = 0; q < 8; ++q) {
-      const auto knn = index.Knn(vecs.Row(q), 10);
-      out.insert(out.end(), knn.begin(), knn.end());
+      const auto knn = index.Query({vecs.Row(q), vecs.cols()}, 10);
+      out.insert(out.end(), knn.ids.begin(), knn.ids.end());
       out.push_back(index.RankOf(vecs.Row(q), q));
     }
     return out;
@@ -176,8 +176,8 @@ TEST_F(DeterminismTest, LshKnnIsBitIdentical) {
     core::LshIndex lsh(vecs, /*num_tables=*/4, /*num_bits=*/8, /*seed=*/3);
     std::vector<size_t> out;
     for (size_t q = 0; q < 8; ++q) {
-      const auto knn = lsh.Knn(vecs.Row(q), 10);
-      out.insert(out.end(), knn.begin(), knn.end());
+      const auto knn = lsh.Query({vecs.Row(q), vecs.cols()}, 10);
+      out.insert(out.end(), knn.ids.begin(), knn.ids.end());
     }
     return out;
   });
@@ -189,8 +189,8 @@ TEST_F(DeterminismTest, ClassicalKnnSearchIsBitIdentical) {
   ExpectIdenticalAcrossThreadCounts([&] {
     std::vector<size_t> out;
     for (size_t q = 0; q < 4; ++q) {
-      const auto knn = dist::KnnSearch(dtw, db[q], db, 5);
-      out.insert(out.end(), knn.begin(), knn.end());
+      const auto knn = dist::KnnQuery(dtw, db[q], db, 5);
+      out.insert(out.end(), knn.ids.begin(), knn.ids.end());
       out.push_back(dist::RankOf(dtw, db[q], db, q));
     }
     return out;

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <set>
 
@@ -34,16 +35,19 @@ TEST(VectorIndexTest, KnnMatchesExhaustive) {
   VectorIndex index{nn::Matrix(vecs)};
   const nn::Matrix queries = RandomVectors(10, 16, 2);
   for (size_t q = 0; q < queries.rows(); ++q) {
-    const auto knn = index.Knn(queries.Row(q), 5);
+    const auto knn = index.Query({queries.Row(q), 16}, 5);
     ASSERT_EQ(knn.size(), 5u);
-    // Verify ordering and optimality.
+    // Verify ordering and optimality, and that the returned distances are
+    // the real ones (no recomputation needed by callers).
     std::vector<std::pair<double, size_t>> all;
     for (size_t i = 0; i < 200; ++i) {
       all.emplace_back(index.Distance(queries.Row(q), i), i);
     }
     std::sort(all.begin(), all.end());
     for (size_t i = 0; i < 5; ++i) {
-      EXPECT_DOUBLE_EQ(index.Distance(queries.Row(q), knn[i]), all[i].first);
+      EXPECT_DOUBLE_EQ(index.Distance(queries.Row(q), knn.ids[i]),
+                       all[i].first);
+      EXPECT_DOUBLE_EQ(knn.distances[i], all[i].first);
     }
   }
 }
@@ -93,8 +97,8 @@ TEST(LshIndexTest, HighRecallOnClusteredData) {
   const size_t k = 10;
   for (size_t c = 0; c < clusters; ++c) {
     const float* query = centers.Row(c);
-    const auto truth = exact.Knn(query, k);
-    const auto approx = lsh.Knn(query, k);
+    const auto truth = exact.Query({query, d}, k).ids;
+    const auto approx = lsh.Query({query, d}, k).ids;
     std::set<size_t> truth_set(truth.begin(), truth.end());
     size_t hits = 0;
     for (size_t idx : approx) hits += truth_set.count(idx);
@@ -110,7 +114,7 @@ TEST(LshIndexTest, FallsBackWhenBucketsEmpty) {
   const nn::Matrix vecs = RandomVectors(30, 8, 5);
   LshIndex lsh(vecs, 2, 12, 11);
   std::vector<float> query(8, 100.0f);
-  const auto result = lsh.Knn(query.data(), 5);
+  const auto result = lsh.Query(query, 5).ids;
   EXPECT_EQ(result.size(), 5u);
   std::set<size_t> unique(result.begin(), result.end());
   EXPECT_EQ(unique.size(), 5u);
@@ -130,7 +134,7 @@ TEST(VectorIndexTest, NanVectorsOrderLast) {
   VectorIndex index(std::move(vecs));
   const float query[2] = {0.0f, 0.0f};
 
-  const auto all = index.Knn(query, 6);
+  const auto all = index.Query(query, 6).ids;
   ASSERT_EQ(all.size(), 6u);
   EXPECT_EQ((std::vector<size_t>{all.begin(), all.begin() + 4}),
             (std::vector<size_t>{0, 2, 3, 5}));
@@ -138,7 +142,7 @@ TEST(VectorIndexTest, NanVectorsOrderLast) {
   EXPECT_TRUE((all[4] == 1 && all[5] == 4) || (all[4] == 4 && all[5] == 1));
 
   // k below the finite count never surfaces a NaN row.
-  EXPECT_EQ(index.Knn(query, 3), (std::vector<size_t>{0, 2, 3}));
+  EXPECT_EQ(index.Query(query, 3).ids, (std::vector<size_t>{0, 2, 3}));
 }
 
 TEST(LshIndexTest, ApproxResultsAreGenuineVectors) {
@@ -146,10 +150,96 @@ TEST(LshIndexTest, ApproxResultsAreGenuineVectors) {
   LshIndex lsh(vecs, 4, 8, 13);
   const nn::Matrix queries = RandomVectors(5, 8, 7);
   for (size_t q = 0; q < queries.rows(); ++q) {
-    for (size_t idx : lsh.Knn(queries.Row(q), 3)) {
+    for (size_t idx : lsh.Query({queries.Row(q), 8}, 3).ids) {
       EXPECT_LT(idx, 100u);
     }
   }
+}
+
+TEST(VectorIndexTest, IncrementalAddMatchesBuildOnce) {
+  // An index grown row by row must answer every query identically to one
+  // constructed from the final matrix: same neighbor ids, same distance
+  // bits.
+  const nn::Matrix vecs = RandomVectors(120, 12, 21);
+  VectorIndex built{nn::Matrix(vecs)};
+  VectorIndex grown(12);
+  EXPECT_EQ(grown.size(), 0u);
+  for (size_t i = 0; i < vecs.rows(); ++i) {
+    grown.Add({vecs.Row(i), vecs.cols()});
+    EXPECT_EQ(grown.size(), i + 1);
+  }
+  ASSERT_EQ(grown.size(), built.size());
+  ASSERT_EQ(std::memcmp(grown.vectors().data(), built.vectors().data(),
+                        vecs.size() * sizeof(float)),
+            0);
+  const nn::Matrix queries = RandomVectors(10, 12, 22);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const KnnResult a = built.Query({queries.Row(q), 12}, 7);
+    const KnnResult b = grown.Query({queries.Row(q), 12}, 7);
+    EXPECT_EQ(a.ids, b.ids);
+    EXPECT_EQ(a.distances, b.distances);
+    EXPECT_EQ(built.RankOf(queries.Row(q), q), grown.RankOf(queries.Row(q), q));
+  }
+}
+
+TEST(VectorIndexTest, AddIsVisibleToQueriesImmediately) {
+  VectorIndex index(2);
+  const float a[2] = {0.0f, 0.0f};
+  const float b[2] = {3.0f, 4.0f};
+  index.Add(a);
+  const float query[2] = {3.0f, 4.0f};
+  EXPECT_EQ(index.Query(query, 1).ids, (std::vector<size_t>{0}));
+  index.Add(b);
+  const KnnResult r = index.Query(query, 2);
+  EXPECT_EQ(r.ids, (std::vector<size_t>{1, 0}));
+  EXPECT_DOUBLE_EQ(r.distances[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.distances[1], 25.0);
+}
+
+TEST(LshIndexTest, IncrementalAddMatchesBuildOnce) {
+  // Build an LSH index over a prefix, grow the backing matrix row by row
+  // with Add(), and compare every query against a build-once index over the
+  // full matrix: bucket contents (ascending row order) and therefore
+  // results must be identical.
+  const nn::Matrix full = RandomVectors(100, 8, 23);
+  const size_t prefix = 40;
+
+  nn::Matrix growing(prefix, 8);
+  std::copy(full.data(), full.data() + prefix * 8, growing.data());
+  LshIndex grown(growing, /*num_tables=*/4, /*num_bits=*/8, /*seed=*/17);
+  EXPECT_EQ(grown.indexed_rows(), prefix);
+  for (size_t i = prefix; i < full.rows(); ++i) {
+    const size_t row = growing.rows();
+    growing.Resize(row + 1, 8);
+    std::copy(full.Row(i), full.Row(i) + 8, growing.Row(row));
+    grown.Add(row);
+  }
+  EXPECT_EQ(grown.indexed_rows(), full.rows());
+
+  LshIndex built(full, /*num_tables=*/4, /*num_bits=*/8, /*seed=*/17);
+  const nn::Matrix queries = RandomVectors(12, 8, 24);
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    const KnnResult a = built.Query({queries.Row(q), 8}, 6);
+    const KnnResult b = grown.Query({queries.Row(q), 8}, 6);
+    EXPECT_EQ(a.ids, b.ids);
+    EXPECT_EQ(a.distances, b.distances);
+  }
+}
+
+TEST(VectorIndexTest, DeprecatedKnnForwardsToQuery) {
+  const nn::Matrix vecs = RandomVectors(60, 8, 25);
+  VectorIndex index{nn::Matrix(vecs)};
+  LshIndex lsh(vecs, 4, 8, 26);
+  const nn::Matrix queries = RandomVectors(4, 8, 27);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  for (size_t q = 0; q < queries.rows(); ++q) {
+    EXPECT_EQ(index.Knn(queries.Row(q), 5),
+              index.Query({queries.Row(q), 8}, 5).ids);
+    EXPECT_EQ(lsh.Knn(queries.Row(q), 5),
+              lsh.Query({queries.Row(q), 8}, 5).ids);
+  }
+#pragma GCC diagnostic pop
 }
 
 }  // namespace

@@ -6,8 +6,10 @@
 # 1. Configure + build + full ctest in <build-dir> (default: build).
 # 2. Configure a second tree with -DT2VEC_SANITIZE=thread and run the
 #    kernel / thread-pool tests — the tests that exercise the blocked GEMM
-#    row partitioning and the fused-pack double-checked locking — so data
-#    races in the hot path fail CI rather than corrupting training runs.
+#    row partitioning and the fused-pack double-checked locking — plus the
+#    serving and vector-index tests (concurrent Submit vs dispatcher,
+#    incremental Add vs queries), so data races in the hot path fail CI
+#    rather than corrupting training runs or served results.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,12 +22,15 @@ cmake -B "${BUILD_DIR}" -S . >/dev/null
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
-echo "== tsan: kernel + thread-pool tests (${TSAN_DIR}) =="
+echo "== tsan: kernel + thread-pool + serving tests (${TSAN_DIR}) =="
 cmake -B "${TSAN_DIR}" -S . -DT2VEC_SANITIZE=thread >/dev/null
 cmake --build "${TSAN_DIR}" -j "${JOBS}" \
-  --target matrix_test fused_kernels_test thread_pool_test
+  --target matrix_test fused_kernels_test thread_pool_test \
+           serve_test vec_index_test
 "${TSAN_DIR}/tests/matrix_test"
 "${TSAN_DIR}/tests/fused_kernels_test"
 "${TSAN_DIR}/tests/thread_pool_test"
+"${TSAN_DIR}/tests/serve_test"
+"${TSAN_DIR}/tests/vec_index_test"
 
 echo "== all checks passed =="

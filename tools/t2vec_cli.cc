@@ -11,14 +11,18 @@
 //
 // Exit status is non-zero on any error; diagnostics go to stderr.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/t2vec.h"
 #include "core/vec_index.h"
+#include "serve/embedding_service.h"
 #include "traj/generator.h"
 #include "traj/transforms.h"
 
@@ -108,9 +112,10 @@ int CmdTrain(const Flags& flags) {
   }
 
   core::TrainStats stats;
-  const core::T2Vec model =
-      core::T2Vec::Train(data.value().trajectories(), config, &stats);
-  const Status status = model.Save(flags.Get("model", ""));
+  Result<core::T2Vec> model =
+      core::T2Vec::TrainChecked(data.value().trajectories(), config, &stats);
+  if (!model.ok()) return Fail(model.status().ToString().c_str());
+  const Status status = model.value().Save(flags.Get("model", ""));
   if (!status.ok()) return Fail(status.ToString().c_str());
   std::printf("trained %zu iterations in %.0f s (best val %.4f); model "
               "saved to %s\n",
@@ -163,13 +168,15 @@ int CmdKnn(const Flags& flags) {
   const nn::Matrix vectors =
       model.value().Encode(data.value().trajectories());
   core::VectorIndex index{nn::Matrix(vectors)};
-  const std::vector<size_t> result = index.Knn(vectors.Row(query), k);
+  const core::KnnResult result =
+      index.Query({vectors.Row(query), vectors.cols()}, k);
   std::printf("%zu nearest trajectories to #%zu (id %lld):\n", k, query,
               static_cast<long long>(data.value()[query].id));
-  for (size_t idx : result) {
+  for (size_t i = 0; i < result.size(); ++i) {
+    const size_t idx = result.ids[i];
     std::printf("  #%zu (id %lld), distance %.4f\n", idx,
                 static_cast<long long>(data.value()[idx].id),
-                std::sqrt(index.Distance(vectors.Row(query), idx)));
+                std::sqrt(result.distances[i]));
   }
   return 0;
 }
@@ -200,16 +207,70 @@ int CmdReconstruct(const Flags& flags) {
   return 0;
 }
 
+// Drives the online embedding service closed-loop (each client keeps one
+// request outstanding) and prints the service's metrics snapshot, so the
+// micro-batching behavior is inspectable from the command line.
+int CmdServeBench(const Flags& flags) {
+  if (!flags.Has("model") || !flags.Has("data")) {
+    return Fail("serve-bench requires --model and --data");
+  }
+  Result<core::T2Vec> model = core::T2Vec::Load(flags.Get("model", ""));
+  if (!model.ok()) return Fail(model.status().ToString().c_str());
+  Result<traj::Dataset> data = traj::Dataset::Load(flags.Get("data", ""));
+  if (!data.ok()) return Fail(data.status().ToString().c_str());
+  if (data.value().size() == 0) return Fail("dataset is empty");
+
+  const size_t clients = static_cast<size_t>(flags.GetInt("clients", 8));
+  const size_t requests = static_cast<size_t>(flags.GetInt("requests", 100));
+  if (clients == 0 || requests == 0) {
+    return Fail("--clients and --requests must be positive");
+  }
+
+  serve::ServiceOptions options;
+  options.batch_window =
+      std::chrono::microseconds(flags.GetInt("window-us", 500));
+  options.max_batch = static_cast<size_t>(
+      flags.GetInt("max-batch", static_cast<long>(clients)));
+  options.queue_capacity = 4 * clients;
+  serve::EmbeddingService service(&model.value(), options);
+
+  const std::vector<traj::Trajectory>& trips = data.value().trajectories();
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      for (size_t r = 0; r < requests; ++r) {
+        const traj::Trajectory& trip = trips[(c + r * clients) % trips.size()];
+        (void)service.Submit(trip).get();
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  service.Shutdown();
+
+  std::printf("%zu clients x %zu requests in %.3f s (%.1f req/s)\n", clients,
+              requests, seconds,
+              static_cast<double>(clients * requests) / seconds);
+  std::printf("%s", service.metrics().ToJson().c_str());
+  return 0;
+}
+
 void PrintUsage() {
   std::fprintf(
       stderr,
-      "usage: t2vec_cli <generate|train|encode|knn|reconstruct> [--flags]\n"
+      "usage: t2vec_cli "
+      "<generate|train|encode|knn|reconstruct|serve-bench> [--flags]\n"
       "  generate    --out F [--count N] [--preset porto|harbin] [--seed S]\n"
       "  train       --data F --model F [--iters N] [--hidden H]\n"
       "              [--cell-size M] [--loss l1|l2|l3] [--no-pretrain]\n"
       "  encode      --model F --data F --out F\n"
       "  knn         --model F --data F [--query-index I] [--k K]\n"
-      "  reconstruct --model F --data F [--query-index I] [--drop R]\n");
+      "  reconstruct --model F --data F [--query-index I] [--drop R]\n"
+      "  serve-bench --model F --data F [--clients C] [--requests N]\n"
+      "              [--window-us W] [--max-batch B]\n");
 }
 
 }  // namespace
@@ -226,6 +287,7 @@ int main(int argc, char** argv) {
   if (command == "encode") return CmdEncode(flags);
   if (command == "knn") return CmdKnn(flags);
   if (command == "reconstruct") return CmdReconstruct(flags);
+  if (command == "serve-bench") return CmdServeBench(flags);
   PrintUsage();
   return 1;
 }
