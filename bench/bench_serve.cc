@@ -12,12 +12,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <random>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "common/rng.h"
 #include "core/t2vec.h"
 #include "serve/embedding_service.h"
 
@@ -47,10 +47,10 @@ WindowResult RunClosedLoop(const core::T2Vec& model,
   std::vector<std::thread> clients;
   for (size_t c = 0; c < num_clients; ++c) {
     clients.emplace_back([&, c] {
-      std::mt19937 rng(static_cast<unsigned>(17 + c));
+      Rng rng(17 + c);
       std::vector<size_t> order(trips.size());
       for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-      std::shuffle(order.begin(), order.end(), rng);
+      rng.Shuffle(order);
       for (size_t r = 0; r < requests_per_client; ++r) {
         const traj::Trajectory& trip = trips[order[r % order.size()]];
         serve::EmbeddingService::EncodeResult result =

@@ -16,18 +16,25 @@
 /// behavior (in practice: garbage neighbor lists). Classical measures can
 /// produce NaN from degenerate inputs, so the kNN sites order through this
 /// comparator instead: finite distances first (ties broken by index, which
-/// keeps results deterministic), all NaNs last as one equivalence class.
+/// keeps results deterministic), all NaNs last, ordered among themselves by
+/// index.
+///
+/// Because the kNN sites always pair each distance with a *distinct* index,
+/// the index tiebreak (applied to NaNs too) makes this a strict total order:
+/// no two elements ever compare equivalent, so a `TotalOrderPartialSort`
+/// through it yields the same k-prefix on every toolchain (common/sort.h).
 
 namespace t2vec {
 
-/// Strict weak ordering over (distance, index) pairs with NaN distances
-/// ordered after every non-NaN distance.
+/// Strict ordering over (distance, index) pairs with NaN distances ordered
+/// after every non-NaN distance; a total order whenever indices are unique.
 struct NanLastLess {
   bool operator()(const std::pair<double, size_t>& a,
                   const std::pair<double, size_t>& b) const {
     const bool a_nan = std::isnan(a.first);
     const bool b_nan = std::isnan(b.first);
-    if (a_nan || b_nan) return b_nan && !a_nan;
+    if (a_nan && b_nan) return a.second < b.second;
+    if (a_nan || b_nan) return b_nan;
     return a < b;
   }
 };

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <functional>
 #include <utility>
 
 /// \file
@@ -168,6 +169,48 @@ void DeterministicSort(It first, It last, Comp comp) {
   } else {
     si::InsertionSort(first, last, comp);
   }
+}
+
+/// `DeterministicSort` with `operator<`.
+template <typename It>
+void DeterministicSort(It first, It last) {
+  DeterministicSort(first, last, std::less<>{});
+}
+
+/// Partial sort for comparators that are strict *total* orders — no two
+/// distinct elements may compare equivalent (e.g. (distance, unique-index)
+/// pairs with an index tiebreak). Under that contract the sorted k-prefix is
+/// the unique minimal prefix, so any conforming `std::partial_sort` produces
+/// the same result and the call is deterministic across toolchains without
+/// paying for a full pinned sort. The determinism linter exempts this header;
+/// call sites that cannot guarantee totality must use `DeterministicSort` on
+/// the whole range instead.
+template <typename It, typename Comp>
+void TotalOrderPartialSort(It first, It middle, It last, Comp comp) {
+  std::partial_sort(first, middle, last, comp);
+}
+
+/// `TotalOrderPartialSort` with `operator<` (elements with unique ordering
+/// keys, e.g. pairs whose second member is a distinct index).
+template <typename It>
+void TotalOrderPartialSort(It first, It middle, It last) {
+  std::partial_sort(first, middle, last);
+}
+
+/// Selection counterpart of `TotalOrderPartialSort`: with a strict total
+/// order the nth element is uniquely determined, so reading `*nth` (e.g. as
+/// a pruning bound) is deterministic. The *arrangement* of the two partitions
+/// is still implementation-defined — callers must not let it escape except
+/// through a subsequent deterministic ordering of the full range.
+template <typename It, typename Comp>
+void TotalOrderNthElement(It first, It nth, It last, Comp comp) {
+  std::nth_element(first, nth, last, comp);
+}
+
+/// `TotalOrderNthElement` with `operator<`.
+template <typename It>
+void TotalOrderNthElement(It first, It nth, It last) {
+  std::nth_element(first, nth, last);
 }
 
 }  // namespace t2vec

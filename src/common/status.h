@@ -1,9 +1,9 @@
 #ifndef T2VEC_COMMON_STATUS_H_
 #define T2VEC_COMMON_STATUS_H_
 
+#include <optional>
 #include <string>
 #include <utility>
-#include <variant>
 
 #include "common/macros.h"
 
@@ -73,39 +73,44 @@ class Status {
 };
 
 /// Either a value of type T or an error Status. Move-friendly.
+///
+/// Deliberately not a std::variant: an optional value plus a Status keeps
+/// the invariant (`value_` engaged iff `status_.ok()`) just as tight while
+/// generating code GCC's -Wmaybe-uninitialized can follow — the variant
+/// formulation trips a known GCC 12 false positive on the inactive
+/// alternative's string members at -O3, and the -Werror gate builds there.
 template <typename T>
 class Result {
  public:
   /// Implicit from value — lets functions `return value;`.
-  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   /// Implicit from a non-OK status — lets functions `return status;`.
-  Result(Status status) : data_(std::move(status)) {  // NOLINT
-    T2VEC_CHECK(!std::get<Status>(data_).ok());
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    T2VEC_CHECK(!status_.ok());
   }
 
-  bool ok() const { return std::holds_alternative<T>(data_); }
+  bool ok() const { return value_.has_value(); }
 
-  const Status& status() const {
-    static const Status kOk;
-    return ok() ? kOk : std::get<Status>(data_);
-  }
+  /// Ok when a value is held, the construction error otherwise.
+  const Status& status() const { return status_; }
 
   /// Value accessors; CHECK-fail when not ok().
   const T& value() const& {
-    T2VEC_CHECK(ok());
-    return std::get<T>(data_);
+    T2VEC_CHECK(value_.has_value());
+    return *value_;
   }
   T& value() & {
-    T2VEC_CHECK(ok());
-    return std::get<T>(data_);
+    T2VEC_CHECK(value_.has_value());
+    return *value_;
   }
   T&& value() && {
-    T2VEC_CHECK(ok());
-    return std::get<T>(std::move(data_));
+    T2VEC_CHECK(value_.has_value());
+    return *std::move(value_);
   }
 
  private:
-  std::variant<T, Status> data_;
+  std::optional<T> value_;
+  Status status_;  // Ok iff value_ is engaged.
 };
 
 }  // namespace t2vec

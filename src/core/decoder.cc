@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/sort.h"
 #include "nn/ops.h"
 
 namespace t2vec::core {
@@ -65,8 +66,10 @@ std::vector<std::pair<double, geo::Token>> TopK(const nn::Matrix& log_probs,
     scored.emplace_back(-log_probs.At(0, u), token);
   }
   k = std::min(k, scored.size());
-  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
-                    scored.end());
+  // (neg-log-prob, token) pairs with distinct tokens: operator< is a strict
+  // total order, so the k-prefix is unique on every toolchain.
+  TotalOrderPartialSort(scored.begin(), scored.begin() + static_cast<long>(k),
+                        scored.end());
   scored.resize(k);
   for (auto& [neg_lp, token] : scored) neg_lp = -neg_lp;  // Back to log-prob.
   return scored;
@@ -131,18 +134,21 @@ std::vector<Hypothesis> SequenceDecoder::DecodeBeam(const traj::TokenSeq& src,
         expanded.push_back(std::move(next));
       }
     }
-    std::sort(expanded.begin(), expanded.end(),
-              [](const Beam& a, const Beam& b) {
-                return a.hyp.log_prob > b.hyp.log_prob;
-              });
+    // Beams can tie exactly in log-prob; the pinned sort keeps the pruned
+    // beam set identical across toolchains.
+    DeterministicSort(expanded.begin(), expanded.end(),
+                      [](const Beam& a, const Beam& b) {
+                        return a.hyp.log_prob > b.hyp.log_prob;
+                      });
     if (expanded.size() > beam_width) expanded.resize(beam_width);
     beams = std::move(expanded);
   }
   // Surviving unfinished beams count as hypotheses too (hit max_len).
   for (Beam& beam : beams) finished.push_back(std::move(beam.hyp));
 
-  // Length-normalized ranking avoids the short-sequence bias.
-  std::sort(finished.begin(), finished.end(),
+  // Length-normalized ranking avoids the short-sequence bias; pinned so the
+  // returned hypothesis order (ties included) is toolchain-independent.
+  DeterministicSort(finished.begin(), finished.end(),
             [](const Hypothesis& a, const Hypothesis& b) {
               const double na =
                   a.log_prob / static_cast<double>(a.tokens.size() + 1);

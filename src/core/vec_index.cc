@@ -5,6 +5,7 @@
 #include "common/macros.h"
 #include "common/order.h"
 #include "common/rng.h"
+#include "common/sort.h"
 #include "common/thread_pool.h"
 
 namespace t2vec::core {
@@ -54,8 +55,9 @@ KnnResult VectorIndex::Query(std::span<const float> query, size_t k) const {
   ParallelFor(0, size(), kScanGrain, [&](size_t i) {
     scored[i] = {Distance(q, i), i};
   });
-  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
-                    scored.end(), NanLastLess{});
+  // NanLastLess over distinct row indices is a strict total order.
+  TotalOrderPartialSort(scored.begin(), scored.begin() + static_cast<long>(k),
+                        scored.end(), NanLastLess{});
   KnnResult out;
   out.ids.reserve(k);
   out.distances.reserve(k);
@@ -190,8 +192,9 @@ KnnResult LshIndex::Query(std::span<const float> query, size_t k) const {
     }
     scored[c] = {acc, idx};
   });
-  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
-                    scored.end(), NanLastLess{});
+  // Candidates are deduplicated, so NanLastLess is a strict total order.
+  TotalOrderPartialSort(scored.begin(), scored.begin() + static_cast<long>(k),
+                        scored.end(), NanLastLess{});
   KnnResult out;
   out.ids.reserve(k);
   out.distances.reserve(k);

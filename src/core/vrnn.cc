@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/sort.h"
 #include "nn/optimizer.h"
 
 namespace t2vec::core {
@@ -24,7 +25,9 @@ double VRnn::Train(const std::vector<traj::TokenSeq>& seqs, size_t iterations,
   T2VEC_CHECK(!usable.empty());
 
   // Length-sorted contiguous batches, shuffled order (as in the trainer).
-  std::sort(usable.begin(), usable.end(), [&](size_t a, size_t b) {
+  // Equal-length ties feed batch composition, so the sort is pinned — same
+  // rationale as MakeBatches in core/trainer.cc.
+  DeterministicSort(usable.begin(), usable.end(), [&](size_t a, size_t b) {
     return seqs[a].size() < seqs[b].size();
   });
   std::vector<std::vector<size_t>> batches;

@@ -2,13 +2,17 @@
 
 #include <algorithm>
 
+#include "common/sort.h"
+
 namespace t2vec::dist {
 
 double CellJaccardDistance(std::vector<geo::Token> a,
                            std::vector<geo::Token> b) {
-  std::sort(a.begin(), a.end());
+  // Equal tokens are indistinguishable, so any sort yields the same bytes;
+  // the pinned sort keeps the tree free of raw std::sort all the same.
+  DeterministicSort(a.begin(), a.end());
   a.erase(std::unique(a.begin(), a.end()), a.end());
-  std::sort(b.begin(), b.end());
+  DeterministicSort(b.begin(), b.end());
   b.erase(std::unique(b.begin(), b.end()), b.end());
   if (a.empty() && b.empty()) return 0.0;
 

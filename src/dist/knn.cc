@@ -4,6 +4,7 @@
 
 #include "common/macros.h"
 #include "common/order.h"
+#include "common/sort.h"
 #include "common/thread_pool.h"
 
 namespace t2vec::dist {
@@ -26,8 +27,10 @@ KnnResult KnnQuery(const Measure& measure, const traj::Trajectory& query,
   ParallelFor(0, database.size(), kDistanceGrain, [&](size_t i) {
     scored[i] = {measure.Distance(query, database[i]), i};
   });
-  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
-                    scored.end(), NanLastLess{});
+  // NanLastLess over distinct indices is a strict total order, so the
+  // k-prefix is unique on every toolchain.
+  TotalOrderPartialSort(scored.begin(), scored.begin() + static_cast<long>(k),
+                        scored.end(), NanLastLess{});
   KnnResult out;
   out.ids.reserve(k);
   out.distances.reserve(k);

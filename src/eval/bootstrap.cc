@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "common/sort.h"
 
 namespace t2vec::eval {
 
@@ -24,7 +25,9 @@ IntervalEstimate BootstrapMean(const std::vector<double>& samples,
     for (size_t i = 0; i < n; ++i) acc += samples[rng.UniformInt(n)];
     means.push_back(acc / static_cast<double>(n));
   }
-  std::sort(means.begin(), means.end());
+  // Resampled means can tie exactly; the percentile interpolation below
+  // reads positional values, so the order is pinned.
+  DeterministicSort(means.begin(), means.end());
 
   auto percentile = [&](double q) {
     const double pos = q * static_cast<double>(means.size() - 1);

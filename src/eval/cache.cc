@@ -92,9 +92,13 @@ core::VRnn GetOrTrainVRnn(const std::string& tag,
                           const geo::HotCellVocab& vocab,
                           const core::T2VecConfig& config, size_t iterations) {
   std::filesystem::create_directories(CacheDir());
-  const std::string name =
-      CachePath(tag, config.Fingerprint(), DataFingerprint(train_trips),
-                "_" + std::to_string(iterations) + ".vrnn");
+  // Left-to-right lvalue appends: `"_" + std::to_string(...)` trips GCC 12's
+  // -Wrestrict false positive on the inlined insert(0, const char*).
+  std::string suffix = "_";
+  suffix += std::to_string(iterations);
+  suffix += ".vrnn";
+  const std::string name = CachePath(tag, config.Fingerprint(),
+                                     DataFingerprint(train_trips), suffix);
 
   Rng rng(config.seed + 17);
   core::VRnn vrnn(config, vocab.vocab_size(), rng);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "common/sort.h"
 
 namespace t2vec::eval {
 
@@ -18,8 +19,8 @@ double KnnPrecision(const std::vector<size_t>& truth,
                     const std::vector<size_t>& retrieved) {
   T2VEC_CHECK(!truth.empty());
   std::vector<size_t> a = truth, b = retrieved;
-  std::sort(a.begin(), a.end());
-  std::sort(b.begin(), b.end());
+  DeterministicSort(a.begin(), a.end());
+  DeterministicSort(b.begin(), b.end());
   std::vector<size_t> common;
   std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
                         std::back_inserter(common));

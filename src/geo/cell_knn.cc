@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/sort.h"
 #include "common/thread_pool.h"
 
 namespace t2vec::geo {
@@ -53,9 +54,13 @@ CellKnnTable::CellKnnTable(const HotCellVocab& vocab, int k, double theta)
 
     for (int64_t ring = 1; ring <= max_ring; ++ring) {
       if (static_cast<int>(candidates.size()) >= effective_k) {
-        std::nth_element(candidates.begin(),
-                         candidates.begin() + effective_k - 1,
-                         candidates.end());
+        // Tokens are distinct, so (distance, token) ordering is total and
+        // the k-th value read below is unique; the partition arrangement
+        // never escapes — the full range is deterministically sorted after
+        // the ring loop.
+        TotalOrderNthElement(candidates.begin(),
+                             candidates.begin() + effective_k - 1,
+                             candidates.end());
         const double kth = candidates[effective_k - 1].first;
         // Cells on this ring are at least (ring - 1) * cell_size away.
         const double ring_min_dist =
@@ -72,7 +77,7 @@ CellKnnTable::CellKnnTable(const HotCellVocab& vocab, int k, double theta)
       }
     }
 
-    std::sort(candidates.begin(), candidates.end());
+    DeterministicSort(candidates.begin(), candidates.end());
     const size_t take =
         std::min<size_t>(candidates.size(), static_cast<size_t>(effective_k));
     neighbors_[i].reserve(take);

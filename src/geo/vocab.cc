@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/sort.h"
+
 namespace t2vec::geo {
 
 HotCellVocab::HotCellVocab(const SpatialGrid& grid,
@@ -16,11 +18,13 @@ HotCellVocab::HotCellVocab(const SpatialGrid& grid,
   // Keep cells with >= min_hits hits; deterministic order by cell id.
   std::vector<std::pair<CellId, int64_t>> kept;
   kept.reserve(counts.size());
+  // lint:allow(unordered-iter) order-insensitive filter; kept is sorted below
   for (const auto& [cell, count] : counts) {
     if (count >= min_hits) kept.emplace_back(cell, count);
   }
   T2VEC_CHECK(!kept.empty());
-  std::sort(kept.begin(), kept.end());
+  // Cell ids are unique, so the sorted result is unique; pinned regardless.
+  DeterministicSort(kept.begin(), kept.end());
 
   hot_cells_.reserve(kept.size());
   centers_.reserve(kept.size());

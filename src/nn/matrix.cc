@@ -33,9 +33,12 @@ std::string Matrix::ToString(size_t max_rows, size_t max_cols) const {
   const size_t shown_cols = std::min(cols_, max_cols);
   std::string out;
   // Header + 10 bytes per rendered cell + row decorations; one allocation.
-  out.reserve(32 + shown_rows * (10 * shown_cols + 8));
-  out += "[" + std::to_string(rows_) + " x " + std::to_string(cols_) + "]\n";
-  char buf[32];
+  out.reserve(64 + shown_rows * (10 * shown_cols + 8));
+  char buf[64];
+  // Header via snprintf: `"[" + std::to_string(...)` concatenation trips
+  // GCC 12's -Wrestrict false positive on the inlined insert(0, const char*).
+  const int hdr = std::snprintf(buf, sizeof(buf), "[%zu x %zu]\n", rows_, cols_);
+  out.append(buf, static_cast<size_t>(hdr));
   for (size_t r = 0; r < shown_rows; ++r) {
     for (size_t c = 0; c < shown_cols; ++c) {
       const int len = std::snprintf(buf, sizeof(buf), "%9.4f ", At(r, c));

@@ -206,7 +206,9 @@ TEST(CellKnnTest, DistancesSortedWeightsNormalized) {
     const auto& weights = knn.Weights(t);
     double weight_sum = 0.0;
     for (size_t i = 0; i < dists.size(); ++i) {
-      if (i > 0) EXPECT_GE(dists[i], dists[i - 1]);
+      if (i > 0) {
+        EXPECT_GE(dists[i], dists[i - 1]);
+      }
       weight_sum += weights[i];
       // Closer cells never get smaller weight.
       if (i > 0 && dists[i] > dists[i - 1]) {

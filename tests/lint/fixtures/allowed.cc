@@ -1,0 +1,35 @@
+// Fixture: every rule is suppressible with a well-formed lint:allow comment
+// — rule id plus a non-empty reason, on the flagged line or the line above.
+// Never compiled.
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+struct FakeIndex {
+  std::vector<unsigned long> Knn(const float* q, unsigned long k) const;
+};
+
+std::vector<int> Fixture(std::vector<int> v, const FakeIndex& index,
+                         const float* q) {
+  // lint:allow(raw-sort) fixture: demonstrates a suppressed raw sort
+  std::sort(v.begin(), v.end());
+  std::stable_sort(v.begin(), v.end());  // lint:allow(raw-sort) same line form
+  // lint:allow(raw-rng) fixture: suppressed engine declaration
+  std::mt19937 gen(7);
+  // lint:allow(wall-clock) fixture: suppressed wall-clock read
+  const auto now = std::chrono::system_clock::now();
+  (void)now;
+  std::unordered_map<int, int> counts;
+  // lint:allow(unordered-iter) order-insensitive: copied into a sorted map
+  std::map<int, int> ordered(counts.begin(), counts.end());
+  // lint:allow(unordered-iter,raw-sort) comma form suppresses several rules
+  for (const auto& [k2, v2] : counts) std::sort(v.begin(), v.end());
+  // lint:allow(deprecated-knn) FakeIndex::Knn is not the deprecated forwarder
+  auto ids = index.Knn(q, 5);
+  v.push_back(static_cast<int>(ids.size() + ordered.size() + gen()));
+  return v;
+}

@@ -1,0 +1,26 @@
+// Fixture: the approved idioms produce zero violations. Never compiled.
+#include <chrono>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sort.h"
+
+// Mentions of std::sort or rand() in comments (like this one) are ignored.
+std::vector<int> Fixture(std::vector<int> v) {
+  t2vec::DeterministicSort(v.begin(), v.end());
+  t2vec::TotalOrderPartialSort(v.begin(), v.begin() + 1, v.end());
+  t2vec::Rng rng(42);
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+  const char* doc = "std::sort in a string literal is ignored";
+  (void)doc;
+  std::unordered_map<int, int> lookup;
+  // Keyed access and the find()-miss check are fine; only iteration is
+  // order-sensitive.
+  if (lookup.find(3) != lookup.end()) {
+    v.push_back(lookup[3]);
+  }
+  v.push_back(static_cast<int>(rng.UniformInt(7)));
+  return v;
+}

@@ -1,0 +1,11 @@
+// Fixture: malformed suppressions fire bad-allow (and do not suppress).
+// Never compiled.
+#include <algorithm>
+#include <vector>
+
+void Fixture(std::vector<int>& v) {
+  // lint:allow(raw-sort)
+  std::sort(v.begin(), v.end());
+  // lint:allow(no-such-rule) misspelled rule ids must not pass silently
+  std::stable_sort(v.begin(), v.end());
+}

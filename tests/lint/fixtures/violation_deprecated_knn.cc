@@ -1,0 +1,18 @@
+// Fixture: calls to the deprecated id-only kNN forwarders fire
+// deprecated-knn. Never compiled.
+#include <cstddef>
+#include <vector>
+
+struct FakeIndex {
+  std::vector<size_t> Knn(const float* q, size_t k) const;
+};
+
+std::vector<size_t> Fixture(const FakeIndex& index, const FakeIndex* ptr,
+                            const float* q) {
+  auto a = index.Knn(q, 5);
+  auto b = ptr->Knn(q, 5);
+  auto c = KnnSearch(q, 5);
+  a.insert(a.end(), b.begin(), b.end());
+  a.insert(a.end(), c.begin(), c.end());
+  return a;
+}

@@ -1,0 +1,11 @@
+// Fixture: raw RNG sources fire raw-rng. Never compiled.
+#include <cstdlib>
+#include <random>
+
+int Fixture() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  std::default_random_engine eng;
+  srand(42);
+  return rand() + static_cast<int>(gen() + eng());
+}

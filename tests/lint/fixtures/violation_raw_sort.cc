@@ -1,0 +1,11 @@
+// Fixture: every banned raw ordering call fires raw-sort.
+// Never compiled — scanned by lint_test.py.
+#include <algorithm>
+#include <vector>
+
+void Fixture(std::vector<int>& v) {
+  std::sort(v.begin(), v.end());
+  std::stable_sort(v.begin(), v.end());
+  std::partial_sort(v.begin(), v.begin() + 1, v.end());
+  std::nth_element(v.begin(), v.begin() + 1, v.end());
+}

@@ -1,0 +1,18 @@
+// Fixture: iterating a file-declared unordered container fires
+// unordered-iter. Never compiled.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+std::vector<int> Fixture(const std::unordered_set<int>& extra) {
+  std::unordered_map<int, int> counts;
+  std::unordered_set<int> seen = extra;
+  std::vector<int> out;
+  for (const auto& [key, value] : counts) {
+    out.push_back(key + value);
+  }
+  for (auto it = seen.begin(); it != seen.end(); ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}

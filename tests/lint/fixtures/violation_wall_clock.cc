@@ -1,0 +1,12 @@
+// Fixture: wall-clock reads fire wall-clock. Never compiled.
+#include <chrono>
+#include <ctime>
+
+long Fixture() {
+  const auto now = std::chrono::system_clock::now();
+  const auto hi = std::chrono::high_resolution_clock::now();
+  const long stamp = time(nullptr);
+  const long ticks = clock();
+  return stamp + ticks + now.time_since_epoch().count() +
+         hi.time_since_epoch().count();
+}

@@ -1,36 +1,56 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus the kernel determinism contract under TSan.
+# Staged verification pipeline for the determinism contract (DESIGN.md §5).
 #
 # Usage: tools/check.sh [build-dir]
 #
-# 1. Configure + build + full ctest in <build-dir> (default: build).
-# 2. Configure a second tree with -DT2VEC_SANITIZE=thread and run the
-#    kernel / thread-pool tests — the tests that exercise the blocked GEMM
-#    row partitioning and the fused-pack double-checked locking — plus the
-#    serving and vector-index tests (concurrent Submit vs dispatcher,
-#    incremental Add vs queries), so data races in the hot path fail CI
-#    rather than corrupting training runs or served results.
+#   stage 1  build + ctest     full suite, warnings as errors (T2VEC_WERROR)
+#   stage 2  lint              tools/lint_determinism.py over src/ bench/ tools/
+#   stage 3  clang-tidy        -DT2VEC_CLANG_TIDY=ON build of src/ (skipped
+#                              with a notice when clang-tidy is not installed)
+#   stage 4  TSan              ctest -L determinism under -fsanitize=thread
+#   stage 5  UBSan             full ctest under -fsanitize=undefined with
+#                              -fno-sanitize-recover: any UB aborts the test
+#
+# Each sanitizer tier builds in its own tree (<build-dir>-tsan, -ubsan) so
+# the instrumented objects never mix with the release ones. Stages run in
+# increasing cost order; the first failure stops the pipeline.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
+TIDY_DIR="${BUILD_DIR}-tidy"
 TSAN_DIR="${BUILD_DIR}-tsan"
+UBSAN_DIR="${BUILD_DIR}-ubsan"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "== tier-1: configure/build/ctest (${BUILD_DIR}) =="
-cmake -B "${BUILD_DIR}" -S . >/dev/null
+echo "== stage 1/5: configure/build/ctest (${BUILD_DIR}) =="
+cmake -B "${BUILD_DIR}" -S . -DT2VEC_WERROR=ON >/dev/null
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
-echo "== tsan: kernel + thread-pool + serving tests (${TSAN_DIR}) =="
-cmake -B "${TSAN_DIR}" -S . -DT2VEC_SANITIZE=thread >/dev/null
-cmake --build "${TSAN_DIR}" -j "${JOBS}" \
-  --target matrix_test fused_kernels_test thread_pool_test \
-           serve_test vec_index_test
-"${TSAN_DIR}/tests/matrix_test"
-"${TSAN_DIR}/tests/fused_kernels_test"
-"${TSAN_DIR}/tests/thread_pool_test"
-"${TSAN_DIR}/tests/serve_test"
-"${TSAN_DIR}/tests/vec_index_test"
+echo "== stage 2/5: determinism lint (src/ bench/ tools/) =="
+python3 tools/lint_determinism.py
+
+echo "== stage 3/5: clang-tidy (src/) =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake -B "${TIDY_DIR}" -S . -DT2VEC_WERROR=ON -DT2VEC_CLANG_TIDY=ON \
+    >/dev/null
+  cmake --build "${TIDY_DIR}" -j "${JOBS}" --target t2vec_common t2vec_nn \
+    t2vec_geo t2vec_traj t2vec_dist t2vec_core t2vec_eval t2vec_serve
+else
+  echo "clang-tidy not installed; stage skipped (config: .clang-tidy)"
+fi
+
+echo "== stage 4/5: TSan on determinism-labeled tests (${TSAN_DIR}) =="
+cmake -B "${TSAN_DIR}" -S . -DT2VEC_WERROR=ON -DT2VEC_SANITIZE=thread \
+  >/dev/null
+cmake --build "${TSAN_DIR}" -j "${JOBS}"
+ctest --test-dir "${TSAN_DIR}" -L determinism --output-on-failure -j "${JOBS}"
+
+echo "== stage 5/5: UBSan (-fno-sanitize-recover) full suite (${UBSAN_DIR}) =="
+cmake -B "${UBSAN_DIR}" -S . -DT2VEC_WERROR=ON -DT2VEC_SANITIZE=undefined \
+  >/dev/null
+cmake --build "${UBSAN_DIR}" -j "${JOBS}"
+ctest --test-dir "${UBSAN_DIR}" --output-on-failure -j "${JOBS}"
 
 echo "== all checks passed =="

@@ -41,7 +41,9 @@ class Flags {
     // Boolean flags (no value).
     for (int i = first; i < argc; ++i) {
       if (std::strcmp(argv[i], "--no-pretrain") == 0) {
-        values_["no-pretrain"] = "1";
+        // insert_or_assign: GCC 12's -Wrestrict miscounts the inlined
+        // char-pointer operator= here at -O3.
+        values_.insert_or_assign("no-pretrain", std::string("1"));
       }
     }
   }
