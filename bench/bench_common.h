@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fs.h"
 #include "common/thread_pool.h"
 #include "eval/cache.h"
 #include "eval/experiments.h"
@@ -42,18 +43,19 @@ inline void PrintThreadSetup() {
 inline void WriteBenchJson(
     const std::string& path,
     const std::vector<std::pair<std::string, double>>& metrics) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "WriteBenchJson: cannot open %s\n", path.c_str());
-    return;
-  }
-  std::fprintf(f, "{\n");
+  std::string text = "{\n";
+  char buf[160];
   for (size_t i = 0; i < metrics.size(); ++i) {
-    std::fprintf(f, "  \"%s\": %.6g%s\n", metrics[i].first.c_str(),
-                 metrics[i].second, i + 1 < metrics.size() ? "," : "");
+    std::snprintf(buf, sizeof(buf), "  \"%s\": %.6g%s\n",
+                  metrics[i].first.c_str(), metrics[i].second,
+                  i + 1 < metrics.size() ? "," : "");
+    text += buf;
   }
-  std::fprintf(f, "}\n");
-  std::fclose(f);
+  text += "}\n";
+  if (t2vec::Status status = t2vec::WriteFileAtomic(path, text);
+      !status.ok()) {
+    std::fprintf(stderr, "WriteBenchJson: %s\n", status.ToString().c_str());
+  }
 }
 
 /// Canonical training-set sizes for the shared default models.

@@ -1,0 +1,112 @@
+#include "common/fault.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace t2vec::fault {
+
+namespace internal {
+std::atomic<bool> g_armed{false};
+}  // namespace internal
+
+namespace {
+
+struct Site {
+  uint64_t nth = 0;  // 1-based hit to fail.
+  int err = 0;       // errno to inject on that hit.
+  uint64_t hits = 0;
+};
+
+std::mutex& Mu() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+std::map<std::string, Site>& Sites() {
+  static std::map<std::string, Site>* sites = new std::map<std::string, Site>;
+  return *sites;
+}
+
+int ParseErrno(const std::string& token) {
+  static const std::map<std::string, int> kNames = {
+      {"EIO", EIO},       {"ENOSPC", ENOSPC}, {"EACCES", EACCES},
+      {"EDQUOT", EDQUOT}, {"EROFS", EROFS},   {"EMFILE", EMFILE},
+      {"ENOENT", ENOENT},
+  };
+  const auto it = kNames.find(token);
+  if (it != kNames.end()) return it->second;
+  char* end = nullptr;
+  const long value = std::strtol(token.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || value <= 0) return 0;
+  return static_cast<int>(value);
+}
+
+// Arms sites named in T2VEC_FAULT before main() runs, so the env syntax
+// works for subprocess/CLI tests without any code hook.
+const bool g_env_loaded = [] {
+  const char* spec = std::getenv("T2VEC_FAULT");
+  if (spec != nullptr) ArmFromSpec(spec);
+  return true;
+}();
+
+}  // namespace
+
+void Arm(const std::string& site, uint64_t nth, int err) {
+  if (site.empty() || nth == 0 || err == 0) return;
+  std::lock_guard<std::mutex> lock(Mu());
+  Sites()[site] = Site{nth, err, 0};
+  internal::g_armed.store(true, std::memory_order_relaxed);
+}
+
+bool ArmFromSpec(const std::string& spec) {
+  size_t start = 0;
+  while (start < spec.size()) {
+    size_t end = spec.find(';', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string triple = spec.substr(start, end - start);
+    start = end + 1;
+    if (triple.empty()) continue;
+    const size_t c1 = triple.find(':');
+    const size_t c2 = c1 == std::string::npos ? std::string::npos
+                                              : triple.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) return false;
+    const std::string site = triple.substr(0, c1);
+    char* num_end = nullptr;
+    const std::string nth_str = triple.substr(c1 + 1, c2 - c1 - 1);
+    const unsigned long long nth =
+        std::strtoull(nth_str.c_str(), &num_end, 10);
+    if (num_end == nullptr || *num_end != '\0' || nth == 0) return false;
+    const int err = ParseErrno(triple.substr(c2 + 1));
+    if (site.empty() || err == 0) return false;
+    Arm(site, nth, err);
+  }
+  return true;
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> lock(Mu());
+  Sites().clear();
+  internal::g_armed.store(false, std::memory_order_relaxed);
+}
+
+uint64_t HitCount(const std::string& site) {
+  std::lock_guard<std::mutex> lock(Mu());
+  const auto it = Sites().find(site);
+  return it == Sites().end() ? 0 : it->second.hits;
+}
+
+namespace internal {
+
+int HitSlow(const char* site) {
+  std::lock_guard<std::mutex> lock(Mu());
+  const auto it = Sites().find(site);
+  if (it == Sites().end()) return 0;
+  ++it->second.hits;
+  return it->second.hits == it->second.nth ? it->second.err : 0;
+}
+
+}  // namespace internal
+
+}  // namespace t2vec::fault

@@ -1,0 +1,68 @@
+#ifndef T2VEC_COMMON_FAULT_H_
+#define T2VEC_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+/// \file
+/// Deterministic fault injection for I/O failure testing.
+///
+/// Durable-artifact code paths mark their failure-capable operations with a
+/// named fault point:
+///
+///     if (int err = T2VEC_FAULT_POINT("fs.write")) {
+///       return Status::IoError(ErrnoMessage("write", path, err));
+///     }
+///
+/// When the registry is disarmed (the default, and the only state reachable
+/// in production) the macro is a single relaxed atomic load that returns 0 —
+/// a no-op branch. Tests arm a site to fail its Nth hit with a chosen errno,
+/// either programmatically (`fault::Arm`) or through the environment:
+///
+///     T2VEC_FAULT="fs.write:1:EIO;fs.rename:2:28"
+///
+/// (semicolon-separated `site:nth:errno` triples; errno accepts a decimal
+/// number or one of the symbolic names EIO, ENOSPC, EACCES, EDQUOT, EROFS,
+/// EMFILE, ENOENT). Hits are counted per site under a mutex, so the Nth hit
+/// is the same operation on every run at every thread count — faults are as
+/// reproducible as the code they interrupt. A tripped site stays armed but
+/// never fires again until re-armed, which lets tests assert that one failed
+/// checkpoint write does not poison subsequent ones.
+
+namespace t2vec::fault {
+
+/// Arms `site` to fail its `nth` hit (1-based) with errno `err`. Re-arming a
+/// site replaces the previous arming and resets its hit count. `err` must be
+/// nonzero.
+void Arm(const std::string& site, uint64_t nth, int err);
+
+/// Parses a `site:nth:errno[;site:nth:errno...]` spec (the T2VEC_FAULT
+/// environment syntax) and arms every triple. Returns false (arming nothing
+/// further) on the first malformed triple.
+bool ArmFromSpec(const std::string& spec);
+
+/// Clears every armed site and hit counter.
+void DisarmAll();
+
+/// Hits recorded against `site` since it was armed; 0 for unarmed sites.
+uint64_t HitCount(const std::string& site);
+
+namespace internal {
+extern std::atomic<bool> g_armed;
+int HitSlow(const char* site);
+}  // namespace internal
+
+/// Records a hit of `site`; returns the errno to inject (nonzero) when this
+/// is the armed Nth hit, and 0 otherwise. Prefer the macro.
+inline int Hit(const char* site) {
+  if (!internal::g_armed.load(std::memory_order_relaxed)) return 0;
+  return internal::HitSlow(site);
+}
+
+}  // namespace t2vec::fault
+
+/// Evaluates to the errno to inject at this site, or 0 when disarmed.
+#define T2VEC_FAULT_POINT(site) ::t2vec::fault::Hit(site)
+
+#endif  // T2VEC_COMMON_FAULT_H_

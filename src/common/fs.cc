@@ -1,0 +1,172 @@
+#include "common/fs.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/fault.h"
+
+namespace t2vec {
+
+namespace {
+
+// Reflected Castagnoli table, built once. The generator loop is pure integer
+// arithmetic, so the table is identical on every platform.
+const uint32_t* Crc32cTable() {
+  static const uint32_t* table = [] {
+    auto* t = new uint32_t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(uint32_t crc, const void* data, size_t n) {
+  const uint32_t* table = Crc32cTable();
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::string ErrnoMessage(const std::string& op, const std::string& path,
+                         int err) {
+  return op + " failed for " + path + ": " + std::strerror(err) + " (errno " +
+         std::to_string(err) + ")";
+}
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
+  if (const int err = T2VEC_FAULT_POINT("fs.open")) {
+    Fail("open", err);
+    return;
+  }
+  fd_ = ::open(tmp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+               0644);
+  if (fd_ < 0) Fail("open", errno);
+}
+
+AtomicFileWriter::~AtomicFileWriter() { Abandon(); }
+
+void AtomicFileWriter::Fail(const std::string& op, int err) {
+  if (!status_.ok()) return;  // Keep the first error.
+  status_ = Status::IoError(ErrnoMessage(op, tmp_path_, err));
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  ::unlink(tmp_path_.c_str());
+}
+
+void AtomicFileWriter::Append(const void* data, size_t n) {
+  if (!status_.ok() || committed_) return;
+  if (const int err = T2VEC_FAULT_POINT("fs.write")) {
+    Fail("write", err);
+    return;
+  }
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t written = ::write(fd_, p, n);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      Fail("write", errno);
+      return;
+    }
+    p += written;
+    n -= static_cast<size_t>(written);
+  }
+}
+
+Status AtomicFileWriter::Commit() {
+  if (!status_.ok()) return status_;
+  if (committed_) return Status::Ok();
+  if (const int err = T2VEC_FAULT_POINT("fs.fsync")) {
+    Fail("fsync", err);
+    return status_;
+  }
+  if (::fsync(fd_) != 0) {
+    Fail("fsync", errno);
+    return status_;
+  }
+  if (::close(fd_) != 0) {
+    const int err = errno;
+    fd_ = -1;
+    Fail("close", err);
+    return status_;
+  }
+  fd_ = -1;
+  if (const int err = T2VEC_FAULT_POINT("fs.rename")) {
+    Fail("rename", err);
+    return status_;
+  }
+  if (::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    Fail("rename", errno);
+    return status_;
+  }
+  committed_ = true;
+  // Best-effort directory sync so the rename itself survives power loss.
+  // Failure here cannot corrupt anything (the data is already durable and
+  // the directory entry will settle on its own), so it is not reported.
+  const size_t slash = path_.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path_.substr(0, slash + 1);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    (void)::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return Status::Ok();
+}
+
+void AtomicFileWriter::Abandon() {
+  if (committed_) return;
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  ::unlink(tmp_path_.c_str());
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& contents) {
+  AtomicFileWriter writer(path);
+  writer.Append(contents.data(), contents.size());
+  return writer.Commit();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("open", path, errno));
+  }
+  out->clear();
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t got = ::read(fd, buffer, sizeof(buffer));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return Status::IoError(ErrnoMessage("read", path, err));
+    }
+    if (got == 0) break;
+    out->append(buffer, static_cast<size_t>(got));
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+}  // namespace t2vec

@@ -1,0 +1,94 @@
+#ifndef T2VEC_COMMON_FS_H_
+#define T2VEC_COMMON_FS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+/// \file
+/// Durable file I/O primitives (DESIGN.md §7).
+///
+/// Every binary artifact the library persists (model checkpoints, training
+/// snapshots, embedding-store snapshots, eval caches) is written through
+/// `AtomicFileWriter`: bytes stream into `path + ".tmp"`, which is fsynced
+/// and renamed over `path` only once every byte is on disk. A crash or I/O
+/// failure at any point leaves either the previous file or the complete new
+/// file at the final path — never a truncated mix. Corruption *after* a
+/// successful write is caught by the CRC32C trailer that
+/// `common/serialize.h` frames around every payload.
+///
+/// All failure paths return `Status` with the failing operation, path, and
+/// `strerror(errno)` context; nothing in this layer aborts.
+
+namespace t2vec {
+
+/// CRC32C (Castagnoli polynomial, reflected). `crc` is the running value —
+/// pass 0 for a fresh stream — and the updated value is returned. The
+/// standard check value applies: Crc32c(0, "123456789", 9) == 0xE3069283.
+uint32_t Crc32c(uint32_t crc, const void* data, size_t n);
+
+/// Formats "`op` failed for `path`: <strerror> (errno N)".
+std::string ErrnoMessage(const std::string& op, const std::string& path,
+                         int err);
+
+/// Write-to-temporary-then-rename file writer.
+///
+/// The constructor opens `path + ".tmp"` (truncating any stale leftover);
+/// `Append` streams bytes into it; `Commit` fsyncs, closes, and renames the
+/// temporary over `path`. If the writer is destroyed or `Abandon`ed before
+/// a successful Commit, the temporary is deleted and the final path is
+/// untouched. After any failure the writer is inert: further Appends are
+/// no-ops and Commit returns the first error.
+///
+/// Fault points (common/fault.h): "fs.open", "fs.write", "fs.fsync",
+/// "fs.rename".
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path);
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// True until the first I/O failure.
+  bool ok() const { return status_.ok(); }
+
+  /// OK, or the first error encountered (with errno context).
+  const Status& status() const { return status_; }
+
+  /// Appends `n` bytes to the temporary file.
+  void Append(const void* data, size_t n);
+
+  /// Flushes and fsyncs the temporary, then renames it over the final path.
+  /// Returns the first error of the whole write sequence; on error the
+  /// temporary is removed and the final path is left as it was.
+  Status Commit();
+
+  /// Closes and deletes the temporary without touching the final path.
+  /// No-op after a successful Commit.
+  void Abandon();
+
+  const std::string& path() const { return path_; }
+  const std::string& tmp_path() const { return tmp_path_; }
+
+ private:
+  void Fail(const std::string& op, int err);
+
+  std::string path_;
+  std::string tmp_path_;
+  int fd_ = -1;
+  bool committed_ = false;
+  Status status_;
+};
+
+/// Atomically replaces `path` with `contents` (AtomicFileWriter one-shot).
+Status WriteFileAtomic(const std::string& path, const std::string& contents);
+
+/// Reads the whole file at `path` into `*out`. IoError with errno context on
+/// failure; `*out` is unspecified then.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+}  // namespace t2vec
+
+#endif  // T2VEC_COMMON_FS_H_

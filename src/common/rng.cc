@@ -87,6 +87,20 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
 
 Rng Rng::Fork() { return Rng(NextU64()); }
 
+Rng::State Rng::GetState() const {
+  State state;
+  for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.has_cached_gaussian = has_cached_gaussian_ ? 1 : 0;
+  state.cached_gaussian = cached_gaussian_;
+  return state;
+}
+
+void Rng::SetState(const State& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  has_cached_gaussian_ = state.has_cached_gaussian != 0;
+  cached_gaussian_ = state.cached_gaussian;
+}
+
 std::vector<double> SmoothedDistribution(const std::vector<double>& counts,
                                          double power) {
   std::vector<double> out(counts.size());

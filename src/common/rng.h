@@ -65,6 +65,19 @@ class Rng {
   /// streams) without consuming much parent state.
   Rng Fork();
 
+  /// Complete engine state: the four xoshiro words plus the Box–Muller
+  /// carry. Trivially copyable with a fixed layout, so training snapshots
+  /// persist it as one POD and a restored generator continues the exact
+  /// stream — the keystone of bit-exact training resume.
+  struct State {
+    uint64_t s[4];
+    uint64_t has_cached_gaussian;  // 0 or 1; fixed-width for serialization.
+    double cached_gaussian;
+  };
+
+  State GetState() const;
+  void SetState(const State& state);
+
  private:
   uint64_t s_[4];
   bool has_cached_gaussian_ = false;

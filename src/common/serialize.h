@@ -2,83 +2,170 @@
 #define T2VEC_COMMON_SERIALIZE_H_
 
 #include <cstdint>
-#include <fstream>
+#include <cstring>
 #include <string>
+#include <type_traits>
 #include <vector>
 
+#include "common/fs.h"
 #include "common/status.h"
 
 /// \file
-/// Minimal binary (de)serialization used for model checkpoints and caches.
+/// Binary (de)serialization for model checkpoints, training snapshots,
+/// embedding-store snapshots, and caches.
 ///
 /// The format is a flat little-endian stream; each composite type writes a
-/// tag-free fixed layout. Streams are versioned by their owners (the model
-/// writes a magic + version header). Not intended for cross-endian portability.
+/// tag-free fixed layout, and streams are versioned by their owners (every
+/// artifact writes a magic + version header). Not intended for cross-endian
+/// portability.
+///
+/// Durability framing (DESIGN.md §7): the writer streams through
+/// `AtomicFileWriter` (write `path.tmp`, fsync, rename) and `Finish()`
+/// appends a 16-byte CRC32C trailer:
+///
+///     [payload bytes][payload_size u64][crc32c u32][trailer magic u32]
+///
+/// The reader verifies the trailer before any field is trusted: a valid
+/// trailer bounds every read by the payload size and a CRC mismatch fails
+/// the whole file up front. Files without a valid trailer are read in
+/// legacy mode (`checksummed() == false`) so pre-framing artifacts stay
+/// loadable — owners that bumped their format version reject the
+/// combination "new version, no trailer", which is how truncation that
+/// strips exactly the trailer is caught.
 
 namespace t2vec {
 
+/// Marks the end of a CRC-framed stream ("CRC2" little-endian).
+inline constexpr uint32_t kCrcTrailerMagic = 0x32435243;
+
+/// Size of the checksum trailer appended by BinaryWriter::Finish().
+inline constexpr size_t kCrcTrailerBytes = 16;
+
 /// Appends primitive values and vectors to a binary output stream.
+///
+/// Bytes stream into `path + ".tmp"`; nothing appears at `path` until
+/// `Finish()` has fsynced and renamed the complete, checksummed file. Check
+/// `ok()` after construction for open errors (details in `status()`).
 class BinaryWriter {
  public:
-  /// Opens `path` for writing (truncates). Check `ok()` before use.
-  explicit BinaryWriter(const std::string& path)
-      : out_(path, std::ios::binary | std::ios::trunc) {}
+  explicit BinaryWriter(const std::string& path) : file_(path) {}
 
-  bool ok() const { return static_cast<bool>(out_); }
+  bool ok() const { return file_.ok(); }
+
+  /// OK, or the first I/O error (operation + path + strerror context).
+  const Status& status() const { return file_.status(); }
 
   template <typename T>
   void WritePod(const T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
-    out_.write(reinterpret_cast<const char*>(&value), sizeof(T));
+    Append(&value, sizeof(T));
   }
 
   void WriteString(const std::string& s) {
     WritePod<uint64_t>(s.size());
-    out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+    Append(s.data(), s.size());
   }
 
   template <typename T>
   void WriteVector(const std::vector<T>& v) {
     static_assert(std::is_trivially_copyable_v<T>);
     WritePod<uint64_t>(v.size());
-    out_.write(reinterpret_cast<const char*>(v.data()),
-               static_cast<std::streamsize>(v.size() * sizeof(T)));
+    Append(v.data(), v.size() * sizeof(T));
   }
 
-  /// Flushes and reports whether every write succeeded.
+  /// Appends the CRC32C trailer and atomically publishes the file. Returns
+  /// the first error of the whole write sequence; on error the final path
+  /// is untouched.
   Status Finish() {
-    out_.flush();
-    if (!out_) return Status::IoError("binary write failed");
-    return Status::Ok();
+    const uint64_t payload_size = payload_size_;
+    const uint32_t crc = crc_;
+    // The trailer describes the payload, so it is excluded from the CRC.
+    file_.Append(&payload_size, sizeof(payload_size));
+    file_.Append(&crc, sizeof(crc));
+    file_.Append(&kCrcTrailerMagic, sizeof(kCrcTrailerMagic));
+    return file_.Commit();
   }
 
  private:
-  std::ofstream out_;
+  void Append(const void* data, size_t n) {
+    crc_ = Crc32c(crc_, data, n);
+    payload_size_ += n;
+    file_.Append(data, n);
+  }
+
+  AtomicFileWriter file_;
+  uint32_t crc_ = 0;
+  uint64_t payload_size_ = 0;
 };
 
 /// Reads values written by BinaryWriter, in the same order.
+///
+/// The whole file is read up front and the CRC trailer is verified before
+/// the first field is served; every subsequent read is bounded by the
+/// verified payload size, so a corrupt length field can never trigger a
+/// multi-GiB allocation — it fails soft instead. Check `ok()` before use;
+/// `status()` carries the open/verification error.
 class BinaryReader {
  public:
-  /// Opens `path` for reading. Check `ok()` before use.
-  explicit BinaryReader(const std::string& path)
-      : in_(path, std::ios::binary) {}
+  explicit BinaryReader(const std::string& path) {
+    status_ = ReadFileToString(path, &data_);
+    if (!status_.ok()) {
+      failed_ = true;
+      return;
+    }
+    payload_end_ = data_.size();
+    if (data_.size() < kCrcTrailerBytes) return;  // Legacy (tiny) stream.
+    uint64_t payload_size = 0;
+    uint32_t crc = 0, magic = 0;
+    const char* trailer = data_.data() + data_.size() - kCrcTrailerBytes;
+    std::memcpy(&payload_size, trailer, sizeof(payload_size));
+    std::memcpy(&crc, trailer + 8, sizeof(crc));
+    std::memcpy(&magic, trailer + 12, sizeof(magic));
+    if (magic != kCrcTrailerMagic ||
+        payload_size != data_.size() - kCrcTrailerBytes) {
+      return;  // No trailer: legacy stream, reads bounded by file size.
+    }
+    if (Crc32c(0, data_.data(), payload_size) != crc) {
+      failed_ = true;
+      status_ = Status::IoError("checksum mismatch in " + path +
+                                ": file is corrupt");
+      return;
+    }
+    checksummed_ = true;
+    payload_end_ = payload_size;
+  }
 
-  bool ok() const { return static_cast<bool>(in_); }
+  bool ok() const { return !failed_; }
+
+  /// OK, or the open / checksum-verification error.
+  const Status& status() const { return status_; }
+
+  /// True when a valid CRC trailer was present and verified. Owners of
+  /// versioned formats reject version >= "framing bump" files that are not
+  /// checksummed: that combination means the trailer was stripped.
+  bool checksummed() const { return checksummed_; }
+
+  /// Unread payload bytes.
+  size_t remaining() const { return payload_end_ - pos_; }
 
   template <typename T>
   bool ReadPod(T* value) {
     static_assert(std::is_trivially_copyable_v<T>);
-    in_.read(reinterpret_cast<char*>(value), sizeof(T));
-    return static_cast<bool>(in_);
+    if (failed_ || sizeof(T) > remaining()) return FailRead();
+    std::memcpy(value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
   }
 
   bool ReadString(std::string* s) {
     uint64_t n = 0;
     if (!ReadPod(&n)) return false;
-    if (n > (1ULL << 32)) return false;  // Corruption guard.
-    s->resize(n);
-    in_.read(s->data(), static_cast<std::streamsize>(n));
-    return static_cast<bool>(in_);
+    // Bounding by the remaining byte count (not a fixed cap) makes a corrupt
+    // length field fail soft instead of attempting a huge allocation.
+    if (n > remaining()) return FailRead();
+    s->assign(data_.data() + pos_, static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return true;
   }
 
   template <typename T>
@@ -86,15 +173,28 @@ class BinaryReader {
     static_assert(std::is_trivially_copyable_v<T>);
     uint64_t n = 0;
     if (!ReadPod(&n)) return false;
-    if (n > (1ULL << 32)) return false;  // Corruption guard.
-    v->resize(n);
-    in_.read(reinterpret_cast<char*>(v->data()),
-             static_cast<std::streamsize>(n * sizeof(T)));
-    return static_cast<bool>(in_);
+    if (n > remaining() / sizeof(T)) return FailRead();
+    v->resize(static_cast<size_t>(n));
+    if (n > 0) {
+      std::memcpy(v->data(), data_.data() + pos_,
+                  static_cast<size_t>(n) * sizeof(T));
+      pos_ += static_cast<size_t>(n) * sizeof(T);
+    }
+    return true;
   }
 
  private:
-  std::ifstream in_;
+  bool FailRead() {
+    failed_ = true;
+    return false;
+  }
+
+  std::string data_;
+  size_t pos_ = 0;
+  size_t payload_end_ = 0;
+  bool checksummed_ = false;
+  bool failed_ = false;
+  Status status_;
 };
 
 }  // namespace t2vec

@@ -58,6 +58,9 @@ Status T2VecConfig::Validate() const {
   if (patience == 0) return bad("patience must be >= 1");
   if (validation_pairs == 0) return bad("validation_pairs must be >= 1");
   if (num_threads < 0) return bad("num_threads must be >= 0");
+  if (!checkpoint_dir.empty() && checkpoint_every == 0) {
+    return bad("checkpoint_every must be >= 1 when checkpoint_dir is set");
+  }
   return Status::Ok();
 }
 

@@ -87,6 +87,20 @@ struct T2VecConfig {
   /// execution is bit-identical to serial at any thread count.
   int num_threads = 0;
 
+  // --- Crash safety (no effect on results; DESIGN.md §7) ---
+  /// Directory for periodic training-state snapshots (model weights, Adam
+  /// moments, RNG engines, trainer progress), written atomically with CRC
+  /// framing. Empty disables checkpointing. Excluded from Fingerprint():
+  /// snapshots never change the trained weights.
+  std::string checkpoint_dir;
+  /// Iterations between snapshots when `checkpoint_dir` is set.
+  size_t checkpoint_every = 500;
+  /// Snapshot to resume training from: a snapshot file, or a directory
+  /// (the newest snapshot_*.t2vsnap inside is picked). The run must use the
+  /// same config (fingerprint-checked) and training data; the resumed run's
+  /// final parameters are bit-identical to an uninterrupted run's.
+  std::string resume_from;
+
   /// Checks every field for internal consistency. Returns OK when the config
   /// can drive a training run; otherwise an InvalidArgument status naming
   /// the first offending field. `T2Vec::TrainChecked` validates before

@@ -82,6 +82,12 @@ class SeqLoss {
   /// Display name for logs/tables.
   virtual const char* Name() const = 0;
 
+  /// The loss's internal noise generator when it has one (L3 draws noise
+  /// cells every step, including validation passes), else nullptr. Training
+  /// snapshots persist this state: without it a resumed run would replay
+  /// different noise sets and drift off the uninterrupted run's bytes.
+  virtual Rng* MutableNoiseRng() { return nullptr; }
+
   /// Scale applied to every gradient this loss produces; the model sets it
   /// to 1/batch_size so the objective is the mean per-sequence loss.
   void set_grad_scale(float s) { grad_scale_ = s; }
@@ -137,6 +143,7 @@ class ApproxSpatialLoss : public SeqLoss {
                          const std::vector<geo::Token>& targets,
                          bool accumulate_grads, nn::Matrix* d_h) override;
   const char* Name() const override { return "L3"; }
+  Rng* MutableNoiseRng() override { return &rng_; }
 
  private:
   double RowSampledSoftmax(const float* h, geo::Token target,

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <deque>
+#include <filesystem>
 #include <mutex>
 #include <unordered_map>
 
@@ -21,7 +22,11 @@ namespace t2vec::core {
 namespace {
 
 constexpr uint32_t kModelMagic = 0x54325631;  // "T2V1"
-constexpr uint32_t kModelVersion = 1;
+// Version 2 added the atomic-write + CRC32C trailer framing (DESIGN.md §7);
+// the payload layout is unchanged, so version-1 (trailer-less) files remain
+// loadable.
+constexpr uint32_t kModelVersion = 2;
+constexpr uint32_t kFirstChecksummedModelVersion = 2;
 
 // Bounding box of all points, expanded by one cell so boundary clamping
 // never moves a real point.
@@ -105,6 +110,23 @@ Result<T2Vec> T2Vec::TrainChecked(const std::vector<traj::Trajectory>& trips,
   std::unique_ptr<SeqLoss> loss =
       MakeLoss(config, &model->projection(), vocab.get(), &knn, loss_rng);
   Trainer trainer(model.get(), loss.get(), config);
+  if (!config.checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config.checkpoint_dir, ec);
+    if (ec) {
+      return Status::IoError("cannot create checkpoint directory " +
+                             config.checkpoint_dir + ": " + ec.message());
+    }
+    trainer.EnableCheckpoints(config.checkpoint_dir, config.checkpoint_every);
+  }
+  if (!config.resume_from.empty()) {
+    // A broken snapshot may have already scribbled on the model weights, so
+    // surface the error instead of silently training from a half-restored
+    // state.
+    if (Status status = trainer.Resume(config.resume_from); !status.ok()) {
+      return status;
+    }
+  }
   Rng train_rng = rng.Fork();
   TrainStats local_stats = trainer.Train(std::move(pairs), train_rng);
   if (stats != nullptr) *stats = local_stats;
@@ -203,7 +225,7 @@ Status T2Vec::Save(const std::string& path) const {
         "attention models cannot be serialized yet");
   }
   BinaryWriter writer(path);
-  if (!writer.ok()) return Status::IoError("cannot open for write: " + path);
+  if (!writer.ok()) return writer.status();
   writer.WritePod(kModelMagic);
   writer.WritePod(kModelVersion);
 
@@ -231,25 +253,23 @@ Status T2Vec::Save(const std::string& path) const {
 
   // Weights, in Params() order (stable by construction).
   nn::ParamList params = const_cast<EncoderDecoder*>(model_.get())->Params();
-  writer.WritePod<uint64_t>(params.size());
-  for (const nn::Parameter* p : params) {
-    writer.WriteString(p->name);
-    writer.WritePod<uint64_t>(p->value.rows());
-    writer.WritePod<uint64_t>(p->value.cols());
-    writer.WriteVector(p->value.storage());
-  }
+  nn::WriteParamBlock(&writer, params);
   return writer.Finish();
 }
 
 Result<T2Vec> T2Vec::Load(const std::string& path) {
   BinaryReader reader(path);
-  if (!reader.ok()) return Status::IoError("cannot open for read: " + path);
+  if (!reader.ok()) return reader.status();
   uint32_t magic = 0, version = 0;
   if (!reader.ReadPod(&magic) || magic != kModelMagic) {
     return Status::IoError("bad model magic in " + path);
   }
-  if (!reader.ReadPod(&version) || version != kModelVersion) {
+  if (!reader.ReadPod(&version) || version == 0 || version > kModelVersion) {
     return Status::IoError("unsupported model version in " + path);
+  }
+  if (version >= kFirstChecksummedModelVersion && !reader.checksummed()) {
+    return Status::IoError("model file " + path +
+                           " is missing its checksum trailer (truncated?)");
   }
 
   T2VecConfig config;
@@ -258,7 +278,7 @@ Result<T2Vec> T2Vec::Load(const std::string& path) {
   if (!reader.ReadPod(&embed_dim) || !reader.ReadPod(&hidden) ||
       !reader.ReadPod(&layers) || !reader.ReadPod(&reverse_source) ||
       !reader.ReadPod(&config.cell_size)) {
-    return Status::IoError("truncated model header");
+    return Status::IoError("truncated model header in " + path);
   }
   config.embed_dim = embed_dim;
   config.hidden = hidden;
@@ -273,7 +293,7 @@ Result<T2Vec> T2Vec::Load(const std::string& path) {
       !reader.ReadPod(&cell_size) || !reader.ReadPod(&rows) ||
       !reader.ReadPod(&cols) || !reader.ReadVector(&hot_cells) ||
       !reader.ReadVector(&counts)) {
-    return Status::IoError("truncated vocabulary section");
+    return Status::IoError("truncated vocabulary section in " + path);
   }
   const geo::Point min_corner{min_x, min_y};
   const geo::Point max_corner{
@@ -290,23 +310,8 @@ Result<T2Vec> T2Vec::Load(const std::string& path) {
   auto model =
       std::make_unique<EncoderDecoder>(config, vocab->vocab_size(), rng);
   nn::ParamList params = model->Params();
-  uint64_t param_count = 0;
-  if (!reader.ReadPod(&param_count) || param_count != params.size()) {
-    return Status::IoError("parameter count mismatch");
-  }
-  for (nn::Parameter* p : params) {
-    std::string name;
-    uint64_t prows = 0, pcols = 0;
-    std::vector<float> values;
-    if (!reader.ReadString(&name) || !reader.ReadPod(&prows) ||
-        !reader.ReadPod(&pcols) || !reader.ReadVector(&values)) {
-      return Status::IoError("truncated parameter section");
-    }
-    if (name != p->name || prows != p->value.rows() ||
-        pcols != p->value.cols() || values.size() != prows * pcols) {
-      return Status::InvalidArgument("parameter mismatch for " + name);
-    }
-    p->value.storage() = std::move(values);
+  if (Status status = nn::ReadParamBlock(&reader, params); !status.ok()) {
+    return Status(status.code(), status.message() + " in " + path);
   }
   return T2Vec(config, std::move(vocab), std::move(model));
 }

@@ -1,10 +1,13 @@
 #ifndef T2VEC_CORE_TRAINER_H_
 #define T2VEC_CORE_TRAINER_H_
 
+#include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "core/config.h"
 #include "core/model.h"
 #include "core/pairs.h"
@@ -13,13 +16,23 @@
 /// The training loop (paper Sec. V-B): Adam with gradient-norm clipping,
 /// length-bucketed batching, and early stopping on a held-out validation
 /// split when the validation loss stops decreasing.
+///
+/// Crash safety (DESIGN.md §7): with checkpointing enabled the trainer
+/// writes a full training-state snapshot — model weights, Adam moments and
+/// step count, the training and loss-noise RNG engines, the current batch
+/// permutation/cursor, and the smoothed-loss/early-stop bookkeeping — every
+/// `checkpoint_every` iterations, atomically and CRC-framed. Resuming from
+/// any snapshot replays the remaining iterations bit-identically: the final
+/// parameters are memcmp-equal to those of an uninterrupted run, at any
+/// thread count.
 
 namespace t2vec::core {
 
 /// Summary of a completed training run.
 struct TrainStats {
   size_t iterations = 0;           ///< Batches processed.
-  double train_seconds = 0.0;      ///< Wall-clock training time.
+  double train_seconds = 0.0;      ///< Wall-clock training time (resumed
+                                   ///< runs count only their own portion).
   double best_val_loss = 0.0;      ///< Best per-token validation loss.
   double final_train_loss = 0.0;   ///< Smoothed per-token training loss.
   bool early_stopped = false;      ///< True if patience ran out before the
@@ -34,18 +47,49 @@ class Trainer {
   /// `model` and `loss` must outlive the trainer; the loss must wrap the
   /// model's own OutputProjection.
   Trainer(EncoderDecoder* model, SeqLoss* loss, const T2VecConfig& config);
+  ~Trainer();
+
+  /// Enables periodic snapshots: every `every` iterations a full
+  /// training-state snapshot is written to `dir`/snapshot_<iter>.t2vsnap
+  /// (atomic + CRC-framed). The directory must exist. A failed snapshot
+  /// write is logged and training continues — durability must never kill
+  /// the run it protects.
+  void EnableCheckpoints(std::string dir, size_t every);
+
+  /// Loads a snapshot — `path` is a snapshot file or a directory holding
+  /// snapshot_*.t2vsnap files (the newest is picked) — and restores the
+  /// model's weights. The next Train() call continues from the snapshot's
+  /// iteration instead of iteration 1. Fails soft: a corrupt or truncated
+  /// snapshot, or one written under a different config (fingerprint
+  /// mismatch) or model architecture, returns a non-OK Status and the next
+  /// Train() runs from scratch. On a parameter-section failure the model
+  /// weights are unspecified; reinitialize before training.
+  Status Resume(const std::string& path);
+
+  /// The newest snapshot file in `dir` (highest iteration number), or
+  /// NotFound when the directory holds none.
+  static Result<std::string> LatestSnapshot(const std::string& dir);
 
   /// Runs the full loop over `pairs` (the last `validation_pairs` entries,
   /// after shuffling, become the validation set). Returns run statistics.
+  /// After a successful Resume(), `pairs` and `rng` must be the same data
+  /// and freshly-seeded generator the original run started from; the
+  /// deterministic setup (shuffle, split, batching) is replayed and then
+  /// every piece of mutable state is overwritten from the snapshot.
   TrainStats Train(std::vector<TokenPair> pairs, Rng& rng);
 
  private:
+  struct Snapshot;  // Parsed snapshot state (core/trainer.cc).
+
   /// Mean per-token loss over the validation set (no gradient updates).
   double ValidationLoss(const std::vector<TokenPair>& val_pairs);
 
   EncoderDecoder* model_;
   SeqLoss* loss_;
   T2VecConfig config_;
+  std::string checkpoint_dir_;
+  size_t checkpoint_every_ = 0;
+  std::unique_ptr<Snapshot> resume_;
 };
 
 }  // namespace t2vec::core

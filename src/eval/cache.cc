@@ -16,6 +16,22 @@ std::string CacheDir() {
   return env != nullptr ? env : ".t2vec_cache";
 }
 
+namespace {
+
+// The cache is best-effort: a directory we cannot create only costs a
+// retrain, so log the failure (with context) instead of throwing.
+void EnsureCacheDir() {
+  const std::string dir = CacheDir();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    T2VEC_LOG_WARN("cannot create cache directory %s: %s (caching disabled)",
+                   dir.c_str(), ec.message().c_str());
+  }
+}
+
+}  // namespace
+
 // Cheap structural fingerprint of the training data: size plus a few probe
 // points, enough to invalidate the cache when the generator setup changes.
 // Coordinates are hashed by bit pattern: the previous float-to-uint64_t cast
@@ -63,7 +79,7 @@ core::T2Vec GetOrTrainModel(const std::string& tag,
                             const core::T2VecConfig& config,
                             core::TrainStats* stats) {
   if (stats != nullptr) *stats = core::TrainStats{};
-  std::filesystem::create_directories(CacheDir());
+  EnsureCacheDir();
   const std::string name = CachePath(tag, config.Fingerprint(),
                                      DataFingerprint(train_trips), ".t2vec");
 
@@ -91,7 +107,7 @@ core::VRnn GetOrTrainVRnn(const std::string& tag,
                           const std::vector<traj::Trajectory>& train_trips,
                           const geo::HotCellVocab& vocab,
                           const core::T2VecConfig& config, size_t iterations) {
-  std::filesystem::create_directories(CacheDir());
+  EnsureCacheDir();
   // Left-to-right lvalue appends: `"_" + std::to_string(...)` trips GCC 12's
   // -Wrestrict false positive on the inlined insert(0, const char*).
   std::string suffix = "_";

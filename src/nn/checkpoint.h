@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/serialize.h"
 #include "common/status.h"
 #include "nn/parameter.h"
 
@@ -11,6 +12,12 @@
 /// by name and shape on load, so a checkpoint written by one model instance
 /// can be restored into a freshly constructed instance with identical
 /// hyperparameters.
+///
+/// Checkpoints are written atomically with a CRC32C trailer (common/fs.h,
+/// common/serialize.h): a crash mid-save leaves the previous checkpoint
+/// intact, and any post-write corruption fails the load with a clean Status.
+/// Format version 2 is the framing bump; version-1 files (no trailer)
+/// remain loadable.
 
 namespace t2vec::nn {
 
@@ -21,6 +28,16 @@ Status SaveParams(const ParamList& params, const std::string& path);
 /// missing from `params` or has a mismatched shape, or if `params` contains
 /// parameters absent from the file.
 Status LoadParams(const ParamList& params, const std::string& path);
+
+/// Writes the raw parameter block (count, then name/shape/values per entry)
+/// into an already-open writer. SaveParams wraps this with the checkpoint
+/// magic/version; training snapshots embed it in their own framing.
+void WriteParamBlock(BinaryWriter* writer, const ParamList& params);
+
+/// Reads a block written by WriteParamBlock into `params`, matching entries
+/// by name and checking shapes. Bumps the global parameter version on
+/// success; on failure some parameters may already have been overwritten.
+Status ReadParamBlock(BinaryReader* reader, const ParamList& params);
 
 }  // namespace t2vec::nn
 

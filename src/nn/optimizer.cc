@@ -1,5 +1,6 @@
 #include "nn/optimizer.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace t2vec::nn {
@@ -50,6 +51,42 @@ Adam::Adam(ParamList params, float lr, float beta1, float beta2, float eps)
     m_.emplace_back(p->value.rows(), p->value.cols());
     v_.emplace_back(p->value.rows(), p->value.cols());
   }
+}
+
+Adam::State Adam::GetState() const {
+  State state;
+  state.step = step_;
+  state.m.reserve(m_.size());
+  state.v.reserve(v_.size());
+  for (const Matrix& m : m_) {
+    state.m.emplace_back(m.data(), m.data() + m.size());
+  }
+  for (const Matrix& v : v_) {
+    state.v.emplace_back(v.data(), v.data() + v.size());
+  }
+  return state;
+}
+
+Status Adam::SetState(const State& state) {
+  if (state.m.size() != m_.size() || state.v.size() != v_.size()) {
+    return Status::InvalidArgument(
+        "Adam::SetState: snapshot has " + std::to_string(state.m.size()) +
+        " moment buffers, optimizer has " + std::to_string(m_.size()));
+  }
+  for (size_t i = 0; i < m_.size(); ++i) {
+    if (state.m[i].size() != m_[i].size() ||
+        state.v[i].size() != v_[i].size()) {
+      return Status::InvalidArgument(
+          "Adam::SetState: moment buffer " + std::to_string(i) +
+          " size mismatch");
+    }
+  }
+  step_ = state.step;
+  for (size_t i = 0; i < m_.size(); ++i) {
+    std::copy(state.m[i].begin(), state.m[i].end(), m_[i].data());
+    std::copy(state.v[i].begin(), state.v[i].end(), v_[i].data());
+  }
+  return Status::Ok();
 }
 
 void Adam::Step() {

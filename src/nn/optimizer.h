@@ -1,8 +1,10 @@
 #ifndef T2VEC_NN_OPTIMIZER_H_
 #define T2VEC_NN_OPTIMIZER_H_
 
+#include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "nn/parameter.h"
 
 /// \file
@@ -48,10 +50,29 @@ class Sgd : public Optimizer {
 /// Adam (Kingma & Ba, 2014) with bias correction.
 class Adam : public Optimizer {
  public:
+  /// Complete mutable optimizer state: the bias-correction step count and
+  /// the flattened first/second moment buffer per parameter. Persisted in
+  /// training snapshots (core/trainer.h) so a resumed run's updates are
+  /// bit-identical to an uninterrupted one — without the moments, resuming
+  /// would restart Adam's variance estimates and diverge immediately.
+  struct State {
+    int64_t step = 0;
+    std::vector<std::vector<float>> m;
+    std::vector<std::vector<float>> v;
+  };
+
   Adam(ParamList params, float lr = 1e-3f, float beta1 = 0.9f,
        float beta2 = 0.999f, float eps = 1e-8f);
 
   void Step() override;
+
+  /// Copies out the step count and both moment buffers.
+  State GetState() const;
+
+  /// Restores state captured by GetState. Fails soft (InvalidArgument) when
+  /// the buffer count or any buffer size does not match this optimizer's
+  /// parameter list; the optimizer is unchanged then.
+  Status SetState(const State& state);
 
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }

@@ -10,7 +10,11 @@ namespace {
 
 // "t2vS" little-endian: distinguishes store snapshots from model files.
 constexpr uint32_t kStoreMagic = 0x5376'3274;
-constexpr uint32_t kStoreVersion = 1;
+// Version 2 added the atomic-write + CRC32C trailer framing (DESIGN.md §7);
+// the payload layout is unchanged, so version-1 (trailer-less) files remain
+// loadable.
+constexpr uint32_t kStoreVersion = 2;
+constexpr uint32_t kFirstChecksummedStoreVersion = 2;
 
 }  // namespace
 
@@ -50,9 +54,7 @@ EmbeddingStore::Neighbors EmbeddingStore::Knn(std::span<const float> query,
 
 Status EmbeddingStore::Save(const std::string& path) const {
   BinaryWriter writer(path);
-  if (!writer.ok()) {
-    return Status::IoError("EmbeddingStore::Save: cannot open " + path);
-  }
+  if (!writer.ok()) return writer.status();
   writer.WritePod(kStoreMagic);
   writer.WritePod(kStoreVersion);
   writer.WritePod<uint64_t>(dim());
@@ -67,18 +69,20 @@ Status EmbeddingStore::Save(const std::string& path) const {
 
 Result<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
   BinaryReader reader(path);
-  if (!reader.ok()) {
-    return Status::IoError("EmbeddingStore::Load: cannot open " + path);
-  }
+  if (!reader.ok()) return reader.status();
   uint32_t magic = 0;
   uint32_t version = 0;
   uint64_t dim = 0;
   if (!reader.ReadPod(&magic) || magic != kStoreMagic) {
     return Status::IoError("EmbeddingStore::Load: bad magic in " + path);
   }
-  if (!reader.ReadPod(&version) || version != kStoreVersion) {
+  if (!reader.ReadPod(&version) || version == 0 || version > kStoreVersion) {
     return Status::IoError("EmbeddingStore::Load: unsupported version in " +
                            path);
+  }
+  if (version >= kFirstChecksummedStoreVersion && !reader.checksummed()) {
+    return Status::IoError("EmbeddingStore::Load: " + path +
+                           " is missing its checksum trailer (truncated?)");
   }
   if (!reader.ReadPod(&dim) || dim == 0) {
     return Status::IoError("EmbeddingStore::Load: bad dimension in " + path);

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fs.h"
+
 namespace t2vec::traj {
 
 namespace {
@@ -94,8 +96,7 @@ Result<Dataset> LoadLonLatCsv(const std::string& path,
 Status SaveLonLatCsv(const Dataset& dataset,
                      const geo::LocalProjection& projection,
                      const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open for write: " + path);
+  std::ostringstream out;
   out.precision(10);
   out << "trip_id,lon,lat\n";
   for (size_t i = 0; i < dataset.size(); ++i) {
@@ -104,9 +105,7 @@ Status SaveLonLatCsv(const Dataset& dataset,
       out << dataset[i].id << "," << g.lon << "," << g.lat << "\n";
     }
   }
-  out.flush();
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
+  return WriteFileAtomic(path, out.str());
 }
 
 }  // namespace t2vec::traj

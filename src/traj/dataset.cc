@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fs.h"
+
 namespace t2vec::traj {
 
 std::vector<geo::Point> Dataset::AllPoints() const {
@@ -38,8 +40,7 @@ void Dataset::Split(size_t train_count, Dataset* train, Dataset* test) const {
 }
 
 Status Dataset::Save(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open for write: " + path);
+  std::ostringstream out;
   out.precision(15);  // Sub-micrometer for metropolitan-scale coordinates.
   for (const Trajectory& t : trajectories_) {
     out << "# " << t.id << "\n";
@@ -47,9 +48,7 @@ Status Dataset::Save(const std::string& path) const {
       out << p.x << " " << p.y << "\n";
     }
   }
-  out.flush();
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
+  return WriteFileAtomic(path, out.str());
 }
 
 Result<Dataset> Dataset::Load(const std::string& path) {

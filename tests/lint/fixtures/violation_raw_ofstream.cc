@@ -1,0 +1,15 @@
+// Fixture: direct output-stream writes fire raw-ofstream — they bypass the
+// durability layer (atomic tmp-file + rename, CRC32C trailer; DESIGN.md §7).
+// Never compiled.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+void Fixture(const std::string& path) {
+  std::ofstream out(path);
+  out << "half-written artifact\n";
+  std::fstream rw(path, std::ios::in | std::ios::out);
+  rw << "also unsafe\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f != nullptr) std::fclose(f);
+}

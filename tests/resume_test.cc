@@ -1,0 +1,238 @@
+// Kill-and-resume acceptance (DESIGN.md §7): training interrupted at several
+// seeded iteration points and resumed from the latest snapshot must produce
+// final parameters memcmp-identical to the uninterrupted run, at 1 and 8
+// threads. Also covers the fail-soft paths: a fault-injected snapshot write
+// never kills training, and corrupt / mismatched snapshots fail Resume with
+// a clean Status.
+//
+// `max_iterations` is part of the config fingerprint, so a kill is simulated
+// by copying the snapshots a run had written up to iteration K into a fresh
+// directory: training is deterministic, so the snapshot the full run wrote
+// at iteration K is byte-identical to the one a run killed right after
+// iteration K would have left behind.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/fs.h"
+#include "common/serialize.h"
+#include "core/t2vec.h"
+#include "eval/experiments.h"
+
+namespace t2vec {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::DisarmAll();
+    dir_ = fs::path(::testing::TempDir()) /
+           ("resume_test_" + std::string(::testing::UnitTest::GetInstance()
+                                             ->current_test_info()
+                                             ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    fault::DisarmAll();
+    fs::remove_all(dir_);
+  }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+core::T2VecConfig SmallConfig(int num_threads) {
+  core::T2VecConfig config;
+  config.hidden = 16;
+  config.embed_dim = 12;
+  config.layers = 1;
+  config.max_iterations = 24;
+  config.validate_every = 8;
+  config.patience = 100;  // Never early-stop inside this short run.
+  config.pretrain_cells = false;
+  config.r1_grid = {0.0};
+  config.r2_grid = {0.0};
+  config.num_threads = num_threads;
+  return config;
+}
+
+std::vector<traj::Trajectory> SmallData() {
+  static const eval::ExperimentData data =
+      eval::MakeData(eval::DatasetKind::kPortoLike, 60, 0);
+  return data.train.trajectories();
+}
+
+// All trainable parameters flattened to raw bytes, for memcmp-style equality.
+std::string FlattenParams(core::T2Vec* model) {
+  std::string bytes;
+  for (const nn::Parameter* p : model->model().Params()) {
+    bytes.append(reinterpret_cast<const char*>(p->value.data()),
+                 p->value.size() * sizeof(float));
+  }
+  return bytes;
+}
+
+std::string SnapshotName(size_t iter) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "snapshot_%08llu.t2vsnap",
+                static_cast<unsigned long long>(iter));
+  return buf;
+}
+
+TEST_F(ResumeTest, ResumeIsBitIdenticalAtThreeKillPointsAndTwoThreadCounts) {
+  std::string baseline_bytes;  // 1-thread reference; 8-thread must match too.
+  for (const int threads : {1, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const std::string ckpt_dir = Path("ckpt_t" + std::to_string(threads));
+
+    // Uninterrupted run; its periodic snapshots double as the kill states.
+    core::T2VecConfig config = SmallConfig(threads);
+    config.checkpoint_dir = ckpt_dir;
+    config.checkpoint_every = 8;
+    auto full = core::T2Vec::TrainChecked(SmallData(), config);
+    ASSERT_TRUE(full.ok()) << full.status().ToString();
+    const std::string final_bytes = FlattenParams(&full.value());
+    ASSERT_FALSE(final_bytes.empty());
+    if (baseline_bytes.empty()) {
+      baseline_bytes = final_bytes;
+    } else {
+      // Thread-count invariance of the whole pipeline.
+      EXPECT_EQ(final_bytes, baseline_bytes);
+    }
+
+    for (const size_t kill_at : {size_t{8}, size_t{16}, size_t{24}}) {
+      SCOPED_TRACE("kill_at=" + std::to_string(kill_at));
+      // A run killed right after iteration `kill_at` leaves exactly the
+      // snapshots up to that point; Resume must pick the latest of them.
+      const std::string kill_dir =
+          Path("kill_t" + std::to_string(threads) + "_" +
+               std::to_string(kill_at));
+      fs::create_directories(kill_dir);
+      for (size_t iter = 8; iter <= kill_at; iter += 8) {
+        fs::copy_file(fs::path(ckpt_dir) / SnapshotName(iter),
+                      fs::path(kill_dir) / SnapshotName(iter));
+      }
+
+      core::T2VecConfig resume_config = SmallConfig(threads);
+      resume_config.resume_from = kill_dir;
+      auto resumed = core::T2Vec::TrainChecked(SmallData(), resume_config);
+      ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+      const std::string resumed_bytes = FlattenParams(&resumed.value());
+      ASSERT_EQ(resumed_bytes.size(), final_bytes.size());
+      EXPECT_EQ(std::memcmp(resumed_bytes.data(), final_bytes.data(),
+                            final_bytes.size()),
+                0)
+          << "resumed run diverged from the uninterrupted run";
+    }
+  }
+}
+
+TEST_F(ResumeTest, SnapshotWriteFaultNeverKillsOrPerturbsTraining) {
+  // Reference run without checkpointing.
+  auto plain = core::T2Vec::TrainChecked(SmallData(), SmallConfig(1));
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  const std::string plain_bytes = FlattenParams(&plain.value());
+
+  // Same run with checkpointing, but the first snapshot write fails (ENOSPC).
+  fault::Arm("trainer.snapshot.write", 1, ENOSPC);
+  core::T2VecConfig config = SmallConfig(1);
+  config.checkpoint_dir = Path("ckpt");
+  config.checkpoint_every = 8;
+  auto faulted = core::T2Vec::TrainChecked(SmallData(), config);
+  ASSERT_TRUE(faulted.ok()) << faulted.status().ToString();
+  EXPECT_EQ(FlattenParams(&faulted.value()), plain_bytes);
+
+  // The failed snapshot left no file (atomic publication), later ones landed,
+  // and nothing half-written lingers.
+  EXPECT_FALSE(fs::exists(fs::path(config.checkpoint_dir) / SnapshotName(8)));
+  EXPECT_TRUE(fs::exists(fs::path(config.checkpoint_dir) / SnapshotName(16)));
+  EXPECT_TRUE(fs::exists(fs::path(config.checkpoint_dir) / SnapshotName(24)));
+  for (const auto& entry : fs::directory_iterator(config.checkpoint_dir)) {
+    EXPECT_EQ(entry.path().extension(), ".t2vsnap") << entry.path();
+  }
+}
+
+TEST_F(ResumeTest, CorruptSnapshotFailsResumeWithCleanStatus) {
+  core::T2VecConfig config = SmallConfig(1);
+  config.checkpoint_dir = Path("ckpt");
+  config.checkpoint_every = 8;
+  ASSERT_TRUE(core::T2Vec::TrainChecked(SmallData(), config).ok());
+  const std::string snap =
+      (fs::path(config.checkpoint_dir) / SnapshotName(24)).string();
+
+  std::string bytes;
+  ASSERT_TRUE(ReadFileToString(snap, &bytes).ok());
+  std::string mutated = bytes;
+  mutated[mutated.size() / 2] ^= 0x20;
+  ASSERT_TRUE(WriteFileAtomic(snap, mutated).ok());
+
+  core::T2VecConfig resume_config = SmallConfig(1);
+  resume_config.resume_from = snap;
+  auto resumed = core::T2Vec::TrainChecked(SmallData(), resume_config);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_NE(resumed.status().message().find("checksum mismatch"),
+            std::string::npos)
+      << resumed.status().ToString();
+
+  // A snapshot whose CRC trailer was stripped (truncation to a byte-valid
+  // legacy stream) is also rejected: snapshots always require the trailer.
+  std::string stripped = bytes;
+  stripped.resize(stripped.size() - kCrcTrailerBytes);
+  ASSERT_TRUE(WriteFileAtomic(snap, stripped).ok());
+  auto stripped_result = core::T2Vec::TrainChecked(SmallData(), resume_config);
+  ASSERT_FALSE(stripped_result.ok());
+  EXPECT_NE(stripped_result.status().message().find("checksum trailer"),
+            std::string::npos)
+      << stripped_result.status().ToString();
+}
+
+TEST_F(ResumeTest, ConfigFingerprintMismatchIsRejected) {
+  core::T2VecConfig config = SmallConfig(1);
+  config.checkpoint_dir = Path("ckpt");
+  config.checkpoint_every = 8;
+  ASSERT_TRUE(core::T2Vec::TrainChecked(SmallData(), config).ok());
+
+  core::T2VecConfig other = SmallConfig(1);
+  other.learning_rate *= 2.0f;  // Result-affecting: changes the fingerprint.
+  other.resume_from = config.checkpoint_dir;
+  auto resumed = core::T2Vec::TrainChecked(SmallData(), other);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kFailedPrecondition)
+      << resumed.status().ToString();
+  EXPECT_NE(resumed.status().message().find("fingerprint"), std::string::npos)
+      << resumed.status().ToString();
+}
+
+TEST_F(ResumeTest, LatestSnapshotPicksHighestIterationAndFailsOnEmptyDir) {
+  const std::string dir = Path("snaps");
+  fs::create_directories(dir);
+  EXPECT_EQ(core::Trainer::LatestSnapshot(dir).status().code(),
+            StatusCode::kNotFound);
+
+  for (const size_t iter : {size_t{8}, size_t{24}, size_t{16}}) {
+    ASSERT_TRUE(
+        WriteFileAtomic((fs::path(dir) / SnapshotName(iter)).string(), "x")
+            .ok());
+  }
+  // Non-snapshot files are ignored.
+  ASSERT_TRUE(WriteFileAtomic((fs::path(dir) / "notes.txt").string(), "x").ok());
+  auto latest = core::Trainer::LatestSnapshot(dir);
+  ASSERT_TRUE(latest.ok()) << latest.status().ToString();
+  EXPECT_EQ(fs::path(latest.value()).filename().string(), SnapshotName(24));
+}
+
+}  // namespace
+}  // namespace t2vec

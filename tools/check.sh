@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
-# Staged verification pipeline for the determinism contract (DESIGN.md §5).
+# Staged verification pipeline for the determinism contract (DESIGN.md §5)
+# and the durability contract (DESIGN.md §7).
 #
 # Usage: tools/check.sh [build-dir]
 #
 #   stage 1  build + ctest     full suite, warnings as errors (T2VEC_WERROR)
 #   stage 2  lint              tools/lint_determinism.py over src/ bench/ tools/
-#   stage 3  clang-tidy        -DT2VEC_CLANG_TIDY=ON build of src/ (skipped
+#   stage 3  robustness        ctest -L robustness: fault injection,
+#                              corruption matrix, kill-and-resume
+#   stage 4  clang-tidy        -DT2VEC_CLANG_TIDY=ON build of src/ (skipped
 #                              with a notice when clang-tidy is not installed)
-#   stage 4  TSan              ctest -L determinism under -fsanitize=thread
-#   stage 5  UBSan             full ctest under -fsanitize=undefined with
+#   stage 5  TSan              ctest -L determinism under -fsanitize=thread
+#   stage 6  UBSan             full ctest under -fsanitize=undefined with
 #                              -fno-sanitize-recover: any UB aborts the test
 #
 # Each sanitizer tier builds in its own tree (<build-dir>-tsan, -ubsan) so
@@ -23,15 +26,18 @@ TSAN_DIR="${BUILD_DIR}-tsan"
 UBSAN_DIR="${BUILD_DIR}-ubsan"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "== stage 1/5: configure/build/ctest (${BUILD_DIR}) =="
+echo "== stage 1/6: configure/build/ctest (${BUILD_DIR}) =="
 cmake -B "${BUILD_DIR}" -S . -DT2VEC_WERROR=ON >/dev/null
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
-echo "== stage 2/5: determinism lint (src/ bench/ tools/) =="
+echo "== stage 2/6: determinism lint (src/ bench/ tools/) =="
 python3 tools/lint_determinism.py
 
-echo "== stage 3/5: clang-tidy (src/) =="
+echo "== stage 3/6: robustness-labeled tests (${BUILD_DIR}) =="
+ctest --test-dir "${BUILD_DIR}" -L robustness --output-on-failure -j "${JOBS}"
+
+echo "== stage 4/6: clang-tidy (src/) =="
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake -B "${TIDY_DIR}" -S . -DT2VEC_WERROR=ON -DT2VEC_CLANG_TIDY=ON \
     >/dev/null
@@ -41,13 +47,13 @@ else
   echo "clang-tidy not installed; stage skipped (config: .clang-tidy)"
 fi
 
-echo "== stage 4/5: TSan on determinism-labeled tests (${TSAN_DIR}) =="
+echo "== stage 5/6: TSan on determinism-labeled tests (${TSAN_DIR}) =="
 cmake -B "${TSAN_DIR}" -S . -DT2VEC_WERROR=ON -DT2VEC_SANITIZE=thread \
   >/dev/null
 cmake --build "${TSAN_DIR}" -j "${JOBS}"
 ctest --test-dir "${TSAN_DIR}" -L determinism --output-on-failure -j "${JOBS}"
 
-echo "== stage 5/5: UBSan (-fno-sanitize-recover) full suite (${UBSAN_DIR}) =="
+echo "== stage 6/6: UBSan (-fno-sanitize-recover) full suite (${UBSAN_DIR}) =="
 cmake -B "${UBSAN_DIR}" -S . -DT2VEC_WERROR=ON -DT2VEC_SANITIZE=undefined \
   >/dev/null
 cmake --build "${UBSAN_DIR}" -j "${JOBS}"

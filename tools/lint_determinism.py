@@ -36,6 +36,18 @@ at review time, by banning the source patterns that historically break it:
                   call on a non-deprecated type, e.g. EmbeddingStore::Knn, is
                   a false positive of the text-level match: suppress it with
                   an allow comment naming the type.)
+  raw-ofstream    std::ofstream / std::fstream / std::fopen outside
+                  common/fs.* and common/serialize.h. Direct stream writes
+                  bypass the durability layer (DESIGN.md §7): no atomic
+                  tmp-file + rename publication, no CRC32C trailer, so a
+                  crash mid-write leaves a truncated artifact at the final
+                  path. Binary artifacts go through BinaryWriter; text
+                  artifacts render into a std::string and publish via
+                  WriteFileAtomic (reads: BinaryReader / ReadFileToString).
+                  fopen is banned in both directions — string literals are
+                  blanked before matching, so the linter cannot tell "r"
+                  from "w"; suppress a genuine read-only use with an allow
+                  comment.
   bad-allow       A lint:allow comment with an unknown rule id or no reason.
 
 Escape hatch — on the flagged line or the line directly above it:
@@ -140,6 +152,24 @@ RULES = {
             "src/dist/knn.cc",
             "src/core/vec_index.h",
             "src/core/vec_index.cc",
+        },
+    },
+    "raw-ofstream": {
+        "description": (
+            "direct std::ofstream/std::fstream/fopen write outside "
+            "common/fs.* and common/serialize.h bypasses atomic publication "
+            "and CRC framing; use BinaryWriter or WriteFileAtomic "
+            "(common/fs.h)"
+        ),
+        "patterns": _c(
+            r"\bstd\s*::\s*ofstream\b",
+            r"\bstd\s*::\s*fstream\b",
+            r"\bfopen\s*\(",
+        ),
+        "exempt": {
+            "src/common/fs.h",
+            "src/common/fs.cc",
+            "src/common/serialize.h",
         },
     },
     "bad-allow": {

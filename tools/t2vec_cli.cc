@@ -4,7 +4,8 @@
 // Subcommands:
 //   generate --out data.txt [--count N] [--preset porto|harbin]
 //   train    --data data.txt --model out.t2vec [--iters N] [--hidden H]
-//            [--loss l1|l2|l3] [--no-pretrain]
+//            [--loss l1|l2|l3] [--no-pretrain] [--checkpoint-dir D]
+//            [--checkpoint-every N] [--resume snapshot-or-dir]
 //   encode   --model m.t2vec --data data.txt --out vectors.txt
 //   knn      --model m.t2vec --data db.txt --query-index I [--k K]
 //   reconstruct --model m.t2vec --data db.txt --query-index I [--drop R]
@@ -20,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fs.h"
 #include "core/t2vec.h"
 #include "core/vec_index.h"
 #include "serve/embedding_service.h"
@@ -112,6 +114,14 @@ int CmdTrain(const Flags& flags) {
   } else {
     return Fail("--loss must be l1, l2, or l3");
   }
+  // Crash safety: periodic training-state snapshots, and resume from one.
+  config.checkpoint_dir = flags.Get("checkpoint-dir", "");
+  config.checkpoint_every =
+      static_cast<size_t>(flags.GetInt("checkpoint-every", 500));
+  config.resume_from = flags.Get("resume", "");
+  if (flags.Has("resume") && config.resume_from.empty()) {
+    return Fail("--resume requires a snapshot file or directory");
+  }
 
   core::TrainStats stats;
   Result<core::T2Vec> model =
@@ -137,16 +147,22 @@ int CmdEncode(const Flags& flags) {
 
   const nn::Matrix vectors =
       model.value().Encode(data.value().trajectories());
-  std::FILE* out = std::fopen(flags.Get("out", "").c_str(), "w");
-  if (out == nullptr) return Fail("cannot open output file");
+  std::string text;
+  char buf[64];
   for (size_t i = 0; i < vectors.rows(); ++i) {
-    std::fprintf(out, "%lld", static_cast<long long>(data.value()[i].id));
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(data.value()[i].id));
+    text += buf;
     for (size_t j = 0; j < vectors.cols(); ++j) {
-      std::fprintf(out, " %.6g", vectors.At(i, j));
+      std::snprintf(buf, sizeof(buf), " %.6g", vectors.At(i, j));
+      text += buf;
     }
-    std::fprintf(out, "\n");
+    text += '\n';
   }
-  std::fclose(out);
+  if (Status status = WriteFileAtomic(flags.Get("out", ""), text);
+      !status.ok()) {
+    return Fail(status.ToString().c_str());
+  }
   std::printf("encoded %zu trajectories into %zu-dim vectors -> %s\n",
               vectors.rows(), vectors.cols(),
               flags.Get("out", "").c_str());
@@ -268,6 +284,8 @@ void PrintUsage() {
       "  generate    --out F [--count N] [--preset porto|harbin] [--seed S]\n"
       "  train       --data F --model F [--iters N] [--hidden H]\n"
       "              [--cell-size M] [--loss l1|l2|l3] [--no-pretrain]\n"
+      "              [--checkpoint-dir D] [--checkpoint-every N]\n"
+      "              [--resume SNAPSHOT|D]\n"
       "  encode      --model F --data F --out F\n"
       "  knn         --model F --data F [--query-index I] [--k K]\n"
       "  reconstruct --model F --data F [--query-index I] [--drop R]\n"
