@@ -1,0 +1,172 @@
+// Full-stack serving benchmark: closed-loop TCP clients drive the network
+// front door (serve/server.h) end to end — frame encode, socket hop,
+// micro-batched model encode, WAL fsync (for inserts), exact kNN (for
+// queries) — and measure client-observed latency. Emits BENCH_server.json
+// (tracked in EXPERIMENTS.md).
+//
+// Protocol: C clients each own one TCP connection and keep exactly one
+// request outstanding. Phase 1 inserts distinct trajectories (every ack
+// means the vector is fsynced into the WAL); phase 2 runs kNN queries over
+// the store the inserts just built. Latency is measured at the client,
+// around the whole Call round trip.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/client.h"
+#include "serve/durable_store.h"
+#include "serve/metrics.h"
+#include "serve/server.h"
+
+namespace t2vec::bench {
+namespace {
+
+struct PhaseResult {
+  double seconds = 0.0;
+  size_t requests = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// Runs `op` closed-loop on `clients` threads; op(c, r) issues one request
+/// on client c's own connection and returns false on error.
+template <typename Op>
+PhaseResult RunPhase(size_t num_clients, size_t requests_per_client,
+                     const Op& op) {
+  serve::Histogram latency_us(serve::LatencyBucketsUs());
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < num_clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (size_t r = 0; r < requests_per_client; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        if (!op(c, r)) return;
+        latency_us.Observe(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  PhaseResult out;
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  out.requests = static_cast<size_t>(latency_us.count());
+  out.p50_us = latency_us.Quantile(0.5);
+  out.p99_us = latency_us.Quantile(0.99);
+  return out;
+}
+
+}  // namespace
+}  // namespace t2vec::bench
+
+int main() {
+  using namespace t2vec;
+  using namespace t2vec::bench;
+
+  PrintThreadSetup();
+
+  const eval::ExperimentData data = eval::MakeData(
+      eval::DatasetKind::kPortoLike, eval::Scaled(300, 64), 0);
+  core::T2VecConfig config = eval::DefaultBenchConfig();
+  config.hidden = 48;
+  config.max_iterations = eval::Scaled(120, 40);
+  const core::T2Vec model = eval::GetOrTrainModel(
+      "serve_bench", data.train.trajectories(), config);
+
+  // Fresh store directory per run (reruns would otherwise hit duplicate-id
+  // rejections from the durable store).
+  const std::string dir = "bench_server_data";
+  std::remove((dir + "/store.snapshot").c_str());
+  std::remove((dir + "/wal.log").c_str());
+  Result<std::unique_ptr<serve::DurableStore>> store =
+      serve::DurableStore::Open(dir, config.hidden);
+  if (!store.ok()) {
+    std::fprintf(stderr, "store: %s\n", store.status().ToString().c_str());
+    return 1;
+  }
+
+  serve::ServerOptions options;
+  options.port = 0;  // Ephemeral: the benchmark must not fight over a port.
+  options.service.batch_window = std::chrono::microseconds(500);
+  serve::TcpServer server(&model, store.value().get(), options);
+  if (Status status = server.Start(); !status.ok()) {
+    std::fprintf(stderr, "server: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  const size_t clients = 8;
+  const size_t requests_per_client = eval::Scaled(150, 30);
+  const std::vector<traj::Trajectory>& trips = data.train.trajectories();
+
+  std::vector<std::unique_ptr<serve::TcpClient>> conns;
+  for (size_t c = 0; c < clients; ++c) {
+    Result<std::unique_ptr<serve::TcpClient>> conn =
+        serve::TcpClient::Connect("127.0.0.1", server.port());
+    if (!conn.ok()) {
+      std::fprintf(stderr, "connect: %s\n", conn.status().ToString().c_str());
+      return 1;
+    }
+    conns.push_back(std::move(conn).value());
+  }
+
+  std::printf("\nclosed loop over TCP: %zu clients x %zu requests/phase\n",
+              clients, requests_per_client);
+
+  const PhaseResult insert =
+      RunPhase(clients, requests_per_client, [&](size_t c, size_t r) {
+        traj::Trajectory trip = trips[(c + r * clients) % trips.size()];
+        trip.id = static_cast<int64_t>(c * requests_per_client + r);
+        Result<int64_t> result = conns[c]->Insert(trip);
+        if (!result.ok()) {
+          std::fprintf(stderr, "insert: %s\n",
+                       result.status().ToString().c_str());
+          return false;
+        }
+        return true;
+      });
+  const PhaseResult knn =
+      RunPhase(clients, requests_per_client, [&](size_t c, size_t r) {
+        const traj::Trajectory& trip = trips[(c + r * clients) % trips.size()];
+        Result<serve::EmbeddingStore::Neighbors> result =
+            // lint:allow(deprecated-knn) TcpClient::Knn returns distances too
+            conns[c]->Knn(trip, 10);
+        if (!result.ok() || result.value().size() == 0) {
+          std::fprintf(stderr, "knn failed at client %zu\n", c);
+          return false;
+        }
+        return true;
+      });
+
+  const double insert_rps = static_cast<double>(insert.requests) /
+                            insert.seconds;
+  const double knn_rps = static_cast<double>(knn.requests) / knn.seconds;
+  std::printf("%-8s %12s %12s %12s\n", "phase", "req/s", "p50_us", "p99_us");
+  std::printf("%-8s %12.1f %12.1f %12.1f\n", "insert", insert_rps,
+              insert.p50_us, insert.p99_us);
+  std::printf("%-8s %12.1f %12.1f %12.1f\n", "knn", knn_rps, knn.p50_us,
+              knn.p99_us);
+  std::printf("store: %zu vectors, wal %llu bytes\n", store.value()->size(),
+              static_cast<unsigned long long>(store.value()->wal_bytes()));
+
+  conns.clear();
+  server.Stop();
+
+  WriteBenchJson("BENCH_server.json",
+                 {{"insert_throughput_rps", insert_rps},
+                  {"insert_p50_us", insert.p50_us},
+                  {"insert_p99_us", insert.p99_us},
+                  {"knn_throughput_rps", knn_rps},
+                  {"knn_p50_us", knn.p50_us},
+                  {"knn_p99_us", knn.p99_us},
+                  {"store_vectors", static_cast<double>(store.value()->size())}});
+  std::printf("\nwrote BENCH_server.json\n");
+  return 0;
+}

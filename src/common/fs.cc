@@ -1,6 +1,7 @@
 #include "common/fs.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -139,6 +140,106 @@ void AtomicFileWriter::Abandon() {
     fd_ = -1;
   }
   ::unlink(tmp_path_.c_str());
+}
+
+AppendOnlyFile::AppendOnlyFile(std::string path) : path_(std::move(path)) {
+  if (const int err = T2VEC_FAULT_POINT("fs.append.open")) {
+    Fail("open", err);
+    return;
+  }
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+               0644);
+  if (fd_ < 0) {
+    Fail("open", errno);
+    return;
+  }
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) {
+    Fail("lseek", errno);
+    return;
+  }
+  size_ = static_cast<uint64_t>(end);
+}
+
+AppendOnlyFile::~AppendOnlyFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void AppendOnlyFile::Fail(const std::string& op, int err) {
+  if (!status_.ok()) return;  // Keep the first error.
+  status_ = Status::IoError(ErrnoMessage(op, path_, err));
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status AppendOnlyFile::Append(const void* data, size_t n) {
+  if (!status_.ok()) return status_;
+  if (const int err = T2VEC_FAULT_POINT("fs.append.write")) {
+    Fail("write", err);
+    return status_;
+  }
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t written = ::write(fd_, p, n);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      Fail("write", errno);
+      return status_;
+    }
+    p += written;
+    n -= static_cast<size_t>(written);
+    size_ += static_cast<uint64_t>(written);
+  }
+  return Status::Ok();
+}
+
+Status AppendOnlyFile::Sync() {
+  if (!status_.ok()) return status_;
+  if (const int err = T2VEC_FAULT_POINT("fs.append.fsync")) {
+    Fail("fsync", err);
+    return status_;
+  }
+  if (::fsync(fd_) != 0) {
+    Fail("fsync", errno);
+    return status_;
+  }
+  return Status::Ok();
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  if (const int err = T2VEC_FAULT_POINT("fs.truncate")) {
+    return Status::IoError(ErrnoMessage("truncate", path, err));
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("open", path, errno));
+  }
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError(ErrnoMessage("truncate", path, err));
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError(ErrnoMessage("fsync", path, err));
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status MakeDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::Ok();
+  }
+  return Status::IoError(ErrnoMessage("mkdir", path, errno));
 }
 
 Status WriteFileAtomic(const std::string& path, const std::string& contents) {

@@ -82,6 +82,68 @@ class AtomicFileWriter {
   Status status_;
 };
 
+/// Durable append-mode file handle for write-ahead logs.
+///
+/// `AtomicFileWriter` publishes whole artifacts; a WAL instead grows one
+/// fsynced record at a time and must survive reopening mid-stream, so this
+/// class wraps an `O_APPEND` descriptor directly: the constructor opens (or
+/// creates) `path` positioned at its current end, `Append` streams bytes,
+/// and `Sync` makes everything appended so far durable. Torn tails from a
+/// crash between Append and Sync are the *reader's* problem — the WAL layer
+/// (serve/wal.h) frames records with CRC32C so replay stops cleanly at the
+/// first incomplete record.
+///
+/// Like AtomicFileWriter, the first error wins and makes the writer inert;
+/// all failures surface as Status with errno context, never aborts.
+///
+/// Fault points (common/fault.h): "fs.append.open", "fs.append.write",
+/// "fs.append.fsync".
+class AppendOnlyFile {
+ public:
+  explicit AppendOnlyFile(std::string path);
+  ~AppendOnlyFile();
+
+  AppendOnlyFile(const AppendOnlyFile&) = delete;
+  AppendOnlyFile& operator=(const AppendOnlyFile&) = delete;
+
+  /// True until the first I/O failure.
+  bool ok() const { return status_.ok(); }
+
+  /// OK, or the first error encountered (with errno context).
+  const Status& status() const { return status_; }
+
+  /// Appends `n` bytes at the end of the file. Returns the writer status so
+  /// callers can fail fast; bytes are not durable until Sync().
+  Status Append(const void* data, size_t n);
+
+  /// fsyncs everything appended so far.
+  Status Sync();
+
+  /// Bytes in the file (existing content at open + successful appends).
+  uint64_t size() const { return size_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void Fail(const std::string& op, int err);
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t size_ = 0;
+  Status status_;
+};
+
+/// Truncates `path` to `size` bytes and fsyncs it. Used to reset a WAL to
+/// empty after a snapshot made its contents redundant (size 0) and to trim
+/// a torn tail back to the last intact record. Fault point: "fs.truncate".
+Status TruncateFile(const std::string& path, uint64_t size = 0);
+
+/// True when `path` exists (any file type).
+bool FileExists(const std::string& path);
+
+/// Creates directory `path` (one level). OK when it already exists.
+Status MakeDir(const std::string& path);
+
 /// Atomically replaces `path` with `contents` (AtomicFileWriter one-shot).
 Status WriteFileAtomic(const std::string& path, const std::string& contents);
 

@@ -47,7 +47,11 @@ double VectorIndex::Distance(const float* query, size_t i) const {
 
 KnnResult VectorIndex::Query(std::span<const float> query, size_t k) const {
   T2VEC_CHECK(query.size() == dim());
-  T2VEC_CHECK(k > 0 && k <= size());
+  // k is a request parameter, not an invariant: a served query may ask for
+  // more neighbors than the store holds (or hit an empty store), and that
+  // must degrade to a shorter answer, never abort the process.
+  k = std::min(k, size());
+  if (k == 0) return {};
   // Each iteration writes only scored[i], so the parallel fill is
   // bit-identical to the serial one; the sort stays serial.
   std::vector<std::pair<double, size_t>> scored(size());
@@ -148,7 +152,10 @@ uint32_t LshIndex::Signature(const float* vec, int table) const {
 
 KnnResult LshIndex::Query(std::span<const float> query, size_t k) const {
   T2VEC_CHECK(query.size() == vectors_->cols());
-  T2VEC_CHECK(k > 0 && k <= indexed_rows_);
+  // Same clamp as VectorIndex::Query: over-asking returns every indexed row
+  // ranked; an empty index returns an empty result.
+  k = std::min(k, indexed_rows_);
+  if (k == 0) return {};
   std::vector<uint8_t> seen(indexed_rows_, 0);
   std::vector<size_t> candidates;
 

@@ -50,7 +50,10 @@ class VectorIndex {
   double Distance(const float* query, size_t i) const;
 
   /// The k nearest rows with their squared Euclidean distances, ascending
-  /// (NaN distances order last).
+  /// (NaN distances order last). k is clamped to size(): asking for more
+  /// neighbors than the index holds returns every row ranked, and an empty
+  /// index returns an empty result — k is client input on the serving path,
+  /// so over-asking must never abort.
   KnnResult Query(std::span<const float> query, size_t k) const;
 
   /// \deprecated Id-only forwarder; use Query(), which also returns the
@@ -90,7 +93,8 @@ class LshIndex {
   /// Approximate k nearest rows and their squared Euclidean distances:
   /// candidates are gathered from the query's bucket in every table plus
   /// all 1-bit-flip probes, then ranked exactly. Falls back to a full scan
-  /// when fewer than k candidates surface.
+  /// when fewer than k candidates surface. k is clamped to indexed_rows()
+  /// (see VectorIndex::Query).
   KnnResult Query(std::span<const float> query, size_t k) const;
 
   /// \deprecated Id-only forwarder; use Query().

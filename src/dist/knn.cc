@@ -19,7 +19,11 @@ constexpr size_t kDistanceGrain = 4;
 
 KnnResult KnnQuery(const Measure& measure, const traj::Trajectory& query,
                    const std::vector<traj::Trajectory>& database, size_t k) {
-  T2VEC_CHECK(k > 0 && k <= database.size());
+  // Clamp rather than CHECK: k is request input (serving paths forward it
+  // from clients), so over-asking returns the whole database ranked and an
+  // empty database returns an empty result — never an abort.
+  k = std::min(k, database.size());
+  if (k == 0) return {};
   // Distances are computed in parallel (scored[i] is iteration-private);
   // the selection sort stays serial, so results match the serial scan
   // bit for bit at any thread count.

@@ -27,7 +27,9 @@ struct KnnResult {
 };
 
 /// The k database trajectories closest to `query` under `measure`, ordered
-/// by ascending distance (NaN distances order last, ties by index).
+/// by ascending distance (NaN distances order last, ties by index). k is
+/// clamped to the database size: over-asking ranks the whole database and
+/// an empty database yields an empty result, never an abort.
 KnnResult KnnQuery(const Measure& measure, const traj::Trajectory& query,
                    const std::vector<traj::Trajectory>& database, size_t k);
 

@@ -1,0 +1,129 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "common/fs.h"
+
+namespace t2vec::serve {
+
+namespace {
+
+bool SendAll(int fd, std::string_view data) {
+  const char* p = data.data();
+  size_t n = data.size();
+  while (n > 0) {
+    const ssize_t sent = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += sent;
+    n -= static_cast<size_t>(sent);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TcpClient>> TcpClient::Connect(const std::string& host,
+                                                      uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("socket", host, errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("TcpClient: bad IPv4 address " + host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError(
+        ErrnoMessage("connect", host + ":" + std::to_string(port), err));
+  }
+  return std::unique_ptr<TcpClient>(new TcpClient(fd));
+}
+
+TcpClient::~TcpClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<Response> TcpClient::Call(const Request& request) {
+  std::string frame;
+  AppendFrame(EncodeRequest(request), &frame);
+  if (!SendAll(fd_, frame)) {
+    return Status::IoError("TcpClient: send failed (server gone?)");
+  }
+  char chunk[1 << 16];
+  for (;;) {
+    std::string payload;
+    size_t consumed = 0;
+    const FrameStatus status = ParseFrame(buffer_, &payload, &consumed);
+    if (status == FrameStatus::kCorrupt) {
+      return Status::IoError("TcpClient: corrupt frame from server");
+    }
+    if (status == FrameStatus::kOk) {
+      buffer_.erase(0, consumed);
+      return ParseResponse(payload);
+    }
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) {
+      return Status::IoError("TcpClient: connection closed mid-response");
+    }
+    buffer_.append(chunk, static_cast<size_t>(got));
+  }
+}
+
+Result<std::vector<float>> TcpClient::Encode(const traj::Trajectory& trip) {
+  Request request;
+  request.opcode = Opcode::kEncode;
+  request.trajectory = trip;
+  Result<Response> response = Call(request);
+  if (!response.ok()) return response.status();
+  if (!response.value().status.ok()) return response.value().status;
+  return std::move(response.value().vector);
+}
+
+Result<int64_t> TcpClient::Insert(const traj::Trajectory& trip) {
+  Request request;
+  request.opcode = Opcode::kInsert;
+  request.trajectory = trip;
+  Result<Response> response = Call(request);
+  if (!response.ok()) return response.status();
+  if (!response.value().status.ok()) return response.value().status;
+  return response.value().id;
+}
+
+Result<EmbeddingStore::Neighbors> TcpClient::Knn(const traj::Trajectory& trip,
+                                                 uint32_t k) {
+  Request request;
+  request.opcode = Opcode::kKnn;
+  request.trajectory = trip;
+  request.k = k;
+  Result<Response> response = Call(request);
+  if (!response.ok()) return response.status();
+  if (!response.value().status.ok()) return response.value().status;
+  return std::move(response.value().neighbors);
+}
+
+Result<std::string> TcpClient::Stats() {
+  Request request;
+  request.opcode = Opcode::kStats;
+  Result<Response> response = Call(request);
+  if (!response.ok()) return response.status();
+  if (!response.value().status.ok()) return response.value().status;
+  return std::move(response.value().stats_json);
+}
+
+}  // namespace t2vec::serve

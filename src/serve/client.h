@@ -1,0 +1,63 @@
+#ifndef T2VEC_SERVE_CLIENT_H_
+#define T2VEC_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/embedding_store.h"
+#include "serve/protocol.h"
+#include "traj/trajectory.h"
+
+/// \file
+/// Blocking TCP client for the serve/protocol.h wire format: one connection,
+/// one in-flight request at a time. Used by `t2vec_cli server` smoke checks,
+/// the closed-loop load benchmark (bench/bench_server.cc), and the
+/// end-to-end server tests.
+///
+/// Not thread-safe — Call interleaves a send and a receive on one socket, so
+/// give each client thread its own TcpClient (that is also what makes the
+/// benchmark closed-loop).
+
+namespace t2vec::serve {
+
+class TcpClient {
+ public:
+  /// Connects to `host`:`port` (IPv4 dotted quad, e.g. "127.0.0.1").
+  static Result<std::unique_ptr<TcpClient>> Connect(const std::string& host,
+                                                    uint16_t port);
+  ~TcpClient();
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  /// The server-side embedding of `trip` (bit-identical to EncodeOne).
+  Result<std::vector<float>> Encode(const traj::Trajectory& trip);
+
+  /// Encodes and durably inserts `trip`; returns its id. An OK return means
+  /// the server fsynced the insert to its WAL before responding.
+  Result<int64_t> Insert(const traj::Trajectory& trip);
+
+  /// Encodes `trip` and returns its k nearest stored neighbors (k is
+  /// clamped server-side to the store size).
+  Result<EmbeddingStore::Neighbors> Knn(const traj::Trajectory& trip,
+                                        uint32_t k);
+
+  /// The server's combined stats JSON.
+  Result<std::string> Stats();
+
+ private:
+  explicit TcpClient(int fd) : fd_(fd) {}
+
+  /// Sends one request frame and blocks for the matching response.
+  Result<Response> Call(const Request& request);
+
+  int fd_ = -1;
+  std::string buffer_;  ///< Bytes received beyond the last parsed frame.
+};
+
+}  // namespace t2vec::serve
+
+#endif  // T2VEC_SERVE_CLIENT_H_

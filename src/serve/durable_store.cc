@@ -1,0 +1,246 @@
+#include "serve/durable_store.h"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/fault.h"
+#include "common/fs.h"
+
+namespace t2vec::serve {
+
+namespace {
+
+template <typename T>
+void AppendPod(std::string* out, const T& v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::string_view in, size_t* pos, T* out) {
+  if (in.size() - *pos < sizeof(T)) return false;
+  std::memcpy(out, in.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeInsertRecord(int64_t id, std::span<const float> vec) {
+  std::string payload;
+  payload.reserve(sizeof(int64_t) + sizeof(uint32_t) +
+                  vec.size() * sizeof(float));
+  AppendPod(&payload, id);
+  AppendPod(&payload, static_cast<uint32_t>(vec.size()));
+  payload.append(reinterpret_cast<const char*>(vec.data()),
+                 vec.size() * sizeof(float));
+  return payload;
+}
+
+Status DecodeInsertRecord(std::string_view payload, int64_t* id,
+                          std::vector<float>* vec) {
+  size_t pos = 0;
+  uint32_t dim = 0;
+  if (!ReadPod(payload, &pos, id) || !ReadPod(payload, &pos, &dim)) {
+    return Status::IoError("insert record: truncated header");
+  }
+  if (payload.size() - pos != static_cast<size_t>(dim) * sizeof(float)) {
+    return Status::IoError("insert record: payload length mismatch (dim " +
+                              std::to_string(dim) + ", " +
+                              std::to_string(payload.size() - pos) +
+                              " bytes of vector data)");
+  }
+  vec->resize(dim);
+  std::memcpy(vec->data(), payload.data() + pos, dim * sizeof(float));
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<DurableStore>> DurableStore::Open(
+    const std::string& dir, size_t dim, const DurableStoreOptions& options) {
+  if (Status status = MakeDir(dir); !status.ok()) return status;
+  const std::string snapshot_path = dir + "/store.snapshot";
+  const std::string wal_path = dir + "/wal.log";
+
+  EmbeddingStore store(dim);
+  if (FileExists(snapshot_path)) {
+    Result<EmbeddingStore> loaded = EmbeddingStore::Load(snapshot_path);
+    if (!loaded.ok()) return loaded.status();
+    if (loaded.value().dim() != dim) {
+      return Status::InvalidArgument(
+          "DurableStore: snapshot dim " +
+          std::to_string(loaded.value().dim()) + " != requested dim " +
+          std::to_string(dim));
+    }
+    store = std::move(loaded).value();
+  }
+
+  // Replay inserts acknowledged since the snapshot. Skipping ids the store
+  // already holds makes replay idempotent, which is what keeps a crash
+  // between "snapshot committed" and "WAL truncated" harmless.
+  Result<WalReplayStats> replayed = ReplayWal(
+      wal_path, [&store](std::string_view payload) -> Status {
+        int64_t id = 0;
+        std::vector<float> vec;
+        if (Status status = DecodeInsertRecord(payload, &id, &vec);
+            !status.ok()) {
+          return status;
+        }
+        if (store.Contains(id)) return Status::Ok();
+        return store.Add(id, vec);
+      });
+  if (!replayed.ok()) return replayed.status();
+  if (replayed.value().torn_tail) {
+    if (Status status = TruncateFile(wal_path, replayed.value().valid_bytes);
+        !status.ok()) {
+      return status;
+    }
+  }
+
+  std::unique_ptr<DurableStore> out(
+      new DurableStore(dir, std::move(store), options));
+  if (!out->wal_->ok()) return out->wal_->status();
+  return out;
+}
+
+DurableStore::DurableStore(std::string dir, EmbeddingStore store,
+                           const DurableStoreOptions& options)
+    : dir_(std::move(dir)),
+      snapshot_path_(dir_ + "/store.snapshot"),
+      wal_path_(dir_ + "/wal.log"),
+      options_(options),
+      store_(std::move(store)),
+      wal_(std::make_unique<WalWriter>(wal_path_)) {
+  if (options_.compact_after_bytes > 0) {
+    compactor_ = std::thread([this] { CompactionLoop(); });
+  }
+}
+
+DurableStore::~DurableStore() {
+  if (compactor_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    compact_cv_.notify_all();
+    compactor_.join();
+  }
+}
+
+Status DurableStore::Insert(int64_t id, std::span<const float> vec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Validate before touching the log so invalid requests never leave a
+  // record behind; these are the same checks EmbeddingStore::Add makes.
+  if (vec.size() != store_.dim()) {
+    return Status::InvalidArgument(
+        "Insert: vector dim " + std::to_string(vec.size()) +
+        " != store dim " + std::to_string(store_.dim()));
+  }
+  if (store_.Contains(id)) {
+    return Status::InvalidArgument("Insert: duplicate id " +
+                                   std::to_string(id));
+  }
+  const std::string payload = EncodeInsertRecord(id, vec);
+  if (Status status = wal_->Append(payload); !status.ok()) return status;
+  // Durable: the fsynced record guarantees replay reproduces this Add even
+  // if we crash on the very next instruction.
+  if (Status status = store_.Add(id, vec); !status.ok()) return status;
+  if (options_.compact_after_bytes > 0 &&
+      wal_->size_bytes() >= options_.compact_after_bytes &&
+      !pending_compact_) {
+    pending_compact_ = true;
+    compact_cv_.notify_one();
+  }
+  return Status::Ok();
+}
+
+EmbeddingStore::Neighbors DurableStore::Knn(std::span<const float> query,
+                                            size_t k) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // lint:allow(deprecated-knn) EmbeddingStore::Knn returns distances too
+  return store_.Knn(query, k);
+}
+
+std::vector<float> DurableStore::Find(int64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const float* vec = store_.Find(id);
+  if (vec == nullptr) return {};
+  return std::vector<float>(vec, vec + store_.dim());
+}
+
+bool DurableStore::Contains(int64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_.Contains(id);
+}
+
+size_t DurableStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_.size();
+}
+
+size_t DurableStore::dim() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_.dim();
+}
+
+uint64_t DurableStore::wal_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_->size_bytes();
+}
+
+int64_t DurableStore::compactions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return compactions_;
+}
+
+Status DurableStore::Compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CompactLocked();
+}
+
+Status DurableStore::SaveTo(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_.Save(path);
+}
+
+Status DurableStore::CompactLocked() {
+  // Snapshot first (atomic rename: readers of the old snapshot are never
+  // exposed to a partial file), truncate the now-redundant log second. A
+  // crash in between leaves WAL records that the snapshot already covers —
+  // Open's idempotent replay skips them.
+  if (const int err = T2VEC_FAULT_POINT("wal.compact.snapshot")) {
+    return Status::IoError(ErrnoMessage("compact snapshot", snapshot_path_,
+                                        err));
+  }
+  if (Status status = store_.Save(snapshot_path_); !status.ok()) {
+    return status;
+  }
+  if (const int err = T2VEC_FAULT_POINT("wal.compact.truncate")) {
+    return Status::IoError(ErrnoMessage("compact truncate", wal_path_, err));
+  }
+  if (Status status = TruncateFile(wal_path_); !status.ok()) return status;
+  // Reopen so the writer's fd and size agree with the truncated file (the
+  // constructor re-stamps the header into the now-empty log).
+  wal_ = std::make_unique<WalWriter>(wal_path_);
+  if (!wal_->ok()) return wal_->status();
+  ++compactions_;
+  return Status::Ok();
+}
+
+void DurableStore::CompactionLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    compact_cv_.wait(lock, [this] { return pending_compact_ || stopping_; });
+    if (stopping_) return;
+    pending_compact_ = false;
+    if (Status status = CompactLocked(); !status.ok()) {
+      // Compaction failure must never take down serving: the WAL keeps
+      // growing and stays authoritative, so durability is unaffected.
+      std::fprintf(stderr, "t2vec: background compaction failed: %s\n",
+                   status.message().c_str());
+    }
+  }
+}
+
+}  // namespace t2vec::serve

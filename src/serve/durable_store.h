@@ -1,0 +1,136 @@
+#ifndef T2VEC_SERVE_DURABLE_STORE_H_
+#define T2VEC_SERVE_DURABLE_STORE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/embedding_store.h"
+#include "serve/wal.h"
+
+/// \file
+/// Crash-safe embedding store: an EmbeddingStore whose every insert is
+/// appended to a write-ahead log *before* it is acknowledged (DESIGN.md §8).
+///
+/// Directory layout under the store's data dir:
+///
+///     store.snapshot   EmbeddingStore::Save artifact (atomic rename)
+///     wal.log          inserts since the snapshot (serve/wal.h framing)
+///
+/// Open() loads the snapshot (if any), replays the WAL on top of it, trims
+/// any torn tail left by a crash, and resumes appending. Because the WAL is
+/// fsynced per record and replay is sequential and deterministic, a store
+/// reopened after a crash is byte-identical to one that was never
+/// interrupted — the kill-and-replay tests in tests/wal_test.cc assert
+/// exactly that with a memcmp of the two Save artifacts.
+///
+/// Compaction folds the WAL into a fresh snapshot: snapshot first (atomic
+/// rename), then truncate the log. A crash between those two steps leaves
+/// records in the WAL that are already in the snapshot; replay skips records
+/// whose id is already present, so the overlap is harmless.
+///
+/// Fault points (common/fault.h): "wal.compact.snapshot",
+/// "wal.compact.truncate", plus the wal.* / fs.append.* sites underneath
+/// Insert and Open.
+
+namespace t2vec::serve {
+
+struct DurableStoreOptions {
+  /// When > 0, a background thread compacts the WAL into a snapshot once the
+  /// log grows past this many bytes. 0 leaves compaction manual (Compact()).
+  uint64_t compact_after_bytes = 0;
+};
+
+/// Serializes one insert as a WAL record payload:
+/// [id i64][dim u32][dim x f32]. Exposed for tests and the wire protocol.
+std::string EncodeInsertRecord(int64_t id, std::span<const float> vec);
+
+/// Inverse of EncodeInsertRecord. Fails soft on short/inconsistent payloads.
+Status DecodeInsertRecord(std::string_view payload, int64_t* id,
+                          std::vector<float>* vec);
+
+/// A WAL-backed EmbeddingStore. Thread-safe: Insert/Knn/Find/Compact may be
+/// called from any thread (a single internal mutex serializes them).
+class DurableStore {
+ public:
+  /// Opens (or creates) the store in `dir` for `dim`-dimensional vectors:
+  /// loads `store.snapshot` when present, replays `wal.log` on top of it
+  /// (skipping ids the snapshot already holds), trims a torn tail, and
+  /// reopens the log for appending.
+  static Result<std::unique_ptr<DurableStore>> Open(
+      const std::string& dir, size_t dim,
+      const DurableStoreOptions& options = {});
+
+  ~DurableStore();
+
+  DurableStore(const DurableStore&) = delete;
+  DurableStore& operator=(const DurableStore&) = delete;
+
+  /// Appends the insert to the WAL (fsync) and only then applies it to the
+  /// in-memory store: an OK return means the vector survives a crash.
+  /// kInvalidArgument on dimension mismatch or duplicate id — checked
+  /// *before* the log write, so invalid requests never pollute the WAL.
+  Status Insert(int64_t id, std::span<const float> vec);
+
+  /// Exact kNN over the stored vectors; k is clamped to size().
+  EmbeddingStore::Neighbors Knn(std::span<const float> query, size_t k) const;
+
+  /// Copy of the stored vector for `id`; empty when absent.
+  std::vector<float> Find(int64_t id) const;
+
+  bool Contains(int64_t id) const;
+  size_t size() const;
+  size_t dim() const;
+
+  /// Current WAL length in bytes (header + records).
+  uint64_t wal_bytes() const;
+
+  /// Completed compactions since Open.
+  int64_t compactions() const;
+
+  /// Folds the WAL into a fresh snapshot and truncates the log. Safe to
+  /// crash at any point: the snapshot is atomic and replay is idempotent.
+  Status Compact();
+
+  /// Writes the current store state to `path` (EmbeddingStore::Save); used
+  /// by tests to compare stores byte-for-byte.
+  Status SaveTo(const std::string& path) const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  DurableStore(std::string dir, EmbeddingStore store,
+               const DurableStoreOptions& options);
+
+  Status CompactLocked();
+  void CompactionLoop();
+
+  const std::string dir_;
+  const std::string snapshot_path_;
+  const std::string wal_path_;
+  const DurableStoreOptions options_;
+
+  mutable std::mutex mu_;
+  EmbeddingStore store_;
+  std::unique_ptr<WalWriter> wal_;
+  int64_t compactions_ = 0;
+
+  // Background compaction: Insert sets pending_compact_ when the WAL
+  // crosses the threshold; the loop thread wakes, compacts, and logs (but
+  // never propagates) failures — serving must outlive a bad disk.
+  std::condition_variable compact_cv_;
+  bool pending_compact_ = false;
+  bool stopping_ = false;
+  std::thread compactor_;
+};
+
+}  // namespace t2vec::serve
+
+#endif  // T2VEC_SERVE_DURABLE_STORE_H_

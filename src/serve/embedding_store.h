@@ -47,6 +47,9 @@ class EmbeddingStore {
   const float* Find(int64_t id) const;
 
   /// The k nearest stored vectors to `query` (length dim()), by exact scan.
+  /// k is clamped to size() — asking a 5-vector store for 10 neighbors
+  /// returns 5, and an empty store returns none (k comes straight from
+  /// clients on the serving path, so it must never abort).
   Neighbors Knn(std::span<const float> query, size_t k) const;
 
   size_t size() const { return ids_.size(); }

@@ -91,20 +91,31 @@ double Histogram::Quantile(double q) const {
 
 std::string Histogram::ToJson() const {
   std::lock_guard<std::mutex> lock(mu_);
+  // min/max/quantiles of zero observations are undefined, not 0: emitting
+  // the default-initialized members would be indistinguishable from a real
+  // observation at 0, so an empty histogram reports null for all of them.
+  const bool empty = count_ == 0;
+  const auto append_stat = [&](std::string* out, double v) {
+    if (empty) {
+      *out += "null";
+    } else {
+      AppendDouble(out, v);
+    }
+  };
   std::string out = "{\"count\": ";
   AppendInt(&out, count_);
   out += ", \"sum\": ";
   AppendDouble(&out, sum_);
   out += ", \"min\": ";
-  AppendDouble(&out, min_);
+  append_stat(&out, min_);
   out += ", \"max\": ";
-  AppendDouble(&out, max_);
+  append_stat(&out, max_);
   out += ", \"p50\": ";
-  AppendDouble(&out, QuantileLocked(0.5));
+  append_stat(&out, QuantileLocked(0.5));
   out += ", \"p90\": ";
-  AppendDouble(&out, QuantileLocked(0.9));
+  append_stat(&out, QuantileLocked(0.9));
   out += ", \"p99\": ";
-  AppendDouble(&out, QuantileLocked(0.99));
+  append_stat(&out, QuantileLocked(0.99));
   out += ", \"buckets\": [";
   for (size_t b = 0; b < counts_.size(); ++b) {
     if (b > 0) out += ", ";
@@ -130,13 +141,16 @@ std::vector<double> LatencyBucketsUs() {
 }
 
 std::vector<double> SizeBuckets(size_t max_expected) {
-  std::vector<double> bounds = {1, 2, 4, 8};
-  double b = 16;
-  while (b < static_cast<double>(max_expected)) {
-    bounds.push_back(b);
-    b *= 2.0;
-  }
-  bounds.push_back(static_cast<double>(max_expected));
+  // Powers of two strictly below max_expected, then max_expected itself as
+  // the final bound. Generating the whole prefix with the same `<` guard
+  // keeps the sequence strictly increasing for every input — the old
+  // unconditional {1,2,4,8} prefix duplicated the tail bound whenever
+  // max_expected was <= 8 or itself a power of two (e.g. 8 -> {1,2,4,8,8}),
+  // tripping the Histogram constructor's strictly-ascending check.
+  const double max = static_cast<double>(max_expected < 1 ? 1 : max_expected);
+  std::vector<double> bounds;
+  for (double b = 1.0; b < max; b *= 2.0) bounds.push_back(b);
+  bounds.push_back(max);
   return bounds;
 }
 

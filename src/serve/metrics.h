@@ -25,6 +25,10 @@
 ///       }, ...
 ///     }
 ///   }
+///
+/// min/max/p50/p90/p99 are `null` while "count" is 0 — the statistics of
+/// zero observations are undefined, and a literal 0 would be
+/// indistinguishable from a real observation at 0.
 
 namespace t2vec::serve {
 

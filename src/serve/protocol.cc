@@ -1,0 +1,267 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+#include "common/fs.h"
+
+namespace t2vec::serve {
+
+namespace {
+
+template <typename T>
+void AppendPod(std::string* out, const T& v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::string_view in, size_t* pos, T* out) {
+  if (in.size() - *pos < sizeof(T)) return false;
+  std::memcpy(out, in.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+Status Truncated(const char* what) {
+  return Status::IoError(std::string("protocol: truncated ") + what);
+}
+
+void AppendTrajectory(const traj::Trajectory& trajectory, std::string* out) {
+  AppendPod(out, trajectory.id);
+  AppendPod(out, static_cast<uint32_t>(trajectory.points.size()));
+  for (const geo::Point& p : trajectory.points) {
+    AppendPod(out, p.x);
+    AppendPod(out, p.y);
+  }
+}
+
+Status ReadTrajectory(std::string_view in, size_t* pos,
+                      traj::Trajectory* out) {
+  uint32_t n = 0;
+  if (!ReadPod(in, pos, &out->id) || !ReadPod(in, pos, &n)) {
+    return Truncated("trajectory header");
+  }
+  // Two f64 per point: reject counts the remaining bytes cannot hold before
+  // allocating, so a forged count cannot balloon memory.
+  if ((in.size() - *pos) / (2 * sizeof(double)) < n) {
+    return Truncated("trajectory points");
+  }
+  out->points.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    (void)ReadPod(in, pos, &out->points[i].x);
+    (void)ReadPod(in, pos, &out->points[i].y);
+  }
+  return Status::Ok();
+}
+
+bool ValidOpcode(uint8_t op) {
+  return op >= static_cast<uint8_t>(Opcode::kEncode) &&
+         op <= static_cast<uint8_t>(Opcode::kStats);
+}
+
+std::string ResponseHeader(Opcode opcode, const Status& status) {
+  std::string payload;
+  AppendPod(&payload, static_cast<uint8_t>(opcode));
+  AppendPod(&payload, static_cast<uint8_t>(status.code()));
+  AppendPod(&payload, static_cast<uint32_t>(status.message().size()));
+  payload.append(status.message());
+  return payload;
+}
+
+}  // namespace
+
+void AppendFrame(std::string_view payload, std::string* out) {
+  AppendPod(out, kProtocolMagic);
+  AppendPod(out, static_cast<uint32_t>(payload.size()));
+  AppendPod(out, Crc32c(0, payload.data(), payload.size()));
+  out->append(payload.data(), payload.size());
+}
+
+FrameStatus ParseFrame(std::string_view buffer, std::string* payload,
+                       size_t* consumed) {
+  if (buffer.size() < sizeof(uint32_t)) return FrameStatus::kNeedMore;
+  size_t pos = 0;
+  uint32_t magic = 0;
+  (void)ReadPod(buffer, &pos, &magic);
+  if (magic != kProtocolMagic) return FrameStatus::kCorrupt;
+  if (buffer.size() < kFrameHeaderBytes) return FrameStatus::kNeedMore;
+  uint32_t len = 0;
+  uint32_t crc = 0;
+  (void)ReadPod(buffer, &pos, &len);
+  (void)ReadPod(buffer, &pos, &crc);
+  if (len > kMaxPayloadBytes) return FrameStatus::kCorrupt;
+  if (buffer.size() - kFrameHeaderBytes < len) return FrameStatus::kNeedMore;
+  const char* body = buffer.data() + kFrameHeaderBytes;
+  if (Crc32c(0, body, len) != crc) return FrameStatus::kCorrupt;
+  payload->assign(body, len);
+  *consumed = kFrameHeaderBytes + len;
+  return FrameStatus::kOk;
+}
+
+std::string EncodeRequest(const Request& request) {
+  std::string payload;
+  AppendPod(&payload, static_cast<uint8_t>(request.opcode));
+  switch (request.opcode) {
+    case Opcode::kEncode:
+    case Opcode::kInsert:
+      AppendTrajectory(request.trajectory, &payload);
+      break;
+    case Opcode::kKnn:
+      AppendTrajectory(request.trajectory, &payload);
+      AppendPod(&payload, request.k);
+      break;
+    case Opcode::kStats:
+      break;
+  }
+  return payload;
+}
+
+Result<Request> ParseRequest(std::string_view payload) {
+  size_t pos = 0;
+  uint8_t op = 0;
+  if (!ReadPod(payload, &pos, &op)) return Truncated("opcode");
+  if (!ValidOpcode(op)) {
+    return Status::InvalidArgument("protocol: unknown opcode " +
+                                   std::to_string(op));
+  }
+  Request request;
+  request.opcode = static_cast<Opcode>(op);
+  switch (request.opcode) {
+    case Opcode::kEncode:
+    case Opcode::kInsert:
+      if (Status status = ReadTrajectory(payload, &pos, &request.trajectory);
+          !status.ok()) {
+        return status;
+      }
+      break;
+    case Opcode::kKnn:
+      if (Status status = ReadTrajectory(payload, &pos, &request.trajectory);
+          !status.ok()) {
+        return status;
+      }
+      if (!ReadPod(payload, &pos, &request.k)) return Truncated("knn k");
+      break;
+    case Opcode::kStats:
+      break;
+  }
+  if (pos != payload.size()) {
+    return Status::InvalidArgument("protocol: trailing bytes after request");
+  }
+  return request;
+}
+
+std::string EncodeErrorResponse(Opcode opcode, const Status& status) {
+  return ResponseHeader(opcode, status);
+}
+
+std::string EncodeEncodeResponse(std::span<const float> vector) {
+  std::string payload = ResponseHeader(Opcode::kEncode, Status::Ok());
+  AppendPod(&payload, static_cast<uint32_t>(vector.size()));
+  payload.append(reinterpret_cast<const char*>(vector.data()),
+                 vector.size() * sizeof(float));
+  return payload;
+}
+
+std::string EncodeInsertResponse(int64_t id) {
+  std::string payload = ResponseHeader(Opcode::kInsert, Status::Ok());
+  AppendPod(&payload, id);
+  return payload;
+}
+
+std::string EncodeKnnResponse(const EmbeddingStore::Neighbors& neighbors) {
+  std::string payload = ResponseHeader(Opcode::kKnn, Status::Ok());
+  AppendPod(&payload, static_cast<uint32_t>(neighbors.size()));
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    AppendPod(&payload, neighbors.ids[i]);
+    AppendPod(&payload, neighbors.distances[i]);
+  }
+  return payload;
+}
+
+std::string EncodeStatsResponse(std::string_view json) {
+  std::string payload = ResponseHeader(Opcode::kStats, Status::Ok());
+  AppendPod(&payload, static_cast<uint32_t>(json.size()));
+  payload.append(json.data(), json.size());
+  return payload;
+}
+
+Result<Response> ParseResponse(std::string_view payload) {
+  size_t pos = 0;
+  uint8_t op = 0;
+  uint8_t code = 0;
+  uint32_t msg_len = 0;
+  if (!ReadPod(payload, &pos, &op) || !ReadPod(payload, &pos, &code) ||
+      !ReadPod(payload, &pos, &msg_len)) {
+    return Truncated("response header");
+  }
+  if (!ValidOpcode(op)) {
+    return Status::InvalidArgument("protocol: unknown response opcode " +
+                                   std::to_string(op));
+  }
+  if (code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
+    return Status::InvalidArgument("protocol: unknown status code " +
+                                   std::to_string(code));
+  }
+  if (payload.size() - pos < msg_len) return Truncated("response message");
+  std::string message(payload.data() + pos, msg_len);
+  pos += msg_len;
+
+  Response response;
+  response.opcode = static_cast<Opcode>(op);
+  if (code != 0) {
+    response.status = Status(static_cast<StatusCode>(code),
+                             std::move(message));
+    if (pos != payload.size()) {
+      return Status::InvalidArgument(
+          "protocol: trailing bytes after error response");
+    }
+    return response;
+  }
+
+  switch (response.opcode) {
+    case Opcode::kEncode: {
+      uint32_t dim = 0;
+      if (!ReadPod(payload, &pos, &dim)) return Truncated("encode dim");
+      if ((payload.size() - pos) / sizeof(float) < dim) {
+        return Truncated("encode vector");
+      }
+      response.vector.resize(dim);
+      std::memcpy(response.vector.data(), payload.data() + pos,
+                  dim * sizeof(float));
+      pos += dim * sizeof(float);
+      break;
+    }
+    case Opcode::kInsert:
+      if (!ReadPod(payload, &pos, &response.id)) return Truncated("insert id");
+      break;
+    case Opcode::kKnn: {
+      uint32_t n = 0;
+      if (!ReadPod(payload, &pos, &n)) return Truncated("knn count");
+      if ((payload.size() - pos) / (sizeof(int64_t) + sizeof(double)) < n) {
+        return Truncated("knn neighbors");
+      }
+      response.neighbors.ids.resize(n);
+      response.neighbors.distances.resize(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        (void)ReadPod(payload, &pos, &response.neighbors.ids[i]);
+        (void)ReadPod(payload, &pos, &response.neighbors.distances[i]);
+      }
+      break;
+    }
+    case Opcode::kStats: {
+      uint32_t len = 0;
+      if (!ReadPod(payload, &pos, &len)) return Truncated("stats length");
+      if (payload.size() - pos < len) return Truncated("stats json");
+      response.stats_json.assign(payload.data() + pos, len);
+      pos += len;
+      break;
+    }
+  }
+  if (pos != payload.size()) {
+    return Status::InvalidArgument("protocol: trailing bytes after response");
+  }
+  return response;
+}
+
+}  // namespace t2vec::serve

@@ -1,0 +1,115 @@
+#ifndef T2VEC_SERVE_PROTOCOL_H_
+#define T2VEC_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/embedding_store.h"
+#include "traj/trajectory.h"
+
+/// \file
+/// The length-prefixed binary wire protocol spoken by the TCP front door
+/// (DESIGN.md §8). Everything is flat little-endian, mirroring the on-disk
+/// framing of common/serialize.h so a reader of one format can read the
+/// other.
+///
+/// Frame (both directions):
+///
+///     [magic "T2RP" u32][payload_len u32][crc32c(payload) u32][payload]
+///
+/// Request payload:  [opcode u8][body]
+/// Response payload: [opcode u8][status_code u8][msg_len u32][msg][body]
+///   (body is present only when status_code == 0 / kOk)
+///
+/// Opcodes and bodies:
+///
+///   kOpEncode (1)  req:  [trajectory]            resp: [dim u32][dim x f32]
+///   kOpInsert (2)  req:  [trajectory]            resp: [id i64]
+///   kOpKnn    (3)  req:  [trajectory][k u32]     resp: [n u32][n x (id i64,
+///                                                       dist f64)]
+///   kOpStats  (4)  req:  (empty)                 resp: [len u32][json]
+///
+/// where [trajectory] = [id i64][n u32][n x (x f64, y f64)].
+///
+/// Every parser here is bounds-checked and fails soft with Status — the
+/// server feeds it bytes straight off a socket, so hostile or truncated
+/// input must produce an error response (or a dropped connection on a bad
+/// frame), never an abort. Payloads are capped at kMaxPayloadBytes so a
+/// forged length field cannot make the server allocate gigabytes.
+
+namespace t2vec::serve {
+
+/// Frame magic "T2RP" little-endian.
+inline constexpr uint32_t kProtocolMagic = 0x5052'3254;
+/// [magic][payload_len][crc] before the payload.
+inline constexpr size_t kFrameHeaderBytes = 12;
+/// Upper bound on a frame payload; larger lengths mark the frame corrupt.
+inline constexpr size_t kMaxPayloadBytes = 16u << 20;
+
+enum class Opcode : uint8_t {
+  kEncode = 1,
+  kInsert = 2,
+  kKnn = 3,
+  kStats = 4,
+};
+
+/// Outcome of scanning a receive buffer for one frame.
+enum class FrameStatus {
+  kOk,        ///< A complete, checksummed frame was extracted.
+  kNeedMore,  ///< Prefix is consistent but incomplete; read more bytes.
+  kCorrupt,   ///< Bad magic, oversize length, or CRC mismatch; drop the
+              ///< connection (framing is lost, resync is impossible).
+};
+
+/// Wraps `payload` in a frame and appends it to `*out`.
+void AppendFrame(std::string_view payload, std::string* out);
+
+/// Tries to extract one frame from the front of `buffer`. On kOk, `*payload`
+/// receives the payload bytes and `*consumed` the total frame size (the
+/// caller erases that prefix); both are untouched otherwise.
+FrameStatus ParseFrame(std::string_view buffer, std::string* payload,
+                       size_t* consumed);
+
+// --- Request payloads ------------------------------------------------------
+
+struct Request {
+  Opcode opcode = Opcode::kStats;
+  traj::Trajectory trajectory;  ///< encode / insert / knn.
+  uint32_t k = 0;               ///< knn only.
+};
+
+std::string EncodeRequest(const Request& request);
+
+/// Parses a request payload. Fails soft on unknown opcodes, truncated
+/// bodies, trailing garbage, or absurd point counts.
+Result<Request> ParseRequest(std::string_view payload);
+
+// --- Response payloads -----------------------------------------------------
+
+/// A decoded response: `status` carries the server-side outcome; exactly one
+/// body field is meaningful, selected by `opcode`, and only when status.ok().
+struct Response {
+  Opcode opcode = Opcode::kStats;
+  Status status = Status::Ok();
+  std::vector<float> vector;             ///< encode.
+  int64_t id = 0;                        ///< insert.
+  EmbeddingStore::Neighbors neighbors;   ///< knn.
+  std::string stats_json;                ///< stats.
+};
+
+std::string EncodeErrorResponse(Opcode opcode, const Status& status);
+std::string EncodeEncodeResponse(std::span<const float> vector);
+std::string EncodeInsertResponse(int64_t id);
+std::string EncodeKnnResponse(const EmbeddingStore::Neighbors& neighbors);
+std::string EncodeStatsResponse(std::string_view json);
+
+/// Parses a response payload (the client side of every Encode*Response).
+Result<Response> ParseResponse(std::string_view payload);
+
+}  // namespace t2vec::serve
+
+#endif  // T2VEC_SERVE_PROTOCOL_H_

@@ -1,0 +1,261 @@
+#include "serve/server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+#include "common/fs.h"
+
+namespace t2vec::serve {
+
+namespace {
+
+/// Writes all of `data` to `fd`. MSG_NOSIGNAL: a peer that hangs up
+/// mid-response must produce an error return, not SIGPIPE.
+bool SendAll(int fd, std::string_view data) {
+  const char* p = data.data();
+  size_t n = data.size();
+  while (n > 0) {
+    const ssize_t sent = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += sent;
+    n -= static_cast<size_t>(sent);
+  }
+  return true;
+}
+
+/// Best-effort opcode sniff for error responses to unparseable requests.
+Opcode SniffOpcode(std::string_view payload) {
+  if (!payload.empty()) {
+    const uint8_t op = static_cast<uint8_t>(payload[0]);
+    if (op >= static_cast<uint8_t>(Opcode::kEncode) &&
+        op <= static_cast<uint8_t>(Opcode::kStats)) {
+      return static_cast<Opcode>(op);
+    }
+  }
+  return Opcode::kStats;
+}
+
+}  // namespace
+
+TcpServer::TcpServer(const core::T2Vec* model, DurableStore* store,
+                     ServerOptions options)
+    : store_(store), options_(options), service_(model, options.service) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(ErrnoMessage("socket", "tcp", errno));
+  }
+  const int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError(
+        ErrnoMessage("bind", "port " + std::to_string(options_.port), err));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError(ErrnoMessage("listen", "tcp", err));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError(ErrnoMessage("getsockname", "tcp", err));
+  }
+  port_ = ntohs(bound.sin_port);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void TcpServer::Stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    // shutdown() wakes the blocked accept(); close alone does not on Linux.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  // Connection threads remove themselves from conn_fds_ and exit once their
+  // recv fails; joining outside the lock lets them do so.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void TcpServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Stop() shut the listener down (or the fd broke); either way the
+      // accept loop is done.
+      return;
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    metrics_.connections.Increment();
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.insert(fd);
+    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void TcpServer::ServeConnection(int fd) {
+  std::string buffer;
+  char chunk[1 << 16];
+  bool corrupt = false;
+  while (!corrupt) {
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) break;  // Peer closed, or Stop() shut us down.
+    buffer.append(chunk, static_cast<size_t>(got));
+    // Drain every complete frame in the buffer before the next recv.
+    for (;;) {
+      std::string payload;
+      size_t consumed = 0;
+      const FrameStatus frame = ParseFrame(buffer, &payload, &consumed);
+      if (frame == FrameStatus::kNeedMore) break;
+      if (frame == FrameStatus::kCorrupt) {
+        // Framing is byte-positional: once it is lost there is no resync
+        // point, so the only safe answer is to drop this connection. Other
+        // connections and the store are unaffected.
+        metrics_.corrupt_frames.Increment();
+        corrupt = true;
+        break;
+      }
+      buffer.erase(0, consumed);
+      const auto start = std::chrono::steady_clock::now();
+      const std::string response = HandleRequest(payload);
+      std::string out;
+      out.reserve(kFrameHeaderBytes + response.size());
+      AppendFrame(response, &out);
+      const bool sent = SendAll(fd, out);
+      metrics_.request_us.Observe(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+      if (!sent) {
+        corrupt = true;
+        break;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.erase(fd);
+  }
+  ::close(fd);
+}
+
+std::string TcpServer::HandleRequest(std::string_view payload) {
+  metrics_.requests.Increment();
+  Result<Request> parsed = ParseRequest(payload);
+  if (!parsed.ok()) {
+    metrics_.errors.Increment();
+    return EncodeErrorResponse(SniffOpcode(payload), parsed.status());
+  }
+  const Request& request = parsed.value();
+  switch (request.opcode) {
+    case Opcode::kEncode: {
+      EmbeddingService::EncodeResult encoded =
+          service_.Submit(request.trajectory).get();
+      if (!encoded.ok()) {
+        metrics_.errors.Increment();
+        return EncodeErrorResponse(Opcode::kEncode, encoded.status());
+      }
+      return EncodeEncodeResponse(encoded.value());
+    }
+    case Opcode::kInsert: {
+      EmbeddingService::EncodeResult encoded =
+          service_.Submit(request.trajectory).get();
+      if (!encoded.ok()) {
+        metrics_.errors.Increment();
+        return EncodeErrorResponse(Opcode::kInsert, encoded.status());
+      }
+      // The WAL fsync inside Insert is the acknowledgment barrier: an OK
+      // response promises the vector survives a crash.
+      if (Status status =
+              store_->Insert(request.trajectory.id, encoded.value());
+          !status.ok()) {
+        metrics_.errors.Increment();
+        return EncodeErrorResponse(Opcode::kInsert, status);
+      }
+      return EncodeInsertResponse(request.trajectory.id);
+    }
+    case Opcode::kKnn: {
+      EmbeddingService::EncodeResult encoded =
+          service_.Submit(request.trajectory).get();
+      if (!encoded.ok()) {
+        metrics_.errors.Increment();
+        return EncodeErrorResponse(Opcode::kKnn, encoded.status());
+      }
+      // lint:allow(deprecated-knn) DurableStore::Knn returns distances too
+      return EncodeKnnResponse(store_->Knn(encoded.value(), request.k));
+    }
+    case Opcode::kStats:
+      return EncodeStatsResponse(StatsJson());
+  }
+  metrics_.errors.Increment();
+  return EncodeErrorResponse(Opcode::kStats,
+                             Status::Internal("unreachable opcode"));
+}
+
+std::string TcpServer::StatsJson() const {
+  std::string json = "{\"server\": {";
+  json += "\"connections\": " + std::to_string(metrics_.connections.value());
+  json += ", \"requests\": " + std::to_string(metrics_.requests.value());
+  json += ", \"errors\": " + std::to_string(metrics_.errors.value());
+  json += ", \"corrupt_frames\": " +
+          std::to_string(metrics_.corrupt_frames.value());
+  json += ", \"request_latency_us\": " + metrics_.request_us.ToJson();
+  json += "}, \"service\": " + service_.metrics().ToJson();
+  json += ", \"store\": {";
+  json += "\"size\": " + std::to_string(store_->size());
+  json += ", \"dim\": " + std::to_string(store_->dim());
+  json += ", \"wal_bytes\": " + std::to_string(store_->wal_bytes());
+  json += ", \"compactions\": " + std::to_string(store_->compactions());
+  json += "}}";
+  return json;
+}
+
+}  // namespace t2vec::serve

@@ -1,0 +1,104 @@
+#ifndef T2VEC_SERVE_SERVER_H_
+#define T2VEC_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "core/t2vec.h"
+#include "serve/durable_store.h"
+#include "serve/embedding_service.h"
+#include "serve/metrics.h"
+#include "serve/protocol.h"
+
+/// \file
+/// The TCP front door (DESIGN.md §8): a thread-per-connection server that
+/// speaks the serve/protocol.h frame format and exposes the serving stack —
+/// encode (EmbeddingService micro-batching), insert (WAL-backed
+/// DurableStore, acknowledged only after the log fsync), knn (exact search
+/// over the store), and stats (JSON snapshot of every layer's metrics).
+///
+/// Failure containment is the point: malformed payloads get an error
+/// response, corrupt frames drop only their own connection, store/service
+/// errors are relayed with their Status intact, and nothing a client sends
+/// can abort the process (tests/server_test.cc fuzzes exactly this).
+
+namespace t2vec::serve {
+
+struct ServerOptions {
+  /// TCP port to listen on; 0 picks an ephemeral port (read it back from
+  /// port() after Start()).
+  uint16_t port = 0;
+  /// Micro-batcher tuning for the embedded EmbeddingService.
+  ServiceOptions service;
+};
+
+/// Request-level counters, separate from the service's ServeMetrics.
+struct ServerMetrics {
+  Counter connections;     ///< Accepted connections, lifetime.
+  Counter requests;        ///< Complete frames dispatched.
+  Counter errors;          ///< Requests answered with a non-OK status.
+  Counter corrupt_frames;  ///< Connections dropped on framing corruption.
+
+  Histogram request_us{LatencyBucketsUs()};  ///< Frame in -> response out.
+};
+
+/// A blocking TCP server over one model + one durable store. Start() spawns
+/// the accept loop; Stop() (or the destructor) shuts down the listener and
+/// every live connection and joins all threads. `model` and `store` must
+/// outlive the server.
+class TcpServer {
+ public:
+  TcpServer(const core::T2Vec* model, DurableStore* store,
+            ServerOptions options = {});
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds, listens, and starts accepting. IoError when the port is taken.
+  Status Start();
+
+  /// Stops accepting, disconnects every client, joins all threads.
+  /// Idempotent; called by the destructor.
+  void Stop();
+
+  /// The bound port (resolves port 0 to the ephemeral choice).
+  uint16_t port() const { return port_; }
+
+  /// Combined stats JSON: server counters + request latency + service
+  /// metrics + store size/WAL telemetry. This is what kOpStats returns.
+  std::string StatsJson() const;
+
+  const ServerMetrics& metrics() const { return metrics_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Dispatches one request payload, returns the response payload.
+  std::string HandleRequest(std::string_view payload);
+
+  DurableStore* store_;
+  const ServerOptions options_;
+  EmbeddingService service_;
+  ServerMetrics metrics_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conn_mu_;
+  std::unordered_set<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+  std::thread accept_thread_;
+};
+
+}  // namespace t2vec::serve
+
+#endif  // T2VEC_SERVE_SERVER_H_

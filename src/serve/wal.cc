@@ -1,0 +1,117 @@
+#include "serve/wal.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/fault.h"
+
+namespace t2vec::serve {
+
+namespace {
+
+void AppendPod32(std::string* out, uint32_t v) {
+  char buf[sizeof(v)];
+  std::memcpy(buf, &v, sizeof(v));
+  out->append(buf, sizeof(v));
+}
+
+uint32_t ReadPod32(const char* p) {
+  uint32_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+WalWriter::WalWriter(const std::string& path) : file_(path) {
+  if (!file_.ok()) return;
+  if (file_.size() == 0) {
+    std::string header;
+    AppendPod32(&header, kWalMagic);
+    AppendPod32(&header, kWalVersion);
+    if (file_.Append(header.data(), header.size()).ok()) {
+      (void)file_.Sync();
+    }
+  }
+}
+
+Status WalWriter::Append(std::string_view payload) {
+  if (!file_.ok()) return file_.status();
+  if (const int err = T2VEC_FAULT_POINT("wal.append")) {
+    return Status::IoError(ErrnoMessage("wal append", path(), err));
+  }
+  // One buffered write per record: header and payload land in a single
+  // ::write, so the only torn shapes a crash can produce are a clean prefix
+  // cut — exactly what ReplayWal's CRC check detects.
+  std::string record;
+  record.reserve(kWalRecordOverhead + payload.size());
+  AppendPod32(&record, static_cast<uint32_t>(payload.size()));
+  AppendPod32(&record, Crc32c(0, payload.data(), payload.size()));
+  record.append(payload.data(), payload.size());
+  if (Status status = file_.Append(record.data(), record.size());
+      !status.ok()) {
+    return status;
+  }
+  return file_.Sync();
+}
+
+Result<WalReplayStats> ReplayWal(
+    const std::string& path,
+    const std::function<Status(std::string_view payload)>& apply) {
+  if (const int err = T2VEC_FAULT_POINT("wal.replay")) {
+    return Status::IoError(ErrnoMessage("wal replay", path, err));
+  }
+  // A missing WAL is an empty log (fresh store directory); any other read
+  // failure is real.
+  if (!FileExists(path)) return WalReplayStats{};
+  std::string data;
+  if (Status status = ReadFileToString(path, &data); !status.ok()) {
+    return status;
+  }
+  WalReplayStats stats;
+  if (data.size() < kWalHeaderBytes) {
+    // A crash while writing the very first header: everything is tail.
+    stats.torn_tail = !data.empty();
+    return stats;
+  }
+  if (ReadPod32(data.data()) != kWalMagic) {
+    return Status::IoError("ReplayWal: bad magic in " + path +
+                           " (not a WAL file)");
+  }
+  const uint32_t version = ReadPod32(data.data() + 4);
+  if (version == 0 || version > kWalVersion) {
+    return Status::IoError("ReplayWal: unsupported version " +
+                           std::to_string(version) + " in " + path);
+  }
+  size_t pos = kWalHeaderBytes;
+  stats.valid_bytes = pos;
+  while (pos < data.size()) {
+    if (data.size() - pos < kWalRecordOverhead) {
+      stats.torn_tail = true;  // Partial record header.
+      break;
+    }
+    const uint32_t len = ReadPod32(data.data() + pos);
+    const uint32_t crc = ReadPod32(data.data() + pos + 4);
+    if (data.size() - pos - kWalRecordOverhead < len) {
+      stats.torn_tail = true;  // Length overruns the file: partial payload.
+      break;
+    }
+    const char* payload = data.data() + pos + kWalRecordOverhead;
+    if (Crc32c(0, payload, len) != crc) {
+      // A torn single write can only truncate, but a corrupt length field
+      // in the torn region can look like a complete record — the CRC is
+      // the authority. Everything from here on is untrusted tail.
+      stats.torn_tail = true;
+      break;
+    }
+    if (Status status = apply(std::string_view(payload, len)); !status.ok()) {
+      return status;
+    }
+    pos += kWalRecordOverhead + len;
+    ++stats.records;
+    stats.valid_bytes = pos;
+  }
+  return stats;
+}
+
+}  // namespace t2vec::serve

@@ -1,0 +1,95 @@
+#ifndef T2VEC_SERVE_WAL_H_
+#define T2VEC_SERVE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/fs.h"
+#include "common/status.h"
+
+/// \file
+/// Write-ahead log for the serving-path ingestion pipeline (DESIGN.md §8).
+///
+/// File layout (flat little-endian, like common/serialize.h):
+///
+///     [magic "T2WL" u32][version u32]            file header
+///     [payload_len u32][crc32c(payload) u32][payload bytes]   record 0
+///     [payload_len u32][crc32c(payload) u32][payload bytes]   record 1
+///     ...
+///
+/// Every `WalWriter::Append` fsyncs before returning OK, so an acknowledged
+/// record is durable. A crash can still leave a *torn tail* — a partially
+/// written final record (or header) — and the per-record CRC32C is what
+/// makes that safe: `ReplayWal` applies records in order and stops cleanly
+/// at the first record whose length field overruns the file or whose
+/// checksum mismatches, reporting the byte offset of the intact prefix so
+/// the owner can trim the tail before appending again. Replay of a given
+/// WAL file is fully deterministic: records are applied sequentially in
+/// write order, single-threaded.
+///
+/// Fault points (common/fault.h): "wal.append", "wal.replay", plus the
+/// fs.append.* sites of the underlying AppendOnlyFile.
+
+namespace t2vec::serve {
+
+/// Magic "T2WL" little-endian at offset 0 of every WAL file.
+inline constexpr uint32_t kWalMagic = 0x4C57'3254;
+inline constexpr uint32_t kWalVersion = 1;
+/// Header + per-record overhead, in bytes.
+inline constexpr size_t kWalHeaderBytes = 8;
+inline constexpr size_t kWalRecordOverhead = 8;
+
+/// What ReplayWal found in the file.
+struct WalReplayStats {
+  size_t records = 0;        ///< Intact records applied, in write order.
+  uint64_t valid_bytes = 0;  ///< Header + intact records; the rest is torn.
+  bool torn_tail = false;    ///< File ended inside a record (crash artifact).
+};
+
+/// Appends CRC32C-framed records to a WAL file, fsyncing each one.
+///
+/// The constructor opens (or creates) `path` in append mode and writes the
+/// file header if the file is empty. Reopening an existing WAL resumes
+/// appending after its current end — the owner is expected to have trimmed
+/// any torn tail first (DurableStore does this with ReplayWal's
+/// `valid_bytes`). First error wins; a failed writer stays inert.
+class WalWriter {
+ public:
+  explicit WalWriter(const std::string& path);
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// True until the first I/O failure.
+  bool ok() const { return file_.ok(); }
+  const Status& status() const { return file_.status(); }
+
+  /// Appends one record and fsyncs: when this returns OK the record will
+  /// survive a crash. Fault point "wal.append" fires before any byte is
+  /// written, so an injected fault leaves the log exactly as it was.
+  Status Append(std::string_view payload);
+
+  /// Current file size in bytes (header + records).
+  uint64_t size_bytes() const { return file_.size(); }
+
+  const std::string& path() const { return file_.path(); }
+
+ private:
+  AppendOnlyFile file_;
+};
+
+/// Replays `path`, calling `apply` on each intact record payload in write
+/// order. A missing file is an empty log (OK, 0 records). A torn tail stops
+/// replay cleanly with `torn_tail = true`; a bad header on a non-empty file
+/// or an `apply` failure is an error (the log cannot be trusted). The
+/// stats' `valid_bytes` is the offset the owner should truncate to before
+/// appending new records.
+Result<WalReplayStats> ReplayWal(
+    const std::string& path,
+    const std::function<Status(std::string_view payload)>& apply);
+
+}  // namespace t2vec::serve
+
+#endif  // T2VEC_SERVE_WAL_H_

@@ -352,5 +352,22 @@ TEST(KnnTest, NanDistancesOrderLast) {
   EXPECT_EQ(top3, (std::vector<size_t>{1, 3, 5}));
 }
 
+// Regression: k greater than the database size (and empty databases) must
+// return a shorter ranking — the old CHECK aborted, which on the serving
+// path let a client kill the process.
+TEST(KnnTest, QueryClampsKToDatabaseSize) {
+  DtwMeasure dtw;
+  std::vector<traj::Trajectory> db;
+  for (int i = 0; i < 4; ++i) {
+    db.push_back(AsTraj(Line(5, 100.0, i * 50.0), i));
+  }
+  const traj::Trajectory query = AsTraj(Line(5));
+  const KnnResult all = KnnQuery(dtw, query, db, 100);
+  EXPECT_EQ(all.size(), 4u);
+  EXPECT_EQ(all.ids, KnnQuery(dtw, query, db, 4).ids);
+  EXPECT_TRUE(KnnQuery(dtw, query, db, 0).empty());
+  EXPECT_TRUE(KnnQuery(dtw, query, {}, 3).empty());
+}
+
 }  // namespace
 }  // namespace t2vec::dist

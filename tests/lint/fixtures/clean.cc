@@ -24,3 +24,16 @@ std::vector<int> Fixture(std::vector<int> v) {
   v.push_back(static_cast<int>(rng.UniformInt(7)));
   return v;
 }
+
+// Socket I/O and qualified/member names must NOT fire raw-ofstream: the rule
+// targets the POSIX file-write path, not network fds (serve/server.cc) or
+// std::remove (bench cleanup). Never compiled, so no socket headers needed.
+int SocketFixture(int fd, const char* buf, unsigned long n,
+                  const std::string& stale) {
+  long sent = ::send(fd, buf, n, 0);
+  long got = ::recv(fd, const_cast<char*>(buf), n, 0);
+  ::shutdown(fd, 2);
+  ::close(fd);
+  std::remove(stale.c_str());
+  return static_cast<int>(sent + got);
+}

@@ -2,8 +2,10 @@
 // durability layer (atomic tmp-file + rename, CRC32C trailer; DESIGN.md §7).
 // Never compiled.
 #include <cstdio>
+#include <fcntl.h>
 #include <fstream>
 #include <string>
+#include <unistd.h>
 
 void Fixture(const std::string& path) {
   std::ofstream out(path);
@@ -12,4 +14,16 @@ void Fixture(const std::string& path) {
   rw << "also unsafe\n";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f != nullptr) std::fclose(f);
+}
+
+// The raw POSIX write path fires too: a crash between ::write and ::rename
+// publishes a torn artifact at the final path. ::close is deliberately not
+// matched (sockets close fds as well).
+void PosixFixture(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  (void)::write(fd, "torn", 4);
+  (void)::fsync(fd);
+  (void)::ftruncate(fd, 0);
+  ::close(fd);
+  (void)::rename(path.c_str(), (path + ".final").c_str());
 }

@@ -24,7 +24,7 @@ EXPECTED = {
     "violation_wall_clock.cc": {"wall-clock": 4},
     "violation_unordered_iter.cc": {"unordered-iter": 2},
     "violation_deprecated_knn.cc": {"deprecated-knn": 3},
-    "violation_raw_ofstream.cc": {"raw-ofstream": 3},
+    "violation_raw_ofstream.cc": {"raw-ofstream": 8},
     # Malformed suppressions fire bad-allow AND leave the underlying
     # violations unsuppressed.
     "violation_bad_allow.cc": {"bad-allow": 2, "raw-sort": 2},

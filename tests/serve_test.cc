@@ -311,5 +311,74 @@ TEST_F(ServeTest, ServiceFeedsStoreEndToEnd) {
   EXPECT_DOUBLE_EQ(near.distances[0], 0.0);
 }
 
+// Regression: SizeBuckets(8) used to emit {1,2,4,8,8} — a duplicate final
+// bound that tripped the strictly-ascending CHECK in the Histogram
+// constructor. Sweep every max up to 64 and construct the histogram each
+// time (the construction *is* the assertion).
+TEST(HistogramTest, SizeBucketsAreStrictlyAscendingForEveryMax) {
+  for (size_t max = 0; max <= 64; ++max) {
+    const std::vector<double> bounds = SizeBuckets(max);
+    ASSERT_FALSE(bounds.empty()) << "max " << max;
+    for (size_t i = 1; i < bounds.size(); ++i) {
+      EXPECT_LT(bounds[i - 1], bounds[i]) << "max " << max << ", bound " << i;
+    }
+    EXPECT_DOUBLE_EQ(bounds.back(),
+                     static_cast<double>(max < 1 ? 1 : max));
+    Histogram h(bounds);  // Would CHECK-abort on a duplicate bound.
+    h.Observe(static_cast<double>(max));
+    EXPECT_EQ(h.count(), 1);
+  }
+}
+
+// Regression: an empty histogram used to report "min": 0, "max": 0 —
+// indistinguishable from a real observation at zero. Empty statistics must
+// be null.
+TEST(HistogramTest, EmptyHistogramReportsNullStats) {
+  const Histogram empty(LatencyBucketsUs());
+  const std::string json = empty.ToJson();
+  EXPECT_NE(json.find("\"count\": 0"), std::string::npos) << json;
+  for (const char* key : {"\"min\"", "\"max\"", "\"p50\"", "\"p90\"",
+                          "\"p99\""}) {
+    EXPECT_NE(json.find(std::string(key) + ": null"), std::string::npos)
+        << "missing " << key << ": null in " << json;
+  }
+
+  Histogram one(LatencyBucketsUs());
+  one.Observe(75.0);
+  const std::string filled = one.ToJson();
+  EXPECT_EQ(filled.find("null"), std::string::npos) << filled;
+  EXPECT_NE(filled.find("\"min\": 75"), std::string::npos) << filled;
+  EXPECT_NE(filled.find("\"max\": 75"), std::string::npos) << filled;
+}
+
+TEST(HistogramTest, QuantileEdgesAreExactMinAndMax) {
+  Histogram h(LatencyBucketsUs());
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);  // Empty: defined as 0.
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 0.0);
+  h.Observe(120.0);
+  h.Observe(900.0);
+  h.Observe(4500.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 120.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 4500.0);
+}
+
+// Regression: the store's Knn inherited VectorIndex's CHECK-abort when a
+// client asked for more neighbors than the store held (or queried an empty
+// store).
+TEST_F(ServeTest, StoreKnnClampsKAndHandlesEmptyStore) {
+  const size_t dim = Model().config().hidden;
+  EmbeddingStore empty(dim);
+  const std::vector<float> probe = Model().EncodeOne(Trips()[0]);
+  EXPECT_EQ(empty.Knn(probe, 10).size(), 0u);
+
+  EmbeddingStore store(dim);
+  for (size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(store.Add(Trips()[i].id, Model().EncodeOne(Trips()[i])).ok());
+  }
+  const EmbeddingStore::Neighbors all = store.Knn(probe, 100);
+  EXPECT_EQ(all.size(), 3u);
+  EXPECT_EQ(all.ids[0], Trips()[0].id);
+}
+
 }  // namespace
 }  // namespace t2vec::serve

@@ -1,0 +1,440 @@
+// Network front-door tests (serve/server.h + serve/protocol.h): frame and
+// payload codecs round-trip; hostile bytes (truncated frames, flipped CRCs,
+// forged lengths, bad opcodes) fail soft; the TCP server answers
+// encode/insert/knn/stats end to end with WAL-backed durability — a server
+// killed mid-ingestion restarts, replays its WAL, and serves a
+// byte-identical store; and no client input can abort the process.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/fs.h"
+#include "core/t2vec.h"
+#include "eval/experiments.h"
+#include "serve/client.h"
+#include "serve/durable_store.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "traj/generator.h"
+
+namespace t2vec::serve {
+namespace {
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::DisarmAll(); }
+
+  static const core::T2Vec& Model() {
+    static core::T2Vec* model = [] {
+      const eval::ExperimentData data =
+          eval::MakeData(eval::DatasetKind::kPortoLike, 120, 0);
+      core::T2VecConfig config;
+      config.hidden = 24;
+      config.embed_dim = 16;
+      config.layers = 1;
+      config.max_iterations = 8;
+      config.validate_every = 100;
+      config.pretrain_epochs = 1;
+      config.r1_grid = {0.0, 0.4};
+      config.r2_grid = {0.0};
+      return new core::T2Vec(
+          core::T2Vec::Train(data.train.trajectories(), config));
+    }();
+    return *model;
+  }
+
+  static const traj::Dataset& Trips() {
+    static traj::Dataset* trips = [] {
+      traj::SyntheticTrajectoryGenerator generator(
+          traj::GeneratorConfig::PortoLike());
+      return new traj::Dataset(generator.Generate(30));
+    }();
+    return *trips;
+  }
+
+  /// A fresh store directory under the test temp dir.
+  static std::string FreshDir(const std::string& name) {
+    const std::string dir = ::testing::TempDir() + "server_test_" + name;
+    (void)MakeDir(dir);
+    std::remove((dir + "/store.snapshot").c_str());
+    std::remove((dir + "/wal.log").c_str());
+    return dir;
+  }
+
+};
+
+/// Connects a bare socket, writes `bytes`, reads whatever comes back until
+/// the server answers or hangs up, and closes. Used to aim hostile input at
+/// the server without the protocol client's framing in the way.
+void RawExchange(uint16_t port, const std::string& bytes) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(bytes.size()));
+  // Give the server a bounded window to respond or hang up; either is fine,
+  // the assertion is that it neither crashes nor wedges.
+  timeval timeout{};
+  timeout.tv_sec = 2;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  char sink[4096];
+  (void)::recv(fd, sink, sizeof(sink), 0);
+  ::close(fd);
+}
+
+// --- Protocol codecs ------------------------------------------------------
+
+TEST_F(ServerTest, FrameRoundTripsAndDetectsCorruption) {
+  std::string wire;
+  AppendFrame("hello frame", &wire);
+  std::string payload;
+  size_t consumed = 0;
+  ASSERT_EQ(ParseFrame(wire, &payload, &consumed), FrameStatus::kOk);
+  EXPECT_EQ(payload, "hello frame");
+  EXPECT_EQ(consumed, wire.size());
+
+  // Every proper prefix is kNeedMore — a slow sender must never be
+  // mistaken for corruption.
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    EXPECT_EQ(ParseFrame(wire.substr(0, cut), &payload, &consumed),
+              FrameStatus::kNeedMore)
+        << "cut at " << cut;
+  }
+  // Any flipped byte is kCorrupt (bad magic, bad CRC, or a length that no
+  // longer matches the checksum) or a longer-frame kNeedMore — never kOk
+  // with wrong bytes.
+  for (size_t i = 0; i < wire.size(); ++i) {
+    std::string damaged = wire;
+    damaged[i] = static_cast<char>(damaged[i] ^ 0x01);
+    const FrameStatus status = ParseFrame(damaged, &payload, &consumed);
+    EXPECT_NE(status, FrameStatus::kOk) << "flip at " << i;
+  }
+}
+
+TEST_F(ServerTest, ForgedHugeLengthIsCorruptNotAnAllocation) {
+  std::string wire;
+  AppendFrame("x", &wire);
+  // Overwrite payload_len with ~4 GiB; CRC no longer matters because the
+  // length cap rejects it first.
+  const uint32_t huge = 0xF0000000u;
+  std::memcpy(wire.data() + 4, &huge, sizeof(huge));
+  std::string payload;
+  size_t consumed = 0;
+  EXPECT_EQ(ParseFrame(wire, &payload, &consumed), FrameStatus::kCorrupt);
+}
+
+TEST_F(ServerTest, RequestCodecRoundTripsEveryOpcode) {
+  traj::Trajectory trip;
+  trip.id = 42;
+  trip.points = {{1.5, -2.5}, {3.0, 4.0}, {-5.25, 6.125}};
+  for (const Opcode op :
+       {Opcode::kEncode, Opcode::kInsert, Opcode::kKnn, Opcode::kStats}) {
+    Request request;
+    request.opcode = op;
+    request.trajectory = trip;
+    request.k = 7;
+    Result<Request> parsed = ParseRequest(EncodeRequest(request));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed.value().opcode, op);
+    if (op == Opcode::kStats) continue;
+    EXPECT_EQ(parsed.value().trajectory.id, trip.id);
+    ASSERT_EQ(parsed.value().trajectory.points.size(), trip.points.size());
+    for (size_t i = 0; i < trip.points.size(); ++i) {
+      EXPECT_EQ(parsed.value().trajectory.points[i].x, trip.points[i].x);
+      EXPECT_EQ(parsed.value().trajectory.points[i].y, trip.points[i].y);
+    }
+    if (op == Opcode::kKnn) EXPECT_EQ(parsed.value().k, 7u);
+  }
+}
+
+TEST_F(ServerTest, HostileRequestPayloadsFailSoft) {
+  // Unknown opcode.
+  EXPECT_FALSE(ParseRequest(std::string("\x09", 1)).ok());
+  // Empty payload.
+  EXPECT_FALSE(ParseRequest("").ok());
+  // Truncations at every byte of a valid knn request.
+  Request request;
+  request.opcode = Opcode::kKnn;
+  request.trajectory.id = 7;
+  request.trajectory.points = {{1.0, 2.0}, {3.0, 4.0}};
+  request.k = 3;
+  const std::string valid = EncodeRequest(request);
+  for (size_t cut = 0; cut < valid.size(); ++cut) {
+    EXPECT_FALSE(ParseRequest(valid.substr(0, cut)).ok()) << "cut " << cut;
+  }
+  // Trailing garbage.
+  EXPECT_FALSE(ParseRequest(valid + "zz").ok());
+  // Forged point count pointing past the payload.
+  std::string forged = valid;
+  const uint32_t huge = 0x7FFFFFFFu;
+  std::memcpy(forged.data() + 1 + 8, &huge, sizeof(huge));
+  EXPECT_FALSE(ParseRequest(forged).ok());
+}
+
+TEST_F(ServerTest, ResponseCodecRoundTripsEveryKind) {
+  {
+    const std::vector<float> vec = {1.0f, -2.0f, 3.5f};
+    Result<Response> r = ParseResponse(EncodeEncodeResponse(vec));
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value().status.ok());
+    EXPECT_EQ(r.value().vector, vec);
+  }
+  {
+    Result<Response> r = ParseResponse(EncodeInsertResponse(-17));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().id, -17);
+  }
+  {
+    EmbeddingStore::Neighbors n;
+    n.ids = {5, 9};
+    n.distances = {0.25, 1.75};
+    Result<Response> r = ParseResponse(EncodeKnnResponse(n));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().neighbors.ids, n.ids);
+    EXPECT_EQ(r.value().neighbors.distances, n.distances);
+  }
+  {
+    Result<Response> r = ParseResponse(EncodeStatsResponse("{\"a\": 1}"));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().stats_json, "{\"a\": 1}");
+  }
+  {
+    Result<Response> r = ParseResponse(EncodeErrorResponse(
+        Opcode::kInsert, Status::InvalidArgument("duplicate id 7")));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().status.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(r.value().status.message(), "duplicate id 7");
+  }
+}
+
+// --- End-to-end TCP -------------------------------------------------------
+
+TEST_F(ServerTest, EncodeInsertKnnStatsOverTcp) {
+  const std::string dir = FreshDir("e2e");
+  Result<std::unique_ptr<DurableStore>> store =
+      DurableStore::Open(dir, Model().config().hidden);
+  ASSERT_TRUE(store.ok());
+  TcpServer server(&Model(), store.value().get());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.port(), 0);
+
+  Result<std::unique_ptr<TcpClient>> client =
+      TcpClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  // encode matches the in-process model bit for bit.
+  Result<std::vector<float>> encoded = client.value()->Encode(Trips()[0]);
+  ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+  const std::vector<float> local = Model().EncodeOne(Trips()[0]);
+  ASSERT_EQ(encoded.value().size(), local.size());
+  EXPECT_EQ(std::memcmp(encoded.value().data(), local.data(),
+                        local.size() * sizeof(float)),
+            0);
+
+  // insert: acknowledged inserts land in the store.
+  for (size_t i = 0; i < 5; ++i) {
+    Result<int64_t> inserted = client.value()->Insert(Trips()[i]);
+    ASSERT_TRUE(inserted.ok()) << inserted.status().ToString();
+    EXPECT_EQ(inserted.value(), Trips()[i].id);
+  }
+  EXPECT_EQ(store.value()->size(), 5u);
+
+  // Duplicate insert: an error response on a connection that stays usable.
+  Result<int64_t> dup = client.value()->Insert(Trips()[0]);
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+
+  // knn: the nearest neighbor of an inserted trip is itself, and k is
+  // clamped to the store size instead of failing (or aborting).
+  Result<EmbeddingStore::Neighbors> near = client.value()->Knn(Trips()[2], 3);
+  ASSERT_TRUE(near.ok()) << near.status().ToString();
+  ASSERT_EQ(near.value().size(), 3u);
+  EXPECT_EQ(near.value().ids[0], Trips()[2].id);
+  EXPECT_DOUBLE_EQ(near.value().distances[0], 0.0);
+  Result<EmbeddingStore::Neighbors> clamped =
+      client.value()->Knn(Trips()[2], 1000);
+  ASSERT_TRUE(clamped.ok());
+  EXPECT_EQ(clamped.value().size(), 5u);
+
+  // stats: well-formed JSON covering every layer.
+  Result<std::string> stats = client.value()->Stats();
+  ASSERT_TRUE(stats.ok());
+  for (const char* key : {"\"server\"", "\"service\"", "\"store\"",
+                          "\"requests\"", "\"wal_bytes\"", "\"size\": 5"}) {
+    EXPECT_NE(stats.value().find(key), std::string::npos)
+        << "missing " << key << " in " << stats.value();
+  }
+
+  client.value().reset();
+  server.Stop();
+}
+
+TEST_F(ServerTest, KnnOnEmptyStoreReturnsEmptyNotAbort) {
+  const std::string dir = FreshDir("empty_knn");
+  Result<std::unique_ptr<DurableStore>> store =
+      DurableStore::Open(dir, Model().config().hidden);
+  ASSERT_TRUE(store.ok());
+  TcpServer server(&Model(), store.value().get());
+  ASSERT_TRUE(server.Start().ok());
+  Result<std::unique_ptr<TcpClient>> client =
+      TcpClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  Result<EmbeddingStore::Neighbors> near =
+      client.value()->Knn(Trips()[0], 10);
+  ASSERT_TRUE(near.ok()) << near.status().ToString();
+  EXPECT_EQ(near.value().size(), 0u);
+}
+
+// Raw hostile bytes on the socket: the server answers errors or drops the
+// one connection, and keeps serving everyone else.
+TEST_F(ServerTest, HostileBytesCannotKillTheServer) {
+  const std::string dir = FreshDir("hostile");
+  Result<std::unique_ptr<DurableStore>> store =
+      DurableStore::Open(dir, Model().config().hidden);
+  ASSERT_TRUE(store.ok());
+  TcpServer server(&Model(), store.value().get());
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::vector<std::string> attacks = {
+      std::string("\x00\x00\x00\x00garbage without magic", 24),
+      [] {  // Valid frame, unknown opcode payload.
+        std::string wire;
+        AppendFrame(std::string("\x66nonsense", 9), &wire);
+        return wire;
+      }(),
+      [] {  // Valid frame, truncated trajectory body.
+        std::string wire;
+        AppendFrame(std::string("\x02\x01", 2), &wire);
+        return wire;
+      }(),
+      [] {  // Corrupt CRC.
+        std::string wire;
+        AppendFrame("payload", &wire);
+        wire[8] = static_cast<char>(wire[8] ^ 0xFF);
+        return wire;
+      }(),
+  };
+  for (const std::string& attack : attacks) {
+    RawExchange(server.port(), attack);
+  }
+  // After every attack, a well-behaved client still gets service.
+  Result<std::unique_ptr<TcpClient>> good =
+      TcpClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(good.ok());
+  Result<int64_t> inserted = good.value()->Insert(Trips()[0]);
+  EXPECT_TRUE(inserted.ok()) << inserted.status().ToString();
+}
+
+// The acceptance scenario: kill the server mid-ingestion (a WAL fault makes
+// one insert fail un-acked), restart over the same directory, and the
+// replayed store is byte-identical to the acknowledged state.
+TEST_F(ServerTest, KillAndReplayOverTcpIsByteIdentical) {
+  const std::string dir = FreshDir("kill_replay");
+  const std::string acked_snapshot = dir + "/acked.cmp";
+  {
+    Result<std::unique_ptr<DurableStore>> store =
+        DurableStore::Open(dir, Model().config().hidden);
+    ASSERT_TRUE(store.ok());
+    TcpServer server(&Model(), store.value().get());
+    ASSERT_TRUE(server.Start().ok());
+    Result<std::unique_ptr<TcpClient>> client =
+        TcpClient::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+
+    for (size_t i = 0; i < 8; ++i) {
+      ASSERT_TRUE(client.value()->Insert(Trips()[i]).ok());
+    }
+    // The crash: the 9th insert dies at the WAL append site, so the client
+    // gets an error and the insert is NOT acknowledged.
+    fault::Arm("wal.append", 1, EIO);
+    Result<int64_t> failed = client.value()->Insert(Trips()[8]);
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.status().code(), StatusCode::kIoError);
+    fault::DisarmAll();
+
+    ASSERT_TRUE(store.value()->SaveTo(acked_snapshot).ok());
+    client.value().reset();
+    server.Stop();
+    // Store dropped here without compaction: the WAL is the only record.
+  }
+  // "Restart": reopen the directory, replay, serve.
+  Result<std::unique_ptr<DurableStore>> reopened =
+      DurableStore::Open(dir, Model().config().hidden);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->size(), 8u);
+  const std::string replayed_snapshot = dir + "/replayed.cmp";
+  ASSERT_TRUE(reopened.value()->SaveTo(replayed_snapshot).ok());
+  std::string acked;
+  std::string replayed;
+  ASSERT_TRUE(ReadFileToString(acked_snapshot, &acked).ok());
+  ASSERT_TRUE(ReadFileToString(replayed_snapshot, &replayed).ok());
+  EXPECT_EQ(acked, replayed);
+
+  // And it serves: the replayed store answers kNN over TCP.
+  TcpServer server(&Model(), reopened.value().get());
+  ASSERT_TRUE(server.Start().ok());
+  Result<std::unique_ptr<TcpClient>> client =
+      TcpClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  Result<EmbeddingStore::Neighbors> near = client.value()->Knn(Trips()[3], 1);
+  ASSERT_TRUE(near.ok());
+  ASSERT_EQ(near.value().size(), 1u);
+  EXPECT_EQ(near.value().ids[0], Trips()[3].id);
+}
+
+TEST_F(ServerTest, ConcurrentClientsInsertDisjointIds) {
+  const std::string dir = FreshDir("concurrent");
+  Result<std::unique_ptr<DurableStore>> store =
+      DurableStore::Open(dir, Model().config().hidden);
+  ASSERT_TRUE(store.ok());
+  TcpServer server(&Model(), store.value().get());
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr size_t kClients = 4;
+  constexpr size_t kPerClient = 6;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kClients, 0);
+  for (size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Result<std::unique_ptr<TcpClient>> client =
+          TcpClient::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        failures[c] = 1;
+        return;
+      }
+      for (size_t i = 0; i < kPerClient; ++i) {
+        traj::Trajectory trip = Trips()[(c * kPerClient + i) % Trips().size()];
+        trip.id = static_cast<int64_t>(1000 + c * kPerClient + i);
+        if (!client.value()->Insert(trip).ok()) failures[c] = 1;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (size_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], 0) << "client " << c;
+  }
+  EXPECT_EQ(store.value()->size(), kClients * kPerClient);
+}
+
+}  // namespace
+}  // namespace t2vec::serve

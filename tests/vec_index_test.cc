@@ -242,5 +242,39 @@ TEST(VectorIndexTest, DeprecatedKnnForwardsToQuery) {
 #pragma GCC diagnostic pop
 }
 
+// Regression: k arrives straight from serving-path clients, so k > size()
+// and empty indexes must degrade to shorter answers — the old CHECK here
+// aborted the whole server process.
+TEST(VectorIndexTest, QueryClampsKToIndexSize) {
+  const nn::Matrix vecs = RandomVectors(5, 4, 30);
+  VectorIndex index{nn::Matrix(vecs)};
+  const nn::Matrix queries = RandomVectors(1, 4, 31);
+  const KnnResult all = index.Query({queries.Row(0), 4}, 100);
+  EXPECT_EQ(all.size(), 5u);
+  const KnnResult exact = index.Query({queries.Row(0), 4}, 5);
+  EXPECT_EQ(all.ids, exact.ids);
+  EXPECT_EQ(all.distances, exact.distances);
+  EXPECT_EQ(index.Query({queries.Row(0), 4}, 0).size(), 0u);
+}
+
+TEST(VectorIndexTest, QueryOnEmptyIndexReturnsNothing) {
+  VectorIndex index(nn::Matrix(0, 4));
+  const float query[4] = {1.0f, 2.0f, 3.0f, 4.0f};
+  const KnnResult result = index.Query({query, 4}, 10);
+  EXPECT_EQ(result.size(), 0u);
+}
+
+TEST(LshIndexTest, QueryClampsKToIndexedRows) {
+  const nn::Matrix vecs = RandomVectors(6, 8, 32);
+  LshIndex lsh(vecs, 4, 8, 33);
+  const nn::Matrix queries = RandomVectors(1, 8, 34);
+  EXPECT_EQ(lsh.Query({queries.Row(0), 8}, 50).size(), 6u);
+  EXPECT_EQ(lsh.Query({queries.Row(0), 8}, 0).size(), 0u);
+
+  const nn::Matrix no_vecs(0, 8);
+  LshIndex empty(no_vecs, 4, 8, 35);
+  EXPECT_EQ(empty.Query({queries.Row(0), 8}, 3).size(), 0u);
+}
+
 }  // namespace
 }  // namespace t2vec::core

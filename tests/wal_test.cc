@@ -1,0 +1,482 @@
+// Robustness tests for the serving-path WAL (serve/wal.h) and the
+// WAL-backed DurableStore (serve/durable_store.h): framing round trips,
+// torn-tail cuts at every byte offset, bit flips, injected I/O faults on
+// the append/replay/compact path, and the headline crash contract — a store
+// killed mid-ingestion and reopened is byte-identical to one that was never
+// interrupted.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/fs.h"
+#include "common/rng.h"
+#include "serve/durable_store.h"
+#include "serve/wal.h"
+
+namespace t2vec::serve {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::DisarmAll(); }
+
+  /// A fresh per-test scratch directory.
+  std::string Dir(const std::string& name) {
+    const std::string dir = ::testing::TempDir() + "wal_test_" + name;
+    (void)MakeDir(dir);
+    return dir;
+  }
+
+  static std::vector<float> MakeVec(size_t dim, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<float> v(dim);
+    for (float& x : v) x = static_cast<float>(rng.Gaussian());
+    return v;
+  }
+
+  static std::string FileBytes(const std::string& path) {
+    std::string data;
+    EXPECT_TRUE(ReadFileToString(path, &data).ok()) << path;
+    return data;
+  }
+
+  /// Replays `path` collecting the raw payloads.
+  static Result<WalReplayStats> Collect(const std::string& path,
+                                        std::vector<std::string>* payloads) {
+    return ReplayWal(path, [payloads](std::string_view payload) {
+      payloads->emplace_back(payload);
+      return Status::Ok();
+    });
+  }
+};
+
+TEST_F(WalTest, RoundTripsRecordsInWriteOrder) {
+  const std::string path = Dir("roundtrip") + "/wal.log";
+  std::remove(path.c_str());
+  const std::vector<std::string> records = {"alpha", "", "gamma gamma",
+                                            std::string(1000, 'x')};
+  {
+    WalWriter writer(path);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    for (const std::string& r : records) {
+      ASSERT_TRUE(writer.Append(r).ok());
+    }
+    EXPECT_EQ(writer.size_bytes(),
+              kWalHeaderBytes + 4 * kWalRecordOverhead + 5 + 0 + 11 + 1000);
+  }
+  std::vector<std::string> replayed;
+  Result<WalReplayStats> stats = Collect(path, &replayed);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(replayed, records);
+  EXPECT_EQ(stats.value().records, records.size());
+  EXPECT_FALSE(stats.value().torn_tail);
+  EXPECT_EQ(stats.value().valid_bytes, FileBytes(path).size());
+}
+
+TEST_F(WalTest, MissingFileIsAnEmptyLog) {
+  std::vector<std::string> replayed;
+  Result<WalReplayStats> stats =
+      Collect(Dir("missing") + "/nonexistent.log", &replayed);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().records, 0u);
+  EXPECT_FALSE(stats.value().torn_tail);
+  EXPECT_TRUE(replayed.empty());
+}
+
+TEST_F(WalTest, ReopeningResumesAppending) {
+  const std::string path = Dir("reopen") + "/wal.log";
+  std::remove(path.c_str());
+  {
+    WalWriter writer(path);
+    ASSERT_TRUE(writer.Append("first").ok());
+  }
+  {
+    WalWriter writer(path);  // Must not re-stamp the header.
+    ASSERT_TRUE(writer.Append("second").ok());
+  }
+  std::vector<std::string> replayed;
+  ASSERT_TRUE(Collect(path, &replayed).ok());
+  EXPECT_EQ(replayed, (std::vector<std::string>{"first", "second"}));
+}
+
+// The crash model: a torn tail is a prefix cut of the file. Every possible
+// cut must replay cleanly to the intact prefix, and truncating to the
+// reported valid_bytes must yield a tail-free log.
+TEST_F(WalTest, PrefixCutAtEveryByteReplaysCleanly) {
+  const std::string dir = Dir("cuts");
+  const std::string full_path = dir + "/wal.log";
+  std::remove(full_path.c_str());
+  const std::vector<std::string> records = {"one", "twotwo", "three-three"};
+  {
+    WalWriter writer(full_path);
+    for (const std::string& r : records) ASSERT_TRUE(writer.Append(r).ok());
+  }
+  const std::string full = FileBytes(full_path);
+
+  // Complete-record boundaries, to know the expected intact prefix per cut.
+  std::vector<size_t> boundaries = {kWalHeaderBytes};
+  for (const std::string& r : records) {
+    boundaries.push_back(boundaries.back() + kWalRecordOverhead + r.size());
+  }
+
+  const std::string cut_path = dir + "/cut.log";
+  for (size_t cut = 0; cut <= full.size(); ++cut) {
+    ASSERT_TRUE(WriteFileAtomic(cut_path, full.substr(0, cut)).ok());
+    std::vector<std::string> replayed;
+    Result<WalReplayStats> stats = Collect(cut_path, &replayed);
+    ASSERT_TRUE(stats.ok()) << "cut at " << cut << ": "
+                            << stats.status().ToString();
+    size_t expected_records = 0;
+    while (expected_records < records.size() &&
+           boundaries[expected_records + 1] <= cut) {
+      ++expected_records;
+    }
+    EXPECT_EQ(replayed.size(), expected_records) << "cut at " << cut;
+    for (size_t i = 0; i < replayed.size(); ++i) {
+      EXPECT_EQ(replayed[i], records[i]) << "cut at " << cut;
+    }
+    // Torn iff the cut lands inside a record (or inside the header): cut 0
+    // is an empty file, and a cut exactly on a boundary is a clean log.
+    const bool expect_torn =
+        cut != 0 && cut != boundaries[expected_records];
+    EXPECT_EQ(stats.value().torn_tail, expect_torn) << "cut at " << cut;
+    // Trimming to valid_bytes then replaying must be tail-free with the
+    // same records — this is exactly what DurableStore::Open does.
+    if (stats.value().torn_tail) {
+      ASSERT_TRUE(TruncateFile(cut_path, stats.value().valid_bytes).ok());
+      std::vector<std::string> trimmed;
+      Result<WalReplayStats> again = Collect(cut_path, &trimmed);
+      ASSERT_TRUE(again.ok());
+      EXPECT_FALSE(again.value().torn_tail) << "cut at " << cut;
+      EXPECT_EQ(trimmed.size(), expected_records) << "cut at " << cut;
+    }
+  }
+}
+
+TEST_F(WalTest, BitFlipStopsReplayAtTheCorruptRecord) {
+  const std::string path = Dir("bitflip") + "/wal.log";
+  std::remove(path.c_str());
+  {
+    WalWriter writer(path);
+    ASSERT_TRUE(writer.Append("record zero").ok());
+    ASSERT_TRUE(writer.Append("record one").ok());
+  }
+  std::string bytes = FileBytes(path);
+  // Flip a payload byte of the second record.
+  const size_t victim =
+      kWalHeaderBytes + kWalRecordOverhead + 11 + kWalRecordOverhead + 3;
+  ASSERT_LT(victim, bytes.size());
+  bytes[victim] = static_cast<char>(bytes[victim] ^ 0x40);
+  ASSERT_TRUE(WriteFileAtomic(path, bytes).ok());
+
+  std::vector<std::string> replayed;
+  Result<WalReplayStats> stats = Collect(path, &replayed);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(replayed, (std::vector<std::string>{"record zero"}));
+  EXPECT_TRUE(stats.value().torn_tail);
+}
+
+TEST_F(WalTest, BadMagicIsAHardError) {
+  const std::string path = Dir("badmagic") + "/wal.log";
+  ASSERT_TRUE(WriteFileAtomic(path, "XXXXYYYY not a wal at all").ok());
+  std::vector<std::string> replayed;
+  EXPECT_FALSE(Collect(path, &replayed).ok());
+}
+
+TEST_F(WalTest, InjectedAppendFaultLeavesLogUntouched) {
+  const std::string path = Dir("fault_append") + "/wal.log";
+  std::remove(path.c_str());
+  WalWriter writer(path);
+  ASSERT_TRUE(writer.Append("kept").ok());
+  const uint64_t size_before = writer.size_bytes();
+
+  fault::Arm("wal.append", 1, EIO);
+  const Status failed = writer.Append("lost");
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(writer.size_bytes(), size_before);
+  // The wal.append site fires before any byte is written, so the writer is
+  // not poisoned: the next append must succeed and replay must see both
+  // surviving records.
+  ASSERT_TRUE(writer.Append("after").ok());
+  std::vector<std::string> replayed;
+  ASSERT_TRUE(Collect(path, &replayed).ok());
+  EXPECT_EQ(replayed, (std::vector<std::string>{"kept", "after"}));
+}
+
+TEST_F(WalTest, InjectedWriteFaultMakesWriterInert) {
+  const std::string path = Dir("fault_write") + "/wal.log";
+  std::remove(path.c_str());
+  WalWriter writer(path);
+  ASSERT_TRUE(writer.Append("ok").ok());
+  fault::Arm("fs.append.write", 1, ENOSPC);
+  EXPECT_FALSE(writer.Append("doomed").ok());
+  EXPECT_FALSE(writer.ok());
+  EXPECT_FALSE(writer.Append("still doomed").ok());  // First error sticks.
+}
+
+TEST_F(WalTest, InsertRecordCodecRoundTripsAndFailsSoft) {
+  const std::vector<float> vec = MakeVec(16, 42);
+  const std::string payload = EncodeInsertRecord(77, vec);
+  int64_t id = 0;
+  std::vector<float> decoded;
+  ASSERT_TRUE(DecodeInsertRecord(payload, &id, &decoded).ok());
+  EXPECT_EQ(id, 77);
+  EXPECT_EQ(decoded, vec);
+
+  // Truncations and length mismatches fail with Status, never abort.
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(
+        DecodeInsertRecord(payload.substr(0, cut), &id, &decoded).ok())
+        << "cut at " << cut;
+  }
+  EXPECT_FALSE(DecodeInsertRecord(payload + "x", &id, &decoded).ok());
+}
+
+// --- DurableStore ---------------------------------------------------------
+
+TEST_F(WalTest, DurableStoreReopenIsByteIdenticalToUninterrupted) {
+  const size_t kDim = 8;
+  const std::string dir = Dir("identity");
+  std::remove((dir + "/store.snapshot").c_str());
+  std::remove((dir + "/wal.log").c_str());
+
+  const std::string live_snap = dir + "/live.cmp";
+  {
+    Result<std::unique_ptr<DurableStore>> store =
+        DurableStore::Open(dir, kDim);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    for (int64_t id = 0; id < 12; ++id) {
+      ASSERT_TRUE(
+          store.value()
+              ->Insert(id, MakeVec(kDim, static_cast<uint64_t>(id)))
+              .ok());
+    }
+    ASSERT_TRUE(store.value()->SaveTo(live_snap).ok());
+    // "Kill": the store is dropped with a populated WAL and no compaction.
+  }
+  Result<std::unique_ptr<DurableStore>> reopened =
+      DurableStore::Open(dir, kDim);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->size(), 12u);
+  const std::string replayed_snap = dir + "/replayed.cmp";
+  ASSERT_TRUE(reopened.value()->SaveTo(replayed_snap).ok());
+  EXPECT_EQ(FileBytes(live_snap), FileBytes(replayed_snap));
+}
+
+TEST_F(WalTest, DurableStoreKilledMidIngestionServesAckedPrefix) {
+  const size_t kDim = 6;
+  const std::string dir = Dir("midkill");
+  std::remove((dir + "/store.snapshot").c_str());
+  std::remove((dir + "/wal.log").c_str());
+  {
+    Result<std::unique_ptr<DurableStore>> store =
+        DurableStore::Open(dir, kDim);
+    ASSERT_TRUE(store.ok());
+    for (int64_t id = 0; id < 5; ++id) {
+      ASSERT_TRUE(
+          store.value()
+              ->Insert(id, MakeVec(kDim, static_cast<uint64_t>(id)))
+              .ok());
+    }
+    // The 6th insert dies at the WAL site: the client gets an error, so the
+    // acknowledged prefix is exactly ids 0..4.
+    fault::Arm("wal.append", 1, EIO);
+    EXPECT_FALSE(store.value()->Insert(5, MakeVec(kDim, 5)).ok());
+    fault::DisarmAll();
+    EXPECT_EQ(store.value()->size(), 5u);
+  }
+  // Simulate the torn half-written record the crash would have left.
+  {
+    AppendOnlyFile wal(dir + "/wal.log");
+    ASSERT_TRUE(wal.Append("\x13\x00\x00\x00garbage", 11).ok());
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+  Result<std::unique_ptr<DurableStore>> reopened =
+      DurableStore::Open(dir, kDim);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->size(), 5u);
+  for (int64_t id = 0; id < 5; ++id) {
+    EXPECT_EQ(reopened.value()->Find(id),
+              MakeVec(kDim, static_cast<uint64_t>(id)));
+  }
+  // The torn tail was trimmed, so appending works and survives reopen.
+  ASSERT_TRUE(reopened.value()->Insert(5, MakeVec(kDim, 5)).ok());
+  reopened.value().reset();
+  Result<std::unique_ptr<DurableStore>> again = DurableStore::Open(dir, kDim);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value()->size(), 6u);
+}
+
+TEST_F(WalTest, CompactionFoldsWalIntoSnapshot) {
+  const size_t kDim = 4;
+  const std::string dir = Dir("compact");
+  std::remove((dir + "/store.snapshot").c_str());
+  std::remove((dir + "/wal.log").c_str());
+  Result<std::unique_ptr<DurableStore>> store = DurableStore::Open(dir, kDim);
+  ASSERT_TRUE(store.ok());
+  for (int64_t id = 0; id < 8; ++id) {
+    ASSERT_TRUE(store.value()
+                    ->Insert(id, MakeVec(kDim, static_cast<uint64_t>(id)))
+                    .ok());
+  }
+  const uint64_t wal_before = store.value()->wal_bytes();
+  ASSERT_TRUE(store.value()->Compact().ok());
+  EXPECT_EQ(store.value()->compactions(), 1);
+  EXPECT_LT(store.value()->wal_bytes(), wal_before);
+  EXPECT_EQ(store.value()->wal_bytes(), kWalHeaderBytes);
+  EXPECT_TRUE(FileExists(dir + "/store.snapshot"));
+
+  // Post-compaction inserts land in the fresh WAL; reopen sees snapshot +
+  // new records.
+  ASSERT_TRUE(store.value()->Insert(100, MakeVec(kDim, 100)).ok());
+  const std::string before = dir + "/before.cmp";
+  ASSERT_TRUE(store.value()->SaveTo(before).ok());
+  store.value().reset();
+  Result<std::unique_ptr<DurableStore>> reopened =
+      DurableStore::Open(dir, kDim);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value()->size(), 9u);
+  const std::string after = dir + "/after.cmp";
+  ASSERT_TRUE(reopened.value()->SaveTo(after).ok());
+  EXPECT_EQ(FileBytes(before), FileBytes(after));
+}
+
+// A crash between the snapshot commit and the WAL truncate leaves every
+// WAL record duplicated by the snapshot; replay must skip them.
+TEST_F(WalTest, CrashBetweenSnapshotAndTruncateIsIdempotent) {
+  const size_t kDim = 4;
+  const std::string dir = Dir("compact_crash");
+  std::remove((dir + "/store.snapshot").c_str());
+  std::remove((dir + "/wal.log").c_str());
+  Result<std::unique_ptr<DurableStore>> store = DurableStore::Open(dir, kDim);
+  ASSERT_TRUE(store.ok());
+  for (int64_t id = 0; id < 6; ++id) {
+    ASSERT_TRUE(store.value()
+                    ->Insert(id, MakeVec(kDim, static_cast<uint64_t>(id)))
+                    .ok());
+  }
+  const std::string expected = dir + "/expected.cmp";
+  ASSERT_TRUE(store.value()->SaveTo(expected).ok());
+
+  // Injected fault: the snapshot is written, the truncate never happens —
+  // exactly the crash window.
+  fault::Arm("wal.compact.truncate", 1, EIO);
+  EXPECT_FALSE(store.value()->Compact().ok());
+  fault::DisarmAll();
+  EXPECT_EQ(store.value()->compactions(), 0);
+  EXPECT_TRUE(FileExists(dir + "/store.snapshot"));
+  EXPECT_GT(store.value()->wal_bytes(), kWalHeaderBytes);
+  // Serving continues on the intact store.
+  EXPECT_EQ(store.value()->size(), 6u);
+  store.value().reset();
+
+  Result<std::unique_ptr<DurableStore>> reopened =
+      DurableStore::Open(dir, kDim);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->size(), 6u);  // Not 12: replay skipped dups.
+  const std::string actual = dir + "/actual.cmp";
+  ASSERT_TRUE(reopened.value()->SaveTo(actual).ok());
+  EXPECT_EQ(FileBytes(expected), FileBytes(actual));
+}
+
+TEST_F(WalTest, SnapshotFaultLeavesWalAuthoritative) {
+  const size_t kDim = 4;
+  const std::string dir = Dir("snap_fault");
+  std::remove((dir + "/store.snapshot").c_str());
+  std::remove((dir + "/wal.log").c_str());
+  Result<std::unique_ptr<DurableStore>> store = DurableStore::Open(dir, kDim);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store.value()->Insert(1, MakeVec(kDim, 1)).ok());
+
+  fault::Arm("wal.compact.snapshot", 1, ENOSPC);
+  EXPECT_FALSE(store.value()->Compact().ok());
+  fault::DisarmAll();
+  EXPECT_FALSE(FileExists(dir + "/store.snapshot"));
+  store.value().reset();
+
+  Result<std::unique_ptr<DurableStore>> reopened =
+      DurableStore::Open(dir, kDim);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value()->size(), 1u);
+}
+
+TEST_F(WalTest, InvalidInsertsNeverReachTheWal) {
+  const size_t kDim = 4;
+  const std::string dir = Dir("invalid");
+  std::remove((dir + "/store.snapshot").c_str());
+  std::remove((dir + "/wal.log").c_str());
+  Result<std::unique_ptr<DurableStore>> store = DurableStore::Open(dir, kDim);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store.value()->Insert(1, MakeVec(kDim, 1)).ok());
+  const uint64_t wal_after_valid = store.value()->wal_bytes();
+
+  EXPECT_EQ(store.value()->Insert(1, MakeVec(kDim, 2)).code(),
+            StatusCode::kInvalidArgument);  // Duplicate id.
+  EXPECT_EQ(store.value()->Insert(2, MakeVec(kDim + 1, 3)).code(),
+            StatusCode::kInvalidArgument);  // Dimension mismatch.
+  EXPECT_EQ(store.value()->wal_bytes(), wal_after_valid);
+  EXPECT_EQ(store.value()->size(), 1u);
+}
+
+TEST_F(WalTest, BackgroundCompactionTriggersOnWalGrowth) {
+  const size_t kDim = 8;
+  const std::string dir = Dir("bg_compact");
+  std::remove((dir + "/store.snapshot").c_str());
+  std::remove((dir + "/wal.log").c_str());
+  DurableStoreOptions options;
+  options.compact_after_bytes = 256;  // A handful of records.
+  Result<std::unique_ptr<DurableStore>> store =
+      DurableStore::Open(dir, kDim, options);
+  ASSERT_TRUE(store.ok());
+  for (int64_t id = 0; id < 32; ++id) {
+    ASSERT_TRUE(store.value()
+                    ->Insert(id, MakeVec(kDim, static_cast<uint64_t>(id)))
+                    .ok());
+  }
+  // The compactor runs asynchronously; poll briefly for it to land.
+  for (int spin = 0; spin < 200 && store.value()->compactions() == 0;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(store.value()->compactions(), 1);
+  EXPECT_TRUE(FileExists(dir + "/store.snapshot"));
+  EXPECT_EQ(store.value()->size(), 32u);
+  store.value().reset();
+
+  Result<std::unique_ptr<DurableStore>> reopened =
+      DurableStore::Open(dir, kDim);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value()->size(), 32u);
+}
+
+TEST_F(WalTest, ReplayFaultSurfacesAsCleanOpenFailure) {
+  const size_t kDim = 4;
+  const std::string dir = Dir("replay_fault");
+  std::remove((dir + "/store.snapshot").c_str());
+  std::remove((dir + "/wal.log").c_str());
+  {
+    Result<std::unique_ptr<DurableStore>> store =
+        DurableStore::Open(dir, kDim);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store.value()->Insert(1, MakeVec(kDim, 1)).ok());
+  }
+  fault::Arm("wal.replay", 1, EIO);
+  Result<std::unique_ptr<DurableStore>> failed = DurableStore::Open(dir, kDim);
+  EXPECT_FALSE(failed.ok());
+  fault::DisarmAll();
+  // The failure is clean: the log is intact and the next open succeeds.
+  Result<std::unique_ptr<DurableStore>> retried =
+      DurableStore::Open(dir, kDim);
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(retried.value()->size(), 1u);
+}
+
+}  // namespace
+}  // namespace t2vec::serve

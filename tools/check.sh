@@ -7,7 +7,9 @@
 #   stage 1  build + ctest     full suite, warnings as errors (T2VEC_WERROR)
 #   stage 2  lint              tools/lint_determinism.py over src/ bench/ tools/
 #   stage 3  robustness        ctest -L robustness: fault injection,
-#                              corruption matrix, kill-and-resume
+#                              corruption matrix, kill-and-resume, WAL
+#                              replay, and the TCP server's hostile-bytes
+#                              and kill-mid-ingestion scenarios
 #   stage 4  clang-tidy        -DT2VEC_CLANG_TIDY=ON build of src/ (skipped
 #                              with a notice when clang-tidy is not installed)
 #   stage 5  TSan              ctest -L determinism under -fsanitize=thread

@@ -36,14 +36,19 @@ at review time, by banning the source patterns that historically break it:
                   call on a non-deprecated type, e.g. EmbeddingStore::Knn, is
                   a false positive of the text-level match: suppress it with
                   an allow comment naming the type.)
-  raw-ofstream    std::ofstream / std::fstream / std::fopen outside
-                  common/fs.* and common/serialize.h. Direct stream writes
-                  bypass the durability layer (DESIGN.md §7): no atomic
-                  tmp-file + rename publication, no CRC32C trailer, so a
-                  crash mid-write leaves a truncated artifact at the final
-                  path. Binary artifacts go through BinaryWriter; text
-                  artifacts render into a std::string and publish via
-                  WriteFileAtomic (reads: BinaryReader / ReadFileToString).
+  raw-ofstream    std::ofstream / std::fstream / std::fopen, and the raw
+                  POSIX write path (::open, ::write, ::fsync, ::fdatasync,
+                  ::rename, ::ftruncate), outside common/fs.* and
+                  common/serialize.h. Direct writes bypass the durability
+                  layer (DESIGN.md §7): no atomic tmp-file + rename
+                  publication, no CRC32C trailer, so a crash mid-write
+                  leaves a truncated artifact at the final path. Binary
+                  artifacts go through BinaryWriter; text artifacts render
+                  into a std::string and publish via WriteFileAtomic; logs
+                  append through AppendOnlyFile (reads: BinaryReader /
+                  ReadFileToString). Only global-namespace ::calls match,
+                  so socket I/O (::send, ::recv, ::close) and qualified
+                  names (std::remove, stream.write(...)) never fire.
                   fopen is banned in both directions — string literals are
                   blanked before matching, so the linter cannot tell "r"
                   from "w"; suppress a genuine read-only use with an allow
@@ -156,15 +161,22 @@ RULES = {
     },
     "raw-ofstream": {
         "description": (
-            "direct std::ofstream/std::fstream/fopen write outside "
-            "common/fs.* and common/serialize.h bypasses atomic publication "
-            "and CRC framing; use BinaryWriter or WriteFileAtomic "
-            "(common/fs.h)"
+            "direct std::ofstream/std::fstream/fopen or raw POSIX write "
+            "path (::open/::write/::fsync/::fdatasync/::rename/::ftruncate) "
+            "outside common/fs.* and common/serialize.h bypasses atomic "
+            "publication and CRC framing; use BinaryWriter, WriteFileAtomic, "
+            "or AppendOnlyFile (common/fs.h)"
         ),
         "patterns": _c(
             r"\bstd\s*::\s*ofstream\b",
             r"\bstd\s*::\s*fstream\b",
             r"\bfopen\s*\(",
+            # Global-namespace POSIX file-write calls only: `(?<![\w:])::`
+            # rejects qualified names (std::remove, ofstream::write) and the
+            # bare-call / member-call forms, so socket I/O (::send, ::recv,
+            # ::close) and buffer.write(...) never fire.
+            r"(?<![\w:])::\s*(?:open|write|fsync|fdatasync|rename|"
+            r"ftruncate)\s*\(",
         ),
         "exempt": {
             "src/common/fs.h",

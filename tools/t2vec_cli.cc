@@ -9,10 +9,13 @@
 //   encode   --model m.t2vec --data data.txt --out vectors.txt
 //   knn      --model m.t2vec --data db.txt --query-index I [--k K]
 //   reconstruct --model m.t2vec --data db.txt --query-index I [--drop R]
+//   server   --model m.t2vec --data-dir d/ [--port P] [--run-seconds S]
 //
 // Exit status is non-zero on any error; diagnostics go to stderr.
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,7 +27,9 @@
 #include "common/fs.h"
 #include "core/t2vec.h"
 #include "core/vec_index.h"
+#include "serve/durable_store.h"
 #include "serve/embedding_service.h"
+#include "serve/server.h"
 #include "traj/generator.h"
 #include "traj/transforms.h"
 
@@ -276,11 +281,68 @@ int CmdServeBench(const Flags& flags) {
   return 0;
 }
 
+// SIGINT flips this; the server loop polls it. sig_atomic_t + lock-free
+// store is all a signal handler may touch.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void HandleSigint(int) { g_interrupted = 1; }
+
+// Serves a model over TCP with WAL-backed ingestion: every insert is
+// fsynced to <data-dir>/wal.log before it is acknowledged, and a restart
+// replays the log back into the store (DESIGN.md §8).
+int CmdServer(const Flags& flags) {
+  if (!flags.Has("model") || !flags.Has("data-dir")) {
+    return Fail("server requires --model and --data-dir");
+  }
+  Result<core::T2Vec> model = core::T2Vec::Load(flags.Get("model", ""));
+  if (!model.ok()) return Fail(model.status().ToString().c_str());
+
+  serve::DurableStoreOptions store_options;
+  store_options.compact_after_bytes = static_cast<uint64_t>(
+      flags.GetInt("compact-bytes", 64 << 20));
+  Result<std::unique_ptr<serve::DurableStore>> store =
+      serve::DurableStore::Open(flags.Get("data-dir", ""),
+                                model.value().config().hidden, store_options);
+  if (!store.ok()) return Fail(store.status().ToString().c_str());
+  std::fprintf(stderr, "store: %zu vectors (dim %zu), wal %llu bytes\n",
+               store.value()->size(), store.value()->dim(),
+               static_cast<unsigned long long>(store.value()->wal_bytes()));
+
+  serve::ServerOptions options;
+  options.port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  options.service.batch_window =
+      std::chrono::microseconds(flags.GetInt("window-us", 500));
+  options.service.max_batch =
+      static_cast<size_t>(flags.GetInt("max-batch", 32));
+  serve::TcpServer server(&model.value(), store.value().get(), options);
+  if (Status status = server.Start(); !status.ok()) {
+    return Fail(status.ToString().c_str());
+  }
+  std::printf("listening on port %u\n", server.port());
+  std::fflush(stdout);
+
+  const long run_seconds = flags.GetInt("run-seconds", 0);
+  std::signal(SIGINT, HandleSigint);
+  const auto started = std::chrono::steady_clock::now();
+  while (!g_interrupted) {
+    if (run_seconds > 0 &&
+        std::chrono::steady_clock::now() - started >=
+            std::chrono::seconds(run_seconds)) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+  std::printf("%s\n", server.StatsJson().c_str());
+  return 0;
+}
+
 void PrintUsage() {
   std::fprintf(
       stderr,
       "usage: t2vec_cli "
-      "<generate|train|encode|knn|reconstruct|serve-bench> [--flags]\n"
+      "<generate|train|encode|knn|reconstruct|serve-bench|server> "
+      "[--flags]\n"
       "  generate    --out F [--count N] [--preset porto|harbin] [--seed S]\n"
       "  train       --data F --model F [--iters N] [--hidden H]\n"
       "              [--cell-size M] [--loss l1|l2|l3] [--no-pretrain]\n"
@@ -290,7 +352,9 @@ void PrintUsage() {
       "  knn         --model F --data F [--query-index I] [--k K]\n"
       "  reconstruct --model F --data F [--query-index I] [--drop R]\n"
       "  serve-bench --model F --data F [--clients C] [--requests N]\n"
-      "              [--window-us W] [--max-batch B]\n");
+      "              [--window-us W] [--max-batch B]\n"
+      "  server      --model F --data-dir D [--port P] [--run-seconds S]\n"
+      "              [--window-us W] [--max-batch B] [--compact-bytes N]\n");
 }
 
 }  // namespace
@@ -308,6 +372,7 @@ int main(int argc, char** argv) {
   if (command == "knn") return CmdKnn(flags);
   if (command == "reconstruct") return CmdReconstruct(flags);
   if (command == "serve-bench") return CmdServeBench(flags);
+  if (command == "server") return CmdServer(flags);
   PrintUsage();
   return 1;
 }
