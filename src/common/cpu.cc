@@ -1,0 +1,94 @@
+#include "common/cpu.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace t2vec {
+
+namespace {
+
+bool CpuHasAvx2Fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports consults the libgcc CPU model, which checks
+  // OSXSAVE/XGETBV as well as the CPUID feature bits, so an OS that does not
+  // save YMM state correctly reports "no AVX2".
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+constexpr int kTierUnresolved = -1;
+
+std::atomic<int>& TierCell() {
+  static std::atomic<int> cell{kTierUnresolved};
+  return cell;
+}
+
+SimdTier ClampToSupported(SimdTier requested, const char* origin) {
+  if (SimdTierSupported(requested)) return requested;
+  T2VEC_LOG_WARN("SIMD tier '%s' requested via %s but unsupported by this "
+                 "CPU; falling back to scalar",
+                 SimdTierName(requested), origin);
+  return SimdTier::kScalar;
+}
+
+SimdTier ResolveTier() {
+  if (const char* env = std::getenv("T2VEC_SIMD")) {
+    if (std::strcmp(env, "scalar") == 0) return SimdTier::kScalar;
+    if (std::strcmp(env, "avx2") == 0) {
+      return ClampToSupported(SimdTier::kAvx2, "T2VEC_SIMD");
+    }
+    T2VEC_LOG_WARN("Unknown T2VEC_SIMD value '%s' (want scalar|avx2); "
+                   "using CPU probe",
+                   env);
+  }
+  return CpuHasAvx2Fma() ? SimdTier::kAvx2 : SimdTier::kScalar;
+}
+
+}  // namespace
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool SimdTierSupported(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return true;
+    case SimdTier::kAvx2:
+      return CpuHasAvx2Fma();
+  }
+  return false;
+}
+
+SimdTier ActiveSimdTier() {
+  int cached = TierCell().load(std::memory_order_acquire);
+  if (cached != kTierUnresolved) return static_cast<SimdTier>(cached);
+  const SimdTier resolved = ResolveTier();
+  int expected = kTierUnresolved;
+  if (TierCell().compare_exchange_strong(expected, static_cast<int>(resolved),
+                                         std::memory_order_acq_rel)) {
+    T2VEC_LOG_INFO("SIMD dispatch tier: %s", SimdTierName(resolved));
+    return resolved;
+  }
+  // Another thread resolved first; its value is authoritative.
+  return static_cast<SimdTier>(expected);
+}
+
+SimdTier SetSimdTier(SimdTier tier) {
+  const SimdTier installed = ClampToSupported(tier, "SetSimdTier");
+  TierCell().store(static_cast<int>(installed), std::memory_order_release);
+  return installed;
+}
+
+}  // namespace t2vec

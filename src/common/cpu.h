@@ -1,0 +1,47 @@
+#ifndef T2VEC_COMMON_CPU_H_
+#define T2VEC_COMMON_CPU_H_
+
+/// \file
+/// Runtime CPU-feature probe and SIMD dispatch-tier selection.
+///
+/// The kernel layer (nn/kernels.h) keys its function-pointer table off
+/// ActiveSimdTier(). The tier is resolved once, on first use:
+///
+///   1. A programmatic override set via SetSimdTier() wins (tests, benches).
+///   2. Otherwise the T2VEC_SIMD environment variable ("scalar" or "avx2")
+///      forces a tier.
+///   3. Otherwise the highest tier the CPU supports is chosen.
+///
+/// Requests for a tier the hardware cannot run are clamped to kScalar with a
+/// warning log — forcing "avx2" on a non-AVX2 machine degrades gracefully,
+/// it never traps on an illegal instruction. Every kernel with a SIMD
+/// implementation is bit-identical to its scalar reference (see
+/// nn/kernels.h), so the tier affects speed only, never results.
+
+namespace t2vec {
+
+enum class SimdTier {
+  kScalar = 0,  // Portable C++; the reference implementation.
+  kAvx2 = 1,    // AVX2 + FMA (x86-64).
+};
+
+/// Human-readable tier name ("scalar", "avx2").
+const char* SimdTierName(SimdTier tier);
+
+/// True when the running CPU can execute `tier`'s instructions.
+/// kScalar is always supported.
+bool SimdTierSupported(SimdTier tier);
+
+/// The tier the kernel dispatch table uses. Resolved once (thread-safe);
+/// subsequent calls return the cached value unless SetSimdTier() intervenes.
+SimdTier ActiveSimdTier();
+
+/// Forces the active tier, clamping to the best supported tier at or below
+/// the request (an unsupported request logs a warning and yields kScalar).
+/// Returns the tier actually installed. Intended for tests and benchmarks;
+/// not thread-safe against concurrent kernel launches.
+SimdTier SetSimdTier(SimdTier tier);
+
+}  // namespace t2vec
+
+#endif  // T2VEC_COMMON_CPU_H_

@@ -178,6 +178,45 @@ nn::Matrix EncoderDecoder::EncodeBatch(
   return out;
 }
 
+QuantizedEncoder::QuantizedEncoder(const EncoderDecoder& model)
+    : embedding_(&model.embedding()), gru_(model.encoder()) {}
+
+nn::Matrix QuantizedEncoder::EncodeBatch(
+    const std::vector<traj::TokenSeq>& seqs) const {
+  // Mirrors EncoderDecoder::EncodeBatch: pad to step-major token steps with
+  // masks, embed each step (fp32 table lookups — exact), then run the
+  // quantized GRU stack and copy out the top layer's final states.
+  const size_t n = seqs.size();
+  nn::Matrix out(n, hidden());
+  if (n == 0) return out;
+
+  size_t max_len = 0;
+  for (const traj::TokenSeq& s : seqs) max_len = std::max(max_len, s.size());
+  if (max_len == 0) return out;
+
+  std::vector<std::vector<geo::Token>> steps(
+      max_len, std::vector<geo::Token>(n, geo::kPadToken));
+  std::vector<std::vector<float>> masks(max_len,
+                                        std::vector<float>(n, 0.0f));
+  for (size_t b = 0; b < n; ++b) {
+    for (size_t t = 0; t < seqs[b].size(); ++t) {
+      steps[t][b] = seqs[b][t];
+      masks[t][b] = 1.0f;
+    }
+  }
+
+  std::vector<nn::Matrix> xs(max_len);
+  for (size_t t = 0; t < max_len; ++t) embedding_->Forward(steps[t], &xs[t]);
+  nn::Matrix final_h;
+  gru_.Forward(xs, masks, &final_h);
+
+  for (size_t b = 0; b < n; ++b) {
+    if (seqs[b].empty()) continue;  // Leave the zero vector.
+    std::copy(final_h.Row(b), final_h.Row(b) + hidden(), out.Row(b));
+  }
+  return out;
+}
+
 nn::ParamList EncoderDecoder::Params() {
   nn::ParamList params = embedding_.Params();
   for (nn::Parameter* p : encoder_.Params()) params.push_back(p);

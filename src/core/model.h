@@ -11,6 +11,7 @@
 #include "nn/attention.h"
 #include "nn/embedding.h"
 #include "nn/gru.h"
+#include "nn/quant.h"
 #include "traj/tokenizer.h"
 
 /// \file
@@ -91,6 +92,26 @@ class EncoderDecoder {
   /// the GEMM kernels partition output rows over the pool, bit-identically
   /// to serial at any count (nn/matrix.h).
   int num_threads_ = 0;
+};
+
+/// int8 inference twin of the encoder half: fp32 embedding lookups feeding a
+/// quantized GRU stack (nn/quant.h). Weights are captured (quantized) at
+/// construction from a trained model — typically once at serving-load time;
+/// rebuild after any further training. Encoding is deterministic across
+/// thread counts and SIMD dispatch tiers (the int8 dots are exact integers).
+class QuantizedEncoder {
+ public:
+  explicit QuantizedEncoder(const EncoderDecoder& model);
+
+  /// int8 analogue of EncoderDecoder::EncodeBatch: same padding, masks, and
+  /// zero-vector-for-empty-sequence behavior; the GRU math runs int8.
+  nn::Matrix EncodeBatch(const std::vector<traj::TokenSeq>& seqs) const;
+
+  size_t hidden() const { return gru_.hidden(); }
+
+ private:
+  const nn::Embedding* embedding_;
+  nn::QuantizedGru gru_;
 };
 
 }  // namespace t2vec::core

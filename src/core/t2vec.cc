@@ -16,6 +16,7 @@
 #include "core/pairs.h"
 #include "geo/cell_knn.h"
 #include "nn/checkpoint.h"
+#include "nn/kernels.h"
 
 namespace t2vec::core {
 
@@ -190,16 +191,54 @@ nn::Matrix T2Vec::EncodeTokenized(
   return model_->EncodeBatch(seqs);
 }
 
+const QuantizedEncoder& T2Vec::Quantized() const {
+  std::lock_guard<std::mutex> lock(quant_->mu);
+  if (!quant_->enc) {
+    quant_->enc = std::make_unique<QuantizedEncoder>(*model_);
+  }
+  return *quant_->enc;  // Never reset once built, so the ref stays valid.
+}
+
+void T2Vec::PrepareQuantized() const { Quantized(); }
+
+nn::Matrix T2Vec::EncodeQuantizedTokenized(
+    const std::vector<traj::TokenSeq>& seqs) const {
+  return Quantized().EncodeBatch(seqs);
+}
+
+nn::Matrix T2Vec::EncodeQuantized(
+    const std::vector<traj::Trajectory>& trips) const {
+  // Same slice scheme as Encode: disjoint row ranges, bit-identical to a
+  // serial run at any thread count.
+  constexpr size_t kSlice = 256;
+  const QuantizedEncoder& enc = Quantized();  // Build before going parallel.
+  nn::Matrix out(trips.size(), model_->hidden());
+  const size_t num_slices = (trips.size() + kSlice - 1) / kSlice;
+  ParallelFor(
+      0, num_slices, 1,
+      [&](size_t s) {
+        const size_t start = s * kSlice;
+        const size_t end = std::min(start + kSlice, trips.size());
+        std::vector<traj::TokenSeq> seqs;
+        seqs.reserve(end - start);
+        for (size_t i = start; i < end; ++i) {
+          seqs.push_back(TokenizeForEncoder(trips[i]));
+        }
+        const nn::Matrix block = enc.EncodeBatch(seqs);
+        for (size_t i = start; i < end; ++i) {
+          std::copy(block.Row(i - start), block.Row(i - start) + block.cols(),
+                    out.Row(i));
+        }
+      },
+      config_.num_threads);
+  return out;
+}
+
 double T2Vec::Distance(const traj::Trajectory& a,
                        const traj::Trajectory& b) const {
   const nn::Matrix m = model_->EncodeBatch(
       {TokenizeForEncoder(a), TokenizeForEncoder(b)});
-  double acc = 0.0;
-  for (size_t j = 0; j < m.cols(); ++j) {
-    const double diff = static_cast<double>(m.At(0, j)) - m.At(1, j);
-    acc += diff * diff;
-  }
-  return std::sqrt(acc);
+  return std::sqrt(nn::Kernels().sqdist_f64(m.Row(0), m.Row(1), m.cols()));
 }
 
 traj::Trajectory T2Vec::ReconstructRoute(const traj::Trajectory& sparse,
@@ -399,12 +438,7 @@ double T2VecMeasure::Distance(const traj::Trajectory& a,
                               const traj::Trajectory& b) const {
   const std::vector<float> va = Encoded(a);
   const std::vector<float> vb = Encoded(b);
-  double acc = 0.0;
-  for (size_t j = 0; j < va.size(); ++j) {
-    const double diff = static_cast<double>(va[j]) - vb[j];
-    acc += diff * diff;
-  }
-  return std::sqrt(acc);
+  return std::sqrt(nn::Kernels().sqdist_f64(va.data(), vb.data(), va.size()));
 }
 
 size_t T2VecMeasure::cache_hits() const {

@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "common/sort.h"
 #include "common/thread_pool.h"
+#include "nn/kernels.h"
 
 namespace t2vec::core {
 
@@ -35,14 +36,9 @@ void VectorIndex::Add(std::span<const float> vec) {
 }
 
 double VectorIndex::Distance(const float* query, size_t i) const {
-  const float* __restrict row = vectors_.Row(i);
-  const size_t d = vectors_.cols();
-  double acc = 0.0;
-  for (size_t j = 0; j < d; ++j) {
-    const double diff = static_cast<double>(query[j]) - row[j];
-    acc += diff * diff;
-  }
-  return acc;
+  // Dispatched 8-double-lane squared distance (nn/kernels.h sqdist_f64);
+  // identical bits on every SIMD tier.
+  return nn::Kernels().sqdist_f64(query, vectors_.Row(i), vectors_.cols());
 }
 
 KnnResult VectorIndex::Query(std::span<const float> query, size_t k) const {
@@ -137,14 +133,12 @@ void LshIndex::Add(size_t row) {
 uint32_t LshIndex::Signature(const float* vec, int table) const {
   uint32_t sig = 0;
   const size_t d = vectors_->cols();
+  const nn::KernelOps& ops = nn::Kernels();
   for (int b = 0; b < num_bits_; ++b) {
     const float* __restrict plane = hyperplanes_.Row(
         static_cast<size_t>(table) * static_cast<size_t>(num_bits_) +
         static_cast<size_t>(b));
-    double dot = 0.0;
-    for (size_t j = 0; j < d; ++j) {
-      dot += static_cast<double>(plane[j]) * vec[j];
-    }
+    const double dot = ops.dot_f64(plane, vec, d);
     sig = (sig << 1) | (dot >= 0.0 ? 1u : 0u);
   }
   return sig;
@@ -186,18 +180,14 @@ KnnResult LshIndex::Query(std::span<const float> query, size_t k) const {
     for (size_t i = 0; i < candidates.size(); ++i) candidates[i] = i;
   }
 
-  // Exact re-ranking of the candidate set.
+  // Exact re-ranking of the candidate set (same dispatched squared-distance
+  // kernel as VectorIndex::Distance).
   const size_t d = vectors_->cols();
+  const nn::KernelOps& ops = nn::Kernels();
   std::vector<std::pair<double, size_t>> scored(candidates.size());
   ParallelFor(0, candidates.size(), kScanGrain, [&](size_t c) {
     const size_t idx = candidates[c];
-    const float* __restrict row = vectors_->Row(idx);
-    double acc = 0.0;
-    for (size_t j = 0; j < d; ++j) {
-      const double diff = static_cast<double>(query[j]) - row[j];
-      acc += diff * diff;
-    }
-    scored[c] = {acc, idx};
+    scored[c] = {ops.sqdist_f64(query.data(), vectors_->Row(idx), d), idx};
   });
   // Candidates are deduplicated, so NanLastLess is a strict total order.
   TotalOrderPartialSort(scored.begin(), scored.begin() + static_cast<long>(k),

@@ -67,6 +67,25 @@ class GruLayer {
   size_t in_dim() const { return wz_.value.rows(); }
   size_t hidden() const { return uz_.value.rows(); }
 
+  /// Read-only views of the named weights, for derived inference engines
+  /// (nn/quant.h builds its int8 packs from these). Pointers are valid for
+  /// the layer's lifetime.
+  struct WeightRefs {
+    const Matrix* wz;
+    const Matrix* wr;
+    const Matrix* wc;
+    const Matrix* uz;
+    const Matrix* ur;
+    const Matrix* uc;
+    const Matrix* bz;
+    const Matrix* br;
+    const Matrix* bc;
+  };
+  WeightRefs Weights() const {
+    return {&wz_.value, &wr_.value, &wc_.value, &uz_.value, &ur_.value,
+            &uc_.value, &bz_.value, &br_.value, &bc_.value};
+  }
+
   ParamList Params();
 
  private:
@@ -139,6 +158,7 @@ class Gru {
   size_t layers() const { return layers_.size(); }
   size_t hidden() const { return layers_.front().hidden(); }
   size_t in_dim() const { return layers_.front().in_dim(); }
+  const GruLayer& layer(size_t i) const { return layers_[i]; }
 
   ParamList Params();
 

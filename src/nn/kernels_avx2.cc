@@ -1,0 +1,247 @@
+#include "nn/kernels.h"
+
+/// \file
+/// AVX2 + FMA implementations of the dispatched kernels. This is the ONLY
+/// translation unit allowed to include <immintrin.h> (lint rule
+/// raw-intrinsics); it is compiled with -mavx2 -mfma on x86 and collapses to
+/// a nullptr table elsewhere. Nothing here may run unless the CPU probe
+/// (common/cpu.h) reported AVX2 support — dispatch guarantees that.
+///
+/// Bit-identity with kernels_scalar.cc is structural: one ymm register IS
+/// the scalar code's 8-lane accumulator array, vfmadd is std::fma, and
+/// tails + lane combines reuse the same in-order scalar chains. See the
+/// contract in nn/kernels.h.
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace t2vec::nn {
+
+namespace {
+
+float DotAvx2(const float* __restrict x, const float* __restrict y, size_t k) {
+  __m256 accv = _mm256_setzero_ps();
+  size_t p = 0;
+  for (; p + 8 <= k; p += 8) {
+    accv = _mm256_fmadd_ps(_mm256_loadu_ps(x + p), _mm256_loadu_ps(y + p),
+                           accv);
+  }
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, accv);
+  float acc = 0.0f;
+  for (; p < k; ++p) acc = std::fma(x[p], y[p], acc);
+  for (size_t l = 0; l < 8; ++l) acc += lanes[l];
+  return acc;
+}
+
+void Dot4Avx2(const float* __restrict x0, const float* __restrict x1,
+              const float* __restrict x2, const float* __restrict x3,
+              const float* __restrict y, size_t k, float* __restrict out) {
+  __m256 v0 = _mm256_setzero_ps(), v1 = _mm256_setzero_ps(),
+         v2 = _mm256_setzero_ps(), v3 = _mm256_setzero_ps();
+  size_t p = 0;
+  for (; p + 8 <= k; p += 8) {
+    const __m256 yv = _mm256_loadu_ps(y + p);
+    v0 = _mm256_fmadd_ps(_mm256_loadu_ps(x0 + p), yv, v0);
+    v1 = _mm256_fmadd_ps(_mm256_loadu_ps(x1 + p), yv, v1);
+    v2 = _mm256_fmadd_ps(_mm256_loadu_ps(x2 + p), yv, v2);
+    v3 = _mm256_fmadd_ps(_mm256_loadu_ps(x3 + p), yv, v3);
+  }
+  float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
+  for (; p < k; ++p) {
+    const float yv = y[p];
+    a0 = std::fma(x0[p], yv, a0);
+    a1 = std::fma(x1[p], yv, a1);
+    a2 = std::fma(x2[p], yv, a2);
+    a3 = std::fma(x3[p], yv, a3);
+  }
+  alignas(32) float lanes[8];
+  const __m256 vs[4] = {v0, v1, v2, v3};
+  const float tails[4] = {a0, a1, a2, a3};
+  for (size_t t = 0; t < 4; ++t) {
+    _mm256_store_ps(lanes, vs[t]);
+    float acc = tails[t];
+    for (size_t l = 0; l < 8; ++l) acc += lanes[l];
+    out[t] = acc;
+  }
+}
+
+void Tile8x32Avx2(float* __restrict acc, const float* __restrict a,
+                  size_t row_stride, size_t step_stride,
+                  const float* __restrict b, size_t ldb, size_t p0, size_t p1,
+                  float alpha) {
+  // Four 8-column slabs; per (r, j) element the accumulation chain over p is
+  // the same as the scalar tile's (slab order only reorders independent
+  // elements, never an element's own chain).
+  //
+  // The alpha-scaled A column is packed once per depth chunk (one fp32
+  // rounding per (r, p), exactly the scalar tile's av[r]) so the hot loop
+  // is pure memory-broadcast + fma: 9 load-port uops against 8 fmas per
+  // depth step instead of a vmulss + register-broadcast pair per row — and
+  // the scaling isn't redone for every slab. Chunking keeps the scratch in
+  // L1 and on the stack; chaining chunks preserves each element's order.
+  constexpr size_t kChunk = 128;
+  alignas(32) float scaled[8 * kChunk];
+  for (size_t q0 = p0; q0 < p1; q0 += kChunk) {
+    const size_t q1 = q0 + kChunk < p1 ? q0 + kChunk : p1;
+    for (size_t p = q0; p < q1; ++p) {
+      const float* __restrict ap = a + p * step_stride;
+      float* __restrict dst = scaled + (p - q0) * 8;
+      for (size_t r = 0; r < 8; ++r) dst[r] = alpha * ap[r * row_stride];
+    }
+    for (size_t jj = 0; jj < 32; jj += 8) {
+      float* __restrict slab = acc + jj;
+      __m256 c0 = _mm256_loadu_ps(slab + 0 * 32);
+      __m256 c1 = _mm256_loadu_ps(slab + 1 * 32);
+      __m256 c2 = _mm256_loadu_ps(slab + 2 * 32);
+      __m256 c3 = _mm256_loadu_ps(slab + 3 * 32);
+      __m256 c4 = _mm256_loadu_ps(slab + 4 * 32);
+      __m256 c5 = _mm256_loadu_ps(slab + 5 * 32);
+      __m256 c6 = _mm256_loadu_ps(slab + 6 * 32);
+      __m256 c7 = _mm256_loadu_ps(slab + 7 * 32);
+      for (size_t p = q0; p < q1; ++p) {
+        const __m256 bv = _mm256_loadu_ps(b + p * ldb + jj);
+        const float* __restrict av = scaled + (p - q0) * 8;
+        c0 = _mm256_fmadd_ps(_mm256_broadcast_ss(av + 0), bv, c0);
+        c1 = _mm256_fmadd_ps(_mm256_broadcast_ss(av + 1), bv, c1);
+        c2 = _mm256_fmadd_ps(_mm256_broadcast_ss(av + 2), bv, c2);
+        c3 = _mm256_fmadd_ps(_mm256_broadcast_ss(av + 3), bv, c3);
+        c4 = _mm256_fmadd_ps(_mm256_broadcast_ss(av + 4), bv, c4);
+        c5 = _mm256_fmadd_ps(_mm256_broadcast_ss(av + 5), bv, c5);
+        c6 = _mm256_fmadd_ps(_mm256_broadcast_ss(av + 6), bv, c6);
+        c7 = _mm256_fmadd_ps(_mm256_broadcast_ss(av + 7), bv, c7);
+      }
+      _mm256_storeu_ps(slab + 0 * 32, c0);
+      _mm256_storeu_ps(slab + 1 * 32, c1);
+      _mm256_storeu_ps(slab + 2 * 32, c2);
+      _mm256_storeu_ps(slab + 3 * 32, c3);
+      _mm256_storeu_ps(slab + 4 * 32, c4);
+      _mm256_storeu_ps(slab + 5 * 32, c5);
+      _mm256_storeu_ps(slab + 6 * 32, c6);
+      _mm256_storeu_ps(slab + 7 * 32, c7);
+    }
+  }
+}
+
+// Shared f64 reduction shape: 8 double lanes as two ymm accumulators
+// (lo = lanes 0..3, hi = lanes 4..7), explicit-fma tail, fixed pairwise
+// combine — byte-for-byte the scalar kernels' reduction.
+inline double CombineF64(__m256d lo, __m256d hi, double tail) {
+  alignas(32) double l[8];
+  _mm256_store_pd(l, lo);
+  _mm256_store_pd(l + 4, hi);
+  return tail + ((l[0] + l[1]) + (l[2] + l[3])) +
+         ((l[4] + l[5]) + (l[6] + l[7]));
+}
+
+double SqNormAvx2(const float* __restrict x, size_t n) {
+  __m256d lo = _mm256_setzero_pd(), hi = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const __m256d vlo = _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+    const __m256d vhi = _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1));
+    lo = _mm256_fmadd_pd(vlo, vlo, lo);
+    hi = _mm256_fmadd_pd(vhi, vhi, hi);
+  }
+  double acc = 0.0;
+  for (; i < n; ++i) {
+    const double v = static_cast<double>(x[i]);
+    acc = std::fma(v, v, acc);
+  }
+  return CombineF64(lo, hi, acc);
+}
+
+double DotF64Avx2(const float* __restrict x, const float* __restrict y,
+                  size_t n) {
+  __m256d lo = _mm256_setzero_pd(), hi = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 xv = _mm256_loadu_ps(x + i);
+    const __m256 yv = _mm256_loadu_ps(y + i);
+    lo = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(xv)),
+                         _mm256_cvtps_pd(_mm256_castps256_ps128(yv)), lo);
+    hi = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(xv, 1)),
+                         _mm256_cvtps_pd(_mm256_extractf128_ps(yv, 1)), hi);
+  }
+  double acc = 0.0;
+  for (; i < n; ++i) {
+    acc = std::fma(static_cast<double>(x[i]), static_cast<double>(y[i]), acc);
+  }
+  return CombineF64(lo, hi, acc);
+}
+
+double SqDistAvx2(const float* __restrict x, const float* __restrict y,
+                  size_t n) {
+  __m256d lo = _mm256_setzero_pd(), hi = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 xv = _mm256_loadu_ps(x + i);
+    const __m256 yv = _mm256_loadu_ps(y + i);
+    const __m256d dlo =
+        _mm256_sub_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(xv)),
+                      _mm256_cvtps_pd(_mm256_castps256_ps128(yv)));
+    const __m256d dhi =
+        _mm256_sub_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(xv, 1)),
+                      _mm256_cvtps_pd(_mm256_extractf128_ps(yv, 1)));
+    lo = _mm256_fmadd_pd(dlo, dlo, lo);
+    hi = _mm256_fmadd_pd(dhi, dhi, hi);
+  }
+  double acc = 0.0;
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(x[i]) - static_cast<double>(y[i]);
+    acc = std::fma(d, d, acc);
+  }
+  return CombineF64(lo, hi, acc);
+}
+
+int32_t DotI8Avx2(const int8_t* __restrict x, const int8_t* __restrict y,
+                  size_t k) {
+  // Sign-extend to int16 and use vpmaddwd: products and adjacent-pair sums
+  // stay exact in int32 (max 2 * 127 * 127), so no saturation anywhere —
+  // this is why vpmaddubsw (which saturates) is NOT used. Integer sums are
+  // associative, so the lane order here needs no scalar mirroring.
+  __m256i acc = _mm256_setzero_si256();
+  size_t p = 0;
+  for (; p + 16 <= k; p += 16) {
+    const __m256i xv = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + p)));
+    const __m256i yv = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(y + p)));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(xv, yv));
+  }
+  alignas(32) int32_t lanes[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  int32_t s = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+              ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+  for (; p < k; ++p) {
+    s += static_cast<int32_t>(x[p]) * static_cast<int32_t>(y[p]);
+  }
+  return s;
+}
+
+constexpr KernelOps kAvx2Ops = {
+    "avx2",     DotAvx2,    Dot4Avx2,   Tile8x32Avx2,
+    SqNormAvx2, DotF64Avx2, SqDistAvx2, DotI8Avx2,
+};
+
+}  // namespace
+
+namespace internal {
+const KernelOps* GetAvx2Kernels() { return &kAvx2Ops; }
+}  // namespace internal
+
+}  // namespace t2vec::nn
+
+#else  // !x86
+
+namespace t2vec::nn {
+namespace internal {
+const KernelOps* GetAvx2Kernels() { return nullptr; }
+}  // namespace internal
+}  // namespace t2vec::nn
+
+#endif

@@ -6,26 +6,14 @@
 #include <cstdio>
 
 #include "common/thread_pool.h"
+#include "nn/kernels.h"
 
 namespace t2vec::nn {
 
 double Matrix::SquaredNorm() const {
-  // 8 independent double lanes so the reduction vectorizes without
-  // reassociation flags; same trick as the GEMM dot kernels.
-  double lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
-  const float* __restrict x = data_.data();
-  const size_t n = data_.size();
-  size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    for (size_t l = 0; l < 8; ++l) {
-      const double v = static_cast<double>(x[i + l]);
-      lanes[l] += v * v;
-    }
-  }
-  double acc = 0.0;
-  for (; i < n; ++i) acc += static_cast<double>(x[i]) * x[i];
-  return acc + ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
-         ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+  // Dispatched 8-double-lane reduction (nn/kernels.h sqnorm): explicit fma
+  // per lane and a fixed combine tree, identical bits on every tier.
+  return Kernels().sqnorm(data_.data(), data_.size());
 }
 
 std::string Matrix::ToString(size_t max_rows, size_t max_cols) const {
@@ -84,7 +72,7 @@ constexpr double kParallelMinFlops = 1.5e6;
 // a[r * lda + p]. fp32 stores between panels do not round, so panel splits
 // never change the per-element chain.
 template <size_t MR, bool kTransA>
-void MicroTile(const float* __restrict a, size_t lda,
+void MicroTile(const KernelOps& ops, const float* __restrict a, size_t lda,
                const float* __restrict b, size_t ldb, float* __restrict c,
                size_t ldc, size_t nr, size_t p0, size_t p1, float alpha,
                float beta, bool first_panel) {
@@ -104,16 +92,23 @@ void MicroTile(const float* __restrict a, size_t lda,
   }
 
   if (nr == kNR) {
-    // Full-width tile: constant trip count so the j loops vectorize cleanly.
-    for (size_t p = p0; p < p1; ++p) {
-      const float* __restrict brow = b + p * ldb;
-      float av[MR];
-      for (size_t r = 0; r < MR; ++r) {
-        av[r] = alpha * (kTransA ? a[p * lda + r] : a[r * lda + p]);
-      }
-      for (size_t r = 0; r < MR; ++r) {
-        for (size_t j = 0; j < kNR; ++j) {
-          acc[r][j] = std::fma(av[r], brow[j], acc[r][j]);
+    if constexpr (MR == kMR) {
+      // Full 8 x 32 tile: the dispatched kernel (scalar or AVX2, identical
+      // per-element fma chains — nn/kernels.h) runs the accumulation.
+      ops.tile8x32(&acc[0][0], a, kTransA ? 1 : lda, kTransA ? lda : 1, b,
+                   ldb, p0, p1, alpha);
+    } else {
+      // Full-width edge tile: constant trip count so the j loops vectorize.
+      for (size_t p = p0; p < p1; ++p) {
+        const float* __restrict brow = b + p * ldb;
+        float av[MR];
+        for (size_t r = 0; r < MR; ++r) {
+          av[r] = alpha * (kTransA ? a[p * lda + r] : a[r * lda + p]);
+        }
+        for (size_t r = 0; r < MR; ++r) {
+          for (size_t j = 0; j < kNR; ++j) {
+            acc[r][j] = std::fma(av[r], brow[j], acc[r][j]);
+          }
         }
       }
     }
@@ -141,9 +136,9 @@ void MicroTile(const float* __restrict a, size_t lda,
 // `a_step_stride` express the a-element address as
 // a[row * a_row_stride + p * a_step_stride].
 template <bool kTransA>
-void GemmRowRange(const float* a, size_t lda, const float* b, size_t ldb,
-                  float* c, size_t ldc, size_t i0, size_t i1, size_t k,
-                  size_t n, float alpha, float beta) {
+void GemmRowRange(const KernelOps& ops, const float* a, size_t lda,
+                  const float* b, size_t ldb, float* c, size_t ldc, size_t i0,
+                  size_t i1, size_t k, size_t n, float alpha, float beta) {
   for (size_t jc = 0; jc < n; jc += kNC) {
     const size_t jc_end = std::min(jc + kNC, n);
     for (size_t pc = 0; pc < k; pc += kKC) {
@@ -160,20 +155,24 @@ void GemmRowRange(const float* a, size_t lda, const float* b, size_t ldb,
           const float* b_tile = b + j;
           switch (mr) {
             case 8:
-              MicroTile<8, kTransA>(a_tile, lda, b_tile, ldb, c_tile, ldc, nr,
-                                    pc, pc_end, alpha, beta, first_panel);
+              MicroTile<8, kTransA>(ops, a_tile, lda, b_tile, ldb, c_tile,
+                                    ldc, nr, pc, pc_end, alpha, beta,
+                                    first_panel);
               break;
             case 4:
-              MicroTile<4, kTransA>(a_tile, lda, b_tile, ldb, c_tile, ldc, nr,
-                                    pc, pc_end, alpha, beta, first_panel);
+              MicroTile<4, kTransA>(ops, a_tile, lda, b_tile, ldb, c_tile,
+                                    ldc, nr, pc, pc_end, alpha, beta,
+                                    first_panel);
               break;
             case 2:
-              MicroTile<2, kTransA>(a_tile, lda, b_tile, ldb, c_tile, ldc, nr,
-                                    pc, pc_end, alpha, beta, first_panel);
+              MicroTile<2, kTransA>(ops, a_tile, lda, b_tile, ldb, c_tile,
+                                    ldc, nr, pc, pc_end, alpha, beta,
+                                    first_panel);
               break;
             default:
-              MicroTile<1, kTransA>(a_tile, lda, b_tile, ldb, c_tile, ldc, nr,
-                                    pc, pc_end, alpha, beta, first_panel);
+              MicroTile<1, kTransA>(ops, a_tile, lda, b_tile, ldb, c_tile,
+                                    ldc, nr, pc, pc_end, alpha, beta,
+                                    first_panel);
           }
         }
         i += mr;
@@ -191,6 +190,7 @@ void GemmBlocked(const float* a, size_t lda, const float* b, size_t ldb,
                  float* c, size_t ldc, size_t m, size_t k, size_t n,
                  float alpha, float beta) {
   if (m == 0 || n == 0) return;
+  const KernelOps& ops = Kernels();  // Resolve the tier once per GEMM.
   if (k == 0) {
     // Pure beta scaling; no reduction panels to run.
     for (size_t i = 0; i < m; ++i) {
@@ -205,7 +205,8 @@ void GemmBlocked(const float* a, size_t lda, const float* b, size_t ldb,
   const int threads = GetNumThreads();
   if (flops < kParallelMinFlops || threads <= 1 || m < 2 * kMR ||
       ThreadPool::InParallelRegion()) {
-    GemmRowRange<kTransA>(a, lda, b, ldb, c, ldc, 0, m, k, n, alpha, beta);
+    GemmRowRange<kTransA>(ops, a, lda, b, ldb, c, ldc, 0, m, k, n, alpha,
+                          beta);
     return;
   }
   const size_t chunks =
@@ -213,7 +214,8 @@ void GemmBlocked(const float* a, size_t lda, const float* b, size_t ldb,
   ParallelFor(0, chunks, 1, [&](size_t chunk) {
     const size_t i0 = (m * chunk) / chunks;
     const size_t i1 = (m * (chunk + 1)) / chunks;
-    GemmRowRange<kTransA>(a, lda, b, ldb, c, ldc, i0, i1, k, n, alpha, beta);
+    GemmRowRange<kTransA>(ops, a, lda, b, ldb, c, ldc, i0, i1, k, n, alpha,
+                          beta);
   });
 }
 
@@ -225,74 +227,22 @@ void GemmBlocked(const float* a, size_t lda, const float* b, size_t ldb,
 // each streamed b row.
 // ---------------------------------------------------------------------------
 
-constexpr size_t kDotLanes = 8;  // 8 fp32 partial-sum lanes (one AVX2 vector).
-constexpr size_t kIT = 4;         // a-rows sharing one b-row stream.
+constexpr size_t kIT = 4;  // a-rows sharing one b-row stream.
 
-// The canonical lane-split dot product every TransB path reduces with; the
-// tiled variant below must (and does) produce bit-identical per-element
-// results because each lane chain and the combine tree are fixed in source.
-inline float DotLanesFma(const float* __restrict x, const float* __restrict y,
-                         size_t k) {
-  float lanes[kDotLanes] = {0};
-  size_t p = 0;
-  for (; p + kDotLanes <= k; p += kDotLanes) {
-    for (size_t l = 0; l < kDotLanes; ++l) {
-      lanes[l] = std::fma(x[p + l], y[p + l], lanes[l]);
-    }
-  }
-  float acc = 0.0f;
-  for (; p < k; ++p) acc = std::fma(x[p], y[p], acc);
-  for (size_t l = 0; l < kDotLanes; ++l) acc += lanes[l];
-  return acc;
-}
-
-// Reduces one element's lane array with the fixed combine tree.
-inline float ReduceLanes(const float* __restrict lanes, float tail) {
-  for (size_t l = 0; l < kDotLanes; ++l) tail += lanes[l];
-  return tail;
-}
-
-// Dots of four a-rows against one b-row; each element is reduced exactly
-// like DotLanesFma (independent accumulator lanes per element), so tiling
-// rows cannot change bits. Explicit restrict pointers (not an array of
-// pointers) so the lane loops vectorize.
-void DotLanesFma4(const float* __restrict x0, const float* __restrict x1,
-                  const float* __restrict x2, const float* __restrict x3,
-                  const float* __restrict y, size_t k, float* __restrict out) {
-  float l0[kDotLanes] = {}, l1[kDotLanes] = {}, l2[kDotLanes] = {},
-        l3[kDotLanes] = {};
-  size_t p = 0;
-  for (; p + kDotLanes <= k; p += kDotLanes) {
-    for (size_t l = 0; l < kDotLanes; ++l) {
-      const float yv = y[p + l];
-      l0[l] = std::fma(x0[p + l], yv, l0[l]);
-      l1[l] = std::fma(x1[p + l], yv, l1[l]);
-      l2[l] = std::fma(x2[p + l], yv, l2[l]);
-      l3[l] = std::fma(x3[p + l], yv, l3[l]);
-    }
-  }
-  float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
-  for (; p < k; ++p) {
-    const float yv = y[p];
-    a0 = std::fma(x0[p], yv, a0);
-    a1 = std::fma(x1[p], yv, a1);
-    a2 = std::fma(x2[p], yv, a2);
-    a3 = std::fma(x3[p], yv, a3);
-  }
-  out[0] = ReduceLanes(l0, a0);
-  out[1] = ReduceLanes(l1, a1);
-  out[2] = ReduceLanes(l2, a2);
-  out[3] = ReduceLanes(l3, a3);
-}
+// The lane-split dot kernels every TransB path reduces with now live in the
+// dispatch table (nn/kernels.h dot / dot4): 8 fp32 partial-sum lanes with an
+// in-order tail and combine, identical bits on every tier. The 4-row tiled
+// variant reduces each element exactly like the single-row dot, so tiling
+// rows cannot change bits.
 
 // Segment chain shared by every TransB path: v = beta-term, then
 // v = fma(alpha, dot_segment, v) per consecutive k-segment — exactly the
 // chain produced by separate beta=1 calls, which is what makes fused packed
 // matmuls bit-identical to per-gate ones.
-void TransBRange(const float* a, size_t lda, const float* b, size_t ldb,
-                 float* c, size_t ldc, size_t i0, size_t i1, size_t j0,
-                 size_t j1, size_t k, float alpha, float beta,
-                 size_t segment) {
+void TransBRange(const KernelOps& ops, const float* a, size_t lda,
+                 const float* b, size_t ldb, float* c, size_t ldc, size_t i0,
+                 size_t i1, size_t j0, size_t j1, size_t k, float alpha,
+                 float beta, size_t segment) {
   const size_t nseg = k / segment;
   size_t i = i0;
   while (i < i1) {
@@ -310,11 +260,11 @@ void TransBRange(const float* a, size_t lda, const float* b, size_t ldb,
         const size_t off = s * segment;
         float dots[kIT];
         if (it == kIT) {
-          DotLanesFma4(xs[0] + off, xs[1] + off, xs[2] + off, xs[3] + off,
-                       brow + off, segment, dots);
+          ops.dot4(xs[0] + off, xs[1] + off, xs[2] + off, xs[3] + off,
+                   brow + off, segment, dots);
         } else {
           for (size_t t = 0; t < it; ++t) {
-            dots[t] = DotLanesFma(xs[t] + off, brow + off, segment);
+            dots[t] = ops.dot(xs[t] + off, brow + off, segment);
           }
         }
         for (size_t t = 0; t < it; ++t) {
@@ -370,11 +320,12 @@ void GemmTransBV(ConstMatrixView a, ConstMatrixView b, MatrixView out,
     return;
   }
 
+  const KernelOps& ops = Kernels();  // Resolve the tier once per GEMM.
   const double flops = 2.0 * static_cast<double>(m) * k * n;
   const int threads = GetNumThreads();
   if (flops < kParallelMinFlops || threads <= 1 ||
       ThreadPool::InParallelRegion()) {
-    TransBRange(a.data, a.ld, b.data, b.ld, out.data, out.ld, 0, m, 0, n,
+    TransBRange(ops, a.data, a.ld, b.data, b.ld, out.data, out.ld, 0, m, 0, n,
                 k, alpha, beta, segment);
     return;
   }
@@ -386,16 +337,16 @@ void GemmTransBV(ConstMatrixView a, ConstMatrixView b, MatrixView out,
     ParallelFor(0, chunks, 1, [&](size_t chunk) {
       const size_t i0 = (m * chunk) / chunks;
       const size_t i1 = (m * (chunk + 1)) / chunks;
-      TransBRange(a.data, a.ld, b.data, b.ld, out.data, out.ld, i0, i1, 0, n,
-                  k, alpha, beta, segment);
+      TransBRange(ops, a.data, a.ld, b.data, b.ld, out.data, out.ld, i0, i1,
+                  0, n, k, alpha, beta, segment);
     });
   } else {
     const size_t chunks = std::min<size_t>(static_cast<size_t>(threads), n);
     ParallelFor(0, chunks, 1, [&](size_t chunk) {
       const size_t j0 = (n * chunk) / chunks;
       const size_t j1 = (n * (chunk + 1)) / chunks;
-      TransBRange(a.data, a.ld, b.data, b.ld, out.data, out.ld, 0, m, j0, j1,
-                  k, alpha, beta, segment);
+      TransBRange(ops, a.data, a.ld, b.data, b.ld, out.data, out.ld, 0, m,
+                  j0, j1, k, alpha, beta, segment);
     });
   }
 }
@@ -497,20 +448,7 @@ void HadamardAccum(const Matrix& a, const Matrix& b, Matrix* out) {
 
 double Dot(const Matrix& a, const Matrix& b) {
   T2VEC_CHECK(SameShape(a, b));
-  double lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
-  const float* __restrict x = a.data();
-  const float* __restrict y = b.data();
-  const size_t n = a.size();
-  size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    for (size_t l = 0; l < 8; ++l) {
-      lanes[l] += static_cast<double>(x[i + l]) * y[i + l];
-    }
-  }
-  double acc = 0.0;
-  for (; i < n; ++i) acc += static_cast<double>(x[i]) * y[i];
-  return acc + ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
-         ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+  return Kernels().dot_f64(a.data(), b.data(), a.size());
 }
 
 float MaxAbsDiff(const Matrix& a, const Matrix& b) {

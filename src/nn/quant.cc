@@ -1,0 +1,214 @@
+#include "nn/quant.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/thread_pool.h"
+#include "nn/kernels.h"
+#include "nn/ops.h"
+
+namespace t2vec::nn {
+
+namespace {
+
+// Row-scan grain for the quantized GEMM: one output row (H int8 dots) is
+// already substantial work, so split fine.
+constexpr size_t kQGemmGrain = 1;
+
+// Quantizes `n` floats at stride `stride` into q with the row's symmetric
+// scale. Shared by weight (column walk) and activation (row walk) paths so
+// both use the same lrintf rounding.
+float QuantizeStrided(const float* x, size_t n, size_t stride, int8_t* q) {
+  float max_abs = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    const float a = std::fabs(x[i * stride]);
+    if (a > max_abs) max_abs = a;
+  }
+  if (max_abs == 0.0f) {
+    for (size_t i = 0; i < n; ++i) q[i] = 0;
+    return 0.0f;
+  }
+  const float scale = max_abs / 127.0f;
+  const float inv = 127.0f / max_abs;
+  for (size_t i = 0; i < n; ++i) {
+    // lrintf never leaves [-127, 127] here because |x| <= max_abs.
+    q[i] = static_cast<int8_t>(std::lrintf(x[i * stride] * inv));
+  }
+  return scale;
+}
+
+// h_out = m ⊙ h_new + (1 - m) ⊙ h_prev (same as gru.cc's ApplyMask).
+void ApplyMask(const std::vector<float>& mask, const Matrix& h_new,
+               const Matrix& h_prev, Matrix* h_out) {
+  h_out->Resize(h_new.rows(), h_new.cols());
+  const size_t n = h_new.cols();
+  for (size_t b = 0; b < h_new.rows(); ++b) {
+    const float m = mask[b];
+    const float* __restrict hn = h_new.Row(b);
+    const float* __restrict hp = h_prev.Row(b);
+    float* __restrict ho = h_out->Row(b);
+    for (size_t j = 0; j < n; ++j) ho[j] = m * hn[j] + (1.0f - m) * hp[j];
+  }
+}
+
+}  // namespace
+
+QuantizedMatrix QuantizeTransposed(ConstMatrixView w) {
+  QuantizedMatrix out;
+  AppendTransposed(w, &out);
+  return out;
+}
+
+void AppendTransposed(ConstMatrixView w, QuantizedMatrix* dst) {
+  if (dst->rows == 0) {
+    dst->cols = w.rows;
+  } else {
+    T2VEC_CHECK(dst->cols == w.rows);
+  }
+  const size_t first = dst->rows;
+  dst->rows += w.cols;
+  dst->data.resize(dst->rows * dst->cols);
+  dst->scales.resize(dst->rows);
+  for (size_t c = 0; c < w.cols; ++c) {
+    // Output channel c of w is column c: elements w[k][c], stride w.ld.
+    dst->scales[first + c] = QuantizeStrided(
+        w.data + c, w.rows, w.ld, dst->data.data() + (first + c) * dst->cols);
+  }
+}
+
+void QuantizeRowsDynamic(ConstMatrixView x, std::vector<int8_t>* q,
+                         std::vector<float>* scales) {
+  q->resize(x.rows * x.cols);
+  scales->resize(x.rows);
+  for (size_t i = 0; i < x.rows; ++i) {
+    (*scales)[i] = QuantizeStrided(x.Row(i), x.cols, 1,
+                                   q->data() + i * x.cols);
+  }
+}
+
+void QuantizedGemmTransB(const int8_t* qx, const float* sx, size_t m,
+                         const QuantizedMatrix& qw, MatrixView out,
+                         bool accumulate, const float* bias) {
+  T2VEC_CHECK(out.rows == m && out.cols == qw.rows);
+  const KernelOps& ops = Kernels();
+  const size_t k = qw.cols;
+  const size_t n = qw.rows;
+  ParallelFor(0, m, kQGemmGrain, [&](size_t i) {
+    const int8_t* __restrict xrow = qx + i * k;
+    const float s_row = sx[i];
+    float* __restrict orow = out.Row(i);
+    for (size_t j = 0; j < n; ++j) {
+      // Fixed per-element fp chain: exact int32 dot, one combined scale,
+      // one fma into the (optional) accumulator, one bias add.
+      const float dotf =
+          static_cast<float>(ops.dot_i8(xrow, qw.Row(j), k));
+      const float scale = s_row * qw.scales[j];
+      float v = accumulate ? std::fma(scale, dotf, orow[j]) : scale * dotf;
+      if (bias != nullptr) v += bias[j];
+      orow[j] = v;
+    }
+  });
+}
+
+QuantizedGruLayer::QuantizedGruLayer(const GruLayer& layer) {
+  const GruLayer::WeightRefs w = layer.Weights();
+  // Channel order [c | z | r] matches the fused fp32 path's pre3 layout.
+  AppendTransposed(*w.wc, &w_pack_);
+  AppendTransposed(*w.wz, &w_pack_);
+  AppendTransposed(*w.wr, &w_pack_);
+  AppendTransposed(*w.uz, &u_pack_);
+  AppendTransposed(*w.ur, &u_pack_);
+  uc_ = QuantizeTransposed(*w.uc);
+  bz_ = *w.bz;
+  br_ = *w.br;
+  bc_ = *w.bc;
+}
+
+void QuantizedGruLayer::Forward(const std::vector<Matrix>& xs,
+                                const std::vector<std::vector<float>>& masks,
+                                std::vector<Matrix>* hs) const {
+  const size_t steps = xs.size();
+  const size_t dim = hidden();
+  T2VEC_CHECK(masks.empty() || masks.size() == steps);
+  hs->resize(steps);
+  if (steps == 0) return;
+  const size_t batch = xs[0].rows();
+
+  const Matrix h0(batch, dim, 0.0f);
+  Matrix pre3(batch, 3 * dim);
+  Matrix z(batch, dim), r(batch, dim), c(batch, dim), rh(batch, dim);
+  Matrix h_raw(batch, dim);
+  std::vector<int8_t> qbuf;
+  std::vector<float> sbuf;
+
+  for (size_t t = 0; t < steps; ++t) {
+    const Matrix& x = xs[t];
+    const Matrix& h_prev = (t == 0) ? h0 : (*hs)[t - 1];
+    T2VEC_CHECK(x.rows() == batch && x.cols() == in_dim());
+
+    // [pre_c | pre_z | pre_r] = deq(q(x) · qW^T); then the z/r blocks get
+    // the hidden term and the c block the (r ⊙ h⁻) term, mirroring the
+    // fused fp32 gate structure in GruLayer::Forward.
+    QuantizeRowsDynamic(x, &qbuf, &sbuf);
+    QuantizedGemmTransB(qbuf.data(), sbuf.data(), batch, w_pack_,
+                        MatrixView(pre3), /*accumulate=*/false, nullptr);
+    QuantizeRowsDynamic(h_prev, &qbuf, &sbuf);
+    QuantizedGemmTransB(qbuf.data(), sbuf.data(), batch, u_pack_,
+                        ColBlock(&pre3, dim, 2 * dim), /*accumulate=*/true,
+                        nullptr);
+
+    AddRowBroadcastV(ColBlock(&pre3, dim, dim), bz_);
+    SigmoidV(ColBlock(pre3, dim, dim), MatrixView(z));
+    AddRowBroadcastV(ColBlock(&pre3, 2 * dim, dim), br_);
+    SigmoidV(ColBlock(pre3, 2 * dim, dim), MatrixView(r));
+
+    Hadamard(r, h_prev, &rh);
+    QuantizeRowsDynamic(rh, &qbuf, &sbuf);
+    QuantizedGemmTransB(qbuf.data(), sbuf.data(), batch, uc_,
+                        ColBlock(&pre3, 0, dim), /*accumulate=*/true, nullptr);
+    AddRowBroadcastV(ColBlock(&pre3, 0, dim), bc_);
+    TanhV(ColBlock(pre3, 0, dim), MatrixView(c));
+
+    // h_raw = (1 - z) ⊙ h_prev + z ⊙ c
+    for (size_t b = 0; b < batch; ++b) {
+      const float* __restrict zv = z.Row(b);
+      const float* __restrict cv = c.Row(b);
+      const float* __restrict hp = h_prev.Row(b);
+      float* __restrict hr = h_raw.Row(b);
+      for (size_t j = 0; j < dim; ++j) {
+        hr[j] = (1.0f - zv[j]) * hp[j] + zv[j] * cv[j];
+      }
+    }
+
+    if (masks.empty()) {
+      (*hs)[t] = h_raw;
+    } else {
+      ApplyMask(masks[t], h_raw, h_prev, &(*hs)[t]);
+    }
+  }
+}
+
+QuantizedGru::QuantizedGru(const Gru& gru) {
+  layers_.reserve(gru.layers());
+  for (size_t l = 0; l < gru.layers(); ++l) {
+    layers_.emplace_back(gru.layer(l));
+  }
+}
+
+void QuantizedGru::Forward(const std::vector<Matrix>& xs,
+                           const std::vector<std::vector<float>>& masks,
+                           Matrix* final_h) const {
+  std::vector<Matrix> cur;
+  const std::vector<Matrix>* input = &xs;
+  std::vector<Matrix> next;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    layers_[l].Forward(*input, masks, &next);
+    cur = std::move(next);
+    next.clear();
+    input = &cur;
+  }
+  T2VEC_CHECK(!cur.empty());
+  *final_h = cur.back();
+}
+
+}  // namespace t2vec::nn

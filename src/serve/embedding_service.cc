@@ -24,6 +24,8 @@ EmbeddingService::EmbeddingService(const core::T2Vec* model,
   T2VEC_CHECK(model_ != nullptr);
   T2VEC_CHECK(options_.queue_capacity >= 1);
   T2VEC_CHECK(options_.max_batch >= 1);
+  // Pay the int8 weight-quantization cost here, not on the first request.
+  if (options_.quantized) model_->PrepareQuantized();
   dispatcher_ = std::thread([this] { DispatchLoop(); });
 }
 
@@ -131,7 +133,8 @@ void EmbeddingService::Flush(std::vector<Request> batch) {
   nn::Matrix vectors;
   {
     ScopedNumThreads scoped(options_.num_threads);
-    vectors = model_->EncodeTokenized(seqs);
+    vectors = options_.quantized ? model_->EncodeQuantizedTokenized(seqs)
+                                 : model_->EncodeTokenized(seqs);
   }
   const Clock::time_point flush_end = Clock::now();
 

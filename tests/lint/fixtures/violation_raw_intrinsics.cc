@@ -1,0 +1,15 @@
+// Fixture: raw x86 intrinsics outside src/nn/kernels_avx2.cc fire
+// raw-intrinsics (7 hits: the include, two vector-typed declarations, and
+// four intrinsic calls — type + call on the same line count once each).
+// Never compiled.
+#include <immintrin.h>
+
+float Fixture(const float* x, const float* y) {
+  __m256 acc = _mm256_setzero_ps();
+  acc = _mm256_fmadd_ps(_mm256_loadu_ps(x), _mm256_loadu_ps(y), acc);
+  alignas(32) float lanes[8];
+  _mm256_store_ps(lanes, acc);
+  __m128i zero = _mm_setzero_si128();
+  (void)zero;
+  return lanes[0];
+}

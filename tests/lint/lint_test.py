@@ -25,6 +25,7 @@ EXPECTED = {
     "violation_unordered_iter.cc": {"unordered-iter": 2},
     "violation_deprecated_knn.cc": {"deprecated-knn": 3},
     "violation_raw_ofstream.cc": {"raw-ofstream": 8},
+    "violation_raw_intrinsics.cc": {"raw-intrinsics": 7},
     # Malformed suppressions fire bad-allow AND leave the underlying
     # violations unsuppressed.
     "violation_bad_allow.cc": {"bad-allow": 2, "raw-sort": 2},

@@ -163,7 +163,9 @@ TEST_F(ServerTest, RequestCodecRoundTripsEveryOpcode) {
       EXPECT_EQ(parsed.value().trajectory.points[i].x, trip.points[i].x);
       EXPECT_EQ(parsed.value().trajectory.points[i].y, trip.points[i].y);
     }
-    if (op == Opcode::kKnn) EXPECT_EQ(parsed.value().k, 7u);
+    if (op == Opcode::kKnn) {
+      EXPECT_EQ(parsed.value().k, 7u);
+    }
   }
 }
 

@@ -10,10 +10,13 @@
 #                              corruption matrix, kill-and-resume, WAL
 #                              replay, and the TCP server's hostile-bytes
 #                              and kill-mid-ingestion scenarios
-#   stage 4  clang-tidy        -DT2VEC_CLANG_TIDY=ON build of src/ (skipped
+#   stage 4  SIMD tiers        ctest -L kernel twice, under T2VEC_SIMD=scalar
+#                              and T2VEC_SIMD=avx2, so both dispatch tiers
+#                              (and the unsupported-ISA clamp) stay green
+#   stage 5  clang-tidy        -DT2VEC_CLANG_TIDY=ON build of src/ (skipped
 #                              with a notice when clang-tidy is not installed)
-#   stage 5  TSan              ctest -L determinism under -fsanitize=thread
-#   stage 6  UBSan             full ctest under -fsanitize=undefined with
+#   stage 6  TSan              ctest -L determinism under -fsanitize=thread
+#   stage 7  UBSan             full ctest under -fsanitize=undefined with
 #                              -fno-sanitize-recover: any UB aborts the test
 #
 # Each sanitizer tier builds in its own tree (<build-dir>-tsan, -ubsan) so
@@ -28,18 +31,26 @@ TSAN_DIR="${BUILD_DIR}-tsan"
 UBSAN_DIR="${BUILD_DIR}-ubsan"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "== stage 1/6: configure/build/ctest (${BUILD_DIR}) =="
+echo "== stage 1/7: configure/build/ctest (${BUILD_DIR}) =="
 cmake -B "${BUILD_DIR}" -S . -DT2VEC_WERROR=ON >/dev/null
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
-echo "== stage 2/6: determinism lint (src/ bench/ tools/) =="
+echo "== stage 2/7: determinism lint (src/ bench/ tools/) =="
 python3 tools/lint_determinism.py
 
-echo "== stage 3/6: robustness-labeled tests (${BUILD_DIR}) =="
+echo "== stage 3/7: robustness-labeled tests (${BUILD_DIR}) =="
 ctest --test-dir "${BUILD_DIR}" -L robustness --output-on-failure -j "${JOBS}"
 
-echo "== stage 4/6: clang-tidy (src/) =="
+echo "== stage 4/7: kernel-labeled tests under each SIMD tier (${BUILD_DIR}) =="
+# On machines without AVX2 the avx2 run degrades to scalar via the dispatch
+# clamp — that fallback (no SIGILL, tier logged) is itself under test.
+T2VEC_SIMD=scalar ctest --test-dir "${BUILD_DIR}" -L kernel \
+  --output-on-failure -j "${JOBS}"
+T2VEC_SIMD=avx2 ctest --test-dir "${BUILD_DIR}" -L kernel \
+  --output-on-failure -j "${JOBS}"
+
+echo "== stage 5/7: clang-tidy (src/) =="
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake -B "${TIDY_DIR}" -S . -DT2VEC_WERROR=ON -DT2VEC_CLANG_TIDY=ON \
     >/dev/null
@@ -49,13 +60,13 @@ else
   echo "clang-tidy not installed; stage skipped (config: .clang-tidy)"
 fi
 
-echo "== stage 5/6: TSan on determinism-labeled tests (${TSAN_DIR}) =="
+echo "== stage 6/7: TSan on determinism-labeled tests (${TSAN_DIR}) =="
 cmake -B "${TSAN_DIR}" -S . -DT2VEC_WERROR=ON -DT2VEC_SANITIZE=thread \
   >/dev/null
 cmake --build "${TSAN_DIR}" -j "${JOBS}"
 ctest --test-dir "${TSAN_DIR}" -L determinism --output-on-failure -j "${JOBS}"
 
-echo "== stage 6/6: UBSan (-fno-sanitize-recover) full suite (${UBSAN_DIR}) =="
+echo "== stage 7/7: UBSan (-fno-sanitize-recover) full suite (${UBSAN_DIR}) =="
 cmake -B "${UBSAN_DIR}" -S . -DT2VEC_WERROR=ON -DT2VEC_SANITIZE=undefined \
   >/dev/null
 cmake --build "${UBSAN_DIR}" -j "${JOBS}"

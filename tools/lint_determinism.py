@@ -53,6 +53,13 @@ at review time, by banning the source patterns that historically break it:
                   blanked before matching, so the linter cannot tell "r"
                   from "w"; suppress a genuine read-only use with an allow
                   comment.
+  raw-intrinsics  x86 SIMD intrinsics (<immintrin.h> and friends, _mm*()
+                  calls, __m128/__m256/__m512 vector types) anywhere except
+                  src/nn/kernels_avx2.cc. Hand-vectorized code scattered
+                  through the tree cannot be audited for bit-identity with
+                  its scalar twin; every SIMD path must live behind the
+                  nn/kernels.h dispatch table, where simd_kernels_test
+                  memcmp-compares the tiers and T2VEC_SIMD selects them.
   bad-allow       A lint:allow comment with an unknown rule id or no reason.
 
 Escape hatch — on the flagged line or the line directly above it:
@@ -183,6 +190,22 @@ RULES = {
             "src/common/fs.cc",
             "src/common/serialize.h",
         },
+    },
+    "raw-intrinsics": {
+        "description": (
+            "raw x86 SIMD intrinsics (<immintrin.h>, _mm*() calls, "
+            "__m128/__m256/__m512 types) outside src/nn/kernels_avx2.cc; "
+            "vector code must sit behind the nn/kernels.h dispatch table "
+            "so it keeps a memcmp-verified scalar twin"
+        ),
+        "patterns": _c(
+            r"#\s*include\s*<\s*(?:immintrin|x86intrin|xmmintrin|emmintrin|"
+            r"pmmintrin|tmmintrin|smmintrin|nmmintrin|wmmintrin|"
+            r"avxintrin|avx2intrin|avx512\w*intrin|fmaintrin)\.h\s*>",
+            r"\b_mm(?:256|512)?_\w+\s*\(",
+            r"\b__m(?:128|256|512)[di]?\b",
+        ),
+        "exempt": {"src/nn/kernels_avx2.cc"},
     },
     "bad-allow": {
         "description": (

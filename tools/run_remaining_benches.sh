@@ -1,0 +1,15 @@
+#!/bin/bash
+# Priority-ordered run of the remaining experiment benches (everything the
+# fig5 sweep does not cover), printing each bench's output in sequence.
+# Usage: tools/run_remaining_benches.sh [build-dir]  (tee to bench_output.txt
+# to keep a transcript; that file is gitignored).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+for b in bench_table2_datasets bench_fig6_efficiency bench_table4_downsampling \
+         bench_table7_loss_ablation bench_fig7_trainsize bench_table9_hidden \
+         bench_table6_crossdist bench_table5_distortion bench_table3_dbsize \
+         bench_table8_cellsize bench_micro_distance bench_micro_nn; do
+  echo "===== ${BUILD_DIR}/bench/$b ====="
+  "./${BUILD_DIR}/bench/$b"
+done

@@ -41,16 +41,17 @@ using namespace t2vec;
 class Flags {
  public:
   Flags(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
-      if (std::strncmp(argv[i], "--", 2) != 0) continue;
-      values_[argv[i] + 2] = argv[i + 1];
-    }
-    // Boolean flags (no value).
     for (int i = first; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--no-pretrain") == 0) {
-        // insert_or_assign: GCC 12's -Wrestrict miscounts the inlined
-        // char-pointer operator= here at -O3.
-        values_.insert_or_assign("no-pretrain", std::string("1"));
+      if (std::strncmp(argv[i], "--", 2) != 0) continue;
+      // A flag followed by another flag (or nothing) is boolean, e.g.
+      // --no-pretrain / --quantized; otherwise it consumes the next arg.
+      // insert_or_assign: GCC 12's -Wrestrict miscounts the inlined
+      // char-pointer operator= here at -O3.
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_.insert_or_assign(argv[i] + 2, std::string(argv[i + 1]));
+        ++i;
+      } else {
+        values_.insert_or_assign(argv[i] + 2, std::string("1"));
       }
     }
   }
@@ -255,6 +256,8 @@ int CmdServeBench(const Flags& flags) {
   options.max_batch = static_cast<size_t>(
       flags.GetInt("max-batch", static_cast<long>(clients)));
   options.queue_capacity = 4 * clients;
+  options.quantized = flags.Has("quantized");
+  if (options.quantized) std::printf("encoder: int8 quantized\n");
   serve::EmbeddingService service(&model.value(), options);
 
   const std::vector<traj::Trajectory>& trips = data.value().trajectories();
@@ -314,6 +317,10 @@ int CmdServer(const Flags& flags) {
       std::chrono::microseconds(flags.GetInt("window-us", 500));
   options.service.max_batch =
       static_cast<size_t>(flags.GetInt("max-batch", 32));
+  options.service.quantized = flags.Has("quantized");
+  if (options.service.quantized) {
+    std::fprintf(stderr, "encoder: int8 quantized\n");
+  }
   serve::TcpServer server(&model.value(), store.value().get(), options);
   if (Status status = server.Start(); !status.ok()) {
     return Fail(status.ToString().c_str());
@@ -352,9 +359,10 @@ void PrintUsage() {
       "  knn         --model F --data F [--query-index I] [--k K]\n"
       "  reconstruct --model F --data F [--query-index I] [--drop R]\n"
       "  serve-bench --model F --data F [--clients C] [--requests N]\n"
-      "              [--window-us W] [--max-batch B]\n"
+      "              [--window-us W] [--max-batch B] [--quantized]\n"
       "  server      --model F --data-dir D [--port P] [--run-seconds S]\n"
-      "              [--window-us W] [--max-batch B] [--compact-bytes N]\n");
+      "              [--window-us W] [--max-batch B] [--compact-bytes N]\n"
+      "              [--quantized]\n");
 }
 
 }  // namespace
