@@ -9,7 +9,7 @@
 
 #include "bench_common.h"
 #include "common/stopwatch.h"
-#include "core/vec_index.h"
+#include "core/ann_index.h"
 #include "dist/classic.h"
 #include "dist/edwp.h"
 #include "dist/knn.h"
@@ -58,20 +58,31 @@ int main() {
     watch.Reset();
     const nn::Matrix db_vecs = model.Encode(database);
     const double encode_ms = watch.ElapsedMillis();
-    core::VectorIndex index{nn::Matrix(db_vecs)};
+    auto index =
+        core::CreateIndex(core::IndexConfig{}, db_vecs.cols()).value();
+    for (size_t r = 0; r < db_vecs.rows(); ++r) {
+      index->Add({db_vecs.Row(r), db_vecs.cols()});
+    }
     const nn::Matrix query_vecs = model.Encode(queries);
 
     watch.Reset();
     for (size_t q = 0; q < num_queries; ++q) {
-      index.Query({query_vecs.Row(q), query_vecs.cols()}, k);
+      index->Query({query_vecs.Row(q), query_vecs.cols()}, k);
     }
     const double scan_ms = watch.ElapsedMillis() / num_queries;
 
-    core::LshIndex lsh(db_vecs, /*num_tables=*/6, /*num_bits=*/12,
-                       /*seed=*/9);
+    core::IndexConfig lsh_config;
+    lsh_config.kind = core::IndexKind::kLsh;
+    lsh_config.lsh_tables = 6;
+    lsh_config.lsh_bits = 12;
+    lsh_config.lsh_seed = 9;
+    auto lsh = core::CreateIndex(lsh_config, db_vecs.cols()).value();
+    for (size_t r = 0; r < db_vecs.rows(); ++r) {
+      lsh->Add({db_vecs.Row(r), db_vecs.cols()});
+    }
     watch.Reset();
     for (size_t q = 0; q < num_queries; ++q) {
-      lsh.Query({query_vecs.Row(q), query_vecs.cols()}, k);
+      lsh->Query({query_vecs.Row(q), query_vecs.cols()}, k);
     }
     const double lsh_ms = watch.ElapsedMillis() / num_queries;
 

@@ -136,7 +136,6 @@ int main() {
       RunPhase(clients, requests_per_client, [&](size_t c, size_t r) {
         const traj::Trajectory& trip = trips[(c + r * clients) % trips.size()];
         Result<serve::EmbeddingStore::Neighbors> result =
-            // lint:allow(deprecated-knn) TcpClient::Knn returns distances too
             conns[c]->Knn(trip, 10);
         if (!result.ok() || result.value().size() == 0) {
           std::fprintf(stderr, "knn failed at client %zu\n", c);

@@ -1,6 +1,7 @@
 #include "common/fs.h"
 
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -246,6 +247,60 @@ Status WriteFileAtomic(const std::string& path, const std::string& contents) {
   AtomicFileWriter writer(path);
   writer.Append(contents.data(), contents.size());
   return writer.Commit();
+}
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  if (const int err = T2VEC_FAULT_POINT("fs.mmap")) {
+    return Status::IoError(ErrnoMessage("mmap", path, err));
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("open", path, errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError(ErrnoMessage("fstat", path, err));
+  }
+  MmapFile file;
+  file.size_ = static_cast<size_t>(st.st_size);
+  file.path_ = path;
+  if (file.size_ > 0) {
+    void* base = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (base == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return Status::IoError(ErrnoMessage("mmap", path, err));
+    }
+    file.base_ = base;
+  }
+  // The mapping holds its own reference to the inode; the descriptor is no
+  // longer needed.
+  ::close(fd);
+  return file;
+}
+
+MmapFile::~MmapFile() {
+  if (base_ != nullptr) ::munmap(base_, size_);
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : base_(other.base_), size_(other.size_), path_(std::move(other.path_)) {
+  other.base_ = nullptr;
+  other.size_ = 0;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (base_ != nullptr) ::munmap(base_, size_);
+    base_ = other.base_;
+    size_ = other.size_;
+    path_ = std::move(other.path_);
+    other.base_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
 }
 
 Status ReadFileToString(const std::string& path, std::string* out) {

@@ -151,6 +151,46 @@ Status WriteFileAtomic(const std::string& path, const std::string& contents);
 /// failure; `*out` is unspecified then.
 Status ReadFileToString(const std::string& path, std::string* out);
 
+/// Read-only memory-mapped view of a whole file (RAII: unmapped on
+/// destruction). The serving read path for large artifacts: the kernel pages
+/// bytes in on demand, so a snapshot holding millions of vectors opens in
+/// milliseconds and its vector block is served zero-copy straight out of the
+/// page cache (common/serialize.h BinaryReader has a view mode over it).
+///
+/// Lifetime rules: every pointer derived from `data()` — including vector
+/// rows an index serves zero-copy — is valid exactly as long as this object
+/// lives, so owners hold it in a `std::shared_ptr` that the borrowing index
+/// keeps alive (core/ann_index.h RowStore). Renaming or truncating the file
+/// *path* after Open is safe (the mapping pins the old inode); mutating the
+/// mapped bytes in place through another descriptor is not, which is why
+/// every artifact is published via AtomicFileWriter's tmp+rename and never
+/// rewritten in place.
+///
+/// Fault point (common/fault.h): "fs.mmap".
+class MmapFile {
+ public:
+  /// Maps `path` read-only. An empty file maps to data() == nullptr,
+  /// size() == 0 (mmap of length 0 is invalid, and no valid artifact is
+  /// empty — readers reject it on parse).
+  static Result<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile();
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const char* data() const { return static_cast<const char*>(base_); }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void* base_ = nullptr;
+  size_t size_ = 0;
+  std::string path_;
+};
+
 }  // namespace t2vec
 
 #endif  // T2VEC_COMMON_FS_H_

@@ -73,6 +73,17 @@ class BinaryWriter {
     Append(v.data(), v.size() * sizeof(T));
   }
 
+  /// Appends `n` raw bytes with no length prefix. For large fixed-layout
+  /// blocks (e.g. an index's vector rows) whose size an earlier field
+  /// already records: one call is one `write(2)`, so writing a block this
+  /// way instead of element-at-a-time keeps snapshot writes O(fields), not
+  /// O(rows), in syscalls.
+  void WriteRaw(const void* data, size_t n) { Append(data, n); }
+
+  /// Payload bytes appended so far. Lets writers compute the file offset of
+  /// the next field, e.g. to keep a raw block aligned for mmap serving.
+  uint64_t payload_size() const { return payload_size_; }
+
   /// Appends the CRC32C trailer and atomically publishes the file. Returns
   /// the first error of the whole write sequence; on error the final path
   /// is untouched.
@@ -113,26 +124,18 @@ class BinaryReader {
       failed_ = true;
       return;
     }
-    payload_end_ = data_.size();
-    if (data_.size() < kCrcTrailerBytes) return;  // Legacy (tiny) stream.
-    uint64_t payload_size = 0;
-    uint32_t crc = 0, magic = 0;
-    const char* trailer = data_.data() + data_.size() - kCrcTrailerBytes;
-    std::memcpy(&payload_size, trailer, sizeof(payload_size));
-    std::memcpy(&crc, trailer + 8, sizeof(crc));
-    std::memcpy(&magic, trailer + 12, sizeof(magic));
-    if (magic != kCrcTrailerMagic ||
-        payload_size != data_.size() - kCrcTrailerBytes) {
-      return;  // No trailer: legacy stream, reads bounded by file size.
-    }
-    if (Crc32c(0, data_.data(), payload_size) != crc) {
-      failed_ = true;
-      status_ = Status::IoError("checksum mismatch in " + path +
-                                ": file is corrupt");
-      return;
-    }
-    checksummed_ = true;
-    payload_end_ = payload_size;
+    Init(data_.data(), data_.size(), path);
+  }
+
+  /// View mode: reads directly from `[data, data + size)` without copying —
+  /// the mmap serving path. The CRC trailer is still verified up front (one
+  /// sequential pass at open; the kernel faults the pages in once and they
+  /// stay warm), and `ReadRaw` then serves large blocks as pointers into the
+  /// mapping. The caller keeps the underlying bytes alive for as long as the
+  /// reader and anything returned by `ReadRaw` are in use. `name` labels
+  /// error messages (pass the file path).
+  BinaryReader(const char* data, size_t size, const std::string& name) {
+    Init(data, size, name);
   }
 
   bool ok() const { return !failed_; }
@@ -152,7 +155,7 @@ class BinaryReader {
   bool ReadPod(T* value) {
     static_assert(std::is_trivially_copyable_v<T>);
     if (failed_ || sizeof(T) > remaining()) return FailRead();
-    std::memcpy(value, data_.data() + pos_, sizeof(T));
+    std::memcpy(value, base_ + pos_, sizeof(T));
     pos_ += sizeof(T);
     return true;
   }
@@ -163,7 +166,7 @@ class BinaryReader {
     // Bounding by the remaining byte count (not a fixed cap) makes a corrupt
     // length field fail soft instead of attempting a huge allocation.
     if (n > remaining()) return FailRead();
-    s->assign(data_.data() + pos_, static_cast<size_t>(n));
+    s->assign(base_ + pos_, static_cast<size_t>(n));
     pos_ += static_cast<size_t>(n);
     return true;
   }
@@ -176,20 +179,62 @@ class BinaryReader {
     if (n > remaining() / sizeof(T)) return FailRead();
     v->resize(static_cast<size_t>(n));
     if (n > 0) {
-      std::memcpy(v->data(), data_.data() + pos_,
+      std::memcpy(v->data(), base_ + pos_,
                   static_cast<size_t>(n) * sizeof(T));
       pos_ += static_cast<size_t>(n) * sizeof(T);
     }
     return true;
   }
 
+  /// Returns a pointer to the next `n` payload bytes without copying, or
+  /// nullptr (and fails the reader) if fewer remain. In file mode the
+  /// pointer lives as long as the reader; in view mode as long as the
+  /// caller's backing bytes. The CRC covering these bytes was already
+  /// verified at construction.
+  const char* ReadRaw(size_t n) {
+    if (failed_ || n > remaining()) {
+      FailRead();
+      return nullptr;
+    }
+    const char* p = base_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  /// Absolute payload offset of the next read (bytes consumed so far).
+  size_t position() const { return pos_; }
+
  private:
+  void Init(const char* data, size_t size, const std::string& name) {
+    base_ = data;
+    payload_end_ = size;
+    if (size < kCrcTrailerBytes) return;  // Legacy (tiny) stream.
+    uint64_t payload_size = 0;
+    uint32_t crc = 0, magic = 0;
+    const char* trailer = data + size - kCrcTrailerBytes;
+    std::memcpy(&payload_size, trailer, sizeof(payload_size));
+    std::memcpy(&crc, trailer + 8, sizeof(crc));
+    std::memcpy(&magic, trailer + 12, sizeof(magic));
+    if (magic != kCrcTrailerMagic || payload_size != size - kCrcTrailerBytes) {
+      return;  // No trailer: legacy stream, reads bounded by file size.
+    }
+    if (Crc32c(0, data, payload_size) != crc) {
+      failed_ = true;
+      status_ = Status::IoError("checksum mismatch in " + name +
+                                ": file is corrupt");
+      return;
+    }
+    checksummed_ = true;
+    payload_end_ = payload_size;
+  }
+
   bool FailRead() {
     failed_ = true;
     return false;
   }
 
   std::string data_;
+  const char* base_ = nullptr;
   size_t pos_ = 0;
   size_t payload_end_ = 0;
   bool checksummed_ = false;

@@ -1,0 +1,267 @@
+#ifndef T2VEC_CORE_ANN_INDEX_H_
+#define T2VEC_CORE_ANN_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/fs.h"
+#include "common/serialize.h"
+#include "common/status.h"
+#include "dist/knn.h"
+
+/// \file
+/// The polymorphic nearest-neighbor index interface (DESIGN.md §4e).
+///
+/// Every serving path constructs its index through `IndexConfig` +
+/// `CreateIndex` and talks to it as an `AnnIndex`: exact scan
+/// (`VectorIndex`), multi-probe LSH (`LshIndex`), or the IVF coarse
+/// quantizer (`IvfIndex`). The base class owns the vector rows (`RowStore`)
+/// and the non-virtual Add/Save/Restore skeleton; backends only implement
+/// how a new row enters their acceleration structure (`OnAppend`) and how
+/// that structure round-trips a snapshot (`SaveAux`/`LoadAux`).
+///
+/// This template-method split is what makes the "incremental Add is
+/// provably identical to build-once" guarantee structural rather than
+/// per-backend: a bulk build, a one-at-a-time build, and a snapshot restore
+/// without usable aux all funnel through the same `OnAppend(row)` calls in
+/// the same ascending row order, so there is no second code path to drift.
+///
+/// Snapshot format (standalone index files, magic "t2vA"):
+///
+///     magic u32 | version u32 | kind u32 | dim u64 | rows u64 |
+///     rows*dim raw floats | backend aux | CRC32C trailer
+///
+/// The raw float block starts at byte 28 (4-byte aligned) so an
+/// mmap-backed open (`OpenIndexMmap`) can serve rows zero-copy straight
+/// out of the page cache: the CRC is verified once at open, and the
+/// `RowStore` keeps the mapping alive for as long as any borrowed row may
+/// be dereferenced (see `common/fs.h` MmapFile lifetime rules).
+
+namespace t2vec::core {
+
+using dist::KnnResult;
+
+/// Magic + version for standalone index snapshots ("t2vA" little-endian).
+/// Version 2 is the first (and current) version: index snapshots were born
+/// after the repo-wide CRC-framing bump, so like every other artifact they
+/// start at the first checksummed version and readers reject "version >= 2
+/// but no trailer" as a stripped checksum.
+inline constexpr uint32_t kIndexSnapshotMagic = 0x41763274;
+inline constexpr uint32_t kIndexSnapshotVersion = 2;
+
+/// Which nearest-neighbor backend serves queries.
+enum class IndexKind : uint32_t {
+  kExact = 0,  // VectorIndex: exact linear scan
+  kLsh = 1,    // LshIndex: random-hyperplane multi-probe LSH
+  kIvf = 2,    // IvfIndex: k-means coarse quantizer + inverted lists
+};
+
+/// "exact" / "lsh" / "ivf" (stable CLI + stats-JSON names).
+const char* IndexKindName(IndexKind kind);
+
+/// Parses an IndexKindName; InvalidArgument for anything else.
+Result<IndexKind> ParseIndexKind(const std::string& name);
+
+/// Everything needed to construct an index, validated up front so a typo'd
+/// CLI flag fails with a message instead of a CHECK later. Defaults are the
+/// benchmark-tuned serving settings (BENCH_ann.json).
+struct IndexConfig {
+  IndexKind kind = IndexKind::kExact;
+
+  // --- LSH (kind == kLsh) ---
+  int lsh_tables = 6;       // hash tables; more -> higher recall, more memory
+  int lsh_bits = 12;        // signature bits per table (1..24)
+  uint64_t lsh_seed = 9;    // hyperplane RNG seed
+
+  // --- IVF (kind == kIvf) ---
+  size_t ivf_nlist = 256;        // inverted lists (k-means centroids)
+  size_t ivf_nprobe = 8;         // lists scanned per query
+  int ivf_train_iters = 10;      // Lloyd iterations
+  uint64_t ivf_seed = 17;        // centroid-init RNG seed
+  size_t ivf_train_per_list = 32;  // training starts at nlist * this rows
+
+  /// OK, or InvalidArgument naming the offending field.
+  Status Validate() const;
+};
+
+/// A point-in-time snapshot of index diagnostics for the stats endpoint.
+struct IndexStats {
+  IndexKind kind = IndexKind::kExact;
+  size_t size = 0;   // rows indexed
+  size_t dim = 0;
+  int64_t queries = 0;           // Query() calls served
+  int64_t candidates = 0;        // rows exactly scored across all queries
+  bool trained = true;           // IVF: quantizer trained (others: always)
+  size_t nlist = 0;              // IVF: inverted lists (0 otherwise)
+  size_t nprobe = 0;             // IVF: lists probed per query (0 otherwise)
+
+  /// Rows scored per query on average — the work an approximate index
+  /// saved relative to `size` rows for an exact scan.
+  double MeanCandidates() const;
+
+  /// One-line JSON object for the server stats endpoint.
+  std::string ToJson() const;
+};
+
+/// Flat row-major storage for an index's vectors: an optional *borrowed*
+/// prefix (rows inside an mmap'd snapshot, served zero-copy) plus an owned
+/// tail for rows appended afterwards. Row r is stable for the life of the
+/// store; the `keepalive` shared_ptr pins the mapping a borrowed prefix
+/// points into.
+class RowStore {
+ public:
+  explicit RowStore(size_t dim);
+
+  size_t rows() const { return base_rows_ + tail_.size() / dim_; }
+  size_t dim() const { return dim_; }
+
+  /// Pointer to row `r` (length dim()). Borrowed rows point into the
+  /// mapping; appended rows into owned storage.
+  const float* Row(size_t r) const {
+    return r < base_rows_ ? base_ + r * dim_
+                          : tail_.data() + (r - base_rows_) * dim_;
+  }
+
+  /// Copies `vec` (length dim()) in as row rows(); returns its row id.
+  size_t Append(std::span<const float> vec);
+
+  /// Installs `n` borrowed rows as the base prefix (store must be empty).
+  /// `keepalive` owns the bytes `base` points into.
+  void InstallBorrowed(const float* base, size_t n,
+                       std::shared_ptr<MmapFile> keepalive);
+
+  /// Installs owned rows as the base prefix (store must be empty).
+  void InstallOwned(std::vector<float> data);
+
+  /// Appends every row's raw bytes (no length prefix) to `writer` — at most
+  /// two write calls (borrowed block + owned tail), not one per row.
+  void AppendRawTo(BinaryWriter* writer) const;
+
+ private:
+  size_t dim_;
+  const float* base_ = nullptr;  // borrowed prefix (nullptr if none)
+  size_t base_rows_ = 0;
+  std::vector<float> owned_base_;  // backs base_ when InstallOwned was used
+  std::vector<float> tail_;        // rows appended after the base
+  std::shared_ptr<MmapFile> keepalive_;
+};
+
+/// Rows to install into a restored index: either an owned float block or a
+/// borrowed pointer (plus the mapping that keeps it alive).
+struct RowBlock {
+  size_t rows = 0;
+  std::vector<float> owned;            // used when borrowed == nullptr
+  const float* borrowed = nullptr;
+  std::shared_ptr<MmapFile> keepalive;
+};
+
+/// Abstract nearest-neighbor index. See the file comment for the
+/// template-method contract; thread-safety matches the concrete indexes:
+/// Query is const and safe to call concurrently, Add/Restore are not.
+class AnnIndex {
+ public:
+  virtual ~AnnIndex() = default;
+  AnnIndex(const AnnIndex&) = delete;
+  AnnIndex& operator=(const AnnIndex&) = delete;
+
+  /// Appends one vector (length dim()) as row Size() and registers it with
+  /// the backend. An index grown by Add answers queries identically to one
+  /// built from the same rows in any other way (bulk, restore, replay).
+  void Add(std::span<const float> vec);
+
+  /// The (approximate) k nearest rows with squared Euclidean distances,
+  /// ascending, NaNs last. k is clamped to Size(): over-asking returns
+  /// every row ranked and an empty index returns an empty result — k is
+  /// client input on the serving path, so it must never abort.
+  virtual KnnResult Query(std::span<const float> query, size_t k) const = 0;
+
+  size_t Size() const { return rows_.rows(); }
+  size_t size() const { return Size(); }
+  size_t dim() const { return rows_.dim(); }
+  virtual IndexKind kind() const = 0;
+
+  /// Raw pointer to indexed row `r` — zero-copy for borrowed (mmap) rows.
+  const float* RowPtr(size_t r) const { return rows_.Row(r); }
+
+  /// Writes the standalone snapshot format (see file comment) atomically.
+  Status Save(const std::string& path) const;
+
+  /// Installs restored rows into an empty index, then rebuilds the backend
+  /// structure: from `aux` (the snapshot's serialized structure) when given
+  /// and loadable, otherwise by replaying OnAppend over every row in
+  /// ascending order — the same calls Add makes, so a rebuilt index is
+  /// bit-identical to one grown live. An InvalidArgument from the backend's
+  /// LoadAux (aux written under different parameters) downgrades to the
+  /// replay path; I/O and corruption errors propagate.
+  Status Restore(RowBlock block, BinaryReader* aux);
+
+  /// Diagnostics snapshot (kind, sizes, query/candidate counters).
+  IndexStats Stats() const;
+
+  /// Mean rows exactly scored per query so far.
+  double MeanCandidates() const;
+
+  /// Appends the raw row bytes to `writer` (store snapshots embed them).
+  void AppendRowsTo(BinaryWriter* writer) const { rows_.AppendRawTo(writer); }
+
+  /// Appends the backend structure bytes to `writer` (store snapshots embed
+  /// them after the rows; Restore() consumes them as its `aux`).
+  void AppendAuxTo(BinaryWriter* writer) const { SaveAux(writer); }
+
+ protected:
+  explicit AnnIndex(size_t dim) : rows_(dim) {}
+
+  /// Registers row `row` (already present in rows()) with the backend's
+  /// acceleration structure. Called with rows strictly ascending.
+  virtual void OnAppend(size_t row) = 0;
+
+  /// Serializes the backend structure after the row block. Must be a pure
+  /// function of the index state with a deterministic byte layout.
+  virtual void SaveAux(BinaryWriter* writer) const = 0;
+
+  /// Restores the backend structure written by SaveAux, after the rows are
+  /// already installed. Must mutate the index only on success so Restore
+  /// can fall back to the replay path on InvalidArgument.
+  virtual Status LoadAux(BinaryReader* reader) = 0;
+
+  /// Fills backend-specific IndexStats fields (kind/size/dim/counters are
+  /// filled by the base).
+  virtual void FillStats(IndexStats* stats) const = 0;
+
+  const RowStore& rows() const { return rows_; }
+
+  /// Records one served query that exactly scored `candidates` rows.
+  void CountQuery(size_t candidates) const;
+
+ private:
+  RowStore rows_;
+  // Atomic so concurrent Query calls keep the diagnostics race-free; the
+  // neighbor results themselves are pure.
+  mutable std::atomic<int64_t> queries_{0};
+  mutable std::atomic<int64_t> candidates_{0};
+};
+
+/// Constructs an empty index for `dim`-dimensional vectors per `config`
+/// (validated first). The only way serving code builds a concrete index.
+Result<std::unique_ptr<AnnIndex>> CreateIndex(const IndexConfig& config,
+                                              size_t dim);
+
+/// Loads a standalone index snapshot, reading the whole file. The file's
+/// kind must not necessarily match `config.kind`: rows always load, and the
+/// aux structure is used when the kinds match, rebuilt otherwise.
+Result<std::unique_ptr<AnnIndex>> LoadIndex(const IndexConfig& config,
+                                            const std::string& path);
+
+/// Like LoadIndex but memory-maps the snapshot and serves its rows
+/// zero-copy: the CRC is verified once at open (one sequential pass) and no
+/// row bytes are copied, so a million-vector index opens in milliseconds.
+Result<std::unique_ptr<AnnIndex>> OpenIndexMmap(const IndexConfig& config,
+                                               const std::string& path);
+
+}  // namespace t2vec::core
+
+#endif  // T2VEC_CORE_ANN_INDEX_H_

@@ -1,6 +1,7 @@
 #include "core/vec_index.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/macros.h"
 #include "common/order.h"
@@ -19,26 +20,19 @@ constexpr size_t kScanGrain = 256;
 
 }  // namespace
 
-VectorIndex::VectorIndex(nn::Matrix vectors) : vectors_(std::move(vectors)) {}
+VectorIndex::VectorIndex(size_t dim) : AnnIndex(dim) {}
 
-VectorIndex::VectorIndex(size_t dim) : vectors_(0, dim) {
-  T2VEC_CHECK(dim > 0);
-}
-
-void VectorIndex::Add(std::span<const float> vec) {
-  T2VEC_CHECK(vec.size() == dim());
-  // Row-major append: growing the row count extends the flat storage while
-  // std::vector::resize preserves the existing prefix, so prior rows keep
-  // their bytes.
-  const size_t row = vectors_.rows();
-  vectors_.Resize(row + 1, dim());
-  std::copy(vec.begin(), vec.end(), vectors_.Row(row));
+VectorIndex::VectorIndex(const nn::Matrix& vectors)
+    : AnnIndex(vectors.cols()) {
+  for (size_t i = 0; i < vectors.rows(); ++i) {
+    Add(std::span<const float>(vectors.Row(i), vectors.cols()));
+  }
 }
 
 double VectorIndex::Distance(const float* query, size_t i) const {
   // Dispatched 8-double-lane squared distance (nn/kernels.h sqdist_f64);
   // identical bits on every SIMD tier.
-  return nn::Kernels().sqdist_f64(query, vectors_.Row(i), vectors_.cols());
+  return nn::Kernels().sqdist_f64(query, rows().Row(i), dim());
 }
 
 KnnResult VectorIndex::Query(std::span<const float> query, size_t k) const {
@@ -46,13 +40,14 @@ KnnResult VectorIndex::Query(std::span<const float> query, size_t k) const {
   // k is a request parameter, not an invariant: a served query may ask for
   // more neighbors than the store holds (or hit an empty store), and that
   // must degrade to a shorter answer, never abort the process.
-  k = std::min(k, size());
+  k = std::min(k, Size());
+  CountQuery(Size());
   if (k == 0) return {};
   // Each iteration writes only scored[i], so the parallel fill is
   // bit-identical to the serial one; the sort stays serial.
-  std::vector<std::pair<double, size_t>> scored(size());
+  std::vector<std::pair<double, size_t>> scored(Size());
   const float* q = query.data();
-  ParallelFor(0, size(), kScanGrain, [&](size_t i) {
+  ParallelFor(0, Size(), kScanGrain, [&](size_t i) {
     scored[i] = {Distance(q, i), i};
   });
   // NanLastLess over distinct row indices is a strict total order.
@@ -68,71 +63,53 @@ KnnResult VectorIndex::Query(std::span<const float> query, size_t k) const {
   return out;
 }
 
-std::vector<size_t> VectorIndex::Knn(const float* query, size_t k) const {
-  return Query(std::span<const float>(query, dim()), k).ids;
-}
-
 size_t VectorIndex::RankOf(const float* query, size_t target) const {
-  T2VEC_CHECK(target < size());
+  T2VEC_CHECK(target < Size());
   const double target_dist = Distance(query, target);
-  std::vector<double> dists(size());
-  ParallelFor(0, size(), kScanGrain,
+  std::vector<double> dists(Size());
+  ParallelFor(0, Size(), kScanGrain,
               [&](size_t i) { dists[i] = Distance(query, i); });
   size_t closer = 0;
-  for (size_t i = 0; i < size(); ++i) {
+  for (size_t i = 0; i < Size(); ++i) {
     if (i != target && dists[i] < target_dist) ++closer;
   }
   return closer + 1;
 }
 
-LshIndex::LshIndex(const nn::Matrix& vectors, int num_tables, int num_bits,
-                   uint64_t seed)
-    : vectors_(&vectors), num_tables_(num_tables), num_bits_(num_bits) {
+LshIndex::LshIndex(size_t dim, int num_tables, int num_bits, uint64_t seed)
+    : AnnIndex(dim),
+      num_tables_(num_tables),
+      num_bits_(num_bits),
+      seed_(seed) {
   T2VEC_CHECK(num_tables >= 1);
   T2VEC_CHECK(num_bits >= 1 && num_bits <= 24);
   Rng rng(seed);
   hyperplanes_.Resize(
-      static_cast<size_t>(num_tables) * static_cast<size_t>(num_bits),
-      vectors.cols());
+      static_cast<size_t>(num_tables) * static_cast<size_t>(num_bits), dim);
   for (size_t i = 0; i < hyperplanes_.size(); ++i) {
     hyperplanes_.data()[i] = static_cast<float>(rng.Gaussian());
   }
-  // Signatures are independent per row; bucket insertion stays serial so
-  // bucket contents keep the ascending-row order the serial build produced
-  // — the same order an incremental Add()-at-a-time build yields.
-  std::vector<uint32_t> signatures(vectors.rows() *
-                                   static_cast<size_t>(num_tables));
-  ParallelFor(0, vectors.rows(), 64, [&](size_t i) {
-    for (int t = 0; t < num_tables; ++t) {
-      signatures[i * static_cast<size_t>(num_tables) +
-                 static_cast<size_t>(t)] = Signature(vectors.Row(i), t);
-    }
-  });
   tables_.resize(static_cast<size_t>(num_tables));
-  for (size_t i = 0; i < vectors.rows(); ++i) {
-    for (int t = 0; t < num_tables; ++t) {
-      tables_[static_cast<size_t>(t)]
-             [signatures[i * static_cast<size_t>(num_tables) +
-                         static_cast<size_t>(t)]]
-                 .push_back(static_cast<uint32_t>(i));
-    }
-  }
-  indexed_rows_ = vectors.rows();
 }
 
-void LshIndex::Add(size_t row) {
-  T2VEC_CHECK(row == indexed_rows_);
-  T2VEC_CHECK(row < vectors_->rows());
-  for (int t = 0; t < num_tables_; ++t) {
-    tables_[static_cast<size_t>(t)][Signature(vectors_->Row(row), t)]
-        .push_back(static_cast<uint32_t>(row));
+LshIndex::LshIndex(const nn::Matrix& vectors, int num_tables, int num_bits,
+                   uint64_t seed)
+    : LshIndex(vectors.cols(), num_tables, num_bits, seed) {
+  for (size_t i = 0; i < vectors.rows(); ++i) {
+    Add(std::span<const float>(vectors.Row(i), vectors.cols()));
   }
-  indexed_rows_ = row + 1;
+}
+
+void LshIndex::OnAppend(size_t row) {
+  for (int t = 0; t < num_tables_; ++t) {
+    tables_[static_cast<size_t>(t)][Signature(rows().Row(row), t)].push_back(
+        static_cast<uint32_t>(row));
+  }
 }
 
 uint32_t LshIndex::Signature(const float* vec, int table) const {
   uint32_t sig = 0;
-  const size_t d = vectors_->cols();
+  const size_t d = dim();
   const nn::KernelOps& ops = nn::Kernels();
   for (int b = 0; b < num_bits_; ++b) {
     const float* __restrict plane = hyperplanes_.Row(
@@ -145,12 +122,12 @@ uint32_t LshIndex::Signature(const float* vec, int table) const {
 }
 
 KnnResult LshIndex::Query(std::span<const float> query, size_t k) const {
-  T2VEC_CHECK(query.size() == vectors_->cols());
+  T2VEC_CHECK(query.size() == dim());
   // Same clamp as VectorIndex::Query: over-asking returns every indexed row
   // ranked; an empty index returns an empty result.
-  k = std::min(k, indexed_rows_);
+  k = std::min(k, Size());
   if (k == 0) return {};
-  std::vector<uint8_t> seen(indexed_rows_, 0);
+  std::vector<uint8_t> seen(Size(), 0);
   std::vector<size_t> candidates;
 
   auto gather = [&](int table, uint32_t sig) {
@@ -171,23 +148,21 @@ KnnResult LshIndex::Query(std::span<const float> query, size_t k) const {
     for (int b = 0; b < num_bits_; ++b) gather(t, sig ^ (1u << b));
   }
 
-  probe_count_++;
-  candidate_count_ += static_cast<int64_t>(candidates.size());
-
   if (candidates.size() < k) {
     // Recall fallback: widen to a full scan.
-    candidates.resize(indexed_rows_);
+    candidates.resize(Size());
     for (size_t i = 0; i < candidates.size(); ++i) candidates[i] = i;
   }
+  CountQuery(candidates.size());
 
   // Exact re-ranking of the candidate set (same dispatched squared-distance
   // kernel as VectorIndex::Distance).
-  const size_t d = vectors_->cols();
+  const size_t d = dim();
   const nn::KernelOps& ops = nn::Kernels();
   std::vector<std::pair<double, size_t>> scored(candidates.size());
   ParallelFor(0, candidates.size(), kScanGrain, [&](size_t c) {
     const size_t idx = candidates[c];
-    scored[c] = {ops.sqdist_f64(query.data(), vectors_->Row(idx), d), idx};
+    scored[c] = {ops.sqdist_f64(query.data(), rows().Row(idx), d), idx};
   });
   // Candidates are deduplicated, so NanLastLess is a strict total order.
   TotalOrderPartialSort(scored.begin(), scored.begin() + static_cast<long>(k),
@@ -202,14 +177,62 @@ KnnResult LshIndex::Query(std::span<const float> query, size_t k) const {
   return out;
 }
 
-std::vector<size_t> LshIndex::Knn(const float* query, size_t k) const {
-  return Query(std::span<const float>(query, vectors_->cols()), k).ids;
+void LshIndex::SaveAux(BinaryWriter* writer) const {
+  writer->WritePod<int32_t>(num_tables_);
+  writer->WritePod<int32_t>(num_bits_);
+  writer->WritePod<uint64_t>(seed_);
+  // Buckets in deterministically sorted key order so equal indexes always
+  // serialize to identical bytes (unordered_map iteration order is not part
+  // of the index's logical state).
+  std::vector<uint32_t> keys;
+  for (const auto& table : tables_) {
+    keys.clear();
+    keys.reserve(table.size());
+    for (const auto& [key, bucket] : table) keys.push_back(key);
+    DeterministicSort(keys.begin(), keys.end());
+    writer->WritePod<uint64_t>(keys.size());
+    for (const uint32_t key : keys) {
+      writer->WritePod<uint32_t>(key);
+      writer->WriteVector(table.at(key));
+    }
+  }
 }
 
-double LshIndex::MeanCandidates() const {
-  if (probe_count_ == 0) return 0.0;
-  return static_cast<double>(candidate_count_) /
-         static_cast<double>(probe_count_);
+Status LshIndex::LoadAux(BinaryReader* reader) {
+  int32_t num_tables = 0, num_bits = 0;
+  uint64_t seed = 0;
+  if (!reader->ReadPod(&num_tables) || !reader->ReadPod(&num_bits) ||
+      !reader->ReadPod(&seed)) {
+    return Status::IoError("malformed LSH snapshot parameters");
+  }
+  if (num_tables != num_tables_ || num_bits != num_bits_ || seed != seed_) {
+    // Written under a different configuration: the caller rebuilds by
+    // replay under this index's own parameters.
+    return Status::InvalidArgument("LSH snapshot parameters differ");
+  }
+  std::vector<std::unordered_map<uint32_t, std::vector<uint32_t>>> tables(
+      static_cast<size_t>(num_tables));
+  for (auto& table : tables) {
+    uint64_t buckets = 0;
+    if (!reader->ReadPod(&buckets)) {
+      return Status::IoError("malformed LSH snapshot tables");
+    }
+    for (uint64_t b = 0; b < buckets; ++b) {
+      uint32_t key = 0;
+      std::vector<uint32_t> bucket;
+      if (!reader->ReadPod(&key) || !reader->ReadVector(&bucket)) {
+        return Status::IoError("malformed LSH snapshot bucket");
+      }
+      for (const uint32_t row : bucket) {
+        if (row >= Size()) {
+          return Status::IoError("LSH snapshot bucket references missing row");
+        }
+      }
+      table.emplace(key, std::move(bucket));
+    }
+  }
+  tables_ = std::move(tables);
+  return Status::Ok();
 }
 
 }  // namespace t2vec::core

@@ -1,126 +1,111 @@
 #ifndef T2VEC_CORE_VEC_INDEX_H_
 #define T2VEC_CORE_VEC_INDEX_H_
 
-#include <atomic>
 #include <cstdint>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
-#include "dist/knn.h"
+#include "core/ann_index.h"
 #include "nn/matrix.h"
 
 /// \file
-/// Nearest-neighbor search over trajectory representation vectors.
+/// The exact and LSH nearest-neighbor backends of `core/ann_index.h`.
 ///
 /// `VectorIndex` is the exact linear scan: O(N · |v|) per query — already at
 /// least an order of magnitude faster than the O(N · n²) DP baselines
 /// (paper Fig. 6). `LshIndex` implements the paper's future-work item 3
 /// (Sec. VI): random-hyperplane locality-sensitive hashing to push below
 /// linear scan; candidates from matching buckets are re-ranked exactly.
+/// (`core/ivf_index.h` holds the third backend, the IVF coarse quantizer.)
 ///
-/// Both indexes support incremental growth for the online serving path
-/// (serve/embedding_store.h): `VectorIndex::Add` appends a vector,
-/// `LshIndex::Add` hashes a newly appended row into its buckets. An index
-/// grown one vector at a time answers queries identically to one built from
-/// the full matrix up front.
+/// Both indexes own their vectors through the base `RowStore` and support
+/// incremental growth for the online serving path (serve/embedding_store.h):
+/// `Add` appends a vector and registers it, and an index grown one vector
+/// at a time answers queries identically to one built in bulk or restored
+/// from a snapshot (the template-method guarantee in ann_index.h).
 ///
-/// Queries return `dist::KnnResult` (ids + distances, ascending); the raw
-/// `Knn` id-only signatures survive as deprecated forwarders.
+/// Serving code should not name these types: construct through
+/// `IndexConfig` + `CreateIndex` (enforced by the raw-index-ctor lint
+/// rule) so the backend stays a config choice, not a compile-time one.
 
 namespace t2vec::core {
 
-using dist::KnnResult;
-
-/// Exact k-NN by linear scan over an N x D vector matrix.
-class VectorIndex {
+/// Exact k-NN by linear scan over the stored vectors.
+class VectorIndex : public AnnIndex {
  public:
-  /// An index over a prebuilt vector matrix.
-  explicit VectorIndex(nn::Matrix vectors);
-
   /// An empty, growable index for D-dimensional vectors (Add() appends).
   explicit VectorIndex(size_t dim);
 
-  /// Appends one vector (length dim()) as row size(). Queries immediately
-  /// see the new row; an index grown by Add answers identically to one
-  /// constructed from the final matrix.
-  void Add(std::span<const float> vec);
+  /// An index seeded from a prebuilt vector matrix (rows are copied in).
+  explicit VectorIndex(const nn::Matrix& vectors);
+
+  /// The k nearest rows with their squared Euclidean distances, ascending
+  /// (NaN distances order last). k is clamped to Size() — see
+  /// AnnIndex::Query.
+  KnnResult Query(std::span<const float> query, size_t k) const override;
+
+  IndexKind kind() const override { return IndexKind::kExact; }
 
   /// Squared Euclidean distance from `query` (length dim()) to row i.
   double Distance(const float* query, size_t i) const;
-
-  /// The k nearest rows with their squared Euclidean distances, ascending
-  /// (NaN distances order last). k is clamped to size(): asking for more
-  /// neighbors than the index holds returns every row ranked, and an empty
-  /// index returns an empty result — k is client input on the serving path,
-  /// so over-asking must never abort.
-  KnnResult Query(std::span<const float> query, size_t k) const;
-
-  /// \deprecated Id-only forwarder; use Query(), which also returns the
-  /// distances the scan computed.
-  [[deprecated("use Query(), which returns distances with the ranking")]]
-  std::vector<size_t> Knn(const float* query, size_t k) const;
 
   /// 1-based rank of `target` in the distance ordering from `query`
   /// (strictly-closer count + 1, so ties favor the target).
   size_t RankOf(const float* query, size_t target) const;
 
-  size_t size() const { return vectors_.rows(); }
-  size_t dim() const { return vectors_.cols(); }
-  const nn::Matrix& vectors() const { return vectors_; }
-
- private:
-  nn::Matrix vectors_;
+ protected:
+  void OnAppend(size_t /*row*/) override {}  // The rows *are* the structure.
+  void SaveAux(BinaryWriter* /*writer*/) const override {}
+  Status LoadAux(BinaryReader* /*reader*/) override { return Status::Ok(); }
+  void FillStats(IndexStats* /*stats*/) const override {}
 };
 
 /// Approximate k-NN via random-hyperplane LSH with multi-probe.
-class LshIndex {
+class LshIndex : public AnnIndex {
  public:
-  /// `num_tables` hash tables of `num_bits`-bit signatures over `vectors`
-  /// (N x D). More tables -> higher recall, more memory. The matrix must
-  /// outlive the index; rows appended to it later become visible to queries
-  /// once registered via Add().
+  /// An empty index: `num_tables` hash tables of `num_bits`-bit signatures
+  /// (1..24) whose hyperplanes are drawn from `seed`. More tables -> higher
+  /// recall, more memory.
+  LshIndex(size_t dim, int num_tables, int num_bits, uint64_t seed);
+
+  /// Convenience: seeds the index with every row of `vectors` (copied in).
   LshIndex(const nn::Matrix& vectors, int num_tables, int num_bits,
            uint64_t seed);
-
-  /// Registers row `row` of the backing matrix in every hash table. Rows
-  /// must be added in order (row == indexed_rows()); the constructor has
-  /// already added every row present at build time. Incremental adds yield
-  /// exactly the buckets a build-once construction over the same matrix
-  /// produces.
-  void Add(size_t row);
 
   /// Approximate k nearest rows and their squared Euclidean distances:
   /// candidates are gathered from the query's bucket in every table plus
   /// all 1-bit-flip probes, then ranked exactly. Falls back to a full scan
-  /// when fewer than k candidates surface. k is clamped to indexed_rows()
-  /// (see VectorIndex::Query).
-  KnnResult Query(std::span<const float> query, size_t k) const;
+  /// when fewer than k candidates surface. k is clamped to Size().
+  KnnResult Query(std::span<const float> query, size_t k) const override;
 
-  /// \deprecated Id-only forwarder; use Query().
-  [[deprecated("use Query(), which returns distances with the ranking")]]
-  std::vector<size_t> Knn(const float* query, size_t k) const;
+  IndexKind kind() const override { return IndexKind::kLsh; }
 
-  /// Rows registered so far (== backing matrix rows unless the matrix grew
-  /// without a matching Add()).
-  size_t indexed_rows() const { return indexed_rows_; }
+  int num_tables() const { return num_tables_; }
+  int num_bits() const { return num_bits_; }
 
-  /// Mean number of candidates examined per query so far (diagnostics).
-  double MeanCandidates() const;
+ protected:
+  /// Hashes the new row into every table's bucket; bucket contents stay in
+  /// ascending row order, the order every construction path produces.
+  void OnAppend(size_t row) override;
+
+  /// Params header + buckets with deterministically sorted keys.
+  void SaveAux(BinaryWriter* writer) const override;
+
+  /// InvalidArgument when the snapshot's params differ from this index's
+  /// (Restore then rebuilds by replay); mutates only on success.
+  Status LoadAux(BinaryReader* reader) override;
+
+  void FillStats(IndexStats* /*stats*/) const override {}
 
  private:
   uint32_t Signature(const float* vec, int table) const;
 
-  const nn::Matrix* vectors_;
   int num_tables_;
   int num_bits_;
-  size_t indexed_rows_ = 0;
+  uint64_t seed_;
   nn::Matrix hyperplanes_;  // (num_tables * num_bits) x D
   std::vector<std::unordered_map<uint32_t, std::vector<uint32_t>>> tables_;
-  // Atomic so concurrent Query calls (e.g. from a parallel query loop) keep
-  // the diagnostics race-free; the neighbor results themselves are pure.
-  mutable std::atomic<int64_t> probe_count_{0};
-  mutable std::atomic<int64_t> candidate_count_{0};
 };
 
 }  // namespace t2vec::core

@@ -45,13 +45,6 @@ KnnResult KnnQuery(const Measure& measure, const traj::Trajectory& query,
   return out;
 }
 
-std::vector<size_t> KnnSearch(const Measure& measure,
-                              const traj::Trajectory& query,
-                              const std::vector<traj::Trajectory>& database,
-                              size_t k) {
-  return KnnQuery(measure, query, database, k).ids;
-}
-
 size_t RankOf(const Measure& measure, const traj::Trajectory& query,
               const std::vector<traj::Trajectory>& database,
               size_t target_index) {

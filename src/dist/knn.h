@@ -33,14 +33,6 @@ struct KnnResult {
 KnnResult KnnQuery(const Measure& measure, const traj::Trajectory& query,
                    const std::vector<traj::Trajectory>& database, size_t k);
 
-/// \deprecated Forwarder for the pre-KnnResult surface; use KnnQuery, which
-/// also returns the distances the scan computed.
-[[deprecated("use KnnQuery(), which returns distances with the ranking")]]
-std::vector<size_t> KnnSearch(const Measure& measure,
-                              const traj::Trajectory& query,
-                              const std::vector<traj::Trajectory>& database,
-                              size_t k);
-
 /// 1-based rank of `target_index` in the ordering of `database` by distance
 /// to `query` (rank 1 = nearest). Counts strictly closer entries plus one;
 /// among equal distances the target wins, which makes the most-similar-

@@ -89,6 +89,7 @@ double MeanRankOfMeasure(const dist::Measure& measure, const MssData& mss) {
 double MeanRankOfVectors(const nn::Matrix& query_vecs,
                          const nn::Matrix& db_vecs) {
   T2VEC_CHECK(query_vecs.rows() <= db_vecs.rows());
+  // lint:allow(raw-index-ctor) RankOf is a VectorIndex-only evaluation hook.
   core::VectorIndex index{nn::Matrix(db_vecs)};
   std::vector<size_t> ranks(query_vecs.rows());
   ParallelFor(0, query_vecs.rows(), 1, [&](size_t i) {
@@ -237,7 +238,9 @@ double KnnPrecisionOfEncoder(const EncodeFn& encode,
   for (const auto& q : queries) tq.push_back(TransformOne(q, r1, r2, rng));
   for (const auto& d : database) tdb.push_back(TransformOne(d, r1, r2, rng));
 
+  // lint:allow(raw-index-ctor) ground truth must be the exact scan, always.
   const core::VectorIndex truth_index{encode(database)};
+  // lint:allow(raw-index-ctor) same: precision is measured against exact kNN.
   const core::VectorIndex trans_index{encode(tdb)};
   const nn::Matrix query_vecs = encode(queries);
   const nn::Matrix tq_vecs = encode(tq);

@@ -27,6 +27,11 @@ double KnnPrecision(const std::vector<size_t>& truth,
   return static_cast<double>(common.size()) / static_cast<double>(a.size());
 }
 
+double RecallAtK(const std::vector<size_t>& exact,
+                 const std::vector<size_t>& approx) {
+  return KnnPrecision(exact, approx);
+}
+
 double CrossDistanceDeviation(double transformed_distance,
                               double original_distance) {
   if (original_distance == 0.0) return 0.0;

@@ -18,6 +18,14 @@ double MeanRank(const std::vector<size_t>& ranks);
 double KnnPrecision(const std::vector<size_t>& truth,
                     const std::vector<size_t>& retrieved);
 
+/// Recall@k of an approximate k-NN list against the exact k-NN list:
+/// |retrieved ∩ truth| / |truth|. Numerically identical to KnnPrecision —
+/// the lists share a size k, so precision and recall coincide — but named
+/// for the ANN-evaluation reading, where `truth` is always the exact scan's
+/// answer and `retrieved` comes from an approximate index (LSH, IVF).
+double RecallAtK(const std::vector<size_t>& exact,
+                 const std::vector<size_t>& approx);
+
 /// Cross-distance deviation (paper Sec. V-C2):
 /// |d(Ta(r), Ta'(r)) - d(Tb, Tb')| / d(Tb, Tb'). Guarded against a zero
 /// denominator (identical originals are skipped by the caller by contract;

@@ -63,9 +63,13 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Open(
   const std::string snapshot_path = dir + "/store.snapshot";
   const std::string wal_path = dir + "/wal.log";
 
-  EmbeddingStore store(dim);
+  if (Status status = options.index_config.Validate(); !status.ok()) {
+    return status;
+  }
+  EmbeddingStore store(dim, options.index_config);
   if (FileExists(snapshot_path)) {
-    Result<EmbeddingStore> loaded = EmbeddingStore::Load(snapshot_path);
+    Result<EmbeddingStore> loaded =
+        EmbeddingStore::LoadMmap(snapshot_path, options.index_config);
     if (!loaded.ok()) return loaded.status();
     if (loaded.value().dim() != dim) {
       return Status::InvalidArgument(
@@ -158,8 +162,12 @@ Status DurableStore::Insert(int64_t id, std::span<const float> vec) {
 EmbeddingStore::Neighbors DurableStore::Knn(std::span<const float> query,
                                             size_t k) const {
   std::lock_guard<std::mutex> lock(mu_);
-  // lint:allow(deprecated-knn) EmbeddingStore::Knn returns distances too
   return store_.Knn(query, k);
+}
+
+core::IndexStats DurableStore::IndexStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_.Stats();
 }
 
 std::vector<float> DurableStore::Find(int64_t id) const {

@@ -46,6 +46,10 @@ struct DurableStoreOptions {
   /// When > 0, a background thread compacts the WAL into a snapshot once the
   /// log grows past this many bytes. 0 leaves compaction manual (Compact()).
   uint64_t compact_after_bytes = 0;
+
+  /// Retrieval backend for the underlying EmbeddingStore (exact scan, LSH,
+  /// or IVF). Must be valid — user-input paths run Validate() first.
+  core::IndexConfig index_config;
 };
 
 /// Serializes one insert as a WAL record payload:
@@ -61,7 +65,9 @@ Status DecodeInsertRecord(std::string_view payload, int64_t* id,
 class DurableStore {
  public:
   /// Opens (or creates) the store in `dir` for `dim`-dimensional vectors:
-  /// loads `store.snapshot` when present, replays `wal.log` on top of it
+  /// memory-maps `store.snapshot` when present (EmbeddingStore::LoadMmap —
+  /// CRC verified once, vectors served zero-copy, so cold start is
+  /// milliseconds even at millions of rows), replays `wal.log` on top of it
   /// (skipping ids the snapshot already holds), trims a torn tail, and
   /// reopens the log for appending.
   static Result<std::unique_ptr<DurableStore>> Open(
@@ -79,8 +85,13 @@ class DurableStore {
   /// *before* the log write, so invalid requests never pollute the WAL.
   Status Insert(int64_t id, std::span<const float> vec);
 
-  /// Exact kNN over the stored vectors; k is clamped to size().
+  /// kNN over the stored vectors under the configured index (exact for
+  /// kExact, approximate otherwise); k is clamped to size().
   EmbeddingStore::Neighbors Knn(std::span<const float> query, size_t k) const;
+
+  /// Retrieval-index diagnostics (kind, probe counters) for the stats
+  /// endpoint.
+  core::IndexStats IndexStats() const;
 
   /// Copy of the stored vector for `id`; empty when absent.
   std::vector<float> Find(int64_t id) const;

@@ -1,7 +1,9 @@
 #include "serve/embedding_store.h"
 
+#include <cstring>
 #include <utility>
 
+#include "common/macros.h"
 #include "common/serialize.h"
 
 namespace t2vec::serve {
@@ -10,15 +12,23 @@ namespace {
 
 // "t2vS" little-endian: distinguishes store snapshots from model files.
 constexpr uint32_t kStoreMagic = 0x5376'3274;
-// Version 2 added the atomic-write + CRC32C trailer framing (DESIGN.md §7);
-// the payload layout is unchanged, so version-1 (trailer-less) files remain
-// loadable.
-constexpr uint32_t kStoreVersion = 2;
+// Version 2 added the atomic-write + CRC32C trailer framing (DESIGN.md §7).
+// Version 3 embeds the retrieval backend: an index-kind field after the
+// dimension and the index's serialized structure after the vector block, so
+// an IVF/LSH store reopens without retraining. v1/v2 files (no embedded
+// index) remain loadable — the backend is rebuilt from the vectors.
+constexpr uint32_t kStoreVersion = 3;
 constexpr uint32_t kFirstChecksummedStoreVersion = 2;
+constexpr uint32_t kFirstIndexedStoreVersion = 3;
 
 }  // namespace
 
-EmbeddingStore::EmbeddingStore(size_t dim) : index_(dim) {}
+EmbeddingStore::EmbeddingStore(size_t dim, core::IndexConfig config) {
+  auto created = core::CreateIndex(config, dim);
+  // Config validity is a caller contract (user-input paths Validate first).
+  T2VEC_CHECK(created.ok());
+  index_ = std::move(created).value();
+}
 
 Status EmbeddingStore::Add(int64_t id, std::span<const float> vec) {
   if (vec.size() != dim()) {
@@ -32,19 +42,19 @@ Status EmbeddingStore::Add(int64_t id, std::span<const float> vec) {
   }
   row_of_.emplace(id, ids_.size());
   ids_.push_back(id);
-  index_.Add(vec);
+  index_->Add(vec);
   return Status::Ok();
 }
 
 const float* EmbeddingStore::Find(int64_t id) const {
   const auto it = row_of_.find(id);
   if (it == row_of_.end()) return nullptr;
-  return index_.vectors().Row(it->second);
+  return index_->RowPtr(it->second);
 }
 
 EmbeddingStore::Neighbors EmbeddingStore::Knn(std::span<const float> query,
                                               size_t k) const {
-  const core::KnnResult rows = index_.Query(query, k);
+  const core::KnnResult rows = index_->Query(query, k);
   Neighbors out;
   out.ids.reserve(rows.size());
   for (const size_t row : rows.ids) out.ids.push_back(ids_[row]);
@@ -58,17 +68,37 @@ Status EmbeddingStore::Save(const std::string& path) const {
   writer.WritePod(kStoreMagic);
   writer.WritePod(kStoreVersion);
   writer.WritePod<uint64_t>(dim());
+  writer.WritePod<uint32_t>(static_cast<uint32_t>(index_->kind()));
   writer.WriteVector(ids_);
-  // Row-major vector block; rows() == ids_.size() by construction.
-  const nn::Matrix& vectors = index_.vectors();
-  std::vector<float> flat(vectors.data(),
-                          vectors.data() + vectors.rows() * vectors.cols());
-  writer.WriteVector(flat);
+  // Same count-prefixed float block as WriteVector, but streamed straight
+  // from the index's row storage (at most two large writes). The header
+  // (20) + ids (8 + 8n) + count (8) layout keeps the floats 4-byte aligned
+  // at offset 36 + 8n for the LoadMmap zero-copy path.
+  writer.WritePod<uint64_t>(size() * dim());
+  index_->AppendRowsTo(&writer);
+  index_->AppendAuxTo(&writer);
   return writer.Finish();
 }
 
-Result<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
+Result<EmbeddingStore> EmbeddingStore::Load(const std::string& path,
+                                            core::IndexConfig config) {
   BinaryReader reader(path);
+  return LoadImpl(reader, path, config, nullptr);
+}
+
+Result<EmbeddingStore> EmbeddingStore::LoadMmap(const std::string& path,
+                                                core::IndexConfig config) {
+  auto mapped = MmapFile::Open(path);
+  if (!mapped.ok()) return mapped.status();
+  auto keepalive = std::make_shared<MmapFile>(std::move(mapped).value());
+  BinaryReader reader(keepalive->data(), keepalive->size(), path);
+  return LoadImpl(reader, path, config, std::move(keepalive));
+}
+
+Result<EmbeddingStore> EmbeddingStore::LoadImpl(
+    BinaryReader& reader, const std::string& path,
+    const core::IndexConfig& config, std::shared_ptr<MmapFile> keepalive) {
+  if (Status st = config.Validate(); !st.ok()) return st;
   if (!reader.ok()) return reader.status();
   uint32_t magic = 0;
   uint32_t version = 0;
@@ -87,17 +117,59 @@ Result<EmbeddingStore> EmbeddingStore::Load(const std::string& path) {
   if (!reader.ReadPod(&dim) || dim == 0) {
     return Status::IoError("EmbeddingStore::Load: bad dimension in " + path);
   }
+  uint32_t file_kind = static_cast<uint32_t>(core::IndexKind::kExact);
+  if (version >= kFirstIndexedStoreVersion) {
+    if (!reader.ReadPod(&file_kind) ||
+        file_kind > static_cast<uint32_t>(core::IndexKind::kIvf)) {
+      return Status::IoError("EmbeddingStore::Load: bad index kind in " +
+                             path);
+    }
+  }
   std::vector<int64_t> ids;
-  std::vector<float> flat;
-  if (!reader.ReadVector(&ids) || !reader.ReadVector(&flat) ||
-      flat.size() != ids.size() * dim) {
+  uint64_t floats = 0;
+  if (!reader.ReadVector(&ids) || !reader.ReadPod(&floats) ||
+      floats != ids.size() * dim ||
+      floats > reader.remaining() / sizeof(float)) {
     return Status::IoError("EmbeddingStore::Load: truncated store in " + path);
   }
-  EmbeddingStore store(static_cast<size_t>(dim));
-  for (size_t row = 0; row < ids.size(); ++row) {
-    const Status status = store.Add(
-        ids[row], {flat.data() + row * dim, static_cast<size_t>(dim)});
-    if (!status.ok()) return status;
+
+  core::RowBlock block;
+  block.rows = ids.size();
+  const char* raw = reader.ReadRaw(static_cast<size_t>(floats) *
+                                   sizeof(float));
+  if (raw == nullptr) {
+    return Status::IoError("EmbeddingStore::Load: truncated store in " + path);
+  }
+  if (keepalive != nullptr && block.rows > 0) {
+    // Zero-copy: rows point into the mapping; the store keeps it alive.
+    T2VEC_CHECK(reinterpret_cast<uintptr_t>(raw) % alignof(float) == 0);
+    block.borrowed = reinterpret_cast<const float*>(raw);
+    block.keepalive = std::move(keepalive);
+  } else {
+    block.owned.resize(static_cast<size_t>(floats));
+    std::memcpy(block.owned.data(), raw,
+                static_cast<size_t>(floats) * sizeof(float));
+  }
+
+  EmbeddingStore store(static_cast<size_t>(dim), config);
+  store.ids_ = std::move(ids);
+  store.row_of_.reserve(store.ids_.size());
+  for (size_t row = 0; row < store.ids_.size(); ++row) {
+    if (!store.row_of_.emplace(store.ids_[row], row).second) {
+      return Status::IoError("EmbeddingStore::Load: duplicate id " +
+                             std::to_string(store.ids_[row]) + " in " + path);
+    }
+  }
+  // The embedded structure only matches when the snapshot was saved under
+  // the configured kind; otherwise the rows load and the backend rebuilds.
+  BinaryReader* aux =
+      version >= kFirstIndexedStoreVersion &&
+              file_kind == static_cast<uint32_t>(config.kind)
+          ? &reader
+          : nullptr;
+  if (Status st = store.index_->Restore(std::move(block), aux); !st.ok()) {
+    return Status(st.code(),
+                  "EmbeddingStore::Load: " + path + ": " + st.message());
   }
   return store;
 }

@@ -2,19 +2,27 @@
 #define T2VEC_SERVE_EMBEDDING_STORE_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
-#include "core/vec_index.h"
+#include "core/ann_index.h"
 
 /// \file
 /// Durable id -> embedding storage for the serving path: vectors produced by
 /// EmbeddingService are registered under their stable trajectory ids, the
-/// backing VectorIndex grows incrementally (core/vec_index.h Add), and the
-/// whole store snapshots to disk via common/serialize.h.
+/// backing index grows incrementally, and the whole store snapshots to disk
+/// via common/serialize.h.
+///
+/// The retrieval backend is an `AnnIndex` chosen by `core::IndexConfig`
+/// (exact scan, LSH, or IVF) — the store never names a concrete index type,
+/// so swapping backends is a config change, not a code change. Snapshots
+/// embed the backend's structure (v3), and `LoadMmap` serves the vector
+/// block zero-copy out of a memory mapping so a million-vector store opens
+/// in milliseconds.
 ///
 /// Thread-compatibility: single writer, concurrent readers — Add/Save and
 /// Knn/Find may not overlap. The service's typical shape (one ingest thread,
@@ -33,8 +41,11 @@ class EmbeddingStore {
     size_t size() const { return ids.size(); }
   };
 
-  /// An empty store for `dim`-dimensional vectors.
-  explicit EmbeddingStore(size_t dim);
+  /// An empty store for `dim`-dimensional vectors whose retrieval index is
+  /// built from `config`. `config` must be valid (callers on user-input
+  /// paths run Validate() first; an invalid config here is a programming
+  /// error and CHECK-fails).
+  explicit EmbeddingStore(size_t dim, core::IndexConfig config = {});
 
   /// Registers `vec` under `id`. Fails with kInvalidArgument when the
   /// dimension mismatches or the id is already present.
@@ -46,23 +57,47 @@ class EmbeddingStore {
   /// Valid until the next Add().
   const float* Find(int64_t id) const;
 
-  /// The k nearest stored vectors to `query` (length dim()), by exact scan.
-  /// k is clamped to size() — asking a 5-vector store for 10 neighbors
-  /// returns 5, and an empty store returns none (k comes straight from
-  /// clients on the serving path, so it must never abort).
+  /// The k nearest stored vectors to `query` (length dim()) under the
+  /// configured index (exact for kExact, approximate otherwise). k is
+  /// clamped to size() — asking a 5-vector store for 10 neighbors returns
+  /// 5, and an empty store returns none (k comes straight from clients on
+  /// the serving path, so it must never abort).
   Neighbors Knn(std::span<const float> query, size_t k) const;
 
   size_t size() const { return ids_.size(); }
-  size_t dim() const { return index_.dim(); }
+  size_t dim() const { return index_->dim(); }
 
-  /// Snapshots the store (magic + version + ids + vectors).
+  /// The retrieval backend (kind, counters) for the stats endpoint.
+  core::IndexStats Stats() const { return index_->Stats(); }
+
+  const core::AnnIndex& index() const { return *index_; }
+
+  /// Snapshots the store (magic + version + dim + index kind + ids +
+  /// vectors + index structure, CRC-framed).
   Status Save(const std::string& path) const;
 
-  /// Restores a store written by Save().
-  static Result<EmbeddingStore> Load(const std::string& path);
+  /// Restores a store written by Save(), reading the whole file. The
+  /// retrieval index is rebuilt from `config`; when the snapshot was saved
+  /// under the same index kind, its serialized structure is reused instead
+  /// of recomputed. v1/v2 snapshots (no embedded index) load with a
+  /// rebuild.
+  static Result<EmbeddingStore> Load(const std::string& path,
+                                     core::IndexConfig config = {});
+
+  /// Like Load() but memory-maps the snapshot and serves the vector block
+  /// zero-copy: the CRC is verified once at open, no vector bytes are
+  /// copied, and the mapping stays alive for the life of the store (see
+  /// common/fs.h MmapFile lifetime rules) — the cold-start path for
+  /// million-vector servers.
+  static Result<EmbeddingStore> LoadMmap(const std::string& path,
+                                         core::IndexConfig config = {});
 
  private:
-  core::VectorIndex index_;
+  static Result<EmbeddingStore> LoadImpl(
+      BinaryReader& reader, const std::string& path,
+      const core::IndexConfig& config, std::shared_ptr<MmapFile> keepalive);
+
+  std::unique_ptr<core::AnnIndex> index_;
   std::vector<int64_t> ids_;                  // Row -> trajectory id.
   std::unordered_map<int64_t, size_t> row_of_;  // Trajectory id -> row.
 };

@@ -229,7 +229,6 @@ std::string TcpServer::HandleRequest(std::string_view payload) {
         metrics_.errors.Increment();
         return EncodeErrorResponse(Opcode::kKnn, encoded.status());
       }
-      // lint:allow(deprecated-knn) DurableStore::Knn returns distances too
       return EncodeKnnResponse(store_->Knn(encoded.value(), request.k));
     }
     case Opcode::kStats:
@@ -254,6 +253,7 @@ std::string TcpServer::StatsJson() const {
   json += ", \"dim\": " + std::to_string(store_->dim());
   json += ", \"wal_bytes\": " + std::to_string(store_->wal_bytes());
   json += ", \"compactions\": " + std::to_string(store_->compactions());
+  json += ", \"index\": " + store_->IndexStats().ToJson();
   json += "}}";
   return json;
 }

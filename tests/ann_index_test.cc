@@ -1,0 +1,252 @@
+// AnnIndex interface conformance over every backend (DESIGN.md §4e).
+//
+// The same contract checks run against exact, LSH, and IVF indexes built
+// through CreateIndex — the factory every serving path uses — so a new
+// backend cannot land without honoring the clamp, snapshot, restore, and
+// stats semantics the serving layer depends on.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/fs.h"
+#include "common/rng.h"
+#include "core/ann_index.h"
+
+namespace t2vec::core {
+namespace {
+
+std::string TestDir() {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "ann_index_test")
+          .string();
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::vector<float> RandomRows(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> data(n * d);
+  for (float& v : data) v = static_cast<float>(rng.Gaussian());
+  return data;
+}
+
+// One config per backend, sized so the IVF quantizer actually trains on the
+// conformance corpus (threshold 4 x 8 = 32 < 120 rows).
+IndexConfig ConfigFor(IndexKind kind) {
+  IndexConfig config;
+  config.kind = kind;
+  config.lsh_tables = 4;
+  config.lsh_bits = 8;
+  config.lsh_seed = 7;
+  config.ivf_nlist = 4;
+  config.ivf_nprobe = 2;
+  config.ivf_train_iters = 3;
+  config.ivf_seed = 11;
+  config.ivf_train_per_list = 8;
+  return config;
+}
+
+constexpr IndexKind kAllKinds[] = {IndexKind::kExact, IndexKind::kLsh,
+                                   IndexKind::kIvf};
+
+class AnnIndexConformanceTest : public ::testing::TestWithParam<IndexKind> {};
+
+TEST_P(AnnIndexConformanceTest, FactoryBuildsTheConfiguredKind) {
+  const IndexConfig config = ConfigFor(GetParam());
+  auto index = CreateIndex(config, 16);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index.value()->kind(), GetParam());
+  EXPECT_EQ(index.value()->Size(), 0u);
+  EXPECT_EQ(index.value()->dim(), 16u);
+}
+
+TEST_P(AnnIndexConformanceTest, AddQueryAndClampContract) {
+  const size_t d = 8;
+  const IndexConfig config = ConfigFor(GetParam());
+  auto created = CreateIndex(config, d);
+  ASSERT_TRUE(created.ok());
+  AnnIndex& index = *created.value();
+
+  const std::vector<float> data = RandomRows(120, d, 61);
+  for (size_t i = 0; i < 120; ++i) {
+    index.Add({&data[i * d], d});
+    ASSERT_EQ(index.Size(), i + 1);
+  }
+  // RowPtr returns the stored bytes verbatim.
+  for (const size_t r : {size_t{0}, size_t{60}, size_t{119}}) {
+    EXPECT_EQ(std::memcmp(index.RowPtr(r), &data[r * d], d * sizeof(float)),
+              0);
+  }
+
+  const std::vector<float> probe = RandomRows(1, d, 62);
+  // Self-query: the nearest neighbor of a stored row is that row.
+  const KnnResult self = index.Query({&data[0], d}, 1);
+  ASSERT_EQ(self.size(), 1u);
+  EXPECT_EQ(self.ids[0], 0u);
+  EXPECT_EQ(self.distances[0], 0.0);
+
+  // Distances ascend and ids stay in range.
+  const KnnResult top = index.Query(probe, 10);
+  ASSERT_EQ(top.size(), 10u);
+  for (size_t i = 0; i < top.size(); ++i) {
+    EXPECT_LT(top.ids[i], 120u);
+    if (i > 0) EXPECT_GE(top.distances[i], top.distances[i - 1]);
+  }
+
+  // k clamps: over-asking returns every row, k = 0 returns nothing.
+  EXPECT_EQ(index.Query(probe, 1000).size(), 120u);
+  EXPECT_EQ(index.Query(probe, 0).size(), 0u);
+}
+
+TEST_P(AnnIndexConformanceTest, EmptyIndexNeverAborts) {
+  const IndexConfig config = ConfigFor(GetParam());
+  auto created = CreateIndex(config, 4);
+  ASSERT_TRUE(created.ok());
+  const std::vector<float> probe = RandomRows(1, 4, 63);
+  EXPECT_EQ(created.value()->Query(probe, 10).size(), 0u);
+}
+
+TEST_P(AnnIndexConformanceTest, SnapshotRoundTripsThroughBothLoaders) {
+  const size_t d = 8;
+  const IndexConfig config = ConfigFor(GetParam());
+  auto created = CreateIndex(config, d);
+  ASSERT_TRUE(created.ok());
+  AnnIndex& index = *created.value();
+  const std::vector<float> data = RandomRows(100, d, 64);
+  for (size_t i = 0; i < 100; ++i) index.Add({&data[i * d], d});
+
+  const std::string path = TestDir() + "/conf.idx";
+  ASSERT_TRUE(index.Save(path).ok());
+
+  auto loaded = LoadIndex(config, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  auto mapped = OpenIndexMmap(config, path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+
+  const std::vector<float> probes = RandomRows(5, d, 65);
+  for (AnnIndex* reopened : {loaded.value().get(), mapped.value().get()}) {
+    ASSERT_EQ(reopened->kind(), GetParam());
+    ASSERT_EQ(reopened->Size(), index.Size());
+    for (size_t q = 0; q < 5; ++q) {
+      const KnnResult a = index.Query({&probes[q * d], d}, 7);
+      const KnnResult b = reopened->Query({&probes[q * d], d}, 7);
+      EXPECT_EQ(a.ids, b.ids);
+      EXPECT_EQ(a.distances, b.distances);
+    }
+    // A reopened index keeps growing: Add after restore works and the new
+    // row is immediately queryable.
+    const std::vector<float> extra = RandomRows(1, d, 66);
+    reopened->Add(extra);
+    EXPECT_EQ(reopened->Size(), index.Size() + 1);
+    const KnnResult self = reopened->Query(extra, 1);
+    ASSERT_EQ(self.size(), 1u);
+    EXPECT_EQ(self.ids[0], index.Size());
+  }
+}
+
+TEST_P(AnnIndexConformanceTest, CrossKindLoadRebuildsFromRows) {
+  // A snapshot saved under any kind loads under any other configured kind:
+  // the rows are authoritative, the aux structure is kind-private.
+  const size_t d = 8;
+  const IndexConfig config = ConfigFor(GetParam());
+  auto created = CreateIndex(config, d);
+  ASSERT_TRUE(created.ok());
+  AnnIndex& index = *created.value();
+  const std::vector<float> data = RandomRows(80, d, 67);
+  for (size_t i = 0; i < 80; ++i) index.Add({&data[i * d], d});
+  const std::string path = TestDir() + "/cross.idx";
+  ASSERT_TRUE(index.Save(path).ok());
+
+  for (const IndexKind other : kAllKinds) {
+    auto reopened = LoadIndex(ConfigFor(other), path);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    EXPECT_EQ(reopened.value()->kind(), other);
+    ASSERT_EQ(reopened.value()->Size(), 80u);
+    // Whatever the backend, a stored row's nearest neighbor is itself.
+    const KnnResult self = reopened.value()->Query({&data[3 * d], d}, 1);
+    ASSERT_EQ(self.size(), 1u);
+    EXPECT_EQ(self.ids[0], 3u);
+  }
+}
+
+TEST_P(AnnIndexConformanceTest, StatsCountQueriesAndCandidates) {
+  const size_t d = 8;
+  const IndexConfig config = ConfigFor(GetParam());
+  auto created = CreateIndex(config, d);
+  ASSERT_TRUE(created.ok());
+  AnnIndex& index = *created.value();
+  const std::vector<float> data = RandomRows(64, d, 68);
+  for (size_t i = 0; i < 64; ++i) index.Add({&data[i * d], d});
+
+  EXPECT_EQ(index.Stats().queries, 0);
+  const std::vector<float> probe = RandomRows(1, d, 69);
+  (void)index.Query(probe, 5);
+  (void)index.Query(probe, 5);
+  const IndexStats stats = index.Stats();
+  EXPECT_EQ(stats.queries, 2);
+  EXPECT_GT(stats.candidates, 0);
+  EXPECT_EQ(stats.kind, GetParam());
+  EXPECT_EQ(stats.size, 64u);
+  EXPECT_EQ(stats.dim, d);
+  const std::string json = stats.ToJson();
+  EXPECT_NE(json.find(std::string("\"kind\":\"") + IndexKindName(GetParam())),
+            std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, AnnIndexConformanceTest,
+                         ::testing::ValuesIn(kAllKinds),
+                         [](const auto& info) {
+                           return std::string(IndexKindName(info.param));
+                         });
+
+TEST(IndexKindTest, NamesRoundTrip) {
+  for (const IndexKind kind : kAllKinds) {
+    auto parsed = ParseIndexKind(IndexKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), kind);
+  }
+  EXPECT_FALSE(ParseIndexKind("annoy").ok());
+  EXPECT_FALSE(ParseIndexKind("").ok());
+}
+
+TEST(IndexConfigTest, ValidateNamesTheOffendingField) {
+  IndexConfig lsh;
+  lsh.kind = IndexKind::kLsh;
+  lsh.lsh_bits = 25;
+  const Status bad_bits = lsh.Validate();
+  EXPECT_FALSE(bad_bits.ok());
+  EXPECT_NE(bad_bits.message().find("lsh_bits"), std::string::npos);
+
+  IndexConfig ivf;
+  ivf.kind = IndexKind::kIvf;
+  ivf.ivf_nlist = 0;
+  const Status bad_nlist = ivf.Validate();
+  EXPECT_FALSE(bad_nlist.ok());
+  EXPECT_NE(bad_nlist.message().find("ivf_nlist"), std::string::npos);
+
+  EXPECT_TRUE(IndexConfig{}.Validate().ok());
+}
+
+TEST(IndexFactoryTest, RejectsInvalidConfigAndZeroDim) {
+  IndexConfig bad;
+  bad.kind = IndexKind::kIvf;
+  bad.ivf_nprobe = 0;
+  EXPECT_FALSE(CreateIndex(bad, 8).ok());
+  EXPECT_FALSE(CreateIndex(IndexConfig{}, 0).ok());
+}
+
+TEST(IndexFactoryTest, LoadRejectsNonSnapshotFiles) {
+  const std::string path = TestDir() + "/not_an_index";
+  ASSERT_TRUE(WriteFileAtomic(path, "these are not the bytes").ok());
+  EXPECT_FALSE(LoadIndex(IndexConfig{}, path).ok());
+  EXPECT_FALSE(OpenIndexMmap(IndexConfig{}, path).ok());
+  EXPECT_FALSE(LoadIndex(IndexConfig{}, TestDir() + "/missing").ok());
+  EXPECT_FALSE(OpenIndexMmap(IndexConfig{}, TestDir() + "/missing").ok());
+}
+
+}  // namespace
+}  // namespace t2vec::core

@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "common/fs.h"
+#include "common/rng.h"
 #include "common/serialize.h"
+#include "core/ann_index.h"
 #include "core/t2vec.h"
 #include "eval/experiments.h"
 #include "nn/checkpoint.h"
@@ -107,12 +109,56 @@ TEST(CorruptionTest, EmbeddingStoreSurvivesFullMatrix) {
   const std::string bytes = Slurp(path);
 
   ASSERT_TRUE(serve::EmbeddingStore::Load(path).ok());
+  ASSERT_TRUE(serve::EmbeddingStore::LoadMmap(path).ok());
 
+  // Both loaders face the same matrix: the mmap path verifies the CRC once
+  // at open, so it must reject exactly what the full-read path rejects.
   const size_t n =
       ExhaustiveMatrix(bytes, path, [](const std::string& p) {
         return serve::EmbeddingStore::Load(p).status();
       });
   EXPECT_EQ(n, 2 * bytes.size());
+  const size_t m =
+      ExhaustiveMatrix(bytes, path, [](const std::string& p) {
+        return serve::EmbeddingStore::LoadMmap(p).status();
+      });
+  EXPECT_EQ(m, 2 * bytes.size());
+}
+
+TEST(CorruptionTest, IvfIndexSnapshotSurvivesFullMatrix) {
+  // A trained IVF snapshot carries centroids and inverted lists past the
+  // row block — a flip anywhere in that aux structure must be caught by the
+  // CRC, through the full-read loader and the mmap loader alike.
+  const std::string path = TestDir() + "/matrix.idx";
+  core::IndexConfig config;
+  config.kind = core::IndexKind::kIvf;
+  config.ivf_nlist = 3;
+  config.ivf_nprobe = 2;
+  config.ivf_train_iters = 2;
+  config.ivf_seed = 9;
+  config.ivf_train_per_list = 4;
+
+  auto created = core::CreateIndex(config, 4);
+  ASSERT_TRUE(created.ok());
+  Rng rng(41);
+  for (size_t i = 0; i < 20; ++i) {
+    std::vector<float> row(4);
+    for (float& v : row) v = static_cast<float>(rng.Gaussian());
+    created.value()->Add(row);
+  }
+  ASSERT_TRUE(created.value()->Save(path).ok());
+  const std::string bytes = Slurp(path);
+  ASSERT_TRUE(core::LoadIndex(config, path).ok());
+  ASSERT_TRUE(core::OpenIndexMmap(config, path).ok());
+
+  const size_t n = ExhaustiveMatrix(bytes, path, [&](const std::string& p) {
+    return core::LoadIndex(config, p).status();
+  });
+  EXPECT_EQ(n, 2 * bytes.size());
+  const size_t m = ExhaustiveMatrix(bytes, path, [&](const std::string& p) {
+    return core::OpenIndexMmap(config, p).status();
+  });
+  EXPECT_EQ(m, 2 * bytes.size());
 }
 
 TEST(CorruptionTest, ModelFileRejectsSampledCorruptions) {
@@ -177,6 +223,7 @@ TEST(CorruptionTest, EmptyAndGarbageFilesAreRejected) {
     ASSERT_TRUE(WriteFileAtomic(path, contents).ok());
     EXPECT_FALSE(nn::LoadParams(params, path).ok());
     EXPECT_FALSE(serve::EmbeddingStore::Load(path).ok());
+    EXPECT_FALSE(serve::EmbeddingStore::LoadMmap(path).ok());
     EXPECT_FALSE(core::T2Vec::Load(path).ok());
   }
 }

@@ -10,12 +10,11 @@
 #include <unordered_map>
 #include <vector>
 
-struct FakeIndex {
-  std::vector<unsigned long> Knn(const float* q, unsigned long k) const;
-};
+// Declaration only: a definition's `struct VectorIndex {` line would itself
+// match the raw-index-ctor pattern. Never compiled, so no body is needed.
+struct VectorIndex;
 
-std::vector<int> Fixture(std::vector<int> v, const FakeIndex& index,
-                         const float* q) {
+std::vector<int> Fixture(std::vector<int> v, const float* q) {
   // lint:allow(raw-sort) fixture: demonstrates a suppressed raw sort
   std::sort(v.begin(), v.end());
   std::stable_sort(v.begin(), v.end());  // lint:allow(raw-sort) same line form
@@ -29,7 +28,8 @@ std::vector<int> Fixture(std::vector<int> v, const FakeIndex& index,
   std::map<int, int> ordered(counts.begin(), counts.end());
   // lint:allow(unordered-iter,raw-sort) comma form suppresses several rules
   for (const auto& [k2, v2] : counts) std::sort(v.begin(), v.end());
-  // lint:allow(deprecated-knn) FakeIndex::Knn is not the deprecated forwarder
+  // lint:allow(raw-index-ctor) fixture: exact ground truth needs VectorIndex
+  VectorIndex index(v);
   auto ids = index.Knn(q, 5);
   // lint:allow(raw-ofstream) fixture: /dev/null is not a durable artifact
   std::ofstream sink("/dev/null");

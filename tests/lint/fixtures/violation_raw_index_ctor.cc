@@ -1,0 +1,16 @@
+// Fixture: direct construction of a concrete retrieval index fires
+// raw-index-ctor — serving and tooling paths must build through
+// core::CreateIndex(IndexConfig, dim) so the backend stays a config
+// decision. Never compiled.
+#include <cstddef>
+
+struct Matrix {};
+
+void Fixture(const Matrix& vecs) {
+  VectorIndex index{vecs};
+  LshIndex lsh(vecs, 6, 12, 9);
+  auto* ivf = new IvfIndex(vecs);
+  (void)index;
+  (void)lsh;
+  (void)ivf;
+}

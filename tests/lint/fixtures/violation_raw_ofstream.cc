@@ -27,3 +27,9 @@ void PosixFixture(const std::string& path) {
   ::close(fd);
   (void)::rename(path.c_str(), (path + ".final").c_str());
 }
+
+// Ad-hoc mappings bypass MmapFile's lifetime and CRC-verification rules.
+void MmapFixture(int fd, void* base, unsigned long size) {
+  base = ::mmap(nullptr, size, 0x1, 0x2, fd, 0);
+  (void)::munmap(base, size);
+}

@@ -23,8 +23,8 @@ EXPECTED = {
     "violation_raw_rng.cc": {"raw-rng": 5},
     "violation_wall_clock.cc": {"wall-clock": 4},
     "violation_unordered_iter.cc": {"unordered-iter": 2},
-    "violation_deprecated_knn.cc": {"deprecated-knn": 3},
-    "violation_raw_ofstream.cc": {"raw-ofstream": 8},
+    "violation_raw_index_ctor.cc": {"raw-index-ctor": 3},
+    "violation_raw_ofstream.cc": {"raw-ofstream": 10},
     "violation_raw_intrinsics.cc": {"raw-intrinsics": 7},
     # Malformed suppressions fire bad-allow AND leave the underlying
     # violations unsuppressed.

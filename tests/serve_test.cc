@@ -8,12 +8,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <future>
 #include <random>
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/t2vec.h"
 #include "eval/experiments.h"
 #include "serve/embedding_service.h"
@@ -281,6 +283,98 @@ TEST_F(ServeTest, StoreSaveLoadRoundTripsBitExactly) {
     EXPECT_EQ(
         std::memcmp(vec, vectors.Row(i), vectors.cols() * sizeof(float)), 0);
   }
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeTest, StoreLoadMmapMatchesFullRead) {
+  const nn::Matrix vectors = Model().Encode(Trips().trajectories());
+  EmbeddingStore store(vectors.cols());
+  for (size_t i = 0; i < vectors.rows(); ++i) {
+    ASSERT_TRUE(
+        store.Add(Trips()[i].id, {vectors.Row(i), vectors.cols()}).ok());
+  }
+  const std::string path = ::testing::TempDir() + "/store.mmap.t2vstore";
+  ASSERT_TRUE(store.Save(path).ok());
+
+  Result<EmbeddingStore> mapped = EmbeddingStore::LoadMmap(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_EQ(mapped.value().size(), store.size());
+  // Zero-copy rows read back the exact bytes, and queries match the
+  // full-read store bit for bit.
+  for (size_t i = 0; i < vectors.rows(); ++i) {
+    const float* vec = mapped.value().Find(Trips()[i].id);
+    ASSERT_NE(vec, nullptr);
+    EXPECT_EQ(
+        std::memcmp(vec, vectors.Row(i), vectors.cols() * sizeof(float)), 0);
+  }
+  const EmbeddingStore::Neighbors a =
+      store.Knn({vectors.Row(2), vectors.cols()}, 5);
+  const EmbeddingStore::Neighbors b =
+      mapped.value().Knn({vectors.Row(2), vectors.cols()}, 5);
+  EXPECT_EQ(a.ids, b.ids);
+  EXPECT_EQ(a.distances, b.distances);
+
+  // A mapped store keeps growing (owned tail behind the borrowed prefix)
+  // and re-saving it reproduces the original artifact plus the new row.
+  std::vector<float> extra(vectors.cols(), 0.5f);
+  ASSERT_TRUE(mapped.value().Add(-1, extra).ok());
+  EXPECT_EQ(mapped.value().size(), store.size() + 1);
+  const float* found = mapped.value().Find(-1);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(std::memcmp(found, extra.data(), extra.size() * sizeof(float)),
+            0);
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeTest, StoreEmbedsIvfIndexAcrossSnapshots) {
+  // An IVF-configured store past the training threshold snapshots its
+  // quantizer: reloading under the same config must not retrain (the
+  // embedded structure is adopted) and must answer identically.
+  core::IndexConfig config;
+  config.kind = core::IndexKind::kIvf;
+  config.ivf_nlist = 4;
+  config.ivf_nprobe = 2;
+  config.ivf_train_iters = 3;
+  config.ivf_seed = 5;
+  config.ivf_train_per_list = 8;
+
+  const size_t d = 8, n = 64;
+  Rng rng(77);
+  std::vector<float> data(n * d);
+  for (float& v : data) v = static_cast<float>(rng.Gaussian());
+
+  EmbeddingStore store(d, config);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(store.Add(static_cast<int64_t>(i), {&data[i * d], d}).ok());
+  }
+  EXPECT_EQ(store.Stats().kind, core::IndexKind::kIvf);
+  EXPECT_TRUE(store.Stats().trained);
+
+  const std::string path = ::testing::TempDir() + "/store.ivf.t2vstore";
+  ASSERT_TRUE(store.Save(path).ok());
+
+  for (const bool use_mmap : {false, true}) {
+    Result<EmbeddingStore> loaded =
+        use_mmap ? EmbeddingStore::LoadMmap(path, config)
+                 : EmbeddingStore::Load(path, config);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    const core::IndexStats stats = loaded.value().Stats();
+    EXPECT_EQ(stats.kind, core::IndexKind::kIvf);
+    EXPECT_TRUE(stats.trained);
+    EXPECT_EQ(stats.nlist, config.ivf_nlist);
+    const std::vector<float> probe(d, 0.25f);
+    const EmbeddingStore::Neighbors a = store.Knn(probe, 7);
+    const EmbeddingStore::Neighbors b = loaded.value().Knn(probe, 7);
+    EXPECT_EQ(a.ids, b.ids);
+    EXPECT_EQ(a.distances, b.distances);
+  }
+
+  // Loading the same snapshot under a different kind rebuilds from rows:
+  // the artifact is not locked to the backend that wrote it.
+  Result<EmbeddingStore> exact = EmbeddingStore::Load(path);
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  EXPECT_EQ(exact.value().Stats().kind, core::IndexKind::kExact);
+  EXPECT_EQ(exact.value().size(), n);
   std::remove(path.c_str());
 }
 

@@ -11,11 +11,14 @@
 
 #include <cstdint>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/cpu.h"
+#include "common/fs.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "core/ivf_index.h"
 #include "core/model.h"
 #include "nn/attention.h"
 #include "nn/gru.h"
@@ -369,6 +372,64 @@ TEST(SimdDispatchTest, EncodeBatchBitIdenticalAcrossTiersAndThreads) {
     for (int threads : {1, 2, 8}) {
       const std::vector<Matrix> got = RunUnder(tier, threads, run);
       ExpectBitIdentical(ref[0], got[0], "EncodeBatch");
+    }
+  }
+}
+
+TEST(SimdDispatchTest, IvfIndexBitIdenticalAcrossTiersAndThreads) {
+  // The IVF quantizer routes every distance through the dispatched
+  // sqdist_f64 kernel; k-means training and probing must therefore produce
+  // the same snapshot bytes and the same neighbors on both tiers.
+  if (!HaveAvx2()) GTEST_SKIP() << "no AVX2 on this machine";
+  const size_t d = 16, n = 150;
+  Rng rng(27);
+  std::vector<float> data(n * d);
+  for (float& v : data) v = static_cast<float>(rng.Gaussian());
+  std::vector<float> probes(4 * d);
+  for (float& v : probes) v = static_cast<float>(rng.Gaussian());
+
+  core::IndexConfig config;
+  config.kind = core::IndexKind::kIvf;
+  config.ivf_nlist = 4;
+  config.ivf_nprobe = 2;
+  config.ivf_train_iters = 3;
+  config.ivf_seed = 5;
+  config.ivf_train_per_list = 8;
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "/simd_ivf.idx";
+  auto run = [&] {
+    core::IvfIndex index(d, config);
+    for (size_t i = 0; i < n; ++i) index.Add({&data[i * d], d});
+    EXPECT_TRUE(index.trained());
+    EXPECT_TRUE(index.Save(path).ok());
+    std::string bytes;
+    EXPECT_TRUE(ReadFileToString(path, &bytes).ok());
+    for (size_t q = 0; q < 4; ++q) {
+      const core::KnnResult r = index.Query({&probes[q * d], d}, 9);
+      bytes.append(reinterpret_cast<const char*>(r.ids.data()),
+                   r.ids.size() * sizeof(size_t));
+      bytes.append(reinterpret_cast<const char*>(r.distances.data()),
+                   r.distances.size() * sizeof(double));
+    }
+    return bytes;
+  };
+
+  std::string reference;
+  {
+    ScopedTier tier(SimdTier::kScalar);
+    ScopedNumThreads threads(1);
+    reference = run();
+  }
+  for (SimdTier tier : {SimdTier::kScalar, SimdTier::kAvx2}) {
+    for (int threads : {1, 2, 8}) {
+      ScopedTier tier_guard(tier);
+      ScopedNumThreads thread_guard(threads);
+      const std::string got = run();
+      ASSERT_EQ(got.size(), reference.size());
+      EXPECT_EQ(std::memcmp(got.data(), reference.data(), got.size()), 0)
+          << "IVF diverged at tier " << static_cast<int>(tier) << ", "
+          << threads << " threads";
     }
   }
 }

@@ -169,9 +169,11 @@ TEST(VectorIndexTest, IncrementalAddMatchesBuildOnce) {
     EXPECT_EQ(grown.size(), i + 1);
   }
   ASSERT_EQ(grown.size(), built.size());
-  ASSERT_EQ(std::memcmp(grown.vectors().data(), built.vectors().data(),
-                        vecs.size() * sizeof(float)),
-            0);
+  for (size_t i = 0; i < vecs.rows(); ++i) {
+    ASSERT_EQ(std::memcmp(grown.RowPtr(i), built.RowPtr(i),
+                          vecs.cols() * sizeof(float)),
+              0);
+  }
   const nn::Matrix queries = RandomVectors(10, 12, 22);
   for (size_t q = 0; q < queries.rows(); ++q) {
     const KnnResult a = built.Query({queries.Row(q), 12}, 7);
@@ -197,24 +199,21 @@ TEST(VectorIndexTest, AddIsVisibleToQueriesImmediately) {
 }
 
 TEST(LshIndexTest, IncrementalAddMatchesBuildOnce) {
-  // Build an LSH index over a prefix, grow the backing matrix row by row
-  // with Add(), and compare every query against a build-once index over the
-  // full matrix: bucket contents (ascending row order) and therefore
-  // results must be identical.
+  // Build an LSH index over a prefix, grow it row by row with Add(), and
+  // compare every query against a build-once index over the full matrix:
+  // bucket contents (ascending row order) and therefore results must be
+  // identical.
   const nn::Matrix full = RandomVectors(100, 8, 23);
   const size_t prefix = 40;
 
-  nn::Matrix growing(prefix, 8);
-  std::copy(full.data(), full.data() + prefix * 8, growing.data());
-  LshIndex grown(growing, /*num_tables=*/4, /*num_bits=*/8, /*seed=*/17);
-  EXPECT_EQ(grown.indexed_rows(), prefix);
+  nn::Matrix head(prefix, 8);
+  std::copy(full.data(), full.data() + prefix * 8, head.data());
+  LshIndex grown(head, /*num_tables=*/4, /*num_bits=*/8, /*seed=*/17);
+  EXPECT_EQ(grown.Size(), prefix);
   for (size_t i = prefix; i < full.rows(); ++i) {
-    const size_t row = growing.rows();
-    growing.Resize(row + 1, 8);
-    std::copy(full.Row(i), full.Row(i) + 8, growing.Row(row));
-    grown.Add(row);
+    grown.Add({full.Row(i), full.cols()});
   }
-  EXPECT_EQ(grown.indexed_rows(), full.rows());
+  EXPECT_EQ(grown.Size(), full.rows());
 
   LshIndex built(full, /*num_tables=*/4, /*num_bits=*/8, /*seed=*/17);
   const nn::Matrix queries = RandomVectors(12, 8, 24);
@@ -224,22 +223,6 @@ TEST(LshIndexTest, IncrementalAddMatchesBuildOnce) {
     EXPECT_EQ(a.ids, b.ids);
     EXPECT_EQ(a.distances, b.distances);
   }
-}
-
-TEST(VectorIndexTest, DeprecatedKnnForwardsToQuery) {
-  const nn::Matrix vecs = RandomVectors(60, 8, 25);
-  VectorIndex index{nn::Matrix(vecs)};
-  LshIndex lsh(vecs, 4, 8, 26);
-  const nn::Matrix queries = RandomVectors(4, 8, 27);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  for (size_t q = 0; q < queries.rows(); ++q) {
-    EXPECT_EQ(index.Knn(queries.Row(q), 5),
-              index.Query({queries.Row(q), 8}, 5).ids);
-    EXPECT_EQ(lsh.Knn(queries.Row(q), 5),
-              lsh.Query({queries.Row(q), 8}, 5).ids);
-  }
-#pragma GCC diagnostic pop
 }
 
 // Regression: k arrives straight from serving-path clients, so k > size()

@@ -16,6 +16,10 @@
 #   stage 5  clang-tidy        -DT2VEC_CLANG_TIDY=ON build of src/ (skipped
 #                              with a notice when clang-tidy is not installed)
 #   stage 6  TSan              ctest -L determinism under -fsanitize=thread
+#                              (thread-pool call sites, serving dispatch,
+#                              and the incremental AnnIndex backends —
+#                              ivf_index_test / ann_index_test ride this
+#                              label, no hand-maintained list)
 #   stage 7  UBSan             full ctest under -fsanitize=undefined with
 #                              -fno-sanitize-recover: any UB aborts the test
 #

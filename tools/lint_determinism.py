@@ -30,29 +30,32 @@ at review time, by banning the source patterns that historically break it:
                   output is nondeterministic. Iterate a sorted copy, or
                   suppress with a reason when order provably cannot reach any
                   output (e.g. the results are re-sorted downstream).
-  deprecated-knn  Calls to the deprecated id-only forwarders
-                  VectorIndex::Knn / LshIndex::Knn / dist::KnnSearch. Use
-                  Query()/KnnQuery(), which also return distances. (A .Knn(
-                  call on a non-deprecated type, e.g. EmbeddingStore::Knn, is
-                  a false positive of the text-level match: suppress it with
-                  an allow comment naming the type.)
+  raw-index-ctor  Direct construction of a concrete retrieval index
+                  (VectorIndex, LshIndex, IvfIndex) outside the core index
+                  sources. Serving and tooling paths must build indexes via
+                  core::CreateIndex(IndexConfig, dim) so the backend stays a
+                  config decision (and snapshot restore keeps working);
+                  evaluation code that genuinely needs the exact scan (e.g.
+                  VectorIndex::RankOf ground truth) suppresses with a
+                  reason.
   raw-ofstream    std::ofstream / std::fstream / std::fopen, and the raw
-                  POSIX write path (::open, ::write, ::fsync, ::fdatasync,
-                  ::rename, ::ftruncate), outside common/fs.* and
-                  common/serialize.h. Direct writes bypass the durability
-                  layer (DESIGN.md §7): no atomic tmp-file + rename
-                  publication, no CRC32C trailer, so a crash mid-write
-                  leaves a truncated artifact at the final path. Binary
-                  artifacts go through BinaryWriter; text artifacts render
-                  into a std::string and publish via WriteFileAtomic; logs
-                  append through AppendOnlyFile (reads: BinaryReader /
-                  ReadFileToString). Only global-namespace ::calls match,
-                  so socket I/O (::send, ::recv, ::close) and qualified
-                  names (std::remove, stream.write(...)) never fire.
-                  fopen is banned in both directions — string literals are
-                  blanked before matching, so the linter cannot tell "r"
-                  from "w"; suppress a genuine read-only use with an allow
-                  comment.
+                  POSIX file-mapping/write path (::open, ::write, ::fsync,
+                  ::fdatasync, ::rename, ::ftruncate, ::mmap, ::munmap),
+                  outside common/fs.* and common/serialize.h. Direct writes
+                  bypass the durability layer (DESIGN.md §7): no atomic
+                  tmp-file + rename publication, no CRC32C trailer, so a
+                  crash mid-write leaves a truncated artifact at the final
+                  path; ad-hoc mappings bypass MmapFile's lifetime and
+                  CRC-verification rules. Binary artifacts go through
+                  BinaryWriter; text artifacts render into a std::string and
+                  publish via WriteFileAtomic; logs append through
+                  AppendOnlyFile (reads: BinaryReader / ReadFileToString /
+                  MmapFile). Only global-namespace ::calls match, so socket
+                  I/O (::send, ::recv, ::close) and qualified names
+                  (std::remove, stream.write(...)) never fire. fopen is
+                  banned in both directions — string literals are blanked
+                  before matching, so the linter cannot tell "r" from "w";
+                  suppress a genuine read-only use with an allow comment.
   raw-intrinsics  x86 SIMD intrinsics (<immintrin.h> and friends, _mm*()
                   calls, __m128/__m256/__m512 vector types) anywhere except
                   src/nn/kernels_avx2.cc. Hand-vectorized code scattered
@@ -149,41 +152,50 @@ RULES = {
         "patterns": [],
         "exempt": set(),
     },
-    "deprecated-knn": {
+    "raw-index-ctor": {
         "description": (
-            "call to a deprecated id-only kNN forwarder (VectorIndex::Knn, "
-            "LshIndex::Knn, dist::KnnSearch); use Query()/KnnQuery()"
+            "direct construction of a concrete retrieval index "
+            "(VectorIndex, LshIndex, IvfIndex) outside the core index "
+            "sources; build through core::CreateIndex(IndexConfig, dim) so "
+            "the backend stays a config decision"
         ),
+        # The class name followed by an optional variable name and a ctor
+        # argument list: `VectorIndex index{...}`, `LshIndex lsh(...)`,
+        # `new IvfIndex(...)`. Qualified member uses (`VectorIndex::RankOf`)
+        # never match — `::` follows the name instead of `(`/`{`.
         "patterns": _c(
-            r"\bKnnSearch\s*\(",
-            r"(?:\.|->)\s*Knn\s*\(",
+            r"\b(?:VectorIndex|LshIndex|IvfIndex)\b\s*(?:\w+\s*)?[({]",
         ),
-        # The forwarders' own declarations/definitions.
+        # The classes' own declarations/definitions and the factory.
         "exempt": {
-            "src/dist/knn.h",
-            "src/dist/knn.cc",
             "src/core/vec_index.h",
             "src/core/vec_index.cc",
+            "src/core/ivf_index.h",
+            "src/core/ivf_index.cc",
+            "src/core/ann_index.h",
+            "src/core/ann_index.cc",
         },
     },
     "raw-ofstream": {
         "description": (
-            "direct std::ofstream/std::fstream/fopen or raw POSIX write "
-            "path (::open/::write/::fsync/::fdatasync/::rename/::ftruncate) "
-            "outside common/fs.* and common/serialize.h bypasses atomic "
-            "publication and CRC framing; use BinaryWriter, WriteFileAtomic, "
-            "or AppendOnlyFile (common/fs.h)"
+            "direct std::ofstream/std::fstream/fopen or raw POSIX "
+            "file-mapping/write path (::open/::write/::fsync/::fdatasync/"
+            "::rename/::ftruncate/::mmap/::munmap) outside common/fs.* and "
+            "common/serialize.h bypasses atomic publication, CRC framing, "
+            "and MmapFile lifetime rules; use BinaryWriter, WriteFileAtomic, "
+            "AppendOnlyFile, or MmapFile (common/fs.h)"
         ),
         "patterns": _c(
             r"\bstd\s*::\s*ofstream\b",
             r"\bstd\s*::\s*fstream\b",
             r"\bfopen\s*\(",
-            # Global-namespace POSIX file-write calls only: `(?<![\w:])::`
-            # rejects qualified names (std::remove, ofstream::write) and the
-            # bare-call / member-call forms, so socket I/O (::send, ::recv,
-            # ::close) and buffer.write(...) never fire.
+            # Global-namespace POSIX file-write/mapping calls only:
+            # `(?<![\w:])::` rejects qualified names (std::remove,
+            # ofstream::write) and the bare-call / member-call forms, so
+            # socket I/O (::send, ::recv, ::close) and buffer.write(...)
+            # never fire.
             r"(?<![\w:])::\s*(?:open|write|fsync|fdatasync|rename|"
-            r"ftruncate)\s*\(",
+            r"ftruncate|mmap|munmap)\s*\(",
         ),
         "exempt": {
             "src/common/fs.h",

@@ -11,6 +11,10 @@
 //   reconstruct --model m.t2vec --data db.txt --query-index I [--drop R]
 //   server   --model m.t2vec --data-dir d/ [--port P] [--run-seconds S]
 //
+// knn, serve-bench, and server take an index configuration
+// (--index exact|lsh|ivf plus --nlist/--nprobe/--lsh-tables/--lsh-bits):
+// the retrieval backend is a config choice, never hard-coded.
+//
 // Exit status is non-zero on any error; diagnostics go to stderr.
 
 #include <atomic>
@@ -25,8 +29,8 @@
 #include <vector>
 
 #include "common/fs.h"
+#include "core/ann_index.h"
 #include "core/t2vec.h"
-#include "core/vec_index.h"
 #include "serve/durable_store.h"
 #include "serve/embedding_service.h"
 #include "serve/server.h"
@@ -77,6 +81,28 @@ class Flags {
 int Fail(const char* message) {
   std::fprintf(stderr, "error: %s\n", message);
   return 1;
+}
+
+// Shared --index/--nlist/--nprobe/--lsh-* parsing for every retrieval
+// surface (knn, serve-bench, server). Validation happens here so a bad flag
+// fails with a message before any work starts.
+Result<core::IndexConfig> ParseIndexConfig(const Flags& flags) {
+  core::IndexConfig config;
+  Result<core::IndexKind> kind =
+      core::ParseIndexKind(flags.Get("index", "exact"));
+  if (!kind.ok()) return kind.status();
+  config.kind = kind.value();
+  config.lsh_tables =
+      static_cast<int>(flags.GetInt("lsh-tables", config.lsh_tables));
+  config.lsh_bits = static_cast<int>(flags.GetInt("lsh-bits", config.lsh_bits));
+  config.ivf_nlist = static_cast<size_t>(
+      flags.GetInt("nlist", static_cast<long>(config.ivf_nlist)));
+  config.ivf_nprobe = static_cast<size_t>(
+      flags.GetInt("nprobe", static_cast<long>(config.ivf_nprobe)));
+  config.ivf_train_iters =
+      static_cast<int>(flags.GetInt("ivf-iters", config.ivf_train_iters));
+  if (Status status = config.Validate(); !status.ok()) return status;
+  return config;
 }
 
 int CmdGenerate(const Flags& flags) {
@@ -189,11 +215,18 @@ int CmdKnn(const Flags& flags) {
   if (query >= data.value().size()) return Fail("query index out of range");
   if (k > data.value().size()) return Fail("k larger than the database");
 
+  Result<core::IndexConfig> config = ParseIndexConfig(flags);
+  if (!config.ok()) return Fail(config.status().ToString().c_str());
   const nn::Matrix vectors =
       model.value().Encode(data.value().trajectories());
-  core::VectorIndex index{nn::Matrix(vectors)};
+  Result<std::unique_ptr<core::AnnIndex>> index =
+      core::CreateIndex(config.value(), vectors.cols());
+  if (!index.ok()) return Fail(index.status().ToString().c_str());
+  for (size_t i = 0; i < vectors.rows(); ++i) {
+    index.value()->Add({vectors.Row(i), vectors.cols()});
+  }
   const core::KnnResult result =
-      index.Query({vectors.Row(query), vectors.cols()}, k);
+      index.value()->Query({vectors.Row(query), vectors.cols()}, k);
   std::printf("%zu nearest trajectories to #%zu (id %lld):\n", k, query,
               static_cast<long long>(data.value()[query].id));
   for (size_t i = 0; i < result.size(); ++i) {
@@ -233,10 +266,17 @@ int CmdReconstruct(const Flags& flags) {
 
 // Drives the online embedding service closed-loop (each client keeps one
 // request outstanding) and prints the service's metrics snapshot, so the
-// micro-batching behavior is inspectable from the command line.
+// micro-batching behavior is inspectable from the command line. A second
+// phase loads every encoded vector into an EmbeddingStore under the
+// configured index (--index/--nlist/--nprobe/...) and runs closed-loop kNN
+// queries against it, so retrieval throughput is inspectable too.
 int CmdServeBench(const Flags& flags) {
   if (!flags.Has("model") || !flags.Has("data")) {
     return Fail("serve-bench requires --model and --data");
+  }
+  Result<core::IndexConfig> index_config = ParseIndexConfig(flags);
+  if (!index_config.ok()) {
+    return Fail(index_config.status().ToString().c_str());
   }
   Result<core::T2Vec> model = core::T2Vec::Load(flags.Get("model", ""));
   if (!model.ok()) return Fail(model.status().ToString().c_str());
@@ -280,7 +320,39 @@ int CmdServeBench(const Flags& flags) {
   std::printf("%zu clients x %zu requests in %.3f s (%.1f req/s)\n", clients,
               requests, seconds,
               static_cast<double>(clients * requests) / seconds);
-  std::printf("%s", service.metrics().ToJson().c_str());
+  std::printf("%s\n", service.metrics().ToJson().c_str());
+
+  // kNN phase: every vector into a store under the configured index, then
+  // the same closed-loop client shape against Knn.
+  const nn::Matrix vectors = model.value().Encode(trips);
+  serve::EmbeddingStore store(vectors.cols(), index_config.value());
+  for (size_t i = 0; i < vectors.rows(); ++i) {
+    if (Status status =
+            store.Add(trips[i].id, {vectors.Row(i), vectors.cols()});
+        !status.ok()) {
+      return Fail(status.ToString().c_str());
+    }
+  }
+  const size_t k = static_cast<size_t>(flags.GetInt("k", 10));
+  const auto knn_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> queriers;
+  for (size_t c = 0; c < clients; ++c) {
+    queriers.emplace_back([&, c] {
+      for (size_t r = 0; r < requests; ++r) {
+        const size_t row = (c + r * clients) % vectors.rows();
+        (void)store.Knn({vectors.Row(row), vectors.cols()}, k);
+      }
+    });
+  }
+  for (std::thread& w : queriers) w.join();
+  const double knn_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    knn_start)
+          .count();
+  std::printf("knn: %zu clients x %zu queries (k=%zu) in %.3f s (%.1f q/s)\n",
+              clients, requests, k, knn_seconds,
+              static_cast<double>(clients * requests) / knn_seconds);
+  std::printf("index: %s\n", store.Stats().ToJson().c_str());
   return 0;
 }
 
@@ -300,15 +372,22 @@ int CmdServer(const Flags& flags) {
   Result<core::T2Vec> model = core::T2Vec::Load(flags.Get("model", ""));
   if (!model.ok()) return Fail(model.status().ToString().c_str());
 
+  Result<core::IndexConfig> index_config = ParseIndexConfig(flags);
+  if (!index_config.ok()) {
+    return Fail(index_config.status().ToString().c_str());
+  }
   serve::DurableStoreOptions store_options;
   store_options.compact_after_bytes = static_cast<uint64_t>(
       flags.GetInt("compact-bytes", 64 << 20));
+  store_options.index_config = index_config.value();
   Result<std::unique_ptr<serve::DurableStore>> store =
       serve::DurableStore::Open(flags.Get("data-dir", ""),
                                 model.value().config().hidden, store_options);
   if (!store.ok()) return Fail(store.status().ToString().c_str());
-  std::fprintf(stderr, "store: %zu vectors (dim %zu), wal %llu bytes\n",
+  std::fprintf(stderr,
+               "store: %zu vectors (dim %zu, index %s), wal %llu bytes\n",
                store.value()->size(), store.value()->dim(),
+               core::IndexKindName(index_config.value().kind),
                static_cast<unsigned long long>(store.value()->wal_bytes()));
 
   serve::ServerOptions options;
@@ -357,12 +436,16 @@ void PrintUsage() {
       "              [--resume SNAPSHOT|D]\n"
       "  encode      --model F --data F --out F\n"
       "  knn         --model F --data F [--query-index I] [--k K]\n"
+      "              [index flags]\n"
       "  reconstruct --model F --data F [--query-index I] [--drop R]\n"
       "  serve-bench --model F --data F [--clients C] [--requests N]\n"
-      "              [--window-us W] [--max-batch B] [--quantized]\n"
+      "              [--window-us W] [--max-batch B] [--quantized] [--k K]\n"
+      "              [index flags]\n"
       "  server      --model F --data-dir D [--port P] [--run-seconds S]\n"
       "              [--window-us W] [--max-batch B] [--compact-bytes N]\n"
-      "              [--quantized]\n");
+      "              [--quantized] [index flags]\n"
+      "  index flags: --index exact|lsh|ivf [--nlist N] [--nprobe P]\n"
+      "              [--ivf-iters I] [--lsh-tables T] [--lsh-bits B]\n");
 }
 
 }  // namespace
