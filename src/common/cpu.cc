@@ -23,6 +23,10 @@ bool CpuHasAvx2Fma() {
 
 constexpr int kTierUnresolved = -1;
 
+// Not mutex-guarded (DESIGN.md §5.4): the cell is resolved once by a
+// compare-exchange race whose loser adopts the winner's value, then only
+// read. Acquire/release ordering on the CAS and the SetSimdTier store is
+// the whole protocol.
 std::atomic<int>& TierCell() {
   static std::atomic<int> cell{kTierUnresolved};
   return cell;

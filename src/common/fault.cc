@@ -3,7 +3,8 @@
 #include <cerrno>
 #include <cstdlib>
 #include <map>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace t2vec::fault {
 
@@ -19,14 +20,16 @@ struct Site {
   uint64_t hits = 0;
 };
 
-std::mutex& Mu() {
-  static std::mutex* mu = new std::mutex;
-  return *mu;
-}
+// The armed-site table and its lock, leaked so fault points hit during
+// static destruction never touch a dead registry.
+struct Registry {
+  sync::Mutex mu;
+  std::map<std::string, Site> sites GUARDED_BY(mu);
+};
 
-std::map<std::string, Site>& Sites() {
-  static std::map<std::string, Site>* sites = new std::map<std::string, Site>;
-  return *sites;
+Registry& Reg() {
+  static Registry* reg = new Registry;
+  return *reg;
 }
 
 int ParseErrno(const std::string& token) {
@@ -55,8 +58,9 @@ const bool g_env_loaded = [] {
 
 void Arm(const std::string& site, uint64_t nth, int err) {
   if (site.empty() || nth == 0 || err == 0) return;
-  std::lock_guard<std::mutex> lock(Mu());
-  Sites()[site] = Site{nth, err, 0};
+  Registry& reg = Reg();
+  sync::MutexLock lock(&reg.mu);
+  reg.sites[site] = Site{nth, err, 0};
   internal::g_armed.store(true, std::memory_order_relaxed);
 }
 
@@ -86,23 +90,26 @@ bool ArmFromSpec(const std::string& spec) {
 }
 
 void DisarmAll() {
-  std::lock_guard<std::mutex> lock(Mu());
-  Sites().clear();
+  Registry& reg = Reg();
+  sync::MutexLock lock(&reg.mu);
+  reg.sites.clear();
   internal::g_armed.store(false, std::memory_order_relaxed);
 }
 
 uint64_t HitCount(const std::string& site) {
-  std::lock_guard<std::mutex> lock(Mu());
-  const auto it = Sites().find(site);
-  return it == Sites().end() ? 0 : it->second.hits;
+  Registry& reg = Reg();
+  sync::ReaderMutexLock lock(&reg.mu);
+  const auto it = reg.sites.find(site);
+  return it == reg.sites.end() ? 0 : it->second.hits;
 }
 
 namespace internal {
 
 int HitSlow(const char* site) {
-  std::lock_guard<std::mutex> lock(Mu());
-  const auto it = Sites().find(site);
-  if (it == Sites().end()) return 0;
+  Registry& reg = Reg();
+  sync::MutexLock lock(&reg.mu);
+  const auto it = reg.sites.find(site);
+  if (it == reg.sites.end()) return 0;
   ++it->second.hits;
   return it->second.hits == it->second.nth ? it->second.err : 0;
 }

@@ -1,0 +1,28 @@
+#include "common/sync.h"
+
+#include <mutex>
+
+namespace t2vec::sync {
+
+// Both waits adopt the already-held lock into a std::unique_lock so the
+// standard condition variable can release/reacquire it, then release() the
+// adoption so the unique_lock's destructor does not unlock a mutex the
+// caller still owns. The analysis never sees an acquire or release inside
+// these bodies — the REQUIRES(mu) contract on the declarations is the whole
+// story: the lock is held on entry and held again on return.
+
+void CondVar::Wait(Mutex* mu) {
+  std::unique_lock<std::shared_mutex> lock(mu->inner_, std::adopt_lock);
+  cv_.wait(lock);
+  lock.release();
+}
+
+std::cv_status CondVar::WaitUntil(
+    Mutex* mu, std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::shared_mutex> lock(mu->inner_, std::adopt_lock);
+  const std::cv_status status = cv_.wait_until(lock, deadline);
+  lock.release();
+  return status;
+}
+
+}  // namespace t2vec::sync

@@ -1,0 +1,161 @@
+#ifndef T2VEC_COMMON_SYNC_H_
+#define T2VEC_COMMON_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <shared_mutex>
+
+/// \file
+/// Annotated synchronization primitives — the only mutex/condvar types the
+/// tree may use (lint rule `raw-mutex`, DESIGN.md §5.1/§5.4).
+///
+/// Every wrapper carries Clang Thread Safety Analysis attributes, so a
+/// `-DT2VEC_THREAD_SAFETY=ON` Clang build proves, at compile time, that
+/// every field annotated `GUARDED_BY(mu)` is only touched with `mu` held
+/// (shared for reads, exclusive for writes), that `REQUIRES`-annotated
+/// helpers are only called under their lock, and that every acquire has a
+/// matching release on every path. On GCC (and any non-Clang compiler) the
+/// annotation macros expand to nothing — zero layout or codegen change,
+/// asserted by tests/sync_test.cc.
+///
+/// Policy (DESIGN.md §5.4 "Concurrency contract"):
+///  - shared state gets `GUARDED_BY(mu_)` (or `PT_GUARDED_BY` for pointees)
+///    the moment it is touched by more than one thread;
+///  - state protected by a protocol the annotation language cannot express
+///    (an acquire/release version handshake, a relaxed atomic counter,
+///    immutable-after-construction data) carries a comment naming that
+///    protocol instead of an annotation;
+///  - `NO_THREAD_SAFETY_ANALYSIS` is a last resort for code whose locking
+///    is correct but inexpressible, and needs a justifying comment.
+
+// ---------------------------------------------------------------------------
+// Clang Thread Safety Analysis attribute macros (canonical spelling from the
+// Clang documentation). Inert everywhere except Clang.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && !defined(SWIG)
+#define T2VEC_TSA_ATTR(x) __attribute__((x))
+#else
+#define T2VEC_TSA_ATTR(x)  // Expands to nothing: GCC ignores the contract.
+#endif
+
+#define CAPABILITY(x) T2VEC_TSA_ATTR(capability(x))
+#define SCOPED_CAPABILITY T2VEC_TSA_ATTR(scoped_lockable)
+#define GUARDED_BY(x) T2VEC_TSA_ATTR(guarded_by(x))
+#define PT_GUARDED_BY(x) T2VEC_TSA_ATTR(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) T2VEC_TSA_ATTR(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) T2VEC_TSA_ATTR(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) T2VEC_TSA_ATTR(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  T2VEC_TSA_ATTR(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) T2VEC_TSA_ATTR(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  T2VEC_TSA_ATTR(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) T2VEC_TSA_ATTR(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  T2VEC_TSA_ATTR(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  T2VEC_TSA_ATTR(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) T2VEC_TSA_ATTR(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  T2VEC_TSA_ATTR(try_acquire_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) T2VEC_TSA_ATTR(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) T2VEC_TSA_ATTR(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  T2VEC_TSA_ATTR(assert_shared_capability(x))
+#define RETURN_CAPABILITY(x) T2VEC_TSA_ATTR(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS T2VEC_TSA_ATTR(no_thread_safety_analysis)
+
+namespace t2vec::sync {
+
+class CondVar;
+
+/// An annotated reader/writer mutex. `Lock`/`Unlock` take the capability
+/// exclusively; `ReaderLock`/`ReaderUnlock` take it shared, so snapshot
+/// paths (metrics JSON, store reads) never serialize against each other —
+/// only against writers. Prefer the scoped RAII types below; the manual
+/// methods exist for dispatcher loops that hand the lock across a wait.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { inner_.lock(); }
+  void Unlock() RELEASE() { inner_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return inner_.try_lock(); }
+
+  void ReaderLock() ACQUIRE_SHARED() { inner_.lock_shared(); }
+  void ReaderUnlock() RELEASE_SHARED() { inner_.unlock_shared(); }
+
+ private:
+  friend class CondVar;
+  std::shared_mutex inner_;
+};
+
+/// RAII exclusive lock.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// RAII shared (reader) lock.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(Mutex* mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->ReaderLock();
+  }
+  ~ReaderMutexLock() RELEASE() { mu_->ReaderUnlock(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// A condition variable bound to `Mutex`. Waits require the mutex held
+/// *exclusively* (the wait atomically releases and reacquires it).
+///
+/// Callers spell the predicate loop out instead of passing a lambda —
+///
+///     mu_.Lock();
+///     while (!ready_) cv_.Wait(&mu_);
+///
+/// — so every read of guarded state stays in a function the analysis can
+/// see holds the lock (a predicate lambda is analyzed as its own unlocked
+/// function and would defeat the `GUARDED_BY` checks).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `*mu`, blocks until notified (or spuriously
+  /// woken), and reacquires `*mu` before returning.
+  void Wait(Mutex* mu) REQUIRES(mu);
+
+  /// Like Wait, but also returns (with `std::cv_status::timeout`) once the
+  /// monotonic deadline passes. steady_clock only — wall clocks are banned
+  /// tree-wide (lint rule `wall-clock`).
+  std::cv_status WaitUntil(Mutex* mu,
+                           std::chrono::steady_clock::time_point deadline)
+      REQUIRES(mu);
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace t2vec::sync
+
+#endif  // T2VEC_COMMON_SYNC_H_

@@ -37,52 +37,54 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
 void ThreadPool::WorkerLoop() {
   tls_in_parallel_region = true;
-  std::unique_lock<std::mutex> lock(mu_);
-  while (true) {
-    work_cv_.wait(lock, [this] { return stop_ || next_task_ < queue_.size(); });
-    if (stop_) return;
-    DrainQueue(lock);
+  mu_.Lock();
+  for (;;) {
+    while (!stop_ && next_task_ >= queue_.size()) work_cv_.Wait(&mu_);
+    if (stop_) break;
+    DrainQueue();
   }
+  mu_.Unlock();
 }
 
-void ThreadPool::DrainQueue(std::unique_lock<std::mutex>& lock) {
+void ThreadPool::DrainQueue() {
   while (next_task_ < queue_.size()) {
     std::function<void()> task = std::move(queue_[next_task_++]);
-    lock.unlock();
+    mu_.Unlock();
     task();
-    lock.lock();
-    if (--in_flight_ == 0) done_cv_.notify_all();
+    mu_.Lock();
+    if (--in_flight_ == 0) done_cv_.NotifyAll();
   }
 }
 
 void ThreadPool::Run(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
   // One batch at a time; a second caller waits here, not on a corrupt queue.
-  std::lock_guard<std::mutex> run_lock(run_mu_);
-  std::unique_lock<std::mutex> lock(mu_);
+  sync::MutexLock run_lock(&run_mu_);
+  mu_.Lock();
   T2VEC_CHECK(in_flight_ == 0 && next_task_ == queue_.size());
   queue_ = std::move(tasks);
   next_task_ = 0;
   in_flight_ = queue_.size();
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
   // Participate instead of idling, then wait for stragglers.
   const bool was_in_region = tls_in_parallel_region;
   tls_in_parallel_region = true;
-  DrainQueue(lock);
+  DrainQueue();
   tls_in_parallel_region = was_in_region;
-  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  while (in_flight_ != 0) done_cv_.Wait(&mu_);
   queue_.clear();
   next_task_ = 0;
+  mu_.Unlock();
 }
 
 ThreadPool& ThreadPool::Global() {

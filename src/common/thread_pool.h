@@ -1,12 +1,12 @@
 #ifndef T2VEC_COMMON_THREAD_POOL_H_
 #define T2VEC_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 /// \file
 /// Deterministic data parallelism for the read-side hot paths.
@@ -64,17 +64,20 @@ class ThreadPool {
  private:
   void WorkerLoop();
   /// Pops and runs queued tasks until the queue drains; returns when empty.
-  void DrainQueue(std::unique_lock<std::mutex>& lock);
+  /// Drops mu_ around each task body and reacquires it to pop the next.
+  void DrainQueue() REQUIRES(mu_);
 
   std::vector<std::thread> workers_;
-  std::mutex run_mu_;  // Serializes concurrent Run() callers.
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // Signals workers: task queued or stop.
-  std::condition_variable done_cv_;  // Signals Run(): all tasks finished.
-  std::vector<std::function<void()>> queue_;
-  size_t next_task_ = 0;    // Queue front (tasks are popped in order).
-  size_t in_flight_ = 0;    // Queued but not yet finished tasks.
-  bool stop_ = false;
+  /// Serializes concurrent Run() callers; held across the whole batch, so
+  /// it is always taken before mu_.
+  sync::Mutex run_mu_ ACQUIRED_BEFORE(mu_);
+  sync::Mutex mu_;
+  sync::CondVar work_cv_;  // Signals workers: task queued or stop.
+  sync::CondVar done_cv_;  // Signals Run(): all tasks finished.
+  std::vector<std::function<void()>> queue_ GUARDED_BY(mu_);
+  size_t next_task_ GUARDED_BY(mu_) = 0;  // Queue front (popped in order).
+  size_t in_flight_ GUARDED_BY(mu_) = 0;  // Queued but not yet finished.
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 /// Sets the process-wide thread count used when no explicit override is

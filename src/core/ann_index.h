@@ -239,8 +239,9 @@ class AnnIndex {
 
  private:
   RowStore rows_;
-  // Atomic so concurrent Query calls keep the diagnostics race-free; the
-  // neighbor results themselves are pure.
+  // Not mutex-guarded (DESIGN.md §5.4): relaxed atomic counters keep
+  // concurrent Query diagnostics race-free, and no cross-field ordering is
+  // needed — the neighbor results themselves are pure.
   mutable std::atomic<int64_t> queries_{0};
   mutable std::atomic<int64_t> candidates_{0};
 };

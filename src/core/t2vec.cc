@@ -5,10 +5,10 @@
 #include <cstring>
 #include <deque>
 #include <filesystem>
-#include <mutex>
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/sync.h"
 #include "common/serialize.h"
 #include "common/thread_pool.h"
 #include "core/decoder.h"
@@ -192,7 +192,7 @@ nn::Matrix T2Vec::EncodeTokenized(
 }
 
 const QuantizedEncoder& T2Vec::Quantized() const {
-  std::lock_guard<std::mutex> lock(quant_->mu);
+  sync::MutexLock lock(&quant_->mu);
   if (!quant_->enc) {
     quant_->enc = std::make_unique<QuantizedEncoder>(*model_);
   }
@@ -395,12 +395,14 @@ uint64_t TrajFingerprint(const traj::Trajectory& t) {
 /// outside the lock (it is pure), so concurrent misses at worst encode the
 /// same trajectory twice — with identical results.
 struct T2VecMeasure::Memo {
-  std::mutex mu;
-  size_t capacity;
-  std::unordered_map<uint64_t, std::vector<float>> entries;
-  std::deque<uint64_t> order;  // Insertion order, for eviction.
-  size_t hits = 0;
-  size_t misses = 0;
+  sync::Mutex mu;
+  /// Immutable after construction — readable without the lock (Encoded's
+  /// capacity == 0 fast path runs before any locking).
+  const size_t capacity;
+  std::unordered_map<uint64_t, std::vector<float>> entries GUARDED_BY(mu);
+  std::deque<uint64_t> order GUARDED_BY(mu);  // Insertion order, for eviction.
+  size_t hits GUARDED_BY(mu) = 0;
+  size_t misses GUARDED_BY(mu) = 0;
 
   explicit Memo(size_t cap) : capacity(cap) {}
 };
@@ -414,7 +416,7 @@ std::vector<float> T2VecMeasure::Encoded(const traj::Trajectory& t) const {
   if (memo_->capacity == 0) return model_->EncodeOne(t);
   const uint64_t key = TrajFingerprint(t);
   {
-    std::lock_guard<std::mutex> lock(memo_->mu);
+    sync::MutexLock lock(&memo_->mu);
     auto it = memo_->entries.find(key);
     if (it != memo_->entries.end()) {
       ++memo_->hits;
@@ -423,7 +425,7 @@ std::vector<float> T2VecMeasure::Encoded(const traj::Trajectory& t) const {
     ++memo_->misses;
   }
   std::vector<float> vec = model_->EncodeOne(t);
-  std::lock_guard<std::mutex> lock(memo_->mu);
+  sync::MutexLock lock(&memo_->mu);
   if (memo_->entries.emplace(key, vec).second) {
     memo_->order.push_back(key);
     while (memo_->order.size() > memo_->capacity) {
@@ -442,12 +444,12 @@ double T2VecMeasure::Distance(const traj::Trajectory& a,
 }
 
 size_t T2VecMeasure::cache_hits() const {
-  std::lock_guard<std::mutex> lock(memo_->mu);
+  sync::ReaderMutexLock lock(&memo_->mu);
   return memo_->hits;
 }
 
 size_t T2VecMeasure::cache_misses() const {
-  std::lock_guard<std::mutex> lock(memo_->mu);
+  sync::ReaderMutexLock lock(&memo_->mu);
   return memo_->misses;
 }
 

@@ -2,11 +2,11 @@
 #define T2VEC_CORE_T2VEC_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "core/config.h"
 #include "core/model.h"
 #include "core/trainer.h"
@@ -111,10 +111,10 @@ class T2Vec {
 
  private:
   /// Lazily-built quantized encoder. Behind a unique_ptr so T2Vec stays
-  /// movable (std::mutex is not).
+  /// movable (sync::Mutex is not).
   struct QuantCache {
-    std::mutex mu;
-    std::unique_ptr<QuantizedEncoder> enc;
+    sync::Mutex mu;
+    std::unique_ptr<QuantizedEncoder> enc GUARDED_BY(mu);
   };
 
   /// Tokenizes a trajectory the way the encoder expects (reversed when

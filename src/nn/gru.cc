@@ -75,7 +75,7 @@ void GruLayer::RefreshPacks() const {
   PackCache& pc = *packs_;
   const uint64_t version = ParamVersion();
   if (pc.version.load(std::memory_order_acquire) == version) return;
-  std::lock_guard<std::mutex> lock(pc.mu);
+  sync::MutexLock lock(&pc.mu);
   if (pc.version.load(std::memory_order_relaxed) == version) return;
   PackColumns({&wc_.value, &wz_.value, &wr_.value}, &pc.w_pack);
   PackColumns({&uz_.value, &ur_.value}, &pc.u_pack);

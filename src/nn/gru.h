@@ -3,11 +3,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/sync.h"
 #include "nn/parameter.h"
 
 /// \file
@@ -95,11 +95,18 @@ class GruLayer {
   /// that lets Forward/Backward issue one GEMM per input and one per hidden
   /// state instead of three. Stamped with the global ParamVersion() they
   /// were built at and rebuilt lazily after any optimizer step / checkpoint
-  /// load (nn/parameter.h). Guarded by a mutex because T2Vec::Encode runs
-  /// Forward concurrently from pool workers.
+  /// load (nn/parameter.h). T2Vec::Encode runs Forward concurrently from
+  /// pool workers, so rebuilds are double-checked: the packs are written
+  /// under `mu`, then published by the release store to `version`; readers
+  /// that acquire-load a current `version` may read the packs without the
+  /// lock. That version handshake — not `mu` alone — is what protects
+  /// w_pack/u_pack, so they carry a protocol comment instead of a
+  /// GUARDED_BY annotation (DESIGN.md §5.4).
   struct PackCache {
-    std::mutex mu;
+    sync::Mutex mu;
     std::atomic<uint64_t> version{0};
+    // Protocol-guarded (see above): written under mu before the release
+    // store to version; read lock-free after an acquire load matches.
     Matrix w_pack;  ///< in_dim x 3H: [Wc | Wz | Wr]
     Matrix u_pack;  ///< H x 2H: [Uz | Ur] (Uc consumes r ⊙ h⁻, stays apart)
   };

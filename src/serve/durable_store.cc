@@ -104,6 +104,9 @@ Result<std::unique_ptr<DurableStore>> DurableStore::Open(
 
   std::unique_ptr<DurableStore> out(
       new DurableStore(dir, std::move(store), options));
+  // No other thread can hold the brand-new store yet, but wal_ is guarded
+  // state — take the lock so the access is provably disciplined.
+  sync::ReaderMutexLock lock(&out->mu_);
   if (!out->wal_->ok()) return out->wal_->status();
   return out;
 }
@@ -124,16 +127,16 @@ DurableStore::DurableStore(std::string dir, EmbeddingStore store,
 DurableStore::~DurableStore() {
   if (compactor_.joinable()) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      sync::MutexLock lock(&mu_);
       stopping_ = true;
     }
-    compact_cv_.notify_all();
+    compact_cv_.NotifyAll();
     compactor_.join();
   }
 }
 
 Status DurableStore::Insert(int64_t id, std::span<const float> vec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   // Validate before touching the log so invalid requests never leave a
   // record behind; these are the same checks EmbeddingStore::Add makes.
   if (vec.size() != store_.dim()) {
@@ -154,61 +157,65 @@ Status DurableStore::Insert(int64_t id, std::span<const float> vec) {
       wal_->size_bytes() >= options_.compact_after_bytes &&
       !pending_compact_) {
     pending_compact_ = true;
-    compact_cv_.notify_one();
+    compact_cv_.NotifyOne();
   }
   return Status::Ok();
 }
 
+// Read paths take the mutex shared: they only read store_/wal_ state (the
+// EmbeddingStore contract allows any number of concurrent readers), so
+// queries scale instead of serializing on a single lock.
+
 EmbeddingStore::Neighbors DurableStore::Knn(std::span<const float> query,
                                             size_t k) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::ReaderMutexLock lock(&mu_);
   return store_.Knn(query, k);
 }
 
 core::IndexStats DurableStore::IndexStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::ReaderMutexLock lock(&mu_);
   return store_.Stats();
 }
 
 std::vector<float> DurableStore::Find(int64_t id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::ReaderMutexLock lock(&mu_);
   const float* vec = store_.Find(id);
   if (vec == nullptr) return {};
   return std::vector<float>(vec, vec + store_.dim());
 }
 
 bool DurableStore::Contains(int64_t id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::ReaderMutexLock lock(&mu_);
   return store_.Contains(id);
 }
 
 size_t DurableStore::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::ReaderMutexLock lock(&mu_);
   return store_.size();
 }
 
 size_t DurableStore::dim() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::ReaderMutexLock lock(&mu_);
   return store_.dim();
 }
 
 uint64_t DurableStore::wal_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::ReaderMutexLock lock(&mu_);
   return wal_->size_bytes();
 }
 
 int64_t DurableStore::compactions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::ReaderMutexLock lock(&mu_);
   return compactions_;
 }
 
 Status DurableStore::Compact() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return CompactLocked();
 }
 
 Status DurableStore::SaveTo(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::ReaderMutexLock lock(&mu_);
   return store_.Save(path);
 }
 
@@ -237,10 +244,12 @@ Status DurableStore::CompactLocked() {
 }
 
 void DurableStore::CompactionLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  // Predicate loop spelled out (common/sync.h): the guarded reads must stay
+  // in this lock-holding function, not a wait lambda.
+  mu_.Lock();
   for (;;) {
-    compact_cv_.wait(lock, [this] { return pending_compact_ || stopping_; });
-    if (stopping_) return;
+    while (!pending_compact_ && !stopping_) compact_cv_.Wait(&mu_);
+    if (stopping_) break;
     pending_compact_ = false;
     if (Status status = CompactLocked(); !status.ok()) {
       // Compaction failure must never take down serving: the WAL keeps
@@ -249,6 +258,7 @@ void DurableStore::CompactionLoop() {
                    status.message().c_str());
     }
   }
+  mu_.Unlock();
 }
 
 }  // namespace t2vec::serve

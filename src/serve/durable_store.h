@@ -1,10 +1,8 @@
 #ifndef T2VEC_SERVE_DURABLE_STORE_H_
 #define T2VEC_SERVE_DURABLE_STORE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -12,6 +10,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "serve/embedding_store.h"
 #include "serve/wal.h"
 
@@ -61,7 +60,8 @@ Status DecodeInsertRecord(std::string_view payload, int64_t* id,
                           std::vector<float>* vec);
 
 /// A WAL-backed EmbeddingStore. Thread-safe: Insert/Knn/Find/Compact may be
-/// called from any thread (a single internal mutex serializes them).
+/// called from any thread (one internal reader/writer mutex — writes
+/// exclusive, reads shared).
 class DurableStore {
  public:
   /// Opens (or creates) the store in `dir` for `dim`-dimensional vectors:
@@ -120,7 +120,7 @@ class DurableStore {
   DurableStore(std::string dir, EmbeddingStore store,
                const DurableStoreOptions& options);
 
-  Status CompactLocked();
+  Status CompactLocked() REQUIRES(mu_);
   void CompactionLoop();
 
   const std::string dir_;
@@ -128,17 +128,21 @@ class DurableStore {
   const std::string wal_path_;
   const DurableStoreOptions options_;
 
-  mutable std::mutex mu_;
-  EmbeddingStore store_;
-  std::unique_ptr<WalWriter> wal_;
-  int64_t compactions_ = 0;
+  /// Reader/writer: Insert/Compact take it exclusively; Knn/Find/size and
+  /// the other read paths take it shared, so concurrent queries never
+  /// serialize against each other (EmbeddingStore is single-writer /
+  /// concurrent-reader by contract, serve/embedding_store.h).
+  mutable sync::Mutex mu_;
+  EmbeddingStore store_ GUARDED_BY(mu_);
+  std::unique_ptr<WalWriter> wal_ GUARDED_BY(mu_) PT_GUARDED_BY(mu_);
+  int64_t compactions_ GUARDED_BY(mu_) = 0;
 
   // Background compaction: Insert sets pending_compact_ when the WAL
   // crosses the threshold; the loop thread wakes, compacts, and logs (but
   // never propagates) failures — serving must outlive a bad disk.
-  std::condition_variable compact_cv_;
-  bool pending_compact_ = false;
-  bool stopping_ = false;
+  sync::CondVar compact_cv_;
+  bool pending_compact_ GUARDED_BY(mu_) = false;
+  bool stopping_ GUARDED_BY(mu_) = false;
   std::thread compactor_;
 };
 

@@ -2,15 +2,14 @@
 #define T2VEC_SERVE_EMBEDDING_SERVICE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "core/t2vec.h"
 #include "serve/metrics.h"
 #include "traj/trajectory.h"
@@ -107,20 +106,21 @@ class EmbeddingService {
                                            bool has_deadline);
   void DispatchLoop();
   /// Pops the oldest request plus up to max_batch - 1 more with the same
-  /// token length (FIFO among equals). Caller holds mu_.
-  std::vector<Request> TakeBatchLocked();
+  /// token length (FIFO among equals).
+  std::vector<Request> TakeBatchLocked() REQUIRES(mu_);
   /// Encodes `batch` and fulfills its promises (no locks held).
-  void Flush(std::vector<Request> batch);
+  void Flush(std::vector<Request> batch) EXCLUDES(mu_);
 
   const core::T2Vec* model_;
   const ServiceOptions options_;
   ServeMetrics metrics_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // Dispatcher: work queued or stop.
-  std::deque<Request> queue_;
-  bool stop_ = false;
-  std::mutex join_mu_;  // Serializes the dispatcher join in Shutdown().
+  sync::Mutex mu_;
+  sync::CondVar work_cv_;  // Dispatcher: work queued or stop.
+  std::deque<Request> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
+  /// Serializes the dispatcher join in Shutdown(); never taken with mu_.
+  sync::Mutex join_mu_;
   std::thread dispatcher_;
 };
 

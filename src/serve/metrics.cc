@@ -32,7 +32,7 @@ Histogram::Histogram(std::vector<double> bounds)
 }
 
 void Histogram::Observe(double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   // lower_bound keeps the inclusive-upper-bound ("le") semantics: a value
   // equal to a bound counts in that bound's bucket.
   const size_t bucket =
@@ -50,12 +50,12 @@ void Histogram::Observe(double value) {
 }
 
 int64_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::ReaderMutexLock lock(&mu_);
   return count_;
 }
 
 double Histogram::sum() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::ReaderMutexLock lock(&mu_);
   return sum_;
 }
 
@@ -85,12 +85,14 @@ double Histogram::QuantileLocked(double q) const {
 }
 
 double Histogram::Quantile(double q) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::ReaderMutexLock lock(&mu_);
   return QuantileLocked(q);
 }
 
 std::string Histogram::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  // A shared lock suffices: the snapshot only reads, and concurrent ToJson
+  // calls (metrics endpoint + periodic dump) must not serialize.
+  sync::ReaderMutexLock lock(&mu_);
   // min/max/quantiles of zero observations are undefined, not 0: emitting
   // the default-initialized members would be indistinguishable from a real
   // observation at 0, so an empty histogram reports null for all of them.

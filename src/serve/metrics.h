@@ -3,16 +3,18 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 /// \file
 /// Lightweight serving metrics: counters and fixed-bucket histograms, with a
 /// JSON snapshot export so the serving path is observable without pulling in
 /// an external metrics stack. Writers are the service's submit path and its
 /// dispatcher thread; readers may snapshot concurrently (counters are
-/// atomic, histograms take a short lock).
+/// relaxed atomics; histograms take a short lock — exclusive for Observe,
+/// shared for snapshots, so concurrent readers never serialize).
 ///
 /// JSON schema (DESIGN.md "Serving"):
 ///   {
@@ -64,15 +66,15 @@ class Histogram {
   std::string ToJson() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<double> bounds_;    // Upper bounds; counts_ has one extra slot.
-  std::vector<int64_t> counts_;
-  int64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  mutable sync::Mutex mu_;
+  const std::vector<double> bounds_;  // Immutable after construction.
+  std::vector<int64_t> counts_ GUARDED_BY(mu_);  // bounds_.size() + 1 slots.
+  int64_t count_ GUARDED_BY(mu_) = 0;
+  double sum_ GUARDED_BY(mu_) = 0.0;
+  double min_ GUARDED_BY(mu_) = 0.0;
+  double max_ GUARDED_BY(mu_) = 0.0;
 
-  double QuantileLocked(double q) const;
+  double QuantileLocked(double q) const REQUIRES_SHARED(mu_);
 };
 
 /// Default bucket bounds for microsecond latencies (50us .. ~10s).

@@ -91,24 +91,26 @@ Status TcpServer::Start() {
 }
 
 void TcpServer::Stop() {
-  if (stopping_.exchange(true)) {
-    if (accept_thread_.joinable()) accept_thread_.join();
-    return;
-  }
-  if (listen_fd_ >= 0) {
+  if (!stopping_.exchange(true) && listen_fd_ >= 0) {
     // shutdown() wakes the blocked accept(); close alone does not on Linux.
     ::shutdown(listen_fd_, SHUT_RDWR);
   }
+  // Everything below runs under join_mu_: joinable() flips to false with
+  // the lock held, so two racing Stop() calls (or Stop racing the
+  // destructor) can never both join the same thread — the loser waits here
+  // and finds the threads already joined. The old fast path joined
+  // accept_thread_ outside any lock, which was exactly that double-join.
+  sync::MutexLock join_lock(&join_mu_);
   if (accept_thread_.joinable()) accept_thread_.join();
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    sync::MutexLock lock(&conn_mu_);
     for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   // Connection threads remove themselves from conn_fds_ and exit once their
   // recv fails; joining outside the lock lets them do so.
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    sync::MutexLock lock(&conn_mu_);
     threads.swap(conn_threads_);
   }
   for (std::thread& t : threads) {
@@ -134,7 +136,7 @@ void TcpServer::AcceptLoop() {
       return;
     }
     metrics_.connections.Increment();
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    sync::MutexLock lock(&conn_mu_);
     conn_fds_.insert(fd);
     conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
   }
@@ -181,7 +183,7 @@ void TcpServer::ServeConnection(int fd) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    sync::MutexLock lock(&conn_mu_);
     conn_fds_.erase(fd);
   }
   ::close(fd);

@@ -4,13 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <unordered_set>
 #include <vector>
 
+#include "common/sync.h"
 #include "core/t2vec.h"
 #include "serve/durable_store.h"
 #include "serve/embedding_service.h"
@@ -89,13 +89,19 @@ class TcpServer {
   EmbeddingService service_;
   ServerMetrics metrics_;
 
+  /// Not mutex-guarded (DESIGN.md §5.4): written by Start() before the
+  /// accept thread exists and by Stop() only after it is joined; AcceptLoop
+  /// reads it in between. The thread create/join edges order the accesses.
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
 
-  std::mutex conn_mu_;
-  std::unordered_set<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
+  /// Serializes the thread joins and listener cleanup in Stop(), making it
+  /// idempotent and safe to race with itself (and with the destructor).
+  sync::Mutex join_mu_ ACQUIRED_BEFORE(conn_mu_);
+  sync::Mutex conn_mu_;
+  std::unordered_set<int> conn_fds_ GUARDED_BY(conn_mu_);
+  std::vector<std::thread> conn_threads_ GUARDED_BY(conn_mu_);
   std::thread accept_thread_;
 };
 

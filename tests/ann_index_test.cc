@@ -94,7 +94,9 @@ TEST_P(AnnIndexConformanceTest, AddQueryAndClampContract) {
   ASSERT_EQ(top.size(), 10u);
   for (size_t i = 0; i < top.size(); ++i) {
     EXPECT_LT(top.ids[i], 120u);
-    if (i > 0) EXPECT_GE(top.distances[i], top.distances[i - 1]);
+    if (i > 0) {
+      EXPECT_GE(top.distances[i], top.distances[i - 1]);
+    }
   }
 
   // k clamps: over-asking returns every row, k = 0 returns nothing.

@@ -1,0 +1,24 @@
+// Fixture: every banned raw synchronization type fires raw-mutex.
+// Never compiled — scanned by lint_test.py.
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+struct Fixture {
+  std::mutex mu;
+  std::timed_mutex tmu;
+  std::recursive_mutex rec;
+  std::shared_mutex rw;
+  std::shared_timed_mutex srw;
+  std::condition_variable cv;
+  std::condition_variable_any cv_any;
+};
+
+void Use(Fixture& f) {
+  std::lock_guard<std::mutex> lock(f.mu);
+  std::unique_lock<std::timed_mutex> ul(f.tmu);
+  std::shared_lock<std::shared_mutex> sl(f.rw);
+  std::scoped_lock sc(f.rec);
+  f.cv.notify_one();
+  f.cv_any.notify_all();
+}

@@ -1,0 +1,17 @@
+// Fixture: raw string literals are blanked as string data, even when they
+// contain unescaped quotes. Never compiled — scanned by lint_test.py.
+//
+// Exactly one violation is expected: the std::sort after the delimited raw
+// string. A stripper without raw-string handling gets both directions
+// wrong here — it fires on the banned names inside the first literal (the
+// inner quote makes it treat them as code) and misses the real std::sort
+// after the second (quote-pairing swallows the rest of the line).
+#include <algorithm>
+#include <vector>
+
+void Fixture(std::vector<int>& v) {
+  const char* doc = R"(she said "use std::sort and a std::mutex" loudly)";
+  const char* dodge = R"x(quote " inside)x"; std::sort(v.begin(), v.end());
+  (void)doc;
+  (void)dodge;
+}

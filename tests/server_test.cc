@@ -438,5 +438,37 @@ TEST_F(ServerTest, ConcurrentClientsInsertDisjointIds) {
   EXPECT_EQ(store.value()->size(), kClients * kPerClient);
 }
 
+// Regression: Stop() used to join the accept thread on its losing path
+// without any lock, so a Stop() racing another Stop() (or the destructor —
+// the common shutdown shape) could call join() on the same std::thread
+// twice, which is undefined behavior. Stop now serializes the whole
+// join/cleanup under a mutex; racing callers must all return cleanly, with
+// live connections still drained exactly once.
+TEST_F(ServerTest, ConcurrentStopCallsAreSafe) {
+  const std::string dir = FreshDir("concurrent_stop");
+  Result<std::unique_ptr<DurableStore>> store =
+      DurableStore::Open(dir, Model().config().hidden);
+  ASSERT_TRUE(store.ok());
+  TcpServer server(&Model(), store.value().get());
+  ASSERT_TRUE(server.Start().ok());
+
+  // A live connection mid-request makes Stop's connection-drain path real.
+  Result<std::unique_ptr<TcpClient>> client =
+      TcpClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.value()->Insert(Trips()[0]).ok());
+
+  constexpr int kStoppers = 4;
+  std::vector<std::thread> stoppers;
+  stoppers.reserve(kStoppers);
+  for (int i = 0; i < kStoppers; ++i) {
+    stoppers.emplace_back([&server] { server.Stop(); });
+  }
+  for (std::thread& t : stoppers) t.join();
+  // Idempotent afterwards too (the destructor will call it once more).
+  server.Stop();
+  EXPECT_EQ(store.value()->size(), 1u);
+}
+
 }  // namespace
 }  // namespace t2vec::serve

@@ -6,47 +6,57 @@
 #
 #   stage 1  build + ctest     full suite, warnings as errors (T2VEC_WERROR)
 #   stage 2  lint              tools/lint_determinism.py over src/ bench/ tools/
-#   stage 3  robustness        ctest -L robustness: fault injection,
-#                              corruption matrix, kill-and-resume, WAL
-#                              replay, and the TCP server's hostile-bytes
-#                              and kill-mid-ingestion scenarios
+#   stage 3  robustness +      ctest -L 'robustness|concurrency': fault
+#            concurrency       injection, corruption matrix, kill-and-resume,
+#                              WAL replay, the TCP server's hostile-bytes and
+#                              kill-mid-ingestion scenarios, and the annotated
+#                              sync-primitive suite
 #   stage 4  SIMD tiers        ctest -L kernel twice, under T2VEC_SIMD=scalar
 #                              and T2VEC_SIMD=avx2, so both dispatch tiers
 #                              (and the unsupported-ISA clamp) stay green
 #   stage 5  clang-tidy        -DT2VEC_CLANG_TIDY=ON build of src/ (skipped
 #                              with a notice when clang-tidy is not installed)
-#   stage 6  TSan              ctest -L determinism under -fsanitize=thread
+#   stage 6  thread safety     -DT2VEC_THREAD_SAFETY=ON clang build of src/:
+#                              Clang Thread Safety Analysis over the annotated
+#                              primitives in common/sync.h, warnings as errors
+#                              (skipped with a notice when clang++ is not
+#                              installed; CI always runs it)
+#   stage 7  TSan              ctest -L determinism under -fsanitize=thread,
+#                              then -L concurrency at T2VEC_THREADS=1 and 8
 #                              (thread-pool call sites, serving dispatch,
-#                              and the incremental AnnIndex backends —
-#                              ivf_index_test / ann_index_test ride this
-#                              label, no hand-maintained list)
-#   stage 7  UBSan             full ctest under -fsanitize=undefined with
+#                              background compaction, connection fan-out, and
+#                              the incremental AnnIndex backends — tests ride
+#                              labels, no hand-maintained list)
+#   stage 8  UBSan             full ctest under -fsanitize=undefined with
 #                              -fno-sanitize-recover: any UB aborts the test
 #
-# Each sanitizer tier builds in its own tree (<build-dir>-tsan, -ubsan) so
-# the instrumented objects never mix with the release ones. Stages run in
-# increasing cost order; the first failure stops the pipeline.
+# Each compiler/sanitizer tier builds in its own tree (<build-dir>-tidy,
+# -tsa, -tsan, -ubsan) so instrumented or differently-flagged objects never
+# mix with the release ones. Stages run in increasing cost order; the first
+# failure stops the pipeline.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 TIDY_DIR="${BUILD_DIR}-tidy"
+TSA_DIR="${BUILD_DIR}-tsa"
 TSAN_DIR="${BUILD_DIR}-tsan"
 UBSAN_DIR="${BUILD_DIR}-ubsan"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "== stage 1/7: configure/build/ctest (${BUILD_DIR}) =="
+echo "== stage 1/8: configure/build/ctest (${BUILD_DIR}) =="
 cmake -B "${BUILD_DIR}" -S . -DT2VEC_WERROR=ON >/dev/null
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
-echo "== stage 2/7: determinism lint (src/ bench/ tools/) =="
+echo "== stage 2/8: determinism lint (src/ bench/ tools/) =="
 python3 tools/lint_determinism.py
 
-echo "== stage 3/7: robustness-labeled tests (${BUILD_DIR}) =="
-ctest --test-dir "${BUILD_DIR}" -L robustness --output-on-failure -j "${JOBS}"
+echo "== stage 3/8: robustness- and concurrency-labeled tests (${BUILD_DIR}) =="
+ctest --test-dir "${BUILD_DIR}" -L 'robustness|concurrency' \
+  --output-on-failure -j "${JOBS}"
 
-echo "== stage 4/7: kernel-labeled tests under each SIMD tier (${BUILD_DIR}) =="
+echo "== stage 4/8: kernel-labeled tests under each SIMD tier (${BUILD_DIR}) =="
 # On machines without AVX2 the avx2 run degrades to scalar via the dispatch
 # clamp — that fallback (no SIGILL, tier logged) is itself under test.
 T2VEC_SIMD=scalar ctest --test-dir "${BUILD_DIR}" -L kernel \
@@ -54,7 +64,7 @@ T2VEC_SIMD=scalar ctest --test-dir "${BUILD_DIR}" -L kernel \
 T2VEC_SIMD=avx2 ctest --test-dir "${BUILD_DIR}" -L kernel \
   --output-on-failure -j "${JOBS}"
 
-echo "== stage 5/7: clang-tidy (src/) =="
+echo "== stage 5/8: clang-tidy (src/) =="
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake -B "${TIDY_DIR}" -S . -DT2VEC_WERROR=ON -DT2VEC_CLANG_TIDY=ON \
     >/dev/null
@@ -64,13 +74,33 @@ else
   echo "clang-tidy not installed; stage skipped (config: .clang-tidy)"
 fi
 
-echo "== stage 6/7: TSan on determinism-labeled tests (${TSAN_DIR}) =="
+echo "== stage 6/8: Clang Thread Safety Analysis (src/) =="
+# Proves the lock discipline at compile time: every GUARDED_BY member is
+# only touched with its mutex held, every acquire is released on all paths
+# (common/sync.h, DESIGN.md §5.4). Library targets only — tests deliberately
+# misuse locks (TryLock probes) in ways the analysis would reject.
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B "${TSA_DIR}" -S . -DCMAKE_CXX_COMPILER=clang++ \
+    -DT2VEC_WERROR=ON -DT2VEC_THREAD_SAFETY=ON >/dev/null
+  cmake --build "${TSA_DIR}" -j "${JOBS}" --target t2vec_common t2vec_nn \
+    t2vec_geo t2vec_traj t2vec_dist t2vec_core t2vec_eval t2vec_serve
+else
+  echo "clang++ not installed; stage skipped (CI runs it: clang-thread-safety)"
+fi
+
+echo "== stage 7/8: TSan on determinism + concurrency tests (${TSAN_DIR}) =="
 cmake -B "${TSAN_DIR}" -S . -DT2VEC_WERROR=ON -DT2VEC_SANITIZE=thread \
   >/dev/null
 cmake --build "${TSAN_DIR}" -j "${JOBS}"
 ctest --test-dir "${TSAN_DIR}" -L determinism --output-on-failure -j "${JOBS}"
+# The concurrency label runs twice: single-threaded pools catch lost-wakeup /
+# shutdown-ordering bugs that contention masks, wide pools catch races.
+T2VEC_THREADS=1 ctest --test-dir "${TSAN_DIR}" -L concurrency \
+  --output-on-failure -j "${JOBS}"
+T2VEC_THREADS=8 ctest --test-dir "${TSAN_DIR}" -L concurrency \
+  --output-on-failure -j "${JOBS}"
 
-echo "== stage 7/7: UBSan (-fno-sanitize-recover) full suite (${UBSAN_DIR}) =="
+echo "== stage 8/8: UBSan (-fno-sanitize-recover) full suite (${UBSAN_DIR}) =="
 cmake -B "${UBSAN_DIR}" -S . -DT2VEC_WERROR=ON -DT2VEC_SANITIZE=undefined \
   >/dev/null
 cmake --build "${UBSAN_DIR}" -j "${JOBS}"

@@ -63,6 +63,14 @@ at review time, by banning the source patterns that historically break it:
                   its scalar twin; every SIMD path must live behind the
                   nn/kernels.h dispatch table, where simd_kernels_test
                   memcmp-compares the tiers and T2VEC_SIMD selects them.
+  raw-mutex       std::mutex / std::shared_mutex / std::condition_variable
+                  (and the recursive/timed/_any variants), plus lock_guard /
+                  unique_lock / shared_lock / scoped_lock, anywhere except
+                  common/sync.*. Raw primitives are invisible to the Clang
+                  Thread Safety Analysis gate (-DT2VEC_THREAD_SAFETY=ON,
+                  DESIGN.md §5.4): only the annotated t2vec::sync wrappers
+                  let a Clang build prove at compile time that guarded
+                  state is touched with the right lock held.
   bad-allow       A lint:allow comment with an unknown rule id or no reason.
 
 Escape hatch — on the flagged line or the line directly above it:
@@ -219,6 +227,21 @@ RULES = {
         ),
         "exempt": {"src/nn/kernels_avx2.cc"},
     },
+    "raw-mutex": {
+        "description": (
+            "raw std::mutex/shared_mutex/condition_variable or "
+            "lock_guard/unique_lock/shared_lock/scoped_lock outside "
+            "common/sync.*; use the annotated t2vec::sync::Mutex, "
+            "MutexLock, ReaderMutexLock, and CondVar so the Clang Thread "
+            "Safety Analysis gate sees every acquire and guarded access"
+        ),
+        "patterns": _c(
+            r"\bstd\s*::\s*(?:(?:recursive_|shared_)?(?:timed_)?mutex|"
+            r"condition_variable(?:_any)?|lock_guard|unique_lock|"
+            r"shared_lock|scoped_lock)\b"
+        ),
+        "exempt": {"src/common/sync.h", "src/common/sync.cc"},
+    },
     "bad-allow": {
         "description": (
             "malformed lint:allow comment (unknown rule id or missing reason)"
@@ -241,8 +264,37 @@ UNORDERED_DECL_RE = re.compile(
 # ---------------------------------------------------------------------------
 
 
+_RAW_STRING_PREFIX_RE = re.compile(r"(?:u8|[uUL])?R\Z")
+
+
+def _raw_string_end(text, i):
+    """For a `"` at index i opening a raw string literal (R"delim(...)delim"),
+    returns the index one past the closing quote; None when the `"` is not a
+    raw-string opener. Raw strings have no escapes and may contain `"`, so
+    the generic str state cannot parse them — naive quote-pairing would flip
+    code and string data for the rest of the file."""
+    m = _RAW_STRING_PREFIX_RE.search(text, max(0, i - 3), i)
+    if not m:
+        return None
+    start = m.start()
+    if start > 0 and (text[start - 1].isalnum() or text[start - 1] == "_"):
+        return None  # Identifier ending in R, not an encoding prefix.
+    paren = text.find("(", i + 1)
+    if paren == -1:
+        return None
+    delim = text[i + 1:paren]
+    # The standard caps the delimiter at 16 chars and bans whitespace,
+    # parens, and backslash; anything else means this is not a raw string.
+    if len(delim) > 16 or any(ch in ' \t\n\\)"' for ch in delim):
+        return None
+    terminator = ")" + delim + '"'
+    end = text.find(terminator, paren + 1)
+    return len(text) if end == -1 else end + len(terminator)
+
+
 def strip_comments(text):
-    """Blanks out //-comments, /*...*/ blocks, and string/char literals."""
+    """Blanks out //-comments, /*...*/ blocks, and string/char literals
+    (including raw string literals, which may contain unescaped quotes)."""
     out = []
     i = 0
     n = len(text)
@@ -262,6 +314,12 @@ def strip_comments(text):
                 i += 2
                 continue
             if c == '"':
+                raw_end = _raw_string_end(text, i)
+                if raw_end is not None:
+                    for k in range(i, raw_end):
+                        out.append("\n" if text[k] == "\n" else " ")
+                    i = raw_end
+                    continue
                 state = "str"
                 out.append('"')
                 i += 1
