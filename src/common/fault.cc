@@ -15,9 +15,10 @@ std::atomic<bool> g_armed{false};
 namespace {
 
 struct Site {
-  uint64_t nth = 0;  // 1-based hit to fail.
+  uint64_t nth = 0;  // 1-based hit to fail; the period when periodic.
   int err = 0;       // errno to inject on that hit.
   uint64_t hits = 0;
+  bool periodic = false;  // fire on every nth-th hit instead of once.
 };
 
 // The armed-site table and its lock, leaked so fault points hit during
@@ -34,9 +35,19 @@ Registry& Reg() {
 
 int ParseErrno(const std::string& token) {
   static const std::map<std::string, int> kNames = {
-      {"EIO", EIO},       {"ENOSPC", ENOSPC}, {"EACCES", EACCES},
-      {"EDQUOT", EDQUOT}, {"EROFS", EROFS},   {"EMFILE", EMFILE},
+      {"EIO", EIO},
+      {"ENOSPC", ENOSPC},
+      {"EACCES", EACCES},
+      {"EDQUOT", EDQUOT},
+      {"EROFS", EROFS},
+      {"EMFILE", EMFILE},
       {"ENOENT", ENOENT},
+      {"ECONNRESET", ECONNRESET},
+      {"ECONNREFUSED", ECONNREFUSED},
+      {"ECONNABORTED", ECONNABORTED},
+      {"ETIMEDOUT", ETIMEDOUT},
+      {"EPIPE", EPIPE},
+      {"EAGAIN", EAGAIN},
   };
   const auto it = kNames.find(token);
   if (it != kNames.end()) return it->second;
@@ -60,7 +71,15 @@ void Arm(const std::string& site, uint64_t nth, int err) {
   if (site.empty() || nth == 0 || err == 0) return;
   Registry& reg = Reg();
   sync::MutexLock lock(&reg.mu);
-  reg.sites[site] = Site{nth, err, 0};
+  reg.sites[site] = Site{nth, err, 0, /*periodic=*/false};
+  internal::g_armed.store(true, std::memory_order_relaxed);
+}
+
+void ArmEvery(const std::string& site, uint64_t period, int err) {
+  if (site.empty() || period == 0 || err == 0) return;
+  Registry& reg = Reg();
+  sync::MutexLock lock(&reg.mu);
+  reg.sites[site] = Site{period, err, 0, /*periodic=*/true};
   internal::g_armed.store(true, std::memory_order_relaxed);
 }
 
@@ -78,13 +97,20 @@ bool ArmFromSpec(const std::string& spec) {
     if (c1 == std::string::npos || c2 == std::string::npos) return false;
     const std::string site = triple.substr(0, c1);
     char* num_end = nullptr;
-    const std::string nth_str = triple.substr(c1 + 1, c2 - c1 - 1);
+    std::string nth_str = triple.substr(c1 + 1, c2 - c1 - 1);
+    const bool periodic = !nth_str.empty() && nth_str[0] == '*';
+    if (periodic) nth_str.erase(0, 1);
     const unsigned long long nth =
         std::strtoull(nth_str.c_str(), &num_end, 10);
-    if (num_end == nullptr || *num_end != '\0' || nth == 0) return false;
+    if (nth_str.empty() || num_end == nullptr || *num_end != '\0' || nth == 0)
+      return false;
     const int err = ParseErrno(triple.substr(c2 + 1));
     if (site.empty() || err == 0) return false;
-    Arm(site, nth, err);
+    if (periodic) {
+      ArmEvery(site, nth, err);
+    } else {
+      Arm(site, nth, err);
+    }
   }
   return true;
 }
@@ -111,6 +137,9 @@ int HitSlow(const char* site) {
   const auto it = reg.sites.find(site);
   if (it == reg.sites.end()) return 0;
   ++it->second.hits;
+  if (it->second.periodic) {
+    return it->second.hits % it->second.nth == 0 ? it->second.err : 0;
+  }
   return it->second.hits == it->second.nth ? it->second.err : 0;
 }
 

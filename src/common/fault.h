@@ -24,11 +24,23 @@
 ///
 /// (semicolon-separated `site:nth:errno` triples; errno accepts a decimal
 /// number or one of the symbolic names EIO, ENOSPC, EACCES, EDQUOT, EROFS,
-/// EMFILE, ENOENT). Hits are counted per site under a mutex, so the Nth hit
+/// EMFILE, ENOENT, ECONNRESET, ECONNREFUSED, ECONNABORTED, ETIMEDOUT,
+/// EPIPE, EAGAIN). Hits are counted per site under a mutex, so the Nth hit
 /// is the same operation on every run at every thread count — faults are as
 /// reproducible as the code they interrupt. A tripped site stays armed but
 /// never fires again until re-armed, which lets tests assert that one failed
 /// checkpoint write does not poison subsequent ones.
+///
+/// Rate-based injection for chaos/soak runs arms a site *periodically*:
+/// `ArmEvery(site, 10, err)` (spec syntax `site:*10:errno`) fires on hits
+/// 10, 20, 30, ... — roughly a 10% fault rate that stays deterministic in
+/// hit-count space. Periodic sites keep firing until disarmed or re-armed.
+///
+/// Socket-layer sites (serve/net.h) add two *short-I/O* variants:
+/// `net.recv.short` / `net.send.short` do not inject an errno — a firing
+/// hit truncates that one recv/send to a single byte instead, exercising
+/// the reassembly and short-write loops (the armed errno value is ignored,
+/// only the firing schedule matters).
 
 namespace t2vec::fault {
 
@@ -37,9 +49,16 @@ namespace t2vec::fault {
 /// nonzero.
 void Arm(const std::string& site, uint64_t nth, int err);
 
+/// Arms `site` to fail every `period`-th hit (hits period, 2·period, ...)
+/// with errno `err` — rate-based injection for chaos soaks that stays
+/// deterministic in hit-count space. Spec syntax: `site:*period:errno`.
+/// Re-arming replaces the previous arming and resets the hit count.
+void ArmEvery(const std::string& site, uint64_t period, int err);
+
 /// Parses a `site:nth:errno[;site:nth:errno...]` spec (the T2VEC_FAULT
-/// environment syntax) and arms every triple. Returns false (arming nothing
-/// further) on the first malformed triple.
+/// environment syntax; `nth` may be `*period` for periodic arming) and arms
+/// every triple. Returns false (arming nothing further) on the first
+/// malformed triple.
 bool ArmFromSpec(const std::string& spec);
 
 /// Clears every armed site and hit counter.

@@ -1,57 +1,24 @@
 #include "serve/client.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
-#include <cerrno>
+#include <algorithm>
+#include <thread>
+#include <type_traits>
 #include <utility>
 
 #include "common/fs.h"
+#include "serve/net.h"
 
 namespace t2vec::serve {
 
-namespace {
-
-bool SendAll(int fd, std::string_view data) {
-  const char* p = data.data();
-  size_t n = data.size();
-  while (n > 0) {
-    const ssize_t sent = ::send(fd, p, n, MSG_NOSIGNAL);
-    if (sent < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    p += sent;
-    n -= static_cast<size_t>(sent);
-  }
-  return true;
-}
-
-}  // namespace
-
 Result<std::unique_ptr<TcpClient>> TcpClient::Connect(const std::string& host,
-                                                      uint16_t port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) {
-    return Status::IoError(ErrnoMessage("socket", host, errno));
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return Status::InvalidArgument("TcpClient: bad IPv4 address " + host);
-  }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    const int err = errno;
-    ::close(fd);
-    return Status::IoError(
-        ErrnoMessage("connect", host + ":" + std::to_string(port), err));
-  }
-  return std::unique_ptr<TcpClient>(new TcpClient(fd));
+                                                      uint16_t port,
+                                                      Options options) {
+  Result<int> fd = NetConnect(host, port, options.connect_timeout);
+  if (!fd.ok()) return fd.status();
+  return std::unique_ptr<TcpClient>(new TcpClient(
+      fd.value(), host + ":" + std::to_string(port), options));
 }
 
 TcpClient::~TcpClient() {
@@ -61,9 +28,22 @@ TcpClient::~TcpClient() {
 Result<Response> TcpClient::Call(const Request& request) {
   std::string frame;
   AppendFrame(EncodeRequest(request), &frame);
-  if (!SendAll(fd_, frame)) {
-    return Status::IoError("TcpClient: send failed (server gone?)");
+  int err = 0;
+  const IoStatus sent =
+      NetSendAll(fd_, frame, NetClock::now() + options_.send_timeout, &err);
+  if (sent == IoStatus::kTimeout) {
+    return Status::DeadlineExceeded(ErrnoMessage("send", target_, ETIMEDOUT));
   }
+  if (sent != IoStatus::kOk) {
+    return Status::IoError(ErrnoMessage("send", target_, err ? err : EPIPE));
+  }
+  // A request-level deadline extends the read budget: the server may
+  // legitimately take up to deadline_ms before its (possibly error)
+  // response, and that must not count against the transport timeout.
+  const auto recv_deadline =
+      NetClock::now() + options_.recv_timeout +
+      std::chrono::milliseconds(request.has_deadline ? request.deadline_ms
+                                                     : 0);
   char chunk[1 << 16];
   for (;;) {
     std::string payload;
@@ -76,29 +56,44 @@ Result<Response> TcpClient::Call(const Request& request) {
       buffer_.erase(0, consumed);
       return ParseResponse(payload);
     }
-    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (got < 0 && errno == EINTR) continue;
-    if (got <= 0) {
-      return Status::IoError("TcpClient: connection closed mid-response");
+    size_t got = 0;
+    const IoStatus received =
+        NetRecv(fd_, chunk, sizeof(chunk), recv_deadline, &got, &err);
+    if (received == IoStatus::kTimeout) {
+      return Status::DeadlineExceeded(
+          ErrnoMessage("recv", target_, ETIMEDOUT));
     }
-    buffer_.append(chunk, static_cast<size_t>(got));
+    if (received == IoStatus::kClosed) {
+      return Status::IoError("TcpClient: connection closed mid-response (" +
+                             target_ + ")");
+    }
+    if (received != IoStatus::kOk) {
+      return Status::IoError(ErrnoMessage("recv", target_, err));
+    }
+    buffer_.append(chunk, got);
   }
 }
 
-Result<std::vector<float>> TcpClient::Encode(const traj::Trajectory& trip) {
+Result<std::vector<float>> TcpClient::Encode(const traj::Trajectory& trip,
+                                             uint32_t deadline_ms) {
   Request request;
   request.opcode = Opcode::kEncode;
   request.trajectory = trip;
+  request.has_deadline = deadline_ms > 0;
+  request.deadline_ms = deadline_ms;
   Result<Response> response = Call(request);
   if (!response.ok()) return response.status();
   if (!response.value().status.ok()) return response.value().status;
   return std::move(response.value().vector);
 }
 
-Result<int64_t> TcpClient::Insert(const traj::Trajectory& trip) {
+Result<int64_t> TcpClient::Insert(const traj::Trajectory& trip,
+                                  uint32_t deadline_ms) {
   Request request;
   request.opcode = Opcode::kInsert;
   request.trajectory = trip;
+  request.has_deadline = deadline_ms > 0;
+  request.deadline_ms = deadline_ms;
   Result<Response> response = Call(request);
   if (!response.ok()) return response.status();
   if (!response.value().status.ok()) return response.value().status;
@@ -106,24 +101,153 @@ Result<int64_t> TcpClient::Insert(const traj::Trajectory& trip) {
 }
 
 Result<EmbeddingStore::Neighbors> TcpClient::Knn(const traj::Trajectory& trip,
-                                                 uint32_t k) {
+                                                 uint32_t k,
+                                                 uint32_t deadline_ms) {
   Request request;
   request.opcode = Opcode::kKnn;
   request.trajectory = trip;
   request.k = k;
+  request.has_deadline = deadline_ms > 0;
+  request.deadline_ms = deadline_ms;
   Result<Response> response = Call(request);
   if (!response.ok()) return response.status();
   if (!response.value().status.ok()) return response.value().status;
   return std::move(response.value().neighbors);
 }
 
-Result<std::string> TcpClient::Stats() {
+Result<std::string> TcpClient::Stats(uint32_t deadline_ms) {
   Request request;
   request.opcode = Opcode::kStats;
+  request.has_deadline = deadline_ms > 0;
+  request.deadline_ms = deadline_ms;
   Result<Response> response = Call(request);
   if (!response.ok()) return response.status();
   if (!response.value().status.ok()) return response.value().status;
   return std::move(response.value().stats_json);
+}
+
+// --- RetryingClient --------------------------------------------------------
+
+namespace {
+
+/// Transport failures and overload rejections are worth another attempt;
+/// everything else — including kDeadlineExceeded — is terminal.
+bool Retryable(const Status& status) {
+  return status.code() == StatusCode::kIoError ||
+         status.code() == StatusCode::kUnavailable;
+}
+
+/// True when `status` is the store's duplicate-id rejection for `id` — the
+/// signature of an insert that landed but whose ack was lost in transport.
+bool IsDuplicateId(const Status& status, int64_t id) {
+  return status.code() == StatusCode::kInvalidArgument &&
+         status.message().find("duplicate id " + std::to_string(id)) !=
+             std::string::npos;
+}
+
+}  // namespace
+
+RetryingClient::RetryingClient(std::string host, uint16_t port,
+                               RetryOptions options)
+    : host_(std::move(host)),
+      port_(port),
+      options_(options),
+      rng_(options.jitter_seed) {}
+
+bool RetryingClient::BackoffBeforeRetry(
+    int attempt, std::chrono::steady_clock::time_point overall) {
+  auto delay = options_.initial_backoff;
+  for (int i = 1; i < attempt && delay < options_.max_backoff; ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, options_.max_backoff);
+  // Jitter in [0.5, 1.0): desynchronizes a thundering herd of retriers
+  // without ever exceeding the capped delay.
+  const auto jittered = std::chrono::milliseconds(static_cast<int64_t>(
+      static_cast<double>(delay.count()) * (0.5 + 0.5 * rng_.Uniform())));
+  const auto wake = std::chrono::steady_clock::now() + jittered;
+  if (wake >= overall) return false;  // Never retry past the deadline.
+  std::this_thread::sleep_until(wake);
+  return true;
+}
+
+template <typename T, typename Fn>
+Result<T> RetryingClient::CallWithRetry(uint32_t deadline_ms,
+                                        const int64_t* insert_id, Fn&& op) {
+  const auto overall =
+      deadline_ms > 0
+          ? std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(deadline_ms)
+          : std::chrono::steady_clock::time_point::max();
+  // Set once a request has been on the wire: from then on a "duplicate id"
+  // answer means an earlier insert landed and only its ack was lost.
+  bool maybe_applied = false;
+  Status last = Status::Unavailable("RetryingClient: no attempt made");
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      if (!BackoffBeforeRetry(attempt, overall)) break;
+      ++retries_;
+    }
+    if (client_ == nullptr) {
+      Result<std::unique_ptr<TcpClient>> conn =
+          TcpClient::Connect(host_, port_, options_.socket);
+      if (!conn.ok()) {
+        last = conn.status();
+        if (!Retryable(last)) return last;
+        continue;
+      }
+      client_ = std::move(conn).value();
+      ++reconnects_;
+    }
+    Result<T> result = op(client_.get());
+    if (result.ok()) return result;
+    last = result.status();
+    if constexpr (std::is_same_v<T, int64_t>) {
+      if (insert_id != nullptr && maybe_applied &&
+          IsDuplicateId(last, *insert_id)) {
+        // Idempotent replay: the previous attempt was durably applied
+        // before its ack was lost, so the insert succeeded.
+        return *insert_id;
+      }
+    }
+    if (last.code() == StatusCode::kIoError ||
+        last.code() == StatusCode::kDeadlineExceeded) {
+      // The socket is in an unknown state (half a response may be queued,
+      // or a late one may still arrive); only a fresh connection is safe.
+      client_.reset();
+      maybe_applied = true;
+    }
+    if (!Retryable(last)) return last;
+  }
+  return last;
+}
+
+Result<std::vector<float>> RetryingClient::Encode(const traj::Trajectory& trip,
+                                                  uint32_t deadline_ms) {
+  return CallWithRetry<std::vector<float>>(
+      deadline_ms, nullptr,
+      [&](TcpClient* c) { return c->Encode(trip, deadline_ms); });
+}
+
+Result<int64_t> RetryingClient::Insert(const traj::Trajectory& trip,
+                                       uint32_t deadline_ms) {
+  const int64_t id = trip.id;
+  return CallWithRetry<int64_t>(
+      deadline_ms, &id,
+      [&](TcpClient* c) { return c->Insert(trip, deadline_ms); });
+}
+
+Result<EmbeddingStore::Neighbors> RetryingClient::Knn(
+    const traj::Trajectory& trip, uint32_t k, uint32_t deadline_ms) {
+  return CallWithRetry<EmbeddingStore::Neighbors>(
+      deadline_ms, nullptr,
+      [&](TcpClient* c) { return c->Knn(trip, k, deadline_ms); });
+}
+
+Result<std::string> RetryingClient::Stats(uint32_t deadline_ms) {
+  return CallWithRetry<std::string>(
+      deadline_ms, nullptr,
+      [&](TcpClient* c) { return c->Stats(deadline_ms); });
 }
 
 }  // namespace t2vec::serve

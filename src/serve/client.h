@@ -1,11 +1,13 @@
 #ifndef T2VEC_SERVE_CLIENT_H_
 #define T2VEC_SERVE_CLIENT_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/status.h"
 #include "serve/embedding_store.h"
 #include "serve/protocol.h"
@@ -17,45 +19,138 @@
 /// the closed-loop load benchmark (bench/bench_server.cc), and the
 /// end-to-end server tests.
 ///
-/// Not thread-safe — Call interleaves a send and a receive on one socket, so
-/// give each client thread its own TcpClient (that is also what makes the
-/// benchmark closed-loop).
+/// Every socket operation carries a timeout (TcpClient::Options) — a dead,
+/// hung, or never-accepting server produces kDeadlineExceeded instead of a
+/// wedged caller. Each request can also ship a server-side `deadline_ms`
+/// budget (protocol v2): the server fails the request fast once it expires
+/// instead of paying for an encode or a WAL fsync.
+///
+/// RetryingClient wraps TcpClient with capped exponential backoff and
+/// deterministic jitter (common/rng.h), reconnecting on transport errors.
+/// Retry safety per operation (DESIGN.md §8.4): encode/knn/stats are pure
+/// reads, always retryable; insert is retryable because the store's
+/// duplicate-id check makes replay idempotent — an insert retry that answers
+/// "duplicate id" after a lost ack is reported as success. Nothing retries
+/// after kDeadlineExceeded.
+///
+/// Neither class is thread-safe — Call interleaves a send and a receive on
+/// one socket, so give each client thread its own instance (that is also
+/// what makes the benchmark closed-loop).
 
 namespace t2vec::serve {
 
+/// Per-operation socket timeouts. Defaults are finite on purpose: the old
+/// client blocked forever in ::connect/::recv against a dead server.
+/// (Top-level rather than nested so it can default-construct in TcpClient's
+/// own default arguments.)
+struct TcpClientOptions {
+  std::chrono::milliseconds connect_timeout{5'000};
+  std::chrono::milliseconds send_timeout{5'000};
+  /// Budget for the response after a request is sent. When a request
+  /// carries deadline_ms, that budget is added on top, so a legitimate
+  /// server-side deadline can never starve the client's read.
+  std::chrono::milliseconds recv_timeout{10'000};
+};
+
 class TcpClient {
  public:
-  /// Connects to `host`:`port` (IPv4 dotted quad, e.g. "127.0.0.1").
+  using Options = TcpClientOptions;
+
+  /// Connects to `host`:`port` (IPv4 dotted quad, e.g. "127.0.0.1") within
+  /// options.connect_timeout; kDeadlineExceeded on timeout.
   static Result<std::unique_ptr<TcpClient>> Connect(const std::string& host,
-                                                    uint16_t port);
+                                                    uint16_t port,
+                                                    Options options = {});
   ~TcpClient();
 
   TcpClient(const TcpClient&) = delete;
   TcpClient& operator=(const TcpClient&) = delete;
 
   /// The server-side embedding of `trip` (bit-identical to EncodeOne).
-  Result<std::vector<float>> Encode(const traj::Trajectory& trip);
+  /// `deadline_ms` > 0 ships a server-side budget with the request.
+  Result<std::vector<float>> Encode(const traj::Trajectory& trip,
+                                    uint32_t deadline_ms = 0);
 
   /// Encodes and durably inserts `trip`; returns its id. An OK return means
   /// the server fsynced the insert to its WAL before responding.
-  Result<int64_t> Insert(const traj::Trajectory& trip);
+  Result<int64_t> Insert(const traj::Trajectory& trip,
+                         uint32_t deadline_ms = 0);
 
   /// Encodes `trip` and returns its k nearest stored neighbors (k is
   /// clamped server-side to the store size).
   Result<EmbeddingStore::Neighbors> Knn(const traj::Trajectory& trip,
-                                        uint32_t k);
+                                        uint32_t k, uint32_t deadline_ms = 0);
 
   /// The server's combined stats JSON.
-  Result<std::string> Stats();
+  Result<std::string> Stats(uint32_t deadline_ms = 0);
 
  private:
-  explicit TcpClient(int fd) : fd_(fd) {}
+  TcpClient(int fd, std::string target, Options options)
+      : fd_(fd), target_(std::move(target)), options_(options) {}
 
-  /// Sends one request frame and blocks for the matching response.
+  /// Sends one request frame and blocks (bounded) for the matching response.
   Result<Response> Call(const Request& request);
 
   int fd_ = -1;
+  std::string target_;  ///< host:port, for error messages.
+  Options options_;
   std::string buffer_;  ///< Bytes received beyond the last parsed frame.
+};
+
+/// Retry policy for RetryingClient. Backoff for attempt n (n >= 1 retries)
+/// is min(max_backoff, initial_backoff * 2^(n-1)) scaled by a jitter factor
+/// in [0.5, 1.0) drawn from a deterministic Rng stream seeded with
+/// `jitter_seed` — same seed, same backoff schedule, reproducible soaks.
+struct RetryOptions {
+  int max_attempts = 4;  ///< Total tries, including the first.
+  std::chrono::milliseconds initial_backoff{10};
+  std::chrono::milliseconds max_backoff{500};
+  uint64_t jitter_seed = 1;
+  TcpClient::Options socket;
+};
+
+/// A TcpClient wrapper that reconnects and retries on transport failures
+/// (kIoError) and overload rejections (kUnavailable). kDeadlineExceeded and
+/// request-level errors (kInvalidArgument, kNotFound, ...) are terminal.
+/// When an op carries deadline_ms, it also caps the whole retry loop —
+/// never retry after a deadline.
+class RetryingClient {
+ public:
+  RetryingClient(std::string host, uint16_t port, RetryOptions options = {});
+
+  RetryingClient(const RetryingClient&) = delete;
+  RetryingClient& operator=(const RetryingClient&) = delete;
+
+  Result<std::vector<float>> Encode(const traj::Trajectory& trip,
+                                    uint32_t deadline_ms = 0);
+  Result<int64_t> Insert(const traj::Trajectory& trip,
+                         uint32_t deadline_ms = 0);
+  Result<EmbeddingStore::Neighbors> Knn(const traj::Trajectory& trip,
+                                        uint32_t k, uint32_t deadline_ms = 0);
+  Result<std::string> Stats(uint32_t deadline_ms = 0);
+
+  int64_t retries() const { return retries_; }
+  int64_t reconnects() const { return reconnects_; }
+
+ private:
+  /// Runs `op` with reconnect + backoff. `insert_id` enables the idempotent
+  /// duplicate-id replay mapping (nullptr for read ops).
+  template <typename T, typename Fn>
+  Result<T> CallWithRetry(uint32_t deadline_ms, const int64_t* insert_id,
+                          Fn&& op);
+
+  /// Sleeps the jittered backoff for retry `attempt` (1-based), not past
+  /// `overall`. False when the overall deadline leaves no room to retry.
+  bool BackoffBeforeRetry(int attempt, std::chrono::steady_clock::time_point
+                                           overall);
+
+  const std::string host_;
+  const uint16_t port_;
+  const RetryOptions options_;
+  Rng rng_;  ///< Jitter stream; deterministic per jitter_seed.
+  std::unique_ptr<TcpClient> client_;
+  int64_t retries_ = 0;
+  int64_t reconnects_ = 0;
 };
 
 }  // namespace t2vec::serve

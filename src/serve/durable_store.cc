@@ -1,5 +1,6 @@
 #include "serve/durable_store.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <utility>
@@ -135,7 +136,8 @@ DurableStore::~DurableStore() {
   }
 }
 
-Status DurableStore::Insert(int64_t id, std::span<const float> vec) {
+Status DurableStore::Insert(int64_t id, std::span<const float> vec,
+                            std::chrono::steady_clock::time_point deadline) {
   sync::MutexLock lock(&mu_);
   // Validate before touching the log so invalid requests never leave a
   // record behind; these are the same checks EmbeddingStore::Add makes.
@@ -147,6 +149,12 @@ Status DurableStore::Insert(int64_t id, std::span<const float> vec) {
   if (store_.Contains(id)) {
     return Status::InvalidArgument("Insert: duplicate id " +
                                    std::to_string(id));
+  }
+  // Last stop before durability: an expired request must not pay for the
+  // fsync, and must not become durable after its caller gave up on it.
+  if (deadline != std::chrono::steady_clock::time_point::max() &&
+      std::chrono::steady_clock::now() >= deadline) {
+    return Status::DeadlineExceeded("Insert: deadline passed before WAL append");
   }
   const std::string payload = EncodeInsertRecord(id, vec);
   if (Status status = wal_->Append(payload); !status.ok()) return status;
@@ -197,6 +205,11 @@ size_t DurableStore::size() const {
 size_t DurableStore::dim() const {
   sync::ReaderMutexLock lock(&mu_);
   return store_.dim();
+}
+
+std::vector<int64_t> DurableStore::Ids() const {
+  sync::ReaderMutexLock lock(&mu_);
+  return store_.ids();
 }
 
 uint64_t DurableStore::wal_bytes() const {

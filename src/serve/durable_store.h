@@ -1,6 +1,7 @@
 #ifndef T2VEC_SERVE_DURABLE_STORE_H_
 #define T2VEC_SERVE_DURABLE_STORE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -83,7 +84,12 @@ class DurableStore {
   /// in-memory store: an OK return means the vector survives a crash.
   /// kInvalidArgument on dimension mismatch or duplicate id — checked
   /// *before* the log write, so invalid requests never pollute the WAL.
-  Status Insert(int64_t id, std::span<const float> vec);
+  /// A `deadline` in the past returns kDeadlineExceeded instead of paying
+  /// for the fsync (also checked before the log write, so an expired insert
+  /// is never made durable); the default never expires.
+  Status Insert(int64_t id, std::span<const float> vec,
+                std::chrono::steady_clock::time_point deadline =
+                    std::chrono::steady_clock::time_point::max());
 
   /// kNN over the stored vectors under the configured index (exact for
   /// kExact, approximate otherwise); k is clamped to size().
@@ -99,6 +105,9 @@ class DurableStore {
   bool Contains(int64_t id) const;
   size_t size() const;
   size_t dim() const;
+
+  /// Stored ids in insertion order (a copy; the order replay reproduces).
+  std::vector<int64_t> Ids() const;
 
   /// Current WAL length in bytes (header + records).
   uint64_t wal_bytes() const;

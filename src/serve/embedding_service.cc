@@ -36,8 +36,9 @@ std::future<EmbeddingService::EncodeResult> EmbeddingService::Submit(
   return SubmitInternal(trip, Clock::time_point{}, /*has_deadline=*/false);
 }
 
-std::future<EmbeddingService::EncodeResult> EmbeddingService::Submit(
-    const traj::Trajectory& trip, Clock::time_point deadline) {
+std::future<EmbeddingService::EncodeResult>
+EmbeddingService::SubmitWithDeadline(const traj::Trajectory& trip,
+                                     Clock::time_point deadline) {
   return SubmitInternal(trip, deadline, /*has_deadline=*/true);
 }
 

@@ -79,9 +79,10 @@ class EmbeddingService {
   std::future<EncodeResult> Submit(const traj::Trajectory& trip);
 
   /// Like Submit, but the request is abandoned with kDeadlineExceeded if
-  /// its micro-batch has not been assembled by `deadline`.
-  std::future<EncodeResult> Submit(const traj::Trajectory& trip,
-                                   Clock::time_point deadline);
+  /// its micro-batch has not been assembled by `deadline`. This is what the
+  /// TCP server maps the wire-level deadline_ms field onto.
+  std::future<EncodeResult> SubmitWithDeadline(const traj::Trajectory& trip,
+                                               Clock::time_point deadline);
 
   /// Stops accepting work, drains every queued request (encoding the live
   /// ones, expiring the late ones), and joins the dispatcher. Idempotent.

@@ -67,6 +67,10 @@ class EmbeddingStore {
   size_t size() const { return ids_.size(); }
   size_t dim() const { return index_->dim(); }
 
+  /// Stored ids in insertion order — the order a WAL replay reproduces, and
+  /// what the chaos soak walks to rebuild a fault-free comparison store.
+  const std::vector<int64_t>& ids() const { return ids_; }
+
   /// The retrieval backend (kind, counters) for the stats endpoint.
   core::IndexStats Stats() const { return index_->Stats(); }
 

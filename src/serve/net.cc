@@ -1,0 +1,180 @@
+#include "serve/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <limits>
+
+#include "common/fault.h"
+#include "common/fs.h"
+
+namespace t2vec::serve {
+
+namespace {
+
+/// Polls `fd` for `events` until `deadline`. Returns 1 when ready, 0 on
+/// timeout, -1 on poll error (errno set). EINTR re-polls with a fresh
+/// remaining budget, so signals cannot extend the deadline.
+int PollWait(int fd, short events, NetTimePoint deadline) {
+  for (;;) {
+    int timeout_ms = -1;
+    if (deadline != kNoDeadline) {
+      const auto remaining =
+          std::chrono::ceil<std::chrono::milliseconds>(deadline -
+                                                       NetClock::now())
+              .count();
+      if (remaining <= 0) return 0;
+      timeout_ms = static_cast<int>(
+          std::min<long long>(remaining, std::numeric_limits<int>::max()));
+    }
+    pollfd p{fd, events, 0};
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (rc == 0) return 0;
+    return 1;
+  }
+}
+
+}  // namespace
+
+IoStatus NetRecv(int fd, char* buf, size_t cap, NetTimePoint deadline,
+                 size_t* got, int* err) {
+  *got = 0;
+  *err = 0;
+  if (const int injected = T2VEC_FAULT_POINT("net.recv")) {
+    *err = injected;
+    return IoStatus::kError;
+  }
+  // A short-read fault clamps this one recv to a single byte: the frame
+  // reassembly loop above must keep working on arbitrarily fragmented input.
+  if (T2VEC_FAULT_POINT("net.recv.short") != 0) cap = 1;
+  for (;;) {
+    const int ready = PollWait(fd, POLLIN, deadline);
+    if (ready < 0) {
+      *err = errno;
+      return IoStatus::kError;
+    }
+    if (ready == 0) {
+      *err = ETIMEDOUT;
+      return IoStatus::kTimeout;
+    }
+    const ssize_t n = ::recv(fd, buf, cap, 0);
+    if (n > 0) {
+      *got = static_cast<size_t>(n);
+      return IoStatus::kOk;
+    }
+    if (n == 0) return IoStatus::kClosed;
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    *err = errno;
+    return IoStatus::kError;
+  }
+}
+
+IoStatus NetSendAll(int fd, std::string_view data, NetTimePoint deadline,
+                    int* err) {
+  *err = 0;
+  if (const int injected = T2VEC_FAULT_POINT("net.send")) {
+    *err = injected;
+    return injected == EPIPE || injected == ECONNRESET ? IoStatus::kClosed
+                                                       : IoStatus::kError;
+  }
+  // A short-write fault truncates the first send to one byte; the loop must
+  // finish the rest — proving short sends are retried, never fatal.
+  size_t first_cap = T2VEC_FAULT_POINT("net.send.short") != 0 ? 1 : data.size();
+  const char* p = data.data();
+  size_t n = data.size();
+  while (n > 0) {
+    const int ready = PollWait(fd, POLLOUT, deadline);
+    if (ready < 0) {
+      *err = errno;
+      return IoStatus::kError;
+    }
+    if (ready == 0) {
+      *err = ETIMEDOUT;
+      return IoStatus::kTimeout;
+    }
+    const ssize_t sent =
+        ::send(fd, p, std::min(n, first_cap), MSG_NOSIGNAL);
+    first_cap = data.size();
+    if (sent < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      *err = errno;
+      return errno == EPIPE || errno == ECONNRESET ? IoStatus::kClosed
+                                                   : IoStatus::kError;
+    }
+    p += sent;
+    n -= static_cast<size_t>(sent);
+  }
+  return IoStatus::kOk;
+}
+
+int NetAccept(int listen_fd) {
+  if (const int injected = T2VEC_FAULT_POINT("net.accept")) {
+    errno = injected;
+    return -1;
+  }
+  // Non-blocking connection fds: a blocking send() to a slow-reading peer
+  // could otherwise pin a thread past its deadline; NetSendAll/NetRecv poll.
+  return ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC | SOCK_NONBLOCK);
+}
+
+Result<int> NetConnect(const std::string& host, uint16_t port,
+                       std::chrono::milliseconds timeout) {
+  const std::string target = host + ":" + std::to_string(port);
+  if (const int injected = T2VEC_FAULT_POINT("net.connect")) {
+    return Status::IoError(ErrnoMessage("connect", target, injected));
+  }
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (fd < 0) {
+    return Status::IoError(ErrnoMessage("socket", target, errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("NetConnect: bad IPv4 address " + host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (errno != EINPROGRESS) {
+      const int err = errno;
+      ::close(fd);
+      return Status::IoError(ErrnoMessage("connect", target, err));
+    }
+    const int ready = PollWait(fd, POLLOUT, NetClock::now() + timeout);
+    if (ready < 0) {
+      const int err = errno;
+      ::close(fd);
+      return Status::IoError(ErrnoMessage("connect poll", target, err));
+    }
+    if (ready == 0) {
+      ::close(fd);
+      return Status::DeadlineExceeded(
+          ErrnoMessage("connect", target, ETIMEDOUT));
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+      const int err = errno;
+      ::close(fd);
+      return Status::IoError(ErrnoMessage("getsockopt", target, err));
+    }
+    if (so_error != 0) {
+      ::close(fd);
+      return Status::IoError(ErrnoMessage("connect", target, so_error));
+    }
+  }
+  return fd;
+}
+
+}  // namespace t2vec::serve

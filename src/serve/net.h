@@ -1,0 +1,73 @@
+#ifndef T2VEC_SERVE_NET_H_
+#define T2VEC_SERVE_NET_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+/// \file
+/// Deadline-aware socket primitives shared by the TCP server and client
+/// (DESIGN.md §8.4). Every call polls before it reads or writes, so a dead
+/// or dribbling peer can never pin a thread past its deadline, and every
+/// call passes through a `net.*` fault site so the chaos suite can inject
+/// errno failures and short reads/writes deterministically:
+///
+///   net.accept      accept() fails with the armed errno (transient: the
+///                   accept loop keeps running)
+///   net.connect     connect() fails with the armed errno
+///   net.recv        recv() fails with the armed errno
+///   net.recv.short  that one recv is truncated to a single byte
+///   net.send        send() fails with the armed errno
+///   net.send.short  the first send of that call writes a single byte
+///
+/// The short variants ignore the armed errno value — firing is what matters.
+/// Deadlines are steady-clock time points; kNoDeadline blocks indefinitely.
+
+namespace t2vec::serve {
+
+using NetClock = std::chrono::steady_clock;
+using NetTimePoint = NetClock::time_point;
+
+/// Sentinel deadline meaning "never time out".
+inline constexpr NetTimePoint kNoDeadline = NetTimePoint::max();
+
+/// Outcome of one socket operation.
+enum class IoStatus {
+  kOk,       ///< Progress was made (bytes moved, or all bytes sent).
+  kClosed,   ///< Orderly peer close (recv) or EPIPE/ECONNRESET (send).
+  kTimeout,  ///< The deadline passed before the operation completed.
+  kError,    ///< A socket error; `*err` holds the errno.
+};
+
+/// Receives up to `cap` bytes into `buf`, waiting until `deadline`. On kOk,
+/// `*got` is the byte count (>= 1). On kError, `*err` is the errno. Works on
+/// blocking and non-blocking sockets (EAGAIN re-polls).
+IoStatus NetRecv(int fd, char* buf, size_t cap, NetTimePoint deadline,
+                 size_t* got, int* err);
+
+/// Sends all of `data`, waiting until `deadline` between chunks. Short and
+/// interrupted sends are retried, not treated as fatal; MSG_NOSIGNAL keeps a
+/// mid-response hangup an error return instead of SIGPIPE. On kError or
+/// kClosed, `*err` is the errno.
+IoStatus NetSendAll(int fd, std::string_view data, NetTimePoint deadline,
+                    int* err);
+
+/// accept(2) with CLOEXEC + NONBLOCK and the `net.accept` fault site.
+/// Returns the connection fd, or -1 with errno set (injected faults set
+/// errno too). The fd is non-blocking — pair it with NetRecv/NetSendAll.
+int NetAccept(int listen_fd);
+
+/// Connects to `host`:`port` (IPv4 dotted quad) within `timeout`. The
+/// returned fd is non-blocking — pair it with NetRecv/NetSendAll. A timeout
+/// maps to kDeadlineExceeded; refusals and injected `net.connect` faults map
+/// to kIoError.
+Result<int> NetConnect(const std::string& host, uint16_t port,
+                       std::chrono::milliseconds timeout);
+
+}  // namespace t2vec::serve
+
+#endif  // T2VEC_SERVE_NET_H_

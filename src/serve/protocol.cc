@@ -101,7 +101,12 @@ FrameStatus ParseFrame(std::string_view buffer, std::string* payload,
 
 std::string EncodeRequest(const Request& request) {
   std::string payload;
-  AppendPod(&payload, static_cast<uint8_t>(request.opcode));
+  uint8_t op = static_cast<uint8_t>(request.opcode);
+  // The deadline flag is only set when a deadline rides along, so
+  // deadline-free requests stay byte-identical to protocol v1.
+  if (request.has_deadline) op |= kDeadlineFlag;
+  AppendPod(&payload, op);
+  if (request.has_deadline) AppendPod(&payload, request.deadline_ms);
   switch (request.opcode) {
     case Opcode::kEncode:
     case Opcode::kInsert:
@@ -121,12 +126,18 @@ Result<Request> ParseRequest(std::string_view payload) {
   size_t pos = 0;
   uint8_t op = 0;
   if (!ReadPod(payload, &pos, &op)) return Truncated("opcode");
+  const bool has_deadline = (op & kDeadlineFlag) != 0;
+  op &= static_cast<uint8_t>(~kDeadlineFlag);
   if (!ValidOpcode(op)) {
     return Status::InvalidArgument("protocol: unknown opcode " +
                                    std::to_string(op));
   }
   Request request;
   request.opcode = static_cast<Opcode>(op);
+  request.has_deadline = has_deadline;
+  if (has_deadline && !ReadPod(payload, &pos, &request.deadline_ms)) {
+    return Truncated("deadline");
+  }
   switch (request.opcode) {
     case Opcode::kEncode:
     case Opcode::kInsert:

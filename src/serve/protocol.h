@@ -21,9 +21,16 @@
 ///
 ///     [magic "T2RP" u32][payload_len u32][crc32c(payload) u32][payload]
 ///
-/// Request payload:  [opcode u8][body]
+/// Request payload:  [opcode u8][deadline_ms u32?][body]
 /// Response payload: [opcode u8][status_code u8][msg_len u32][msg][body]
 ///   (body is present only when status_code == 0 / kOk)
+///
+/// Protocol v2 added the optional per-request deadline: when the high bit of
+/// the opcode byte (kDeadlineFlag) is set, a `deadline_ms u32` follows it —
+/// the server's time budget from the moment it parses the request. v1 frames
+/// (flag clear, no deadline word) still parse unchanged, and a v2 encoder
+/// only sets the flag when a deadline is present, so v1 servers keep working
+/// for deadline-free clients.
 ///
 /// Opcodes and bodies:
 ///
@@ -45,6 +52,10 @@ namespace t2vec::serve {
 
 /// Frame magic "T2RP" little-endian.
 inline constexpr uint32_t kProtocolMagic = 0x5052'3254;
+/// v2: optional per-request deadline_ms behind kDeadlineFlag.
+inline constexpr uint32_t kProtocolVersion = 2;
+/// High bit of the request opcode byte: a deadline_ms u32 follows.
+inline constexpr uint8_t kDeadlineFlag = 0x80;
 /// [magic][payload_len][crc] before the payload.
 inline constexpr size_t kFrameHeaderBytes = 12;
 /// Upper bound on a frame payload; larger lengths mark the frame corrupt.
@@ -80,6 +91,10 @@ struct Request {
   Opcode opcode = Opcode::kStats;
   traj::Trajectory trajectory;  ///< encode / insert / knn.
   uint32_t k = 0;               ///< knn only.
+  bool has_deadline = false;    ///< kDeadlineFlag was (or will be) set.
+  /// Server-side budget in milliseconds from request parse, meaningful only
+  /// when has_deadline; 0 means already expired (useful in tests).
+  uint32_t deadline_ms = 0;
 };
 
 std::string EncodeRequest(const Request& request);

@@ -4,43 +4,38 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <utility>
 
 #include "common/fs.h"
+#include "serve/net.h"
 
 namespace t2vec::serve {
 
 namespace {
 
-/// Writes all of `data` to `fd`. MSG_NOSIGNAL: a peer that hangs up
-/// mid-response must produce an error return, not SIGPIPE.
-bool SendAll(int fd, std::string_view data) {
-  const char* p = data.data();
-  size_t n = data.size();
-  while (n > 0) {
-    const ssize_t sent = ::send(fd, p, n, MSG_NOSIGNAL);
-    if (sent < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    p += sent;
-    n -= static_cast<size_t>(sent);
-  }
-  return true;
-}
-
 /// Best-effort opcode sniff for error responses to unparseable requests.
 Opcode SniffOpcode(std::string_view payload) {
   if (!payload.empty()) {
-    const uint8_t op = static_cast<uint8_t>(payload[0]);
+    const uint8_t op =
+        static_cast<uint8_t>(payload[0]) & static_cast<uint8_t>(~kDeadlineFlag);
     if (op >= static_cast<uint8_t>(Opcode::kEncode) &&
         op <= static_cast<uint8_t>(Opcode::kStats)) {
       return static_cast<Opcode>(op);
     }
   }
   return Opcode::kStats;
+}
+
+/// Accept errors that mean "this connection attempt failed", not "the
+/// listener is broken" — the accept loop must survive them (a process-wide
+/// fd exhaustion spike, an aborted handshake) instead of silently ending.
+bool TransientAcceptError(int err) {
+  return err == EINTR || err == ECONNABORTED || err == EAGAIN ||
+         err == EWOULDBLOCK || err == EMFILE || err == ENFILE ||
+         err == ENOBUFS || err == ENOMEM || err == EPROTO;
 }
 
 }  // namespace
@@ -102,10 +97,23 @@ void TcpServer::Stop() {
   // accept_thread_ outside any lock, which was exactly that double-join.
   sync::MutexLock join_lock(&join_mu_);
   if (accept_thread_.joinable()) accept_thread_.join();
-  {
-    sync::MutexLock lock(&conn_mu_);
-    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  // Graceful drain: SHUT_RD makes each connection's next recv return 0, so
+  // its thread finishes the in-flight request (the write side still works
+  // for the response) and exits on its own.
+  const auto drain_deadline = NetClock::now() + options_.drain_timeout;
+  conn_mu_.Lock();
+  draining_ = true;
+  for (int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+  while (!conn_fds_.empty()) {
+    if (conn_cv_.WaitUntil(&conn_mu_, drain_deadline) ==
+        std::cv_status::timeout) {
+      break;
+    }
   }
+  // Past the deadline: cut the write side too, failing any in-flight send
+  // so the straggler threads exit now.
+  for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  conn_mu_.Unlock();
   // Connection threads remove themselves from conn_fds_ and exit once their
   // recv fails; joining outside the lock lets them do so.
   std::vector<std::thread> threads;
@@ -124,11 +132,11 @@ void TcpServer::Stop() {
 
 void TcpServer::AcceptLoop() {
   for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = NetAccept(listen_fd_);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      // Stop() shut the listener down (or the fd broke); either way the
-      // accept loop is done.
+      if (stopping_.load()) return;
+      if (TransientAcceptError(errno)) continue;
+      // The listener itself broke; the accept loop is done.
       return;
     }
     if (stopping_.load()) {
@@ -136,23 +144,58 @@ void TcpServer::AcceptLoop() {
       return;
     }
     metrics_.connections.Increment();
-    sync::MutexLock lock(&conn_mu_);
-    conn_fds_.insert(fd);
-    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+    bool reject = false;
+    {
+      sync::MutexLock lock(&conn_mu_);
+      if (conn_fds_.size() >= options_.max_connections) {
+        reject = true;
+      } else {
+        conn_fds_.insert(fd);
+        conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+      }
+    }
+    if (reject) RejectConnection(fd);
   }
+}
+
+void TcpServer::RejectConnection(int fd) {
+  metrics_.rejected_connections.Increment();
+  // Accept-then-reject: the peer gets a parseable kUnavailable response
+  // instead of a connection reset, so a well-behaved client backs off.
+  std::string out;
+  AppendFrame(
+      EncodeErrorResponse(
+          Opcode::kStats,
+          Status::Unavailable("server at max_connections (" +
+                              std::to_string(options_.max_connections) + ")")),
+      &out);
+  int err = 0;
+  (void)NetSendAll(fd, out, NetClock::now() + options_.send_timeout, &err);
+  ::close(fd);
 }
 
 void TcpServer::ServeConnection(int fd) {
   std::string buffer;
   char chunk[1 << 16];
-  bool corrupt = false;
-  while (!corrupt) {
-    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (got < 0 && errno == EINTR) continue;
-    if (got <= 0) break;  // Peer closed, or Stop() shut us down.
-    buffer.append(chunk, static_cast<size_t>(got));
+  bool fatal = false;
+  auto idle_deadline = NetClock::now() + options_.idle_timeout;
+  // Armed at the first byte of a partial frame: the whole frame must land
+  // within read_timeout, however slowly the peer dribbles.
+  auto frame_deadline = kNoDeadline;
+  while (!fatal) {
+    size_t got = 0;
+    int err = 0;
+    const IoStatus recv_status = NetRecv(
+        fd, chunk, sizeof(chunk), std::min(idle_deadline, frame_deadline),
+        &got, &err);
+    if (recv_status == IoStatus::kTimeout) {
+      metrics_.timeouts.Increment();
+      break;
+    }
+    if (recv_status != IoStatus::kOk) break;  // Peer closed, or socket error.
+    buffer.append(chunk, got);
     // Drain every complete frame in the buffer before the next recv.
-    for (;;) {
+    while (!fatal) {
       std::string payload;
       size_t consumed = 0;
       const FrameStatus frame = ParseFrame(buffer, &payload, &consumed);
@@ -162,45 +205,69 @@ void TcpServer::ServeConnection(int fd) {
         // point, so the only safe answer is to drop this connection. Other
         // connections and the store are unaffected.
         metrics_.corrupt_frames.Increment();
-        corrupt = true;
+        fatal = true;
         break;
       }
       buffer.erase(0, consumed);
-      const auto start = std::chrono::steady_clock::now();
+      const auto start = NetClock::now();
       const std::string response = HandleRequest(payload);
       std::string out;
       out.reserve(kFrameHeaderBytes + response.size());
       AppendFrame(response, &out);
-      const bool sent = SendAll(fd, out);
+      const IoStatus sent =
+          NetSendAll(fd, out, NetClock::now() + options_.send_timeout, &err);
       metrics_.request_us.Observe(
           std::chrono::duration_cast<std::chrono::microseconds>(
-              std::chrono::steady_clock::now() - start)
+              NetClock::now() - start)
               .count());
-      if (!sent) {
-        corrupt = true;
-        break;
+      if (sent != IoStatus::kOk) {
+        if (sent == IoStatus::kTimeout) {
+          metrics_.timeouts.Increment();
+        } else {
+          metrics_.send_errors.Increment();
+        }
+        fatal = true;
       }
     }
+    if (buffer.empty()) {
+      frame_deadline = kNoDeadline;
+    } else if (frame_deadline == kNoDeadline) {
+      frame_deadline = NetClock::now() + options_.read_timeout;
+    }
+    idle_deadline = NetClock::now() + options_.idle_timeout;
   }
   {
     sync::MutexLock lock(&conn_mu_);
     conn_fds_.erase(fd);
+    if (draining_) metrics_.drained_connections.Increment();
+    conn_cv_.NotifyAll();
   }
   ::close(fd);
 }
 
 std::string TcpServer::HandleRequest(std::string_view payload) {
   metrics_.requests.Increment();
+  const auto received = EmbeddingService::Clock::now();
   Result<Request> parsed = ParseRequest(payload);
   if (!parsed.ok()) {
     metrics_.errors.Increment();
     return EncodeErrorResponse(SniffOpcode(payload), parsed.status());
   }
   const Request& request = parsed.value();
+  // The wire deadline is a budget from receipt; expired requests fail fast
+  // at every stage (batch assembly in the service, pre-fsync in the store).
+  const auto deadline =
+      request.has_deadline
+          ? received + std::chrono::milliseconds(request.deadline_ms)
+          : EmbeddingService::Clock::time_point::max();
+  const auto submit = [&] {
+    return request.has_deadline
+               ? service_.SubmitWithDeadline(request.trajectory, deadline)
+               : service_.Submit(request.trajectory);
+  };
   switch (request.opcode) {
     case Opcode::kEncode: {
-      EmbeddingService::EncodeResult encoded =
-          service_.Submit(request.trajectory).get();
+      EmbeddingService::EncodeResult encoded = submit().get();
       if (!encoded.ok()) {
         metrics_.errors.Increment();
         return EncodeErrorResponse(Opcode::kEncode, encoded.status());
@@ -208,16 +275,17 @@ std::string TcpServer::HandleRequest(std::string_view payload) {
       return EncodeEncodeResponse(encoded.value());
     }
     case Opcode::kInsert: {
-      EmbeddingService::EncodeResult encoded =
-          service_.Submit(request.trajectory).get();
+      EmbeddingService::EncodeResult encoded = submit().get();
       if (!encoded.ok()) {
         metrics_.errors.Increment();
         return EncodeErrorResponse(Opcode::kInsert, encoded.status());
       }
       // The WAL fsync inside Insert is the acknowledgment barrier: an OK
-      // response promises the vector survives a crash.
-      if (Status status =
-              store_->Insert(request.trajectory.id, encoded.value());
+      // response promises the vector survives a crash. Insert re-checks the
+      // deadline right before the append, so an expired request never pays
+      // for (or is surprised by) durability.
+      if (Status status = store_->Insert(request.trajectory.id,
+                                         encoded.value(), deadline);
           !status.ok()) {
         metrics_.errors.Increment();
         return EncodeErrorResponse(Opcode::kInsert, status);
@@ -225,11 +293,16 @@ std::string TcpServer::HandleRequest(std::string_view payload) {
       return EncodeInsertResponse(request.trajectory.id);
     }
     case Opcode::kKnn: {
-      EmbeddingService::EncodeResult encoded =
-          service_.Submit(request.trajectory).get();
+      EmbeddingService::EncodeResult encoded = submit().get();
       if (!encoded.ok()) {
         metrics_.errors.Increment();
         return EncodeErrorResponse(Opcode::kKnn, encoded.status());
+      }
+      if (request.has_deadline && EmbeddingService::Clock::now() >= deadline) {
+        metrics_.errors.Increment();
+        return EncodeErrorResponse(
+            Opcode::kKnn,
+            Status::DeadlineExceeded("knn: deadline passed after encode"));
       }
       return EncodeKnnResponse(store_->Knn(encoded.value(), request.k));
     }
@@ -248,6 +321,12 @@ std::string TcpServer::StatsJson() const {
   json += ", \"errors\": " + std::to_string(metrics_.errors.value());
   json += ", \"corrupt_frames\": " +
           std::to_string(metrics_.corrupt_frames.value());
+  json += ", \"send_errors\": " + std::to_string(metrics_.send_errors.value());
+  json += ", \"timeouts\": " + std::to_string(metrics_.timeouts.value());
+  json += ", \"rejected_connections\": " +
+          std::to_string(metrics_.rejected_connections.value());
+  json += ", \"drained_connections\": " +
+          std::to_string(metrics_.drained_connections.value());
   json += ", \"request_latency_us\": " + metrics_.request_us.ToJson();
   json += "}, \"service\": " + service_.metrics().ToJson();
   json += ", \"store\": {";

@@ -2,6 +2,7 @@
 #define T2VEC_SERVE_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -28,6 +29,12 @@
 /// response, corrupt frames drop only their own connection, store/service
 /// errors are relayed with their Status intact, and nothing a client sends
 /// can abort the process (tests/server_test.cc fuzzes exactly this).
+///
+/// Overload governance (DESIGN.md §8.4): connections beyond max_connections
+/// are accepted, answered with one kUnavailable frame, and closed; a
+/// connection that stays silent past idle_timeout or dribbles a frame past
+/// read_timeout is reaped; Stop() drains — it stops accepting, gives
+/// in-flight requests drain_timeout to finish, then force-closes.
 
 namespace t2vec::serve {
 
@@ -37,6 +44,22 @@ struct ServerOptions {
   uint16_t port = 0;
   /// Micro-batcher tuning for the embedded EmbeddingService.
   ServiceOptions service;
+  /// Hard cap on live connections. The one-past-the-cap connection is
+  /// accepted, sent a single kUnavailable response frame, and closed —
+  /// accept-then-reject, so the client sees a Status instead of a SYN
+  /// backlog stall.
+  size_t max_connections = 64;
+  /// A connection with no buffered bytes and nothing arriving for this long
+  /// is reaped (half-open peers, silent clients).
+  std::chrono::milliseconds idle_timeout{30'000};
+  /// A started frame must complete within this budget — measured from its
+  /// first byte — or the connection is reaped (slowloris dribblers).
+  std::chrono::milliseconds read_timeout{5'000};
+  /// Budget for writing one response before the connection is dropped.
+  std::chrono::milliseconds send_timeout{5'000};
+  /// How long Stop() lets in-flight connections finish before force-closing
+  /// them.
+  std::chrono::milliseconds drain_timeout{2'000};
 };
 
 /// Request-level counters, separate from the service's ServeMetrics.
@@ -45,6 +68,10 @@ struct ServerMetrics {
   Counter requests;        ///< Complete frames dispatched.
   Counter errors;          ///< Requests answered with a non-OK status.
   Counter corrupt_frames;  ///< Connections dropped on framing corruption.
+  Counter send_errors;     ///< Responses lost to a send failure/hangup.
+  Counter timeouts;        ///< Connections reaped by idle/read/send timeout.
+  Counter rejected_connections;  ///< Over-cap accepts answered kUnavailable.
+  Counter drained_connections;   ///< Connections that exited during drain.
 
   Histogram request_us{LatencyBucketsUs()};  ///< Frame in -> response out.
 };
@@ -65,8 +92,9 @@ class TcpServer {
   /// Binds, listens, and starts accepting. IoError when the port is taken.
   Status Start();
 
-  /// Stops accepting, disconnects every client, joins all threads.
-  /// Idempotent; called by the destructor.
+  /// Stops accepting, drains in-flight connections up to drain_timeout,
+  /// force-closes the stragglers, joins all threads. Idempotent; called by
+  /// the destructor.
   void Stop();
 
   /// The bound port (resolves port 0 to the ephemeral choice).
@@ -81,6 +109,8 @@ class TcpServer {
  private:
   void AcceptLoop();
   void ServeConnection(int fd);
+  /// Accept-then-reject: one kUnavailable frame, best effort, then close.
+  void RejectConnection(int fd);
   /// Dispatches one request payload, returns the response payload.
   std::string HandleRequest(std::string_view payload);
 
@@ -100,8 +130,14 @@ class TcpServer {
   /// idempotent and safe to race with itself (and with the destructor).
   sync::Mutex join_mu_ ACQUIRED_BEFORE(conn_mu_);
   sync::Mutex conn_mu_;
+  /// Signaled whenever a connection unregisters; Stop()'s drain waits on it
+  /// for conn_fds_ to empty.
+  sync::CondVar conn_cv_;
   std::unordered_set<int> conn_fds_ GUARDED_BY(conn_mu_);
   std::vector<std::thread> conn_threads_ GUARDED_BY(conn_mu_);
+  /// Set by Stop() before the drain wait; connections that exit while it is
+  /// set count as drained rather than dropped.
+  bool draining_ GUARDED_BY(conn_mu_) = false;
   std::thread accept_thread_;
 };
 

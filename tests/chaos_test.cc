@@ -1,0 +1,279 @@
+// Chaos soak for the serving stack: several RetryingClients hammer a
+// TcpServer with mixed insert/knn/encode traffic while a conductor arms
+// randomized socket faults (periodic injected errnos plus short reads and
+// writes), one-shot WAL faults, and bounces the whole server — store closed,
+// WAL replayed, same port — in the middle of the run.
+//
+// Invariants asserted, per ISSUE (overload-safe serving):
+//   1. The process never dies and every client op reaches a terminal Status
+//      (ok or error) — no hangs, no exhausted-retry loops that spin forever.
+//   2. Acked inserts are durable: every id a client saw OK for is present in
+//      the store reopened after the final shutdown (acked ⊆ store), and the
+//      store holds nothing that was never attempted (store ⊆ attempted).
+//   3. Replay determinism survives chaos: the reopened store's Save artifact
+//      is byte-identical to a fault-free store built by inserting the same
+//      ids (in the same order) with vectors from T2Vec::EncodeOne — the
+//      service's encode path is bit-identical to EncodeOne by contract, so
+//      any divergence means a fault corrupted a vector or reordered replay.
+//
+// The fault schedule derives from common/rng.h seeded with T2VEC_CHAOS_SEED
+// (default 1): same seed, same chaos. tools/check.sh and CI run a small seed
+// matrix so every gate exercises several schedules.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/fs.h"
+#include "common/rng.h"
+#include "core/t2vec.h"
+#include "eval/experiments.h"
+#include "serve/client.h"
+#include "serve/durable_store.h"
+#include "serve/server.h"
+#include "traj/generator.h"
+
+namespace t2vec::serve {
+namespace {
+
+using std::chrono::milliseconds;
+
+constexpr int kClients = 4;
+constexpr int kOpsPerClient = 24;
+
+uint64_t ChaosSeed() {
+  const char* env = std::getenv("T2VEC_CHAOS_SEED");
+  if (env == nullptr || *env == '\0') return 1;
+  return std::strtoull(env, nullptr, 10);
+}
+
+class ChaosTest : public ::testing::Test {
+ public:
+  // Public (not the usual protected) so the free-function worker threads
+  // below can share the fixture's model and trip pool.
+  static const core::T2Vec& Model() {
+    static core::T2Vec* model = [] {
+      const eval::ExperimentData data =
+          eval::MakeData(eval::DatasetKind::kPortoLike, 120, 0);
+      core::T2VecConfig config;
+      config.hidden = 24;
+      config.embed_dim = 16;
+      config.layers = 1;
+      config.max_iterations = 8;
+      config.validate_every = 100;
+      config.pretrain_epochs = 1;
+      config.r1_grid = {0.0, 0.4};
+      config.r2_grid = {0.0};
+      return new core::T2Vec(
+          core::T2Vec::Train(data.train.trajectories(), config));
+    }();
+    return *model;
+  }
+
+  static const traj::Dataset& Trips() {
+    static traj::Dataset* trips = [] {
+      traj::SyntheticTrajectoryGenerator generator(
+          traj::GeneratorConfig::PortoLike());
+      return new traj::Dataset(generator.Generate(30));
+    }();
+    return *trips;
+  }
+
+  static std::string FreshDir(const std::string& name) {
+    const std::string dir = ::testing::TempDir() + "chaos_test_" + name;
+    (void)MakeDir(dir);
+    std::remove((dir + "/store.snapshot").c_str());
+    std::remove((dir + "/wal.log").c_str());
+    return dir;
+  }
+
+  /// The trajectory a client inserts under `id` — recomputable from the id
+  /// alone, which is what lets the fault-free rebuild reproduce the store.
+  static traj::Trajectory TripFor(int64_t id) {
+    traj::Trajectory trip =
+        Trips()[static_cast<size_t>(id) % Trips().size()];
+    trip.id = id;
+    return trip;
+  }
+
+ protected:
+  void TearDown() override { fault::DisarmAll(); }
+};
+
+struct WorkerReport {
+  std::vector<int64_t> attempted;  ///< Insert ids put on the wire.
+  std::vector<int64_t> acked;      ///< Insert ids the server answered OK.
+  int terminal_ops = 0;            ///< Ops that returned any Status at all.
+};
+
+/// One client: a deterministic op mix (insert every third op, knn and
+/// encode between) with generous retries — the point is to survive the
+/// chaos, and every op must come back with *some* terminal answer.
+void RunWorker(int index, uint16_t port, WorkerReport* report) {
+  RetryOptions retry;
+  retry.max_attempts = 10;
+  retry.initial_backoff = milliseconds(10);
+  retry.max_backoff = milliseconds(200);
+  retry.jitter_seed = 100 + static_cast<uint64_t>(index);
+  RetryingClient client("127.0.0.1", port, retry);
+  for (int i = 0; i < kOpsPerClient; ++i) {
+    const traj::Trajectory trip =
+        ChaosTest::Trips()[static_cast<size_t>(index * 7 + i) %
+                           ChaosTest::Trips().size()];
+    switch (i % 3) {
+      case 0: {
+        const int64_t id = index * 1000 + i;
+        report->attempted.push_back(id);
+        Result<int64_t> inserted = client.Insert(ChaosTest::TripFor(id));
+        if (inserted.ok()) report->acked.push_back(id);
+        break;
+      }
+      case 1: {
+        Result<EmbeddingStore::Neighbors> near =
+            client.Knn(trip, 3, /*deadline_ms=*/10'000);
+        (void)near;  // ok or terminal error — both acceptable under chaos.
+        break;
+      }
+      default: {
+        Result<std::vector<float>> vec = client.Encode(trip);
+        (void)vec;
+        break;
+      }
+    }
+    ++report->terminal_ops;
+  }
+}
+
+TEST_F(ChaosTest, ServingSurvivesSocketFaultsWalFaultsAndARestart) {
+  const uint64_t seed = ChaosSeed();
+  SCOPED_TRACE("T2VEC_CHAOS_SEED=" + std::to_string(seed));
+  Rng rng(seed);
+
+  const std::string dir = FreshDir("soak_" + std::to_string(seed));
+  Result<std::unique_ptr<DurableStore>> opened =
+      DurableStore::Open(dir, Model().config().hidden);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<DurableStore> store = std::move(opened).value();
+  auto server = std::make_unique<TcpServer>(&Model(), store.get());
+  ASSERT_TRUE(server->Start().ok());
+  const uint16_t port = server->port();
+
+  std::vector<WorkerReport> reports(kClients);
+  std::vector<std::thread> workers;
+  workers.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    workers.emplace_back(RunWorker, c, port, &reports[c]);
+  }
+
+  // The conductor (this thread): two fault phases around a full server
+  // bounce. Sites and periods come from the seeded rng — deterministic per
+  // seed, different across the seed matrix.
+  const char* kNetSites[] = {"net.recv", "net.send", "net.recv.short",
+                             "net.send.short", "net.connect"};
+  const int kNetErrnos[] = {ECONNRESET, EPIPE, ETIMEDOUT, ECONNABORTED};
+  for (int phase = 0; phase < 2; ++phase) {
+    // Two or three periodic socket faults...
+    const int sites = 2 + static_cast<int>(rng.UniformInt(2));
+    for (int s = 0; s < sites; ++s) {
+      const auto& site = kNetSites[rng.UniformInt(std::size(kNetSites))];
+      fault::ArmEvery(site, 4 + rng.UniformInt(6),
+                      kNetErrnos[rng.UniformInt(std::size(kNetErrnos))]);
+    }
+    // ...plus a one-shot WAL failure: some insert will be answered kIoError
+    // without ever becoming durable, and the retrying client re-drives it.
+    fault::Arm("wal.append", 1 + rng.UniformInt(4), EIO);
+    fault::Arm("net.accept", 2 + rng.UniformInt(4), EMFILE);
+    std::this_thread::sleep_for(milliseconds(400));
+    // Disarm before touching the store: the restart's WAL replay must not
+    // eat an injected fault meant for the serving path.
+    fault::DisarmAll();
+
+    if (phase == 0) {
+      // Mid-run kill: drain the server, close the store (releasing the WAL
+      // fd), replay it from disk, and come back on the same port while the
+      // clients' retries ride out the outage.
+      server.reset();
+      store.reset();
+      Result<std::unique_ptr<DurableStore>> reopened =
+          DurableStore::Open(dir, Model().config().hidden);
+      ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+      store = std::move(reopened).value();
+      ServerOptions options;
+      options.port = port;
+      server = std::make_unique<TcpServer>(&Model(), store.get(), options);
+      ASSERT_TRUE(server->Start().ok());
+    }
+  }
+
+  for (std::thread& worker : workers) worker.join();
+  fault::DisarmAll();
+
+  // 1. Liveness: the server answered (with something) to the very end, and
+  //    every op on every client reached a terminal Status.
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(reports[c].terminal_ops, kOpsPerClient) << "client " << c;
+  }
+
+  // Final shutdown + replay: this store is the ground truth below.
+  server.reset();
+  store.reset();
+  Result<std::unique_ptr<DurableStore>> replayed =
+      DurableStore::Open(dir, Model().config().hidden);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  const std::vector<int64_t> stored_ids = replayed.value()->Ids();
+  const std::set<int64_t> stored(stored_ids.begin(), stored_ids.end());
+
+  // 2. Acked ⊆ store: an OK insert means the WAL fsync happened, so no
+  //    amount of socket chaos or restarting may lose it. Store ⊆ attempted:
+  //    replay invented nothing (un-acked ids are allowed — a lost ack after
+  //    the fsync — but unknown ids are corruption).
+  std::set<int64_t> attempted;
+  for (const WorkerReport& report : reports) {
+    attempted.insert(report.attempted.begin(), report.attempted.end());
+    for (int64_t id : report.acked) {
+      EXPECT_TRUE(stored.count(id) > 0) << "acked insert lost: id " << id;
+    }
+  }
+  for (int64_t id : stored_ids) {
+    EXPECT_TRUE(attempted.count(id) > 0) << "store invented id " << id;
+  }
+  EXPECT_FALSE(stored_ids.empty());  // The soak must have landed something.
+
+  // 3. Byte-identity: rebuild the same ids, in replay order, in a fresh
+  //    fault-free store from EncodeOne vectors, and memcmp the two Save
+  //    artifacts. This is the wal_test kill-and-replay contract extended
+  //    across socket faults and a live restart.
+  const std::string chaos_save = dir + "/chaos.save";
+  ASSERT_TRUE(replayed.value()->SaveTo(chaos_save).ok());
+  const std::string clean_dir =
+      FreshDir("clean_" + std::to_string(seed));
+  Result<std::unique_ptr<DurableStore>> clean =
+      DurableStore::Open(clean_dir, Model().config().hidden);
+  ASSERT_TRUE(clean.ok());
+  for (int64_t id : stored_ids) {
+    const std::vector<float> vec = Model().EncodeOne(TripFor(id));
+    ASSERT_TRUE(clean.value()->Insert(id, vec).ok()) << "id " << id;
+  }
+  const std::string clean_save = clean_dir + "/clean.save";
+  ASSERT_TRUE(clean.value()->SaveTo(clean_save).ok());
+  std::string chaos_bytes;
+  std::string clean_bytes;
+  ASSERT_TRUE(ReadFileToString(chaos_save, &chaos_bytes).ok());
+  ASSERT_TRUE(ReadFileToString(clean_save, &clean_bytes).ok());
+  ASSERT_EQ(chaos_bytes.size(), clean_bytes.size());
+  EXPECT_TRUE(chaos_bytes == clean_bytes)
+      << "post-chaos replay diverged from the fault-free rebuild";
+}
+
+}  // namespace
+}  // namespace t2vec::serve

@@ -143,6 +143,25 @@ TEST_F(FsTest, ArmFromSpecParsesTriples) {
   EXPECT_FALSE(fault::ArmFromSpec("missing-fields"));
   EXPECT_FALSE(fault::ArmFromSpec("site:1:EBOGUS"));
   EXPECT_FALSE(fault::ArmFromSpec("site:notanum:5"));
+  EXPECT_FALSE(fault::ArmFromSpec("site:*:EIO"));  // Bare star: no period.
+}
+
+TEST_F(FsTest, PeriodicArmFiresOnEveryNthHit) {
+  fault::ArmEvery("test.periodic", 3, EIO);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(T2VEC_FAULT_POINT("test.periodic"), 0) << round;
+    EXPECT_EQ(T2VEC_FAULT_POINT("test.periodic"), 0) << round;
+    EXPECT_EQ(T2VEC_FAULT_POINT("test.periodic"), EIO) << round;
+  }
+  EXPECT_EQ(fault::HitCount("test.periodic"), 9u);
+}
+
+TEST_F(FsTest, ArmFromSpecParsesPeriodicSites) {
+  EXPECT_TRUE(fault::ArmFromSpec("test.rate:*2:ECONNRESET"));
+  EXPECT_EQ(T2VEC_FAULT_POINT("test.rate"), 0);
+  EXPECT_EQ(T2VEC_FAULT_POINT("test.rate"), ECONNRESET);
+  EXPECT_EQ(T2VEC_FAULT_POINT("test.rate"), 0);
+  EXPECT_EQ(T2VEC_FAULT_POINT("test.rate"), ECONNRESET);
 }
 
 TEST_F(FsTest, DisarmedFaultPointIsANoop) {

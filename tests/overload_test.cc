@@ -1,0 +1,604 @@
+// Overload-governance tests (serve/server.h + serve/client.h + serve/net.h):
+// hostile peers — a silent client, a one-byte-per-tick slowloris dribbler, a
+// mid-response disconnect — are reaped or contained without touching other
+// connections; the max_connections cap answers kUnavailable; wire-level
+// deadlines (protocol v2) expire before the encode and before the WAL
+// append; TcpClient times out against dead or hung servers instead of
+// blocking forever; and RetryingClient reconnects, backs off with
+// deterministic jitter, and maps a lost insert ack onto the store's
+// duplicate-id reply.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/fs.h"
+#include "core/t2vec.h"
+#include "eval/experiments.h"
+#include "serve/client.h"
+#include "serve/durable_store.h"
+#include "serve/net.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "traj/generator.h"
+
+namespace t2vec::serve {
+namespace {
+
+using std::chrono::milliseconds;
+
+class OverloadTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::DisarmAll(); }
+
+  static const core::T2Vec& Model() {
+    static core::T2Vec* model = [] {
+      const eval::ExperimentData data =
+          eval::MakeData(eval::DatasetKind::kPortoLike, 120, 0);
+      core::T2VecConfig config;
+      config.hidden = 24;
+      config.embed_dim = 16;
+      config.layers = 1;
+      config.max_iterations = 8;
+      config.validate_every = 100;
+      config.pretrain_epochs = 1;
+      config.r1_grid = {0.0, 0.4};
+      config.r2_grid = {0.0};
+      return new core::T2Vec(
+          core::T2Vec::Train(data.train.trajectories(), config));
+    }();
+    return *model;
+  }
+
+  static const traj::Dataset& Trips() {
+    static traj::Dataset* trips = [] {
+      traj::SyntheticTrajectoryGenerator generator(
+          traj::GeneratorConfig::PortoLike());
+      return new traj::Dataset(generator.Generate(30));
+    }();
+    return *trips;
+  }
+
+  static std::string FreshDir(const std::string& name) {
+    const std::string dir = ::testing::TempDir() + "overload_test_" + name;
+    (void)MakeDir(dir);
+    std::remove((dir + "/store.snapshot").c_str());
+    std::remove((dir + "/wal.log").c_str());
+    return dir;
+  }
+};
+
+/// A raw connected socket with a bounded recv, for playing hostile peer.
+int RawConnect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  timeval timeout{};
+  timeout.tv_sec = 10;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  return fd;
+}
+
+/// Blocks (bounded by SO_RCVTIMEO) until the server closes `fd`; returns the
+/// wait in milliseconds, or -1 if the socket did not close in time.
+int64_t MillisUntilClosed(int fd) {
+  const auto start = std::chrono::steady_clock::now();
+  char sink[4096];
+  for (;;) {
+    const ssize_t got = ::recv(fd, sink, sizeof(sink), 0);
+    if (got == 0 || (got < 0 && errno != EINTR)) break;
+    if (got < 0) continue;
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration_cast<milliseconds>(elapsed).count();
+}
+
+/// Sends one already-encoded request payload on a raw socket and parses the
+/// single response frame — the only way to ship wire encodings TcpClient
+/// refuses to produce (e.g. a flagged deadline of 0 ms).
+Result<Response> RawCall(uint16_t port, const std::string& payload) {
+  const int fd = RawConnect(port);
+  std::string wire;
+  AppendFrame(payload, &wire);
+  EXPECT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(wire.size()));
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    std::string response_payload;
+    size_t consumed = 0;
+    const FrameStatus status = ParseFrame(buffer, &response_payload, &consumed);
+    if (status == FrameStatus::kCorrupt) {
+      ::close(fd);
+      return Status::IoError("RawCall: corrupt response frame");
+    }
+    if (status == FrameStatus::kOk) {
+      ::close(fd);
+      return ParseResponse(response_payload);
+    }
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got <= 0) {
+      ::close(fd);
+      return Status::IoError("RawCall: connection closed before response");
+    }
+    buffer.append(chunk, static_cast<size_t>(got));
+  }
+}
+
+// --- Protocol v2: the deadline field ---------------------------------------
+
+TEST_F(OverloadTest, DeadlineFieldRoundTrips) {
+  Request request;
+  request.opcode = Opcode::kKnn;
+  request.trajectory = Trips()[0];
+  request.k = 3;
+  request.has_deadline = true;
+  request.deadline_ms = 1500;
+  Result<Request> parsed = ParseRequest(EncodeRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed.value().has_deadline);
+  EXPECT_EQ(parsed.value().deadline_ms, 1500u);
+  EXPECT_EQ(parsed.value().opcode, Opcode::kKnn);
+  EXPECT_EQ(parsed.value().k, 3u);
+}
+
+TEST_F(OverloadTest, DeadlineFreeRequestsStayV1ByteIdentical) {
+  // A request without a deadline must not set the flag — the v2 encoder
+  // emits exactly the v1 bytes, so old servers keep parsing it.
+  Request request;
+  request.opcode = Opcode::kStats;
+  const std::string payload = EncodeRequest(request);
+  ASSERT_FALSE(payload.empty());
+  EXPECT_EQ(static_cast<uint8_t>(payload[0]) & kDeadlineFlag, 0);
+  Result<Request> parsed = ParseRequest(payload);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed.value().has_deadline);
+}
+
+TEST_F(OverloadTest, FlaggedRequestWithTruncatedDeadlineFailsSoft) {
+  std::string payload;
+  payload.push_back(static_cast<char>(static_cast<uint8_t>(Opcode::kStats) |
+                                      kDeadlineFlag));
+  payload.push_back('\x01');  // Two of the four deadline bytes.
+  payload.push_back('\x00');
+  Result<Request> parsed = ParseRequest(payload);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kIoError);
+}
+
+// --- Hostile peers ----------------------------------------------------------
+
+TEST_F(OverloadTest, SilentIdleClientIsReapedOthersUnaffected) {
+  const std::string dir = FreshDir("idle");
+  Result<std::unique_ptr<DurableStore>> store =
+      DurableStore::Open(dir, Model().config().hidden);
+  ASSERT_TRUE(store.ok());
+  ServerOptions options;
+  options.idle_timeout = milliseconds(500);
+  TcpServer server(&Model(), store.value().get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int idle_fd = RawConnect(server.port());
+  // A live client keeps making requests across the idle window — activity
+  // is what must exempt it from the reaper.
+  Result<std::unique_ptr<TcpClient>> client =
+      TcpClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  std::atomic<bool> reaping_done{false};
+  int live_calls_ok = 0;
+  std::thread pinger([&] {
+    while (!reaping_done.load()) {
+      Result<std::string> ping = client.value()->Stats();
+      ASSERT_TRUE(ping.ok()) << "live connection broken during reap: "
+                             << ping.status().ToString();
+      ++live_calls_ok;
+      std::this_thread::sleep_for(milliseconds(100));
+    }
+  });
+
+  // The acceptance bar: reaped within 2x the idle timeout.
+  const int64_t reap_ms = MillisUntilClosed(idle_fd);
+  reaping_done.store(true);
+  pinger.join();
+  ::close(idle_fd);
+  EXPECT_GE(reap_ms, 0);
+  EXPECT_LE(reap_ms, 2 * 500);
+  EXPECT_GE(server.metrics().timeouts.value(), 1);
+
+  // The well-behaved connection lived through the reaping, on both sides of
+  // it: it kept answering during the wait and still answers now.
+  EXPECT_GE(live_calls_ok, 2);
+  Result<std::string> stats = client.value()->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_NE(stats.value().find("\"timeouts\": "), std::string::npos);
+}
+
+TEST_F(OverloadTest, SlowLorisDribbleIsReaped) {
+  const std::string dir = FreshDir("slowloris");
+  Result<std::unique_ptr<DurableStore>> store =
+      DurableStore::Open(dir, Model().config().hidden);
+  ASSERT_TRUE(store.ok());
+  ServerOptions options;
+  options.idle_timeout = milliseconds(60'000);  // Idle reap must not fire.
+  options.read_timeout = milliseconds(400);
+  TcpServer server(&Model(), store.value().get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Dribble a valid stats request one byte per 100 ms: every byte resets an
+  // idle clock, but the frame clock runs from the first byte.
+  std::string wire;
+  AppendFrame(EncodeRequest(Request{}), &wire);
+  const int fd = RawConnect(server.port());
+  const auto start = std::chrono::steady_clock::now();
+  bool server_hung_up = false;
+  for (char byte : wire) {
+    if (::send(fd, &byte, 1, MSG_NOSIGNAL) != 1) {
+      server_hung_up = true;
+      break;
+    }
+    std::this_thread::sleep_for(milliseconds(100));
+  }
+  // Either the send already failed, or the next recv observes the close.
+  const int64_t reap_ms = MillisUntilClosed(fd);
+  const auto total = std::chrono::duration_cast<milliseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  ::close(fd);
+  EXPECT_GE(reap_ms, 0);
+  // The whole exchange ended within ~2x the read timeout, nowhere near the
+  // 23-byte x 100 ms the dribbler wanted (server_hung_up covers the send
+  // path noticing first).
+  EXPECT_LE(total, 2 * 400) << "server_hung_up=" << server_hung_up;
+  EXPECT_GE(server.metrics().timeouts.value(), 1);
+}
+
+TEST_F(OverloadTest, MidResponseDisconnectIsContained) {
+  const std::string dir = FreshDir("midresp");
+  Result<std::unique_ptr<DurableStore>> store =
+      DurableStore::Open(dir, Model().config().hidden);
+  ASSERT_TRUE(store.ok());
+  TcpServer server(&Model(), store.value().get());
+  ASSERT_TRUE(server.Start().ok());
+
+  // A peer that fires a valid insert (the encode gives the server work to
+  // do) and slams the door with an RST before the response can be sent.
+  // Repeat a few times — the race usually lands first try, but the
+  // assertion below only needs one send failure.
+  for (int i = 0; i < 5 && server.metrics().send_errors.value() == 0; ++i) {
+    Request request;
+    request.opcode = Opcode::kInsert;
+    request.trajectory = Trips()[static_cast<size_t>(i)];
+    request.trajectory.id = 9000 + i;
+    std::string wire;
+    AppendFrame(EncodeRequest(request), &wire);
+    const int fd = RawConnect(server.port());
+    ASSERT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(wire.size()));
+    linger hard{};
+    hard.l_onoff = 1;
+    hard.l_linger = 0;  // close() -> RST, not FIN.
+    (void)::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+    ::close(fd);
+    std::this_thread::sleep_for(milliseconds(200));
+  }
+  EXPECT_GE(server.metrics().send_errors.value(), 1);
+
+  // The process and the listener survived; a fresh client works.
+  Result<std::unique_ptr<TcpClient>> client =
+      TcpClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  Result<std::string> stats = client.value()->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_NE(stats.value().find("\"send_errors\": "), std::string::npos);
+}
+
+// --- Connection governance --------------------------------------------------
+
+TEST_F(OverloadTest, OverCapConnectionGetsUnavailableFrame) {
+  const std::string dir = FreshDir("cap");
+  Result<std::unique_ptr<DurableStore>> store =
+      DurableStore::Open(dir, Model().config().hidden);
+  ASSERT_TRUE(store.ok());
+  ServerOptions options;
+  options.max_connections = 2;
+  TcpServer server(&Model(), store.value().get(), options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int held1 = RawConnect(server.port());
+  const int held2 = RawConnect(server.port());
+  // Give the accept loop a moment to register both before the third lands.
+  std::this_thread::sleep_for(milliseconds(100));
+
+  Result<std::unique_ptr<TcpClient>> over =
+      TcpClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(over.ok());
+  Result<std::string> rejected = over.value()->Stats();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(rejected.status().message().find("max_connections"),
+            std::string::npos);
+  EXPECT_GE(server.metrics().rejected_connections.value(), 1);
+
+  // Capacity returns when a held connection leaves.
+  ::close(held1);
+  Result<std::string> stats = Status::Unavailable("not tried");
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    Result<std::unique_ptr<TcpClient>> retry =
+        TcpClient::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(retry.ok());
+    stats = retry.value()->Stats();
+    if (stats.ok()) break;
+    std::this_thread::sleep_for(milliseconds(50));
+  }
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  ::close(held2);
+}
+
+TEST_F(OverloadTest, StopDrainsIdleConnectionsGracefully) {
+  const std::string dir = FreshDir("drain");
+  Result<std::unique_ptr<DurableStore>> store =
+      DurableStore::Open(dir, Model().config().hidden);
+  ASSERT_TRUE(store.ok());
+  TcpServer server(&Model(), store.value().get());
+  ASSERT_TRUE(server.Start().ok());
+  Result<std::unique_ptr<TcpClient>> client =
+      TcpClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.value()->Stats().ok());
+
+  // Stop() with a live (idle) connection: the drain path shuts its read
+  // side, the connection thread exits on its own, and the exit is counted
+  // as drained, not dropped.
+  server.Stop();
+  EXPECT_GE(server.metrics().drained_connections.value(), 1);
+}
+
+TEST_F(OverloadTest, AcceptLoopSurvivesTransientAcceptFailure) {
+  const std::string dir = FreshDir("acceptfault");
+  Result<std::unique_ptr<DurableStore>> store =
+      DurableStore::Open(dir, Model().config().hidden);
+  ASSERT_TRUE(store.ok());
+  TcpServer server(&Model(), store.value().get());
+  ASSERT_TRUE(server.Start().ok());
+
+  // The old accept loop exited on ANY accept error, silently bricking the
+  // listener. Inject an fd-exhaustion error into the next accept and prove
+  // the loop keeps serving.
+  fault::Arm("net.accept", 1, EMFILE);
+  Result<std::unique_ptr<TcpClient>> client =
+      TcpClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  Result<std::string> stats = client.value()->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(fault::HitCount("net.accept"), 1u);
+}
+
+// --- Wire deadlines ---------------------------------------------------------
+
+TEST_F(OverloadTest, ExpiredInsertDeadlineNeverTouchesTheWal) {
+  const std::string dir = FreshDir("deadline_wal");
+  Result<std::unique_ptr<DurableStore>> store =
+      DurableStore::Open(dir, Model().config().hidden);
+  ASSERT_TRUE(store.ok());
+  TcpServer server(&Model(), store.value().get());
+  ASSERT_TRUE(server.Start().ok());
+  const uint64_t wal_before = store.value()->wal_bytes();
+
+  // A flagged deadline of 0 ms is expired on arrival: TcpClient never
+  // produces this encoding (deadline_ms = 0 means "none"), so ship it raw.
+  Request request;
+  request.opcode = Opcode::kInsert;
+  request.trajectory = Trips()[0];
+  request.trajectory.id = 4242;
+  request.has_deadline = true;
+  request.deadline_ms = 0;
+  Result<Response> response = RawCall(server.port(), EncodeRequest(request));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.value().status.code(), StatusCode::kDeadlineExceeded);
+
+  // The request died before durability: no WAL append, no store row.
+  EXPECT_EQ(store.value()->wal_bytes(), wal_before);
+  EXPECT_EQ(store.value()->size(), 0u);
+  EXPECT_FALSE(store.value()->Contains(4242));
+}
+
+TEST_F(OverloadTest, GenerousDeadlineRidesAlongAndSucceeds) {
+  const std::string dir = FreshDir("deadline_ok");
+  Result<std::unique_ptr<DurableStore>> store =
+      DurableStore::Open(dir, Model().config().hidden);
+  ASSERT_TRUE(store.ok());
+  TcpServer server(&Model(), store.value().get());
+  ASSERT_TRUE(server.Start().ok());
+  Result<std::unique_ptr<TcpClient>> client =
+      TcpClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  Result<int64_t> inserted =
+      client.value()->Insert(Trips()[1], /*deadline_ms=*/30'000);
+  ASSERT_TRUE(inserted.ok()) << inserted.status().ToString();
+  EXPECT_TRUE(store.value()->Contains(Trips()[1].id));
+  Result<EmbeddingStore::Neighbors> near =
+      client.value()->Knn(Trips()[1], 1, /*deadline_ms=*/30'000);
+  ASSERT_TRUE(near.ok()) << near.status().ToString();
+  ASSERT_EQ(near.value().size(), 1u);
+  EXPECT_EQ(near.value().ids[0], Trips()[1].id);
+}
+
+// --- Client timeouts and retries --------------------------------------------
+
+TEST_F(OverloadTest, ClientTimesOutAgainstHungServerInsteadOfBlocking) {
+  // A listener that never accepts: connect lands in the backlog and
+  // completes, but no response will ever come.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 8), 0);
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&bound), &len),
+            0);
+  const uint16_t port = ntohs(bound.sin_port);
+
+  TcpClient::Options options;
+  options.recv_timeout = milliseconds(300);
+  const auto start = std::chrono::steady_clock::now();
+  Result<std::unique_ptr<TcpClient>> client =
+      TcpClient::Connect("127.0.0.1", port, options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  Result<std::string> stats = client.value()->Stats();
+  const auto elapsed = std::chrono::duration_cast<milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(stats.status().message().find("recv"), std::string::npos);
+  EXPECT_LT(elapsed, 5'000);  // Bounded — the old client hung forever here.
+  ::close(listener);
+}
+
+TEST_F(OverloadTest, ConnectToDeadPortFailsFastNotForever) {
+  // Port from an immediately-closed listener: connect gets RST (refused).
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&bound), &len),
+            0);
+  const uint16_t dead_port = ntohs(bound.sin_port);
+  ::close(listener);
+
+  const auto start = std::chrono::steady_clock::now();
+  Result<std::unique_ptr<TcpClient>> client =
+      TcpClient::Connect("127.0.0.1", dead_port);
+  const auto elapsed = std::chrono::duration_cast<milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  ASSERT_FALSE(client.ok());
+  EXPECT_LT(elapsed, 5'000);
+}
+
+TEST_F(OverloadTest, RetryingClientRecoversALostInsertAck) {
+  const std::string dir = FreshDir("lost_ack");
+  Result<std::unique_ptr<DurableStore>> store =
+      DurableStore::Open(dir, Model().config().hidden);
+  ASSERT_TRUE(store.ok());
+  TcpServer server(&Model(), store.value().get());
+  ASSERT_TRUE(server.Start().ok());
+
+  RetryOptions retry;
+  retry.initial_backoff = milliseconds(5);
+  retry.jitter_seed = 7;
+  RetryingClient client("127.0.0.1", server.port(), retry);
+
+  // net.send hit 1 is this client's request frame; hit 2 is the server's
+  // response — the ack of an insert that was already fsynced. Killing hit 2
+  // reproduces exactly the lost-ack window.
+  traj::Trajectory trip = Trips()[2];
+  trip.id = 777;
+  fault::Arm("net.send", 2, EPIPE);
+  Result<int64_t> inserted = client.Insert(trip);
+  ASSERT_TRUE(inserted.ok()) << inserted.status().ToString();
+  EXPECT_EQ(inserted.value(), 777);
+  // The retry hit the duplicate-id answer and mapped it to success; the
+  // store holds exactly one copy.
+  EXPECT_GE(client.retries(), 1);
+  EXPECT_TRUE(store.value()->Contains(777));
+  EXPECT_EQ(store.value()->size(), 1u);
+}
+
+TEST_F(OverloadTest, RetryingClientRidesOutAServerRestart) {
+  const std::string dir = FreshDir("restart");
+  Result<std::unique_ptr<DurableStore>> store =
+      DurableStore::Open(dir, Model().config().hidden);
+  ASSERT_TRUE(store.ok());
+  auto server = std::make_unique<TcpServer>(&Model(), store.value().get());
+  ASSERT_TRUE(server->Start().ok());
+  const uint16_t port = server->port();
+
+  RetryOptions retry;
+  retry.max_attempts = 8;
+  retry.initial_backoff = milliseconds(20);
+  retry.max_backoff = milliseconds(200);
+  retry.jitter_seed = 11;
+  RetryingClient client("127.0.0.1", port, retry);
+  ASSERT_TRUE(client.Insert(Trips()[3]).ok());
+
+  // Bounce the server on the same port; the client's Knn rides out the
+  // outage — connect-refused while it is down is a retryable transport
+  // failure, and the backoff schedule outlasts the restart.
+  server.reset();
+  std::thread restarter([&] {
+    std::this_thread::sleep_for(milliseconds(150));
+    ServerOptions options;
+    options.port = port;
+    server =
+        std::make_unique<TcpServer>(&Model(), store.value().get(), options);
+    EXPECT_TRUE(server->Start().ok());
+  });
+  Result<EmbeddingStore::Neighbors> near = client.Knn(Trips()[3], 1);
+  restarter.join();
+  ASSERT_TRUE(near.ok()) << near.status().ToString();
+  EXPECT_GE(client.reconnects(), 2);  // Initial connect + at least one more.
+}
+
+TEST_F(OverloadTest, NoRetryAfterDeadline) {
+  // Hung listener again: the request deadline expires in transport, and the
+  // retrying client must stop immediately — never retry after a deadline.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 8), 0);
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&bound), &len),
+            0);
+
+  RetryOptions retry;
+  retry.socket.recv_timeout = milliseconds(100);
+  RetryingClient client("127.0.0.1", ntohs(bound.sin_port), retry);
+  Result<std::string> stats = client.Stats(/*deadline_ms=*/200);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(client.retries(), 0);
+  ::close(listener);
+}
+
+}  // namespace
+}  // namespace t2vec::serve

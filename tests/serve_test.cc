@@ -157,10 +157,10 @@ TEST_F(ServeTest, ExpiredDeadlineSurfacesWithoutWedgingShutdown) {
   EmbeddingService service(&Model(), options);
 
   // Already expired when submitted: must resolve to kDeadlineExceeded.
-  auto expired = service.Submit(
+  auto expired = service.SubmitWithDeadline(
       Trips()[0], EmbeddingService::Clock::now() - std::chrono::seconds(1));
   // A generous deadline must not trip.
-  auto live = service.Submit(
+  auto live = service.SubmitWithDeadline(
       Trips()[1], EmbeddingService::Clock::now() + std::chrono::minutes(5));
 
   EmbeddingService::EncodeResult expired_result = expired.get();

@@ -8,9 +8,13 @@
 #   stage 2  lint              tools/lint_determinism.py over src/ bench/ tools/
 #   stage 3  robustness +      ctest -L 'robustness|concurrency': fault
 #            concurrency       injection, corruption matrix, kill-and-resume,
-#                              WAL replay, the TCP server's hostile-bytes and
-#                              kill-mid-ingestion scenarios, and the annotated
-#                              sync-primitive suite
+#                              WAL replay, the TCP server's hostile-bytes,
+#                              hostile-peer (idle / slowloris / mid-response
+#                              RST) and kill-mid-ingestion scenarios, and the
+#                              annotated sync-primitive suite; then the chaos
+#                              soak re-runs under a fixed fault-seed matrix
+#                              (T2VEC_CHAOS_SEED) so every gate exercises
+#                              several randomized fault schedules
 #   stage 4  SIMD tiers        ctest -L kernel twice, under T2VEC_SIMD=scalar
 #                              and T2VEC_SIMD=avx2, so both dispatch tiers
 #                              (and the unsupported-ISA clamp) stay green
@@ -55,6 +59,14 @@ python3 tools/lint_determinism.py
 echo "== stage 3/8: robustness- and concurrency-labeled tests (${BUILD_DIR}) =="
 ctest --test-dir "${BUILD_DIR}" -L 'robustness|concurrency' \
   --output-on-failure -j "${JOBS}"
+# Chaos soak seed matrix: the label run above already covered the default
+# seed (1); each extra seed arms a different randomized schedule of socket +
+# WAL faults around the mid-run server restart.
+for seed in 2 3; do
+  echo "-- chaos soak, T2VEC_CHAOS_SEED=${seed} --"
+  T2VEC_CHAOS_SEED="${seed}" ctest --test-dir "${BUILD_DIR}" -R chaos_test \
+    --output-on-failure
+done
 
 echo "== stage 4/8: kernel-labeled tests under each SIMD tier (${BUILD_DIR}) =="
 # On machines without AVX2 the avx2 run degrades to scalar via the dispatch

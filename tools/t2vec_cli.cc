@@ -400,6 +400,16 @@ int CmdServer(const Flags& flags) {
   if (options.service.quantized) {
     std::fprintf(stderr, "encoder: int8 quantized\n");
   }
+  // Overload governance (DESIGN.md §8.4): connection cap and reaping
+  // timeouts for slow or dead peers.
+  options.max_connections =
+      static_cast<size_t>(flags.GetInt("max-conns", 64));
+  options.idle_timeout =
+      std::chrono::milliseconds(flags.GetInt("idle-timeout-ms", 30'000));
+  options.read_timeout =
+      std::chrono::milliseconds(flags.GetInt("read-timeout-ms", 5'000));
+  options.drain_timeout =
+      std::chrono::milliseconds(flags.GetInt("drain-ms", 2'000));
   serve::TcpServer server(&model.value(), store.value().get(), options);
   if (Status status = server.Start(); !status.ok()) {
     return Fail(status.ToString().c_str());
@@ -443,7 +453,8 @@ void PrintUsage() {
       "              [index flags]\n"
       "  server      --model F --data-dir D [--port P] [--run-seconds S]\n"
       "              [--window-us W] [--max-batch B] [--compact-bytes N]\n"
-      "              [--quantized] [index flags]\n"
+      "              [--quantized] [--max-conns N] [--idle-timeout-ms T]\n"
+      "              [--read-timeout-ms T] [--drain-ms T] [index flags]\n"
       "  index flags: --index exact|lsh|ivf [--nlist N] [--nprobe P]\n"
       "              [--ivf-iters I] [--lsh-tables T] [--lsh-bits B]\n");
 }
